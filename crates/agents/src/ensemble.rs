@@ -1,0 +1,160 @@
+//! Ensembles of finite-population runs across seeds.
+//!
+//! Single stochastic runs are noisy; the experiments and tests that
+//! compare finite populations against the fluid limit average over
+//! seeds. This module packages that pattern with summary statistics.
+
+use serde::{Deserialize, Serialize};
+use wardrop_core::trajectory::Trajectory;
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+
+use crate::sim::{run_agents, AgentPolicy, AgentSimConfig};
+
+/// Mean/std/min/max of a per-run scalar across an ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Ensemble mean.
+    pub mean: f64,
+    /// Ensemble standard deviation (population).
+    pub std_dev: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of empty ensemble");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Summary {
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// The trajectories of an ensemble, one per seed.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    /// The seeds used, in run order.
+    pub seeds: Vec<u64>,
+    /// One trajectory per seed.
+    pub runs: Vec<Trajectory>,
+}
+
+impl Ensemble {
+    /// Runs `policy` for every seed with otherwise identical
+    /// configuration.
+    ///
+    /// The `seed` field of `config` is overridden per run.
+    pub fn run(
+        instance: &Instance,
+        policy: &AgentPolicy,
+        f0: &FlowVec,
+        config: &AgentSimConfig,
+        seeds: &[u64],
+    ) -> Self {
+        let runs = seeds
+            .iter()
+            .map(|&seed| {
+                let mut c = config.clone();
+                c.seed = seed;
+                run_agents(instance, policy, f0, &c)
+            })
+            .collect();
+        Ensemble {
+            seeds: seeds.to_vec(),
+            runs,
+        }
+    }
+
+    /// Summary of a scalar extracted from each run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty.
+    pub fn summarise<F: Fn(&Trajectory) -> f64>(&self, f: F) -> Summary {
+        let values: Vec<f64> = self.runs.iter().map(f).collect();
+        Summary::of(&values)
+    }
+
+    /// Summary of the final potential across runs.
+    pub fn final_potential(&self, instance: &Instance) -> Summary {
+        self.summarise(|t| wardrop_net::potential::potential(instance, &t.final_flow))
+    }
+
+    /// Summary of the bad-phase count (`(δ,ε)`, Definition 3) across
+    /// runs, for the `delta_idx`-th configured δ.
+    pub fn bad_phase_counts(&self, delta_idx: usize, eps: f64) -> Summary {
+        self.summarise(|t| t.bad_phase_count(delta_idx, eps) as f64)
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if the ensemble has no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_net::builders;
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - 1.25_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ensemble")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn ensemble_runs_one_trajectory_per_seed() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(200, 0.5, 20, 0);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let ens = Ensemble::run(&inst, &policy, &f0, &config, &[1, 2, 3]);
+        assert_eq!(ens.len(), 3);
+        assert!(!ens.is_empty());
+        // Different seeds give different final flows (generically).
+        assert_ne!(ens.runs[0].final_flow, ens.runs[1].final_flow);
+    }
+
+    #[test]
+    fn ensemble_summaries_are_consistent() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(500, 0.5, 100, 0).with_deltas(vec![0.1]);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let ens = Ensemble::run(&inst, &policy, &f0, &config, &[4, 5, 6, 7]);
+        let phi = ens.final_potential(&inst);
+        assert!(phi.min <= phi.mean && phi.mean <= phi.max);
+        let bad = ens.bad_phase_counts(0, 0.1);
+        assert!(bad.mean >= 0.0);
+        assert!(bad.max <= 100.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Discrete-event machinery: totally-ordered simulation time and an
+//! event queue.
+//!
+//! The finite-population simulator is a classic discrete-event system:
+//! agent activations arrive as a superposed Poisson process (rate `N`
+//! for `N` rate-1 agents) and the bulletin board refreshes every `T`
+//! time units. Events are processed in timestamp order from a binary
+//! heap; ties are broken by insertion sequence so runs are fully
+//! deterministic for a fixed seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time: a finite, non-negative `f64` with total order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Time(f64);
+
+impl Time {
+    /// Creates a time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or not finite.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "time must be finite and ≥ 0");
+        Time(t)
+    }
+
+    /// The wrapped seconds value.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite by construction: total order is safe.
+        self.0.partial_cmp(&other.0).expect("times are finite")
+    }
+}
+
+/// Kinds of events in the agent simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// One agent wakes up and revises its path (the agent is drawn
+    /// uniformly at processing time — superposition property).
+    AgentActivation,
+    /// The bulletin board is refreshed.
+    BoardUpdate,
+    /// End of the simulation horizon.
+    Horizon,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Time,
+    /// What happens.
+    pub kind: EventKind,
+    /// Insertion sequence number (tie-breaker).
+    pub seq: u64,
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic min-heap of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<std::cmp::Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    pub fn schedule(&mut self, time: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse(Event { time, kind, seq }));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(2.0), EventKind::BoardUpdate);
+        q.schedule(Time::new(1.0), EventKind::AgentActivation);
+        q.schedule(Time::new(3.0), EventKind::Horizon);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().kind, EventKind::AgentActivation);
+        assert_eq!(q.pop().unwrap().kind, EventKind::BoardUpdate);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Horizon);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(1.0), EventKind::BoardUpdate);
+        q.schedule(Time::new(1.0), EventKind::AgentActivation);
+        assert_eq!(q.pop().unwrap().kind, EventKind::BoardUpdate);
+        assert_eq!(q.pop().unwrap().kind, EventKind::AgentActivation);
+    }
+
+    #[test]
+    fn time_total_order() {
+        assert!(Time::new(1.0) < Time::new(2.0));
+        assert_eq!(Time::new(1.5).seconds(), 1.5);
+        let mut v = [Time::new(3.0), Time::new(1.0), Time::new(2.0)];
+        v.sort();
+        assert_eq!(v[0].seconds(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_time_rejected() {
+        let _ = Time::new(-1.0);
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # wardrop-agents
+//!
+//! A finite-population discrete-event simulator for *Adaptive routing
+//! with stale information* (Fischer & Vöcking, PODC 2005 / TCS 2009).
+//!
+//! The paper analyses the fluid limit of infinitely many infinitesimal
+//! agents; this crate simulates the underlying stochastic process
+//! directly — `N` agents with rate-1 Poisson clocks revising their
+//! paths against a bulletin board refreshed every `T` — and emits the
+//! same [`Trajectory`](wardrop_core::trajectory::Trajectory) type as
+//! the fluid engine so every analysis tool applies to both. As
+//! `N → ∞` the empirical flows converge to the ODE solution, which is
+//! what justifies the fluid model (verified in the integration tests
+//! and experiment E6).
+//!
+//! # Examples
+//!
+//! ```
+//! use wardrop_net::{builders, flow::FlowVec};
+//! use wardrop_agents::sim::{run_agents, AgentPolicy, AgentSimConfig};
+//!
+//! let inst = builders::pigou();
+//! let config = AgentSimConfig::new(500, 0.5, 50, 42);
+//! let traj = run_agents(
+//!     &inst,
+//!     &AgentPolicy::uniform_linear(&inst),
+//!     &FlowVec::uniform(&inst),
+//!     &config,
+//! );
+//! assert_eq!(traj.len(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod events;
+pub mod population;
+pub mod sim;
+
+pub use ensemble::{Ensemble, Summary};
+pub use population::Population;
+pub use sim::{run_agents, AgentPolicy, AgentSimConfig};

@@ -1,0 +1,250 @@
+//! Finite agent populations and their empirical flows.
+//!
+//! The paper's population is a continuum; a finite simulation assigns
+//! `N` agents to paths. Agents of one commodity are exchangeable, so
+//! the state is just a count per path. Counts convert to a feasible
+//! [`FlowVec`] by scaling each commodity's counts to its demand, and
+//! flows convert to counts by largest-remainder apportionment — the
+//! round trip is exact when the flow is representable.
+
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+
+/// Agent counts per path, with fixed per-commodity totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Population {
+    counts: Vec<u64>,
+    commodity_totals: Vec<u64>,
+}
+
+impl Population {
+    /// Apportions `num_agents` agents to paths approximating `flow`.
+    ///
+    /// Agents are first split across commodities proportionally to
+    /// demand, then within each commodity across paths proportionally
+    /// to `flow`, using largest-remainder rounding at both levels so
+    /// totals are exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_agents < instance.num_commodities()` (every
+    /// commodity needs at least one agent) or `flow` has wrong length.
+    pub fn apportion(instance: &Instance, num_agents: u64, flow: &FlowVec) -> Self {
+        assert_eq!(flow.len(), instance.num_paths(), "flow length mismatch");
+        assert!(
+            num_agents >= instance.num_commodities() as u64,
+            "need at least one agent per commodity"
+        );
+        let demands: Vec<f64> = instance.commodities().iter().map(|c| c.demand).collect();
+        let commodity_totals = largest_remainder(&demands, num_agents, true);
+        let mut counts = vec![0u64; instance.num_paths()];
+        for (i, &total) in commodity_totals.iter().enumerate() {
+            let range = instance.commodity_paths(i);
+            let shares: Vec<f64> = flow.values()[range.clone()].to_vec();
+            let alloc = largest_remainder(&shares, total, false);
+            for (offset, a) in alloc.iter().enumerate() {
+                counts[range.start + offset] = *a;
+            }
+        }
+        Population {
+            counts,
+            commodity_totals,
+        }
+    }
+
+    /// Total number of agents.
+    pub fn num_agents(&self) -> u64 {
+        self.commodity_totals.iter().sum()
+    }
+
+    /// Agents of commodity `i`.
+    pub fn commodity_total(&self, i: usize) -> u64 {
+        self.commodity_totals[i]
+    }
+
+    /// Agent count on the path with global index `p`.
+    #[inline]
+    pub fn count(&self, p: usize) -> u64 {
+        self.counts[p]
+    }
+
+    /// All counts, path-indexed.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Moves one agent from path `from` to path `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` carries no agents (an invariant violation) or
+    /// the paths belong to different commodities.
+    pub fn migrate(&mut self, instance: &Instance, from: usize, to: usize) {
+        assert!(self.counts[from] > 0, "no agent to move from path {from}");
+        debug_assert_eq!(
+            instance.commodity_of_path(wardrop_net::PathId::from_index(from)),
+            instance.commodity_of_path(wardrop_net::PathId::from_index(to)),
+            "agents migrate within their own commodity"
+        );
+        self.counts[from] -= 1;
+        self.counts[to] += 1;
+    }
+
+    /// The empirical flow: commodity `i`'s counts scaled to demand
+    /// `r_i`.
+    pub fn to_flow(&self, instance: &Instance) -> FlowVec {
+        let mut values = vec![0.0; self.counts.len()];
+        for (i, c) in instance.commodities().iter().enumerate() {
+            let total = self.commodity_totals[i] as f64;
+            for p in instance.commodity_paths(i) {
+                values[p] = self.counts[p] as f64 / total * c.demand;
+            }
+        }
+        FlowVec::from_values_unchecked(values)
+    }
+}
+
+/// Allocates `total` integer units proportionally to non-negative
+/// `weights` by the largest-remainder method.
+///
+/// With `at_least_one` every positive-weight entry receives ≥ 1 unit
+/// (used for commodities, which must keep at least one agent).
+fn largest_remainder(weights: &[f64], total: u64, at_least_one: bool) -> Vec<u64> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate: spread evenly.
+        let n = weights.len() as u64;
+        let base = total / n;
+        let mut out = vec![base; weights.len()];
+        for item in out.iter_mut().take((total % n) as usize) {
+            *item += 1;
+        }
+        return out;
+    }
+    let quotas: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
+    let mut alloc: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
+    if at_least_one {
+        for (a, w) in alloc.iter_mut().zip(weights) {
+            if *w > 0.0 && *a == 0 {
+                *a = 1;
+            }
+        }
+    }
+    let assigned: u64 = alloc.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|a, b| {
+        let ra = quotas[*a] - quotas[*a].floor();
+        let rb = quotas[*b] - quotas[*b].floor();
+        rb.partial_cmp(&ra).expect("finite remainders").then(a.cmp(b))
+    });
+    let mut remaining = total.saturating_sub(assigned);
+    let mut idx = 0;
+    while remaining > 0 {
+        alloc[order[idx % order.len()]] += 1;
+        remaining -= 1;
+        idx += 1;
+    }
+    // If at_least_one overshot the total, trim from the largest allocations.
+    let mut overshoot = alloc.iter().sum::<u64>().saturating_sub(total);
+    while overshoot > 0 {
+        let max_i = (0..alloc.len())
+            .max_by_key(|i| alloc[*i])
+            .expect("non-empty weights");
+        if alloc[max_i] <= 1 {
+            break;
+        }
+        alloc[max_i] -= 1;
+        overshoot -= 1;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_net::builders;
+
+    #[test]
+    fn apportion_matches_uniform_flow() {
+        let inst = builders::pigou();
+        let f = FlowVec::uniform(&inst);
+        let pop = Population::apportion(&inst, 100, &f);
+        assert_eq!(pop.num_agents(), 100);
+        assert_eq!(pop.counts(), &[50, 50]);
+    }
+
+    #[test]
+    fn apportion_handles_remainders() {
+        let inst = builders::braess(); // 3 paths, uniform = 1/3 each
+        let f = FlowVec::uniform(&inst);
+        let pop = Population::apportion(&inst, 100, &f);
+        assert_eq!(pop.num_agents(), 100);
+        let mut counts = pop.counts().to_vec();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![33, 33, 34]);
+    }
+
+    #[test]
+    fn round_trip_flow_is_close() {
+        let inst = builders::braess();
+        let f = FlowVec::from_values(&inst, vec![0.21, 0.33, 0.46]).unwrap();
+        let pop = Population::apportion(&inst, 1000, &f);
+        let g = pop.to_flow(&inst);
+        assert!(f.linf_distance(&g) <= 1.0 / 1000.0 + 1e-12);
+        assert!(g.is_feasible(&inst, 1e-9));
+    }
+
+    #[test]
+    fn multi_commodity_totals_follow_demand() {
+        let inst = builders::multi_commodity_grid(2, 2, 1);
+        let f = FlowVec::uniform(&inst);
+        let pop = Population::apportion(&inst, 101, &f);
+        assert_eq!(pop.num_agents(), 101);
+        // Demands are ½/½: totals differ by at most 1.
+        let a = pop.commodity_total(0);
+        let b = pop.commodity_total(1);
+        assert!(a.abs_diff(b) <= 1);
+    }
+
+    #[test]
+    fn migrate_moves_one_agent() {
+        let inst = builders::pigou();
+        let f = FlowVec::uniform(&inst);
+        let mut pop = Population::apportion(&inst, 10, &f);
+        pop.migrate(&inst, 1, 0);
+        assert_eq!(pop.counts(), &[6, 4]);
+        assert_eq!(pop.num_agents(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no agent")]
+    fn migrate_from_empty_path_panics() {
+        let inst = builders::pigou();
+        let f = FlowVec::from_values(&inst, vec![1.0, 0.0]).unwrap();
+        let mut pop = Population::apportion(&inst, 10, &f);
+        pop.migrate(&inst, 1, 0);
+    }
+
+    #[test]
+    fn to_flow_respects_demands() {
+        let inst = builders::multi_commodity_grid(2, 2, 1);
+        let f = FlowVec::uniform(&inst);
+        let pop = Population::apportion(&inst, 57, &f);
+        let g = pop.to_flow(&inst);
+        assert!(g.is_feasible(&inst, 1e-9));
+    }
+
+    #[test]
+    fn largest_remainder_exact_total() {
+        let alloc = largest_remainder(&[0.5, 0.3, 0.2], 7, false);
+        assert_eq!(alloc.iter().sum::<u64>(), 7);
+        let alloc = largest_remainder(&[1.0, 0.0], 5, false);
+        assert_eq!(alloc, vec![5, 0]);
+    }
+
+    #[test]
+    fn largest_remainder_zero_weights_spread() {
+        let alloc = largest_remainder(&[0.0, 0.0, 0.0], 5, false);
+        assert_eq!(alloc.iter().sum::<u64>(), 5);
+    }
+}

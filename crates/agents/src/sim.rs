@@ -1,0 +1,461 @@
+//! The finite-population discrete-event simulator.
+//!
+//! This realises the paper's *actual* process — `N` agents, each with a
+//! rate-1 Poisson activation clock, revising paths against a bulletin
+//! board refreshed every `T` — rather than its fluid limit. The
+//! superposition property lets the simulator draw one global
+//! exponential clock of rate `N` and pick the activated agent uniformly
+//! (i.e. a commodity proportionally to its agent count, then a path
+//! proportionally to its count within the commodity).
+//!
+//! The simulator emits the same [`Trajectory`] type as the fluid
+//! engine, so all analysis tooling (bad-phase counts, Lemma 4 checks,
+//! orbit detection) applies unchanged; `agents → ∞` recovers the ODE
+//! (tested in the integration suite).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use wardrop_core::board::BulletinBoard;
+use wardrop_core::migration::MigrationRule;
+use wardrop_core::sampling::SamplingRule;
+use wardrop_core::trajectory::{PhaseRecord, Trajectory};
+use wardrop_net::equilibrium::{max_regret, unsatisfied_volume, weakly_unsatisfied_volume};
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+use wardrop_net::potential::{potential, virtual_gain};
+
+use crate::events::{EventKind, EventQueue, Time};
+use crate::population::Population;
+
+/// How an activated agent revises its path.
+#[derive(Debug)]
+pub enum AgentPolicy {
+    /// Two-step smooth policy: sample with `sampling`, migrate with
+    /// probability given by `migration` (both reading the board).
+    Smooth {
+        /// The sampling rule σ.
+        sampling: Box<dyn SamplingRule>,
+        /// The migration rule µ.
+        migration: Box<dyn MigrationRule>,
+    },
+    /// Jump to a board-minimal path unconditionally.
+    BestResponse,
+}
+
+impl AgentPolicy {
+    /// The replicator policy (proportional sampling + linear
+    /// migration) for `instance`.
+    pub fn replicator(instance: &Instance) -> Self {
+        AgentPolicy::Smooth {
+            sampling: Box::new(wardrop_core::sampling::Proportional),
+            migration: Box::new(wardrop_core::migration::Linear::new(
+                instance.latency_upper_bound().max(f64::MIN_POSITIVE),
+            )),
+        }
+    }
+
+    /// Uniform sampling + linear migration for `instance`.
+    pub fn uniform_linear(instance: &Instance) -> Self {
+        AgentPolicy::Smooth {
+            sampling: Box::new(wardrop_core::sampling::Uniform),
+            migration: Box::new(wardrop_core::migration::Linear::new(
+                instance.latency_upper_bound().max(f64::MIN_POSITIVE),
+            )),
+        }
+    }
+
+    /// Name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            AgentPolicy::Smooth {
+                sampling,
+                migration,
+            } => format!("agents:{}+{}", sampling.name(), migration.name()),
+            AgentPolicy::BestResponse => "agents:best-response".to_string(),
+        }
+    }
+}
+
+/// Configuration of a finite-population run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentSimConfig {
+    /// Number of agents `N`.
+    pub num_agents: u64,
+    /// Bulletin-board update period `T`.
+    pub update_period: f64,
+    /// Number of board phases to simulate.
+    pub num_phases: usize,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+    /// Record empirical flows at phase starts.
+    pub record_flows: bool,
+    /// `δ` thresholds for unsatisfied-volume columns.
+    pub deltas: Vec<f64>,
+}
+
+impl AgentSimConfig {
+    /// A default configuration.
+    pub fn new(num_agents: u64, update_period: f64, num_phases: usize, seed: u64) -> Self {
+        AgentSimConfig {
+            num_agents,
+            update_period,
+            num_phases,
+            seed,
+            record_flows: false,
+            deltas: vec![0.05],
+        }
+    }
+
+    /// Enables flow recording (builder style).
+    pub fn with_flows(mut self) -> Self {
+        self.record_flows = true;
+        self
+    }
+
+    /// Sets the `δ` thresholds (builder style).
+    pub fn with_deltas(mut self, deltas: Vec<f64>) -> Self {
+        self.deltas = deltas;
+        self
+    }
+}
+
+/// Runs the finite-population simulation from the flow profile `f0`.
+///
+/// Returns a [`Trajectory`] with one record per board phase, computed
+/// from the empirical flow at phase boundaries.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero agents, non-positive
+/// period) or `f0` is infeasible.
+pub fn run_agents(
+    instance: &Instance,
+    policy: &AgentPolicy,
+    f0: &FlowVec,
+    config: &AgentSimConfig,
+) -> Trajectory {
+    assert!(config.num_agents > 0, "need at least one agent");
+    assert!(
+        config.update_period.is_finite() && config.update_period > 0.0,
+        "update period must be positive"
+    );
+    assert!(f0.is_feasible(instance, 1e-6), "initial flow must be feasible");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut pop = Population::apportion(instance, config.num_agents, f0);
+    let n = pop.num_agents();
+    let t_period = config.update_period;
+    let horizon = t_period * config.num_phases as f64;
+
+    let mut queue = EventQueue::new();
+    queue.schedule(Time::new(0.0), EventKind::BoardUpdate);
+    let first = rand_exp(&mut rng, n as f64);
+    if first < horizon {
+        queue.schedule(Time::new(first), EventKind::AgentActivation);
+    }
+
+    let mut phases: Vec<PhaseRecord> = Vec::with_capacity(config.num_phases);
+    let mut flows = Vec::new();
+    let mut board: Option<BulletinBoard> = None;
+    let mut weights_buf: Vec<f64> = Vec::new();
+    // Pending phase data: (index, start flow, potential, avg latency, ...).
+    let mut open_phase: Option<(usize, FlowVec, f64, f64, f64, Vec<f64>, Vec<f64>)> = None;
+    let mut phase_index = 0usize;
+
+    while let Some(ev) = queue.pop() {
+        let now = ev.time.seconds();
+        if now > horizon + 1e-12 {
+            break;
+        }
+        match ev.kind {
+            EventKind::BoardUpdate => {
+                let flow = pop.to_flow(instance);
+                // Close the previous phase.
+                if let Some((index, start_flow, phi0, avg0, regret0, uns, wuns)) =
+                    open_phase.take()
+                {
+                    phases.push(PhaseRecord {
+                        index,
+                        start_time: index as f64 * t_period,
+                        potential_start: phi0,
+                        potential_end: potential(instance, &flow),
+                        virtual_gain: virtual_gain(instance, &start_flow, &flow),
+                        avg_latency_start: avg0,
+                        max_regret_start: regret0,
+                        unsatisfied: uns,
+                        weakly_unsatisfied: wuns,
+                    });
+                }
+                if phase_index >= config.num_phases {
+                    break;
+                }
+                // Open the next phase.
+                if config.record_flows {
+                    flows.push(flow.clone());
+                }
+                let uns = config
+                    .deltas
+                    .iter()
+                    .map(|d| unsatisfied_volume(instance, &flow, *d))
+                    .collect();
+                let wuns = config
+                    .deltas
+                    .iter()
+                    .map(|d| weakly_unsatisfied_volume(instance, &flow, *d))
+                    .collect();
+                open_phase = Some((
+                    phase_index,
+                    flow.clone(),
+                    potential(instance, &flow),
+                    flow.avg_latency(instance),
+                    max_regret(instance, &flow, 1e-12),
+                    uns,
+                    wuns,
+                ));
+                board = Some(BulletinBoard::post(instance, &flow, now));
+                phase_index += 1;
+                queue.schedule(
+                    Time::new(phase_index as f64 * t_period),
+                    EventKind::BoardUpdate,
+                );
+            }
+            EventKind::AgentActivation => {
+                let board = board.as_ref().expect("board posted at t = 0");
+                activate_one(instance, policy, board, &mut pop, &mut rng, &mut weights_buf);
+                let next = now + rand_exp(&mut rng, n as f64);
+                if next <= horizon + 1e-12 {
+                    queue.schedule(Time::new(next), EventKind::AgentActivation);
+                }
+            }
+            EventKind::Horizon => break,
+        }
+    }
+
+    // Close a dangling phase (horizon reached between board updates).
+    if let Some((index, start_flow, phi0, avg0, regret0, uns, wuns)) = open_phase.take() {
+        let flow = pop.to_flow(instance);
+        phases.push(PhaseRecord {
+            index,
+            start_time: index as f64 * t_period,
+            potential_start: phi0,
+            potential_end: potential(instance, &flow),
+            virtual_gain: virtual_gain(instance, &start_flow, &flow),
+            avg_latency_start: avg0,
+            max_regret_start: regret0,
+            unsatisfied: uns,
+            weakly_unsatisfied: wuns,
+        });
+    }
+
+    Trajectory {
+        update_period: t_period,
+        deltas: config.deltas.clone(),
+        phases,
+        flows,
+        final_flow: pop.to_flow(instance),
+        dynamics: policy.name(),
+    }
+}
+
+/// Processes one agent activation against the frozen board.
+fn activate_one(
+    instance: &Instance,
+    policy: &AgentPolicy,
+    board: &BulletinBoard,
+    pop: &mut Population,
+    rng: &mut StdRng,
+    weights_buf: &mut Vec<f64>,
+) {
+    // Pick the activated agent: commodity ∝ agent count, then path ∝
+    // count within the commodity (exchangeability).
+    let total = pop.num_agents();
+    let mut pick = rng.random_range(0..total);
+    let mut commodity = 0;
+    while pick >= pop.commodity_total(commodity) {
+        pick -= pop.commodity_total(commodity);
+        commodity += 1;
+    }
+    let range = instance.commodity_paths(commodity);
+    let mut from = range.start;
+    for p in range.clone() {
+        let c = pop.count(p);
+        if pick < c {
+            from = p;
+            break;
+        }
+        pick -= c;
+    }
+
+    match policy {
+        AgentPolicy::Smooth {
+            sampling,
+            migration,
+        } => {
+            let n = range.len();
+            weights_buf.resize(n, 0.0);
+            sampling.fill_weights(instance, board, commodity, weights_buf);
+            let to = range.start + sample_categorical(rng, weights_buf);
+            if to == from {
+                return;
+            }
+            let l_from = board.path_latencies()[from];
+            let l_to = board.path_latencies()[to];
+            let p_migrate = migration.probability(l_from, l_to);
+            if p_migrate > 0.0 && rng.random_range(0.0..1.0) < p_migrate {
+                pop.migrate(instance, from, to);
+            }
+        }
+        AgentPolicy::BestResponse => {
+            let to = board.best_reply(instance, commodity);
+            if to != from {
+                pop.migrate(instance, from, to);
+            }
+        }
+    }
+}
+
+/// Draws an Exp(rate) variate by inverse transform.
+fn rand_exp(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Draws an index from (possibly unnormalised) non-negative weights.
+fn sample_categorical(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        // Degenerate (e.g. proportional sampling with all board flow on
+        // one extinct commodity path): fall back to uniform.
+        return rng.random_range(0..weights.len());
+    }
+    let mut u = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_net::builders;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(100, 0.5, 20, 42).with_flows();
+        let a = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &config);
+        let b = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &config);
+        assert_eq!(a.final_flow, b.final_flow);
+        assert_eq!(a.phases.len(), b.phases.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let c1 = AgentSimConfig::new(500, 0.5, 20, 1);
+        let c2 = AgentSimConfig::new(500, 0.5, 20, 2);
+        let a = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &c1);
+        let b = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &c2);
+        assert_ne!(a.final_flow, b.final_flow);
+    }
+
+    #[test]
+    fn runs_requested_number_of_phases() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(50, 0.25, 40, 7);
+        let traj = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &config);
+        assert_eq!(traj.len(), 40);
+        assert!((traj.update_period - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agents_drift_toward_equilibrium_on_pigou() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(2000, 0.5, 400, 3);
+        let traj = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &config);
+        // Equilibrium: everything on the x-link. With finite N there is
+        // residual noise; require most of the mass.
+        assert!(
+            traj.final_flow.values()[0] > 0.9,
+            "final flow {:?}",
+            traj.final_flow.values()
+        );
+    }
+
+    #[test]
+    fn best_response_agents_oscillate() {
+        let inst = builders::two_link_oscillator(4.0);
+        let t = 0.5_f64;
+        let f1 = wardrop_core::theory::oscillation::initial_flow(t);
+        let f0 = FlowVec::from_values(&inst, vec![f1, 1.0 - f1]).unwrap();
+        let config = AgentSimConfig::new(10_000, t, 60, 11).with_flows();
+        let traj = run_agents(&inst, &AgentPolicy::BestResponse, &f0, &config);
+        // The empirical flow keeps flipping around ½ in opposite phase.
+        let f_even = traj.flows[40].values()[0];
+        let f_odd = traj.flows[41].values()[0];
+        assert!(
+            (f_even - 0.5) * (f_odd - 0.5) < 0.0,
+            "phases 40/41: {f_even} vs {f_odd}"
+        );
+    }
+
+    #[test]
+    fn feasibility_invariant_maintained() {
+        let inst = builders::braess();
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(333, 0.3, 50, 5).with_flows();
+        let traj = run_agents(&inst, &AgentPolicy::replicator(&inst), &f0, &config);
+        for f in &traj.flows {
+            assert!(f.is_feasible(&inst, 1e-9));
+        }
+        assert!(traj.final_flow.is_feasible(&inst, 1e-9));
+    }
+
+    #[test]
+    fn multi_commodity_agents_stay_in_their_commodity() {
+        let inst = builders::multi_commodity_grid(2, 2, 9);
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(200, 0.5, 30, 13);
+        let traj = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &config);
+        assert!(traj.final_flow.is_feasible(&inst, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn zero_agents_rejected() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(0, 0.5, 10, 1);
+        let _ = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &config);
+    }
+
+    #[test]
+    fn categorical_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut hits = [0u32; 3];
+        for _ in 0..30_000 {
+            hits[sample_categorical(&mut rng, &[0.2, 0.0, 0.8])] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        let frac = hits[2] as f64 / 30_000.0;
+        assert!((frac - 0.8).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rand_exp(&mut rng, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # wardrop-analysis
+//!
+//! Equilibrium solvers and trajectory analysis for the reproduction of
+//! *Adaptive routing with stale information* (Fischer & Vöcking,
+//! PODC 2005 / TCS 2009).
+//!
+//! * [`frank_wolfe`] — certified minimisation of the
+//!   Beckmann–McGuire–Winsten potential (ground-truth Wardrop
+//!   equilibria, `Φ*`) and of the social cost (system optima);
+//! * [`poa`] — price-of-anarchy reports;
+//! * [`oscillation`] — periodic-orbit detection on the phase map (the
+//!   §3.2 counterexample);
+//! * [`metrics`] — bad-phase counts (the Theorem 6/7 quantities) and
+//!   potential-gap summaries;
+//! * [`stats`] — means, fits and the log–log scaling slopes used to
+//!   verify the theorems' shapes.
+//!
+//! # Examples
+//!
+//! ```
+//! use wardrop_net::builders;
+//! use wardrop_analysis::poa::price_of_anarchy;
+//!
+//! let report = price_of_anarchy(&builders::braess());
+//! assert!((report.price_of_anarchy - 4.0 / 3.0).abs() < 1e-2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frank_wolfe;
+pub mod metrics;
+pub mod oscillation;
+pub mod poa;
+pub mod rates;
+pub mod regret;
+pub mod stats;
+
+pub use frank_wolfe::{minimise, FrankWolfeConfig, FrankWolfeResult, Objective};
+pub use metrics::{bad_phase_count, summarise, ConvergenceSummary, EquilibriumKind};
+pub use oscillation::{amplitude, detect_orbit, OrbitKind};
+pub use poa::{price_of_anarchy, PoaReport};
+pub use rates::{potential_decay_rate, DecayFit};
+pub use regret::{population_regret, RegretReport};

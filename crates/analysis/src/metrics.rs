@@ -1,0 +1,173 @@
+//! Convergence metrics extracted from trajectories.
+//!
+//! Theorems 6 and 7 bound the *number of update periods not starting at
+//! an approximate equilibrium* — not the index of the first good phase,
+//! since the dynamics may leave and re-enter the approximate
+//! equilibrium set. These helpers extract exactly those counts,
+//! together with potential-gap summaries against the Frank–Wolfe
+//! ground truth.
+
+use serde::{Deserialize, Serialize};
+use wardrop_core::trajectory::Trajectory;
+
+/// Which equilibrium notion to count against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EquilibriumKind {
+    /// `(δ,ε)`-equilibrium (Definition 3, Theorem 6).
+    Strict,
+    /// Weak `(δ,ε)`-equilibrium (Definition 4, Theorem 7).
+    Weak,
+}
+
+/// The number of phases *not starting* at the chosen approximate
+/// equilibrium — the quantity bounded by Theorems 6/7.
+///
+/// # Panics
+///
+/// Panics if `delta_idx` is out of range for the trajectory's
+/// configured `δ` list.
+pub fn bad_phase_count(
+    traj: &Trajectory,
+    kind: EquilibriumKind,
+    delta_idx: usize,
+    eps: f64,
+) -> usize {
+    match kind {
+        EquilibriumKind::Strict => traj.bad_phase_count(delta_idx, eps),
+        EquilibriumKind::Weak => traj.weak_bad_phase_count(delta_idx, eps),
+    }
+}
+
+/// Index of the last phase not starting at the chosen approximate
+/// equilibrium, or `None` if every phase was good.
+pub fn last_bad_phase(
+    traj: &Trajectory,
+    kind: EquilibriumKind,
+    delta_idx: usize,
+    eps: f64,
+) -> Option<usize> {
+    traj.phases.iter().rev().find_map(|p| {
+        let vol = match kind {
+            EquilibriumKind::Strict => p.unsatisfied[delta_idx],
+            EquilibriumKind::Weak => p.weakly_unsatisfied[delta_idx],
+        };
+        (vol > eps).then_some(p.index)
+    })
+}
+
+/// Potential-gap series `Φ(f(t̂)) − Φ*` at phase starts.
+pub fn potential_gap_series(traj: &Trajectory, phi_star: f64) -> Vec<f64> {
+    traj.phases
+        .iter()
+        .map(|p| p.potential_start - phi_star)
+        .collect()
+}
+
+/// First phase whose start potential is within `tol` of `Φ*`, if any.
+pub fn first_phase_within_gap(traj: &Trajectory, phi_star: f64, tol: f64) -> Option<usize> {
+    traj.phases
+        .iter()
+        .position(|p| p.potential_start - phi_star <= tol)
+}
+
+/// Summary of a convergence run against the ground-truth `Φ*`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceSummary {
+    /// Phases executed.
+    pub phases: usize,
+    /// Initial potential gap.
+    pub initial_gap: f64,
+    /// Final potential gap.
+    pub final_gap: f64,
+    /// Number of phases with increasing potential.
+    pub monotonicity_violations: usize,
+    /// Worst Lemma 4 slack `ΔΦ − ½V` over all phases.
+    pub lemma4_worst_slack: f64,
+}
+
+/// Builds a [`ConvergenceSummary`] for a trajectory.
+pub fn summarise(traj: &Trajectory, phi_star: f64) -> ConvergenceSummary {
+    let gaps = potential_gap_series(traj, phi_star);
+    ConvergenceSummary {
+        phases: traj.len(),
+        initial_gap: gaps.first().copied().unwrap_or(0.0),
+        final_gap: traj
+            .phases
+            .last()
+            .map(|p| p.potential_end - phi_star)
+            .unwrap_or(0.0),
+        monotonicity_violations: traj.monotonicity_violations(1e-10),
+        lemma4_worst_slack: traj.lemma4_worst_slack(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frank_wolfe::optimal_potential;
+    use wardrop_core::engine::{run, SimulationConfig};
+    use wardrop_core::policy::uniform_linear;
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+
+    fn pigou_run(phases: usize) -> (wardrop_net::Instance, Trajectory) {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.25, phases).with_deltas(vec![0.05]);
+        let traj = run(&inst, &policy, &f0, &config);
+        (inst, traj)
+    }
+
+    #[test]
+    fn bad_phases_finite_and_prefix_like() {
+        let (_inst, traj) = pigou_run(2000);
+        let bad = bad_phase_count(&traj, EquilibriumKind::Strict, 0, 0.1);
+        assert!(bad > 0, "starts away from equilibrium");
+        assert!(bad < 2000, "must eventually reach the equilibrium set");
+        let last = last_bad_phase(&traj, EquilibriumKind::Strict, 0, 0.1).unwrap();
+        assert!(last + 1 >= bad);
+    }
+
+    #[test]
+    fn weak_bad_count_never_exceeds_strict() {
+        let (_inst, traj) = pigou_run(500);
+        let strict = bad_phase_count(&traj, EquilibriumKind::Strict, 0, 0.1);
+        let weak = bad_phase_count(&traj, EquilibriumKind::Weak, 0, 0.1);
+        assert!(weak <= strict);
+    }
+
+    #[test]
+    fn gap_series_decreases_to_zero() {
+        let (inst, traj) = pigou_run(2000);
+        let phi_star = optimal_potential(&inst);
+        let gaps = potential_gap_series(&traj, phi_star);
+        assert!(gaps[0] > 0.01);
+        assert!(*gaps.last().unwrap() < 0.01);
+        let hit = first_phase_within_gap(&traj, phi_star, 0.01).unwrap();
+        assert!(hit > 0 && hit < 2000);
+    }
+
+    #[test]
+    fn summary_reflects_convergence() {
+        let (inst, traj) = pigou_run(2000);
+        let phi_star = optimal_potential(&inst);
+        let s = summarise(&traj, phi_star);
+        assert_eq!(s.phases, 2000);
+        assert!(s.final_gap < s.initial_gap);
+        assert_eq!(s.monotonicity_violations, 0);
+        assert!(s.lemma4_worst_slack <= 1e-10);
+    }
+
+    #[test]
+    fn all_good_run_has_no_last_bad_phase() {
+        // Start at the equilibrium: every phase is good.
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::from_values(&inst, vec![1.0, 0.0]).unwrap();
+        let config = SimulationConfig::new(0.25, 50).with_deltas(vec![0.05]);
+        let traj = run(&inst, &policy, &f0, &config);
+        assert_eq!(last_bad_phase(&traj, EquilibriumKind::Strict, 0, 0.01), None);
+        assert_eq!(bad_phase_count(&traj, EquilibriumKind::Strict, 0, 0.01), 0);
+    }
+}

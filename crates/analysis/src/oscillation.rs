@@ -1,0 +1,133 @@
+//! Oscillation detection in simulation trajectories.
+//!
+//! The §3.2 counterexample produces a period-2 orbit of the phase map
+//! (the flow at phase starts). These helpers detect such orbits and
+//! quantify persistent non-convergence from recorded trajectories
+//! (requires `wardrop_core::SimulationConfig::with_flows`).
+
+use serde::{Deserialize, Serialize};
+use wardrop_core::trajectory::Trajectory;
+
+/// Outcome of orbit detection on the phase map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OrbitKind {
+    /// The phase map contracts to a fixed point (convergence).
+    FixedPoint,
+    /// A periodic orbit of the given period (in phases) was detected.
+    Periodic(usize),
+    /// Neither a fixed point nor a period ≤ the scanned maximum.
+    Aperiodic,
+}
+
+/// Detects the asymptotic behaviour of the phase map from the recorded
+/// phase-start flows.
+///
+/// Examines the trailing `window` phases: if consecutive flows differ
+/// by less than `tol` (L∞) the trajectory is a [`OrbitKind::FixedPoint`];
+/// otherwise the smallest period `p ≤ max_period` with
+/// `‖f(i) − f(i+p)‖∞ < tol` across the window is reported.
+///
+/// # Panics
+///
+/// Panics if the trajectory has no recorded flows or the window exceeds
+/// the number of recorded phases.
+pub fn detect_orbit(
+    traj: &Trajectory,
+    window: usize,
+    max_period: usize,
+    tol: f64,
+) -> OrbitKind {
+    let flows = &traj.flows;
+    assert!(
+        flows.len() >= window + max_period,
+        "need at least window + max_period recorded flows ({} < {} + {})",
+        flows.len(),
+        window,
+        max_period
+    );
+    let start = flows.len() - window - max_period;
+    // Fixed point: period 1.
+    for p in 1..=max_period {
+        let mut is_periodic = true;
+        for i in start..start + window {
+            if flows[i].linf_distance(&flows[i + p]) >= tol {
+                is_periodic = false;
+                break;
+            }
+        }
+        if is_periodic {
+            return if p == 1 {
+                OrbitKind::FixedPoint
+            } else {
+                OrbitKind::Periodic(p)
+            };
+        }
+    }
+    OrbitKind::Aperiodic
+}
+
+/// The oscillation amplitude: maximum L∞ distance between any two
+/// phase-start flows within the trailing `window` phases.
+///
+/// Near zero for convergent runs; bounded away from zero for the §3.2
+/// orbit.
+///
+/// # Panics
+///
+/// Panics if fewer than `window` flows were recorded.
+pub fn amplitude(traj: &Trajectory, window: usize) -> f64 {
+    let flows = &traj.flows;
+    assert!(flows.len() >= window, "not enough recorded flows");
+    let tail = &flows[flows.len() - window..];
+    let mut worst = 0.0_f64;
+    for i in 0..tail.len() {
+        for j in i + 1..tail.len() {
+            worst = worst.max(tail[i].linf_distance(&tail[j]));
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_core::best_response::BestResponse;
+    use wardrop_core::engine::{run, SimulationConfig};
+    use wardrop_core::policy::uniform_linear;
+    use wardrop_core::theory;
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+
+    #[test]
+    fn best_response_orbit_detected_as_period_two() {
+        let t_period = 0.5;
+        let inst = builders::two_link_oscillator(2.0);
+        let f1 = theory::oscillation::initial_flow(t_period);
+        let f0 = FlowVec::from_values(&inst, vec![f1, 1.0 - f1]).unwrap();
+        let config = SimulationConfig::new(t_period, 40).with_flows();
+        let traj = run(&inst, &BestResponse::new(), &f0, &config);
+        assert_eq!(detect_orbit(&traj, 10, 4, 1e-9), OrbitKind::Periodic(2));
+        assert!(amplitude(&traj, 10) > 0.1);
+    }
+
+    #[test]
+    fn smooth_policy_detected_as_fixed_point() {
+        let inst = builders::two_link_oscillator(2.0);
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::from_values(&inst, vec![0.9, 0.1]).unwrap();
+        let config = SimulationConfig::new(0.25, 400).with_flows();
+        let traj = run(&inst, &policy, &f0, &config);
+        assert_eq!(detect_orbit(&traj, 10, 4, 1e-6), OrbitKind::FixedPoint);
+        assert!(amplitude(&traj, 10) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded flows")]
+    fn detect_orbit_requires_flows() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let traj = run(&inst, &policy, &f0, &SimulationConfig::new(0.5, 5));
+        let _ = detect_orbit(&traj, 3, 2, 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! Price of anarchy.
+//!
+//! Background context for the paper (§1.2 cites Roughgarden–Tardos):
+//! the ratio between the social cost at the worst Wardrop equilibrium
+//! and at the system optimum. For instances with a unique equilibrium
+//! cost (all our builders) Frank–Wolfe on the potential gives the
+//! equilibrium and Frank–Wolfe on the social cost the optimum.
+
+use serde::{Deserialize, Serialize};
+use wardrop_net::instance::Instance;
+
+use crate::frank_wolfe::{minimise, FrankWolfeConfig, Objective};
+
+/// Equilibrium/optimum analysis of one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoaReport {
+    /// Social cost at the computed Wardrop equilibrium.
+    pub equilibrium_cost: f64,
+    /// Social cost at the computed system optimum.
+    pub optimal_cost: f64,
+    /// The price of anarchy `equilibrium_cost / optimal_cost`.
+    pub price_of_anarchy: f64,
+    /// Potential at the equilibrium (`Φ*`).
+    pub equilibrium_potential: f64,
+}
+
+/// Computes equilibrium cost, optimal cost and the price of anarchy.
+///
+/// # Examples
+///
+/// ```
+/// use wardrop_net::builders;
+/// use wardrop_analysis::poa::price_of_anarchy;
+///
+/// // Pigou: PoA = 4/3.
+/// let report = price_of_anarchy(&builders::pigou());
+/// assert!((report.price_of_anarchy - 4.0 / 3.0).abs() < 1e-4);
+/// ```
+pub fn price_of_anarchy(instance: &Instance) -> PoaReport {
+    let config = FrankWolfeConfig::default();
+    let eq = minimise(instance, Objective::Potential, &config);
+    let opt = minimise(instance, Objective::SocialCost, &config);
+    let equilibrium_cost = Objective::SocialCost.eval(instance, &eq.flow);
+    // Degenerate instances (e.g. the §3.2 oscillator) have zero cost at
+    // both the equilibrium and the optimum; the ratio is 1 by
+    // convention rather than 0/0.
+    let price_of_anarchy = if opt.value <= f64::EPSILON {
+        if equilibrium_cost <= f64::EPSILON {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        equilibrium_cost / opt.value
+    };
+    PoaReport {
+        equilibrium_cost,
+        optimal_cost: opt.value,
+        price_of_anarchy,
+        equilibrium_potential: eq.value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_net::builders;
+
+    #[test]
+    fn pigou_poa_is_four_thirds() {
+        let r = price_of_anarchy(&builders::pigou());
+        assert!((r.equilibrium_cost - 1.0).abs() < 1e-4);
+        assert!((r.optimal_cost - 0.75).abs() < 1e-4);
+        assert!((r.price_of_anarchy - 4.0 / 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn braess_poa_is_four_thirds() {
+        let r = price_of_anarchy(&builders::braess());
+        assert!((r.equilibrium_cost - 2.0).abs() < 1e-3);
+        assert!((r.optimal_cost - 1.5).abs() < 1e-3);
+        assert!((r.price_of_anarchy - 4.0 / 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn zero_cost_instance_has_poa_one() {
+        // The §3.2 oscillator: equilibrium (½, ½) has latency 0, and
+        // so does the optimum — PoA is 1 by convention, not NaN.
+        let r = price_of_anarchy(&builders::two_link_oscillator(2.0));
+        assert_eq!(r.price_of_anarchy, 1.0);
+        assert!(r.equilibrium_cost.abs() < 1e-9);
+    }
+
+    #[test]
+    fn poa_at_least_one() {
+        for seed in 0..5 {
+            let inst = builders::random_parallel_links(4, 1.0, 0.2, 2.0, seed);
+            let r = price_of_anarchy(&inst);
+            assert!(r.price_of_anarchy >= 1.0 - 1e-6, "seed {seed}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn affine_poa_below_four_thirds() {
+        // Roughgarden–Tardos: affine latencies ⇒ PoA ≤ 4/3.
+        for seed in 0..5 {
+            let inst = builders::layered_network(2, 2, seed);
+            let r = price_of_anarchy(&inst);
+            assert!(
+                r.price_of_anarchy <= 4.0 / 3.0 + 1e-3,
+                "seed {seed}: {r:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Empirical convergence-rate estimation.
+//!
+//! The paper proves convergence and bounds the number of *bad phases*;
+//! near an equilibrium the smooth dynamics contract roughly
+//! geometrically, so the potential gap behaves like
+//! `gap(i) ≈ C·e^{−r·t_i}`. Fitting `r` from a trajectory gives a
+//! compact empirical convergence speed — useful for comparing policies
+//! beyond the worst-case bounds (e.g. the E8 elasticity experiment).
+
+use serde::{Deserialize, Serialize};
+use wardrop_core::trajectory::Trajectory;
+
+use crate::stats::linear_fit;
+
+/// An exponential-decay fit `gap(t) ≈ exp(intercept − rate · t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecayFit {
+    /// Decay rate `r` per unit of simulated time (positive =
+    /// converging).
+    pub rate: f64,
+    /// Log-gap intercept at `t = 0` of the fitted window.
+    pub log_intercept: f64,
+    /// Number of phases used in the fit.
+    pub samples: usize,
+}
+
+/// Fits an exponential decay rate to the potential gap
+/// `Φ(f(t̂)) − Φ*` over the trailing `window` phases.
+///
+/// Phases whose gap has already collapsed below `floor` are excluded
+/// (they are numerical noise around the equilibrium). Returns `None`
+/// when fewer than three usable phases remain or the usable gaps do
+/// not span distinct times.
+pub fn potential_decay_rate(
+    traj: &Trajectory,
+    phi_star: f64,
+    window: usize,
+    floor: f64,
+) -> Option<DecayFit> {
+    let phases = &traj.phases;
+    let start = phases.len().saturating_sub(window);
+    let mut ts = Vec::new();
+    let mut logs = Vec::new();
+    for p in &phases[start..] {
+        let gap = p.potential_start - phi_star;
+        if gap > floor {
+            ts.push(p.start_time);
+            logs.push(gap.ln());
+        }
+    }
+    if ts.len() < 3 || ts.first() == ts.last() {
+        return None;
+    }
+    let (slope, intercept) = linear_fit(&ts, &logs);
+    Some(DecayFit {
+        rate: -slope,
+        log_intercept: intercept,
+        samples: ts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frank_wolfe::optimal_potential;
+    use wardrop_core::best_response::BestResponse;
+    use wardrop_core::engine::{run, SimulationConfig};
+    use wardrop_core::policy::uniform_linear;
+    use wardrop_core::theory;
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+
+    #[test]
+    fn convergent_run_has_positive_rate() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let config = SimulationConfig::new(0.25, 800);
+        let traj = run(&inst, &policy, &FlowVec::uniform(&inst), &config);
+        let phi_star = optimal_potential(&inst);
+        let fit = potential_decay_rate(&traj, phi_star, 400, 1e-12).expect("fit exists");
+        assert!(fit.rate > 0.0, "rate {}", fit.rate);
+        assert!(fit.samples >= 100);
+    }
+
+    #[test]
+    fn oscillating_run_has_no_decay() {
+        let inst = builders::two_link_oscillator(4.0);
+        let t = 0.5;
+        let f1 = theory::oscillation::initial_flow(t);
+        let f0 = FlowVec::from_values(&inst, vec![f1, 1.0 - f1]).unwrap();
+        let config = SimulationConfig::new(t, 200);
+        let traj = run(&inst, &BestResponse::new(), &f0, &config);
+        // Φ* = 0 on this instance; the gap is phase-periodic.
+        let fit = potential_decay_rate(&traj, 0.0, 100, 1e-12).expect("gaps stay positive");
+        assert!(fit.rate.abs() < 1e-6, "rate {}", fit.rate);
+    }
+
+    #[test]
+    fn faster_policy_measures_higher_rate() {
+        // Doubling α (within the safe regime) doubles migration rates
+        // and should measurably speed up the decay. Needs an instance
+        // whose equilibrium is interior (both paths used with positive
+        // flow): there the linearised dynamics contract exponentially,
+        // so the rate is the right summary. (On Pigou the unused path's
+        // migration probability vanishes with the gap itself and decay
+        // is only algebraic.)
+        use wardrop_core::migration::ScaledLinear;
+        use wardrop_core::policy::SmoothPolicy;
+        use wardrop_core::sampling::Uniform;
+        use wardrop_net::Latency;
+        let inst = builders::parallel_links(vec![
+            Latency::identity(),
+            Latency::Affine { a: 0.25, b: 1.0 },
+        ]);
+        let phi_star = optimal_potential(&inst);
+        let rate_for = |alpha: f64| {
+            let policy = SmoothPolicy::new(Uniform, ScaledLinear::new(alpha));
+            // Short horizon: the faster run must not collapse below the
+            // fit floor inside the window.
+            let config = SimulationConfig::new(0.1, 200);
+            let traj = run(&inst, &policy, &FlowVec::uniform(&inst), &config);
+            potential_decay_rate(&traj, phi_star, 150, 1e-12)
+                .expect("fit exists")
+                .rate
+        };
+        let slow = rate_for(0.25);
+        let fast = rate_for(0.5);
+        assert!(fast > 1.5 * slow, "slow {slow}, fast {fast}");
+    }
+
+    #[test]
+    fn too_few_samples_yield_none() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        // Start at the equilibrium: gap is ~0 everywhere, below floor.
+        let f0 = FlowVec::from_values(&inst, vec![1.0, 0.0]).unwrap();
+        let traj = run(&inst, &policy, &f0, &SimulationConfig::new(0.25, 50));
+        let phi_star = optimal_potential(&inst);
+        assert!(potential_decay_rate(&traj, phi_star, 50, 1e-9).is_none());
+    }
+}

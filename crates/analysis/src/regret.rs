@@ -1,0 +1,154 @@
+//! Population regret along trajectories.
+//!
+//! The related work the paper positions itself against (§1.2: Awerbuch
+//! & Kleinberg; Blum, Even-Dar & Ligett) measures routing quality by
+//! **regret**: the gap between the average latency actually sustained
+//! and the latency of the best fixed path in hindsight. For a recorded
+//! trajectory with phase-start flows `f(0), …, f(n−1)`:
+//!
+//! ```text
+//! regret_i = (1/n) Σ_t L_i(f(t))  −  min_{P ∈ P_i} (1/n) Σ_t ℓ_P(f(t))
+//! ```
+//!
+//! Convergent dynamics drive the regret of every commodity to zero;
+//! oscillating dynamics sustain positive regret forever — a compact
+//! scalar distinguishing the paper's two regimes.
+
+use serde::{Deserialize, Serialize};
+use wardrop_core::trajectory::Trajectory;
+use wardrop_net::instance::Instance;
+
+/// Per-commodity regret report for one trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegretReport {
+    /// Time-averaged average latency per commodity.
+    pub avg_latency: Vec<f64>,
+    /// Latency of the best fixed path in hindsight, per commodity.
+    pub best_fixed_path_latency: Vec<f64>,
+    /// `avg_latency − best_fixed_path_latency`, per commodity.
+    pub regret: Vec<f64>,
+    /// Number of phases averaged over.
+    pub phases: usize,
+}
+
+impl RegretReport {
+    /// The largest regret over commodities.
+    pub fn max_regret(&self) -> f64 {
+        self.regret.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Computes the population regret of a recorded trajectory.
+///
+/// Requires phase-start flows (`SimulationConfig::with_flows` /
+/// `AgentSimConfig::with_flows`).
+///
+/// # Panics
+///
+/// Panics if the trajectory has no recorded flows.
+pub fn population_regret(instance: &Instance, traj: &Trajectory) -> RegretReport {
+    assert!(
+        !traj.flows.is_empty(),
+        "regret needs recorded flows (enable with_flows)"
+    );
+    let n = traj.flows.len();
+    let k = instance.num_commodities();
+    let mut avg_latency = vec![0.0; k];
+    // Time-averaged latency of every path.
+    let mut path_avg = vec![0.0; instance.num_paths()];
+    for flow in &traj.flows {
+        let lp = flow.path_latencies(instance);
+        let li = flow.commodity_avg_latencies(instance);
+        for (acc, l) in path_avg.iter_mut().zip(&lp) {
+            *acc += l / n as f64;
+        }
+        for (acc, l) in avg_latency.iter_mut().zip(&li) {
+            *acc += l / n as f64;
+        }
+    }
+    let best_fixed_path_latency: Vec<f64> = (0..k)
+        .map(|i| {
+            instance
+                .commodity_paths(i)
+                .map(|p| path_avg[p])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let regret = avg_latency
+        .iter()
+        .zip(&best_fixed_path_latency)
+        .map(|(a, b)| a - b)
+        .collect();
+    RegretReport {
+        avg_latency,
+        best_fixed_path_latency,
+        regret,
+        phases: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_core::best_response::BestResponse;
+    use wardrop_core::engine::{run, SimulationConfig};
+    use wardrop_core::policy::uniform_linear;
+    use wardrop_core::theory;
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+
+    #[test]
+    fn convergent_run_has_vanishing_regret() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        // Skip the transient by measuring a long run.
+        let config = SimulationConfig::new(0.25, 3000).with_flows();
+        let traj = run(&inst, &policy, &f0, &config);
+        let report = population_regret(&inst, &traj);
+        assert!(report.max_regret() < 0.02, "regret {:?}", report.regret);
+        assert_eq!(report.phases, 3000);
+    }
+
+    #[test]
+    fn oscillating_run_sustains_regret() {
+        let inst = builders::two_link_oscillator(4.0);
+        let t = 0.5;
+        let f1 = theory::oscillation::initial_flow(t);
+        let f0 = FlowVec::from_values(&inst, vec![f1, 1.0 - f1]).unwrap();
+        let config = SimulationConfig::new(t, 200).with_flows();
+        let traj = run(&inst, &BestResponse::new(), &f0, &config);
+        let report = population_regret(&inst, &traj);
+        // Any fixed path averages lower latency than the flip-flopping
+        // population: positive regret, bounded away from 0.
+        assert!(report.max_regret() > 0.05, "regret {:?}", report.regret);
+    }
+
+    #[test]
+    fn regret_is_nonnegative_by_construction() {
+        // Best fixed path in hindsight can only beat the average:
+        // L_i is a convex combination of path latencies at each time.
+        let inst = builders::braess();
+        let policy = uniform_linear(&inst);
+        let config = SimulationConfig::new(0.2, 100).with_flows();
+        let traj = run(&inst, &policy, &FlowVec::concentrated(&inst), &config);
+        let report = population_regret(&inst, &traj);
+        for r in &report.regret {
+            assert!(*r >= -1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded flows")]
+    fn regret_requires_flows() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let traj = run(
+            &inst,
+            &policy,
+            &FlowVec::uniform(&inst),
+            &SimulationConfig::new(0.5, 5),
+        );
+        let _ = population_regret(&inst, &traj);
+    }
+}

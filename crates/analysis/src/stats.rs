@@ -1,0 +1,140 @@
+//! Small statistics helpers for experiment analysis.
+//!
+//! The Theorem 6/7 experiments verify *scaling shapes* (`∝ m`,
+//! `∝ 1/δ²`, `∝ 1/ε`, `∝ 1/T`) rather than absolute constants; the
+//! log–log least-squares slope is the standard tool for that.
+
+/// Arithmetic mean. Returns `NaN` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns `NaN` for empty input.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Ordinary least-squares slope and intercept of `y` against `x`.
+///
+/// Returns `(slope, intercept)`.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths or fewer than two
+/// points, or if `x` is constant.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 2, "need at least two points");
+    let mx = mean(x);
+    let my = mean(y);
+    let sxx: f64 = x.iter().map(|xi| (xi - mx) * (xi - mx)).sum();
+    assert!(sxx > 0.0, "x must not be constant");
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+    let slope = sxy / sxx;
+    (slope, my - slope * mx)
+}
+
+/// The log–log least-squares slope of `y` against `x` — the empirical
+/// scaling exponent in `y ∝ x^slope`.
+///
+/// # Panics
+///
+/// Panics if any input is non-positive (logs must exist), lengths
+/// differ, or fewer than two points are given.
+pub fn loglog_slope(x: &[f64], y: &[f64]) -> f64 {
+    assert!(
+        x.iter().chain(y).all(|v| *v > 0.0),
+        "log–log fit requires positive data"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    linear_fit(&lx, &ly).0
+}
+
+/// Pearson correlation coefficient.
+///
+/// # Panics
+///
+/// Panics on mismatched lengths, fewer than two points, or zero
+/// variance in either input.
+pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 2);
+    let (sx, sy) = (std_dev(x), std_dev(y));
+    assert!(sx > 0.0 && sy > 0.0, "inputs must vary");
+    let mx = mean(x);
+    let my = mean(y);
+    let cov: f64 =
+        x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / x.len() as f64;
+    cov / (sx * sy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_yields_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let (slope, intercept) = linear_fit(&x, &y);
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_slope_recovers_power_law() {
+        let x: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v.powi(2)).collect();
+        assert!((loglog_slope(&x, &y) - 2.0).abs() < 1e-9);
+        let y_inv: Vec<f64> = x.iter().map(|v| 5.0 / v).collect();
+        assert!((loglog_slope(&x, &y_inv) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0];
+        let up = [2.0, 4.0, 6.0];
+        let down = [6.0, 4.0, 2.0];
+        assert!((correlation(&x, &up) - 1.0).abs() < 1e-12);
+        assert!((correlation(&x, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn loglog_rejects_nonpositive() {
+        let _ = loglog_slope(&[1.0, 0.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn linear_fit_rejects_constant_x() {
+        let _ = linear_fit(&[1.0, 1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,43 @@
+//! E1 bench: the §3.2 best-response oscillation workload.
+//!
+//! Measures the cost of simulating the two-link oscillator under best
+//! response (closed-form phases) as the phase count grows, and the
+//! cost of the closed-form evaluation itself.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wardrop_core::best_response::BestResponse;
+use wardrop_core::engine::{run, SimulationConfig};
+use wardrop_core::theory::oscillation;
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+
+fn bench_oscillation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_oscillation");
+    let inst = builders::two_link_oscillator(2.0);
+    let t_period = 0.5;
+    let f1 = oscillation::initial_flow(t_period);
+    let f0 = FlowVec::from_values(&inst, vec![f1, 1.0 - f1]).expect("feasible");
+
+    for phases in [64usize, 256, 1024] {
+        group.bench_function(format!("best_response_{phases}_phases"), |b| {
+            let config = SimulationConfig::new(t_period, phases);
+            b.iter(|| run(black_box(&inst), &BestResponse::new(), black_box(&f0), &config));
+        });
+    }
+
+    group.bench_function("closed_form_orbit_1000_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += oscillation::orbit_f1(black_box(i as f64 * 0.01), t_period);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oscillation);
+criterion_main!(benches);

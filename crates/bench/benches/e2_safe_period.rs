@@ -1,0 +1,34 @@
+//! E2 bench: the Corollary 5 safe-period convergence workload
+//! (uniform + α-scaled-linear on Braess / grid, T = T*).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wardrop_core::engine::{run, SimulationConfig};
+use wardrop_core::migration::ScaledLinear;
+use wardrop_core::policy::SmoothPolicy;
+use wardrop_core::sampling::Uniform;
+use wardrop_core::theory::safe_update_period;
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+
+fn bench_safe_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_safe_period");
+    for (name, inst) in [
+        ("braess", builders::braess()),
+        ("grid3x3", builders::grid_network(3, 3, 17)),
+    ] {
+        let alpha = 1.0 / inst.latency_upper_bound();
+        let t_star = safe_update_period(&inst, alpha);
+        let policy = SmoothPolicy::new(Uniform, ScaledLinear::new(alpha));
+        let f0 = FlowVec::concentrated(&inst);
+        let config = SimulationConfig::new(t_star, 200);
+        group.bench_function(format!("{name}_200_phases_at_t_star"), |b| {
+            b.iter(|| run(black_box(&inst), &policy, black_box(&f0), &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_safe_period);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3 bench: potential machinery — Φ, virtual gain, error terms, and
+//! the Lemma 3 residual — on instances of growing size.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+use wardrop_net::potential::{error_terms, lemma3_residual, potential, virtual_gain};
+
+fn bench_potential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_potential");
+    for m in [8usize, 64, 256] {
+        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, 7);
+        let a = FlowVec::uniform(&inst);
+        let b = FlowVec::concentrated(&inst);
+        group.bench_function(format!("potential_m{m}"), |bch| {
+            bch.iter(|| potential(black_box(&inst), black_box(&a)));
+        });
+        group.bench_function(format!("virtual_gain_m{m}"), |bch| {
+            bch.iter(|| virtual_gain(black_box(&inst), black_box(&a), black_box(&b)));
+        });
+        group.bench_function(format!("error_terms_m{m}"), |bch| {
+            bch.iter(|| error_terms(black_box(&inst), black_box(&a), black_box(&b)));
+        });
+        group.bench_function(format!("lemma3_residual_m{m}"), |bch| {
+            bch.iter(|| lemma3_residual(black_box(&inst), black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_potential);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E4 bench: the Theorem 6 workload — uniform + linear on random
+//! parallel links, scaling in m.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wardrop_core::engine::{run, SimulationConfig};
+use wardrop_core::policy::uniform_linear;
+use wardrop_core::theory::safe_update_period;
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+
+fn bench_thm6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_uniform");
+    for m in [8usize, 32, 128] {
+        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, 11);
+        let alpha = 1.0 / inst.latency_upper_bound();
+        let t = safe_update_period(&inst, alpha).min(1.0);
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(t, 100).with_deltas(vec![0.2]);
+        group.bench_function(format!("uniform_linear_m{m}_100_phases"), |b| {
+            b.iter(|| run(black_box(&inst), &policy, black_box(&f0), &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thm6);
+criterion_main!(benches);

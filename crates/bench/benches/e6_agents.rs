@@ -1,0 +1,34 @@
+//! E6 bench: the finite-population discrete-event simulator — run cost
+//! as N grows (the workload behind the fluid-limit validation).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wardrop_agents::sim::{run_agents, AgentPolicy, AgentSimConfig};
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+
+fn bench_agents(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_agents");
+    group.sample_size(20);
+    let inst = builders::braess();
+    let f0 = FlowVec::uniform(&inst);
+    for n in [1_000u64, 10_000, 100_000] {
+        // 10 phases of length 0.25 at rate N ⇒ ~2.5·N activations.
+        let config = AgentSimConfig::new(n, 0.25, 10, 42);
+        group.bench_function(format!("replicator_n{n}_10_phases"), |b| {
+            b.iter(|| {
+                run_agents(
+                    black_box(&inst),
+                    &AgentPolicy::replicator(&inst),
+                    black_box(&f0),
+                    &config,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_agents);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E7 bench: the Frank–Wolfe equilibrium solver on growing instances,
+//! both objectives.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wardrop_analysis::frank_wolfe::{minimise, FrankWolfeConfig, Objective};
+use wardrop_net::builders;
+
+fn bench_frank_wolfe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_frank_wolfe");
+    let config = FrankWolfeConfig::default();
+    for (name, inst) in [
+        ("braess", builders::braess()),
+        ("parallel32", builders::random_parallel_links(32, 1.0, 0.2, 2.0, 5)),
+        ("grid4x4", builders::grid_network(4, 4, 5)),
+    ] {
+        group.bench_function(format!("{name}_potential"), |b| {
+            b.iter(|| minimise(black_box(&inst), Objective::Potential, &config));
+        });
+        group.bench_function(format!("{name}_social_cost"), |b| {
+            b.iter(|| minimise(black_box(&inst), Objective::SocialCost, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frank_wolfe);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Engine-performance benches: integrator comparison (Euler vs RK4 vs
+//! uniformization), phase-rate construction, and path enumeration.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wardrop_core::board::BulletinBoard;
+use wardrop_core::integrator::Integrator;
+use wardrop_core::policy::{uniform_linear, ReroutingPolicy};
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+use wardrop_net::graph::NodeId;
+use wardrop_net::path::enumerate_simple_paths;
+
+fn bench_integrators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integrators");
+    for m in [16usize, 128] {
+        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, 3);
+        let f = FlowVec::concentrated(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let policy = uniform_linear(&inst);
+        let rates = policy.phase_rates(&inst, &board);
+        for (name, integ) in [
+            ("euler_dt1e-2", Integrator::Euler { dt: 0.01 }),
+            ("rk4_dt5e-2", Integrator::Rk4 { dt: 0.05 }),
+            ("uniformization", Integrator::Uniformization { tol: 1e-12 }),
+        ] {
+            group.bench_function(format!("{name}_m{m}"), |b| {
+                b.iter(|| {
+                    let mut g = f.values().to_vec();
+                    integ.advance(black_box(&rates), &mut g, 1.0);
+                    g
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_phase_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_rates");
+    for m in [16usize, 128, 512] {
+        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, 3);
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let policy = uniform_linear(&inst);
+        group.bench_function(format!("build_m{m}"), |b| {
+            b.iter(|| policy.phase_rates(black_box(&inst), black_box(&board)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_enumeration");
+    for (rows, cols) in [(4usize, 4usize), (5, 5), (6, 6)] {
+        let inst = builders::grid_network(rows, cols, 1);
+        let g = inst.graph();
+        let s = NodeId::from_index(0);
+        let t = NodeId::from_index(g.node_count() - 1);
+        group.bench_function(format!("grid{rows}x{cols}"), |b| {
+            b.iter(|| enumerate_simple_paths(black_box(g), s, t, 1_000_000).expect("under cap"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_integrators,
+    bench_phase_rates,
+    bench_path_enumeration
+);
+criterion_main!(benches);

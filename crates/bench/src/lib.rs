@@ -1,0 +1,36 @@
+//! # wardrop-bench
+//!
+//! Criterion benchmarks for the reproduction of *Adaptive routing with
+//! stale information*. One bench per reproduced experiment (E1–E7,
+//! matching `DESIGN.md` and the `wardrop-experiments` binaries) plus
+//! engine-performance benches. Run with `cargo bench`.
+//!
+//! Shared workload constructors live here so the benches measure the
+//! same configurations the experiment binaries report on.
+
+#![forbid(unsafe_code)]
+
+use wardrop_core::engine::SimulationConfig;
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+
+/// The standard benchmark workload: instance, initial flow and a
+/// simulation configuration of `phases` phases at period `t`.
+pub fn workload(instance: Instance, t: f64, phases: usize) -> (Instance, FlowVec, SimulationConfig) {
+    let f0 = FlowVec::uniform(&instance);
+    let config = SimulationConfig::new(t, phases);
+    (instance, f0, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_net::builders;
+
+    #[test]
+    fn workload_is_well_formed() {
+        let (inst, f0, config) = workload(builders::braess(), 0.1, 10);
+        assert!(f0.is_feasible(&inst, 1e-9));
+        assert_eq!(config.num_phases, 10);
+    }
+}

@@ -1,0 +1,161 @@
+//! The best response dynamics under stale information (Eq. (4)).
+//!
+//! Every activated agent switches to a minimum-latency path *of the
+//! bulletin board*. In the fluid limit this is the differential
+//! inclusion `ḟ ∈ β(f̂) − f`; because the board is frozen within a
+//! phase, the best reply `b = β(f̂)` is a fixed vertex of the flow
+//! polytope (ties broken deterministically to the first minimal path)
+//! and the phase has the exact solution
+//!
+//! ```text
+//! f(t̂ + τ) = b + (f(t̂) − b) · e^{−τ}.
+//! ```
+//!
+//! Section 3.2 of the paper shows this dynamics oscillates forever on
+//! two parallel links with latency `max{0, β(x − ½)}` no matter how
+//! small `T` is; [`crate::theory::oscillation`] has the closed forms
+//! and the experiments verify the engine against them.
+
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+
+use crate::board::BulletinBoard;
+use crate::engine::Dynamics;
+use crate::integrator::Integrator;
+
+/// The best-response dynamics (not α-smooth; oscillates under
+/// staleness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BestResponse;
+
+impl BestResponse {
+    /// Creates the best-response dynamics.
+    pub fn new() -> Self {
+        BestResponse
+    }
+
+    /// The best-reply flow `b = β(f̂)`: each commodity's demand on its
+    /// first minimum-latency path of the board.
+    pub fn best_reply_flow(&self, instance: &Instance, board: &BulletinBoard) -> FlowVec {
+        let mut values = vec![0.0; instance.num_paths()];
+        for (i, c) in instance.commodities().iter().enumerate() {
+            values[board.best_reply(instance, i)] = c.demand;
+        }
+        FlowVec::from_values_unchecked(values)
+    }
+}
+
+impl Dynamics for BestResponse {
+    fn advance_phase(
+        &self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        flow: &mut FlowVec,
+        tau: f64,
+        _integrator: &Integrator,
+    ) {
+        let b = self.best_reply_flow(instance, board);
+        let decay = (-tau).exp();
+        for (f, bv) in flow.values_mut().iter_mut().zip(b.values()) {
+            *f = bv + (*f - bv) * decay;
+        }
+    }
+
+    fn dynamics_name(&self) -> String {
+        "best-response".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, SimulationConfig};
+    use wardrop_net::builders;
+
+    #[test]
+    fn best_reply_concentrates_demand() {
+        let inst = builders::pigou();
+        let f = FlowVec::from_values(&inst, vec![0.2, 0.8]).unwrap();
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let b = BestResponse::new().best_reply_flow(&inst, &board);
+        // ℓ₁ = 0.2 < 1 = ℓ₂: everything on path 0.
+        assert_eq!(b.values(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn phase_solution_matches_exponential() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::from_values(&inst, vec![0.2, 0.8]).unwrap();
+        let board = BulletinBoard::post(&inst, &f0, 0.0);
+        let mut f = f0.clone();
+        let tau = 0.7;
+        BestResponse::new().advance_phase(&inst, &board, &mut f, tau, &Integrator::default());
+        // f₂(τ) = f₂(0) e^{−τ}; f₁ = 1 − f₂.
+        let expected2 = 0.8 * (-tau).exp();
+        assert!((f.values()[1] - expected2).abs() < 1e-12);
+        assert!((f.values()[0] + f.values()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillator_period_two_orbit() {
+        // §3.2: with f₁(0) = 1/(e^{−T}+1), the orbit returns after 2T.
+        let beta = 2.0;
+        let t_period = 0.5_f64;
+        let inst = builders::two_link_oscillator(beta);
+        let f1 = 1.0 / ((-t_period).exp() + 1.0);
+        let f0 = FlowVec::from_values(&inst, vec![f1, 1.0 - f1]).unwrap();
+        let config = SimulationConfig::new(t_period, 10).with_flows();
+        let traj = run(&inst, &BestResponse::new(), &f0, &config);
+        // Even phases start at f₁(0); odd phases at f₁(T) = f₁(0)e^{−T}.
+        let mirrored = f1 * (-t_period).exp();
+        for (i, flow) in traj.flows.iter().enumerate() {
+            let expect = if i % 2 == 0 { f1 } else { mirrored };
+            assert!(
+                (flow.values()[0] - expect).abs() < 1e-9,
+                "phase {i}: {} vs {expect}",
+                flow.values()[0]
+            );
+        }
+    }
+
+    #[test]
+    fn oscillation_never_converges() {
+        let inst = builders::two_link_oscillator(4.0);
+        let t_period = 0.25_f64;
+        let f1 = 1.0 / ((-t_period).exp() + 1.0);
+        let f0 = FlowVec::from_values(&inst, vec![f1, 1.0 - f1]).unwrap();
+        let config = SimulationConfig::new(t_period, 500);
+        let traj = run(&inst, &BestResponse::new(), &f0, &config);
+        // Max regret at phase starts stays bounded away from zero.
+        let last = traj.phases.last().unwrap();
+        assert!(last.max_regret_start > 0.1);
+        // No progress toward the equilibrium potential Φ* = 0: on the
+        // symmetric orbit the phase-start potential is invariant.
+        let first = &traj.phases[0];
+        assert!(first.potential_start > 0.0);
+        assert!((last.potential_start - first.potential_start).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_orbit_start_still_oscillates() {
+        // Starting away from the canonical orbit, best response still
+        // fails to converge: the potential increases in some phases.
+        let inst = builders::two_link_oscillator(4.0);
+        let f0 = FlowVec::from_values(&inst, vec![0.9, 0.1]).unwrap();
+        let config = SimulationConfig::new(0.25, 500);
+        let traj = run(&inst, &BestResponse::new(), &f0, &config);
+        assert!(traj.monotonicity_violations(1e-12) > 0);
+        assert!(traj.phases.last().unwrap().max_regret_start > 0.1);
+    }
+
+    #[test]
+    fn best_response_converges_with_fresh_information() {
+        // With T → 0 the dynamics converges; emulate near-fresh
+        // information with a very short period.
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.01, 2000);
+        let traj = run(&inst, &BestResponse::new(), &f0, &config);
+        assert!(traj.phases.last().unwrap().max_regret_start < 0.02);
+    }
+}

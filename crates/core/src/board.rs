@@ -1,0 +1,158 @@
+//! The bulletin board model of stale information (§2.3).
+//!
+//! All information relevant to rerouting is posted on a bulletin board
+//! at the beginning of every phase of fixed length `T` (Mitzenmacher's
+//! model). Agents base both their sampling and their migration decision
+//! on the *board*, i.e. on the flow `f(t̂)` at the phase start, not on
+//! the true current flow.
+
+use serde::{Deserialize, Serialize};
+use wardrop_net::flow::{path_latencies_from_edge, FlowVec};
+use wardrop_net::instance::Instance;
+
+/// A snapshot of all routing-relevant information at a phase start.
+///
+/// # Examples
+///
+/// ```
+/// use wardrop_net::{builders, flow::FlowVec};
+/// use wardrop_core::board::BulletinBoard;
+///
+/// let inst = builders::pigou();
+/// let f = FlowVec::uniform(&inst);
+/// let board = BulletinBoard::post(&inst, &f, 0.0);
+/// assert_eq!(board.path_latencies().len(), 2);
+/// assert!((board.path_latency(wardrop_net::PathId::from_index(1)) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BulletinBoard {
+    time: f64,
+    edge_flows: Vec<f64>,
+    edge_latencies: Vec<f64>,
+    path_latencies: Vec<f64>,
+    path_flows: Vec<f64>,
+}
+
+impl BulletinBoard {
+    /// Posts a new board from the true flow at time `time`.
+    pub fn post(instance: &Instance, flow: &FlowVec, time: f64) -> Self {
+        let edge_flows = flow.edge_flows(instance);
+        let edge_latencies: Vec<f64> = instance
+            .latencies()
+            .iter()
+            .zip(&edge_flows)
+            .map(|(l, x)| l.eval(*x))
+            .collect();
+        let path_latencies = path_latencies_from_edge(instance, &edge_latencies);
+        BulletinBoard {
+            time,
+            edge_flows,
+            edge_latencies,
+            path_latencies,
+            path_flows: flow.values().to_vec(),
+        }
+    }
+
+    /// The posting time `t̂` (phase start).
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Posted edge flows `f̂_e`.
+    #[inline]
+    pub fn edge_flows(&self) -> &[f64] {
+        &self.edge_flows
+    }
+
+    /// Posted edge latencies `ℓ_e(f̂_e)`.
+    #[inline]
+    pub fn edge_latencies(&self) -> &[f64] {
+        &self.edge_latencies
+    }
+
+    /// Posted path latencies `ℓ̂_P = ℓ_P(f̂)`.
+    #[inline]
+    pub fn path_latencies(&self) -> &[f64] {
+        &self.path_latencies
+    }
+
+    /// Posted path flows `f̂_P` (used by proportional sampling).
+    #[inline]
+    pub fn path_flows(&self) -> &[f64] {
+        &self.path_flows
+    }
+
+    /// Posted latency of a single path.
+    #[inline]
+    pub fn path_latency(&self, p: wardrop_net::PathId) -> f64 {
+        self.path_latencies[p.index()]
+    }
+
+    /// Index of a minimum-latency path of commodity `i` on the board
+    /// (the *best reply* β(f̂); first index on ties).
+    pub fn best_reply(&self, instance: &Instance, commodity: usize) -> usize {
+        let range = instance.commodity_paths(commodity);
+        let mut best = range.start;
+        for p in range {
+            if self.path_latencies[p] < self.path_latencies[best] {
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// Minimum posted latency of commodity `i`.
+    pub fn min_latency(&self, instance: &Instance, commodity: usize) -> f64 {
+        instance
+            .commodity_paths(commodity)
+            .map(|p| self.path_latencies[p])
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_net::builders;
+
+    #[test]
+    fn post_snapshot_matches_flow_quantities() {
+        let inst = builders::braess();
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 1.5);
+        assert_eq!(board.time(), 1.5);
+        assert_eq!(board.edge_flows(), f.edge_flows(&inst).as_slice());
+        assert_eq!(board.path_latencies(), f.path_latencies(&inst).as_slice());
+        assert_eq!(board.path_flows(), f.values());
+    }
+
+    #[test]
+    fn board_is_stale_after_flow_changes() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::from_values(&inst, vec![0.5, 0.5]).unwrap();
+        let board = BulletinBoard::post(&inst, &f0, 0.0);
+        // The flow moves on; the board doesn't.
+        let f1 = FlowVec::from_values(&inst, vec![0.9, 0.1]).unwrap();
+        assert_ne!(board.path_latencies(), f1.path_latencies(&inst).as_slice());
+        assert_eq!(board.path_latencies(), f0.path_latencies(&inst).as_slice());
+    }
+
+    #[test]
+    fn best_reply_picks_min_latency_path() {
+        let inst = builders::pigou();
+        // ℓ₁(0.2) = 0.2 < 1 = ℓ₂.
+        let f = FlowVec::from_values(&inst, vec![0.2, 0.8]).unwrap();
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        assert_eq!(board.best_reply(&inst, 0), 0);
+        assert!((board.min_latency(&inst, 0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_reply_ties_break_to_first() {
+        let inst = builders::two_link_oscillator(1.0);
+        let f = FlowVec::from_values(&inst, vec![0.5, 0.5]).unwrap();
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        assert_eq!(board.best_reply(&inst, 0), 0);
+    }
+}

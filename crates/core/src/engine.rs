@@ -1,0 +1,469 @@
+//! The phase-wise simulation engine for Eq. (3) — the fluid-limit
+//! dynamics in the bulletin board model.
+//!
+//! The engine alternates two steps, exactly as the model prescribes:
+//!
+//! 1. **Post**: at the phase start `t̂`, a [`BulletinBoard`] snapshot of
+//!    the current flow is published.
+//! 2. **Relax**: for `τ ∈ [0, T)` agents react to the *board* only.
+//!    For [smooth policies](crate::policy::ReroutingPolicy) the
+//!    within-phase dynamics is the linear ODE of
+//!    [`PhaseRates`](crate::policy::PhaseRates); for best response it
+//!    is the differential inclusion Eq. (4) with an exponential
+//!    closed-form solution (see [`crate::best_response`]).
+//!
+//! The engine records the per-phase quantities the paper's lemmas and
+//! theorems are stated in (potential, virtual gain, unsatisfied
+//! volumes) into a [`Trajectory`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wardrop_net::equilibrium::{unsatisfied_volume, weakly_unsatisfied_volume, max_regret};
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+use wardrop_net::potential::{potential, virtual_gain};
+
+use crate::board::BulletinBoard;
+use crate::integrator::Integrator;
+use crate::policy::ReroutingPolicy;
+use crate::trajectory::{PhaseRecord, Trajectory};
+
+/// A dynamics that can advance the population through one phase given a
+/// frozen bulletin board.
+///
+/// Implemented for every [`ReroutingPolicy`] (via its rate matrix and
+/// the configured integrator) and by
+/// [`BestResponse`](crate::best_response::BestResponse) (closed form).
+pub trait Dynamics: fmt::Debug {
+    /// Advances `flow` by `tau` time units against the frozen `board`.
+    fn advance_phase(
+        &self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        flow: &mut FlowVec,
+        tau: f64,
+        integrator: &Integrator,
+    );
+
+    /// Human-readable name for reports.
+    fn dynamics_name(&self) -> String;
+}
+
+impl<P: ReroutingPolicy + ?Sized> Dynamics for P {
+    fn advance_phase(
+        &self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        flow: &mut FlowVec,
+        tau: f64,
+        integrator: &Integrator,
+    ) {
+        let rates = self.phase_rates(instance, board);
+        integrator.advance(&rates, flow.values_mut(), tau);
+    }
+
+    fn dynamics_name(&self) -> String {
+        self.name()
+    }
+}
+
+/// How bulletin-board phase lengths are generated.
+///
+/// The paper's model refreshes the board at *regular* intervals of
+/// length `T`; real systems broadcast metrics with jitter. The
+/// Lemma 4 argument is per-phase — it only needs every individual
+/// phase to satisfy `τ ≤ T*` — so convergence survives jitter as long
+/// as the longest phase stays within the safe period (exercised by the
+/// integration tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PhaseSchedule {
+    /// Every phase has length exactly `update_period`.
+    Fixed,
+    /// Phase `i` has length `update_period · (1 + u_i · amplitude)`
+    /// with `u_i ∈ [−1, 1)` drawn from a deterministic per-run
+    /// generator (SplitMix64 on `seed`).
+    Jittered {
+        /// Relative jitter amplitude in `[0, 1)`.
+        amplitude: f64,
+        /// Seed of the deterministic jitter sequence.
+        seed: u64,
+    },
+}
+
+impl Default for PhaseSchedule {
+    fn default() -> Self {
+        PhaseSchedule::Fixed
+    }
+}
+
+impl PhaseSchedule {
+    /// Length of phase `index` for base period `t`.
+    pub fn phase_length(&self, t: f64, index: usize) -> f64 {
+        match *self {
+            PhaseSchedule::Fixed => t,
+            PhaseSchedule::Jittered { amplitude, seed } => {
+                let u = splitmix_unit(seed.wrapping_add(index as u64)) * 2.0 - 1.0;
+                t * (1.0 + amplitude * u)
+            }
+        }
+    }
+
+    /// The longest phase the schedule can produce for base period `t`
+    /// — the quantity that must stay below `T*` for the Corollary 5
+    /// guarantee.
+    pub fn max_phase_length(&self, t: f64) -> f64 {
+        match *self {
+            PhaseSchedule::Fixed => t,
+            PhaseSchedule::Jittered { amplitude, .. } => t * (1.0 + amplitude),
+        }
+    }
+}
+
+/// SplitMix64 mapped to `[0, 1)` — a tiny deterministic generator so
+/// the engine stays free of RNG dependencies.
+fn splitmix_unit(seed: u64) -> f64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Configuration of a phase-wise simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Bulletin-board update period `T > 0`.
+    pub update_period: f64,
+    /// Number of phases to simulate.
+    pub num_phases: usize,
+    /// Within-phase integrator (ignored by closed-form dynamics).
+    pub integrator: Integrator,
+    /// Record full phase-start flow vectors (memory: one `|P|` vector
+    /// per phase).
+    pub record_flows: bool,
+    /// `δ` thresholds for the per-phase unsatisfied-volume columns.
+    pub deltas: Vec<f64>,
+    /// Stop early once the phase-start max regret drops below this
+    /// value (`None`: always run `num_phases`).
+    pub stop_when_regret_below: Option<f64>,
+    /// Phase-length schedule (regular by default).
+    #[serde(default)]
+    pub schedule: PhaseSchedule,
+}
+
+impl SimulationConfig {
+    /// A reasonable default configuration: exact integration, no flow
+    /// recording, a single `δ = 0.05` column.
+    pub fn new(update_period: f64, num_phases: usize) -> Self {
+        SimulationConfig {
+            update_period,
+            num_phases,
+            integrator: Integrator::default(),
+            record_flows: false,
+            deltas: vec![0.05],
+            stop_when_regret_below: None,
+            schedule: PhaseSchedule::Fixed,
+        }
+    }
+
+    /// Sets a jittered phase schedule (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ amplitude < 1`.
+    pub fn with_jitter(mut self, amplitude: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "jitter amplitude must be in [0, 1)"
+        );
+        self.schedule = PhaseSchedule::Jittered { amplitude, seed };
+        self
+    }
+
+    /// Enables flow recording (builder style).
+    pub fn with_flows(mut self) -> Self {
+        self.record_flows = true;
+        self
+    }
+
+    /// Sets the `δ` thresholds (builder style).
+    pub fn with_deltas(mut self, deltas: Vec<f64>) -> Self {
+        self.deltas = deltas;
+        self
+    }
+
+    /// Sets the integrator (builder style).
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Sets the early-stop regret threshold (builder style).
+    pub fn with_stop_regret(mut self, regret: f64) -> Self {
+        self.stop_when_regret_below = Some(regret);
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.update_period.is_finite() && self.update_period > 0.0,
+            "update period must be positive"
+        );
+    }
+}
+
+/// Runs `dynamics` from `f0` under the bulletin board model.
+///
+/// Returns the per-phase [`Trajectory`]. The flow is renormalised after
+/// every phase so floating-point drift never violates feasibility.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (non-positive update period)
+/// or `f0` is infeasible for `instance`.
+pub fn run<D: Dynamics + ?Sized>(
+    instance: &Instance,
+    dynamics: &D,
+    f0: &FlowVec,
+    config: &SimulationConfig,
+) -> Trajectory {
+    config.validate();
+    assert!(
+        f0.is_feasible(instance, 1e-6),
+        "initial flow must be feasible"
+    );
+
+    let mut flow = f0.clone();
+    let mut phases = Vec::with_capacity(config.num_phases.min(1 << 20));
+    let mut flows = Vec::new();
+    let t_period = config.update_period;
+    let mut start_time = 0.0;
+
+    for index in 0..config.num_phases {
+        let tau = config.schedule.phase_length(t_period, index);
+        let board = BulletinBoard::post(instance, &flow, start_time);
+        let potential_start = potential(instance, &flow);
+        let avg_latency_start = flow.avg_latency(instance);
+        let max_regret_start = max_regret(instance, &flow, 1e-12);
+        let unsatisfied: Vec<f64> = config
+            .deltas
+            .iter()
+            .map(|d| unsatisfied_volume(instance, &flow, *d))
+            .collect();
+        let weakly_unsatisfied: Vec<f64> = config
+            .deltas
+            .iter()
+            .map(|d| weakly_unsatisfied_volume(instance, &flow, *d))
+            .collect();
+        if config.record_flows {
+            flows.push(flow.clone());
+        }
+        if let Some(threshold) = config.stop_when_regret_below {
+            if max_regret_start < threshold {
+                break;
+            }
+        }
+
+        let phase_start_flow = flow.clone();
+        dynamics.advance_phase(instance, &board, &mut flow, tau, &config.integrator);
+        flow.renormalise(instance);
+
+        let potential_end = potential(instance, &flow);
+        let vgain = virtual_gain(instance, &phase_start_flow, &flow);
+        phases.push(PhaseRecord {
+            index,
+            start_time,
+            potential_start,
+            potential_end,
+            virtual_gain: vgain,
+            avg_latency_start,
+            max_regret_start,
+            unsatisfied,
+            weakly_unsatisfied,
+        });
+        start_time += tau;
+    }
+
+    Trajectory {
+        update_period: t_period,
+        deltas: config.deltas.clone(),
+        phases,
+        flows,
+        final_flow: flow,
+        dynamics: dynamics.dynamics_name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{replicator, uniform_linear};
+    use wardrop_net::builders;
+    use wardrop_net::equilibrium::is_wardrop_equilibrium;
+
+    #[test]
+    fn pigou_converges_to_equilibrium_under_uniform_linear() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.25, 2000);
+        let traj = run(&inst, &policy, &f0, &config);
+        // Equilibrium: all flow on the x-link (both latencies 1).
+        let f = &traj.final_flow;
+        assert!(
+            is_wardrop_equilibrium(&inst, f, 1e-2),
+            "final flow {:?} not an equilibrium",
+            f.values()
+        );
+        assert!(f.get(wardrop_net::PathId::from_index(0)) > 0.95);
+    }
+
+    #[test]
+    fn potential_is_monotone_for_smooth_policy_within_safe_period(){
+        let inst = builders::braess();
+        let policy = uniform_linear(&inst);
+        let alpha = policy.smoothness().unwrap();
+        let t_star = crate::theory::safe_update_period(&inst, alpha);
+        let f0 = FlowVec::concentrated(&inst);
+        let config = SimulationConfig::new(t_star, 300);
+        let traj = run(&inst, &policy, &f0, &config);
+        assert_eq!(traj.monotonicity_violations(1e-10), 0);
+        assert_eq!(traj.lemma4_violations(1e-10), 0);
+    }
+
+    #[test]
+    fn replicator_converges_on_braess() {
+        let inst = builders::braess();
+        let policy = replicator(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.1, 4000);
+        let traj = run(&inst, &policy, &f0, &config);
+        // Braess equilibrium: everyone on the zig-zag path, latency 2.
+        let lat = traj.final_flow.path_latencies(&inst);
+        let regret = max_regret(&inst, &traj.final_flow, 1e-6);
+        assert!(regret < 0.05, "regret {regret}, latencies {lat:?}");
+    }
+
+    #[test]
+    fn early_stop_truncates_run() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.25, 5000).with_stop_regret(0.05);
+        let traj = run(&inst, &policy, &f0, &config);
+        assert!(traj.len() < 5000);
+        assert!(max_regret(&inst, &traj.final_flow, 1e-12) < 0.06);
+    }
+
+    #[test]
+    fn record_flows_stores_phase_starts() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.5, 10).with_flows();
+        let traj = run(&inst, &policy, &f0, &config);
+        assert_eq!(traj.flows.len(), 10);
+        assert_eq!(traj.flows[0], f0);
+    }
+
+    #[test]
+    fn unsatisfied_columns_match_deltas() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.5, 5).with_deltas(vec![0.01, 0.2]);
+        let traj = run(&inst, &policy, &f0, &config);
+        for p in &traj.phases {
+            assert_eq!(p.unsatisfied.len(), 2);
+            // Larger δ never increases unsatisfied volume.
+            assert!(p.unsatisfied[1] <= p.unsatisfied[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn virtual_gain_is_nonpositive_for_smooth_policies() {
+        let inst = builders::braess();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::concentrated(&inst);
+        let config = SimulationConfig::new(0.2, 100);
+        let traj = run(&inst, &policy, &f0, &config);
+        for p in &traj.phases {
+            assert!(p.virtual_gain <= 1e-10, "phase {} has V = {}", p.index, p.virtual_gain);
+        }
+    }
+
+    #[test]
+    fn jittered_schedule_lengths_are_deterministic_and_bounded() {
+        let s = PhaseSchedule::Jittered {
+            amplitude: 0.3,
+            seed: 42,
+        };
+        for i in 0..100 {
+            let a = s.phase_length(0.5, i);
+            let b = s.phase_length(0.5, i);
+            assert_eq!(a, b);
+            assert!(a >= 0.5 * 0.7 - 1e-12 && a < 0.5 * 1.3 + 1e-12);
+        }
+        assert!((s.max_phase_length(0.5) - 0.65).abs() < 1e-12);
+        assert_eq!(PhaseSchedule::Fixed.phase_length(0.5, 7), 0.5);
+        // Jitter actually varies across phases.
+        let l0 = s.phase_length(0.5, 0);
+        let distinct = (1..20).any(|i| (s.phase_length(0.5, i) - l0).abs() > 1e-6);
+        assert!(distinct);
+    }
+
+    #[test]
+    fn jittered_run_accumulates_start_times() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.5, 20).with_jitter(0.4, 9);
+        let traj = run(&inst, &policy, &f0, &config);
+        for w in traj.phases.windows(2) {
+            let tau = w[1].start_time - w[0].start_time;
+            assert!(tau >= 0.5 * 0.6 - 1e-12 && tau < 0.5 * 1.4 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn jitter_within_safe_period_keeps_monotonicity() {
+        // Base period chosen so even the longest jittered phase stays
+        // below T*: T(1 + amp) ≤ T*.
+        let inst = builders::braess();
+        let policy = uniform_linear(&inst);
+        let alpha = policy.smoothness().unwrap();
+        let t_star = crate::theory::safe_update_period(&inst, alpha);
+        let amp = 0.5;
+        let config =
+            SimulationConfig::new(t_star / (1.0 + amp), 400).with_jitter(amp, 3);
+        assert!(config.schedule.max_phase_length(config.update_period) <= t_star + 1e-12);
+        let traj = run(&inst, &policy, &FlowVec::concentrated(&inst), &config);
+        assert_eq!(traj.monotonicity_violations(1e-10), 0);
+        assert_eq!(traj.lemma4_violations(1e-10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn jitter_amplitude_validated() {
+        let _ = SimulationConfig::new(0.5, 10).with_jitter(1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "update period")]
+    fn zero_period_rejected() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        run(&inst, &policy, &f0, &SimulationConfig::new(0.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "feasible")]
+    fn infeasible_initial_flow_rejected() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::from_values_unchecked(vec![0.0, 0.0]);
+        run(&inst, &policy, &f0, &SimulationConfig::new(1.0, 1));
+    }
+}

@@ -1,0 +1,313 @@
+//! Integrators for the within-phase linear ODE `ḟ = A f`.
+//!
+//! Within one bulletin-board phase the migration rates are frozen, so
+//! the fluid-limit dynamics (paper Eq. (3)) is a *linear* ODE whose
+//! matrix is a CTMC generator (block-diagonal per commodity, exit rates
+//! ≤ 1). Three integrators are provided:
+//!
+//! * [`Integrator::Euler`] — explicit Euler, the textbook baseline;
+//! * [`Integrator::Rk4`] — classical 4th-order Runge–Kutta;
+//! * [`Integrator::Uniformization`] — *exact* evaluation of
+//!   `exp(τA) f` via the uniformization series
+//!   `e^{−Λτ} Σ_k (Λτ)^k / k! · M^k f` with `M = I + A/Λ`. Because exit
+//!   rates never exceed 1, `Λ = max_P Σ_Q c_PQ ≤ 1` makes `M`
+//!   (sub)stochastic, so the series is numerically stable and the
+//!   truncation error is bounded by the Poisson tail. This gives
+//!   machine-precision phase transitions at modest cost and is the
+//!   default for experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::PhaseRates;
+
+/// Integration scheme for one phase of length `τ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Integrator {
+    /// Explicit Euler with fixed step `dt` (the last step is shortened
+    /// to land exactly on the phase end).
+    Euler {
+        /// Step size; must be positive.
+        dt: f64,
+    },
+    /// Classical RK4 with fixed step `dt`.
+    Rk4 {
+        /// Step size; must be positive.
+        dt: f64,
+    },
+    /// Exact `exp(τA) f` via uniformization, truncated when the Poisson
+    /// tail mass drops below `tol`.
+    Uniformization {
+        /// Series truncation tolerance (e.g. `1e-12`).
+        tol: f64,
+    },
+}
+
+impl Default for Integrator {
+    fn default() -> Self {
+        Integrator::Uniformization { tol: 1e-12 }
+    }
+}
+
+impl Integrator {
+    /// Advances `f` by `tau` time units under the frozen rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is negative/non-finite or the scheme parameters
+    /// are invalid (`dt ≤ 0`, `tol ≤ 0`).
+    pub fn advance(&self, rates: &PhaseRates, f: &mut [f64], tau: f64) {
+        assert!(tau.is_finite() && tau >= 0.0, "phase length must be ≥ 0");
+        if tau == 0.0 {
+            return;
+        }
+        match *self {
+            Integrator::Euler { dt } => {
+                assert!(dt > 0.0, "Euler step must be positive");
+                euler(rates, f, tau, dt);
+            }
+            Integrator::Rk4 { dt } => {
+                assert!(dt > 0.0, "RK4 step must be positive");
+                rk4(rates, f, tau, dt);
+            }
+            Integrator::Uniformization { tol } => {
+                assert!(tol > 0.0, "uniformization tolerance must be positive");
+                uniformization(rates, f, tau, tol);
+            }
+        }
+    }
+
+    /// A short identifier for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Integrator::Euler { dt } => format!("euler(dt={dt})"),
+            Integrator::Rk4 { dt } => format!("rk4(dt={dt})"),
+            Integrator::Uniformization { tol } => format!("uniformization(tol={tol})"),
+        }
+    }
+}
+
+fn euler(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64) {
+    let n = f.len();
+    let mut deriv = vec![0.0; n];
+    let mut remaining = tau;
+    while remaining > 1e-15 {
+        let h = dt.min(remaining);
+        rates.apply(f, &mut deriv);
+        for i in 0..n {
+            f[i] += h * deriv[i];
+        }
+        remaining -= h;
+    }
+}
+
+fn rk4(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64) {
+    let n = f.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    let mut remaining = tau;
+    while remaining > 1e-15 {
+        let h = dt.min(remaining);
+        rates.apply(f, &mut k1);
+        for i in 0..n {
+            tmp[i] = f[i] + 0.5 * h * k1[i];
+        }
+        rates.apply(&tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = f[i] + 0.5 * h * k2[i];
+        }
+        rates.apply(&tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = f[i] + h * k3[i];
+        }
+        rates.apply(&tmp, &mut k4);
+        for i in 0..n {
+            f[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        remaining -= h;
+    }
+}
+
+/// Exact `exp(τA) f` by uniformization.
+///
+/// With Λ bounding every exit rate, `M = I + A/Λ` has non-negative
+/// entries and row sums ≤ 1 interpreted as a DTMC on paths, and
+/// `exp(τA) = Σ_k Poisson_{Λτ}(k) M^k`. The iteration keeps a running
+/// Poisson weight in log-safe form to avoid overflow for large `Λτ`.
+fn uniformization(rates: &PhaseRates, f: &mut [f64], tau: f64, tol: f64) {
+    let lambda = rates.max_exit_rate();
+    if lambda <= 0.0 {
+        return; // A = 0: nothing moves.
+    }
+    let n = f.len();
+    let lt = lambda * tau;
+    // v_k = M^k f, accumulated with Poisson(Λτ) weights.
+    let mut v = f.to_vec();
+    let mut av = vec![0.0; n];
+    let mut out = vec![0.0; n];
+    let mut weight = (-lt).exp(); // Poisson pmf at k = 0
+    let mut cumulative = weight;
+    for (o, vi) in out.iter_mut().zip(&v) {
+        *o = weight * vi;
+    }
+    // Cap iterations defensively: mean Λτ, tail needs ~Λτ + 40√Λτ terms.
+    let max_k = (lt + 40.0 * lt.sqrt() + 64.0).ceil() as usize;
+    for k in 1..=max_k {
+        // v ← M v = v + (A v)/Λ.
+        rates.apply(&v, &mut av);
+        for (vi, a) in v.iter_mut().zip(&av) {
+            *vi += a / lambda;
+        }
+        weight *= lt / k as f64;
+        for (o, vi) in out.iter_mut().zip(&v) {
+            *o += weight * vi;
+        }
+        cumulative += weight;
+        if 1.0 - cumulative < tol && k as f64 > lt {
+            break;
+        }
+    }
+    f.copy_from_slice(&out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::BulletinBoard;
+    use crate::policy::{uniform_linear, ReroutingPolicy};
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+
+    /// Two-path rates with a single transition 1 → 0 at rate `r` admit
+    /// the closed form f₁(τ) = f₁(0) e^{−rτ}.
+    fn single_rate_setup(r_expected: f64) -> (wardrop_net::Instance, PhaseRates, Vec<f64>) {
+        let inst = builders::pigou();
+        let f = FlowVec::from_values(&inst, vec![0.2, 0.8]).unwrap();
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        assert!((rates.blocks()[0].rate(1, 0) - r_expected).abs() < 1e-12);
+        (inst, rates, f.values().to_vec())
+    }
+
+    #[test]
+    fn uniformization_matches_closed_form() {
+        let (_inst, rates, f0) = single_rate_setup(0.4);
+        let tau = 2.0_f64;
+        let mut f = f0.clone();
+        Integrator::Uniformization { tol: 1e-14 }.advance(&rates, &mut f, tau);
+        let expected1 = 0.8 * (-0.4 * tau).exp();
+        assert!((f[1] - expected1).abs() < 1e-12, "got {}, want {expected1}", f[1]);
+        assert!((f[0] + f[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rk4_matches_closed_form() {
+        let (_inst, rates, f0) = single_rate_setup(0.4);
+        let tau = 2.0_f64;
+        let mut f = f0.clone();
+        Integrator::Rk4 { dt: 0.01 }.advance(&rates, &mut f, tau);
+        let expected1 = 0.8 * (-0.4 * tau).exp();
+        assert!((f[1] - expected1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn euler_converges_with_step() {
+        let (_inst, rates, f0) = single_rate_setup(0.4);
+        let tau = 2.0_f64;
+        let expected1 = 0.8 * (-0.4 * tau).exp();
+        let mut coarse = f0.clone();
+        Integrator::Euler { dt: 0.1 }.advance(&rates, &mut coarse, tau);
+        let mut fine = f0.clone();
+        Integrator::Euler { dt: 0.001 }.advance(&rates, &mut fine, tau);
+        assert!((fine[1] - expected1).abs() < (coarse[1] - expected1).abs());
+        assert!((fine[1] - expected1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn integrators_agree_on_braess() {
+        let inst = builders::braess();
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        let tau = 1.0;
+
+        let mut a = f.values().to_vec();
+        Integrator::Uniformization { tol: 1e-14 }.advance(&rates, &mut a, tau);
+        let mut b = f.values().to_vec();
+        Integrator::Rk4 { dt: 0.005 }.advance(&rates, &mut b, tau);
+        let mut c = f.values().to_vec();
+        Integrator::Euler { dt: 0.0005 }.advance(&rates, &mut c, tau);
+
+        for i in 0..a.len() {
+            assert!((a[i] - b[i]).abs() < 1e-8, "rk4 vs unif at {i}");
+            assert!((a[i] - c[i]).abs() < 1e-3, "euler vs unif at {i}");
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved_by_all_schemes() {
+        let inst = builders::braess();
+        let f = FlowVec::concentrated(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        for integ in [
+            Integrator::Euler { dt: 0.05 },
+            Integrator::Rk4 { dt: 0.05 },
+            Integrator::Uniformization { tol: 1e-13 },
+        ] {
+            let mut g = f.values().to_vec();
+            integ.advance(&rates, &mut g, 3.0);
+            let total: f64 = g.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", integ.name());
+            assert!(g.iter().all(|x| *x >= -1e-9), "{}", integ.name());
+        }
+    }
+
+    #[test]
+    fn zero_phase_is_identity() {
+        let (_inst, rates, f0) = single_rate_setup(0.4);
+        let mut f = f0.clone();
+        Integrator::default().advance(&rates, &mut f, 0.0);
+        assert_eq!(f, f0);
+    }
+
+    #[test]
+    fn zero_rates_are_identity() {
+        let inst = builders::pigou();
+        // At equilibrium the board shows equal latencies: no movement.
+        let f = FlowVec::from_values(&inst, vec![1.0, 0.0]).unwrap();
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        let mut g = f.values().to_vec();
+        Integrator::default().advance(&rates, &mut g, 10.0);
+        assert_eq!(g, f.values());
+    }
+
+    #[test]
+    fn long_phase_reaches_absorbing_state() {
+        // With only 1 → 0 transitions, τ → ∞ sends all mass to path 0.
+        let (_inst, rates, f0) = single_rate_setup(0.4);
+        let mut f = f0;
+        Integrator::Uniformization { tol: 1e-14 }.advance(&rates, &mut f, 200.0);
+        assert!(f[1] < 1e-9);
+        assert!((f[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn euler_rejects_zero_step() {
+        let (_inst, rates, f0) = single_rate_setup(0.4);
+        let mut f = f0;
+        Integrator::Euler { dt: 0.0 }.advance(&rates, &mut f, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase length")]
+    fn negative_tau_rejected() {
+        let (_inst, rates, f0) = single_rate_setup(0.4);
+        let mut f = f0;
+        Integrator::default().advance(&rates, &mut f, -1.0);
+    }
+}

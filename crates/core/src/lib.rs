@@ -1,0 +1,67 @@
+//! # wardrop-core
+//!
+//! The primary contribution of *Adaptive routing with stale
+//! information* (Fischer & Vöcking, PODC 2005 / TCS 2009): a class of
+//! **α-smooth adaptive rerouting policies** that provably converge to
+//! Wardrop equilibria even when all routing information comes from a
+//! periodically-updated bulletin board.
+//!
+//! The crate provides:
+//!
+//! * the [bulletin board](board) model of stale information (§2.3);
+//! * [sampling rules](sampling) (uniform, proportional, logit) and
+//!   [migration rules](migration) (better response, linear, α-scaled)
+//!   with α-smoothness analysis (Definition 2);
+//! * composed [rerouting policies](policy) exposing the per-phase
+//!   migration-rate generator;
+//! * a phase-wise [simulation engine](engine) for the fluid-limit ODE
+//!   (Eq. (3)) with Euler, RK4 and exact
+//!   [uniformization](integrator::Integrator::Uniformization)
+//!   integrators;
+//! * the [best-response dynamics](best_response) (Eq. (4)) with its
+//!   closed-form phase solution;
+//! * per-phase [trajectories](trajectory) recording the quantities the
+//!   convergence analysis bounds;
+//! * the paper's [closed forms and bounds](theory): the safe update
+//!   period `T* = 1/(4DαΒ)`, the §3.2 oscillation construction, and
+//!   the Theorem 6/7 convergence-time shapes.
+//!
+//! # Examples
+//!
+//! Replicator dynamics (proportional sampling + linear migration) on
+//! the Braess network under a stale bulletin board:
+//!
+//! ```
+//! use wardrop_net::{builders, flow::FlowVec};
+//! use wardrop_core::{engine, policy, theory};
+//!
+//! let inst = builders::braess();
+//! let policy = policy::replicator(&inst);
+//! let t_safe = theory::safe_update_period(&inst, 0.5); // α = 1/ℓmax = ½
+//! let config = engine::SimulationConfig::new(t_safe, 200);
+//! let traj = engine::run(&inst, &policy, &FlowVec::uniform(&inst), &config);
+//! // Smooth + within the safe period ⇒ the potential never increases.
+//! assert_eq!(traj.monotonicity_violations(1e-10), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod best_response;
+pub mod board;
+pub mod engine;
+pub mod integrator;
+pub mod migration;
+pub mod policy;
+pub mod sampling;
+pub mod theory;
+pub mod trajectory;
+
+pub use best_response::BestResponse;
+pub use board::BulletinBoard;
+pub use engine::{run, Dynamics, SimulationConfig};
+pub use integrator::Integrator;
+pub use migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};
+pub use policy::{ReroutingPolicy, SmoothPolicy};
+pub use sampling::{Logit, Proportional, SamplingRule, Uniform};
+pub use trajectory::{PhaseRecord, Trajectory};

@@ -1,0 +1,299 @@
+//! Migration rules `µ(ℓ_P, ℓ_Q)` (§2.2, step 2) and α-smoothness
+//! (Definition 2).
+//!
+//! After sampling path `Q`, the agent migrates from `P` to `Q` with
+//! probability `µ(ℓ̂_P, ℓ̂_Q)` computed from the *board* latencies. A
+//! rule is **α-smooth** if `µ(ℓ_P, ℓ_Q) ≤ α (ℓ_P − ℓ_Q)` for
+//! `ℓ_P ≥ ℓ_Q`; this Lipschitz-like condition at 0 is what tames
+//! staleness (Lemma 4). The rules provided:
+//!
+//! * [`BetterResponse`] — migrate whenever the sampled path is strictly
+//!   better. **Not** α-smooth for any α; oscillates under staleness.
+//! * [`Linear`] — `µ = (ℓ_P − ℓ_Q)/ℓmax`, the paper's *linear migration
+//!   policy*; `(1/ℓmax)`-smooth.
+//! * [`ScaledLinear`] — `µ = min{1, α (ℓ_P − ℓ_Q)}` for a chosen α,
+//!   letting experiments sweep the smoothness parameter directly.
+
+use std::fmt;
+
+/// A migration rule `µ : R≥0 × R≥0 → [0, 1]`.
+///
+/// Conventions from the paper: `µ(ℓ_P, ℓ_Q) = 0` whenever
+/// `ℓ_Q ≥ ℓ_P` (agents only make selfish moves), and `µ` is
+/// non-decreasing in the latency difference.
+pub trait MigrationRule: fmt::Debug {
+    /// Probability of migrating from a path with board latency `l_from`
+    /// to one with board latency `l_to`.
+    fn probability(&self, l_from: f64, l_to: f64) -> f64;
+
+    /// The smallest `α` for which this rule is α-smooth, or `None` if
+    /// the rule is not α-smooth for any α (e.g. better response).
+    fn smoothness(&self) -> Option<f64>;
+
+    /// Human-readable rule name for reports.
+    fn name(&self) -> String;
+}
+
+/// The better-response rule: migrate iff the sampled path is strictly
+/// better. Not smooth; the canonical oscillator under staleness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BetterResponse;
+
+impl MigrationRule for BetterResponse {
+    fn probability(&self, l_from: f64, l_to: f64) -> f64 {
+        if l_from > l_to {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn smoothness(&self) -> Option<f64> {
+        None
+    }
+
+    fn name(&self) -> String {
+        "better-response".to_string()
+    }
+}
+
+/// The linear migration policy `µ = max{0, (ℓ_P − ℓ_Q)}/ℓmax` (§2.2).
+///
+/// `(1/ℓmax)`-smooth. `ℓmax` must upper-bound every path latency so
+/// that `µ ≤ 1`; use `wardrop_net::Instance::latency_upper_bound`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Linear {
+    /// Upper bound `ℓmax` on any path latency.
+    pub lmax: f64,
+}
+
+impl Linear {
+    /// Creates the linear migration policy for latency bound `lmax`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lmax` is not positive and finite.
+    pub fn new(lmax: f64) -> Self {
+        assert!(
+            lmax.is_finite() && lmax > 0.0,
+            "ℓmax must be positive and finite"
+        );
+        Linear { lmax }
+    }
+}
+
+impl MigrationRule for Linear {
+    fn probability(&self, l_from: f64, l_to: f64) -> f64 {
+        ((l_from - l_to) / self.lmax).clamp(0.0, 1.0)
+    }
+
+    fn smoothness(&self) -> Option<f64> {
+        Some(1.0 / self.lmax)
+    }
+
+    fn name(&self) -> String {
+        format!("linear(ℓmax={:.3})", self.lmax)
+    }
+}
+
+/// α-scaled linear migration `µ = min{1, α (ℓ_P − ℓ_Q)}` for `ℓ_P > ℓ_Q`.
+///
+/// α-smooth by construction. Sweeping `α` against the safe threshold
+/// `1/(4 D β T)` reproduces the convergence boundary of Corollary 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledLinear {
+    /// Smoothness parameter `α > 0`.
+    pub alpha: f64,
+}
+
+impl ScaledLinear {
+    /// Creates an α-scaled linear migration rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "α must be positive and finite"
+        );
+        ScaledLinear { alpha }
+    }
+}
+
+impl MigrationRule for ScaledLinear {
+    fn probability(&self, l_from: f64, l_to: f64) -> f64 {
+        (self.alpha * (l_from - l_to)).clamp(0.0, 1.0)
+    }
+
+    fn smoothness(&self) -> Option<f64> {
+        Some(self.alpha)
+    }
+
+    fn name(&self) -> String {
+        format!("scaled-linear(α={})", self.alpha)
+    }
+}
+
+/// Relative-slack migration `µ = (ℓ_P − ℓ_Q)/ℓ_P` for `ℓ_P > ℓ_Q`.
+///
+/// The migration rule behind the *fast* convergence result of the
+/// follow-up paper (Fischer, Räcke, Vöcking, STOC 2006 — reference
+/// \[10\]): its behaviour scales with the *relative* latency gain, so the
+/// right update period depends on the latency functions' **elasticity**
+/// rather than their slope. It is **not** α-smooth for any α — the
+/// ratio `µ/(ℓ_P − ℓ_Q) = 1/ℓ_P` blows up as `ℓ_P → 0` — so the
+/// paper's Lemma 4 does not cover it; on instances whose latencies
+/// vanish (the §3.2 oscillator) it degenerates into better response
+/// and oscillates. See experiment E8 (`exp_beyond_smoothness`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelativeSlack;
+
+impl MigrationRule for RelativeSlack {
+    fn probability(&self, l_from: f64, l_to: f64) -> f64 {
+        if l_from > l_to && l_from > 0.0 {
+            (l_from - l_to) / l_from
+        } else {
+            0.0
+        }
+    }
+
+    fn smoothness(&self) -> Option<f64> {
+        None
+    }
+
+    fn name(&self) -> String {
+        "relative-slack".to_string()
+    }
+}
+
+/// Numerically verifies α-smoothness of a rule on a latency grid.
+///
+/// Returns the maximum observed ratio `µ(ℓ_P, ℓ_Q)/(ℓ_P − ℓ_Q)` over
+/// `0 ≤ ℓ_Q < ℓ_P ≤ lmax`, i.e. an empirical lower bound on the true
+/// smoothness constant. Used by tests and by the E3 experiment to
+/// cross-check [`MigrationRule::smoothness`].
+pub fn empirical_smoothness<M: MigrationRule + ?Sized>(rule: &M, lmax: f64, grid: usize) -> f64 {
+    let mut worst: f64 = 0.0;
+    for i in 0..=grid {
+        for j in 0..i {
+            let lp = lmax * i as f64 / grid as f64;
+            let lq = lmax * j as f64 / grid as f64;
+            let gap = lp - lq;
+            if gap > 1e-12 {
+                worst = worst.max(rule.probability(lp, lq) / gap);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn better_response_is_all_or_nothing() {
+        let r = BetterResponse;
+        assert_eq!(r.probability(1.0, 0.5), 1.0);
+        assert_eq!(r.probability(0.5, 1.0), 0.0);
+        assert_eq!(r.probability(1.0, 1.0), 0.0);
+        assert_eq!(r.smoothness(), None);
+    }
+
+    #[test]
+    fn linear_matches_paper_formula() {
+        let r = Linear::new(2.0);
+        assert!((r.probability(1.5, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(r.probability(0.5, 1.5), 0.0);
+        assert_eq!(r.smoothness(), Some(0.5));
+    }
+
+    #[test]
+    fn linear_never_exceeds_one() {
+        let r = Linear::new(1.0);
+        // Gap larger than ℓmax (can't happen for true path latencies,
+        // but the rule must still be a probability).
+        assert_eq!(r.probability(5.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn scaled_linear_clamps_and_reports_alpha() {
+        let r = ScaledLinear::new(10.0);
+        assert_eq!(r.probability(1.0, 0.0), 1.0);
+        assert!((r.probability(0.01, 0.0) - 0.1).abs() < 1e-12);
+        assert_eq!(r.smoothness(), Some(10.0));
+    }
+
+    #[test]
+    fn zero_gap_never_migrates() {
+        let rules: Vec<Box<dyn MigrationRule>> = vec![
+            Box::new(BetterResponse),
+            Box::new(Linear::new(1.0)),
+            Box::new(ScaledLinear::new(3.0)),
+        ];
+        for r in &rules {
+            assert_eq!(r.probability(0.7, 0.7), 0.0, "{}", r.name());
+        }
+    }
+
+    #[test]
+    fn empirical_smoothness_matches_declared() {
+        let lin = Linear::new(4.0);
+        let emp = empirical_smoothness(&lin, 4.0, 64);
+        assert!((emp - 0.25).abs() < 1e-9);
+
+        let sl = ScaledLinear::new(0.5);
+        let emp = empirical_smoothness(&sl, 1.0, 64);
+        assert!((emp - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_smoothness_diverges_for_better_response() {
+        // µ jumps to 1 for arbitrarily small gaps: the observed ratio
+        // grows with the grid resolution — no finite α.
+        let coarse = empirical_smoothness(&BetterResponse, 1.0, 16);
+        let fine = empirical_smoothness(&BetterResponse, 1.0, 256);
+        assert!(fine > coarse * 4.0);
+    }
+
+    #[test]
+    fn relative_slack_is_scale_invariant() {
+        let r = RelativeSlack;
+        // µ depends only on the ratio ℓ_Q/ℓ_P.
+        assert!((r.probability(2.0, 1.0) - r.probability(20.0, 10.0)).abs() < 1e-12);
+        assert!((r.probability(2.0, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(r.probability(1.0, 2.0), 0.0);
+        assert_eq!(r.probability(0.0, 0.0), 0.0);
+        assert_eq!(r.smoothness(), None);
+    }
+
+    #[test]
+    fn relative_slack_is_not_alpha_smooth() {
+        // µ/(ℓP − ℓQ) = 1/ℓP grows without bound near ℓP = 0.
+        let coarse = empirical_smoothness(&RelativeSlack, 1.0, 16);
+        let fine = empirical_smoothness(&RelativeSlack, 1.0, 256);
+        assert!(fine > coarse * 4.0);
+    }
+
+    #[test]
+    fn relative_slack_bounded_by_one() {
+        let r = RelativeSlack;
+        for (lp, lq) in [(1.0, 0.0), (5.0, 0.1), (0.2, 0.15)] {
+            let p = r.probability(lp, lq);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn linear_rejects_zero_lmax() {
+        let _ = Linear::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_linear_rejects_negative_alpha() {
+        let _ = ScaledLinear::new(-0.1);
+    }
+}

@@ -1,0 +1,383 @@
+//! Rerouting policies and their per-phase migration-rate matrices.
+//!
+//! A (smooth) rerouting policy combines a [sampling
+//! rule](crate::sampling) with a [migration rule](crate::migration).
+//! Because both steps read only the bulletin board, the per-unit-flow
+//! migration rate from path `P` to path `Q`,
+//!
+//! ```text
+//! c_PQ = σ_PQ(f̂) · µ(ℓ̂_P, ℓ̂_Q),
+//! ```
+//!
+//! is *constant within a phase*. The fluid-limit ODE (paper Eq. (3))
+//! restricted to one phase is therefore the linear system `ḟ = A f`
+//! with `A_QP = c_PQ` off-diagonal — the generator of a continuous-time
+//! Markov chain on paths, block-diagonal per commodity. [`PhaseRates`]
+//! materialises this generator; the integrators in
+//! [`crate::integrator`] exploit its structure.
+
+use crate::board::BulletinBoard;
+use crate::migration::MigrationRule;
+use crate::sampling::SamplingRule;
+use wardrop_net::instance::Instance;
+
+/// Per-commodity dense migration-rate matrix for one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommodityRates {
+    /// Global path index of the commodity's first path.
+    start: usize,
+    /// Number of paths in the commodity.
+    n: usize,
+    /// Row-major `n × n` rates: `c[p * n + q]` is the rate from local
+    /// path `p` to local path `q`. Diagonal entries are zero.
+    c: Vec<f64>,
+    /// Row sums: total exit rate per local path.
+    exit: Vec<f64>,
+}
+
+impl CommodityRates {
+    /// Rate from local path `p` to local path `q`.
+    #[inline]
+    pub fn rate(&self, p: usize, q: usize) -> f64 {
+        self.c[p * self.n + q]
+    }
+
+    /// Total exit rate of local path `p` (`Σ_q c_pq`).
+    #[inline]
+    pub fn exit_rate(&self, p: usize) -> f64 {
+        self.exit[p]
+    }
+
+    /// Number of paths in this commodity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true if the commodity has no paths (cannot occur for
+    /// validated instances).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Global path index of local path 0.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+}
+
+/// The full per-phase rate structure: one block per commodity.
+///
+/// Mass is conserved per commodity (columns of the generator sum to
+/// zero), and exit rates never exceed 1 because `Σ_Q σ_PQ = 1` and
+/// `µ ≤ 1` — the property that lets uniformization use `Λ = 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRates {
+    blocks: Vec<CommodityRates>,
+    num_paths: usize,
+}
+
+impl PhaseRates {
+    /// Applies the generator: `out = A f`, i.e.
+    /// `out_P = Σ_Q (f_Q c_QP − f_P c_PQ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the instance's path count.
+    pub fn apply(&self, f: &[f64], out: &mut [f64]) {
+        assert_eq!(f.len(), self.num_paths);
+        assert_eq!(out.len(), self.num_paths);
+        for b in &self.blocks {
+            let fs = &f[b.start..b.start + b.n];
+            let os = &mut out[b.start..b.start + b.n];
+            for q in 0..b.n {
+                // Inflow to q.
+                let mut acc = 0.0;
+                for p in 0..b.n {
+                    acc += fs[p] * b.c[p * b.n + q];
+                }
+                os[q] = acc - fs[q] * b.exit[q];
+            }
+        }
+    }
+
+    /// Maximum exit rate over all paths (the uniformization constant Λ).
+    pub fn max_exit_rate(&self) -> f64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.exit.iter().copied())
+            .fold(0.0, f64::max)
+    }
+
+    /// The commodity blocks.
+    pub fn blocks(&self) -> &[CommodityRates] {
+        &self.blocks
+    }
+
+    /// Total number of paths across blocks.
+    pub fn num_paths(&self) -> usize {
+        self.num_paths
+    }
+}
+
+/// A rerouting policy: produces the per-phase rate structure from the
+/// bulletin board.
+///
+/// The provided implementation is [`SmoothPolicy`]; best response does
+/// not fit this trait (its "rates" are unbounded) and lives in
+/// [`crate::best_response`].
+pub trait ReroutingPolicy: std::fmt::Debug {
+    /// Computes `c_PQ = σ_PQ(f̂) µ(ℓ̂_P, ℓ̂_Q)` for all path pairs.
+    fn phase_rates(&self, instance: &Instance, board: &BulletinBoard) -> PhaseRates;
+
+    /// The α-smoothness constant of the migration rule, if smooth.
+    fn smoothness(&self) -> Option<f64>;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+}
+
+/// A two-step policy: sample with `S`, migrate with `M` (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothPolicy<S, M> {
+    sampling: S,
+    migration: M,
+}
+
+impl<S: SamplingRule, M: MigrationRule> SmoothPolicy<S, M> {
+    /// Combines a sampling and a migration rule.
+    pub fn new(sampling: S, migration: M) -> Self {
+        SmoothPolicy {
+            sampling,
+            migration,
+        }
+    }
+
+    /// The sampling rule.
+    pub fn sampling(&self) -> &S {
+        &self.sampling
+    }
+
+    /// The migration rule.
+    pub fn migration(&self) -> &M {
+        &self.migration
+    }
+}
+
+impl<S: SamplingRule, M: MigrationRule> ReroutingPolicy for SmoothPolicy<S, M> {
+    fn phase_rates(&self, instance: &Instance, board: &BulletinBoard) -> PhaseRates {
+        let lat = board.path_latencies();
+        let mut blocks = Vec::with_capacity(instance.num_commodities());
+        let mut weights = Vec::new();
+        for i in 0..instance.num_commodities() {
+            let range = instance.commodity_paths(i);
+            let start = range.start;
+            let n = range.len();
+            weights.resize(n, 0.0);
+            self.sampling
+                .fill_weights(instance, board, i, &mut weights);
+            let mut c = vec![0.0; n * n];
+            let mut exit = vec![0.0; n];
+            for p in 0..n {
+                let lp = lat[start + p];
+                let mut row_sum = 0.0;
+                for q in 0..n {
+                    if p == q {
+                        continue;
+                    }
+                    let rate = weights[q] * self.migration.probability(lp, lat[start + q]);
+                    c[p * n + q] = rate;
+                    row_sum += rate;
+                }
+                exit[p] = row_sum;
+            }
+            blocks.push(CommodityRates { start, n, c, exit });
+        }
+        PhaseRates {
+            blocks,
+            num_paths: instance.num_paths(),
+        }
+    }
+
+    fn smoothness(&self) -> Option<f64> {
+        self.migration.smoothness()
+    }
+
+    fn name(&self) -> String {
+        format!("{}+{}", self.sampling.name(), self.migration.name())
+    }
+}
+
+/// The replicator dynamics slowed down for staleness: proportional
+/// sampling + linear migration (§2.2; Theorem 7).
+pub fn replicator(
+    instance: &Instance,
+) -> SmoothPolicy<crate::sampling::Proportional, crate::migration::Linear> {
+    SmoothPolicy::new(
+        crate::sampling::Proportional,
+        crate::migration::Linear::new(instance.latency_upper_bound().max(f64::MIN_POSITIVE)),
+    )
+}
+
+/// Uniform sampling + linear migration (Theorem 6).
+pub fn uniform_linear(
+    instance: &Instance,
+) -> SmoothPolicy<crate::sampling::Uniform, crate::migration::Linear> {
+    SmoothPolicy::new(
+        crate::sampling::Uniform,
+        crate::migration::Linear::new(instance.latency_upper_bound().max(f64::MIN_POSITIVE)),
+    )
+}
+
+/// The fast elasticity-based dynamics of the follow-up work \[10\]:
+/// proportional sampling + relative-slack migration.
+///
+/// **Not** α-smooth — outside the paper's convergence guarantee. On
+/// instances with positive latencies it converges much faster than the
+/// slowed-down replicator (its speed depends on elasticity, not
+/// slope); on instances with vanishing latencies it degenerates into
+/// better response. Exercised by experiment E8.
+pub fn fast_relative_slack(
+) -> SmoothPolicy<crate::sampling::Proportional, crate::migration::RelativeSlack> {
+    SmoothPolicy::new(
+        crate::sampling::Proportional,
+        crate::migration::RelativeSlack,
+    )
+}
+
+/// Smoothed best response: logit sampling + linear migration (§2.2).
+pub fn smoothed_best_response(
+    instance: &Instance,
+    c: f64,
+) -> SmoothPolicy<crate::sampling::Logit, crate::migration::Linear> {
+    SmoothPolicy::new(
+        crate::sampling::Logit::new(c),
+        crate::migration::Linear::new(instance.latency_upper_bound().max(f64::MIN_POSITIVE)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::migration::{BetterResponse, Linear, ScaledLinear};
+    use crate::sampling::{Proportional, Uniform};
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+
+    fn pigou_board(values: Vec<f64>) -> (wardrop_net::Instance, BulletinBoard) {
+        let inst = builders::pigou();
+        let f = FlowVec::from_values(&inst, values).unwrap();
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        (inst, board)
+    }
+
+    #[test]
+    fn rates_are_selfish_only() {
+        // ℓ₁ = 0.2 < ℓ₂ = 1: flow may only move 2 → 1.
+        let (inst, board) = pigou_board(vec![0.2, 0.8]);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        let b = &rates.blocks()[0];
+        assert_eq!(b.rate(0, 1), 0.0);
+        assert!(b.rate(1, 0) > 0.0);
+    }
+
+    #[test]
+    fn rate_value_matches_hand_computation() {
+        // Uniform sampling: σ = ½ each; linear migration with
+        // ℓmax = 1: µ(1, 0.2) = 0.8. So c_{2→1} = 0.4.
+        let (inst, board) = pigou_board(vec![0.2, 0.8]);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        let b = &rates.blocks()[0];
+        assert!((b.rate(1, 0) - 0.4).abs() < 1e-12);
+        assert!((b.exit_rate(1) - 0.4).abs() < 1e-12);
+        assert_eq!(b.exit_rate(0), 0.0);
+    }
+
+    #[test]
+    fn replicator_rates_scale_with_target_flow() {
+        let (inst, board) = pigou_board(vec![0.2, 0.8]);
+        let rates = replicator(&inst).phase_rates(&inst, &board);
+        let b = &rates.blocks()[0];
+        // σ(path 0) = f̂₀ = 0.2; µ(1, 0.2) = 0.8 ⇒ c = 0.16.
+        assert!((b.rate(1, 0) - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_conserves_mass_per_commodity() {
+        let inst = builders::braess();
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        let mut out = vec![0.0; inst.num_paths()];
+        rates.apply(f.values(), &mut out);
+        let total: f64 = out.iter().sum();
+        assert!(total.abs() < 1e-12, "mass must be conserved, got {total}");
+    }
+
+    #[test]
+    fn apply_moves_mass_toward_cheaper_paths() {
+        let (inst, board) = pigou_board(vec![0.2, 0.8]);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        let mut out = vec![0.0; 2];
+        rates.apply(&[0.2, 0.8], &mut out);
+        assert!(out[0] > 0.0);
+        assert!(out[1] < 0.0);
+    }
+
+    #[test]
+    fn exit_rates_bounded_by_one() {
+        // Even with better response (µ ∈ {0,1}), Σ_Q σ_Q µ ≤ 1.
+        let (inst, board) = pigou_board(vec![0.2, 0.8]);
+        let policy = SmoothPolicy::new(Uniform, BetterResponse);
+        let rates = policy.phase_rates(&inst, &board);
+        assert!(rates.max_exit_rate() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn named_policies_report_smoothness() {
+        let inst = builders::pigou();
+        assert!(uniform_linear(&inst).smoothness().is_some());
+        assert!(replicator(&inst).smoothness().is_some());
+        let br = SmoothPolicy::new(Uniform, BetterResponse);
+        assert_eq!(br.smoothness(), None);
+        let sl = SmoothPolicy::new(Proportional, ScaledLinear::new(2.0));
+        assert_eq!(sl.smoothness(), Some(2.0));
+    }
+
+    #[test]
+    fn policy_names_compose() {
+        let inst = builders::pigou();
+        let name = uniform_linear(&inst).name();
+        assert!(name.contains("uniform"));
+        assert!(name.contains("linear"));
+    }
+
+    #[test]
+    fn wardrop_equilibrium_has_zero_rates() {
+        let (inst, board) = pigou_board(vec![1.0, 0.0]);
+        // At Pigou equilibrium both links show latency 1 on the board.
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        assert_eq!(rates.max_exit_rate(), 0.0);
+        let lin = Linear::new(1.0);
+        assert_eq!(lin.probability(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn multi_commodity_blocks_are_independent() {
+        let inst = builders::multi_commodity_grid(2, 2, 3);
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        assert_eq!(rates.blocks().len(), 2);
+        let mut out = vec![0.0; inst.num_paths()];
+        rates.apply(f.values(), &mut out);
+        // Mass conserved within each commodity separately.
+        for i in 0..inst.num_commodities() {
+            let r = inst.commodity_paths(i);
+            let s: f64 = out[r].iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Sampling rules `σ_PQ` (§2.2, step 1 of the two-step policies).
+//!
+//! When an agent of commodity `i` is activated, it first *samples* a
+//! candidate path `Q ∈ P_i` with probability `σ_PQ(f̂)`. All rules from
+//! the paper are origin-independent — the sampled path does not depend
+//! on the agent's current path — so a rule is represented as a
+//! probability distribution over the commodity's paths, computed from
+//! the bulletin board:
+//!
+//! * [`Uniform`]: `σ_Q = 1/|P_i|`;
+//! * [`Proportional`]: `σ_Q = f̂_Q / r_i` ("imitate a random agent" —
+//!   combined with linear migration this is the replicator dynamics);
+//! * [`Logit`]: `σ_Q ∝ exp(−c · ℓ̂_Q)`, the smoothed-best-response
+//!   sampler; as `c → ∞` it concentrates on best replies.
+
+use std::fmt;
+
+use crate::board::BulletinBoard;
+use wardrop_net::instance::Instance;
+
+/// A (origin-independent) sampling rule.
+///
+/// Implementors fill `weights` — indexed like
+/// `instance.commodity_paths(commodity)` — with a probability
+/// distribution (non-negative, summing to 1 whenever the commodity has
+/// at least one path).
+pub trait SamplingRule: fmt::Debug {
+    /// Writes the sampling distribution of `commodity` into `weights`.
+    ///
+    /// `weights.len()` equals the commodity's path count; entries are
+    /// overwritten.
+    fn fill_weights(
+        &self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        commodity: usize,
+        weights: &mut [f64],
+    );
+
+    /// Human-readable rule name for reports.
+    fn name(&self) -> String;
+
+    /// Whether the rule guarantees `σ_Q > 0` for every path — a premise
+    /// of the convergence theorem (Theorem 2 / Corollary 5).
+    ///
+    /// Proportional sampling violates it on paths with zero board flow.
+    fn strictly_positive(&self) -> bool;
+
+    /// Convenience wrapper allocating the weight vector.
+    fn weights(&self, instance: &Instance, board: &BulletinBoard, commodity: usize) -> Vec<f64> {
+        let n = instance.commodity_path_count(commodity);
+        let mut w = vec![0.0; n];
+        self.fill_weights(instance, board, commodity, &mut w);
+        w
+    }
+}
+
+/// Uniform sampling: `σ_Q = 1/|P_i|` (Theorem 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Uniform;
+
+impl SamplingRule for Uniform {
+    fn fill_weights(
+        &self,
+        _instance: &Instance,
+        _board: &BulletinBoard,
+        _commodity: usize,
+        weights: &mut [f64],
+    ) {
+        let w = 1.0 / weights.len() as f64;
+        weights.fill(w);
+    }
+
+    fn name(&self) -> String {
+        "uniform".to_string()
+    }
+
+    fn strictly_positive(&self) -> bool {
+        true
+    }
+}
+
+/// Proportional sampling: `σ_Q = f̂_Q / r_i` (Theorem 7; replicator
+/// dynamics when combined with [`Linear`](crate::migration::Linear)
+/// migration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Proportional;
+
+impl SamplingRule for Proportional {
+    fn fill_weights(
+        &self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        commodity: usize,
+        weights: &mut [f64],
+    ) {
+        let range = instance.commodity_paths(commodity);
+        let demand = instance.commodities()[commodity].demand;
+        for (w, p) in weights.iter_mut().zip(range) {
+            *w = board.path_flows()[p] / demand;
+        }
+    }
+
+    fn name(&self) -> String {
+        "proportional".to_string()
+    }
+
+    fn strictly_positive(&self) -> bool {
+        false
+    }
+}
+
+/// Logit (smoothed best response) sampling:
+/// `σ_Q = exp(−c ℓ̂_Q) / Σ_{Q'} exp(−c ℓ̂_{Q'})` (§2.2).
+///
+/// Large `c` approximates best response (and inherits its poor behaviour
+/// under staleness); small `c` approaches uniform sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Logit {
+    /// Inverse-temperature parameter `c ≥ 0`.
+    pub c: f64,
+}
+
+impl Logit {
+    /// Creates a logit sampler with inverse temperature `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is negative or non-finite.
+    pub fn new(c: f64) -> Self {
+        assert!(c.is_finite() && c >= 0.0, "logit parameter must be ≥ 0");
+        Logit { c }
+    }
+}
+
+impl SamplingRule for Logit {
+    fn fill_weights(
+        &self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        commodity: usize,
+        weights: &mut [f64],
+    ) {
+        let range = instance.commodity_paths(commodity);
+        // Numerically stable softmax over −c·ℓ̂.
+        let min_lat = board.min_latency(instance, commodity);
+        let mut total = 0.0;
+        for (w, p) in weights.iter_mut().zip(range) {
+            let e = (-self.c * (board.path_latencies()[p] - min_lat)).exp();
+            *w = e;
+            total += e;
+        }
+        for w in weights.iter_mut() {
+            *w /= total;
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("logit(c={})", self.c)
+    }
+
+    fn strictly_positive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+
+    fn board_for(values: Vec<f64>) -> (wardrop_net::Instance, BulletinBoard) {
+        let inst = builders::pigou();
+        let f = FlowVec::from_values(&inst, values).unwrap();
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        (inst, board)
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let (inst, board) = board_for(vec![0.3, 0.7]);
+        let w = Uniform.weights(&inst, &board, 0);
+        assert_eq!(w, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn proportional_weights_match_board_flow() {
+        let (inst, board) = board_for(vec![0.3, 0.7]);
+        let w = Proportional.weights(&inst, &board, 0);
+        assert!((w[0] - 0.3).abs() < 1e-12);
+        assert!((w[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_is_zero_on_extinct_paths() {
+        let (inst, board) = board_for(vec![0.0, 1.0]);
+        let w = Proportional.weights(&inst, &board, 0);
+        assert_eq!(w[0], 0.0);
+        assert!(!Proportional.strictly_positive());
+    }
+
+    #[test]
+    fn logit_prefers_low_latency() {
+        // At f = (0.3, 0.7): ℓ₁ = 0.3 < ℓ₂ = 1.
+        let (inst, board) = board_for(vec![0.3, 0.7]);
+        let w = Logit::new(5.0).weights(&inst, &board, 0);
+        assert!(w[0] > w[1]);
+        assert!((w[0] + w[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logit_zero_temperature_is_uniform() {
+        let (inst, board) = board_for(vec![0.3, 0.7]);
+        let w = Logit::new(0.0).weights(&inst, &board, 0);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logit_large_c_concentrates_on_best_reply() {
+        let (inst, board) = board_for(vec![0.3, 0.7]);
+        let w = Logit::new(1e4).weights(&inst, &board, 0);
+        assert!(w[0] > 0.999);
+    }
+
+    #[test]
+    fn logit_is_stable_for_huge_latencies() {
+        let inst = builders::parallel_links(vec![
+            wardrop_net::Latency::Constant(1e6),
+            wardrop_net::Latency::Constant(2e6),
+        ]);
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let w = Logit::new(10.0).weights(&inst, &board, 0);
+        assert!(w.iter().all(|x| x.is_finite()));
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_rules_sum_to_one() {
+        let inst = builders::braess();
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let rules: Vec<Box<dyn SamplingRule>> = vec![
+            Box::new(Uniform),
+            Box::new(Proportional),
+            Box::new(Logit::new(2.0)),
+        ];
+        for r in &rules {
+            let w = r.weights(&inst, &board, 0);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12, "{}", r.name());
+            assert!(w.iter().all(|x| *x >= 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "logit parameter")]
+    fn logit_rejects_negative_c() {
+        let _ = Logit::new(-1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Closed forms and bound calculators from the paper's analysis.
+//!
+//! * [`safe_update_period`] — the Lemma 4 / Corollary 5 threshold
+//!   `T* = 1/(4 D α β)`.
+//! * [`oscillation`] — the §3.2 two-link best-response construction:
+//!   the period-2 orbit, its sustained deviation `X`, and the maximum
+//!   update period tolerating deviation `ε`.
+//! * [`theorem6_bound`] / [`theorem7_bound`] — the convergence-time
+//!   bounds (number of phases not starting at approximate equilibria),
+//!   reported *without* the hidden O-constant so experiments can fit
+//!   the constant empirically.
+
+use wardrop_net::instance::Instance;
+
+/// The safe update period `T* = 1/(4 D α β)` of Lemma 4 / Corollary 5.
+///
+/// For `T ≤ T*` every α-smooth policy satisfies `ΔΦ ≤ ½V ≤ 0` per
+/// phase and hence converges to the set of Wardrop equilibria.
+/// Degenerate inputs (`β = 0` or `α = 0`: latencies never change, or
+/// agents never move) yield `+∞` — any period is safe.
+///
+/// # Panics
+///
+/// Panics if `alpha` is negative or non-finite.
+pub fn safe_update_period(instance: &Instance, alpha: f64) -> f64 {
+    assert!(alpha.is_finite() && alpha >= 0.0, "α must be ≥ 0");
+    let d = instance.max_path_len() as f64;
+    let beta = instance.slope_bound();
+    let denom = 4.0 * d * alpha * beta;
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / denom
+    }
+}
+
+/// Theorem 6 (uniform sampling + linear migration): bound shape
+/// `m / (ε T) · (ℓmax / δ)²` on the number of update periods not
+/// starting at a `(δ, ε)`-equilibrium.
+///
+/// `m = max_i |P_i|` and `ℓmax` are read off the instance. The hidden
+/// constant of the theorem (`2e` from the proof) is *not* included.
+pub fn theorem6_bound(instance: &Instance, t_period: f64, delta: f64, eps: f64) -> f64 {
+    let m = instance.max_commodity_path_count() as f64;
+    let lmax = instance.latency_upper_bound();
+    m / (eps * t_period) * (lmax / delta).powi(2)
+}
+
+/// Theorem 7 (proportional sampling + linear migration): bound shape
+/// `1 / (ε T) · (ℓmax / δ)²` on the number of update periods not
+/// starting at a *weak* `(δ, ε)`-equilibrium — independent of `|P|`.
+pub fn theorem7_bound(instance: &Instance, t_period: f64, delta: f64, eps: f64) -> f64 {
+    let lmax = instance.latency_upper_bound();
+    1.0 / (eps * t_period) * (lmax / delta).powi(2)
+}
+
+/// Closed forms for the §3.2 two-link best-response oscillation.
+///
+/// The instance is `wardrop_net::builders::two_link_oscillator`:
+/// two parallel links
+/// with `ℓ(x) = max{0, β(x − ½)}` and demand 1. Starting from
+/// `f₁(0) = 1/(e^{−T} + 1)` the best-response dynamics in the bulletin
+/// board model is periodic with period `2T` for *every* `T > 0`.
+pub mod oscillation {
+    /// The oscillating initial condition `f₁(0) = 1/(e^{−T} + 1)`.
+    pub fn initial_flow(t_period: f64) -> f64 {
+        1.0 / ((-t_period).exp() + 1.0)
+    }
+
+    /// The exact orbit `f₁(t)` for the initial condition
+    /// [`initial_flow`].
+    ///
+    /// Within even phases the over-loaded link 1 decays exponentially;
+    /// within odd phases it fills back up symmetrically.
+    pub fn orbit_f1(t: f64, t_period: f64) -> f64 {
+        let f10 = initial_flow(t_period);
+        // Reduce to the fundamental domain [0, 2T).
+        let cycle = 2.0 * t_period;
+        let s = t - (t / cycle).floor() * cycle;
+        if s < t_period {
+            // f₁ > ½ at phase start: link 1 drains.
+            f10 * (-s).exp()
+        } else {
+            // f₁ < ½ at phase start: link 1 refills.
+            let f1t = f10 * (-t_period).exp();
+            1.0 - (1.0 - f1t) * (-(s - t_period)).exp()
+        }
+    }
+
+    /// The sustained deviation from the Wardrop latency at phase
+    /// starts: `X = β (1 − e^{−T}) / (2 e^{−T} + 2)` (§3.2).
+    pub fn deviation(beta: f64, t_period: f64) -> f64 {
+        let e = (-t_period).exp();
+        beta * (1.0 - e) / (2.0 * e + 2.0)
+    }
+
+    /// The largest update period guaranteeing deviation at most `ε`:
+    /// `T ≤ ln((1 + 2ε/β) / (1 − 2ε/β)) = O(ε/β)`.
+    ///
+    /// Returns `None` when `2ε/β ≥ 1`: the deviation `X` is always
+    /// below `β/2`, so no update period can violate the target — the
+    /// constraint is vacuous.
+    pub fn max_period_for_deviation(beta: f64, eps: f64) -> Option<f64> {
+        let r = 2.0 * eps / beta;
+        if r >= 1.0 {
+            None
+        } else {
+            Some(((1.0 + r) / (1.0 - r)).ln())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_net::builders;
+
+    #[test]
+    fn safe_period_matches_formula() {
+        let inst = builders::braess(); // D = 3, β = 1
+        let alpha = 0.5;
+        let t = safe_update_period(&inst, alpha);
+        assert!((t - 1.0 / (4.0 * 3.0 * 0.5 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn safe_period_infinite_for_constant_latencies() {
+        let inst = builders::parallel_links(vec![
+            wardrop_net::Latency::Constant(1.0),
+            wardrop_net::Latency::Constant(2.0),
+        ]);
+        assert_eq!(safe_update_period(&inst, 1.0), f64::INFINITY);
+        let inst2 = builders::pigou();
+        assert_eq!(safe_update_period(&inst2, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn theorem_bounds_scaling() {
+        let inst = builders::uniform_parallel_links(8);
+        let b6 = theorem6_bound(&inst, 0.1, 0.05, 0.1);
+        let b7 = theorem7_bound(&inst, 0.1, 0.05, 0.1);
+        // Theorem 6 carries the extra factor m = 8.
+        assert!((b6 / b7 - 8.0).abs() < 1e-9);
+        // Halving δ quadruples both bounds.
+        assert!((theorem6_bound(&inst, 0.1, 0.025, 0.1) / b6 - 4.0).abs() < 1e-9);
+        // Halving T doubles both bounds.
+        assert!((theorem7_bound(&inst, 0.05, 0.05, 0.1) / b7 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oscillation_initial_flow_above_half() {
+        for t in [0.01, 0.1, 1.0, 3.0] {
+            let f = oscillation::initial_flow(t);
+            assert!(f > 0.5 && f < 1.0);
+        }
+    }
+
+    #[test]
+    fn orbit_is_periodic_with_period_2t() {
+        let t_period = 0.7;
+        for t in [0.0, 0.3, 0.9, 1.2] {
+            let a = oscillation::orbit_f1(t, t_period);
+            let b = oscillation::orbit_f1(t + 2.0 * t_period, t_period);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orbit_endpoints_match_paper() {
+        let t_period = 0.5;
+        let f10 = oscillation::initial_flow(t_period);
+        assert!((oscillation::orbit_f1(0.0, t_period) - f10).abs() < 1e-12);
+        // f₁(T) = f₁(0) e^{−T} < ½.
+        let f1t = f10 * (-t_period).exp();
+        assert!((oscillation::orbit_f1(t_period, t_period) - f1t).abs() < 1e-12);
+        assert!(f1t < 0.5);
+        // f₁(2T) = f₁(0) (paper's calculation).
+        assert!((oscillation::orbit_f1(2.0 * t_period, t_period) - f10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_matches_direct_evaluation() {
+        // X = β (f₁(0) − ½) must equal the closed form.
+        for (beta, t_period) in [(1.0, 0.3), (4.0, 1.0), (0.5, 2.0)] {
+            let f10 = oscillation::initial_flow(t_period);
+            let direct = beta * (f10 - 0.5);
+            let formula = oscillation::deviation(beta, t_period);
+            assert!((direct - formula).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_period_inverts_deviation() {
+        let beta = 2.0;
+        let eps = 0.3;
+        let t = oscillation::max_period_for_deviation(beta, eps).unwrap();
+        // At the critical period the deviation equals ε.
+        let x = oscillation::deviation(beta, t);
+        assert!((x - eps).abs() < 1e-9);
+        // Below it, the deviation is smaller.
+        assert!(oscillation::deviation(beta, 0.5 * t) < eps);
+    }
+
+    #[test]
+    fn max_period_is_o_of_eps_over_beta() {
+        // For small ε/β, T(ε) ≈ 4ε/β.
+        let beta = 1.0;
+        let eps = 1e-4;
+        let t = oscillation::max_period_for_deviation(beta, eps).unwrap();
+        assert!((t / (4.0 * eps / beta) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn max_period_none_when_unconstrained() {
+        assert!(oscillation::max_period_for_deviation(1.0, 0.5).is_none());
+        assert!(oscillation::max_period_for_deviation(1.0, 0.49).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "α must be")]
+    fn negative_alpha_rejected() {
+        let inst = builders::pigou();
+        let _ = safe_update_period(&inst, -1.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-phase records of a simulation run.
+//!
+//! A [`Trajectory`] stores, for every bulletin-board phase, the
+//! quantities the paper's analysis is about: the potential at the phase
+//! boundaries, the virtual potential gain `V` of the phase (Eq. (8)),
+//! average latency, and the `(δ,ε)`-unsatisfied volumes at the phase
+//! start for a configurable list of `δ` thresholds. Optionally the full
+//! phase-start flow vectors are kept for orbit analysis.
+
+use serde::{Deserialize, Serialize};
+use wardrop_net::flow::FlowVec;
+
+/// Summary of one bulletin-board phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// Phase index (0-based).
+    pub index: usize,
+    /// Phase start time `t̂`.
+    pub start_time: f64,
+    /// Potential `Φ(f(t̂))` at the phase start.
+    pub potential_start: f64,
+    /// Potential `Φ(f(t̂ + T))` at the phase end.
+    pub potential_end: f64,
+    /// Virtual potential gain `V(f̂, f)` of the phase (Eq. (8)).
+    pub virtual_gain: f64,
+    /// Average latency `L` at the phase start.
+    pub avg_latency_start: f64,
+    /// Maximum regret (used-path latency minus commodity minimum) at
+    /// the phase start.
+    pub max_regret_start: f64,
+    /// `δ`-unsatisfied volume at the phase start, one entry per
+    /// configured `δ` (Definition 3).
+    pub unsatisfied: Vec<f64>,
+    /// Weakly `δ`-unsatisfied volume at the phase start, one entry per
+    /// configured `δ` (Definition 4).
+    pub weakly_unsatisfied: Vec<f64>,
+}
+
+impl PhaseRecord {
+    /// The true potential change `ΔΦ = Φ(end) − Φ(start)` of the phase.
+    pub fn delta_phi(&self) -> f64 {
+        self.potential_end - self.potential_start
+    }
+}
+
+/// The full record of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Bulletin-board update period `T`.
+    pub update_period: f64,
+    /// The `δ` thresholds used for the unsatisfied-volume columns.
+    pub deltas: Vec<f64>,
+    /// One record per executed phase.
+    pub phases: Vec<PhaseRecord>,
+    /// Phase-start flows (only when flow recording was enabled).
+    pub flows: Vec<FlowVec>,
+    /// The final flow after the last phase.
+    pub final_flow: FlowVec,
+    /// Name of the dynamics that produced the run.
+    pub dynamics: String,
+}
+
+impl Trajectory {
+    /// Number of executed phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Returns true if no phase was executed.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The sequence of phase-start potentials (plus the final
+    /// potential as last element).
+    pub fn potential_series(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.phases.iter().map(|p| p.potential_start).collect();
+        if let Some(last) = self.phases.last() {
+            v.push(last.potential_end);
+        }
+        v
+    }
+
+    /// Number of phases whose potential increased by more than `tol` —
+    /// zero for α-smooth policies within the safe update period
+    /// (Lemma 4), typically positive for greedy policies.
+    pub fn monotonicity_violations(&self, tol: f64) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| p.delta_phi() > tol)
+            .count()
+    }
+
+    /// Number of phases *not starting* at a `(δ,ε)`-equilibrium for the
+    /// `delta_idx`-th configured `δ` — the quantity bounded by
+    /// Theorem 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_idx` is out of range.
+    pub fn bad_phase_count(&self, delta_idx: usize, eps: f64) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| p.unsatisfied[delta_idx] > eps)
+            .count()
+    }
+
+    /// Number of phases not starting at a *weak* `(δ,ε)`-equilibrium —
+    /// the quantity bounded by Theorem 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_idx` is out of range.
+    pub fn weak_bad_phase_count(&self, delta_idx: usize, eps: f64) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| p.weakly_unsatisfied[delta_idx] > eps)
+            .count()
+    }
+
+    /// Index of the first phase starting at a `(δ,ε)`-equilibrium, if
+    /// any.
+    pub fn first_good_phase(&self, delta_idx: usize, eps: f64) -> Option<usize> {
+        self.phases
+            .iter()
+            .position(|p| p.unsatisfied[delta_idx] <= eps)
+    }
+
+    /// Per-phase Lemma 4 check: `ΔΦ ≤ ½ V + tol`.
+    ///
+    /// Returns the number of violating phases (0 is the theorem's
+    /// guarantee for α-smooth policies with `T ≤ T*`).
+    pub fn lemma4_violations(&self, tol: f64) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| p.delta_phi() > 0.5 * p.virtual_gain + tol)
+            .count()
+    }
+
+    /// The worst (largest) value of `ΔΦ − ½V` across phases.
+    pub fn lemma4_worst_slack(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.delta_phi() - 0.5 * p.virtual_gain)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, phi0: f64, phi1: f64, v: f64) -> PhaseRecord {
+        PhaseRecord {
+            index,
+            start_time: index as f64,
+            potential_start: phi0,
+            potential_end: phi1,
+            virtual_gain: v,
+            avg_latency_start: 0.0,
+            max_regret_start: 0.0,
+            unsatisfied: vec![if index < 3 { 1.0 } else { 0.0 }],
+            weakly_unsatisfied: vec![0.0],
+        }
+    }
+
+    fn traj(phases: Vec<PhaseRecord>) -> Trajectory {
+        Trajectory {
+            update_period: 1.0,
+            deltas: vec![0.1],
+            phases,
+            flows: vec![],
+            final_flow: FlowVec::from_values_unchecked(vec![1.0]),
+            dynamics: "test".into(),
+        }
+    }
+
+    #[test]
+    fn potential_series_appends_final() {
+        let t = traj(vec![record(0, 1.0, 0.8, -0.5), record(1, 0.8, 0.7, -0.2)]);
+        assert_eq!(t.potential_series(), vec![1.0, 0.8, 0.7]);
+    }
+
+    #[test]
+    fn monotonicity_violations_counted() {
+        let t = traj(vec![
+            record(0, 1.0, 0.8, -0.5),
+            record(1, 0.8, 0.9, 0.1), // increase
+            record(2, 0.9, 0.85, -0.1),
+        ]);
+        assert_eq!(t.monotonicity_violations(1e-12), 1);
+        assert_eq!(t.monotonicity_violations(0.2), 0);
+    }
+
+    #[test]
+    fn bad_phase_count_uses_eps_threshold() {
+        let t = traj((0..5).map(|i| record(i, 1.0, 1.0, 0.0)).collect());
+        // unsatisfied = 1.0 for phases 0..3, then 0.
+        assert_eq!(t.bad_phase_count(0, 0.5), 3);
+        assert_eq!(t.first_good_phase(0, 0.5), Some(3));
+    }
+
+    #[test]
+    fn lemma4_checks() {
+        // ΔΦ = −0.2, ½V = −0.25: ΔΦ > ½V → violation.
+        let bad = record(0, 1.0, 0.8, -0.5);
+        // ΔΦ = −0.3, ½V = −0.1: fine.
+        let good = record(1, 0.8, 0.5, -0.2);
+        let t = traj(vec![bad, good]);
+        assert_eq!(t.lemma4_violations(1e-12), 1);
+        assert!((t.lemma4_worst_slack() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trajectory_behaves() {
+        let t = traj(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.potential_series().is_empty());
+        assert_eq!(t.lemma4_worst_slack(), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,89 @@
+//! E7 — Wardrop background the paper builds on.
+//!
+//! * Wardrop equilibria minimise the Beckmann–McGuire–Winsten
+//!   potential (the paper's Lyapunov function) — verified by checking
+//!   the Frank–Wolfe minimiser against Definition 1 on every builder
+//!   instance;
+//! * Pigou and Braess have price of anarchy 4/3, the tight bound for
+//!   affine latencies (Roughgarden–Tardos, cited as the frame for the
+//!   whole line of work).
+
+use serde::Serialize;
+use wardrop_analysis::frank_wolfe::{minimise, FrankWolfeConfig, Objective};
+use wardrop_analysis::poa::price_of_anarchy;
+use wardrop_experiments::{banner, fmt_g, write_json, Table};
+use wardrop_net::builders;
+use wardrop_net::equilibrium::is_wardrop_equilibrium;
+use wardrop_net::instance::Instance;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    network: String,
+    equilibrium_potential: f64,
+    fw_gap: f64,
+    is_wardrop: bool,
+    equilibrium_cost: f64,
+    optimal_cost: f64,
+    price_of_anarchy: f64,
+}
+
+fn main() {
+    banner("E7", "Wardrop equilibria minimise Φ; price of anarchy on the canonical instances");
+
+    let networks: Vec<(String, Instance)> = vec![
+        ("pigou".into(), builders::pigou()),
+        ("braess".into(), builders::braess()),
+        ("oscillator(β=2)".into(), builders::two_link_oscillator(2.0)),
+        ("two-class(8)".into(), builders::two_class_links(8, 0.75)),
+        ("parallel(6, random)".into(), builders::random_parallel_links(6, 1.0, 0.2, 2.0, 5)),
+        ("layered(2×3)".into(), builders::layered_network(2, 3, 5)),
+        ("grid(3×3)".into(), builders::grid_network(3, 3, 5)),
+        ("mc-grid(3×3)".into(), builders::multi_commodity_grid(3, 3, 5)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(vec![
+        "network", "Φ*", "FW gap", "Wardrop?", "C(eq)", "C(opt)", "PoA",
+    ]);
+    for (name, inst) in &networks {
+        let eq = minimise(inst, Objective::Potential, &FrankWolfeConfig::default());
+        let report = price_of_anarchy(inst);
+        let row = Row {
+            network: name.clone(),
+            equilibrium_potential: eq.value,
+            fw_gap: eq.gap,
+            is_wardrop: is_wardrop_equilibrium(inst, &eq.flow, 1e-3),
+            equilibrium_cost: report.equilibrium_cost,
+            optimal_cost: report.optimal_cost,
+            price_of_anarchy: report.price_of_anarchy,
+        };
+        table.row(vec![
+            name.clone(),
+            fmt_g(row.equilibrium_potential),
+            fmt_g(row.fw_gap),
+            row.is_wardrop.to_string(),
+            fmt_g(row.equilibrium_cost),
+            fmt_g(row.optimal_cost),
+            fmt_g(row.price_of_anarchy),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    write_json("e7_equilibria_poa", &rows);
+
+    for r in &rows {
+        assert!(r.is_wardrop, "{}: Φ-minimiser is not a Wardrop equilibrium", r.network);
+        assert!(r.price_of_anarchy >= 1.0 - 1e-6, "{}: PoA < 1", r.network);
+        assert!(
+            r.price_of_anarchy <= 4.0 / 3.0 + 1e-2,
+            "{}: affine latencies must have PoA ≤ 4/3, got {}",
+            r.network,
+            r.price_of_anarchy
+        );
+    }
+    let pigou = &rows[0];
+    assert!((pigou.price_of_anarchy - 4.0 / 3.0).abs() < 1e-3, "Pigou PoA must be 4/3");
+    let braess = &rows[1];
+    assert!((braess.price_of_anarchy - 4.0 / 3.0).abs() < 1e-2, "Braess PoA must be 4/3");
+    println!("\nE7 PASS: every Φ-minimiser is a Wardrop equilibrium; Pigou/Braess PoA = 4/3; affine PoA ≤ 4/3.");
+}

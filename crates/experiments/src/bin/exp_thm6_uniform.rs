@@ -1,0 +1,198 @@
+//! E4 — Theorem 6: uniform sampling + linear migration reaches
+//! `(δ,ε)`-equilibria, with bad-phase count bounded by
+//! `O(m/(εT) · (ℓmax/δ)²)`.
+//!
+//! Measures `B` = the number of update periods *not starting* at a
+//! `(δ,ε)`-equilibrium on random parallel-link networks, sweeping one
+//! parameter at a time:
+//!
+//! * `m` (number of links): the bound is linear in `m` — and unlike
+//!   Theorem 7's policy, uniform sampling really does slow down with
+//!   `m` (inflow to the good path is throttled by `σ = 1/m`);
+//! * `T`: bad *time* is what the potential argument controls, so bad
+//!   *phases* scale like `1/T` — the cleanest shape to verify;
+//! * `δ`, `ε`: the bound says `1/δ²` and `1/ε`; the measured counts
+//!   must stay below the bound and grow monotonically as the
+//!   equilibrium notion tightens.
+//!
+//! Every measured count is asserted to be ≤ the Theorem 6 expression
+//! (even with its hidden constant set to 1).
+
+use serde::Serialize;
+use wardrop_analysis::stats::loglog_slope;
+use wardrop_core::engine::{run, SimulationConfig};
+use wardrop_core::policy::uniform_linear;
+use wardrop_core::theory::{safe_update_period, theorem6_bound};
+use wardrop_experiments::{banner, fmt_g, write_json, Table};
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+
+#[derive(Debug, Serialize)]
+struct Row {
+    sweep: &'static str,
+    m: usize,
+    t_period: f64,
+    delta: f64,
+    eps: f64,
+    measured_bad_phases: f64,
+    theorem6_bound: f64,
+}
+
+/// Runs uniform+linear on `inst` and counts phases not starting at a
+/// (δ,ε)-equilibrium. Panics if the run did not settle (the tail must
+/// be good, otherwise the count would be truncated).
+fn bad_phases(inst: &Instance, t: f64, delta: f64, eps: f64, phases: usize) -> usize {
+    let policy = uniform_linear(inst);
+    let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
+    let traj = run(inst, &policy, &FlowVec::uniform(inst), &config);
+    let bad = traj.bad_phase_count(0, eps);
+    let tail_bad = traj
+        .phases
+        .iter()
+        .rev()
+        .take(phases / 10)
+        .filter(|p| p.unsatisfied[0] > eps)
+        .count();
+    assert_eq!(tail_bad, 0, "run did not settle; raise the phase budget");
+    bad
+}
+
+fn mean_bad(m: usize, t_scale: f64, delta: f64, eps: f64, phases: usize) -> (f64, f64, f64) {
+    let mut counts = Vec::new();
+    let mut bound = 0.0;
+    let mut t_used = 0.0;
+    for seed in SEEDS {
+        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, seed);
+        let alpha = 1.0 / inst.latency_upper_bound();
+        let t = (safe_update_period(&inst, alpha) * t_scale).min(1.0);
+        counts.push(bad_phases(&inst, t, delta, eps, phases) as f64);
+        bound = theorem6_bound(&inst, t, delta, eps);
+        t_used = t;
+    }
+    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+    (mean, bound, t_used)
+}
+
+fn main() {
+    banner("E4", "Theorem 6: uniform sampling, bad phases ≤ O(m/(εT)·(ℓmax/δ)²)");
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- m sweep ---------------------------------------------------
+    println!("\nsweep m (δ = 0.2, ε = 0.05, T = T*):");
+    let mut t1 = Table::new(vec!["m", "T", "measured B", "Thm-6 bound", "B/bound"]);
+    let (mut ms, mut bs) = (Vec::new(), Vec::new());
+    for m in [2usize, 4, 8, 16, 32, 64] {
+        let (b, bound, t) = mean_bad(m, 1.0, 0.2, 0.05, 6000);
+        t1.row(vec![
+            m.to_string(),
+            fmt_g(t),
+            fmt_g(b),
+            fmt_g(bound),
+            fmt_g(b / bound),
+        ]);
+        rows.push(Row {
+            sweep: "m",
+            m,
+            t_period: t,
+            delta: 0.2,
+            eps: 0.05,
+            measured_bad_phases: b,
+            theorem6_bound: bound,
+        });
+        if b > 0.0 {
+            ms.push(m as f64);
+            bs.push(b);
+        }
+    }
+    t1.print();
+    let m_slope = loglog_slope(&ms, &bs);
+    println!("log–log slope of B vs m: {m_slope:.3}  (bound predicts ≤ 1; uniform sampling must grow with m)");
+
+    // --- T sweep ----------------------------------------------------
+    println!("\nsweep T (m = 8, δ = 0.2, ε = 0.05):");
+    let mut t2 = Table::new(vec!["T/T*", "T", "measured B", "Thm-6 bound"]);
+    let (mut ts, mut bts) = (Vec::new(), Vec::new());
+    for t_scale in [1.0, 0.5, 0.25, 0.125] {
+        let (b, bound, t) = mean_bad(8, t_scale, 0.2, 0.05, (6000.0 / t_scale) as usize);
+        t2.row(vec![format!("{t_scale}"), fmt_g(t), fmt_g(b), fmt_g(bound)]);
+        rows.push(Row {
+            sweep: "T",
+            m: 8,
+            t_period: t,
+            delta: 0.2,
+            eps: 0.05,
+            measured_bad_phases: b,
+            theorem6_bound: bound,
+        });
+        ts.push(t);
+        bts.push(b);
+    }
+    t2.print();
+    let t_slope = loglog_slope(&ts, &bts);
+    println!("log–log slope of B vs T: {t_slope:.3}  (theory: −1 — bad *time* is fixed)");
+
+    // --- δ sweep ----------------------------------------------------
+    println!("\nsweep δ (m = 8, ε = 0.05, T = T*):");
+    let mut t3 = Table::new(vec!["δ", "measured B", "Thm-6 bound"]);
+    let mut prev = 0.0_f64;
+    let mut delta_ok = true;
+    for delta in [0.4, 0.3, 0.2, 0.15, 0.1] {
+        let (b, bound, t) = mean_bad(8, 1.0, delta, 0.05, 12_000);
+        t3.row(vec![format!("{delta}"), fmt_g(b), fmt_g(bound)]);
+        rows.push(Row {
+            sweep: "delta",
+            m: 8,
+            t_period: t,
+            delta,
+            eps: 0.05,
+            measured_bad_phases: b,
+            theorem6_bound: bound,
+        });
+        delta_ok &= b >= prev - 1e-9;
+        prev = b;
+    }
+    t3.print();
+    println!("B grows as δ shrinks (monotone): {delta_ok}");
+
+    // --- ε sweep ----------------------------------------------------
+    println!("\nsweep ε (m = 8, δ = 0.2, T = T*):");
+    let mut t4 = Table::new(vec!["ε", "measured B", "Thm-6 bound"]);
+    let mut prev = 0.0_f64;
+    let mut eps_ok = true;
+    for eps in [0.2, 0.1, 0.05, 0.025] {
+        let (b, bound, t) = mean_bad(8, 1.0, 0.2, eps, 12_000);
+        t4.row(vec![format!("{eps}"), fmt_g(b), fmt_g(bound)]);
+        rows.push(Row {
+            sweep: "eps",
+            m: 8,
+            t_period: t,
+            delta: 0.2,
+            eps,
+            measured_bad_phases: b,
+            theorem6_bound: bound,
+        });
+        eps_ok &= b >= prev - 1e-9;
+        prev = b;
+    }
+    t4.print();
+    println!("B grows as ε shrinks (monotone): {eps_ok}");
+
+    write_json("e4_thm6_uniform", &rows);
+
+    for r in &rows {
+        assert!(
+            r.measured_bad_phases <= r.theorem6_bound,
+            "measured {} exceeds the Theorem 6 bound {}",
+            r.measured_bad_phases,
+            r.theorem6_bound
+        );
+    }
+    assert!(m_slope > 0.4, "uniform sampling must slow down with m (slope {m_slope})");
+    assert!(m_slope < 1.5, "m-dependence must stay within the bound's shape");
+    assert!((-1.4..=-0.6).contains(&t_slope), "T-scaling must be ≈ 1/T (slope {t_slope})");
+    assert!(delta_ok && eps_ok, "counts must be monotone in δ and ε");
+    println!("\nE4 PASS: all counts below the Theorem 6 bound; shapes (∝m, ∝1/T, monotone in δ and ε) hold.");
+}

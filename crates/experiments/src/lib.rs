@@ -1,0 +1,178 @@
+//! # wardrop-experiments
+//!
+//! The experiment harness regenerating every quantitative claim of
+//! *Adaptive routing with stale information* (Fischer & Vöcking,
+//! PODC 2005 / TCS 2009). One binary per experiment:
+//!
+//! | ID | binary | claim |
+//! |----|--------|-------|
+//! | E1 | `exp_oscillation` | §3.2 closed-form best-response oscillation |
+//! | E2 | `exp_safe_period` | Corollary 5 safe update period `T*` |
+//! | E3 | `exp_potential_lemmas` | Lemma 3 identity, Lemma 4 `ΔΦ ≤ ½V` |
+//! | E4 | `exp_thm6_uniform` | Theorem 6 scaling (uniform sampling) |
+//! | E5 | `exp_thm7_proportional` | Theorem 7 scaling (proportional) |
+//! | E6 | `exp_policy_comparison`, `exp_agents_vs_fluid` | policy zoo, fluid limit |
+//! | E7 | `exp_equilibria_poa` | Wardrop background: Φ-minimisation, PoA |
+//! | E8 | `exp_beyond_smoothness` | reference \[10\]: elasticity-based relative-slack dynamics |
+//! | E9 | `exp_integrator_ablation` | integrator accuracy/work ablation (design choice) |
+//!
+//! Each binary prints aligned tables to stdout and, when the
+//! `WARDROP_RESULTS_DIR` environment variable is set, writes the same
+//! data as JSON into that directory for scripted consumption.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A simple aligned-column table printer for experiment output.
+///
+/// # Examples
+///
+/// ```
+/// use wardrop_experiments::Table;
+///
+/// let mut t = Table::new(vec!["x", "y"]);
+/// t.row(vec!["1".into(), "2".into()]);
+/// let s = t.render();
+/// assert!(s.contains('x') && s.contains('2'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with right-aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", h, width = widths[i]);
+        }
+        out.push('\n');
+        for w in &widths {
+            let _ = write!(out, "{}  ", "-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt_g(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e4 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Writes `value` as pretty JSON into `$WARDROP_RESULTS_DIR/<name>.json`
+/// when the environment variable is set; otherwise does nothing.
+///
+/// Experiments call this so CI or notebooks can pick up machine-readable
+/// results without parsing stdout.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let Some(dir) = std::env::var_os("WARDROP_RESULTS_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].trim_end().ends_with('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_g_ranges() {
+        assert_eq!(fmt_g(0.0), "0");
+        assert!(fmt_g(123456.0).contains('e'));
+        assert!(fmt_g(0.00001).contains('e'));
+        assert_eq!(fmt_g(1.5), "1.5000");
+    }
+}

@@ -1,0 +1,431 @@
+//! Canonical and random instance builders.
+//!
+//! These cover the instances the paper uses or motivates: parallel-link
+//! networks (including the two-link oscillator of §3.2), Pigou's
+//! example, the Braess network, layered random networks and grids for
+//! scaling experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::commodity::Commodity;
+use crate::graph::Graph;
+use crate::instance::Instance;
+use crate::latency::Latency;
+
+/// Pigou's two-link network: `ℓ₁(x) = x` versus `ℓ₂(x) = 1`, demand 1.
+///
+/// Wardrop equilibrium routes everything on link 1 (latency 1); the
+/// system optimum splits `(½, ½)` for average latency `¾`, so the price
+/// of anarchy is `4/3`.
+pub fn pigou() -> Instance {
+    parallel_links(vec![Latency::identity(), Latency::Constant(1.0)])
+}
+
+/// A network of `latencies.len()` parallel links between one
+/// source–sink pair with unit demand.
+///
+/// # Panics
+///
+/// Panics if any latency is invalid (builders construct known-good
+/// instances; use [`Instance::new`] directly for fallible construction).
+pub fn parallel_links(latencies: Vec<Latency>) -> Instance {
+    let mut g = Graph::new();
+    let s = g.add_node();
+    let t = g.add_node();
+    for _ in 0..latencies.len() {
+        g.add_edge(s, t);
+    }
+    Instance::new(g, latencies, vec![Commodity::new(s, t, 1.0)])
+        .expect("parallel-link instances are valid by construction")
+}
+
+/// `m` identical parallel links with latency `ℓ(x) = x` each.
+///
+/// The Wardrop equilibrium is the uniform split. Used by the Theorem 6
+/// experiments to sweep `m = |P|`.
+pub fn uniform_parallel_links(m: usize) -> Instance {
+    parallel_links(vec![Latency::identity(); m])
+}
+
+/// The §3.2 oscillator: two parallel links, both with latency
+/// `ℓ(x) = max{0, β(x − ½)}`.
+///
+/// Under best response with update period `T` this instance oscillates
+/// forever from the initial flow `f₁(0) = 1/(e^{−T} + 1)`; see
+/// `wardrop_core::theory::oscillation` for the closed forms.
+pub fn two_link_oscillator(beta: f64) -> Instance {
+    parallel_links(vec![Latency::oscillator(beta), Latency::oscillator(beta)])
+}
+
+/// The Braess network.
+///
+/// Nodes `s, a, b, t`; edges `s→a` (ℓ = x), `s→b` (ℓ = 1), `a→t`
+/// (ℓ = 1), `b→t` (ℓ = x) and the zero-latency chord `a→b`. Demand 1.
+/// Paths: `s-a-t`, `s-b-t`, and `s-a-b-t`. At equilibrium everyone uses
+/// the chord path for latency 2; removing the chord gives latency 1.5.
+pub fn braess() -> Instance {
+    let mut g = Graph::new();
+    let s = g.add_node();
+    let a = g.add_node();
+    let b = g.add_node();
+    let t = g.add_node();
+    g.add_edge(s, a); // 0: x
+    g.add_edge(s, b); // 1: 1
+    g.add_edge(a, t); // 2: 1
+    g.add_edge(b, t); // 3: x
+    g.add_edge(a, b); // 4: 0
+    let latencies = vec![
+        Latency::identity(),
+        Latency::Constant(1.0),
+        Latency::Constant(1.0),
+        Latency::identity(),
+        Latency::zero(),
+    ];
+    Instance::new(g, latencies, vec![Commodity::new(s, t, 1.0)])
+        .expect("the Braess network is valid by construction")
+}
+
+/// A two-class parallel-link network: `m/2` cheap links `ℓ(x) = x`
+/// and `m/2` expensive links `ℓ(x) = gap + x`.
+///
+/// The latency-gap structure is *independent of `m`*, which isolates
+/// the sampling-rule comparison of Theorems 6 and 7: proportional
+/// sampling drains the expensive class at a gap-driven, m-independent
+/// rate, while uniform sampling throttles inflow to any single cheap
+/// link by `σ = 1/m`.
+///
+/// # Panics
+///
+/// Panics unless `m ≥ 2` and even, and `gap > 0` finite.
+pub fn two_class_links(m: usize, gap: f64) -> Instance {
+    assert!(m >= 2 && m % 2 == 0, "need an even number of links ≥ 2");
+    assert!(gap.is_finite() && gap > 0.0, "gap must be positive");
+    let mut latencies = Vec::with_capacity(m);
+    for _ in 0..m / 2 {
+        latencies.push(Latency::Affine { a: 0.0, b: 1.0 });
+    }
+    for _ in 0..m / 2 {
+        latencies.push(Latency::Affine { a: gap, b: 1.0 });
+    }
+    parallel_links(latencies)
+}
+
+/// Random parallel-link instance with affine latencies
+/// `ℓ_j(x) = a_j + b_j x`, `a_j ∈ [0, a_max]`, `b_j ∈ [b_min, b_max]`.
+///
+/// Deterministic for a fixed `seed`.
+pub fn random_parallel_links(
+    m: usize,
+    a_max: f64,
+    b_min: f64,
+    b_max: f64,
+    seed: u64,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let latencies = (0..m)
+        .map(|_| Latency::Affine {
+            a: rng.random_range(0.0..=a_max),
+            b: rng.random_range(b_min..=b_max),
+        })
+        .collect();
+    parallel_links(latencies)
+}
+
+/// A layered random network.
+///
+/// `layers` layers of `width` nodes between a source and a sink; every
+/// node of layer `l` is connected to every node of layer `l + 1` (and
+/// the source/sink to the full first/last layer) with random affine
+/// latencies. Single commodity with unit demand. Path count is
+/// `width^layers`, so keep `layers`/`width` small.
+///
+/// Deterministic for a fixed `seed`.
+pub fn layered_network(layers: usize, width: usize, seed: u64) -> Instance {
+    assert!(layers >= 1 && width >= 1, "need at least one layer and node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let s = g.add_node();
+    let mut prev = vec![s];
+    let mut latencies = Vec::new();
+    let rand_lat = |rng: &mut StdRng| Latency::Affine {
+        a: rng.random_range(0.0..=1.0),
+        b: rng.random_range(0.1..=1.0),
+    };
+    for _ in 0..layers {
+        let layer: Vec<_> = (0..width).map(|_| g.add_node()).collect();
+        for &u in &prev {
+            for &v in &layer {
+                g.add_edge(u, v);
+                latencies.push(rand_lat(&mut rng));
+            }
+        }
+        prev = layer;
+    }
+    let t = g.add_node();
+    for &u in &prev {
+        g.add_edge(u, t);
+        latencies.push(rand_lat(&mut rng));
+    }
+    Instance::new(g, latencies, vec![Commodity::new(s, t, 1.0)])
+        .expect("layered networks are valid by construction")
+}
+
+/// A directed `rows × cols` grid with rightward and downward edges,
+/// one commodity from the top-left to the bottom-right corner, and
+/// random affine latencies.
+///
+/// Deterministic for a fixed `seed`. Path count is
+/// `C(rows + cols − 2, rows − 1)`; keep dimensions modest.
+pub fn grid_network(rows: usize, cols: usize, seed: u64) -> Instance {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    assert!(rows + cols > 2, "grid must contain at least one edge");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let nodes: Vec<Vec<_>> = (0..rows)
+        .map(|_| (0..cols).map(|_| g.add_node()).collect())
+        .collect();
+    let mut latencies = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(nodes[r][c], nodes[r][c + 1]);
+                latencies.push(Latency::Affine {
+                    a: rng.random_range(0.0..=1.0),
+                    b: rng.random_range(0.1..=1.0),
+                });
+            }
+            if r + 1 < rows {
+                g.add_edge(nodes[r][c], nodes[r + 1][c]);
+                latencies.push(Latency::Affine {
+                    a: rng.random_range(0.0..=1.0),
+                    b: rng.random_range(0.1..=1.0),
+                });
+            }
+        }
+    }
+    let commodities = vec![Commodity::new(nodes[0][0], nodes[rows - 1][cols - 1], 1.0)];
+    Instance::new(g, latencies, commodities).expect("grid networks are valid by construction")
+}
+
+/// A multi-commodity grid: the DAG of [`grid_network`] shared by two
+/// commodities with demand ½ each — `(0,0) → (rows−1, cols−1)` and
+/// `(0,0) → (rows−1, 0)`. The second commodity competes with the first
+/// for the first-column edges, so the instances genuinely interact.
+pub fn multi_commodity_grid(rows: usize, cols: usize, seed: u64) -> Instance {
+    assert!(rows >= 2 && cols >= 2, "need at least a 2×2 grid");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let nodes: Vec<Vec<_>> = (0..rows)
+        .map(|_| (0..cols).map(|_| g.add_node()).collect())
+        .collect();
+    let mut latencies = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(nodes[r][c], nodes[r][c + 1]);
+                latencies.push(Latency::Affine {
+                    a: rng.random_range(0.0..=1.0),
+                    b: rng.random_range(0.1..=1.0),
+                });
+            }
+            if r + 1 < rows {
+                g.add_edge(nodes[r][c], nodes[r + 1][c]);
+                latencies.push(Latency::Affine {
+                    a: rng.random_range(0.0..=1.0),
+                    b: rng.random_range(0.1..=1.0),
+                });
+            }
+        }
+    }
+    let commodities = vec![
+        Commodity::new(nodes[0][0], nodes[rows - 1][cols - 1], 0.5),
+        Commodity::new(nodes[0][0], nodes[rows - 1][0], 0.5),
+    ];
+    Instance::new(g, latencies, commodities)
+        .expect("multi-commodity grids are valid by construction")
+}
+
+/// A random two-terminal series-parallel network of recursion depth
+/// `depth`, single commodity with unit demand.
+///
+/// Series-parallel networks are the classic topology class of the
+/// Wardrop literature (e.g. the Braess paradox cannot occur in them).
+/// Each recursive step replaces an edge slot by a series or parallel
+/// composition of two sub-networks with probability ½ each; leaves are
+/// edges with random affine latencies. Path counts stay manageable for
+/// `depth ≤ 5`. Deterministic for a fixed `seed`.
+///
+/// # Panics
+///
+/// Panics if `depth > 8` (path counts explode beyond enumeration).
+pub fn series_parallel(depth: usize, seed: u64) -> Instance {
+    assert!(depth <= 8, "series-parallel depth capped at 8");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let s = g.add_node();
+    let t = g.add_node();
+    let mut latencies = Vec::new();
+    build_sp(&mut g, &mut latencies, &mut rng, s, t, depth);
+    Instance::new(g, latencies, vec![Commodity::new(s, t, 1.0)])
+        .expect("series-parallel networks are valid by construction")
+}
+
+fn build_sp(
+    g: &mut Graph,
+    latencies: &mut Vec<Latency>,
+    rng: &mut StdRng,
+    from: crate::graph::NodeId,
+    to: crate::graph::NodeId,
+    depth: usize,
+) {
+    if depth == 0 {
+        g.add_edge(from, to);
+        latencies.push(Latency::Affine {
+            a: rng.random_range(0.0..=1.0),
+            b: rng.random_range(0.1..=1.0),
+        });
+        return;
+    }
+    if rng.random_bool(0.5) {
+        // Series: from -> mid -> to.
+        let mid = g.add_node();
+        build_sp(g, latencies, rng, from, mid, depth - 1);
+        build_sp(g, latencies, rng, mid, to, depth - 1);
+    } else {
+        // Parallel: two sub-networks side by side.
+        build_sp(g, latencies, rng, from, to, depth - 1);
+        build_sp(g, latencies, rng, from, to, depth - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pigou_shape() {
+        let inst = pigou();
+        assert_eq!(inst.num_paths(), 2);
+        assert_eq!(inst.num_edges(), 2);
+        assert_eq!(inst.max_path_len(), 1);
+        assert!((inst.latency_upper_bound() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn braess_shape() {
+        let inst = braess();
+        assert_eq!(inst.num_paths(), 3);
+        assert_eq!(inst.num_edges(), 5);
+        assert_eq!(inst.max_path_len(), 3);
+        // ℓmax is the zig-zag at capacity: 1 + 0 + 1 = 2.
+        assert!((inst.latency_upper_bound() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillator_shape() {
+        let inst = two_link_oscillator(4.0);
+        assert_eq!(inst.num_paths(), 2);
+        assert_eq!(inst.slope_bound(), 4.0);
+        // ℓmax = β/2 at capacity.
+        assert!((inst.latency_upper_bound() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_parallel_links_count() {
+        for m in [1, 2, 8, 32] {
+            let inst = uniform_parallel_links(m);
+            assert_eq!(inst.num_paths(), m);
+            assert_eq!(inst.max_commodity_path_count(), m);
+        }
+    }
+
+    #[test]
+    fn two_class_links_shape() {
+        let inst = two_class_links(8, 0.75);
+        assert_eq!(inst.num_paths(), 8);
+        // ℓmax = gap + 1 at capacity on the expensive class.
+        assert!((inst.latency_upper_bound() - 1.75).abs() < 1e-12);
+        assert_eq!(inst.slope_bound(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn two_class_links_rejects_odd_m() {
+        let _ = two_class_links(3, 0.5);
+    }
+
+    #[test]
+    fn random_parallel_links_deterministic() {
+        let a = random_parallel_links(5, 1.0, 0.1, 2.0, 42);
+        let b = random_parallel_links(5, 1.0, 0.1, 2.0, 42);
+        for (la, lb) in a.latencies().iter().zip(b.latencies()) {
+            assert_eq!(la, lb);
+        }
+        let c = random_parallel_links(5, 1.0, 0.1, 2.0, 43);
+        assert!(a.latencies().iter().zip(c.latencies()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn layered_network_path_count() {
+        let inst = layered_network(2, 3, 7);
+        // width^layers = 9 paths.
+        assert_eq!(inst.num_paths(), 9);
+        assert_eq!(inst.max_path_len(), 3);
+    }
+
+    #[test]
+    fn grid_network_path_count() {
+        let inst = grid_network(3, 3, 7);
+        // C(4, 2) = 6 monotone lattice paths.
+        assert_eq!(inst.num_paths(), 6);
+        assert_eq!(inst.max_path_len(), 4);
+    }
+
+    #[test]
+    fn multi_commodity_grid_is_valid() {
+        let inst = multi_commodity_grid(3, 3, 7);
+        assert_eq!(inst.num_commodities(), 2);
+        assert!(inst.commodity_path_count(0) >= 1);
+        assert!(inst.commodity_path_count(1) >= 1);
+    }
+
+    #[test]
+    fn series_parallel_is_deterministic_and_valid() {
+        let a = series_parallel(4, 11);
+        let b = series_parallel(4, 11);
+        assert_eq!(a.num_paths(), b.num_paths());
+        assert_eq!(a.latencies(), b.latencies());
+        assert!(a.num_paths() >= 1);
+        // A different seed generically changes the topology or weights.
+        let c = series_parallel(4, 12);
+        let differs = a.num_paths() != c.num_paths() || a.latencies() != c.latencies();
+        assert!(differs);
+    }
+
+    #[test]
+    fn series_parallel_depth_zero_is_single_edge() {
+        let inst = series_parallel(0, 3);
+        assert_eq!(inst.num_paths(), 1);
+        assert_eq!(inst.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth capped")]
+    fn series_parallel_depth_capped() {
+        let _ = series_parallel(9, 0);
+    }
+
+    #[test]
+    fn builders_produce_validated_instances() {
+        // Instance::new validates; reaching here means all checks passed.
+        let _ = pigou();
+        let _ = braess();
+        let _ = two_link_oscillator(1.0);
+        let _ = uniform_parallel_links(4);
+        let _ = random_parallel_links(4, 1.0, 0.5, 1.5, 1);
+        let _ = layered_network(2, 2, 1);
+        let _ = grid_network(2, 3, 1);
+        let _ = multi_commodity_grid(2, 2, 1);
+    }
+}

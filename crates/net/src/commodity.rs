@@ -1,0 +1,109 @@
+//! Commodities: source–sink pairs with flow demands.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::graph::{Graph, NodeId};
+
+/// A commodity `i` with source `s_i`, sink `t_i` and demand `r_i > 0`.
+///
+/// The paper normalises total demand to `Σ_i r_i = 1`; the
+/// [`Instance`](crate::instance::Instance) validator enforces this (with
+/// a small tolerance) because the dynamics and the potential analysis
+/// assume edge flows stay within `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Commodity {
+    /// Source node `s_i`.
+    pub source: NodeId,
+    /// Sink node `t_i`.
+    pub sink: NodeId,
+    /// Demand `r_i > 0` routed from source to sink.
+    pub demand: f64,
+}
+
+impl Commodity {
+    /// Creates a commodity.
+    pub fn new(source: NodeId, sink: NodeId, demand: f64) -> Self {
+        Commodity {
+            source,
+            sink,
+            demand,
+        }
+    }
+
+    /// Validates the commodity against a graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidCommodity`] if the demand is not a
+    /// positive finite number, the endpoints coincide, or either endpoint
+    /// is not a node of `graph`.
+    pub fn validate(&self, graph: &Graph) -> Result<(), NetError> {
+        if !self.demand.is_finite() || self.demand <= 0.0 {
+            return Err(NetError::InvalidCommodity(format!(
+                "demand must be positive and finite, got {}",
+                self.demand
+            )));
+        }
+        if self.source == self.sink {
+            return Err(NetError::InvalidCommodity(
+                "source and sink must differ".to_string(),
+            ));
+        }
+        if !graph.contains_node(self.source) || !graph.contains_node(self.sink) {
+            return Err(NetError::InvalidCommodity(
+                "endpoints must be nodes of the graph".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_graph() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        (g, s, t)
+    }
+
+    #[test]
+    fn valid_commodity_passes() {
+        let (g, s, t) = two_node_graph();
+        assert!(Commodity::new(s, t, 1.0).validate(&g).is_ok());
+    }
+
+    #[test]
+    fn zero_demand_rejected() {
+        let (g, s, t) = two_node_graph();
+        assert!(Commodity::new(s, t, 0.0).validate(&g).is_err());
+    }
+
+    #[test]
+    fn negative_demand_rejected() {
+        let (g, s, t) = two_node_graph();
+        assert!(Commodity::new(s, t, -0.5).validate(&g).is_err());
+    }
+
+    #[test]
+    fn nan_demand_rejected() {
+        let (g, s, t) = two_node_graph();
+        assert!(Commodity::new(s, t, f64::NAN).validate(&g).is_err());
+    }
+
+    #[test]
+    fn self_loop_commodity_rejected() {
+        let (g, s, _) = two_node_graph();
+        assert!(Commodity::new(s, s, 1.0).validate(&g).is_err());
+    }
+
+    #[test]
+    fn out_of_graph_endpoint_rejected() {
+        let (g, s, _) = two_node_graph();
+        let ghost = NodeId::from_index(10);
+        assert!(Commodity::new(s, ghost, 1.0).validate(&g).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Equilibrium notions: Wardrop, `(δ,ε)`, and weak `(δ,ε)` equilibria.
+//!
+//! * **Wardrop equilibrium** (Definition 1): every used path of a
+//!   commodity has minimum latency within the commodity.
+//! * **`(δ,ε)`-equilibrium** (Definition 3): the volume of agents on
+//!   paths more than `δ` above their commodity's *minimum* latency is at
+//!   most `ε`. This is the target of Theorem 6 (uniform sampling).
+//! * **weak `(δ,ε)`-equilibrium** (Definition 4): the volume of agents on
+//!   paths more than `δ` above their commodity's *average* latency `L_i`
+//!   is at most `ε`. This is the target of Theorem 7 (proportional
+//!   sampling); every `(δ,ε)`-equilibrium is also weak.
+
+use crate::flow::FlowVec;
+use crate::instance::Instance;
+
+/// Volume of `δ`-unsatisfied agents: total flow on paths `P ∈ P_i` with
+/// `ℓ_P(f) > ℓ^i_min + δ` (Definition 3).
+pub fn unsatisfied_volume(instance: &Instance, flow: &FlowVec, delta: f64) -> f64 {
+    let lp = flow.path_latencies(instance);
+    let mins = flow.commodity_min_latencies(instance);
+    let mut vol = 0.0;
+    for i in 0..instance.num_commodities() {
+        for p in instance.commodity_paths(i) {
+            if lp[p] > mins[i] + delta {
+                vol += flow.values()[p];
+            }
+        }
+    }
+    vol
+}
+
+/// Volume of *weakly* `δ`-unsatisfied agents: total flow on paths with
+/// `ℓ_P(f) > L_i(f) + δ` (Definition 4).
+pub fn weakly_unsatisfied_volume(instance: &Instance, flow: &FlowVec, delta: f64) -> f64 {
+    let lp = flow.path_latencies(instance);
+    let avgs = flow.commodity_avg_latencies(instance);
+    let mut vol = 0.0;
+    for i in 0..instance.num_commodities() {
+        for p in instance.commodity_paths(i) {
+            if lp[p] > avgs[i] + delta {
+                vol += flow.values()[p];
+            }
+        }
+    }
+    vol
+}
+
+/// Is `flow` at a `(δ, ε)`-equilibrium (Definition 3)?
+pub fn is_approx_equilibrium(instance: &Instance, flow: &FlowVec, delta: f64, eps: f64) -> bool {
+    unsatisfied_volume(instance, flow, delta) <= eps
+}
+
+/// Is `flow` at a weak `(δ, ε)`-equilibrium (Definition 4)?
+pub fn is_weak_approx_equilibrium(
+    instance: &Instance,
+    flow: &FlowVec,
+    delta: f64,
+    eps: f64,
+) -> bool {
+    weakly_unsatisfied_volume(instance, flow, delta) <= eps
+}
+
+/// Is `flow` an (exact, up to `tol`) Wardrop equilibrium
+/// (Definition 1)?
+///
+/// Checks that every path carrying more than `tol` flow has latency
+/// within `tol` of its commodity's minimum.
+pub fn is_wardrop_equilibrium(instance: &Instance, flow: &FlowVec, tol: f64) -> bool {
+    let lp = flow.path_latencies(instance);
+    let mins = flow.commodity_min_latencies(instance);
+    for i in 0..instance.num_commodities() {
+        for p in instance.commodity_paths(i) {
+            if flow.values()[p] > tol && lp[p] > mins[i] + tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The maximum regret of any used path: `max_i max_{P: f_P > tol}
+/// (ℓ_P − ℓ^i_min)`. Zero exactly at Wardrop equilibria.
+pub fn max_regret(instance: &Instance, flow: &FlowVec, tol: f64) -> f64 {
+    let lp = flow.path_latencies(instance);
+    let mins = flow.commodity_min_latencies(instance);
+    let mut worst = 0.0_f64;
+    for i in 0..instance.num_commodities() {
+        for p in instance.commodity_paths(i) {
+            if flow.values()[p] > tol {
+                worst = worst.max(lp[p] - mins[i]);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn pigou_equilibrium_detected() {
+        let inst = builders::pigou();
+        let eq = FlowVec::from_values(&inst, vec![1.0, 0.0]).unwrap();
+        assert!(is_wardrop_equilibrium(&inst, &eq, 1e-9));
+        assert_eq!(max_regret(&inst, &eq, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn pigou_non_equilibrium_detected() {
+        let inst = builders::pigou();
+        // Half the agents pay 1 while the x-link only costs 0.5.
+        let f = FlowVec::from_values(&inst, vec![0.5, 0.5]).unwrap();
+        assert!(!is_wardrop_equilibrium(&inst, &f, 1e-9));
+        assert!((max_regret(&inst, &f, 1e-9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsatisfied_volume_counts_expensive_paths() {
+        let inst = builders::pigou();
+        let f = FlowVec::from_values(&inst, vec![0.5, 0.5]).unwrap();
+        // ℓ₁ = 0.5, ℓ₂ = 1, min = 0.5. With δ = 0.4, path 2 (volume 0.5)
+        // is unsatisfied; with δ = 0.6 nothing is.
+        assert!((unsatisfied_volume(&inst, &f, 0.4) - 0.5).abs() < 1e-12);
+        assert_eq!(unsatisfied_volume(&inst, &f, 0.6), 0.0);
+    }
+
+    #[test]
+    fn approx_equilibrium_thresholds() {
+        let inst = builders::pigou();
+        let f = FlowVec::from_values(&inst, vec![0.5, 0.5]).unwrap();
+        assert!(is_approx_equilibrium(&inst, &f, 0.4, 0.5));
+        assert!(!is_approx_equilibrium(&inst, &f, 0.4, 0.4));
+        assert!(is_approx_equilibrium(&inst, &f, 0.6, 0.0));
+    }
+
+    #[test]
+    fn weak_equilibrium_is_weaker() {
+        let inst = builders::pigou();
+        let f = FlowVec::from_values(&inst, vec![0.5, 0.5]).unwrap();
+        // L = 0.75; path 2 exceeds average by 0.25 only, so with
+        // δ = 0.3 the flow is a weak (δ,0)-equilibrium but NOT a strict
+        // (δ,ε)-one for ε < 0.5 (path 2 is 0.5 above the min).
+        assert!(is_weak_approx_equilibrium(&inst, &f, 0.3, 0.0));
+        assert!(!is_approx_equilibrium(&inst, &f, 0.3, 0.4));
+    }
+
+    #[test]
+    fn strict_implies_weak() {
+        let inst = builders::braess();
+        for f in [FlowVec::uniform(&inst), FlowVec::concentrated(&inst)] {
+            for delta in [0.0, 0.1, 0.5] {
+                let strict = unsatisfied_volume(&inst, &f, delta);
+                let weak = weakly_unsatisfied_volume(&inst, &f, delta);
+                // ℓ^i_min ≤ L_i, so weakly unsatisfied ⊆ unsatisfied.
+                assert!(weak <= strict + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unused_expensive_path_does_not_block_wardrop() {
+        let inst = builders::pigou();
+        // All flow on the constant link: ℓ₂ = 1, but ℓ₁(0) = 0 < 1, and
+        // the used path is NOT minimal — not an equilibrium.
+        let f = FlowVec::from_values(&inst, vec![0.0, 1.0]).unwrap();
+        assert!(!is_wardrop_equilibrium(&inst, &f, 1e-9));
+    }
+}

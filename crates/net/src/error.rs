@@ -1,0 +1,86 @@
+//! Error types for the Wardrop network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating Wardrop instances.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A latency function violates the paper's standing assumptions
+    /// (continuity, monotonicity, non-negativity, finite slope).
+    InvalidLatency(String),
+    /// A commodity is malformed (bad demand, identical endpoints, or
+    /// endpoints outside the graph).
+    InvalidCommodity(String),
+    /// A commodity has no source–sink path.
+    NoPath {
+        /// Index of the offending commodity.
+        commodity: usize,
+    },
+    /// Path enumeration exceeded the configured cap.
+    TooManyPaths {
+        /// Index of the offending commodity.
+        commodity: usize,
+        /// The cap that was exceeded.
+        cap: usize,
+    },
+    /// The instance is structurally inconsistent (e.g. latency count
+    /// differs from edge count).
+    Inconsistent(String),
+    /// A flow vector is infeasible for the instance.
+    InfeasibleFlow(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidLatency(msg) => write!(f, "invalid latency function: {msg}"),
+            NetError::InvalidCommodity(msg) => write!(f, "invalid commodity: {msg}"),
+            NetError::NoPath { commodity } => {
+                write!(f, "commodity {commodity} has no source-sink path")
+            }
+            NetError::TooManyPaths { commodity, cap } => write!(
+                f,
+                "commodity {commodity} has more than {cap} simple paths; raise the cap or shrink the network"
+            ),
+            NetError::Inconsistent(msg) => write!(f, "inconsistent instance: {msg}"),
+            NetError::InfeasibleFlow(msg) => write!(f, "infeasible flow: {msg}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(NetError, &str)> = vec![
+            (NetError::InvalidLatency("x".into()), "latency"),
+            (NetError::InvalidCommodity("x".into()), "commodity"),
+            (NetError::NoPath { commodity: 3 }, "commodity 3"),
+            (
+                NetError::TooManyPaths {
+                    commodity: 1,
+                    cap: 10,
+                },
+                "10",
+            ),
+            (NetError::Inconsistent("x".into()), "inconsistent"),
+            (NetError::InfeasibleFlow("x".into()), "infeasible"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<NetError>();
+    }
+}

@@ -1,0 +1,472 @@
+//! Validated Wardrop instances.
+//!
+//! An [`Instance`] bundles a graph, per-edge latency functions and
+//! commodities, together with the explicit path arena used by the path
+//! formulation of the model. Construction validates every standing
+//! assumption of the paper and precomputes the constants that appear in
+//! its theorems:
+//!
+//! * `D` — the maximum path length ([`Instance::max_path_len`]),
+//! * `β` — the maximum latency slope ([`Instance::slope_bound`]),
+//! * `ℓmax` — an upper bound on any path latency
+//!   ([`Instance::latency_upper_bound`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::commodity::Commodity;
+use crate::error::NetError;
+use crate::graph::{EdgeId, Graph};
+use crate::latency::Latency;
+use crate::path::{enumerate_simple_paths, Path, PathId};
+
+/// Default cap on simple paths per commodity during enumeration.
+pub const DEFAULT_PATH_CAP: usize = 100_000;
+
+/// Tolerance for the `Σ r_i = 1` demand normalisation check.
+pub const DEMAND_TOLERANCE: f64 = 1e-9;
+
+/// A validated instance of the Wardrop routing game.
+///
+/// # Examples
+///
+/// ```
+/// use wardrop_net::builders;
+///
+/// let inst = builders::pigou();
+/// assert_eq!(inst.num_commodities(), 1);
+/// assert_eq!(inst.num_paths(), 2);
+/// assert_eq!(inst.max_path_len(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    graph: Graph,
+    latencies: Vec<Latency>,
+    commodities: Vec<Commodity>,
+    /// All paths of all commodities, commodity-contiguous.
+    paths: Vec<Path>,
+    /// Half-open path-index ranges per commodity: commodity `i` owns
+    /// `paths[path_ranges[i] .. path_ranges[i + 1]]`.
+    path_ranges: Vec<usize>,
+    max_path_len: usize,
+    slope_bound: f64,
+    latency_upper_bound: f64,
+}
+
+impl Instance {
+    /// Builds and validates an instance, enumerating all simple paths
+    /// per commodity with the [default cap](DEFAULT_PATH_CAP).
+    ///
+    /// # Errors
+    ///
+    /// See [`Instance::with_path_cap`].
+    pub fn new(
+        graph: Graph,
+        latencies: Vec<Latency>,
+        commodities: Vec<Commodity>,
+    ) -> Result<Self, NetError> {
+        Self::with_path_cap(graph, latencies, commodities, DEFAULT_PATH_CAP)
+    }
+
+    /// Builds and validates an instance with an explicit path cap.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::Inconsistent`] if `latencies.len() != edge count`,
+    ///   there are no commodities, or total demand is not 1 (within
+    ///   [`DEMAND_TOLERANCE`]).
+    /// * [`NetError::InvalidLatency`] if any latency violates the
+    ///   standing assumptions.
+    /// * [`NetError::InvalidCommodity`] for malformed commodities.
+    /// * [`NetError::NoPath`] if a commodity has no source–sink path.
+    /// * [`NetError::TooManyPaths`] if enumeration exceeds `path_cap`.
+    pub fn with_path_cap(
+        graph: Graph,
+        latencies: Vec<Latency>,
+        commodities: Vec<Commodity>,
+        path_cap: usize,
+    ) -> Result<Self, NetError> {
+        if latencies.len() != graph.edge_count() {
+            return Err(NetError::Inconsistent(format!(
+                "{} latencies for {} edges",
+                latencies.len(),
+                graph.edge_count()
+            )));
+        }
+        for l in &latencies {
+            l.validate()?;
+        }
+        if commodities.is_empty() {
+            return Err(NetError::Inconsistent(
+                "instance needs at least one commodity".into(),
+            ));
+        }
+        for c in &commodities {
+            c.validate(&graph)?;
+        }
+        let total_demand: f64 = commodities.iter().map(|c| c.demand).sum();
+        if (total_demand - 1.0).abs() > DEMAND_TOLERANCE {
+            return Err(NetError::Inconsistent(format!(
+                "total demand must be 1 (paper normalisation), got {total_demand}"
+            )));
+        }
+
+        let mut paths = Vec::new();
+        let mut path_ranges = vec![0usize];
+        for (i, c) in commodities.iter().enumerate() {
+            let mut ps = enumerate_simple_paths(&graph, c.source, c.sink, path_cap).map_err(
+                |e| match e {
+                    NetError::TooManyPaths { cap, .. } => NetError::TooManyPaths { commodity: i, cap },
+                    other => other,
+                },
+            )?;
+            if ps.is_empty() {
+                return Err(NetError::NoPath { commodity: i });
+            }
+            paths.append(&mut ps);
+            path_ranges.push(paths.len());
+        }
+
+        let max_path_len = paths.iter().map(Path::len).max().unwrap_or(0);
+        let slope_bound = latencies
+            .iter()
+            .map(Latency::slope_bound)
+            .fold(0.0, f64::max);
+        let latency_upper_bound = paths
+            .iter()
+            .map(|p| p.edges().iter().map(|e| latencies[e.index()].at_capacity()).sum())
+            .fold(0.0_f64, f64::max);
+
+        Ok(Instance {
+            graph,
+            latencies,
+            commodities,
+            paths,
+            path_ranges,
+            max_path_len,
+            slope_bound,
+            latency_upper_bound,
+        })
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Latency function of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an edge of the instance's graph.
+    #[inline]
+    pub fn latency(&self, e: EdgeId) -> &Latency {
+        &self.latencies[e.index()]
+    }
+
+    /// All latency functions, indexed by edge.
+    #[inline]
+    pub fn latencies(&self) -> &[Latency] {
+        &self.latencies
+    }
+
+    /// The commodities.
+    #[inline]
+    pub fn commodities(&self) -> &[Commodity] {
+        &self.commodities
+    }
+
+    /// Number of commodities `k`.
+    #[inline]
+    pub fn num_commodities(&self) -> usize {
+        self.commodities.len()
+    }
+
+    /// Total number of paths `|P|` across all commodities.
+    #[inline]
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The path with id `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn path(&self, p: PathId) -> &Path {
+        &self.paths[p.index()]
+    }
+
+    /// All paths, commodity-contiguous.
+    #[inline]
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Iterates over all path ids.
+    pub fn path_ids(&self) -> impl ExactSizeIterator<Item = PathId> + '_ {
+        (0..self.paths.len()).map(PathId::from_index)
+    }
+
+    /// Path-index range `[start, end)` of commodity `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ num_commodities()`.
+    #[inline]
+    pub fn commodity_paths(&self, i: usize) -> std::ops::Range<usize> {
+        self.path_ranges[i]..self.path_ranges[i + 1]
+    }
+
+    /// Number of paths `|P_i|` of commodity `i`.
+    #[inline]
+    pub fn commodity_path_count(&self, i: usize) -> usize {
+        self.path_ranges[i + 1] - self.path_ranges[i]
+    }
+
+    /// The largest `|P_i|` over commodities — the `m` of Theorem 6.
+    pub fn max_commodity_path_count(&self) -> usize {
+        (0..self.num_commodities())
+            .map(|i| self.commodity_path_count(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The commodity owning path `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn commodity_of_path(&self, p: PathId) -> usize {
+        let idx = p.index();
+        debug_assert!(idx < self.paths.len());
+        // path_ranges is sorted; find i with path_ranges[i] <= idx < path_ranges[i+1].
+        match self.path_ranges.binary_search(&idx) {
+            Ok(i) if i < self.num_commodities() => i,
+            Ok(i) => i - 1,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Maximum path length `D = max_P |P|`.
+    #[inline]
+    pub fn max_path_len(&self) -> usize {
+        self.max_path_len
+    }
+
+    /// Maximum latency slope `β = max_e sup ℓ'_e`.
+    #[inline]
+    pub fn slope_bound(&self) -> f64 {
+        self.slope_bound
+    }
+
+    /// Upper bound `ℓmax = max_P Σ_{e ∈ P} ℓ_e(1)` on any path latency.
+    #[inline]
+    pub fn latency_upper_bound(&self) -> f64 {
+        self.latency_upper_bound
+    }
+
+    /// Grid estimate of the instance's elasticity bound
+    /// `d = max_e sup_x x·ℓ'_e(x)/ℓ_e(x)`.
+    ///
+    /// The parameter the follow-up work \[10\] replaces the slope bound
+    /// with; see [`Latency::elasticity_bound_estimate`]. `+∞` if any
+    /// edge's latency vanishes where its derivative does not.
+    pub fn elasticity_bound_estimate(&self, grid: usize) -> f64 {
+        self.latencies
+            .iter()
+            .map(|l| l.elasticity_bound_estimate(grid))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    fn two_link(latencies: Vec<Latency>) -> Result<Instance, NetError> {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        for _ in 0..latencies.len() {
+            g.add_edge(s, t);
+        }
+        Instance::new(g, latencies, vec![Commodity::new(s, t, 1.0)])
+    }
+
+    #[test]
+    fn builds_two_link_instance() {
+        let inst = two_link(vec![Latency::identity(), Latency::Constant(1.0)]).unwrap();
+        assert_eq!(inst.num_paths(), 2);
+        assert_eq!(inst.num_commodities(), 1);
+        assert_eq!(inst.max_path_len(), 1);
+        assert_eq!(inst.slope_bound(), 1.0);
+        assert_eq!(inst.latency_upper_bound(), 1.0);
+    }
+
+    #[test]
+    fn latency_count_mismatch_rejected() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t);
+        let err = Instance::new(
+            g,
+            vec![],
+            vec![Commodity::new(s, t, 1.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn demand_normalisation_enforced() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t);
+        let err = Instance::new(
+            g,
+            vec![Latency::identity()],
+            vec![Commodity::new(s, t, 0.5)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn missing_path_detected() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let u = g.add_node();
+        g.add_edge(s, t);
+        let err = Instance::new(
+            g,
+            vec![Latency::identity()],
+            vec![
+                Commodity::new(s, t, 0.5),
+                Commodity::new(s, u, 0.5),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::NoPath { commodity: 1 });
+    }
+
+    #[test]
+    fn path_cap_reports_commodity() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        for _ in 0..5 {
+            g.add_edge(s, t);
+        }
+        let err = Instance::with_path_cap(
+            g,
+            vec![Latency::identity(); 5],
+            vec![Commodity::new(s, t, 1.0)],
+            3,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::TooManyPaths {
+                commodity: 0,
+                cap: 3
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_latency_rejected() {
+        let err = two_link(vec![Latency::Constant(-1.0), Latency::identity()]).unwrap_err();
+        assert!(matches!(err, NetError::InvalidLatency(_)));
+    }
+
+    #[test]
+    fn no_commodities_rejected() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t);
+        let err = Instance::new(g, vec![Latency::identity()], vec![]).unwrap_err();
+        assert!(matches!(err, NetError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn commodity_path_ranges_partition_paths() {
+        // Two commodities on a shared 4-node graph.
+        let mut g = Graph::new();
+        let s1 = g.add_node();
+        let t1 = g.add_node();
+        let s2 = g.add_node();
+        let t2 = g.add_node();
+        g.add_edge(s1, t1);
+        g.add_edge(s1, t1);
+        g.add_edge(s2, t2);
+        let inst = Instance::new(
+            g,
+            vec![Latency::identity(); 3],
+            vec![Commodity::new(s1, t1, 0.5), Commodity::new(s2, t2, 0.5)],
+        )
+        .unwrap();
+        assert_eq!(inst.commodity_paths(0), 0..2);
+        assert_eq!(inst.commodity_paths(1), 2..3);
+        assert_eq!(inst.commodity_path_count(0), 2);
+        assert_eq!(inst.max_commodity_path_count(), 2);
+        assert_eq!(inst.commodity_of_path(PathId::from_index(0)), 0);
+        assert_eq!(inst.commodity_of_path(PathId::from_index(1)), 0);
+        assert_eq!(inst.commodity_of_path(PathId::from_index(2)), 1);
+    }
+
+    #[test]
+    fn constants_on_two_edge_path() {
+        // s -> m -> t with affine latencies.
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, m);
+        g.add_edge(m, t);
+        let inst = Instance::new(
+            g,
+            vec![
+                Latency::Affine { a: 1.0, b: 2.0 },
+                Latency::Affine { a: 0.5, b: 4.0 },
+            ],
+            vec![Commodity::new(s, t, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(inst.max_path_len(), 2);
+        assert_eq!(inst.slope_bound(), 4.0);
+        // ℓmax = (1 + 2·1) + (0.5 + 4·1) = 7.5
+        assert!((inst.latency_upper_bound() - 7.5).abs() < 1e-12);
+        let _ = NodeId::from_index(0);
+    }
+
+    #[test]
+    fn commodity_of_path_at_range_boundaries() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t);
+        g.add_edge(s, t);
+        g.add_edge(t, s);
+        let inst = Instance::new(
+            g,
+            vec![Latency::identity(); 3],
+            vec![Commodity::new(s, t, 0.7), Commodity::new(t, s, 0.3)],
+        )
+        .unwrap();
+        assert_eq!(inst.num_paths(), 3);
+        assert_eq!(inst.commodity_of_path(PathId::from_index(2)), 1);
+    }
+}

@@ -1,0 +1,683 @@
+//! Latency functions `ℓ_e : [0, 1] → R≥0`.
+//!
+//! The paper assumes continuous, non-decreasing latency functions with
+//! finite first derivatives on `[0, 1]` (flow demands are normalised so
+//! edge flows never exceed 1). Three quantities beyond point evaluation
+//! matter for the theory:
+//!
+//! * the **primitive** `∫₀^x ℓ(u) du`, which makes the
+//!   Beckmann–McGuire–Winsten potential exact rather than quadrature-based;
+//! * the **derivative** `ℓ'(x)`, needed for marginal-cost (system-optimum)
+//!   computations;
+//! * the **slope bound** `β = sup_{x ∈ [0,1]} ℓ'(x)`, which enters the
+//!   safe update period `T* = 1/(4 D α β)` of Lemma 4 / Corollary 5.
+//!
+//! All variants provide these in closed form.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+
+/// A latency function on `[0, 1]`.
+///
+/// Variants cover the instances used in the paper and the standard
+/// traffic-modelling families. All variants are continuous and, once
+/// [validated](Latency::validate), non-decreasing and non-negative on
+/// `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use wardrop_net::latency::Latency;
+///
+/// // The two-link oscillator of Section 3.2: ℓ(x) = max{0, β(x − ½)}.
+/// let l = Latency::oscillator(2.0);
+/// assert_eq!(l.eval(0.25), 0.0);
+/// assert_eq!(l.eval(0.75), 0.5);
+/// assert_eq!(l.slope_bound(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Latency {
+    /// Constant latency `ℓ(x) = a`.
+    Constant(f64),
+    /// Affine latency `ℓ(x) = a + b·x`.
+    Affine {
+        /// Constant offset `a ≥ 0`.
+        a: f64,
+        /// Slope `b ≥ 0`.
+        b: f64,
+    },
+    /// Polynomial latency `ℓ(x) = Σ_i c_i x^i` with non-negative
+    /// coefficients (ascending order, `coeffs[i]` multiplies `x^i`).
+    Polynomial(Vec<f64>),
+    /// Bureau-of-Public-Roads latency `ℓ(x) = t0 · (1 + coef · x^pow)`
+    /// with integer power `pow ≥ 1`.
+    Bpr {
+        /// Free-flow travel time `t0 ≥ 0`.
+        t0: f64,
+        /// Congestion coefficient `coef ≥ 0`.
+        coef: f64,
+        /// Congestion exponent `pow ≥ 1`.
+        pow: u32,
+    },
+    /// Continuous piecewise-linear latency given by breakpoints
+    /// `(x_0, y_0), …, (x_n, y_n)` with `x_0 = 0`, `x_n = 1`, strictly
+    /// increasing `x_i` and non-decreasing `y_i`.
+    PiecewiseLinear(Vec<(f64, f64)>),
+    /// M/M/1 queueing delay `ℓ(x) = 1/(c − x)` with capacity `c > 1`,
+    /// so the delay stays finite on the whole flow range `[0, 1]`.
+    ///
+    /// The standard latency family for communication networks; its
+    /// slope bound `β = 1/(c−1)²` explodes as `c → 1`, which is
+    /// exactly the regime where the paper's `T* = 1/(4DαΒ)` forces
+    /// long update periods to be unsafe.
+    Mm1 {
+        /// Service capacity `c > 1`.
+        capacity: f64,
+    },
+}
+
+impl Latency {
+    /// The zero latency function.
+    pub fn zero() -> Self {
+        Latency::Constant(0.0)
+    }
+
+    /// The identity latency `ℓ(x) = x` (Pigou's congestible link).
+    pub fn identity() -> Self {
+        Latency::Affine { a: 0.0, b: 1.0 }
+    }
+
+    /// The Section 3.2 oscillator latency `ℓ(x) = max{0, β(x − ½)}`.
+    ///
+    /// Both links of the paper's two-link counterexample use this
+    /// function; its Wardrop equilibrium is `f₁ = f₂ = ½` with latency 0.
+    pub fn oscillator(beta: f64) -> Self {
+        Latency::PiecewiseLinear(vec![(0.0, 0.0), (0.5, 0.0), (1.0, beta / 2.0)])
+    }
+
+    /// Evaluates `ℓ(x)`.
+    ///
+    /// `x` is clamped to `[0, 1]`; latency functions are only specified
+    /// on that range (demands are normalised to total 1).
+    pub fn eval(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match self {
+            Latency::Constant(a) => *a,
+            Latency::Affine { a, b } => a + b * x,
+            Latency::Polynomial(c) => horner(c, x),
+            Latency::Bpr { t0, coef, pow } => t0 * (1.0 + coef * x.powi(*pow as i32)),
+            Latency::PiecewiseLinear(pts) => piecewise_eval(pts, x),
+            Latency::Mm1 { capacity } => 1.0 / (capacity - x),
+        }
+    }
+
+    /// Evaluates the primitive `∫₀^x ℓ(u) du` in closed form.
+    ///
+    /// This is the per-edge contribution to the
+    /// Beckmann–McGuire–Winsten potential.
+    pub fn primitive(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match self {
+            Latency::Constant(a) => a * x,
+            Latency::Affine { a, b } => a * x + 0.5 * b * x * x,
+            Latency::Polynomial(c) => {
+                // ∫ Σ c_i u^i du = Σ c_i x^{i+1}/(i+1)
+                let mut acc = 0.0;
+                for (i, ci) in c.iter().enumerate().rev() {
+                    acc = acc * x + ci / (i as f64 + 1.0);
+                }
+                acc * x
+            }
+            Latency::Bpr { t0, coef, pow } => {
+                t0 * x + t0 * coef * x.powi(*pow as i32 + 1) / (*pow as f64 + 1.0)
+            }
+            Latency::PiecewiseLinear(pts) => piecewise_primitive(pts, x),
+            // ∫₀^x du/(c−u) = ln(c) − ln(c−x).
+            Latency::Mm1 { capacity } => capacity.ln() - (capacity - x).ln(),
+        }
+    }
+
+    /// Evaluates the derivative `ℓ'(x)`.
+    ///
+    /// For piecewise-linear functions the right derivative is returned at
+    /// breakpoints (and the left derivative at `x = 1`).
+    pub fn derivative(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match self {
+            Latency::Constant(_) => 0.0,
+            Latency::Affine { b, .. } => *b,
+            Latency::Polynomial(c) => {
+                // d/dx Σ c_i x^i = Σ_{i≥1} i·c_i x^{i−1}
+                let mut res = 0.0;
+                let mut pw = 1.0;
+                for (i, ci) in c.iter().enumerate().skip(1) {
+                    res += ci * i as f64 * pw;
+                    pw *= x;
+                }
+                res
+            }
+            Latency::Bpr { t0, coef, pow } => {
+                if *pow == 0 {
+                    0.0
+                } else {
+                    t0 * coef * *pow as f64 * x.powi(*pow as i32 - 1)
+                }
+            }
+            Latency::PiecewiseLinear(pts) => piecewise_slope(pts, x),
+            Latency::Mm1 { capacity } => {
+                let d = capacity - x;
+                1.0 / (d * d)
+            }
+        }
+    }
+
+    /// An upper bound `β_e ≥ sup_{x ∈ [0,1]} ℓ'(x)`.
+    ///
+    /// Exact for every variant: polynomial and BPR derivatives with
+    /// non-negative coefficients are maximised at `x = 1`; piecewise
+    /// functions take the maximum segment slope.
+    pub fn slope_bound(&self) -> f64 {
+        match self {
+            Latency::Constant(_) => 0.0,
+            Latency::Affine { b, .. } => *b,
+            Latency::Polynomial(c) => c
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, ci)| ci * i as f64)
+                .sum(),
+            Latency::Bpr { t0, coef, pow } => t0 * coef * *pow as f64,
+            Latency::PiecewiseLinear(pts) => pts
+                .windows(2)
+                .map(|w| (w[1].1 - w[0].1) / (w[1].0 - w[0].0))
+                .fold(0.0, f64::max),
+            // ℓ' is increasing; the maximum sits at x = 1.
+            Latency::Mm1 { capacity } => {
+                let d = capacity - 1.0;
+                1.0 / (d * d)
+            }
+        }
+    }
+
+    /// Checks the paper's standing assumptions: continuity (structural),
+    /// non-negativity and monotonicity on `[0, 1]`, finite slope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidLatency`] describing the violated
+    /// assumption.
+    pub fn validate(&self) -> Result<(), NetError> {
+        let bad = |msg: &str| Err(NetError::InvalidLatency(msg.to_string()));
+        let finite = |v: f64| v.is_finite();
+        match self {
+            Latency::Constant(a) => {
+                if !finite(*a) || *a < 0.0 {
+                    return bad("constant latency must be finite and non-negative");
+                }
+            }
+            Latency::Affine { a, b } => {
+                if !finite(*a) || !finite(*b) || *a < 0.0 || *b < 0.0 {
+                    return bad("affine latency requires a ≥ 0 and b ≥ 0");
+                }
+            }
+            Latency::Polynomial(c) => {
+                if c.is_empty() {
+                    return bad("polynomial latency requires at least one coefficient");
+                }
+                if c.iter().any(|ci| !finite(*ci) || *ci < 0.0) {
+                    return bad("polynomial latency requires non-negative coefficients");
+                }
+            }
+            Latency::Bpr { t0, coef, pow } => {
+                if !finite(*t0) || !finite(*coef) || *t0 < 0.0 || *coef < 0.0 {
+                    return bad("BPR latency requires t0 ≥ 0 and coef ≥ 0");
+                }
+                if *pow == 0 {
+                    return bad("BPR latency requires pow ≥ 1 (use Constant otherwise)");
+                }
+            }
+            Latency::Mm1 { capacity } => {
+                if !finite(*capacity) || *capacity <= 1.0 {
+                    return bad("M/M/1 latency requires capacity > 1 so ℓ(1) is finite");
+                }
+            }
+            Latency::PiecewiseLinear(pts) => {
+                if pts.len() < 2 {
+                    return bad("piecewise-linear latency requires at least two breakpoints");
+                }
+                if pts.iter().any(|(x, y)| !finite(*x) || !finite(*y)) {
+                    return bad("piecewise-linear breakpoints must be finite");
+                }
+                if (pts[0].0 - 0.0).abs() > 1e-12 || (pts[pts.len() - 1].0 - 1.0).abs() > 1e-12 {
+                    return bad("piecewise-linear breakpoints must span [0, 1]");
+                }
+                for w in pts.windows(2) {
+                    if w[1].0 <= w[0].0 {
+                        return bad("piecewise-linear x-breakpoints must be strictly increasing");
+                    }
+                    if w[1].1 < w[0].1 {
+                        return bad("piecewise-linear latency must be non-decreasing");
+                    }
+                }
+                if pts[0].1 < 0.0 {
+                    return bad("piecewise-linear latency must be non-negative");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Latency at full load, `ℓ(1)` — the per-edge ingredient of `ℓmax`.
+    pub fn at_capacity(&self) -> f64 {
+        self.eval(1.0)
+    }
+
+    /// Grid estimate of the elasticity bound
+    /// `d = sup_{x ∈ (0,1]} x·ℓ'(x)/ℓ(x)`.
+    ///
+    /// Elasticity is the parameter the follow-up work (Fischer, Räcke,
+    /// Vöcking, STOC 2006 — reference \[10\] of the paper) replaces the
+    /// slope bound with: polynomials of degree `d` have elasticity `d`
+    /// regardless of their coefficients, whereas their slope is
+    /// unbounded. Returns `+∞` when the latency vanishes somewhere its
+    /// derivative does not (e.g. the §3.2 oscillator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid == 0`.
+    pub fn elasticity_bound_estimate(&self, grid: usize) -> f64 {
+        assert!(grid > 0, "grid must be positive");
+        let mut worst = 0.0_f64;
+        for i in 1..=grid {
+            let x = i as f64 / grid as f64;
+            let l = self.eval(x);
+            let d = self.derivative(x);
+            if l <= 1e-300 {
+                if d > 0.0 {
+                    return f64::INFINITY;
+                }
+            } else {
+                worst = worst.max(x * d / l);
+            }
+        }
+        worst
+    }
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::zero()
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Latency::Constant(a) => write!(f, "{a}"),
+            Latency::Affine { a, b } => write!(f, "{a} + {b}x"),
+            Latency::Polynomial(c) => {
+                let terms: Vec<String> = c
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ci)| **ci != 0.0)
+                    .map(|(i, ci)| match i {
+                        0 => format!("{ci}"),
+                        1 => format!("{ci}x"),
+                        _ => format!("{ci}x^{i}"),
+                    })
+                    .collect();
+                if terms.is_empty() {
+                    write!(f, "0")
+                } else {
+                    write!(f, "{}", terms.join(" + "))
+                }
+            }
+            Latency::Bpr { t0, coef, pow } => write!(f, "{t0}(1 + {coef}x^{pow})"),
+            Latency::PiecewiseLinear(pts) => write!(f, "pwl{pts:?}"),
+            Latency::Mm1 { capacity } => write!(f, "1/({capacity} - x)"),
+        }
+    }
+}
+
+fn horner(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, c| acc * x + c)
+}
+
+fn piecewise_eval(pts: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(pts.len() >= 2);
+    // Find the segment containing x; segments are [x_i, x_{i+1}].
+    let mut i = match pts.binary_search_by(|p| p.0.partial_cmp(&x).expect("finite breakpoints")) {
+        Ok(i) => return pts[i].1,
+        Err(i) => i,
+    };
+    if i == 0 {
+        i = 1;
+    }
+    if i >= pts.len() {
+        i = pts.len() - 1;
+    }
+    let (x0, y0) = pts[i - 1];
+    let (x1, y1) = pts[i];
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+fn piecewise_slope(pts: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(pts.len() >= 2);
+    for w in pts.windows(2) {
+        if x < w[1].0 {
+            return (w[1].1 - w[0].1) / (w[1].0 - w[0].0);
+        }
+    }
+    let n = pts.len();
+    (pts[n - 1].1 - pts[n - 2].1) / (pts[n - 1].0 - pts[n - 2].0)
+}
+
+fn piecewise_primitive(pts: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(pts.len() >= 2);
+    let mut acc = 0.0;
+    for w in pts.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x <= x0 {
+            break;
+        }
+        let hi = x.min(x1);
+        // Trapezoid area from x0 to hi under the segment.
+        let y_hi = y0 + (y1 - y0) * (hi - x0) / (x1 - x0);
+        acc += 0.5 * (y0 + y_hi) * (hi - x0);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {a} ≈ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn constant_eval_primitive_derivative() {
+        let l = Latency::Constant(3.0);
+        assert_eq!(l.eval(0.3), 3.0);
+        assert_close(l.primitive(0.5), 1.5, EPS);
+        assert_eq!(l.derivative(0.7), 0.0);
+        assert_eq!(l.slope_bound(), 0.0);
+    }
+
+    #[test]
+    fn affine_matches_closed_forms() {
+        let l = Latency::Affine { a: 1.0, b: 2.0 };
+        assert_close(l.eval(0.5), 2.0, EPS);
+        assert_close(l.primitive(0.5), 0.5 + 0.25, EPS); // x + x²
+        assert_eq!(l.derivative(0.1), 2.0);
+        assert_eq!(l.slope_bound(), 2.0);
+    }
+
+    #[test]
+    fn polynomial_matches_closed_forms() {
+        // ℓ(x) = 1 + 2x + 3x²
+        let l = Latency::Polynomial(vec![1.0, 2.0, 3.0]);
+        assert_close(l.eval(0.5), 1.0 + 1.0 + 0.75, EPS);
+        // ∫ = x + x² + x³
+        assert_close(l.primitive(0.5), 0.5 + 0.25 + 0.125, EPS);
+        // ℓ' = 2 + 6x
+        assert_close(l.derivative(0.5), 5.0, EPS);
+        assert_close(l.slope_bound(), 2.0 + 6.0, EPS);
+    }
+
+    #[test]
+    fn bpr_matches_closed_forms() {
+        let l = Latency::Bpr {
+            t0: 1.0,
+            coef: 0.15,
+            pow: 4,
+        };
+        assert_close(l.eval(1.0), 1.15, EPS);
+        // ∫ = t0 x + t0 coef x⁵/5
+        assert_close(l.primitive(1.0), 1.0 + 0.15 / 5.0, EPS);
+        assert_close(l.derivative(1.0), 0.6, EPS);
+        assert_close(l.slope_bound(), 0.6, EPS);
+    }
+
+    #[test]
+    fn oscillator_shape_matches_paper() {
+        // ℓ(x) = max{0, β(x − ½)} with β = 4.
+        let l = Latency::oscillator(4.0);
+        assert_eq!(l.eval(0.0), 0.0);
+        assert_eq!(l.eval(0.5), 0.0);
+        assert_close(l.eval(0.75), 1.0, EPS);
+        assert_close(l.eval(1.0), 2.0, EPS);
+        assert_eq!(l.slope_bound(), 4.0);
+        // ∫₀^1 = ∫_{1/2}^1 4(u−½) du = 4 · (1/8) = 1/2.
+        assert_close(l.primitive(1.0), 0.5, EPS);
+        // Derivative is 0 before the kink, β after.
+        assert_eq!(l.derivative(0.25), 0.0);
+        assert_close(l.derivative(0.75), 4.0, EPS);
+    }
+
+    #[test]
+    fn piecewise_primitive_matches_quadrature() {
+        let l = Latency::PiecewiseLinear(vec![(0.0, 1.0), (0.25, 1.0), (0.75, 3.0), (1.0, 3.0)]);
+        l.validate().unwrap();
+        for &x in &[0.0, 0.1, 0.25, 0.3, 0.5, 0.75, 0.9, 1.0] {
+            let quad = quadrature(&l, x);
+            assert_close(l.primitive(x), quad, 1e-6);
+        }
+    }
+
+    #[test]
+    fn primitive_matches_quadrature_for_all_families() {
+        let fns = vec![
+            Latency::Constant(2.0),
+            Latency::Affine { a: 0.5, b: 3.0 },
+            Latency::Polynomial(vec![0.1, 0.0, 2.0, 1.0]),
+            Latency::Bpr {
+                t0: 2.0,
+                coef: 0.5,
+                pow: 3,
+            },
+            Latency::oscillator(2.0),
+        ];
+        for l in fns {
+            for &x in &[0.0, 0.2, 0.5, 0.8, 1.0] {
+                assert_close(l.primitive(x), quadrature(&l, x), 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_differences() {
+        let fns = vec![
+            Latency::Affine { a: 0.5, b: 3.0 },
+            Latency::Polynomial(vec![0.1, 0.0, 2.0, 1.0]),
+            Latency::Bpr {
+                t0: 2.0,
+                coef: 0.5,
+                pow: 3,
+            },
+        ];
+        for l in fns {
+            for &x in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+                let h = 1e-6;
+                let fd = (l.eval(x + h) - l.eval(x - h)) / (2.0 * h);
+                assert_close(l.derivative(x), fd, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn slope_bound_dominates_sampled_derivatives() {
+        let fns = vec![
+            Latency::Constant(1.0),
+            Latency::Affine { a: 0.0, b: 5.0 },
+            Latency::Polynomial(vec![1.0, 1.0, 1.0, 1.0]),
+            Latency::Bpr {
+                t0: 1.0,
+                coef: 2.0,
+                pow: 4,
+            },
+            Latency::oscillator(3.0),
+        ];
+        for l in fns {
+            let bound = l.slope_bound();
+            for i in 0..=100 {
+                let x = i as f64 / 100.0;
+                assert!(l.derivative(x) <= bound + 1e-9, "slope bound violated for {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn mm1_matches_closed_forms() {
+        let l = Latency::Mm1 { capacity: 2.0 };
+        l.validate().unwrap();
+        assert_close(l.eval(0.0), 0.5, EPS);
+        assert_close(l.eval(1.0), 1.0, EPS);
+        // ∫₀^1 du/(2−u) = ln 2.
+        assert_close(l.primitive(1.0), 2.0_f64.ln(), EPS);
+        assert_close(l.derivative(0.0), 0.25, EPS);
+        assert_close(l.slope_bound(), 1.0, EPS);
+        // Primitive against quadrature on interior points.
+        for &x in &[0.2, 0.5, 0.8] {
+            assert_close(l.primitive(x), quadrature(&l, x), 1e-6);
+        }
+    }
+
+    #[test]
+    fn mm1_validate_rejects_saturating_capacity() {
+        assert!(Latency::Mm1 { capacity: 1.0 }.validate().is_err());
+        assert!(Latency::Mm1 { capacity: 0.5 }.validate().is_err());
+        assert!(Latency::Mm1 {
+            capacity: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(Latency::Mm1 { capacity: 1.01 }.validate().is_ok());
+    }
+
+    #[test]
+    fn mm1_slope_bound_explodes_near_saturation() {
+        let loose = Latency::Mm1 { capacity: 3.0 };
+        let tight = Latency::Mm1 { capacity: 1.05 };
+        assert!(tight.slope_bound() > 100.0 * loose.slope_bound());
+    }
+
+    #[test]
+    fn elasticity_of_monomials_is_their_degree() {
+        // Elasticity of x^d is exactly d, independent of coefficients.
+        for d in 1..=4usize {
+            let mut coeffs = vec![0.0; d + 1];
+            coeffs[d] = 7.5; // arbitrary positive coefficient
+            let l = Latency::Polynomial(coeffs);
+            let e = l.elasticity_bound_estimate(64);
+            assert_close(e, d as f64, 1e-9);
+        }
+    }
+
+    #[test]
+    fn elasticity_of_affine_below_one() {
+        let l = Latency::Affine { a: 1.0, b: 3.0 };
+        // x·b/(a+bx) maximised at x = 1: 3/4.
+        assert_close(l.elasticity_bound_estimate(128), 0.75, 1e-9);
+    }
+
+    #[test]
+    fn elasticity_infinite_for_oscillator() {
+        // ℓ vanishes on [0, ½] while ℓ' = β beyond the kink.
+        let l = Latency::oscillator(2.0);
+        assert_eq!(l.elasticity_bound_estimate(64), f64::INFINITY);
+    }
+
+    #[test]
+    fn elasticity_zero_for_constant() {
+        assert_eq!(Latency::Constant(3.0).elasticity_bound_estimate(32), 0.0);
+    }
+
+    #[test]
+    fn eval_clamps_to_unit_interval() {
+        let l = Latency::identity();
+        assert_eq!(l.eval(-0.5), 0.0);
+        assert_eq!(l.eval(1.5), 1.0);
+    }
+
+    #[test]
+    fn validate_accepts_paper_instances() {
+        assert!(Latency::oscillator(1.0).validate().is_ok());
+        assert!(Latency::identity().validate().is_ok());
+        assert!(Latency::Constant(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_negative_constant() {
+        assert!(Latency::Constant(-1.0).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_decreasing_piecewise() {
+        let l = Latency::PiecewiseLinear(vec![(0.0, 1.0), (1.0, 0.5)]);
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_breakpoint_span() {
+        let l = Latency::PiecewiseLinear(vec![(0.1, 0.0), (1.0, 1.0)]);
+        assert!(l.validate().is_err());
+        let l = Latency::PiecewiseLinear(vec![(0.0, 0.0), (0.9, 1.0)]);
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_polynomial() {
+        assert!(Latency::Polynomial(vec![]).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        assert!(Latency::Constant(f64::NAN).validate().is_err());
+        assert!(Latency::Affine {
+            a: f64::INFINITY,
+            b: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for l in [
+            Latency::Constant(1.0),
+            Latency::identity(),
+            Latency::Polynomial(vec![1.0, 0.0, 2.0]),
+            Latency::Bpr {
+                t0: 1.0,
+                coef: 1.0,
+                pow: 2,
+            },
+            Latency::oscillator(1.0),
+        ] {
+            assert!(!format!("{l}").is_empty());
+        }
+    }
+
+    /// Simpson-rule quadrature reference for primitives.
+    fn quadrature(l: &Latency, x: f64) -> f64 {
+        let n = 2000;
+        let h = x / n as f64;
+        if x == 0.0 {
+            return 0.0;
+        }
+        let mut s = l.eval(0.0) + l.eval(x);
+        for i in 1..n {
+            let xi = i as f64 * h;
+            s += if i % 2 == 1 { 4.0 } else { 2.0 } * l.eval(xi);
+        }
+        s * h / 3.0
+    }
+}

@@ -1,0 +1,59 @@
+//! # wardrop-net
+//!
+//! The Wardrop routing model substrate for the reproduction of
+//! *Adaptive routing with stale information* (Fischer & Vöcking,
+//! PODC 2005 / TCS 2009).
+//!
+//! This crate provides everything the paper's model assumes as given:
+//!
+//! * a directed [multigraph](graph::Graph) with latency functions
+//!   [`ℓ_e : [0,1] → R≥0`](latency::Latency) that expose exact
+//!   primitives, derivatives and slope bounds;
+//! * [commodities](commodity::Commodity) and explicit
+//!   [path](path::Path) sets (the path formulation of the game);
+//! * validated [instances](instance::Instance) with the paper's derived
+//!   constants `D`, `β` and `ℓmax`;
+//! * path-[flow vectors](flow::FlowVec) with induced edge flows and
+//!   latencies;
+//! * the Beckmann–McGuire–Winsten [potential] machinery with the
+//!   virtual-gain / error-term decomposition of Lemma 3;
+//! * the paper's [equilibrium notions](equilibrium) (Wardrop, `(δ,ε)`,
+//!   weak `(δ,ε)`);
+//! * canonical and random [instance builders](builders) (Pigou, Braess,
+//!   the §3.2 oscillator, parallel links, grids, layered networks).
+//!
+//! # Examples
+//!
+//! ```
+//! use wardrop_net::{builders, flow::FlowVec, potential, equilibrium};
+//!
+//! let inst = builders::pigou();
+//! let f = FlowVec::from_values(&inst, vec![1.0, 0.0])?;
+//! assert!(equilibrium::is_wardrop_equilibrium(&inst, &f, 1e-9));
+//! assert!((potential::potential(&inst, &f) - 0.5).abs() < 1e-12);
+//! # Ok::<(), wardrop_net::error::NetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod commodity;
+pub mod error;
+pub mod equilibrium;
+pub mod flow;
+pub mod graph;
+pub mod instance;
+pub mod latency;
+pub mod path;
+pub mod potential;
+pub mod shortest_path;
+
+pub use commodity::Commodity;
+pub use error::NetError;
+pub use flow::FlowVec;
+pub use graph::{Edge, EdgeId, Graph, NodeId};
+pub use instance::Instance;
+pub use latency::Latency;
+pub use path::{Path, PathId};
+pub use shortest_path::{dijkstra, ShortestPaths};

@@ -1,0 +1,306 @@
+//! Paths and path enumeration.
+//!
+//! The paper works in the *path formulation* of the Wardrop model: the
+//! strategy space of commodity `i` is the set `P_i` of simple
+//! source–sink paths, and the population state is a flow vector indexed
+//! by paths. We therefore enumerate `P_i` explicitly (with a safety cap,
+//! since the number of simple paths can be exponential) and store all
+//! paths of all commodities in one arena indexed by [`PathId`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Identifier of a path in an instance's path arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PathId(pub(crate) u32);
+
+impl PathId {
+    /// Returns the dense index of this path.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a path id from a raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        PathId(index as u32)
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A simple directed path: a sequence of consecutive edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Creates a path from consecutive edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Inconsistent`] if the edge sequence is empty,
+    /// not consecutive in `graph`, or visits a node twice.
+    pub fn new(graph: &Graph, edges: Vec<EdgeId>) -> Result<Self, NetError> {
+        if edges.is_empty() {
+            return Err(NetError::Inconsistent("path must be non-empty".into()));
+        }
+        let mut seen = Vec::with_capacity(edges.len() + 1);
+        seen.push(graph.edge(edges[0]).from);
+        for w in edges.windows(2) {
+            if graph.edge(w[0]).to != graph.edge(w[1]).from {
+                return Err(NetError::Inconsistent(
+                    "path edges are not consecutive".into(),
+                ));
+            }
+        }
+        for &e in &edges {
+            let head = graph.edge(e).to;
+            if seen.contains(&head) {
+                return Err(NetError::Inconsistent("path revisits a node".into()));
+            }
+            seen.push(head);
+        }
+        Ok(Path { edges })
+    }
+
+    /// The edges of the path, in order.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges, `|P|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns true if the path has no edges (never constructible via
+    /// [`Path::new`], provided for completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// First node of the path.
+    pub fn source(&self, graph: &Graph) -> NodeId {
+        graph.edge(self.edges[0]).from
+    }
+
+    /// Last node of the path.
+    pub fn sink(&self, graph: &Graph) -> NodeId {
+        graph.edge(*self.edges.last().expect("paths are non-empty")).to
+    }
+
+    /// Returns true if the path uses edge `e`.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+}
+
+/// Enumerates all simple `source → sink` paths of `graph`.
+///
+/// Paths are produced in depth-first order, following edge insertion
+/// order at each node, so enumeration is deterministic.
+///
+/// # Errors
+///
+/// Returns [`NetError::TooManyPaths`] (with `commodity = usize::MAX`,
+/// rewritten by the instance builder) once more than `cap` paths have
+/// been found.
+pub fn enumerate_simple_paths(
+    graph: &Graph,
+    source: NodeId,
+    sink: NodeId,
+    cap: usize,
+) -> Result<Vec<Path>, NetError> {
+    let mut paths = Vec::new();
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+    let mut on_stack = vec![false; graph.node_count()];
+    on_stack[source.index()] = true;
+
+    // Iterative DFS over out-edge indices to avoid recursion limits on
+    // deep graphs: frame = (node, next out-edge index to try).
+    let mut frames: Vec<(NodeId, usize)> = vec![(source, 0)];
+    while let Some((node, idx)) = frames.last_mut() {
+        let node = *node;
+        let out = graph.out_edges(node);
+        if *idx >= out.len() {
+            frames.pop();
+            on_stack[node.index()] = false;
+            edge_stack.pop();
+            continue;
+        }
+        let e = out[*idx];
+        *idx += 1;
+        let head = graph.edge(e).to;
+        if on_stack[head.index()] {
+            continue;
+        }
+        if head == sink {
+            let mut edges = edge_stack.clone();
+            edges.push(e);
+            paths.push(Path { edges });
+            if paths.len() > cap {
+                return Err(NetError::TooManyPaths {
+                    commodity: usize::MAX,
+                    cap,
+                });
+            }
+            continue;
+        }
+        edge_stack.push(e);
+        on_stack[head.index()] = true;
+        frames.push((head, 0));
+    }
+    // The source frame pops an extra sentinel from edge_stack; guard by
+    // construction: we only push edges when descending, and pop exactly
+    // when a frame is exhausted, so the stacks stay balanced.
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph, NodeId, NodeId) {
+        // s -> a -> t, s -> b -> t, plus a -> b chord.
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a);
+        g.add_edge(s, b);
+        g.add_edge(a, t);
+        g.add_edge(b, t);
+        g.add_edge(a, b);
+        (g, s, t)
+    }
+
+    #[test]
+    fn enumerates_all_simple_paths_in_diamond() {
+        let (g, s, t) = diamond();
+        let paths = enumerate_simple_paths(&g, s, t, 100).unwrap();
+        // s-a-t, s-a-b-t, s-b-t
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert_eq!(p.source(&g), s);
+            assert_eq!(p.sink(&g), t);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_give_distinct_paths() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t);
+        g.add_edge(s, t);
+        g.add_edge(s, t);
+        let paths = enumerate_simple_paths(&g, s, t, 100).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn cycle_does_not_trap_enumeration() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a);
+        g.add_edge(a, s); // back edge forming a cycle
+        g.add_edge(a, t);
+        let paths = enumerate_simple_paths(&g, s, t, 100).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 2);
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let (g, s, t) = diamond();
+        let err = enumerate_simple_paths(&g, s, t, 2).unwrap_err();
+        assert!(matches!(err, NetError::TooManyPaths { cap: 2, .. }));
+    }
+
+    #[test]
+    fn no_path_yields_empty_vec() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_node(); // isolated
+        let paths = enumerate_simple_paths(&g, s, t, 100).unwrap();
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn path_new_validates_consecutiveness() {
+        let (g, s, t) = diamond();
+        let e_sa = g.out_edges(s)[0];
+        let e_bt = g.out_edges(NodeId::from_index(2))[0];
+        assert!(Path::new(&g, vec![e_sa, e_bt]).is_err());
+        let e_at = g.out_edges(NodeId::from_index(1))[0];
+        let p = Path::new(&g, vec![e_sa, e_at]).unwrap();
+        assert_eq!(p.source(&g), s);
+        assert_eq!(p.sink(&g), t);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn path_new_rejects_empty() {
+        let (g, _, _) = diamond();
+        assert!(Path::new(&g, vec![]).is_err());
+    }
+
+    #[test]
+    fn path_new_rejects_node_revisit() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let e1 = g.add_edge(s, a);
+        let e2 = g.add_edge(a, s);
+        assert!(Path::new(&g, vec![e1, e2]).is_err());
+    }
+
+    #[test]
+    fn contains_reports_edge_membership() {
+        let (g, s, t) = diamond();
+        let paths = enumerate_simple_paths(&g, s, t, 100).unwrap();
+        // The diamond has no 1-edge path; every path has ≥ 2 edges.
+        assert!(paths.iter().all(|p| p.len() >= 2));
+        // s-b-t uses edge 1 (s->b) and edge 3 (b->t) but not edge 0 (s->a).
+        let sbt = paths.iter().find(|p| p.edges()[0] == EdgeId::from_index(1)).unwrap();
+        assert!(sbt.contains(EdgeId::from_index(3)));
+        assert!(!sbt.contains(EdgeId::from_index(0)));
+    }
+
+    #[test]
+    fn deep_line_graph_enumerates_without_stack_overflow() {
+        let mut g = Graph::new();
+        let nodes = g.add_nodes(10_001);
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let paths = enumerate_simple_paths(&g, nodes[0], nodes[10_000], 10).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 10_000);
+    }
+
+    #[test]
+    fn display_path_id() {
+        assert_eq!(format!("{}", PathId::from_index(4)), "P4");
+    }
+}

@@ -1,0 +1,237 @@
+//! Dijkstra shortest paths under non-negative edge weights.
+//!
+//! The best-reply oracle of the dynamics and the Frank–Wolfe linear
+//! oracle both need minimum-latency source–sink paths. On the explicit
+//! path arenas used everywhere else this is an argmin over enumerated
+//! paths; this module provides the graph-side computation so results
+//! can be cross-checked (and so callers with networks too large to
+//! enumerate still have an oracle).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<f64>,
+    /// Incoming edge of each node on a shortest path tree (None for the
+    /// source and unreachable nodes).
+    pred: Vec<Option<EdgeId>>,
+}
+
+impl ShortestPaths {
+    /// Distance from the source to `v` (`+∞` if unreachable).
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> f64 {
+        self.dist[v.index()]
+    }
+
+    /// The source node.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Returns true if `v` is reachable from the source.
+    #[inline]
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.dist[v.index()].is_finite()
+    }
+
+    /// Reconstructs the shortest path to `sink` as an edge sequence.
+    ///
+    /// Returns `None` if `sink` is unreachable.
+    pub fn path_to(&self, graph: &Graph, sink: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.is_reachable(sink) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut node = sink;
+        while node != self.source {
+            let e = self.pred[node.index()]?;
+            edges.push(e);
+            node = graph.edge(e).from;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance (reverse), tie-break on node id for
+        // determinism; distances are finite by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Runs Dijkstra from `source` with per-edge weights.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != graph.edge_count()`, or any weight is
+/// negative or not finite.
+pub fn dijkstra(graph: &Graph, source: NodeId, weights: &[f64]) -> ShortestPaths {
+    assert_eq!(
+        weights.len(),
+        graph.edge_count(),
+        "one weight per edge required"
+    );
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapItem { dist: d, node }) = heap.pop() {
+        if settled[node.index()] {
+            continue;
+        }
+        settled[node.index()] = true;
+        for &e in graph.out_edges(node) {
+            let edge = graph.edge(e);
+            let nd = d + weights[e.index()];
+            if nd < dist[edge.to.index()] {
+                dist[edge.to.index()] = nd;
+                pred[edge.to.index()] = Some(e);
+                heap.push(HeapItem {
+                    dist: nd,
+                    node: edge.to,
+                });
+            }
+        }
+    }
+    ShortestPaths { source, dist, pred }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph, NodeId, NodeId, Vec<f64>) {
+        // s -> a -> t (1 + 1), s -> b -> t (3 + 1), a -> b chord (0.5).
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, a); // 0: 1
+        g.add_edge(s, b); // 1: 3
+        g.add_edge(a, t); // 2: 1
+        g.add_edge(b, t); // 3: 1
+        g.add_edge(a, b); // 4: 0.5
+        (g, s, t, vec![1.0, 3.0, 1.0, 1.0, 0.5])
+    }
+
+    #[test]
+    fn finds_shortest_distances() {
+        let (g, s, t, w) = diamond();
+        let sp = dijkstra(&g, s, &w);
+        assert_eq!(sp.distance(s), 0.0);
+        assert_eq!(sp.distance(t), 2.0); // s-a-t
+        assert_eq!(sp.distance(NodeId::from_index(2)), 1.5); // via chord
+    }
+
+    #[test]
+    fn reconstructs_path() {
+        let (g, s, t, w) = diamond();
+        let sp = dijkstra(&g, s, &w);
+        let path = sp.path_to(&g, t).unwrap();
+        assert_eq!(path, vec![EdgeId::from_index(0), EdgeId::from_index(2)]);
+    }
+
+    #[test]
+    fn unreachable_nodes_reported() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let island = g.add_node();
+        let sp = dijkstra(&g, s, &[]);
+        assert!(!sp.is_reachable(island));
+        assert!(sp.path_to(&g, island).is_none());
+        assert_eq!(sp.distance(island), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_weight_edges_handled() {
+        let (g, s, t, mut w) = diamond();
+        w = w.iter().map(|_| 0.0).collect();
+        let sp = dijkstra(&g, s, &w);
+        assert_eq!(sp.distance(t), 0.0);
+        assert!(sp.path_to(&g, t).is_some());
+    }
+
+    #[test]
+    fn parallel_edges_pick_cheaper() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let _e1 = g.add_edge(s, t);
+        let e2 = g.add_edge(s, t);
+        let sp = dijkstra(&g, s, &[5.0, 2.0]);
+        assert_eq!(sp.distance(t), 2.0);
+        assert_eq!(sp.path_to(&g, t).unwrap(), vec![e2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let (g, s, _, mut w) = diamond();
+        w[0] = -1.0;
+        let _ = dijkstra(&g, s, &w);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn weight_length_checked() {
+        let (g, s, _, _) = diamond();
+        let _ = dijkstra(&g, s, &[1.0]);
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_enumerated_paths() {
+        // On an instance small enough to enumerate, the graph-side
+        // shortest path must match the arena argmin.
+        use crate::builders;
+        use crate::flow::FlowVec;
+        let inst = builders::grid_network(3, 3, 23);
+        let f = FlowVec::uniform(&inst);
+        let weights = f.edge_latencies(&inst);
+        let lp = f.path_latencies(&inst);
+        let c = inst.commodities()[0];
+        let sp = dijkstra(inst.graph(), c.source, &weights);
+        let best_enumerated = inst
+            .commodity_paths(0)
+            .map(|p| lp[p])
+            .fold(f64::INFINITY, f64::min);
+        assert!((sp.distance(c.sink) - best_enumerated).abs() < 1e-12);
+    }
+}

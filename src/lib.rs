@@ -1,0 +1,75 @@
+//! # wardrop
+//!
+//! A production-quality Rust reproduction of **“Adaptive routing with
+//! stale information”** (Simon Fischer & Berthold Vöcking, PODC 2005;
+//! journal version TCS 410:3357–3371, 2009).
+//!
+//! The paper studies load-adaptive rerouting in the Wardrop model when
+//! agents act on *stale* information from a periodically refreshed
+//! bulletin board. Naive policies (best response) oscillate forever;
+//! the paper's **α-smooth** policies — sample a path, migrate with
+//! probability at most `α · (latency gain)` — provably converge to
+//! Wardrop equilibria whenever the update period satisfies
+//! `T ≤ 1/(4 D α β)`.
+//!
+//! This facade re-exports the four sub-crates:
+//!
+//! * [`net`] — the Wardrop model substrate (graphs, latencies, paths,
+//!   flows, potential, equilibria, instance builders);
+//! * [`core`] — the paper's contribution (bulletin board, smooth
+//!   policies, fluid-limit engine, best response, closed forms);
+//! * [`analysis`] — equilibrium solvers, price of anarchy, oscillation
+//!   detection, convergence metrics;
+//! * [`agents`] — a finite-population discrete-event simulator.
+//!
+//! # Quick start
+//!
+//! ```
+//! use wardrop::prelude::*;
+//!
+//! // The Braess network under replicator dynamics with a stale board.
+//! let inst = builders::braess();
+//! let policy = replicator(&inst);
+//! let t_safe = safe_update_period(&inst, policy.smoothness().unwrap());
+//! let config = SimulationConfig::new(t_safe, 500);
+//! let traj = run(&inst, &policy, &FlowVec::uniform(&inst), &config);
+//! assert_eq!(traj.monotonicity_violations(1e-10), 0); // Lemma 4
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wardrop_agents as agents;
+pub use wardrop_analysis as analysis;
+pub use wardrop_core as core;
+pub use wardrop_net as net;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use wardrop_agents::sim::{run_agents, AgentPolicy, AgentSimConfig};
+    pub use wardrop_analysis::frank_wolfe::{minimise, FrankWolfeConfig, Objective};
+    pub use wardrop_analysis::metrics::{bad_phase_count, summarise, EquilibriumKind};
+    pub use wardrop_analysis::oscillation::{amplitude, detect_orbit, OrbitKind};
+    pub use wardrop_analysis::poa::price_of_anarchy;
+    pub use wardrop_analysis::rates::potential_decay_rate;
+    pub use wardrop_analysis::regret::population_regret;
+    pub use wardrop_core::best_response::BestResponse;
+    pub use wardrop_core::board::BulletinBoard;
+    pub use wardrop_core::engine::{run, Dynamics, PhaseSchedule, SimulationConfig};
+    pub use wardrop_core::integrator::Integrator;
+    pub use wardrop_core::migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};
+    pub use wardrop_core::policy::{
+        fast_relative_slack, replicator, smoothed_best_response, uniform_linear,
+        ReroutingPolicy, SmoothPolicy,
+    };
+    pub use wardrop_core::sampling::{Logit, Proportional, SamplingRule, Uniform};
+    pub use wardrop_core::theory::{self, safe_update_period};
+    pub use wardrop_core::trajectory::Trajectory;
+    pub use wardrop_net::builders;
+    pub use wardrop_net::equilibrium::{
+        is_approx_equilibrium, is_wardrop_equilibrium, max_regret,
+    };
+    pub use wardrop_net::flow::FlowVec;
+    pub use wardrop_net::potential::{potential, virtual_gain};
+    pub use wardrop_net::{Commodity, Graph, Instance, Latency, NetError, PathId};
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the finite-population simulator against the
+//! fluid limit — the law-of-large-numbers argument behind the paper's
+//! model.
+
+use wardrop::prelude::*;
+
+/// The empirical trajectory approaches the ODE trajectory as N grows.
+#[test]
+fn empirical_flows_approach_fluid_limit() {
+    let inst = builders::braess();
+    let t = 0.25;
+    let phases = 60;
+    let f0 = FlowVec::uniform(&inst);
+    let fluid = run(
+        &inst,
+        &replicator(&inst),
+        &f0,
+        &SimulationConfig::new(t, phases).with_flows(),
+    );
+
+    let mean_dist = |n: u64| {
+        let config = AgentSimConfig::new(n, t, phases, 5).with_flows();
+        let traj = run_agents(&inst, &AgentPolicy::replicator(&inst), &f0, &config);
+        let d: f64 = traj
+            .flows
+            .iter()
+            .zip(&fluid.flows)
+            .map(|(a, b)| a.linf_distance(b))
+            .sum();
+        d / phases as f64
+    };
+
+    let small = mean_dist(200);
+    let large = mean_dist(20_000);
+    assert!(
+        large < small / 3.0,
+        "LLN: distance must shrink markedly ({small} → {large})"
+    );
+    assert!(large < 0.02);
+}
+
+/// Finite-agent uniform+linear reaches an approximate equilibrium, and
+/// its bad-phase count respects the Theorem 6 bound (the stochastic
+/// process tracks the fluid guarantee).
+#[test]
+fn agent_bad_phases_respect_theorem6_shape() {
+    let inst = builders::random_parallel_links(4, 1.0, 0.2, 2.0, 9);
+    let alpha = 1.0 / inst.latency_upper_bound();
+    let t = safe_update_period(&inst, alpha).min(1.0);
+    let (delta, eps) = (0.3, 0.1);
+    let config = AgentSimConfig::new(5_000, t, 2000, 13).with_deltas(vec![delta]);
+    let traj = run_agents(
+        &inst,
+        &AgentPolicy::uniform_linear(&inst),
+        &FlowVec::uniform(&inst),
+        &config,
+    );
+    let bad = traj.bad_phase_count(0, eps) as f64;
+    let bound = wardrop::core::theory::theorem6_bound(&inst, t, delta, eps);
+    assert!(bad <= bound, "bad {bad} vs bound {bound}");
+    // And the tail is good: the process stays near equilibrium.
+    let tail_bad = traj
+        .phases
+        .iter()
+        .rev()
+        .take(100)
+        .filter(|p| p.unsatisfied[0] > eps)
+        .count();
+    assert!(tail_bad <= 5, "tail still bad in {tail_bad}/100 phases");
+}
+
+/// Same seed ⇒ identical trajectory; different seeds ⇒ different
+/// trajectories (determinism without degeneracy).
+#[test]
+fn agent_runs_are_deterministic_per_seed() {
+    let inst = builders::braess();
+    let f0 = FlowVec::uniform(&inst);
+    let mk = |seed| {
+        let config = AgentSimConfig::new(300, 0.25, 30, seed).with_flows();
+        run_agents(&inst, &AgentPolicy::replicator(&inst), &f0, &config)
+    };
+    let a = mk(1);
+    let b = mk(1);
+    let c = mk(2);
+    assert_eq!(a.final_flow, b.final_flow);
+    assert_eq!(a.flows, b.flows);
+    assert_ne!(a.final_flow, c.final_flow);
+}
+
+/// The agent simulator and the fluid engine expose the same trajectory
+/// schema, so analysis tooling is interchangeable.
+#[test]
+fn trajectory_schema_is_shared() {
+    let inst = builders::pigou();
+    let f0 = FlowVec::uniform(&inst);
+    let fluid = run(
+        &inst,
+        &uniform_linear(&inst),
+        &f0,
+        &SimulationConfig::new(0.5, 20).with_deltas(vec![0.1]),
+    );
+    let agents = run_agents(
+        &inst,
+        &AgentPolicy::uniform_linear(&inst),
+        &f0,
+        &AgentSimConfig::new(500, 0.5, 20, 1).with_deltas(vec![0.1]),
+    );
+    // Same analysis functions apply to both.
+    let s1 = summarise(&fluid, 0.5);
+    let s2 = summarise(&agents, 0.5);
+    assert_eq!(s1.phases, 20);
+    assert_eq!(s2.phases, 20);
+    assert_eq!(fluid.deltas, agents.deltas);
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the paper's convergence guarantees,
+//! end to end (net → core → analysis).
+
+use wardrop::prelude::*;
+
+/// Every α-smooth policy at T = T* converges to the Frank–Wolfe
+/// ground-truth potential on every builder instance (Corollary 5).
+#[test]
+fn smooth_policies_reach_ground_truth_potential() {
+    let instances = vec![
+        builders::pigou(),
+        builders::braess(),
+        builders::two_link_oscillator(2.0),
+        builders::random_parallel_links(5, 1.0, 0.2, 2.0, 8),
+        builders::grid_network(3, 3, 8),
+    ];
+    for inst in &instances {
+        let phi_star = minimise(inst, Objective::Potential, &FrankWolfeConfig::default()).value;
+        let alpha = 1.0 / inst.latency_upper_bound();
+        let t = safe_update_period(inst, alpha);
+        for policy_is_replicator in [false, true] {
+            let config = SimulationConfig::new(t, 4000);
+            let traj = if policy_is_replicator {
+                run(inst, &replicator(inst), &FlowVec::uniform(inst), &config)
+            } else {
+                run(inst, &uniform_linear(inst), &FlowVec::uniform(inst), &config)
+            };
+            let gap = traj.phases.last().unwrap().potential_end - phi_star;
+            assert!(
+                gap < 5e-3,
+                "replicator={policy_is_replicator}: final gap {gap}"
+            );
+            assert_eq!(traj.monotonicity_violations(1e-10), 0);
+        }
+    }
+}
+
+/// The Lemma 4 inequality ΔΦ ≤ ½V holds on every phase of a smooth run
+/// within the safe period, on a multi-commodity instance.
+#[test]
+fn lemma4_holds_on_multi_commodity_grid() {
+    let inst = builders::multi_commodity_grid(3, 3, 4);
+    let policy = uniform_linear(&inst);
+    let alpha = policy.smoothness().unwrap();
+    let t = safe_update_period(&inst, alpha);
+    let config = SimulationConfig::new(t, 500);
+    let traj = run(&inst, &policy, &FlowVec::concentrated(&inst), &config);
+    assert_eq!(traj.lemma4_violations(1e-10), 0);
+    assert!(traj.lemma4_worst_slack() <= 1e-10);
+}
+
+/// Theorem 6/7 bounds dominate measured bad-phase counts end to end.
+#[test]
+fn theorem_bounds_dominate_measured_counts() {
+    let inst = builders::random_parallel_links(6, 1.0, 0.2, 2.0, 21);
+    let alpha = 1.0 / inst.latency_upper_bound();
+    let t = safe_update_period(&inst, alpha).min(1.0);
+    let (delta, eps) = (0.2, 0.05);
+
+    let config = SimulationConfig::new(t, 4000).with_deltas(vec![delta]);
+    let uni = run(&inst, &uniform_linear(&inst), &FlowVec::uniform(&inst), &config);
+    let strict_bad = uni.bad_phase_count(0, eps) as f64;
+    assert!(strict_bad <= wardrop::core::theory::theorem6_bound(&inst, t, delta, eps));
+
+    let rep = run(&inst, &replicator(&inst), &FlowVec::uniform(&inst), &config);
+    let weak_bad = rep.weak_bad_phase_count(0, eps) as f64;
+    assert!(weak_bad <= wardrop::core::theory::theorem7_bound(&inst, t, delta, eps));
+}
+
+/// Integrators agree along a full multi-phase run, not just one phase.
+#[test]
+fn integrators_agree_along_full_runs() {
+    let inst = builders::braess();
+    let policy = uniform_linear(&inst);
+    let f0 = FlowVec::concentrated(&inst);
+    let t = 0.15;
+    let run_with = |integ: Integrator| {
+        let config = SimulationConfig::new(t, 50).with_integrator(integ);
+        run(&inst, &policy, &f0, &config).final_flow
+    };
+    let exact = run_with(Integrator::Uniformization { tol: 1e-13 });
+    let rk4 = run_with(Integrator::Rk4 { dt: 0.005 });
+    let euler = run_with(Integrator::Euler { dt: 0.0002 });
+    assert!(exact.linf_distance(&rk4) < 1e-7, "rk4 drift {}", exact.linf_distance(&rk4));
+    assert!(exact.linf_distance(&euler) < 1e-3, "euler drift {}", exact.linf_distance(&euler));
+}
+
+/// The engine's flow stays feasible after thousands of phases
+/// (renormalisation absorbs floating-point drift).
+#[test]
+fn feasibility_preserved_over_long_runs() {
+    let inst = builders::grid_network(3, 3, 2);
+    let policy = replicator(&inst);
+    let config = SimulationConfig::new(0.2, 5000);
+    let traj = run(&inst, &policy, &FlowVec::uniform(&inst), &config);
+    assert!(traj.final_flow.is_feasible(&inst, 1e-9));
+}
+
+/// Best response converges on instances whose equilibrium is a strict
+/// vertex (Braess) but not on the §3.2 oscillator — both behaviours in
+/// one suite to prevent regressions that "fix" the oscillation.
+#[test]
+fn best_response_dichotomy() {
+    let braess = builders::braess();
+    let config = SimulationConfig::new(0.25, 400);
+    let ok = run(&braess, &BestResponse::new(), &FlowVec::uniform(&braess), &config);
+    assert!(ok.phases.last().unwrap().max_regret_start < 1e-3);
+
+    let osc = builders::two_link_oscillator(4.0);
+    let f1 = theory::oscillation::initial_flow(0.25);
+    let f0 = FlowVec::from_values(&osc, vec![f1, 1.0 - f1]).unwrap();
+    let bad = run(&osc, &BestResponse::new(), &f0, &SimulationConfig::new(0.25, 400));
+    assert!(bad.phases.last().unwrap().max_regret_start > 0.1);
+}
+
+/// Early stopping honours the regret threshold and shortens the run.
+#[test]
+fn early_stop_cross_crate() {
+    let inst = builders::pigou();
+    let config = SimulationConfig::new(0.25, 100_000).with_stop_regret(0.01);
+    let traj = run(&inst, &uniform_linear(&inst), &FlowVec::uniform(&inst), &config);
+    assert!(traj.len() < 100_000);
+    assert!(max_regret(&inst, &traj.final_flow, 1e-12) < 0.011);
+}

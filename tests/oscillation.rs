@@ -1,0 +1,112 @@
+//! Integration tests for the §3.2 oscillation construction: engine,
+//! closed forms, orbit detection and the finite-agent simulator must
+//! all tell the same story.
+
+use wardrop::prelude::*;
+
+fn oscillating_start(inst: &Instance, t_period: f64) -> FlowVec {
+    let f1 = theory::oscillation::initial_flow(t_period);
+    FlowVec::from_values(inst, vec![f1, 1.0 - f1]).unwrap()
+}
+
+/// The fluid engine reproduces the closed-form orbit to near machine
+/// precision for several (β, T) combinations.
+#[test]
+fn engine_matches_closed_form_orbit() {
+    for beta in [0.5, 2.0, 8.0] {
+        for t_period in [0.1, 0.5, 1.5] {
+            let inst = builders::two_link_oscillator(beta);
+            let f0 = oscillating_start(&inst, t_period);
+            let config = SimulationConfig::new(t_period, 30).with_flows();
+            let traj = run(&inst, &BestResponse::new(), &f0, &config);
+            for (i, flow) in traj.flows.iter().enumerate() {
+                let analytic = theory::oscillation::orbit_f1(i as f64 * t_period, t_period);
+                assert!(
+                    (flow.values()[0] - analytic).abs() < 1e-9,
+                    "β={beta} T={t_period} phase {i}"
+                );
+            }
+        }
+    }
+}
+
+/// The measured latency deviation equals the paper's X formula.
+#[test]
+fn deviation_formula_verified_by_simulation() {
+    for (beta, t_period) in [(1.0, 0.3), (4.0, 0.7)] {
+        let inst = builders::two_link_oscillator(beta);
+        let f0 = oscillating_start(&inst, t_period);
+        let config = SimulationConfig::new(t_period, 20).with_flows();
+        let traj = run(&inst, &BestResponse::new(), &f0, &config);
+        let measured = traj
+            .flows
+            .iter()
+            .map(|f| f.max_used_latency(&inst, 1e-12))
+            .fold(0.0_f64, f64::max);
+        let predicted = theory::oscillation::deviation(beta, t_period);
+        assert!((measured - predicted).abs() < 1e-9);
+    }
+}
+
+/// Below the critical period T(ε) the deviation stays under ε; above
+/// it, over.
+#[test]
+fn critical_period_separates_deviations() {
+    let beta = 2.0;
+    for eps in [0.05, 0.15, 0.3] {
+        let t_crit = theory::oscillation::max_period_for_deviation(beta, eps).unwrap();
+        for (t, expect_below) in [(0.8 * t_crit, true), (1.25 * t_crit, false)] {
+            let inst = builders::two_link_oscillator(beta);
+            let f0 = oscillating_start(&inst, t);
+            let config = SimulationConfig::new(t, 16).with_flows();
+            let traj = run(&inst, &BestResponse::new(), &f0, &config);
+            let measured = traj
+                .flows
+                .iter()
+                .map(|f| f.max_used_latency(&inst, 1e-12))
+                .fold(0.0_f64, f64::max);
+            assert_eq!(measured < eps, expect_below, "ε={eps} T={t}");
+        }
+    }
+}
+
+/// Orbit detection classifies the §3.2 run as period-2 and a smooth
+/// run on the same instance as a fixed point.
+#[test]
+fn orbit_classification_end_to_end() {
+    let inst = builders::two_link_oscillator(2.0);
+    let t = 0.5;
+    let f0 = oscillating_start(&inst, t);
+    let config = SimulationConfig::new(t, 50).with_flows();
+    let br = run(&inst, &BestResponse::new(), &f0, &config);
+    assert_eq!(detect_orbit(&br, 10, 4, 1e-9), OrbitKind::Periodic(2));
+    assert!(amplitude(&br, 10) > 0.1);
+
+    let asym = FlowVec::from_values(&inst, vec![0.8, 0.2]).unwrap();
+    let smooth = run(
+        &inst,
+        &uniform_linear(&inst),
+        &asym,
+        &SimulationConfig::new(t, 600).with_flows(),
+    );
+    assert_eq!(detect_orbit(&smooth, 10, 4, 1e-6), OrbitKind::FixedPoint);
+}
+
+/// The finite-agent simulator oscillates in phase with the fluid orbit
+/// for large N.
+#[test]
+fn agents_track_the_oscillation() {
+    let inst = builders::two_link_oscillator(4.0);
+    let t = 0.5;
+    let f0 = oscillating_start(&inst, t);
+    let config = AgentSimConfig::new(20_000, t, 24, 3).with_flows();
+    let traj = run_agents(&inst, &AgentPolicy::BestResponse, &f0, &config);
+    for (i, flow) in traj.flows.iter().enumerate().skip(1) {
+        let analytic = theory::oscillation::orbit_f1(i as f64 * t, t);
+        assert!(
+            (flow.values()[0] - analytic).abs() < 0.05,
+            "phase {i}: {} vs {analytic}",
+            flow.values()[0]
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Property-based tests (proptest) on the model's invariants.
+//!
+//! Strategies generate random parallel-link and layered instances,
+//! random feasible flows and random phase lengths; the properties are
+//! the paper's structural facts: mass conservation, exact potential
+//! decomposition (Lemma 3), monotone potential for smooth policies
+//! within the safe period (Lemma 4), integrator agreement, and
+//! equilibrium-notion orderings.
+
+use proptest::prelude::*;
+use wardrop::prelude::*;
+use wardrop::net::potential::lemma3_residual;
+
+/// Strategy: a random parallel-link instance with affine latencies.
+fn arb_parallel_instance() -> impl Strategy<Value = Instance> {
+    (2usize..10, 0u64..1000).prop_map(|(m, seed)| {
+        builders::random_parallel_links(m, 1.0, 0.1, 2.0, seed)
+    })
+}
+
+/// Strategy: a random layered instance (small, multi-edge paths).
+fn arb_layered_instance() -> impl Strategy<Value = Instance> {
+    (1usize..3, 2usize..4, 0u64..1000)
+        .prop_map(|(layers, width, seed)| builders::layered_network(layers, width, seed))
+}
+
+/// Strategy: a feasible random flow for an instance, built from
+/// non-negative weights normalised per commodity.
+fn arb_flow(inst: &Instance) -> impl Strategy<Value = FlowVec> {
+    let n = inst.num_paths();
+    let ranges: Vec<std::ops::Range<usize>> = (0..inst.num_commodities())
+        .map(|i| inst.commodity_paths(i))
+        .collect();
+    let demands: Vec<f64> = inst.commodities().iter().map(|c| c.demand).collect();
+    proptest::collection::vec(0.01f64..1.0, n).prop_map(move |mut w| {
+        for (range, demand) in ranges.iter().zip(&demands) {
+            let total: f64 = w[range.clone()].iter().sum();
+            for v in &mut w[range.clone()] {
+                *v *= demand / total;
+            }
+        }
+        FlowVec::from_values_unchecked(w)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 3 is an identity: the residual vanishes for every pair of
+    /// feasible flows on every instance.
+    #[test]
+    fn lemma3_identity_universal(
+        inst in arb_parallel_instance(),
+    ) {
+        let runner = |a: &FlowVec, b: &FlowVec| {
+            prop_assert!(lemma3_residual(&inst, a, b).abs() < 1e-10);
+            Ok(())
+        };
+        let uniform = FlowVec::uniform(&inst);
+        let conc = FlowVec::concentrated(&inst);
+        runner(&uniform, &conc)?;
+        runner(&conc, &uniform)?;
+    }
+
+    /// Lemma 3 on layered networks with random flows.
+    #[test]
+    fn lemma3_identity_layered(
+        (inst, seedflow) in arb_layered_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        })
+    ) {
+        let g = FlowVec::uniform(&inst);
+        prop_assert!(lemma3_residual(&inst, &seedflow, &g).abs() < 1e-10);
+    }
+
+    /// One engine phase conserves mass per commodity and keeps flows
+    /// non-negative, for random starts and phase lengths.
+    #[test]
+    fn engine_phase_preserves_feasibility(
+        (inst, f0) in arb_parallel_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+        tau in 0.01f64..2.0,
+    ) {
+        let policy = uniform_linear(&inst);
+        let config = SimulationConfig::new(tau, 3);
+        let traj = run(&inst, &policy, &f0, &config);
+        prop_assert!(traj.final_flow.is_feasible(&inst, 1e-6));
+    }
+
+    /// Within the safe period the potential never increases across
+    /// phases (Lemma 4 ⇒ Corollary 5), from any start.
+    #[test]
+    fn potential_monotone_within_safe_period(
+        (inst, f0) in arb_parallel_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+        t_frac in 0.05f64..1.0,
+    ) {
+        let policy = uniform_linear(&inst);
+        let alpha = policy.smoothness().unwrap();
+        let t = safe_update_period(&inst, alpha) * t_frac;
+        let config = SimulationConfig::new(t, 30);
+        let traj = run(&inst, &policy, &f0, &config);
+        prop_assert_eq!(traj.monotonicity_violations(1e-10), 0);
+        prop_assert_eq!(traj.lemma4_violations(1e-10), 0);
+    }
+
+    /// Uniformization and RK4 agree on arbitrary phases.
+    #[test]
+    fn integrators_agree(
+        (inst, f0) in arb_parallel_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+        tau in 0.01f64..3.0,
+    ) {
+        use wardrop::core::board::BulletinBoard;
+        use wardrop::core::policy::ReroutingPolicy;
+        let policy = uniform_linear(&inst);
+        let board = BulletinBoard::post(&inst, &f0, 0.0);
+        let rates = policy.phase_rates(&inst, &board);
+        let mut a = f0.values().to_vec();
+        Integrator::Uniformization { tol: 1e-13 }.advance(&rates, &mut a, tau);
+        let mut b = f0.values().to_vec();
+        Integrator::Rk4 { dt: 0.01 }.advance(&rates, &mut b, tau);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6, "{} vs {}", x, y);
+        }
+    }
+
+    /// Strict (δ,ε)-equilibria are weak (δ,ε)-equilibria (Definitions
+    /// 3 and 4), and unsatisfied volumes are monotone in δ.
+    #[test]
+    fn equilibrium_notions_ordered(
+        (inst, f) in arb_parallel_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+        delta in 0.0f64..1.0,
+    ) {
+        use wardrop::net::equilibrium::{unsatisfied_volume, weakly_unsatisfied_volume};
+        let strict = unsatisfied_volume(&inst, &f, delta);
+        let weak = weakly_unsatisfied_volume(&inst, &f, delta);
+        prop_assert!(weak <= strict + 1e-12);
+        let strict_wider = unsatisfied_volume(&inst, &f, delta + 0.1);
+        prop_assert!(strict_wider <= strict + 1e-12);
+    }
+
+    /// The potential is bounded by ℓmax and the Frank–Wolfe optimum
+    /// lower-bounds it for every feasible flow.
+    #[test]
+    fn potential_bounds(
+        (inst, f) in arb_parallel_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+    ) {
+        let phi = potential(&inst, &f);
+        prop_assert!(phi >= 0.0);
+        prop_assert!(phi <= inst.latency_upper_bound() + 1e-9);
+        let phi_star = minimise(&inst, Objective::Potential, &FrankWolfeConfig::default()).value;
+        prop_assert!(phi >= phi_star - 1e-6);
+    }
+
+    /// Migration rules are α-smooth: µ ≤ α·gap on random latency pairs.
+    #[test]
+    fn migration_rules_respect_declared_smoothness(
+        lmax in 0.5f64..10.0,
+        lp in 0.0f64..10.0,
+        lq in 0.0f64..10.0,
+    ) {
+        let lin = Linear::new(lmax);
+        let alpha = lin.smoothness().unwrap();
+        if lp > lq {
+            prop_assert!(lin.probability(lp, lq) <= alpha * (lp - lq) + 1e-12);
+        } else {
+            prop_assert_eq!(lin.probability(lp, lq), 0.0);
+        }
+        let sl = ScaledLinear::new(2.0);
+        if lp > lq {
+            prop_assert!(sl.probability(lp, lq) <= 2.0 * (lp - lq) + 1e-12);
+        }
+    }
+
+    /// The safe update period scales as predicted: halving α doubles T*.
+    #[test]
+    fn safe_period_scales_inversely_with_alpha(
+        inst in arb_parallel_instance(),
+        alpha in 0.01f64..10.0,
+    ) {
+        let t1 = safe_update_period(&inst, alpha);
+        let t2 = safe_update_period(&inst, alpha / 2.0);
+        if t1.is_finite() {
+            prop_assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        }
+    }
+
+    /// Dijkstra and the enumerated-path argmin agree on every random
+    /// instance and flow.
+    #[test]
+    fn dijkstra_matches_path_argmin(
+        (inst, f) in arb_layered_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+    ) {
+        use wardrop::net::shortest_path::dijkstra;
+        let weights = f.edge_latencies(&inst);
+        let lp = f.path_latencies(&inst);
+        let c = inst.commodities()[0];
+        let sp = dijkstra(inst.graph(), c.source, &weights);
+        let best = inst
+            .commodity_paths(0)
+            .map(|p| lp[p])
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((sp.distance(c.sink) - best).abs() < 1e-9);
+    }
+
+    /// Jittered schedules keep the Lemma 4 guarantee when the longest
+    /// phase stays within T*.
+    #[test]
+    fn jitter_preserves_guarantee(
+        inst in arb_parallel_instance(),
+        amplitude in 0.0f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let policy = uniform_linear(&inst);
+        let alpha = policy.smoothness().unwrap();
+        let t_star = safe_update_period(&inst, alpha);
+        let config = SimulationConfig::new(t_star / (1.0 + amplitude), 20)
+            .with_jitter(amplitude, seed);
+        let traj = run(&inst, &policy, &FlowVec::concentrated(&inst), &config);
+        prop_assert_eq!(traj.monotonicity_violations(1e-10), 0);
+        prop_assert_eq!(traj.lemma4_violations(1e-10), 0);
+    }
+
+    /// Population regret is non-negative along any smooth run.
+    #[test]
+    fn regret_nonnegative(
+        inst in arb_parallel_instance(),
+        t in 0.05f64..0.5,
+    ) {
+        let policy = uniform_linear(&inst);
+        let config = SimulationConfig::new(t, 30).with_flows();
+        let traj = run(&inst, &policy, &FlowVec::concentrated(&inst), &config);
+        let report = wardrop::analysis::regret::population_regret(&inst, &traj);
+        for r in &report.regret {
+            prop_assert!(*r >= -1e-10);
+        }
+    }
+
+    /// Series-parallel builders always produce enumerable, feasible
+    /// instances whose equilibria the solver certifies.
+    #[test]
+    fn series_parallel_instances_solve(
+        depth in 0usize..5,
+        seed in 0u64..200,
+    ) {
+        let inst = builders::series_parallel(depth, seed);
+        let eq = minimise(&inst, Objective::Potential, &FrankWolfeConfig::default());
+        prop_assert!(eq.flow.is_feasible(&inst, 1e-6));
+        prop_assert!(is_wardrop_equilibrium(&inst, &eq.flow, 1e-2));
+    }
+
+    /// Agent populations round-trip through flows within 1/N.
+    #[test]
+    fn population_round_trip(
+        (inst, f) in arb_parallel_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+        n in 10u64..10_000,
+    ) {
+        use wardrop::agents::Population;
+        let pop = Population::apportion(&inst, n, &f);
+        prop_assert_eq!(pop.num_agents(), n);
+        let g = pop.to_flow(&inst);
+        prop_assert!(g.is_feasible(&inst, 1e-9));
+        prop_assert!(f.linf_distance(&g) <= 1.0 / n as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Serialisation round-trips: instances, flows, boards, trajectories
+//! and configurations are data — they must survive JSON round-trips so
+//! experiment artefacts are reloadable.
+
+use wardrop::core::board::BulletinBoard;
+use wardrop::prelude::*;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialise");
+    serde_json::from_str(&json).expect("deserialise")
+}
+
+#[test]
+fn instance_round_trips() {
+    let inst = builders::braess();
+    let back: Instance = round_trip(&inst);
+    assert_eq!(back.num_paths(), inst.num_paths());
+    assert_eq!(back.num_edges(), inst.num_edges());
+    assert_eq!(back.max_path_len(), inst.max_path_len());
+    assert_eq!(back.latency_upper_bound(), inst.latency_upper_bound());
+    assert_eq!(back.latencies(), inst.latencies());
+}
+
+#[test]
+fn all_latency_variants_round_trip() {
+    let variants = vec![
+        Latency::Constant(1.5),
+        Latency::Affine { a: 0.5, b: 2.0 },
+        Latency::Polynomial(vec![1.0, 0.0, 3.0]),
+        Latency::Bpr {
+            t0: 1.0,
+            coef: 0.15,
+            pow: 4,
+        },
+        Latency::oscillator(2.0),
+        Latency::Mm1 { capacity: 1.7 },
+    ];
+    for l in &variants {
+        let back: Latency = round_trip(l);
+        assert_eq!(&back, l);
+        // The deserialised function computes identically.
+        for x in [0.0, 0.3, 0.7, 1.0] {
+            assert_eq!(back.eval(x), l.eval(x));
+            assert_eq!(back.primitive(x), l.primitive(x));
+        }
+    }
+}
+
+#[test]
+fn flow_round_trips() {
+    let inst = builders::pigou();
+    let f = FlowVec::from_values(&inst, vec![0.3, 0.7]).unwrap();
+    let back: FlowVec = round_trip(&f);
+    assert_eq!(back, f);
+    assert!(back.is_feasible(&inst, 1e-12));
+}
+
+#[test]
+fn board_round_trips() {
+    let inst = builders::braess();
+    let f = FlowVec::uniform(&inst);
+    let board = BulletinBoard::post(&inst, &f, 2.5);
+    let back: BulletinBoard = round_trip(&board);
+    assert_eq!(back, board);
+    assert_eq!(back.time(), 2.5);
+}
+
+#[test]
+fn trajectory_round_trips_and_metrics_survive() {
+    let inst = builders::pigou();
+    let config = SimulationConfig::new(0.5, 25)
+        .with_flows()
+        .with_deltas(vec![0.1]);
+    let traj = run(&inst, &uniform_linear(&inst), &FlowVec::uniform(&inst), &config);
+    let back: Trajectory = round_trip(&traj);
+    assert_eq!(back, traj);
+    assert_eq!(
+        back.bad_phase_count(0, 0.05),
+        traj.bad_phase_count(0, 0.05)
+    );
+    assert_eq!(back.potential_series(), traj.potential_series());
+}
+
+#[test]
+fn configs_round_trip() {
+    let sim = SimulationConfig::new(0.25, 100)
+        .with_deltas(vec![0.01, 0.1])
+        .with_integrator(Integrator::Rk4 { dt: 0.01 });
+    let back: SimulationConfig = round_trip(&sim);
+    assert_eq!(back, sim);
+
+    let agents = AgentSimConfig::new(1000, 0.5, 50, 7).with_flows();
+    let back: AgentSimConfig = round_trip(&agents);
+    assert_eq!(back, agents);
+}
+
+#[test]
+fn deserialised_instance_runs_identically() {
+    let inst = builders::grid_network(3, 3, 9);
+    let back: Instance = round_trip(&inst);
+    let config = SimulationConfig::new(0.2, 50);
+    let a = run(&inst, &uniform_linear(&inst), &FlowVec::uniform(&inst), &config);
+    let b = run(&back, &uniform_linear(&back), &FlowVec::uniform(&back), &config);
+    assert_eq!(a.final_flow, b.final_flow);
+    assert_eq!(a.potential_series(), b.potential_series());
+}
