@@ -135,7 +135,9 @@ fn largest_remainder(weights: &[f64], total: u64, at_least_one: bool) -> Vec<u64
     order.sort_by(|a, b| {
         let ra = quotas[*a] - quotas[*a].floor();
         let rb = quotas[*b] - quotas[*b].floor();
-        rb.partial_cmp(&ra).expect("finite remainders").then(a.cmp(b))
+        rb.partial_cmp(&ra)
+            .expect("finite remainders")
+            .then(a.cmp(b))
     });
     let mut remaining = total.saturating_sub(assigned);
     let mut idx = 0;

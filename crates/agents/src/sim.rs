@@ -141,7 +141,10 @@ pub fn run_agents(
         config.update_period.is_finite() && config.update_period > 0.0,
         "update period must be positive"
     );
-    assert!(f0.is_feasible(instance, 1e-6), "initial flow must be feasible");
+    assert!(
+        f0.is_feasible(instance, 1e-6),
+        "initial flow must be feasible"
+    );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut pop = Population::apportion(instance, config.num_agents, f0);
@@ -160,8 +163,7 @@ pub fn run_agents(
     let mut flows = Vec::new();
     let mut board: Option<BulletinBoard> = None;
     let mut weights_buf: Vec<f64> = Vec::new();
-    // Pending phase data: (index, start flow, potential, avg latency, ...).
-    let mut open_phase: Option<(usize, FlowVec, f64, f64, f64, Vec<f64>, Vec<f64>)> = None;
+    let mut open_phase: Option<OpenPhase> = None;
     let mut phase_index = 0usize;
 
     while let Some(ev) = queue.pop() {
@@ -173,20 +175,8 @@ pub fn run_agents(
             EventKind::BoardUpdate => {
                 let flow = pop.to_flow(instance);
                 // Close the previous phase.
-                if let Some((index, start_flow, phi0, avg0, regret0, uns, wuns)) =
-                    open_phase.take()
-                {
-                    phases.push(PhaseRecord {
-                        index,
-                        start_time: index as f64 * t_period,
-                        potential_start: phi0,
-                        potential_end: potential(instance, &flow),
-                        virtual_gain: virtual_gain(instance, &start_flow, &flow),
-                        avg_latency_start: avg0,
-                        max_regret_start: regret0,
-                        unsatisfied: uns,
-                        weakly_unsatisfied: wuns,
-                    });
+                if let Some(open) = open_phase.take() {
+                    phases.push(open.close(instance, &flow, t_period));
                 }
                 if phase_index >= config.num_phases {
                     break;
@@ -195,25 +185,25 @@ pub fn run_agents(
                 if config.record_flows {
                     flows.push(flow.clone());
                 }
-                let uns = config
+                let unsatisfied = config
                     .deltas
                     .iter()
                     .map(|d| unsatisfied_volume(instance, &flow, *d))
                     .collect();
-                let wuns = config
+                let weakly_unsatisfied = config
                     .deltas
                     .iter()
                     .map(|d| weakly_unsatisfied_volume(instance, &flow, *d))
                     .collect();
-                open_phase = Some((
-                    phase_index,
-                    flow.clone(),
-                    potential(instance, &flow),
-                    flow.avg_latency(instance),
-                    max_regret(instance, &flow, 1e-12),
-                    uns,
-                    wuns,
-                ));
+                open_phase = Some(OpenPhase {
+                    index: phase_index,
+                    potential_start: potential(instance, &flow),
+                    avg_latency_start: flow.avg_latency(instance),
+                    max_regret_start: max_regret(instance, &flow, 1e-12),
+                    start_flow: flow.clone(),
+                    unsatisfied,
+                    weakly_unsatisfied,
+                });
                 board = Some(BulletinBoard::post(instance, &flow, now));
                 phase_index += 1;
                 queue.schedule(
@@ -223,7 +213,14 @@ pub fn run_agents(
             }
             EventKind::AgentActivation => {
                 let board = board.as_ref().expect("board posted at t = 0");
-                activate_one(instance, policy, board, &mut pop, &mut rng, &mut weights_buf);
+                activate_one(
+                    instance,
+                    policy,
+                    board,
+                    &mut pop,
+                    &mut rng,
+                    &mut weights_buf,
+                );
                 let next = now + rand_exp(&mut rng, n as f64);
                 if next <= horizon + 1e-12 {
                     queue.schedule(Time::new(next), EventKind::AgentActivation);
@@ -234,19 +231,9 @@ pub fn run_agents(
     }
 
     // Close a dangling phase (horizon reached between board updates).
-    if let Some((index, start_flow, phi0, avg0, regret0, uns, wuns)) = open_phase.take() {
+    if let Some(open) = open_phase.take() {
         let flow = pop.to_flow(instance);
-        phases.push(PhaseRecord {
-            index,
-            start_time: index as f64 * t_period,
-            potential_start: phi0,
-            potential_end: potential(instance, &flow),
-            virtual_gain: virtual_gain(instance, &start_flow, &flow),
-            avg_latency_start: avg0,
-            max_regret_start: regret0,
-            unsatisfied: uns,
-            weakly_unsatisfied: wuns,
-        });
+        phases.push(open.close(instance, &flow, t_period));
     }
 
     Trajectory {
@@ -256,6 +243,34 @@ pub fn run_agents(
         flows,
         final_flow: pop.to_flow(instance),
         dynamics: policy.name(),
+    }
+}
+
+/// Phase-start measurements held until the phase's closing board
+/// update supplies the end flow.
+struct OpenPhase {
+    index: usize,
+    start_flow: FlowVec,
+    potential_start: f64,
+    avg_latency_start: f64,
+    max_regret_start: f64,
+    unsatisfied: Vec<f64>,
+    weakly_unsatisfied: Vec<f64>,
+}
+
+impl OpenPhase {
+    fn close(self, instance: &Instance, end_flow: &FlowVec, t_period: f64) -> PhaseRecord {
+        PhaseRecord {
+            index: self.index,
+            start_time: self.index as f64 * t_period,
+            potential_start: self.potential_start,
+            potential_end: potential(instance, end_flow),
+            virtual_gain: virtual_gain(instance, &self.start_flow, end_flow),
+            avg_latency_start: self.avg_latency_start,
+            max_regret_start: self.max_regret_start,
+            unsatisfied: self.unsatisfied,
+            weakly_unsatisfied: self.weakly_unsatisfied,
+        }
     }
 }
 

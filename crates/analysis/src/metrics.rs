@@ -167,7 +167,10 @@ mod tests {
         let f0 = FlowVec::from_values(&inst, vec![1.0, 0.0]).unwrap();
         let config = SimulationConfig::new(0.25, 50).with_deltas(vec![0.05]);
         let traj = run(&inst, &policy, &f0, &config);
-        assert_eq!(last_bad_phase(&traj, EquilibriumKind::Strict, 0, 0.01), None);
+        assert_eq!(
+            last_bad_phase(&traj, EquilibriumKind::Strict, 0, 0.01),
+            None
+        );
         assert_eq!(bad_phase_count(&traj, EquilibriumKind::Strict, 0, 0.01), 0);
     }
 }

@@ -31,12 +31,7 @@ pub enum OrbitKind {
 ///
 /// Panics if the trajectory has no recorded flows or the window exceeds
 /// the number of recorded phases.
-pub fn detect_orbit(
-    traj: &Trajectory,
-    window: usize,
-    max_period: usize,
-    tol: f64,
-) -> OrbitKind {
+pub fn detect_orbit(traj: &Trajectory, window: usize, max_period: usize, tol: f64) -> OrbitKind {
     let flows = &traj.flows;
     assert!(
         flows.len() >= window + max_period,

@@ -106,10 +106,7 @@ mod tests {
         for seed in 0..5 {
             let inst = builders::layered_network(2, 2, seed);
             let r = price_of_anarchy(&inst);
-            assert!(
-                r.price_of_anarchy <= 4.0 / 3.0 + 1e-3,
-                "seed {seed}: {r:?}"
-            );
+            assert!(r.price_of_anarchy <= 4.0 / 3.0 + 1e-3, "seed {seed}: {r:?}");
         }
     }
 }

@@ -76,8 +76,12 @@ pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
     assert!(sx > 0.0 && sy > 0.0, "inputs must vary");
     let mx = mean(x);
     let my = mean(y);
-    let cov: f64 =
-        x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / x.len() as f64;
+    let cov: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (a - mx) * (b - my))
+        .sum::<f64>()
+        / x.len() as f64;
     cov / (sx * sy)
 }
 

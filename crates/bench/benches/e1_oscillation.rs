@@ -23,7 +23,14 @@ fn bench_oscillation(c: &mut Criterion) {
     for phases in [64usize, 256, 1024] {
         group.bench_function(format!("best_response_{phases}_phases"), |b| {
             let config = SimulationConfig::new(t_period, phases);
-            b.iter(|| run(black_box(&inst), &BestResponse::new(), black_box(&f0), &config));
+            b.iter(|| {
+                run(
+                    black_box(&inst),
+                    &BestResponse::new(),
+                    black_box(&f0),
+                    &config,
+                )
+            });
         });
     }
 

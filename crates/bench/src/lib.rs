@@ -16,7 +16,11 @@ use wardrop_net::instance::Instance;
 
 /// The standard benchmark workload: instance, initial flow and a
 /// simulation configuration of `phases` phases at period `t`.
-pub fn workload(instance: Instance, t: f64, phases: usize) -> (Instance, FlowVec, SimulationConfig) {
+pub fn workload(
+    instance: Instance,
+    t: f64,
+    phases: usize,
+) -> (Instance, FlowVec, SimulationConfig) {
     let f0 = FlowVec::uniform(&instance);
     let config = SimulationConfig::new(t, phases);
     (instance, f0, config)

@@ -1,0 +1,447 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the compat `serde::Serialize` / `serde::Deserialize` traits
+//! (a self-describing `Value` model) for the shapes this workspace
+//! uses: named-field structs, tuple structs (newtype-transparent), and
+//! enums with unit / newtype / tuple / struct variants, externally
+//! tagged like real serde. `#[serde(default)]` on a named field is
+//! honoured during deserialisation. Generic types are not supported.
+//!
+//! `syn`/`quote` are unavailable offline, so the derive input is parsed
+//! directly from the token stream and the impl is emitted as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive the compat `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive the compat `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// --------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------
+
+/// Skip attributes (`#[...]`, including doc comments), reporting
+/// whether any of them was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            let body = g.stream().to_string();
+            if body.starts_with("serde") && body.contains("default") {
+                has_default = true;
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    has_default
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the compat derive");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n =
+                        split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>()).len();
+                    Fields::Tuple(n)
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            let variants = split_top_level_commas(&body.into_iter().collect::<Vec<_>>())
+                .into_iter()
+                .map(|chunk| parse_variant(&chunk))
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Split a token slice on commas that are not nested inside `<...>`
+/// (delimiter groups already hide their own commas).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for t in tokens {
+        let is_dash = matches!(t, TokenTree::Punct(p) if p.as_char() == '-');
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(t.clone());
+            }
+            // `->` must not close an angle bracket.
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => {
+                angle_depth -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+        prev_dash = is_dash;
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    split_top_level_commas(&toks)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            let default = skip_attrs(&chunk, &mut i);
+            skip_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            };
+            match chunk.get(i + 1) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+            }
+            Field { name, default }
+        })
+        .collect()
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let mut i = 0;
+    skip_attrs(chunk, &mut i);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected variant name, got {other:?}"),
+    };
+    let fields = match chunk.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>()).len();
+            Fields::Tuple(n)
+        }
+        _ => Fields::Unit,
+    };
+    Variant { name, fields }
+}
+
+// --------------------------------------------------------------------
+// Codegen: Serialize
+// --------------------------------------------------------------------
+
+fn named_fields_to_map(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&{1}{0}))",
+                f.name, access_prefix
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fs) => named_fields_to_map(fs, "self."),
+        // Newtype structs are transparent, matching real serde.
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                    let payload = if *n == 1 {
+                        "::serde::Serialize::to_value(x0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), {payload})]),",
+                        binds = binds.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                    let payload = named_fields_to_map(fs, "");
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), {payload})]),",
+                        binds = binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+// --------------------------------------------------------------------
+// Codegen: Deserialize
+// --------------------------------------------------------------------
+
+fn named_fields_from_map(fields: &[Field], entries_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.default {
+                format!(
+                    "{0}: match ::serde::field({entries_var}, \"{0}\") {{\n\
+                         ::std::result::Result::Ok(v) => ::serde::Deserialize::from_value(v)?,\n\
+                         ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+                     }}",
+                    f.name
+                )
+            } else {
+                format!(
+                    "{0}: ::serde::Deserialize::from_value(::serde::field({entries_var}, \"{0}\")?)?",
+                    f.name
+                )
+            }
+        })
+        .collect();
+    inits.join(",\n")
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fs) => format!(
+            "let entries = v.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+             ::std::result::Result::Ok({name} {{ {} }})",
+            named_fields_from_map(fs, "entries")
+        ),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = v.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                 if seq.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => unreachable!(),
+                Fields::Tuple(1) => format!(
+                    "\"{vname}\" => ::std::result::Result::Ok(\
+                     {name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{\n\
+                             let seq = payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence for {name}::{vname}\"))?;\n\
+                             if seq.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong tuple length for {name}::{vname}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => format!(
+                    "\"{vname}\" => {{\n\
+                         let ventries = payload.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected map for {name}::{vname}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                     }}",
+                    named_fields_from_map(fs, "ventries")
+                ),
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {units}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"invalid value for {name}: {{other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        units = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n"),
+    )
+}

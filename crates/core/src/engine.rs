@@ -19,7 +19,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use wardrop_net::equilibrium::{unsatisfied_volume, weakly_unsatisfied_volume, max_regret};
+use wardrop_net::equilibrium::{max_regret, unsatisfied_volume, weakly_unsatisfied_volume};
 use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 use wardrop_net::potential::{potential, virtual_gain};
@@ -76,9 +76,10 @@ impl<P: ReroutingPolicy + ?Sized> Dynamics for P {
 /// phase to satisfy `τ ≤ T*` — so convergence survives jitter as long
 /// as the longest phase stays within the safe period (exercised by the
 /// integration tests).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum PhaseSchedule {
     /// Every phase has length exactly `update_period`.
+    #[default]
     Fixed,
     /// Phase `i` has length `update_period · (1 + u_i · amplitude)`
     /// with `u_i ∈ [−1, 1)` drawn from a deterministic per-run
@@ -89,12 +90,6 @@ pub enum PhaseSchedule {
         /// Seed of the deterministic jitter sequence.
         seed: u64,
     },
-}
-
-impl Default for PhaseSchedule {
-    fn default() -> Self {
-        PhaseSchedule::Fixed
-    }
 }
 
 impl PhaseSchedule {
@@ -320,7 +315,7 @@ mod tests {
     }
 
     #[test]
-    fn potential_is_monotone_for_smooth_policy_within_safe_period(){
+    fn potential_is_monotone_for_smooth_policy_within_safe_period() {
         let inst = builders::braess();
         let policy = uniform_linear(&inst);
         let alpha = policy.smoothness().unwrap();
@@ -389,7 +384,12 @@ mod tests {
         let config = SimulationConfig::new(0.2, 100);
         let traj = run(&inst, &policy, &f0, &config);
         for p in &traj.phases {
-            assert!(p.virtual_gain <= 1e-10, "phase {} has V = {}", p.index, p.virtual_gain);
+            assert!(
+                p.virtual_gain <= 1e-10,
+                "phase {} has V = {}",
+                p.index,
+                p.virtual_gain
+            );
         }
     }
 
@@ -403,7 +403,7 @@ mod tests {
             let a = s.phase_length(0.5, i);
             let b = s.phase_length(0.5, i);
             assert_eq!(a, b);
-            assert!(a >= 0.5 * 0.7 - 1e-12 && a < 0.5 * 1.3 + 1e-12);
+            assert!((0.5 * 0.7 - 1e-12..0.5 * 1.3 + 1e-12).contains(&a));
         }
         assert!((s.max_phase_length(0.5) - 0.65).abs() < 1e-12);
         assert_eq!(PhaseSchedule::Fixed.phase_length(0.5, 7), 0.5);
@@ -422,7 +422,7 @@ mod tests {
         let traj = run(&inst, &policy, &f0, &config);
         for w in traj.phases.windows(2) {
             let tau = w[1].start_time - w[0].start_time;
-            assert!(tau >= 0.5 * 0.6 - 1e-12 && tau < 0.5 * 1.4 + 1e-12);
+            assert!((0.5 * 0.6 - 1e-12..0.5 * 1.4 + 1e-12).contains(&tau));
         }
     }
 
@@ -435,8 +435,7 @@ mod tests {
         let alpha = policy.smoothness().unwrap();
         let t_star = crate::theory::safe_update_period(&inst, alpha);
         let amp = 0.5;
-        let config =
-            SimulationConfig::new(t_star / (1.0 + amp), 400).with_jitter(amp, 3);
+        let config = SimulationConfig::new(t_star / (1.0 + amp), 400).with_jitter(amp, 3);
         assert!(config.schedule.max_phase_length(config.update_period) <= t_star + 1e-12);
         let traj = run(&inst, &policy, &FlowVec::concentrated(&inst), &config);
         assert_eq!(traj.monotonicity_violations(1e-10), 0);

@@ -198,7 +198,11 @@ mod tests {
         let mut f = f0.clone();
         Integrator::Uniformization { tol: 1e-14 }.advance(&rates, &mut f, tau);
         let expected1 = 0.8 * (-0.4 * tau).exp();
-        assert!((f[1] - expected1).abs() < 1e-12, "got {}, want {expected1}", f[1]);
+        assert!(
+            (f[1] - expected1).abs() < 1e-12,
+            "got {}, want {expected1}",
+            f[1]
+        );
         assert!((f[0] + f[1] - 1.0).abs() < 1e-12);
     }
 

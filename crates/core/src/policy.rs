@@ -95,8 +95,8 @@ impl PhaseRates {
             for q in 0..b.n {
                 // Inflow to q.
                 let mut acc = 0.0;
-                for p in 0..b.n {
-                    acc += fs[p] * b.c[p * b.n + q];
+                for (p, fp) in fs.iter().enumerate() {
+                    acc += fp * b.c[p * b.n + q];
                 }
                 os[q] = acc - fs[q] * b.exit[q];
             }
@@ -176,8 +176,7 @@ impl<S: SamplingRule, M: MigrationRule> ReroutingPolicy for SmoothPolicy<S, M> {
             let start = range.start;
             let n = range.len();
             weights.resize(n, 0.0);
-            self.sampling
-                .fill_weights(instance, board, i, &mut weights);
+            self.sampling.fill_weights(instance, board, i, &mut weights);
             let mut c = vec![0.0; n * n];
             let mut exit = vec![0.0; n];
             for p in 0..n {

@@ -85,10 +85,7 @@ impl Trajectory {
     /// zero for α-smooth policies within the safe update period
     /// (Lemma 4), typically positive for greedy policies.
     pub fn monotonicity_violations(&self, tol: f64) -> usize {
-        self.phases
-            .iter()
-            .filter(|p| p.delta_phi() > tol)
-            .count()
+        self.phases.iter().filter(|p| p.delta_phi() > tol).count()
     }
 
     /// Number of phases *not starting* at a `(δ,ε)`-equilibrium for the

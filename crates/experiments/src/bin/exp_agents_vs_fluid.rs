@@ -93,15 +93,24 @@ fn main() {
             flips += 1;
         }
     }
-    println!("\nfinite-agent best response on §3.2: {flips}/{} phase transitions flip sides", traj.flows.len() - 1);
+    println!(
+        "\nfinite-agent best response on §3.2: {flips}/{} phase transitions flip sides",
+        traj.flows.len() - 1
+    );
 
     write_json("e6_agents_vs_fluid", &rows);
 
-    assert!((-0.7..=-0.3).contains(&slope), "LLN scaling must be ≈ N^(−½), got {slope}");
+    assert!(
+        (-0.7..=-0.3).contains(&slope),
+        "LLN scaling must be ≈ N^(−½), got {slope}"
+    );
     assert!(
         rows.last().expect("rows").mean_linf < rows[0].mean_linf / 10.0,
         "distance must shrink by ≥ 10× over the N range"
     );
-    assert!(flips as f64 > 0.9 * (traj.flows.len() - 1) as f64, "BR agents must keep flipping");
+    assert!(
+        flips as f64 > 0.9 * (traj.flows.len() - 1) as f64,
+        "BR agents must keep flipping"
+    );
     println!("\nE6b PASS: empirical flows → fluid limit at rate ≈ 1/√N; oscillation persists with finite N.");
 }

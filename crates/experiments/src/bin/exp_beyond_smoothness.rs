@@ -57,7 +57,10 @@ fn phases_to_weak_eq(traj: &wardrop_core::trajectory::Trajectory, eps: f64) -> O
 }
 
 fn main() {
-    banner("E8", "Beyond smoothness: relative-slack dynamics (paper's reference [10])");
+    banner(
+        "E8",
+        "Beyond smoothness: relative-slack dynamics (paper's reference [10])",
+    );
 
     // Steepness-stressed instances: polynomial and M/M/1 latencies have
     // moderate elasticity but large slope/ℓmax, the regime where the
@@ -94,7 +97,12 @@ fn main() {
     let horizon = 40_000;
     let mut rows = Vec::new();
     let mut table = Table::new(vec![
-        "network", "elasticity", "slope β", "T", "replicator phases", "rel-slack phases",
+        "network",
+        "elasticity",
+        "slope β",
+        "T",
+        "replicator phases",
+        "rel-slack phases",
     ]);
     for (name, inst) in &networks {
         let elasticity = inst.elasticity_bound_estimate(256);

@@ -28,17 +28,26 @@ struct Row {
 }
 
 fn main() {
-    banner("E7", "Wardrop equilibria minimise Φ; price of anarchy on the canonical instances");
+    banner(
+        "E7",
+        "Wardrop equilibria minimise Φ; price of anarchy on the canonical instances",
+    );
 
     let networks: Vec<(String, Instance)> = vec![
         ("pigou".into(), builders::pigou()),
         ("braess".into(), builders::braess()),
         ("oscillator(β=2)".into(), builders::two_link_oscillator(2.0)),
         ("two-class(8)".into(), builders::two_class_links(8, 0.75)),
-        ("parallel(6, random)".into(), builders::random_parallel_links(6, 1.0, 0.2, 2.0, 5)),
+        (
+            "parallel(6, random)".into(),
+            builders::random_parallel_links(6, 1.0, 0.2, 2.0, 5),
+        ),
         ("layered(2×3)".into(), builders::layered_network(2, 3, 5)),
         ("grid(3×3)".into(), builders::grid_network(3, 3, 5)),
-        ("mc-grid(3×3)".into(), builders::multi_commodity_grid(3, 3, 5)),
+        (
+            "mc-grid(3×3)".into(),
+            builders::multi_commodity_grid(3, 3, 5),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -72,7 +81,11 @@ fn main() {
     write_json("e7_equilibria_poa", &rows);
 
     for r in &rows {
-        assert!(r.is_wardrop, "{}: Φ-minimiser is not a Wardrop equilibrium", r.network);
+        assert!(
+            r.is_wardrop,
+            "{}: Φ-minimiser is not a Wardrop equilibrium",
+            r.network
+        );
         assert!(r.price_of_anarchy >= 1.0 - 1e-6, "{}: PoA < 1", r.network);
         assert!(
             r.price_of_anarchy <= 4.0 / 3.0 + 1e-2,
@@ -82,8 +95,14 @@ fn main() {
         );
     }
     let pigou = &rows[0];
-    assert!((pigou.price_of_anarchy - 4.0 / 3.0).abs() < 1e-3, "Pigou PoA must be 4/3");
+    assert!(
+        (pigou.price_of_anarchy - 4.0 / 3.0).abs() < 1e-3,
+        "Pigou PoA must be 4/3"
+    );
     let braess = &rows[1];
-    assert!((braess.price_of_anarchy - 4.0 / 3.0).abs() < 1e-2, "Braess PoA must be 4/3");
+    assert!(
+        (braess.price_of_anarchy - 4.0 / 3.0).abs() < 1e-2,
+        "Braess PoA must be 4/3"
+    );
     println!("\nE7 PASS: every Φ-minimiser is a Wardrop equilibrium; Pigou/Braess PoA = 4/3; affine PoA ≤ 4/3.");
 }

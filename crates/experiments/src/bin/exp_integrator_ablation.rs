@@ -51,7 +51,10 @@ fn applications(integ: &Integrator, tau: f64, lambda_tau: f64) -> usize {
 }
 
 fn main() {
-    banner("E9", "Integrator ablation: Euler vs RK4 vs uniformization on one phase");
+    banner(
+        "E9",
+        "Integrator ablation: Euler vs RK4 vs uniformization on one phase",
+    );
 
     let inst = builders::random_parallel_links(16, 1.0, 0.2, 2.0, 31);
     let f0 = FlowVec::concentrated(&inst);
@@ -72,9 +75,18 @@ fn main() {
         ("rk4 dt=0.25".into(), Integrator::Rk4 { dt: 0.25 }),
         ("rk4 dt=0.1".into(), Integrator::Rk4 { dt: 0.1 }),
         ("rk4 dt=0.05".into(), Integrator::Rk4 { dt: 0.05 }),
-        ("uniformization tol=1e-6".into(), Integrator::Uniformization { tol: 1e-6 }),
-        ("uniformization tol=1e-9".into(), Integrator::Uniformization { tol: 1e-9 }),
-        ("uniformization tol=1e-12".into(), Integrator::Uniformization { tol: 1e-12 }),
+        (
+            "uniformization tol=1e-6".into(),
+            Integrator::Uniformization { tol: 1e-6 },
+        ),
+        (
+            "uniformization tol=1e-9".into(),
+            Integrator::Uniformization { tol: 1e-9 },
+        ),
+        (
+            "uniformization tol=1e-12".into(),
+            Integrator::Uniformization { tol: 1e-12 },
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -111,12 +123,24 @@ fn main() {
         "Euler must be ≈ first order (ratio {euler_ratio})"
     );
     let rk4_ratio = err_of("rk4 dt=0.25") / err_of("rk4 dt=0.05").max(1e-18);
-    assert!(rk4_ratio > 100.0, "RK4 must be ≈ fourth order (ratio {rk4_ratio})");
+    assert!(
+        rk4_ratio > 100.0,
+        "RK4 must be ≈ fourth order (ratio {rk4_ratio})"
+    );
     // Uniformization achieves its tolerance with few products.
-    for (tol, name) in [(1e-6, "uniformization tol=1e-6"), (1e-12, "uniformization tol=1e-12")] {
+    for (tol, name) in [
+        (1e-6, "uniformization tol=1e-6"),
+        (1e-12, "uniformization tol=1e-12"),
+    ] {
         let r = rows.iter().find(|r| r.scheme == name).expect("present");
-        assert!(r.linf_error <= tol, "{name}: error {} above tolerance", r.linf_error);
+        assert!(
+            r.linf_error <= tol,
+            "{name}: error {} above tolerance",
+            r.linf_error
+        );
         assert!(r.generator_applications < 60, "{name}: too many products");
     }
-    println!("\nE9 PASS: error orders as expected; uniformization hits its tolerance with <60 products.");
+    println!(
+        "\nE9 PASS: error orders as expected; uniformization hits its tolerance with <60 products."
+    );
 }

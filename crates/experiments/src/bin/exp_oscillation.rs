@@ -34,11 +34,20 @@ struct Row {
 }
 
 fn main() {
-    banner("E1", "§3.2 best-response oscillation (two-link, ℓ = max{0, β(x−½)})");
+    banner(
+        "E1",
+        "§3.2 best-response oscillation (two-link, ℓ = max{0, β(x−½)})",
+    );
 
     let mut rows = Vec::new();
     let mut table = Table::new(vec![
-        "β", "T", "X (paper)", "X (measured)", "orbit", "‖engine−analytic‖∞", "smooth regret",
+        "β",
+        "T",
+        "X (paper)",
+        "X (measured)",
+        "orbit",
+        "‖engine−analytic‖∞",
+        "smooth regret",
     ]);
 
     for beta in [0.5, 1.0, 2.0, 4.0] {
@@ -102,7 +111,9 @@ fn main() {
     }
     table.print();
 
-    println!("\ncritical periods T(ε) = ln((1+2ε/β)/(1−2ε/β)) — deviation crosses ε exactly there:");
+    println!(
+        "\ncritical periods T(ε) = ln((1+2ε/β)/(1−2ε/β)) — deviation crosses ε exactly there:"
+    );
     let mut crit = Table::new(vec!["β", "ε", "T(ε)", "X at 0.9·T(ε)", "X at 1.1·T(ε)"]);
     for beta in [1.0, 2.0] {
         for eps in [0.05, 0.1, 0.2] {
@@ -124,13 +135,19 @@ fn main() {
     // Hard checks: the experiment fails loudly if the paper's claims
     // do not hold in the implementation.
     for r in &rows {
-        assert!(r.engine_vs_closed_form_linf < 1e-9, "engine drifted from closed form");
+        assert!(
+            r.engine_vs_closed_form_linf < 1e-9,
+            "engine drifted from closed form"
+        );
         assert_eq!(r.orbit_period, Some(2), "expected a period-2 orbit");
         assert!(
             (r.measured_deviation - r.predicted_deviation).abs() < 1e-9,
             "deviation mismatch"
         );
-        assert!(r.smooth_final_regret < 1e-3, "smooth baseline failed to converge");
+        assert!(
+            r.smooth_final_regret < 1e-3,
+            "smooth baseline failed to converge"
+        );
     }
     println!("\nE1 PASS: orbit, deviation and critical periods all match §3.2.");
 }

@@ -71,14 +71,25 @@ fn main() {
         let t = safe_update_period(inst, alpha);
         let phases = 3000;
         let mut table = Table::new(vec![
-            "policy", "final gap", "monotone", "orbit", "tail amplitude", "bad phases (δ=0.1ℓmax, ε=0.05)",
+            "policy",
+            "final gap",
+            "monotone",
+            "orbit",
+            "tail amplitude",
+            "bad phases (δ=0.1ℓmax, ε=0.05)",
         ]);
 
         let delta = 0.1 * inst.latency_upper_bound();
         let dynamics: Vec<(String, Box<dyn Dynamics>)> = vec![
             ("best-response".into(), Box::new(BestResponse::new())),
-            ("logit(c=1)+linear".into(), Box::new(smoothed_best_response(inst, 1.0))),
-            ("logit(c=100)+linear".into(), Box::new(smoothed_best_response(inst, 100.0))),
+            (
+                "logit(c=1)+linear".into(),
+                Box::new(smoothed_best_response(inst, 1.0)),
+            ),
+            (
+                "logit(c=100)+linear".into(),
+                Box::new(smoothed_best_response(inst, 100.0)),
+            ),
             ("uniform+linear".into(), Box::new(uniform_linear(inst))),
             ("replicator".into(), Box::new(replicator(inst))),
         ];
@@ -115,9 +126,25 @@ fn main() {
     // creeping toward the fixed point below the orbit tolerance, not
     // an oscillation.)
     for r in rows.iter().filter(|r| r.policy != "best-response") {
-        assert!(r.monotone, "{}/{}: smooth policy not monotone", r.network, r.policy);
-        assert!(r.final_gap < 1e-2, "{}/{}: gap {}", r.network, r.policy, r.final_gap);
-        assert!(!r.orbit.starts_with("period-"), "{}/{}: {}", r.network, r.policy, r.orbit);
+        assert!(
+            r.monotone,
+            "{}/{}: smooth policy not monotone",
+            r.network, r.policy
+        );
+        assert!(
+            r.final_gap < 1e-2,
+            "{}/{}: gap {}",
+            r.network,
+            r.policy,
+            r.final_gap
+        );
+        assert!(
+            !r.orbit.starts_with("period-"),
+            "{}/{}: {}",
+            r.network,
+            r.policy,
+            r.orbit
+        );
         assert!(
             r.trailing_amplitude < 1e-2,
             "{}/{}: tail amplitude {}",

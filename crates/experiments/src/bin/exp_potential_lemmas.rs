@@ -58,13 +58,19 @@ fn random_flow(inst: &Instance, rng: &mut StdRng) -> FlowVec {
 }
 
 fn main() {
-    banner("E3", "Lemma 3 (potential decomposition) and Lemma 4 (ΔΦ ≤ ½V)");
+    banner(
+        "E3",
+        "Lemma 3 (potential decomposition) and Lemma 4 (ΔΦ ≤ ½V)",
+    );
 
     let networks: Vec<(String, Instance)> = vec![
         ("pigou".into(), builders::pigou()),
         ("braess".into(), builders::braess()),
         ("oscillator(β=2)".into(), builders::two_link_oscillator(2.0)),
-        ("parallel(8, random)".into(), builders::random_parallel_links(8, 1.0, 0.2, 2.0, 3)),
+        (
+            "parallel(8, random)".into(),
+            builders::random_parallel_links(8, 1.0, 0.2, 2.0, 3),
+        ),
         ("layered(2×3)".into(), builders::layered_network(2, 3, 3)),
         ("grid(3×3)".into(), builders::grid_network(3, 3, 3)),
     ];
@@ -94,14 +100,17 @@ fn main() {
     // Lemma 4 along actual runs at T = T*.
     println!("\nLemma 4: per-phase ΔΦ vs ½V at T = T* (α-smooth policies)");
     let mut l4_table = Table::new(vec![
-        "network", "policy", "phases", "violations", "min ΔΦ/V", "worst ΔΦ−½V",
+        "network",
+        "policy",
+        "phases",
+        "violations",
+        "min ΔΦ/V",
+        "worst ΔΦ−½V",
     ]);
     let mut l4_rows = Vec::new();
     for (name, inst) in &networks {
-        let policies: Vec<Box<dyn ReroutingPolicy>> = vec![
-            Box::new(uniform_linear(inst)),
-            Box::new(replicator(inst)),
-        ];
+        let policies: Vec<Box<dyn ReroutingPolicy>> =
+            vec![Box::new(uniform_linear(inst)), Box::new(replicator(inst))];
         for policy in policies {
             let alpha = policy.smoothness().expect("smooth policies");
             let t_star = safe_update_period(inst, alpha);
@@ -149,7 +158,11 @@ fn main() {
         let declared = rule.smoothness().expect("smooth rules");
         let empirical = empirical_smoothness(rule.as_ref(), 1.0 / declared.max(0.2), 128);
         d2.row(vec![rule.name(), fmt_g(declared), fmt_g(empirical)]);
-        assert!(empirical <= declared + 1e-9, "{} exceeds declared α", rule.name());
+        assert!(
+            empirical <= declared + 1e-9,
+            "{} exceeds declared α",
+            rule.name()
+        );
     }
     d2.print();
 
@@ -157,10 +170,18 @@ fn main() {
     write_json("e3_lemma4", &l4_rows);
 
     for r in &l3_rows {
-        assert!(r.max_abs_residual < 1e-10, "{}: Lemma 3 residual too large", r.network);
+        assert!(
+            r.max_abs_residual < 1e-10,
+            "{}: Lemma 3 residual too large",
+            r.network
+        );
     }
     for r in &l4_rows {
-        assert_eq!(r.violations, 0, "{} / {}: Lemma 4 violated", r.network, r.policy);
+        assert_eq!(
+            r.violations, 0,
+            "{} / {}: Lemma 4 violated",
+            r.network, r.policy
+        );
         assert!(r.min_ratio >= 0.5 - 1e-9 || r.min_ratio == f64::INFINITY);
     }
     println!("\nE3 PASS: Lemma 3 exact; Lemma 4 holds with ΔΦ/V ≥ ½ on every phase.");

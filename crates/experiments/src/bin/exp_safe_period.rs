@@ -37,7 +37,10 @@ struct Row {
 }
 
 fn main() {
-    banner("E2", "Corollary 5: convergence within the safe update period T* = 1/(4DαΒ)");
+    banner(
+        "E2",
+        "Corollary 5: convergence within the safe update period T* = 1/(4DαΒ)",
+    );
 
     let networks: Vec<(String, Instance)> = vec![
         ("braess".into(), builders::braess()),
@@ -48,7 +51,14 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut table = Table::new(vec![
-        "network", "α", "T*", "T/T*", "Φ-increases", "L4 violations", "worst ΔΦ−½V", "final ε(δ)",
+        "network",
+        "α",
+        "T*",
+        "T/T*",
+        "Φ-increases",
+        "L4 violations",
+        "worst ΔΦ−½V",
+        "final ε(δ)",
     ]);
 
     for (name, inst) in &networks {

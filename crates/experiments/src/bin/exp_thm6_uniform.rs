@@ -77,7 +77,10 @@ fn mean_bad(m: usize, t_scale: f64, delta: f64, eps: f64, phases: usize) -> (f64
 }
 
 fn main() {
-    banner("E4", "Theorem 6: uniform sampling, bad phases ≤ O(m/(εT)·(ℓmax/δ)²)");
+    banner(
+        "E4",
+        "Theorem 6: uniform sampling, bad phases ≤ O(m/(εT)·(ℓmax/δ)²)",
+    );
     let mut rows: Vec<Row> = Vec::new();
 
     // --- m sweep ---------------------------------------------------
@@ -190,9 +193,18 @@ fn main() {
             r.theorem6_bound
         );
     }
-    assert!(m_slope > 0.4, "uniform sampling must slow down with m (slope {m_slope})");
-    assert!(m_slope < 1.5, "m-dependence must stay within the bound's shape");
-    assert!((-1.4..=-0.6).contains(&t_slope), "T-scaling must be ≈ 1/T (slope {t_slope})");
+    assert!(
+        m_slope > 0.4,
+        "uniform sampling must slow down with m (slope {m_slope})"
+    );
+    assert!(
+        m_slope < 1.5,
+        "m-dependence must stay within the bound's shape"
+    );
+    assert!(
+        (-1.4..=-0.6).contains(&t_slope),
+        "T-scaling must be ≈ 1/T (slope {t_slope})"
+    );
     assert!(delta_ok && eps_ok, "counts must be monotone in δ and ε");
     println!("\nE4 PASS: all counts below the Theorem 6 bound; shapes (∝m, ∝1/T, monotone in δ and ε) hold.");
 }

@@ -27,9 +27,10 @@ const SEEDS: [u64; 3] = [11, 22, 33];
 /// `ℓ(x) = gap + x`.
 fn funnel_links(m: usize, gap: f64) -> Instance {
     let mut latencies = vec![wardrop_net::Latency::Affine { a: 0.0, b: 1.0 }];
-    latencies.extend(
-        std::iter::repeat(wardrop_net::Latency::Affine { a: gap, b: 1.0 }).take(m - 1),
-    );
+    latencies.extend(std::iter::repeat_n(
+        wardrop_net::Latency::Affine { a: gap, b: 1.0 },
+        m - 1,
+    ));
     builders::parallel_links(latencies)
 }
 
@@ -118,7 +119,11 @@ fn main() {
     // the population already attains.
     println!("\nsweep m, funnel links (δ = 0.2, ε = 0.05, T = T*):");
     let mut t1 = Table::new(vec![
-        "m", "T", "replicator weak-B", "Thm-7 bound", "uniform strict-B (Thm 6)",
+        "m",
+        "T",
+        "replicator weak-B",
+        "Thm-7 bound",
+        "uniform strict-B (Thm 6)",
     ]);
     let (mut ms, mut rep_b, mut uni_b) = (Vec::new(), Vec::new(), Vec::new());
     for m in [4usize, 8, 16, 32, 64] {
@@ -143,10 +148,10 @@ fn main() {
     let rep_max = rep_b.iter().fold(0.0_f64, |a, b| a.max(*b));
     let uni_slope = loglog_slope(&ms, &uni_b);
     let _ = &ms;
+    println!("replicator weak-B stays ≤ {rep_max} for every m (theory: m-independent);");
     println!(
-        "replicator weak-B stays ≤ {rep_max} for every m (theory: m-independent);"
+        "log–log m-slope of uniform strict-B: {uni_slope:.3} (theory: 1 — the Theorem 6 m-factor)"
     );
-    println!("log–log m-slope of uniform strict-B: {uni_slope:.3} (theory: 1 — the Theorem 6 m-factor)");
 
     // Secondary: the random-link family (bound compliance only — the
     // gap distribution changes with m there, so flatness is confounded).
@@ -225,7 +230,10 @@ fn main() {
         uni_b.last().expect("sweep ran") / rep_max.max(1.0) > 20.0,
         "the m-factor contrast must separate the policies at large m"
     );
-    assert!((-1.4..=-0.6).contains(&t_slope), "T-scaling must be ≈ 1/T (slope {t_slope})");
+    assert!(
+        (-1.4..=-0.6).contains(&t_slope),
+        "T-scaling must be ≈ 1/T (slope {t_slope})"
+    );
     assert!(delta_ok);
     println!("\nE5 PASS: weak bad phases below the Theorem 7 bound, flat in m; uniform pays the m-factor.");
 }

@@ -99,7 +99,10 @@ pub fn braess() -> Instance {
 ///
 /// Panics unless `m ≥ 2` and even, and `gap > 0` finite.
 pub fn two_class_links(m: usize, gap: f64) -> Instance {
-    assert!(m >= 2 && m % 2 == 0, "need an even number of links ≥ 2");
+    assert!(
+        m >= 2 && m.is_multiple_of(2),
+        "need an even number of links ≥ 2"
+    );
     assert!(gap.is_finite() && gap > 0.0, "gap must be positive");
     let mut latencies = Vec::with_capacity(m);
     for _ in 0..m / 2 {
@@ -115,13 +118,7 @@ pub fn two_class_links(m: usize, gap: f64) -> Instance {
 /// `ℓ_j(x) = a_j + b_j x`, `a_j ∈ [0, a_max]`, `b_j ∈ [b_min, b_max]`.
 ///
 /// Deterministic for a fixed `seed`.
-pub fn random_parallel_links(
-    m: usize,
-    a_max: f64,
-    b_min: f64,
-    b_max: f64,
-    seed: u64,
-) -> Instance {
+pub fn random_parallel_links(m: usize, a_max: f64, b_min: f64, b_max: f64, seed: u64) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
     let latencies = (0..m)
         .map(|_| Latency::Affine {
@@ -142,7 +139,10 @@ pub fn random_parallel_links(
 ///
 /// Deterministic for a fixed `seed`.
 pub fn layered_network(layers: usize, width: usize, seed: u64) -> Instance {
-    assert!(layers >= 1 && width >= 1, "need at least one layer and node");
+    assert!(
+        layers >= 1 && width >= 1,
+        "need at least one layer and node"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new();
     let s = g.add_node();

@@ -19,9 +19,9 @@ pub fn unsatisfied_volume(instance: &Instance, flow: &FlowVec, delta: f64) -> f6
     let lp = flow.path_latencies(instance);
     let mins = flow.commodity_min_latencies(instance);
     let mut vol = 0.0;
-    for i in 0..instance.num_commodities() {
+    for (i, min_i) in mins.iter().enumerate() {
         for p in instance.commodity_paths(i) {
-            if lp[p] > mins[i] + delta {
+            if lp[p] > min_i + delta {
                 vol += flow.values()[p];
             }
         }
@@ -35,9 +35,9 @@ pub fn weakly_unsatisfied_volume(instance: &Instance, flow: &FlowVec, delta: f64
     let lp = flow.path_latencies(instance);
     let avgs = flow.commodity_avg_latencies(instance);
     let mut vol = 0.0;
-    for i in 0..instance.num_commodities() {
+    for (i, avg_i) in avgs.iter().enumerate() {
         for p in instance.commodity_paths(i) {
-            if lp[p] > avgs[i] + delta {
+            if lp[p] > avg_i + delta {
                 vol += flow.values()[p];
             }
         }
@@ -68,9 +68,9 @@ pub fn is_weak_approx_equilibrium(
 pub fn is_wardrop_equilibrium(instance: &Instance, flow: &FlowVec, tol: f64) -> bool {
     let lp = flow.path_latencies(instance);
     let mins = flow.commodity_min_latencies(instance);
-    for i in 0..instance.num_commodities() {
+    for (i, min_i) in mins.iter().enumerate() {
         for p in instance.commodity_paths(i) {
-            if flow.values()[p] > tol && lp[p] > mins[i] + tol {
+            if flow.values()[p] > tol && lp[p] > min_i + tol {
                 return false;
             }
         }
@@ -84,10 +84,10 @@ pub fn max_regret(instance: &Instance, flow: &FlowVec, tol: f64) -> f64 {
     let lp = flow.path_latencies(instance);
     let mins = flow.commodity_min_latencies(instance);
     let mut worst = 0.0_f64;
-    for i in 0..instance.num_commodities() {
+    for (i, min_i) in mins.iter().enumerate() {
         for p in instance.commodity_paths(i) {
             if flow.values()[p] > tol {
-                worst = worst.max(lp[p] - mins[i]);
+                worst = worst.max(lp[p] - min_i);
             }
         }
     }

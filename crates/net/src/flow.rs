@@ -197,10 +197,7 @@ impl FlowVec {
             .enumerate()
             .map(|(i, c)| {
                 let range = instance.commodity_paths(i);
-                let s: f64 = range
-                    .clone()
-                    .map(|p| self.values[p] * lp[p])
-                    .sum();
+                let s: f64 = range.clone().map(|p| self.values[p] * lp[p]).sum();
                 s / c.demand
             })
             .collect()
@@ -217,7 +214,8 @@ impl FlowVec {
         let lp = self.path_latencies(instance);
         (0..instance.num_commodities())
             .map(|i| {
-                instance.commodity_paths(i)
+                instance
+                    .commodity_paths(i)
                     .map(|p| lp[p])
                     .fold(f64::INFINITY, f64::min)
             })

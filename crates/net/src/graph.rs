@@ -330,5 +330,4 @@ mod tests {
         let pairs: Vec<_> = g.edges().collect();
         assert_eq!(pairs[1].1.from, vs[1]);
     }
-
 }

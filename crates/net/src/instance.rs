@@ -115,7 +115,9 @@ impl Instance {
         for (i, c) in commodities.iter().enumerate() {
             let mut ps = enumerate_simple_paths(&graph, c.source, c.sink, path_cap).map_err(
                 |e| match e {
-                    NetError::TooManyPaths { cap, .. } => NetError::TooManyPaths { commodity: i, cap },
+                    NetError::TooManyPaths { cap, .. } => {
+                        NetError::TooManyPaths { commodity: i, cap }
+                    }
                     other => other,
                 },
             )?;
@@ -133,7 +135,12 @@ impl Instance {
             .fold(0.0, f64::max);
         let latency_upper_bound = paths
             .iter()
-            .map(|p| p.edges().iter().map(|e| latencies[e.index()].at_capacity()).sum())
+            .map(|p| {
+                p.edges()
+                    .iter()
+                    .map(|e| latencies[e.index()].at_capacity())
+                    .sum()
+            })
             .fold(0.0_f64, f64::max);
 
         Ok(Instance {
@@ -318,12 +325,7 @@ mod tests {
         let s = g.add_node();
         let t = g.add_node();
         g.add_edge(s, t);
-        let err = Instance::new(
-            g,
-            vec![],
-            vec![Commodity::new(s, t, 1.0)],
-        )
-        .unwrap_err();
+        let err = Instance::new(g, vec![], vec![Commodity::new(s, t, 1.0)]).unwrap_err();
         assert!(matches!(err, NetError::Inconsistent(_)));
     }
 
@@ -352,10 +354,7 @@ mod tests {
         let err = Instance::new(
             g,
             vec![Latency::identity()],
-            vec![
-                Commodity::new(s, t, 0.5),
-                Commodity::new(s, u, 0.5),
-            ],
+            vec![Commodity::new(s, t, 0.5), Commodity::new(s, u, 0.5)],
         )
         .unwrap_err();
         assert_eq!(err, NetError::NoPath { commodity: 1 });

@@ -529,7 +529,10 @@ mod tests {
             let bound = l.slope_bound();
             for i in 0..=100 {
                 let x = i as f64 / 100.0;
-                assert!(l.derivative(x) <= bound + 1e-9, "slope bound violated for {l}");
+                assert!(
+                    l.derivative(x) <= bound + 1e-9,
+                    "slope bound violated for {l}"
+                );
             }
         }
     }
@@ -554,11 +557,7 @@ mod tests {
     fn mm1_validate_rejects_saturating_capacity() {
         assert!(Latency::Mm1 { capacity: 1.0 }.validate().is_err());
         assert!(Latency::Mm1 { capacity: 0.5 }.validate().is_err());
-        assert!(Latency::Mm1 {
-            capacity: f64::NAN
-        }
-        .validate()
-        .is_err());
+        assert!(Latency::Mm1 { capacity: f64::NAN }.validate().is_err());
         assert!(Latency::Mm1 { capacity: 1.01 }.validate().is_ok());
     }
 

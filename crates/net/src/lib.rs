@@ -39,8 +39,8 @@
 
 pub mod builders;
 pub mod commodity;
-pub mod error;
 pub mod equilibrium;
+pub mod error;
 pub mod flow;
 pub mod graph;
 pub mod instance;

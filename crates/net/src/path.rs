@@ -100,7 +100,9 @@ impl Path {
 
     /// Last node of the path.
     pub fn sink(&self, graph: &Graph) -> NodeId {
-        graph.edge(*self.edges.last().expect("paths are non-empty")).to
+        graph
+            .edge(*self.edges.last().expect("paths are non-empty"))
+            .to
     }
 
     /// Returns true if the path uses edge `e`.
@@ -282,7 +284,10 @@ mod tests {
         // The diamond has no 1-edge path; every path has ≥ 2 edges.
         assert!(paths.iter().all(|p| p.len() >= 2));
         // s-b-t uses edge 1 (s->b) and edge 3 (b->t) but not edge 0 (s->a).
-        let sbt = paths.iter().find(|p| p.edges()[0] == EdgeId::from_index(1)).unwrap();
+        let sbt = paths
+            .iter()
+            .find(|p| p.edges()[0] == EdgeId::from_index(1))
+            .unwrap();
         assert!(sbt.contains(EdgeId::from_index(3)));
         assert!(!sbt.contains(EdgeId::from_index(0)));
     }

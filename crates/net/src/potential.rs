@@ -158,7 +158,11 @@ mod tests {
 
     #[test]
     fn lemma3_identity_holds_on_examples() {
-        for inst in [builders::pigou(), builders::braess(), builders::two_link_oscillator(2.0)] {
+        for inst in [
+            builders::pigou(),
+            builders::braess(),
+            builders::two_link_oscillator(2.0),
+        ] {
             let a = FlowVec::uniform(&inst);
             let b = FlowVec::concentrated(&inst);
             assert!(

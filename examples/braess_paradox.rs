@@ -23,7 +23,10 @@ fn main() {
     println!("Braess network static analysis");
     println!("  equilibrium social cost: {:.4}", report.equilibrium_cost);
     println!("  optimal social cost:     {:.4}", report.optimal_cost);
-    println!("  price of anarchy:        {:.4}  (theory: 4/3)\n", report.price_of_anarchy);
+    println!(
+        "  price of anarchy:        {:.4}  (theory: 4/3)\n",
+        report.price_of_anarchy
+    );
 
     // 2. Dynamics under staleness find the equilibrium.
     let policy = replicator(&inst);
@@ -33,7 +36,10 @@ fn main() {
     let traj = run(&inst, &policy, &FlowVec::uniform(&inst), &config);
     let final_latencies = traj.final_flow.path_latencies(&inst);
     println!("replicator dynamics, T = T* = {t_star:.4}:");
-    println!("  final path flows:     {:?}", rounded(traj.final_flow.values()));
+    println!(
+        "  final path flows:     {:?}",
+        rounded(traj.final_flow.values())
+    );
     println!("  final path latencies: {:?}", rounded(&final_latencies));
     println!(
         "  equilibrium reached:  {}",

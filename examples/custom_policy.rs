@@ -99,11 +99,18 @@ fn main() {
 
     println!("phase        Φ − Φ*");
     for i in [0usize, 10, 100, 500, 1000, 2000, 3999] {
-        println!("{:5}   {:11.6e}", i, traj.phases[i].potential_start - phi_star);
+        println!(
+            "{:5}   {:11.6e}",
+            i,
+            traj.phases[i].potential_start - phi_star
+        );
     }
     let final_gap = traj.phases.last().expect("ran").potential_end - phi_star;
     println!("\nfinal gap: {final_gap:.3e}");
-    println!("potential increases: {}", traj.monotonicity_violations(1e-10));
+    println!(
+        "potential increases: {}",
+        traj.monotonicity_violations(1e-10)
+    );
     println!("Lemma 4 violations: {}", traj.lemma4_violations(1e-10));
     assert_eq!(traj.monotonicity_violations(1e-10), 0);
     assert!(final_gap < 1e-2);

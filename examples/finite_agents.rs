@@ -26,7 +26,10 @@ fn main() {
 
     println!("replicator dynamics on Braess, T = {t_period}, {phases} phases");
     println!("L∞ distance between empirical and fluid phase-start flows:\n");
-    println!("{:>8}  {:>10}  {:>10}  {:>12}", "N", "mean dist", "max dist", "final dist");
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>12}",
+        "N", "mean dist", "max dist", "final dist"
+    );
 
     for num_agents in [100u64, 1_000, 10_000, 100_000] {
         let config = AgentSimConfig::new(num_agents, t_period, phases, 7).with_flows();

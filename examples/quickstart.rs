@@ -17,11 +17,13 @@ use wardrop::prelude::*;
 
 fn main() {
     let inst = builders::braess();
-    println!("Braess network: {} paths, D = {}, β = {}, ℓmax = {}",
+    println!(
+        "Braess network: {} paths, D = {}, β = {}, ℓmax = {}",
         inst.num_paths(),
         inst.max_path_len(),
         inst.slope_bound(),
-        inst.latency_upper_bound());
+        inst.latency_upper_bound()
+    );
 
     // The paper's safe update period T* = 1/(4 D α β) for the
     // replicator's smoothness α = 1/ℓmax.

@@ -27,7 +27,10 @@ fn main() {
     );
 
     let eq = minimise(&inst, Objective::Potential, &FrankWolfeConfig::default());
-    println!("equilibrium potential Φ* = {:.6} (FW gap {:.1e})\n", eq.value, eq.gap);
+    println!(
+        "equilibrium potential Φ* = {:.6} (FW gap {:.1e})\n",
+        eq.value, eq.gap
+    );
 
     // A metrics-broadcast interval an operator might pick: larger than
     // the safe period of the fastest policy to make staleness bite.
@@ -40,11 +43,21 @@ fn main() {
     let f0 = FlowVec::uniform(&inst);
     let phases = 1500;
 
-    println!("{:<28} {:>12} {:>12} {:>10} {:>9}", "policy", "final gap", "avg latency", "monotone", "regret");
+    println!(
+        "{:<28} {:>12} {:>12} {:>10} {:>9}",
+        "policy", "final gap", "avg latency", "monotone", "regret"
+    );
     run_and_report(&inst, &uniform_linear(&inst), &f0, t, phases, eq.value);
     run_and_report(&inst, &replicator(&inst), &f0, t, phases, eq.value);
     for c in [1.0, 10.0, 100.0] {
-        run_and_report(&inst, &smoothed_best_response(&inst, c), &f0, t, phases, eq.value);
+        run_and_report(
+            &inst,
+            &smoothed_best_response(&inst, c),
+            &f0,
+            t,
+            phases,
+            eq.value,
+        );
     }
     run_and_report(&inst, &BestResponse::new(), &f0, t, phases, eq.value);
 

@@ -39,6 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// Compile and run the README's code blocks as doctests, so the
+// quickstart snippet there can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 pub use wardrop_agents as agents;
 pub use wardrop_analysis as analysis;
 pub use wardrop_core as core;
@@ -57,18 +63,18 @@ pub mod prelude {
     pub use wardrop_core::board::BulletinBoard;
     pub use wardrop_core::engine::{run, Dynamics, PhaseSchedule, SimulationConfig};
     pub use wardrop_core::integrator::Integrator;
-    pub use wardrop_core::migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};
+    pub use wardrop_core::migration::{
+        BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear,
+    };
     pub use wardrop_core::policy::{
-        fast_relative_slack, replicator, smoothed_best_response, uniform_linear,
-        ReroutingPolicy, SmoothPolicy,
+        fast_relative_slack, replicator, smoothed_best_response, uniform_linear, ReroutingPolicy,
+        SmoothPolicy,
     };
     pub use wardrop_core::sampling::{Logit, Proportional, SamplingRule, Uniform};
     pub use wardrop_core::theory::{self, safe_update_period};
     pub use wardrop_core::trajectory::Trajectory;
     pub use wardrop_net::builders;
-    pub use wardrop_net::equilibrium::{
-        is_approx_equilibrium, is_wardrop_equilibrium, max_regret,
-    };
+    pub use wardrop_net::equilibrium::{is_approx_equilibrium, is_wardrop_equilibrium, max_regret};
     pub use wardrop_net::flow::FlowVec;
     pub use wardrop_net::potential::{potential, virtual_gain};
     pub use wardrop_net::{Commodity, Graph, Instance, Latency, NetError, PathId};

@@ -23,7 +23,12 @@ fn smooth_policies_reach_ground_truth_potential() {
             let traj = if policy_is_replicator {
                 run(inst, &replicator(inst), &FlowVec::uniform(inst), &config)
             } else {
-                run(inst, &uniform_linear(inst), &FlowVec::uniform(inst), &config)
+                run(
+                    inst,
+                    &uniform_linear(inst),
+                    &FlowVec::uniform(inst),
+                    &config,
+                )
             };
             let gap = traj.phases.last().unwrap().potential_end - phi_star;
             assert!(
@@ -58,7 +63,12 @@ fn theorem_bounds_dominate_measured_counts() {
     let (delta, eps) = (0.2, 0.05);
 
     let config = SimulationConfig::new(t, 4000).with_deltas(vec![delta]);
-    let uni = run(&inst, &uniform_linear(&inst), &FlowVec::uniform(&inst), &config);
+    let uni = run(
+        &inst,
+        &uniform_linear(&inst),
+        &FlowVec::uniform(&inst),
+        &config,
+    );
     let strict_bad = uni.bad_phase_count(0, eps) as f64;
     assert!(strict_bad <= wardrop::core::theory::theorem6_bound(&inst, t, delta, eps));
 
@@ -81,8 +91,16 @@ fn integrators_agree_along_full_runs() {
     let exact = run_with(Integrator::Uniformization { tol: 1e-13 });
     let rk4 = run_with(Integrator::Rk4 { dt: 0.005 });
     let euler = run_with(Integrator::Euler { dt: 0.0002 });
-    assert!(exact.linf_distance(&rk4) < 1e-7, "rk4 drift {}", exact.linf_distance(&rk4));
-    assert!(exact.linf_distance(&euler) < 1e-3, "euler drift {}", exact.linf_distance(&euler));
+    assert!(
+        exact.linf_distance(&rk4) < 1e-7,
+        "rk4 drift {}",
+        exact.linf_distance(&rk4)
+    );
+    assert!(
+        exact.linf_distance(&euler) < 1e-3,
+        "euler drift {}",
+        exact.linf_distance(&euler)
+    );
 }
 
 /// The engine's flow stays feasible after thousands of phases
@@ -103,13 +121,23 @@ fn feasibility_preserved_over_long_runs() {
 fn best_response_dichotomy() {
     let braess = builders::braess();
     let config = SimulationConfig::new(0.25, 400);
-    let ok = run(&braess, &BestResponse::new(), &FlowVec::uniform(&braess), &config);
+    let ok = run(
+        &braess,
+        &BestResponse::new(),
+        &FlowVec::uniform(&braess),
+        &config,
+    );
     assert!(ok.phases.last().unwrap().max_regret_start < 1e-3);
 
     let osc = builders::two_link_oscillator(4.0);
     let f1 = theory::oscillation::initial_flow(0.25);
     let f0 = FlowVec::from_values(&osc, vec![f1, 1.0 - f1]).unwrap();
-    let bad = run(&osc, &BestResponse::new(), &f0, &SimulationConfig::new(0.25, 400));
+    let bad = run(
+        &osc,
+        &BestResponse::new(),
+        &f0,
+        &SimulationConfig::new(0.25, 400),
+    );
     assert!(bad.phases.last().unwrap().max_regret_start > 0.1);
 }
 
@@ -118,7 +146,12 @@ fn best_response_dichotomy() {
 fn early_stop_cross_crate() {
     let inst = builders::pigou();
     let config = SimulationConfig::new(0.25, 100_000).with_stop_regret(0.01);
-    let traj = run(&inst, &uniform_linear(&inst), &FlowVec::uniform(&inst), &config);
+    let traj = run(
+        &inst,
+        &uniform_linear(&inst),
+        &FlowVec::uniform(&inst),
+        &config,
+    );
     assert!(traj.len() < 100_000);
     assert!(max_regret(&inst, &traj.final_flow, 1e-12) < 0.011);
 }

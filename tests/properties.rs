@@ -8,14 +8,13 @@
 //! equilibrium-notion orderings.
 
 use proptest::prelude::*;
-use wardrop::prelude::*;
 use wardrop::net::potential::lemma3_residual;
+use wardrop::prelude::*;
 
 /// Strategy: a random parallel-link instance with affine latencies.
 fn arb_parallel_instance() -> impl Strategy<Value = Instance> {
-    (2usize..10, 0u64..1000).prop_map(|(m, seed)| {
-        builders::random_parallel_links(m, 1.0, 0.1, 2.0, seed)
-    })
+    (2usize..10, 0u64..1000)
+        .prop_map(|(m, seed)| builders::random_parallel_links(m, 1.0, 0.1, 2.0, seed))
 }
 
 /// Strategy: a random layered instance (small, multi-edge paths).

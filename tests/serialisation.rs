@@ -74,13 +74,15 @@ fn trajectory_round_trips_and_metrics_survive() {
     let config = SimulationConfig::new(0.5, 25)
         .with_flows()
         .with_deltas(vec![0.1]);
-    let traj = run(&inst, &uniform_linear(&inst), &FlowVec::uniform(&inst), &config);
+    let traj = run(
+        &inst,
+        &uniform_linear(&inst),
+        &FlowVec::uniform(&inst),
+        &config,
+    );
     let back: Trajectory = round_trip(&traj);
     assert_eq!(back, traj);
-    assert_eq!(
-        back.bad_phase_count(0, 0.05),
-        traj.bad_phase_count(0, 0.05)
-    );
+    assert_eq!(back.bad_phase_count(0, 0.05), traj.bad_phase_count(0, 0.05));
     assert_eq!(back.potential_series(), traj.potential_series());
 }
 
@@ -102,8 +104,18 @@ fn deserialised_instance_runs_identically() {
     let inst = builders::grid_network(3, 3, 9);
     let back: Instance = round_trip(&inst);
     let config = SimulationConfig::new(0.2, 50);
-    let a = run(&inst, &uniform_linear(&inst), &FlowVec::uniform(&inst), &config);
-    let b = run(&back, &uniform_linear(&back), &FlowVec::uniform(&back), &config);
+    let a = run(
+        &inst,
+        &uniform_linear(&inst),
+        &FlowVec::uniform(&inst),
+        &config,
+    );
+    let b = run(
+        &back,
+        &uniform_linear(&back),
+        &FlowVec::uniform(&back),
+        &config,
+    );
     assert_eq!(a.final_flow, b.final_flow);
     assert_eq!(a.potential_series(), b.potential_series());
 }
