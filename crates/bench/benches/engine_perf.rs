@@ -1,16 +1,70 @@
-//! Engine-performance benches: integrator comparison (Euler vs RK4 vs
-//! uniformization), phase-rate construction, and path enumeration.
+//! Engine-performance benches: the fused phase loop on large
+//! grid/multi-commodity workloads (against the frozen pre-fused
+//! baseline), integrator comparison (Euler vs RK4 vs uniformization),
+//! phase-rate construction, and path enumeration.
+//!
+//! For a machine-readable record of the fused-vs-baseline numbers, run
+//! the `bench_report` binary (writes `BENCH_engine.json`).
 
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use wardrop_bench::{baseline, large_engine_workloads, small_engine_workloads};
 use wardrop_core::board::BulletinBoard;
+use wardrop_core::engine;
 use wardrop_core::integrator::Integrator;
 use wardrop_core::policy::{uniform_linear, ReroutingPolicy};
 use wardrop_net::builders;
+use wardrop_net::eval::EvalWorkspace;
 use wardrop_net::flow::FlowVec;
 use wardrop_net::graph::NodeId;
 use wardrop_net::path::enumerate_simple_paths;
+
+fn bench_engine_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_run");
+    group.sample_size(5);
+    for w in small_engine_workloads()
+        .iter()
+        .chain(&large_engine_workloads())
+    {
+        let policy = uniform_linear(&w.instance);
+        group.bench_function(format!("fused_{}", w.name), |b| {
+            b.iter(|| engine::run(black_box(&w.instance), &policy, &w.f0, &w.config));
+        });
+        group.bench_function(format!("baseline_{}", w.name), |b| {
+            b.iter(|| baseline::run_naive(black_box(&w.instance), &policy, &w.f0, &w.config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_evaluation");
+    for (name, inst) in [
+        ("grid_6x6", builders::grid_network(6, 6, 7)),
+        ("grid_8x8", builders::grid_network(8, 8, 7)),
+    ] {
+        let f = FlowVec::uniform(&inst);
+        let mut ws = EvalWorkspace::new(&inst);
+        group.bench_function(format!("workspace_{name}"), |b| {
+            b.iter(|| ws.evaluate(black_box(&inst), black_box(&f)));
+        });
+        group.bench_function(format!("naive_chain_{name}"), |b| {
+            // The pre-fused per-phase metric chain: six allocating
+            // recomputations of the edge/path-latency pipeline.
+            b.iter(|| {
+                let phi = wardrop_net::potential::potential(&inst, &f);
+                let avg = f.avg_latency(&inst);
+                let regret = wardrop_net::equilibrium::max_regret(&inst, &f, 1e-12);
+                let u = wardrop_net::equilibrium::unsatisfied_volume(&inst, &f, 0.05);
+                let wu = wardrop_net::equilibrium::weakly_unsatisfied_volume(&inst, &f, 0.05);
+                let mins = f.commodity_min_latencies(&inst);
+                (phi, avg, regret, u, wu, mins)
+            });
+        });
+    }
+    group.finish();
+}
 
 fn bench_integrators(c: &mut Criterion) {
     let mut group = c.benchmark_group("integrators");
@@ -67,6 +121,8 @@ fn bench_path_enumeration(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_engine_run,
+    bench_fused_evaluation,
     bench_integrators,
     bench_phase_rates,
     bench_path_enumeration

@@ -1,0 +1,176 @@
+//! Frozen pre-fused-pipeline reference implementation of the phase
+//! loop, kept for performance comparison and as an independent oracle.
+//!
+//! This module replicates, using only public APIs, exactly what
+//! `wardrop_core::engine::run` did before the fused evaluation
+//! pipeline landed:
+//!
+//! * every per-phase metric recomputes the full
+//!   `edge_flows → edge_latencies → path_latencies` chain and
+//!   allocates fresh vectors;
+//! * the migration-rate blocks are allocated from scratch each phase
+//!   ([`ReroutingPolicy::phase_rates`]);
+//! * the generator is applied column-per-output (strided reads of the
+//!   rate matrix) with freshly allocated integration buffers.
+//!
+//! `bench_report` times [`run_naive`] against the fused
+//! `wardrop_core::engine::run` on identical workloads and records both
+//! in `BENCH_engine.json`; `tests/baseline_agreement.rs` asserts the
+//! two produce matching trajectories. Do not "optimise" this module —
+//! its slowness is the point.
+
+use wardrop_core::board::BulletinBoard;
+use wardrop_core::engine::SimulationConfig;
+use wardrop_core::policy::{PhaseRates, ReroutingPolicy};
+use wardrop_core::trajectory::{PhaseRecord, Trajectory};
+use wardrop_core::Integrator;
+use wardrop_net::equilibrium::{max_regret, unsatisfied_volume, weakly_unsatisfied_volume};
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+use wardrop_net::potential::{potential, virtual_gain};
+
+/// The pre-fused `PhaseRates::apply`: column-per-output evaluation,
+/// reading each block's rate matrix with stride `n`.
+pub fn apply_naive(rates: &PhaseRates, f: &[f64], out: &mut [f64]) {
+    for b in rates.blocks() {
+        let n = b.len();
+        let start = b.start();
+        let fs = &f[start..start + n];
+        let os = &mut out[start..start + n];
+        for q in 0..n {
+            // Inflow to q.
+            let mut acc = 0.0;
+            for (p, fp) in fs.iter().enumerate() {
+                acc += fp * b.rate(p, q);
+            }
+            os[q] = acc - fs[q] * b.exit_rate(q);
+        }
+    }
+}
+
+/// The pre-fused uniformization: fresh buffers every call, generator
+/// applied via [`apply_naive`].
+pub fn uniformization_naive(rates: &PhaseRates, f: &mut [f64], tau: f64, tol: f64) {
+    let lambda = rates.max_exit_rate();
+    if lambda <= 0.0 {
+        return;
+    }
+    let n = f.len();
+    let lt = lambda * tau;
+    let mut v = f.to_vec();
+    let mut av = vec![0.0; n];
+    let mut out = vec![0.0; n];
+    let mut weight = (-lt).exp();
+    let mut cumulative = weight;
+    for (o, vi) in out.iter_mut().zip(&v) {
+        *o = weight * vi;
+    }
+    let max_k = (lt + 40.0 * lt.sqrt() + 64.0).ceil() as usize;
+    for k in 1..=max_k {
+        apply_naive(rates, &v, &mut av);
+        for (vi, a) in v.iter_mut().zip(&av) {
+            *vi += a / lambda;
+        }
+        weight *= lt / k as f64;
+        for (o, vi) in out.iter_mut().zip(&v) {
+            *o += weight * vi;
+        }
+        cumulative += weight;
+        if 1.0 - cumulative < tol && k as f64 > lt {
+            break;
+        }
+    }
+    f.copy_from_slice(&out);
+}
+
+/// The pre-fused phase loop for smooth policies: per-metric
+/// recomputation, per-phase rate allocation, naive uniformization.
+///
+/// Limitations (by design — this mirrors what the benches need, not
+/// the full engine): only [`Integrator::Uniformization`] is supported
+/// and early stopping retains the old off-by-one `flows` bookkeeping.
+///
+/// # Panics
+///
+/// Panics if the configuration requests a different integrator, is
+/// invalid, or `f0` is infeasible.
+pub fn run_naive<P: ReroutingPolicy + ?Sized>(
+    instance: &Instance,
+    policy: &P,
+    f0: &FlowVec,
+    config: &SimulationConfig,
+) -> Trajectory {
+    let tol = match config.integrator {
+        Integrator::Uniformization { tol } => tol,
+        _ => panic!("baseline::run_naive only supports uniformization"),
+    };
+    assert!(
+        config.update_period.is_finite() && config.update_period > 0.0,
+        "update period must be positive"
+    );
+    assert!(
+        f0.is_feasible(instance, 1e-6),
+        "initial flow must be feasible"
+    );
+
+    let mut flow = f0.clone();
+    let mut phases = Vec::with_capacity(config.num_phases.min(1 << 20));
+    let mut flows = Vec::new();
+    let t_period = config.update_period;
+    let mut start_time = 0.0;
+
+    for index in 0..config.num_phases {
+        let tau = config.schedule.phase_length(t_period, index);
+        let board = BulletinBoard::post(instance, &flow, start_time);
+        let potential_start = potential(instance, &flow);
+        let avg_latency_start = flow.avg_latency(instance);
+        let max_regret_start = max_regret(instance, &flow, 1e-12);
+        let unsatisfied: Vec<f64> = config
+            .deltas
+            .iter()
+            .map(|d| unsatisfied_volume(instance, &flow, *d))
+            .collect();
+        let weakly_unsatisfied: Vec<f64> = config
+            .deltas
+            .iter()
+            .map(|d| weakly_unsatisfied_volume(instance, &flow, *d))
+            .collect();
+        if config.record_flows {
+            flows.push(flow.clone());
+        }
+        if let Some(threshold) = config.stop_when_regret_below {
+            if max_regret_start < threshold {
+                break;
+            }
+        }
+
+        let phase_start_flow = flow.clone();
+        let rates = policy.phase_rates(instance, &board);
+        uniformization_naive(&rates, flow.values_mut(), tau, tol);
+        flow.renormalise(instance);
+
+        let potential_end = potential(instance, &flow);
+        let vgain = virtual_gain(instance, &phase_start_flow, &flow);
+        phases.push(PhaseRecord {
+            index,
+            start_time,
+            potential_start,
+            potential_end,
+            virtual_gain: vgain,
+            avg_latency_start,
+            max_regret_start,
+            unsatisfied,
+            weakly_unsatisfied,
+        });
+        start_time += tau;
+    }
+
+    Trajectory {
+        update_period: t_period,
+        deltas: config.deltas.clone(),
+        phases,
+        flows,
+        final_flow: flow,
+        dynamics: policy.name(),
+    }
+}

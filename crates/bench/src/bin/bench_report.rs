@@ -1,0 +1,127 @@
+//! Machine-readable engine-performance report.
+//!
+//! Runs the engine workloads of `wardrop-bench` through both the fused
+//! phase loop (`wardrop_core::engine::run`) and the frozen pre-fused
+//! reference (`wardrop_bench::baseline::run_naive`), and writes
+//! `BENCH_engine.json` with ns/phase for each — so the performance
+//! trajectory of the hot path is tracked in-repo from PR to PR and CI
+//! can surface regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_report [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` restricts to the small workloads (seconds, CI-friendly);
+//! the default also runs the large `grid_8x8` acceptance workload.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use wardrop_bench::{baseline, large_engine_workloads, small_engine_workloads, EngineWorkload};
+use wardrop_core::engine;
+
+#[derive(Debug, Serialize)]
+struct WorkloadReport {
+    name: String,
+    paths: usize,
+    edges: usize,
+    incidences: usize,
+    phases: usize,
+    repeats: usize,
+    ns_per_phase_fused: f64,
+    ns_per_phase_baseline: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: String,
+    mode: String,
+    workloads: Vec<WorkloadReport>,
+}
+
+/// Best-of-`repeats` wall-clock nanoseconds for `f`.
+fn time_best_of<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn measure(w: &EngineWorkload, repeats: usize) -> WorkloadReport {
+    let phases = w.config.num_phases;
+    // Warm-up: one fused run (touches the instance, populates caches).
+    let warm = engine::run(&w.instance, &uniform(w), &w.f0, &w.config);
+    assert_eq!(warm.len(), phases, "workload must run all phases");
+
+    let fused_ns = time_best_of(repeats, || {
+        let traj = engine::run(&w.instance, &uniform(w), &w.f0, &w.config);
+        assert_eq!(traj.len(), phases);
+    });
+    let baseline_ns = time_best_of(repeats, || {
+        let traj = baseline::run_naive(&w.instance, &uniform(w), &w.f0, &w.config);
+        assert_eq!(traj.len(), phases);
+    });
+
+    let report = WorkloadReport {
+        name: w.name.to_string(),
+        paths: w.instance.num_paths(),
+        edges: w.instance.num_edges(),
+        incidences: w.instance.incidence_count(),
+        phases,
+        repeats,
+        ns_per_phase_fused: fused_ns / phases as f64,
+        ns_per_phase_baseline: baseline_ns / phases as f64,
+        speedup: baseline_ns / fused_ns,
+    };
+    println!(
+        "{:<28} |P|={:<6} fused {:>12.0} ns/phase   baseline {:>12.0} ns/phase   speedup {:.2}x",
+        report.name,
+        report.paths,
+        report.ns_per_phase_fused,
+        report.ns_per_phase_baseline,
+        report.speedup
+    );
+    report
+}
+
+fn uniform(
+    w: &EngineWorkload,
+) -> wardrop_core::SmoothPolicy<wardrop_core::Uniform, wardrop_core::Linear> {
+    wardrop_core::policy::uniform_linear(&w.instance)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let mut workloads = Vec::new();
+    for w in small_engine_workloads() {
+        workloads.push(measure(&w, 5));
+    }
+    if !smoke {
+        for w in large_engine_workloads() {
+            workloads.push(measure(&w, 2));
+        }
+    }
+
+    let report = BenchReport {
+        schema: "wardrop-bench/engine/v1".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        workloads,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+}

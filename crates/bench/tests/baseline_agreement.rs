@@ -1,0 +1,75 @@
+//! The fused engine and the frozen pre-fused baseline must produce the
+//! same physics: identical phase records (up to float re-association)
+//! and identical final flows on shared workloads. This both validates
+//! the fused pipeline against an independent implementation and keeps
+//! the baseline honest as a benchmark reference.
+
+use wardrop_bench::{baseline, small_engine_workloads};
+use wardrop_core::engine;
+use wardrop_core::policy::{replicator, uniform_linear};
+
+const TOL: f64 = 1e-12;
+
+#[test]
+fn fused_run_matches_baseline_on_small_workloads() {
+    for w in small_engine_workloads() {
+        let policy = uniform_linear(&w.instance);
+        let fused = engine::run(&w.instance, &policy, &w.f0, &w.config);
+        let naive = baseline::run_naive(&w.instance, &policy, &w.f0, &w.config);
+        assert_eq!(fused.len(), naive.len(), "{}", w.name);
+        for (a, b) in fused.phases.iter().zip(&naive.phases) {
+            assert_eq!(a.index, b.index);
+            assert!((a.start_time - b.start_time).abs() < TOL, "{}", w.name);
+            assert!(
+                (a.potential_start - b.potential_start).abs() < TOL,
+                "{}: Φ start {} vs {}",
+                w.name,
+                a.potential_start,
+                b.potential_start
+            );
+            assert!(
+                (a.potential_end - b.potential_end).abs() < TOL,
+                "{}",
+                w.name
+            );
+            assert!((a.virtual_gain - b.virtual_gain).abs() < TOL, "{}", w.name);
+            assert!(
+                (a.avg_latency_start - b.avg_latency_start).abs() < TOL,
+                "{}",
+                w.name
+            );
+            assert!(
+                (a.max_regret_start - b.max_regret_start).abs() < TOL,
+                "{}",
+                w.name
+            );
+            for (x, y) in a.unsatisfied.iter().zip(&b.unsatisfied) {
+                assert!((x - y).abs() < TOL, "{}", w.name);
+            }
+            for (x, y) in a.weakly_unsatisfied.iter().zip(&b.weakly_unsatisfied) {
+                assert!((x - y).abs() < TOL, "{}", w.name);
+            }
+        }
+        assert!(
+            fused.final_flow.linf_distance(&naive.final_flow) < TOL,
+            "{}: final flows diverge",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn fused_run_matches_baseline_under_replicator_and_jitter() {
+    let mut w = wardrop_bench::small_engine_workloads().remove(1);
+    w.config = w.config.with_jitter(0.4, 13).with_deltas(vec![0.01, 0.1]);
+    let policy = replicator(&w.instance);
+    let fused = engine::run(&w.instance, &policy, &w.f0, &w.config);
+    let naive = baseline::run_naive(&w.instance, &policy, &w.f0, &w.config);
+    assert_eq!(fused.len(), naive.len());
+    for (a, b) in fused.phases.iter().zip(&naive.phases) {
+        assert!((a.potential_end - b.potential_end).abs() < TOL);
+        assert!((a.virtual_gain - b.virtual_gain).abs() < TOL);
+        assert_eq!(a.unsatisfied.len(), 2);
+    }
+    assert!(fused.final_flow.linf_distance(&naive.final_flow) < TOL);
+}

@@ -20,7 +20,7 @@ use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 
 use crate::board::BulletinBoard;
-use crate::engine::Dynamics;
+use crate::engine::{Dynamics, EngineWorkspace};
 use crate::integrator::Integrator;
 
 /// The best-response dynamics (not α-smooth; oscillates under
@@ -53,11 +53,18 @@ impl Dynamics for BestResponse {
         flow: &mut FlowVec,
         tau: f64,
         _integrator: &Integrator,
+        _workspace: &mut EngineWorkspace,
     ) {
-        let b = self.best_reply_flow(instance, board);
+        // f(t̂ + τ) = b + (f − b) e^{−τ} = f·e^{−τ} + b·(1 − e^{−τ})
+        // with b one-hot per commodity — applied in place, no
+        // materialised best-reply vector.
         let decay = (-tau).exp();
-        for (f, bv) in flow.values_mut().iter_mut().zip(b.values()) {
-            *f = bv + (*f - bv) * decay;
+        for f in flow.values_mut().iter_mut() {
+            *f *= decay;
+        }
+        for (i, c) in instance.commodities().iter().enumerate() {
+            let best = board.best_reply(instance, i);
+            flow.values_mut()[best] += c.demand * (1.0 - decay);
         }
     }
 
@@ -89,7 +96,15 @@ mod tests {
         let board = BulletinBoard::post(&inst, &f0, 0.0);
         let mut f = f0.clone();
         let tau = 0.7;
-        BestResponse::new().advance_phase(&inst, &board, &mut f, tau, &Integrator::default());
+        let mut ws = EngineWorkspace::new(&inst);
+        BestResponse::new().advance_phase(
+            &inst,
+            &board,
+            &mut f,
+            tau,
+            &Integrator::default(),
+            &mut ws,
+        );
         // f₂(τ) = f₂(0) e^{−τ}; f₁ = 1 − f₂.
         let expected2 = 0.8 * (-tau).exp();
         assert!((f.values()[1] - expected2).abs() < 1e-12);

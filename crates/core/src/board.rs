@@ -7,7 +7,8 @@
 //! the true current flow.
 
 use serde::{Deserialize, Serialize};
-use wardrop_net::flow::{path_latencies_from_edge, FlowVec};
+use wardrop_net::eval::EvalWorkspace;
+use wardrop_net::flow::{path_latencies_from_edge_into, FlowVec};
 use wardrop_net::instance::Instance;
 
 /// A snapshot of all routing-relevant information at a phase start.
@@ -36,21 +37,64 @@ pub struct BulletinBoard {
 impl BulletinBoard {
     /// Posts a new board from the true flow at time `time`.
     pub fn post(instance: &Instance, flow: &FlowVec, time: f64) -> Self {
-        let edge_flows = flow.edge_flows(instance);
-        let edge_latencies: Vec<f64> = instance
-            .latencies()
-            .iter()
-            .zip(&edge_flows)
-            .map(|(l, x)| l.eval(*x))
-            .collect();
-        let path_latencies = path_latencies_from_edge(instance, &edge_latencies);
+        let mut board = Self::for_instance(instance);
+        board.post_into(instance, flow, time);
+        board
+    }
+
+    /// An unposted board with buffers sized for `instance` (all zeros).
+    ///
+    /// Pair with [`BulletinBoard::post_into`] /
+    /// [`BulletinBoard::post_from_eval`] to refresh the board every
+    /// phase without reallocating.
+    pub fn for_instance(instance: &Instance) -> Self {
         BulletinBoard {
-            time,
-            edge_flows,
-            edge_latencies,
-            path_latencies,
-            path_flows: flow.values().to_vec(),
+            time: 0.0,
+            edge_flows: vec![0.0; instance.num_edges()],
+            edge_latencies: vec![0.0; instance.num_edges()],
+            path_latencies: vec![0.0; instance.num_paths()],
+            path_flows: vec![0.0; instance.num_paths()],
         }
+    }
+
+    /// Re-posts the board in place from the true flow, reusing the
+    /// board's buffers (allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the board or `flow` was sized for a different
+    /// instance.
+    pub fn post_into(&mut self, instance: &Instance, flow: &FlowVec, time: f64) {
+        self.time = time;
+        flow.edge_flows_into(instance, &mut self.edge_flows);
+        for ((le, &fe), lat) in self
+            .edge_latencies
+            .iter_mut()
+            .zip(&self.edge_flows)
+            .zip(instance.latencies())
+        {
+            *le = lat.eval(fe);
+        }
+        path_latencies_from_edge_into(instance, &self.edge_latencies, &mut self.path_latencies);
+        self.path_flows.copy_from_slice(flow.values());
+    }
+
+    /// Re-posts the board by copying the quantities already computed in
+    /// `eval` for `flow` (allocation-free; no recomputation).
+    ///
+    /// The workspace must have been [evaluated](EvalWorkspace::evaluate)
+    /// at exactly `flow` — the engine maintains this invariant because
+    /// it evaluates once per phase boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths disagree.
+    pub fn post_from_eval(&mut self, eval: &EvalWorkspace, flow: &FlowVec, time: f64) {
+        self.time = time;
+        self.edge_flows.copy_from_slice(eval.edge_flows());
+        self.edge_latencies.copy_from_slice(eval.edge_latencies());
+        self.path_latencies.copy_from_slice(eval.path_latencies());
+        self.path_flows.copy_from_slice(flow.values());
     }
 
     /// The posting time `t̂` (phase start).
@@ -136,6 +180,30 @@ mod tests {
         let f1 = FlowVec::from_values(&inst, vec![0.9, 0.1]).unwrap();
         assert_ne!(board.path_latencies(), f1.path_latencies(&inst).as_slice());
         assert_eq!(board.path_latencies(), f0.path_latencies(&inst).as_slice());
+    }
+
+    #[test]
+    fn post_into_matches_post_and_reuses_buffers() {
+        let inst = builders::braess();
+        let mut board = BulletinBoard::for_instance(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        board.post_into(&inst, &f0, 1.0);
+        assert_eq!(board, BulletinBoard::post(&inst, &f0, 1.0));
+        // Re-posting overwrites every field.
+        let f1 = FlowVec::concentrated(&inst);
+        board.post_into(&inst, &f1, 2.0);
+        assert_eq!(board, BulletinBoard::post(&inst, &f1, 2.0));
+    }
+
+    #[test]
+    fn post_from_eval_matches_post() {
+        let inst = builders::braess();
+        let f = FlowVec::uniform(&inst);
+        let mut eval = wardrop_net::eval::EvalWorkspace::new(&inst);
+        eval.evaluate(&inst, &f);
+        let mut board = BulletinBoard::for_instance(&inst);
+        board.post_from_eval(&eval, &f, 3.5);
+        assert_eq!(board, BulletinBoard::post(&inst, &f, 3.5));
     }
 
     #[test]

@@ -8,26 +8,68 @@
 //! 2. **Relax**: for `τ ∈ [0, T)` agents react to the *board* only.
 //!    For [smooth policies](crate::policy::ReroutingPolicy) the
 //!    within-phase dynamics is the linear ODE of
-//!    [`PhaseRates`](crate::policy::PhaseRates); for best response it
+//!    [`PhaseRates`]; for best response it
 //!    is the differential inclusion Eq. (4) with an exponential
 //!    closed-form solution (see [`crate::best_response`]).
 //!
 //! The engine records the per-phase quantities the paper's lemmas and
 //! theorems are stated in (potential, virtual gain, unsatisfied
 //! volumes) into a [`Trajectory`].
+//!
+//! The loop is built on a fused evaluation pipeline: a [`Simulation`]
+//! owns an [`EngineWorkspace`] (evaluation buffers, reusable rate
+//! blocks, integrator scratch) and evaluates the flow exactly once per
+//! phase boundary — the phase-end evaluation doubles as the next
+//! phase's start, boards are posted by copying cached arrays, and in
+//! steady state a phase performs zero heap allocations.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use wardrop_net::equilibrium::{max_regret, unsatisfied_volume, weakly_unsatisfied_volume};
+use wardrop_net::eval::EvalWorkspace;
 use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
-use wardrop_net::potential::{potential, virtual_gain};
+use wardrop_net::rng::splitmix_unit;
 
 use crate::board::BulletinBoard;
-use crate::integrator::Integrator;
-use crate::policy::ReroutingPolicy;
+use crate::integrator::{Integrator, IntegratorScratch};
+use crate::policy::{PhaseRates, ReroutingPolicy};
 use crate::trajectory::{PhaseRecord, Trajectory};
+
+/// All reusable state of the phase loop: the fused evaluation buffers,
+/// the per-phase rate structure, integration scratch, and the
+/// phase-start edge snapshot used for the virtual gain.
+///
+/// Built once per simulation ([`Simulation::new`]); after that a
+/// steady-state phase performs zero heap allocations (verified by the
+/// counting-allocator test in `crates/core/tests/zero_alloc.rs`).
+#[derive(Debug, Clone)]
+pub struct EngineWorkspace {
+    /// Fused evaluation of the *current* flow (kept up to date at every
+    /// phase boundary, so phase-start metrics are free).
+    pub eval: EvalWorkspace,
+    /// Reusable migration-rate blocks for smooth policies.
+    pub rates: PhaseRates,
+    /// Reusable integrator buffers.
+    pub scratch: IntegratorScratch,
+    /// Edge flows `f̂_e` snapshotted at the phase start.
+    start_edge_flows: Vec<f64>,
+    /// Edge latencies `ℓ_e(f̂_e)` snapshotted at the phase start.
+    start_edge_latencies: Vec<f64>,
+}
+
+impl EngineWorkspace {
+    /// Allocates all buffers for `instance`.
+    pub fn new(instance: &Instance) -> Self {
+        EngineWorkspace {
+            eval: EvalWorkspace::new(instance),
+            rates: PhaseRates::for_instance(instance),
+            scratch: IntegratorScratch::for_len(instance.num_paths()),
+            start_edge_flows: vec![0.0; instance.num_edges()],
+            start_edge_latencies: vec![0.0; instance.num_edges()],
+        }
+    }
+}
 
 /// A dynamics that can advance the population through one phase given a
 /// frozen bulletin board.
@@ -36,7 +78,10 @@ use crate::trajectory::{PhaseRecord, Trajectory};
 /// the configured integrator) and by
 /// [`BestResponse`](crate::best_response::BestResponse) (closed form).
 pub trait Dynamics: fmt::Debug {
-    /// Advances `flow` by `tau` time units against the frozen `board`.
+    /// Advances `flow` by `tau` time units against the frozen `board`,
+    /// using (only) the reusable buffers in `workspace` for scratch —
+    /// implementations must not rely on `workspace.eval`, which the
+    /// engine owns.
     fn advance_phase(
         &self,
         instance: &Instance,
@@ -44,6 +89,7 @@ pub trait Dynamics: fmt::Debug {
         flow: &mut FlowVec,
         tau: f64,
         integrator: &Integrator,
+        workspace: &mut EngineWorkspace,
     );
 
     /// Human-readable name for reports.
@@ -58,9 +104,15 @@ impl<P: ReroutingPolicy + ?Sized> Dynamics for P {
         flow: &mut FlowVec,
         tau: f64,
         integrator: &Integrator,
+        workspace: &mut EngineWorkspace,
     ) {
-        let rates = self.phase_rates(instance, board);
-        integrator.advance(&rates, flow.values_mut(), tau);
+        self.phase_rates_into(instance, board, &mut workspace.rates);
+        integrator.advance_with(
+            &workspace.rates,
+            flow.values_mut(),
+            tau,
+            &mut workspace.scratch,
+        );
     }
 
     fn dynamics_name(&self) -> String {
@@ -113,16 +165,6 @@ impl PhaseSchedule {
             PhaseSchedule::Jittered { amplitude, .. } => t * (1.0 + amplitude),
         }
     }
-}
-
-/// SplitMix64 mapped to `[0, 1)` — a tiny deterministic generator so
-/// the engine stays free of RNG dependencies.
-fn splitmix_unit(seed: u64) -> f64 {
-    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Configuration of a phase-wise simulation run.
@@ -208,10 +250,200 @@ impl SimulationConfig {
     }
 }
 
+/// An in-flight phase-wise simulation with all buffers pre-allocated.
+///
+/// [`Simulation::step`] executes one bulletin-board phase through the
+/// fused pipeline: every metric of the phase start is read from the
+/// single [`EvalWorkspace`] evaluation left behind by the previous
+/// step, the board is posted by copying those cached arrays, and the
+/// phase end is evaluated exactly once (becoming the next phase's
+/// start). In steady state a step performs **zero heap allocations**
+/// when no `δ` columns are configured.
+///
+/// [`run`] drives a `Simulation` to completion; use this type directly
+/// for streaming consumption of phases without materialising a
+/// [`Trajectory`].
+#[derive(Debug)]
+pub struct Simulation<'a, D: Dynamics + ?Sized> {
+    instance: &'a Instance,
+    dynamics: &'a D,
+    config: &'a SimulationConfig,
+    flow: FlowVec,
+    board: BulletinBoard,
+    workspace: EngineWorkspace,
+    index: usize,
+    start_time: f64,
+    stopped: bool,
+}
+
+impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
+    /// Prepares a simulation from `f0`, allocating every buffer the
+    /// phase loop needs and evaluating the initial flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (non-positive update
+    /// period) or `f0` is infeasible for `instance`.
+    pub fn new(
+        instance: &'a Instance,
+        dynamics: &'a D,
+        f0: &FlowVec,
+        config: &'a SimulationConfig,
+    ) -> Self {
+        config.validate();
+        assert!(
+            f0.is_feasible(instance, 1e-6),
+            "initial flow must be feasible"
+        );
+        let flow = f0.clone();
+        let mut workspace = EngineWorkspace::new(instance);
+        workspace.eval.evaluate(instance, &flow);
+        Simulation {
+            instance,
+            dynamics,
+            config,
+            flow,
+            board: BulletinBoard::for_instance(instance),
+            workspace,
+            index: 0,
+            start_time: 0.0,
+            stopped: false,
+        }
+    }
+
+    /// The current flow (the start of the next phase, or the final flow
+    /// once stepping has finished).
+    #[inline]
+    pub fn flow(&self) -> &FlowVec {
+        &self.flow
+    }
+
+    /// The fused evaluation of the current flow.
+    #[inline]
+    pub fn eval(&self) -> &EvalWorkspace {
+        &self.workspace.eval
+    }
+
+    /// Number of phases executed so far.
+    #[inline]
+    pub fn phases_run(&self) -> usize {
+        self.index
+    }
+
+    /// True once the simulation has finished (phase budget exhausted or
+    /// early stop triggered).
+    #[inline]
+    pub fn is_finished(&self) -> bool {
+        self.stopped || self.index >= self.config.num_phases
+    }
+
+    /// Consumes the simulation, returning the current flow.
+    pub fn into_flow(self) -> FlowVec {
+        self.flow
+    }
+
+    /// Executes one phase and returns its record, or `None` when the
+    /// phase budget is exhausted or the early-stop regret threshold is
+    /// met at the phase start (in which case the phase does not run).
+    pub fn step(&mut self) -> Option<PhaseRecord> {
+        if self.is_finished() {
+            self.stopped = true;
+            return None;
+        }
+
+        // Phase-start metrics: all read off the one evaluation of the
+        // current flow maintained across steps.
+        let potential_start = self.workspace.eval.potential();
+        let avg_latency_start = self.workspace.eval.avg_latency();
+        let max_regret_start = self
+            .workspace
+            .eval
+            .max_regret(self.instance, &self.flow, 1e-12);
+        if let Some(threshold) = self.config.stop_when_regret_below {
+            if max_regret_start < threshold {
+                self.stopped = true;
+                return None;
+            }
+        }
+        let unsatisfied: Vec<f64> = self
+            .config
+            .deltas
+            .iter()
+            .map(|d| {
+                self.workspace
+                    .eval
+                    .unsatisfied_volume(self.instance, &self.flow, *d)
+            })
+            .collect();
+        let weakly_unsatisfied: Vec<f64> = self
+            .config
+            .deltas
+            .iter()
+            .map(|d| {
+                self.workspace
+                    .eval
+                    .weakly_unsatisfied_volume(self.instance, &self.flow, *d)
+            })
+            .collect();
+
+        // Snapshot f̂_e and ℓ_e(f̂_e) for the end-of-phase virtual gain,
+        // and post the board by copying the cached arrays.
+        self.workspace
+            .start_edge_flows
+            .copy_from_slice(self.workspace.eval.edge_flows());
+        self.workspace
+            .start_edge_latencies
+            .copy_from_slice(self.workspace.eval.edge_latencies());
+        self.board
+            .post_from_eval(&self.workspace.eval, &self.flow, self.start_time);
+
+        let tau = self
+            .config
+            .schedule
+            .phase_length(self.config.update_period, self.index);
+        self.dynamics.advance_phase(
+            self.instance,
+            &self.board,
+            &mut self.flow,
+            tau,
+            &self.config.integrator,
+            &mut self.workspace,
+        );
+        self.flow.renormalise(self.instance);
+
+        // One evaluation per phase boundary: the phase end doubles as
+        // the next phase's start.
+        self.workspace.eval.evaluate(self.instance, &self.flow);
+        let potential_end = self.workspace.eval.potential();
+        let virtual_gain = self.workspace.eval.virtual_gain_from(
+            &self.workspace.start_edge_flows,
+            &self.workspace.start_edge_latencies,
+        );
+
+        let record = PhaseRecord {
+            index: self.index,
+            start_time: self.start_time,
+            potential_start,
+            potential_end,
+            virtual_gain,
+            avg_latency_start,
+            max_regret_start,
+            unsatisfied,
+            weakly_unsatisfied,
+        };
+        self.start_time += tau;
+        self.index += 1;
+        Some(record)
+    }
+}
+
 /// Runs `dynamics` from `f0` under the bulletin board model.
 ///
 /// Returns the per-phase [`Trajectory`]. The flow is renormalised after
 /// every phase so floating-point drift never violates feasibility.
+/// When the early-stop threshold triggers, no bookkeeping is done for
+/// the phase that never ran — `trajectory.flows` (when recording) has
+/// exactly one entry per executed phase.
 ///
 /// # Panics
 ///
@@ -223,69 +455,32 @@ pub fn run<D: Dynamics + ?Sized>(
     f0: &FlowVec,
     config: &SimulationConfig,
 ) -> Trajectory {
-    config.validate();
-    assert!(
-        f0.is_feasible(instance, 1e-6),
-        "initial flow must be feasible"
-    );
-
-    let mut flow = f0.clone();
+    let mut sim = Simulation::new(instance, dynamics, f0, config);
     let mut phases = Vec::with_capacity(config.num_phases.min(1 << 20));
     let mut flows = Vec::new();
-    let t_period = config.update_period;
-    let mut start_time = 0.0;
-
-    for index in 0..config.num_phases {
-        let tau = config.schedule.phase_length(t_period, index);
-        let board = BulletinBoard::post(instance, &flow, start_time);
-        let potential_start = potential(instance, &flow);
-        let avg_latency_start = flow.avg_latency(instance);
-        let max_regret_start = max_regret(instance, &flow, 1e-12);
-        let unsatisfied: Vec<f64> = config
-            .deltas
-            .iter()
-            .map(|d| unsatisfied_volume(instance, &flow, *d))
-            .collect();
-        let weakly_unsatisfied: Vec<f64> = config
-            .deltas
-            .iter()
-            .map(|d| weakly_unsatisfied_volume(instance, &flow, *d))
-            .collect();
-        if config.record_flows {
-            flows.push(flow.clone());
-        }
-        if let Some(threshold) = config.stop_when_regret_below {
-            if max_regret_start < threshold {
-                break;
+    loop {
+        let snapshot = if config.record_flows {
+            Some(sim.flow().clone())
+        } else {
+            None
+        };
+        match sim.step() {
+            Some(record) => {
+                if let Some(start_flow) = snapshot {
+                    flows.push(start_flow);
+                }
+                phases.push(record);
             }
+            None => break,
         }
-
-        let phase_start_flow = flow.clone();
-        dynamics.advance_phase(instance, &board, &mut flow, tau, &config.integrator);
-        flow.renormalise(instance);
-
-        let potential_end = potential(instance, &flow);
-        let vgain = virtual_gain(instance, &phase_start_flow, &flow);
-        phases.push(PhaseRecord {
-            index,
-            start_time,
-            potential_start,
-            potential_end,
-            virtual_gain: vgain,
-            avg_latency_start,
-            max_regret_start,
-            unsatisfied,
-            weakly_unsatisfied,
-        });
-        start_time += tau;
     }
 
     Trajectory {
-        update_period: t_period,
+        update_period: config.update_period,
         deltas: config.deltas.clone(),
         phases,
         flows,
-        final_flow: flow,
+        final_flow: sim.into_flow(),
         dynamics: dynamics.dynamics_name(),
     }
 }
@@ -295,7 +490,7 @@ mod tests {
     use super::*;
     use crate::policy::{replicator, uniform_linear};
     use wardrop_net::builders;
-    use wardrop_net::equilibrium::is_wardrop_equilibrium;
+    use wardrop_net::equilibrium::{is_wardrop_equilibrium, max_regret};
 
     #[test]
     fn pigou_converges_to_equilibrium_under_uniform_linear() {
@@ -349,6 +544,46 @@ mod tests {
         let traj = run(&inst, &policy, &f0, &config);
         assert!(traj.len() < 5000);
         assert!(max_regret(&inst, &traj.final_flow, 1e-12) < 0.06);
+    }
+
+    #[test]
+    fn early_stop_keeps_flow_and_phase_counts_consistent() {
+        // Regression: the pre-fused loop pushed a recorded flow before
+        // checking the stop threshold, leaving flows.len() ==
+        // phases.len() + 1 when the early stop triggered.
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.25, 5000)
+            .with_stop_regret(0.05)
+            .with_flows();
+        let traj = run(&inst, &policy, &f0, &config);
+        assert!(traj.len() < 5000, "must stop early");
+        assert_eq!(
+            traj.flows.len(),
+            traj.phases.len(),
+            "one recorded flow per executed phase"
+        );
+        // The recorded flows are exactly the phase starts.
+        assert_eq!(traj.flows[0], f0);
+    }
+
+    #[test]
+    fn stepping_matches_run() {
+        let inst = builders::braess();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::concentrated(&inst);
+        let config = SimulationConfig::new(0.2, 25);
+        let traj = run(&inst, &policy, &f0, &config);
+        let mut sim = Simulation::new(&inst, &policy, &f0, &config);
+        let mut records = Vec::new();
+        while let Some(r) = sim.step() {
+            records.push(r);
+        }
+        assert!(sim.is_finished());
+        assert_eq!(sim.phases_run(), 25);
+        assert_eq!(records, traj.phases);
+        assert_eq!(sim.flow(), &traj.final_flow);
     }
 
     #[test]

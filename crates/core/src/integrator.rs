@@ -48,30 +48,88 @@ impl Default for Integrator {
     }
 }
 
+/// Reusable integration buffers, so stepping a phase allocates nothing.
+///
+/// Buffers grow on first use and are retained across phases; a scratch
+/// can be shared between integrator variants (each uses a subset).
+#[derive(Debug, Clone, Default)]
+pub struct IntegratorScratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl IntegratorScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch with all buffers pre-sized for `n` paths, so even the
+    /// first phase allocates nothing.
+    pub fn for_len(n: usize) -> Self {
+        let mut s = Self::default();
+        s.resize(n);
+        s
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.k1.resize(n, 0.0);
+        self.k2.resize(n, 0.0);
+        self.k3.resize(n, 0.0);
+        self.k4.resize(n, 0.0);
+        self.tmp.resize(n, 0.0);
+    }
+}
+
 impl Integrator {
     /// Advances `f` by `tau` time units under the frozen rates.
+    ///
+    /// Allocates fresh work buffers; the phase loop uses
+    /// [`Integrator::advance_with`] with a reusable scratch instead.
     ///
     /// # Panics
     ///
     /// Panics if `tau` is negative/non-finite or the scheme parameters
     /// are invalid (`dt ≤ 0`, `tol ≤ 0`).
     pub fn advance(&self, rates: &PhaseRates, f: &mut [f64], tau: f64) {
+        let mut scratch = IntegratorScratch::new();
+        self.advance_with(rates, f, tau, &mut scratch);
+    }
+
+    /// Advances `f` by `tau` time units under the frozen rates, using
+    /// caller-owned buffers (allocation-free once `scratch` has grown
+    /// to the path count).
+    ///
+    /// # Panics
+    ///
+    /// As [`Integrator::advance`].
+    pub fn advance_with(
+        &self,
+        rates: &PhaseRates,
+        f: &mut [f64],
+        tau: f64,
+        scratch: &mut IntegratorScratch,
+    ) {
         assert!(tau.is_finite() && tau >= 0.0, "phase length must be ≥ 0");
         if tau == 0.0 {
             return;
         }
+        scratch.resize(f.len());
         match *self {
             Integrator::Euler { dt } => {
                 assert!(dt > 0.0, "Euler step must be positive");
-                euler(rates, f, tau, dt);
+                euler(rates, f, tau, dt, scratch);
             }
             Integrator::Rk4 { dt } => {
                 assert!(dt > 0.0, "RK4 step must be positive");
-                rk4(rates, f, tau, dt);
+                rk4(rates, f, tau, dt, scratch);
             }
             Integrator::Uniformization { tol } => {
                 assert!(tol > 0.0, "uniformization tolerance must be positive");
-                uniformization(rates, f, tau, tol);
+                uniformization(rates, f, tau, tol, scratch);
             }
         }
     }
@@ -86,13 +144,13 @@ impl Integrator {
     }
 }
 
-fn euler(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64) {
+fn euler(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64, scratch: &mut IntegratorScratch) {
     let n = f.len();
-    let mut deriv = vec![0.0; n];
+    let deriv = &mut scratch.k1;
     let mut remaining = tau;
     while remaining > 1e-15 {
         let h = dt.min(remaining);
-        rates.apply(f, &mut deriv);
+        rates.apply(f, deriv);
         for i in 0..n {
             f[i] += h * deriv[i];
         }
@@ -100,29 +158,31 @@ fn euler(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64) {
     }
 }
 
-fn rk4(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64) {
+fn rk4(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64, scratch: &mut IntegratorScratch) {
     let n = f.len();
-    let mut k1 = vec![0.0; n];
-    let mut k2 = vec![0.0; n];
-    let mut k3 = vec![0.0; n];
-    let mut k4 = vec![0.0; n];
-    let mut tmp = vec![0.0; n];
+    let IntegratorScratch {
+        k1,
+        k2,
+        k3,
+        k4,
+        tmp,
+    } = scratch;
     let mut remaining = tau;
     while remaining > 1e-15 {
         let h = dt.min(remaining);
-        rates.apply(f, &mut k1);
+        rates.apply(f, k1);
         for i in 0..n {
             tmp[i] = f[i] + 0.5 * h * k1[i];
         }
-        rates.apply(&tmp, &mut k2);
+        rates.apply(tmp, k2);
         for i in 0..n {
             tmp[i] = f[i] + 0.5 * h * k2[i];
         }
-        rates.apply(&tmp, &mut k3);
+        rates.apply(tmp, k3);
         for i in 0..n {
             tmp[i] = f[i] + h * k3[i];
         }
-        rates.apply(&tmp, &mut k4);
+        rates.apply(tmp, k4);
         for i in 0..n {
             f[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
@@ -136,32 +196,41 @@ fn rk4(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64) {
 /// entries and row sums ≤ 1 interpreted as a DTMC on paths, and
 /// `exp(τA) = Σ_k Poisson_{Λτ}(k) M^k`. The iteration keeps a running
 /// Poisson weight in log-safe form to avoid overflow for large `Λτ`.
-fn uniformization(rates: &PhaseRates, f: &mut [f64], tau: f64, tol: f64) {
+fn uniformization(
+    rates: &PhaseRates,
+    f: &mut [f64],
+    tau: f64,
+    tol: f64,
+    scratch: &mut IntegratorScratch,
+) {
     let lambda = rates.max_exit_rate();
     if lambda <= 0.0 {
         return; // A = 0: nothing moves.
     }
-    let n = f.len();
     let lt = lambda * tau;
     // v_k = M^k f, accumulated with Poisson(Λτ) weights.
-    let mut v = f.to_vec();
-    let mut av = vec![0.0; n];
-    let mut out = vec![0.0; n];
+    let IntegratorScratch {
+        k1: v,
+        k2: av,
+        k3: out,
+        ..
+    } = scratch;
+    v.copy_from_slice(f);
     let mut weight = (-lt).exp(); // Poisson pmf at k = 0
     let mut cumulative = weight;
-    for (o, vi) in out.iter_mut().zip(&v) {
+    for (o, vi) in out.iter_mut().zip(v.iter()) {
         *o = weight * vi;
     }
     // Cap iterations defensively: mean Λτ, tail needs ~Λτ + 40√Λτ terms.
     let max_k = (lt + 40.0 * lt.sqrt() + 64.0).ceil() as usize;
     for k in 1..=max_k {
         // v ← M v = v + (A v)/Λ.
-        rates.apply(&v, &mut av);
-        for (vi, a) in v.iter_mut().zip(&av) {
+        rates.apply(v, av);
+        for (vi, a) in v.iter_mut().zip(av.iter()) {
             *vi += a / lambda;
         }
         weight *= lt / k as f64;
-        for (o, vi) in out.iter_mut().zip(&v) {
+        for (o, vi) in out.iter_mut().zip(v.iter()) {
             *o += weight * vi;
         }
         cumulative += weight;
@@ -169,7 +238,7 @@ fn uniformization(rates: &PhaseRates, f: &mut [f64], tau: f64, tol: f64) {
             break;
         }
     }
-    f.copy_from_slice(&out);
+    f.copy_from_slice(out);
 }
 
 #[cfg(test)]
@@ -266,6 +335,27 @@ mod tests {
             let total: f64 = g.iter().sum();
             assert!((total - 1.0).abs() < 1e-9, "{}", integ.name());
             assert!(g.iter().all(|x| *x >= -1e-9), "{}", integ.name());
+        }
+    }
+
+    #[test]
+    fn advance_with_reused_scratch_matches_advance() {
+        let (_inst, rates, f0) = single_rate_setup(0.4);
+        let mut scratch = IntegratorScratch::for_len(f0.len());
+        for integ in [
+            Integrator::Euler { dt: 0.05 },
+            Integrator::Rk4 { dt: 0.05 },
+            Integrator::Uniformization { tol: 1e-13 },
+        ] {
+            let mut fresh = f0.clone();
+            integ.advance(&rates, &mut fresh, 1.5);
+            let mut reused = f0.clone();
+            integ.advance_with(&rates, &mut reused, 1.5, &mut scratch);
+            assert_eq!(fresh, reused, "{}", integ.name());
+            // A second run with the now-dirty scratch is identical.
+            let mut again = f0.clone();
+            integ.advance_with(&rates, &mut again, 1.5, &mut scratch);
+            assert_eq!(fresh, again, "{}", integ.name());
         }
     }
 

@@ -59,9 +59,9 @@ pub mod trajectory;
 
 pub use best_response::BestResponse;
 pub use board::BulletinBoard;
-pub use engine::{run, Dynamics, SimulationConfig};
-pub use integrator::Integrator;
+pub use engine::{run, Dynamics, EngineWorkspace, Simulation, SimulationConfig};
+pub use integrator::{Integrator, IntegratorScratch};
 pub use migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};
-pub use policy::{ReroutingPolicy, SmoothPolicy};
+pub use policy::{PhaseRates, ReroutingPolicy, SmoothPolicy};
 pub use sampling::{Logit, Proportional, SamplingRule, Uniform};
 pub use trajectory::{PhaseRecord, Trajectory};

@@ -77,11 +77,44 @@ impl CommodityRates {
 pub struct PhaseRates {
     blocks: Vec<CommodityRates>,
     num_paths: usize,
+    /// Scratch for sampling weights during [`ReroutingPolicy::phase_rates_into`],
+    /// sized to the largest commodity. Kept here so refilling the rates
+    /// allocates nothing.
+    scratch: Vec<f64>,
 }
 
 impl PhaseRates {
+    /// An all-zero rate structure with blocks shaped for `instance`.
+    ///
+    /// Pair with [`ReroutingPolicy::phase_rates_into`] to rebuild the
+    /// rates every phase without reallocating the `n × n` blocks.
+    pub fn for_instance(instance: &Instance) -> Self {
+        let blocks = (0..instance.num_commodities())
+            .map(|i| {
+                let range = instance.commodity_paths(i);
+                let n = range.len();
+                CommodityRates {
+                    start: range.start,
+                    n,
+                    c: vec![0.0; n * n],
+                    exit: vec![0.0; n],
+                }
+            })
+            .collect();
+        PhaseRates {
+            blocks,
+            num_paths: instance.num_paths(),
+            scratch: vec![0.0; instance.max_commodity_path_count()],
+        }
+    }
+
     /// Applies the generator: `out = A f`, i.e.
     /// `out_P = Σ_Q (f_Q c_QP − f_P c_PQ)`.
+    ///
+    /// Traverses each block row-major (sequential reads of the rate
+    /// matrix, accumulating into the small per-block output slice) —
+    /// on large commodities this is memory-bandwidth bound instead of
+    /// latency bound, unlike the textbook column-per-output loop.
     ///
     /// # Panics
     ///
@@ -92,13 +125,18 @@ impl PhaseRates {
         for b in &self.blocks {
             let fs = &f[b.start..b.start + b.n];
             let os = &mut out[b.start..b.start + b.n];
-            for q in 0..b.n {
-                // Inflow to q.
-                let mut acc = 0.0;
-                for (p, fp) in fs.iter().enumerate() {
-                    acc += fp * b.c[p * b.n + q];
+            // Outflow first, then accumulate inflow row by row.
+            for (o, (&fq, &exit)) in os.iter_mut().zip(fs.iter().zip(&b.exit)) {
+                *o = -fq * exit;
+            }
+            for (p, &fp) in fs.iter().enumerate() {
+                if fp == 0.0 {
+                    continue;
                 }
-                os[q] = acc - fs[q] * b.exit[q];
+                let row = &b.c[p * b.n..(p + 1) * b.n];
+                for (o, &c) in os.iter_mut().zip(row) {
+                    *o += fp * c;
+                }
             }
         }
     }
@@ -129,8 +167,24 @@ impl PhaseRates {
 /// not fit this trait (its "rates" are unbounded) and lives in
 /// [`crate::best_response`].
 pub trait ReroutingPolicy: std::fmt::Debug {
-    /// Computes `c_PQ = σ_PQ(f̂) µ(ℓ̂_P, ℓ̂_Q)` for all path pairs.
-    fn phase_rates(&self, instance: &Instance, board: &BulletinBoard) -> PhaseRates;
+    /// Computes `c_PQ = σ_PQ(f̂) µ(ℓ̂_P, ℓ̂_Q)` for all path pairs into
+    /// a pre-shaped rate structure (see [`PhaseRates::for_instance`]),
+    /// allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `rates` was not shaped for `instance`.
+    fn phase_rates_into(&self, instance: &Instance, board: &BulletinBoard, rates: &mut PhaseRates);
+
+    /// Computes the rates into a freshly allocated [`PhaseRates`].
+    ///
+    /// Convenience wrapper around [`ReroutingPolicy::phase_rates_into`];
+    /// the engine's phase loop uses the `_into` form.
+    fn phase_rates(&self, instance: &Instance, board: &BulletinBoard) -> PhaseRates {
+        let mut rates = PhaseRates::for_instance(instance);
+        self.phase_rates_into(instance, board, &mut rates);
+        rates
+    }
 
     /// The α-smoothness constant of the migration rule, if smooth.
     fn smoothness(&self) -> Option<f64>;
@@ -167,36 +221,35 @@ impl<S: SamplingRule, M: MigrationRule> SmoothPolicy<S, M> {
 }
 
 impl<S: SamplingRule, M: MigrationRule> ReroutingPolicy for SmoothPolicy<S, M> {
-    fn phase_rates(&self, instance: &Instance, board: &BulletinBoard) -> PhaseRates {
+    fn phase_rates_into(&self, instance: &Instance, board: &BulletinBoard, rates: &mut PhaseRates) {
+        assert_eq!(
+            rates.num_paths,
+            instance.num_paths(),
+            "rate structure shaped for a different instance"
+        );
         let lat = board.path_latencies();
-        let mut blocks = Vec::with_capacity(instance.num_commodities());
-        let mut weights = Vec::new();
-        for i in 0..instance.num_commodities() {
-            let range = instance.commodity_paths(i);
-            let start = range.start;
-            let n = range.len();
-            weights.resize(n, 0.0);
-            self.sampling.fill_weights(instance, board, i, &mut weights);
-            let mut c = vec![0.0; n * n];
-            let mut exit = vec![0.0; n];
+        let PhaseRates {
+            blocks, scratch, ..
+        } = rates;
+        for (i, b) in blocks.iter_mut().enumerate() {
+            let (start, n) = (b.start, b.n);
+            let weights = &mut scratch[..n];
+            self.sampling.fill_weights(instance, board, i, weights);
             for p in 0..n {
                 let lp = lat[start + p];
                 let mut row_sum = 0.0;
-                for q in 0..n {
+                let row = &mut b.c[p * n..(p + 1) * n];
+                for (q, (slot, w)) in row.iter_mut().zip(weights.iter()).enumerate() {
                     if p == q {
+                        *slot = 0.0;
                         continue;
                     }
-                    let rate = weights[q] * self.migration.probability(lp, lat[start + q]);
-                    c[p * n + q] = rate;
+                    let rate = w * self.migration.probability(lp, lat[start + q]);
+                    *slot = rate;
                     row_sum += rate;
                 }
-                exit[p] = row_sum;
+                b.exit[p] = row_sum;
             }
-            blocks.push(CommodityRates { start, n, c, exit });
-        }
-        PhaseRates {
-            blocks,
-            num_paths: instance.num_paths(),
         }
     }
 
@@ -361,6 +414,49 @@ mod tests {
         assert_eq!(rates.max_exit_rate(), 0.0);
         let lin = Linear::new(1.0);
         assert_eq!(lin.probability(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn phase_rates_into_matches_fresh_build_after_reuse() {
+        let inst = builders::multi_commodity_grid(2, 3, 5);
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let policy = uniform_linear(&inst);
+        let fresh = policy.phase_rates(&inst, &board);
+        let mut reused = PhaseRates::for_instance(&inst);
+        // Dirty the buffers with a different board, then refill.
+        let g = FlowVec::concentrated(&inst);
+        policy.phase_rates_into(&inst, &BulletinBoard::post(&inst, &g, 0.0), &mut reused);
+        policy.phase_rates_into(&inst, &board, &mut reused);
+        for (a, b) in fresh.blocks().iter().zip(reused.blocks()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn apply_matches_column_major_reference() {
+        let inst = builders::multi_commodity_grid(3, 3, 9);
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let rates = uniform_linear(&inst).phase_rates(&inst, &board);
+        let mut fast = vec![0.0; inst.num_paths()];
+        rates.apply(f.values(), &mut fast);
+        // Textbook column-per-output evaluation.
+        let mut reference = vec![0.0; inst.num_paths()];
+        for b in rates.blocks() {
+            let n = b.len();
+            let fs = &f.values()[b.start()..b.start() + n];
+            for q in 0..n {
+                let mut acc = 0.0;
+                for (p, fp) in fs.iter().enumerate() {
+                    acc += fp * b.rate(p, q);
+                }
+                reference[b.start() + q] = acc - fs[q] * b.exit_rate(q);
+            }
+        }
+        for (a, b) in fast.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-14, "{a} vs {b}");
+        }
     }
 
     #[test]

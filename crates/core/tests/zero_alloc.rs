@@ -1,0 +1,118 @@
+//! Proof that the steady-state phase loop allocates nothing.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! short warm-up, stepping a [`wardrop_core::Simulation`] many more
+//! phases must not change the allocation count. This pins down the
+//! fused-pipeline contract: CSR evaluation, board posting, rate
+//! construction and integration all run inside pre-allocated buffers.
+//!
+//! Kept as its own integration-test binary because a global allocator
+//! is process-wide; no other tests share this process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wardrop_core::engine::{Simulation, SimulationConfig};
+use wardrop_core::policy::{replicator, uniform_linear};
+use wardrop_core::BestResponse;
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Steps `sim` through `warmup` phases, then asserts that `measured`
+/// further phases allocate exactly zero times.
+fn assert_steady_state_alloc_free<D: wardrop_core::Dynamics + ?Sized>(
+    mut sim: Simulation<'_, D>,
+    warmup: usize,
+    measured: usize,
+    label: &str,
+) {
+    for _ in 0..warmup {
+        assert!(
+            sim.step().is_some(),
+            "{label}: ran out of phases in warm-up"
+        );
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..measured {
+        assert!(sim.step().is_some(), "{label}: ran out of phases");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: {} allocations in {measured} steady-state phases",
+        after - before
+    );
+}
+
+#[test]
+fn steady_state_phase_loop_is_allocation_free() {
+    // Multi-edge paths, single commodity: exercises the CSR scatter and
+    // gather, rate filling and uniformization.
+    let grid = builders::grid_network(4, 4, 7);
+    let policy = uniform_linear(&grid);
+    let f0 = FlowVec::uniform(&grid);
+    // No δ columns: PhaseRecord's volume vectors stay empty (empty
+    // Vec<f64> does not allocate).
+    let config = SimulationConfig::new(0.2, 200).with_deltas(vec![]);
+    assert_steady_state_alloc_free(
+        Simulation::new(&grid, &policy, &f0, &config),
+        3,
+        100,
+        "uniform-linear/grid",
+    );
+
+    // Multi-commodity with proportional sampling (replicator).
+    let multi = builders::multi_commodity_grid(3, 3, 5);
+    let policy = replicator(&multi);
+    let f0 = FlowVec::uniform(&multi);
+    let config = SimulationConfig::new(0.1, 200).with_deltas(vec![]);
+    assert_steady_state_alloc_free(
+        Simulation::new(&multi, &policy, &f0, &config),
+        3,
+        100,
+        "replicator/multi-grid",
+    );
+
+    // Closed-form best response with a jittered schedule.
+    let osc = builders::two_link_oscillator(2.0);
+    let dynamics = BestResponse::new();
+    let f0 = FlowVec::uniform(&osc);
+    let config = SimulationConfig::new(0.25, 200)
+        .with_deltas(vec![])
+        .with_jitter(0.3, 11);
+    assert_steady_state_alloc_free(
+        Simulation::new(&osc, &dynamics, &f0, &config),
+        3,
+        100,
+        "best-response/oscillator",
+    );
+}

@@ -18,11 +18,24 @@ use crate::instance::Instance;
 pub fn unsatisfied_volume(instance: &Instance, flow: &FlowVec, delta: f64) -> f64 {
     let lp = flow.path_latencies(instance);
     let mins = flow.commodity_min_latencies(instance);
+    unsatisfied_volume_from(instance, flow.values(), &lp, &mins, delta)
+}
+
+/// [`unsatisfied_volume`] from precomputed path latencies and
+/// per-commodity minima (e.g. from an
+/// [`EvalWorkspace`](crate::eval::EvalWorkspace)); allocation-free.
+pub fn unsatisfied_volume_from(
+    instance: &Instance,
+    values: &[f64],
+    path_latencies: &[f64],
+    commodity_min: &[f64],
+    delta: f64,
+) -> f64 {
     let mut vol = 0.0;
-    for (i, min_i) in mins.iter().enumerate() {
+    for (i, min_i) in commodity_min.iter().enumerate() {
         for p in instance.commodity_paths(i) {
-            if lp[p] > min_i + delta {
-                vol += flow.values()[p];
+            if path_latencies[p] > min_i + delta {
+                vol += values[p];
             }
         }
     }
@@ -34,11 +47,23 @@ pub fn unsatisfied_volume(instance: &Instance, flow: &FlowVec, delta: f64) -> f6
 pub fn weakly_unsatisfied_volume(instance: &Instance, flow: &FlowVec, delta: f64) -> f64 {
     let lp = flow.path_latencies(instance);
     let avgs = flow.commodity_avg_latencies(instance);
+    weakly_unsatisfied_volume_from(instance, flow.values(), &lp, &avgs, delta)
+}
+
+/// [`weakly_unsatisfied_volume`] from precomputed path latencies and
+/// per-commodity averages; allocation-free.
+pub fn weakly_unsatisfied_volume_from(
+    instance: &Instance,
+    values: &[f64],
+    path_latencies: &[f64],
+    commodity_avg: &[f64],
+    delta: f64,
+) -> f64 {
     let mut vol = 0.0;
-    for (i, avg_i) in avgs.iter().enumerate() {
+    for (i, avg_i) in commodity_avg.iter().enumerate() {
         for p in instance.commodity_paths(i) {
-            if lp[p] > avg_i + delta {
-                vol += flow.values()[p];
+            if path_latencies[p] > avg_i + delta {
+                vol += values[p];
             }
         }
     }
@@ -83,11 +108,23 @@ pub fn is_wardrop_equilibrium(instance: &Instance, flow: &FlowVec, tol: f64) -> 
 pub fn max_regret(instance: &Instance, flow: &FlowVec, tol: f64) -> f64 {
     let lp = flow.path_latencies(instance);
     let mins = flow.commodity_min_latencies(instance);
+    max_regret_from(instance, flow.values(), &lp, &mins, tol)
+}
+
+/// [`max_regret`] from precomputed path latencies and per-commodity
+/// minima; allocation-free.
+pub fn max_regret_from(
+    instance: &Instance,
+    values: &[f64],
+    path_latencies: &[f64],
+    commodity_min: &[f64],
+    tol: f64,
+) -> f64 {
     let mut worst = 0.0_f64;
-    for (i, min_i) in mins.iter().enumerate() {
+    for (i, min_i) in commodity_min.iter().enumerate() {
         for p in instance.commodity_paths(i) {
-            if flow.values()[p] > tol {
-                worst = worst.max(lp[p] - min_i);
+            if values[p] > tol {
+                worst = worst.max(path_latencies[p] - min_i);
             }
         }
     }

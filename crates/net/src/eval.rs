@@ -1,0 +1,323 @@
+//! Fused, allocation-free evaluation of all per-flow quantities.
+//!
+//! Every metric the phase loop needs — edge flows, edge and path
+//! latencies, the Beckmann–McGuire–Winsten potential, overall and
+//! per-commodity average latencies, per-commodity minimum latencies —
+//! derives from the same `edge_flows → edge_latencies → path_latencies`
+//! chain. The naive API on [`FlowVec`] recomputes that chain (and
+//! allocates) once *per metric*; an [`EvalWorkspace`] computes it once
+//! per flow into reusable buffers, so a steady-state simulation phase
+//! touches the CSR incidence a constant number of times and performs
+//! zero heap allocations.
+//!
+//! Results are identical to the naive implementations (the scatter,
+//! gather and reduction orders are preserved, so most quantities match
+//! bit-for-bit; cross-commodity sums may differ by float re-association
+//! only). `tests/properties.rs` asserts this on random instances.
+
+use crate::equilibrium::{
+    max_regret_from, unsatisfied_volume_from, weakly_unsatisfied_volume_from,
+};
+use crate::flow::FlowVec;
+use crate::instance::Instance;
+use crate::path::PathId;
+
+/// Reusable buffers holding every derived quantity of one flow.
+///
+/// Call [`EvalWorkspace::evaluate`] whenever the flow changes; all
+/// accessors then read the cached arrays.
+///
+/// # Examples
+///
+/// ```
+/// use wardrop_net::{builders, eval::EvalWorkspace, flow::FlowVec};
+///
+/// let inst = builders::braess();
+/// let f = FlowVec::uniform(&inst);
+/// let mut ws = EvalWorkspace::new(&inst);
+/// ws.evaluate(&inst, &f);
+/// assert_eq!(ws.path_latencies(), f.path_latencies(&inst).as_slice());
+/// assert_eq!(ws.avg_latency(), f.avg_latency(&inst));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalWorkspace {
+    edge_flows: Vec<f64>,
+    edge_latencies: Vec<f64>,
+    path_latencies: Vec<f64>,
+    commodity_min: Vec<f64>,
+    commodity_avg: Vec<f64>,
+    potential: f64,
+    avg_latency: f64,
+}
+
+impl EvalWorkspace {
+    /// Creates a workspace sized for `instance` (all buffers zeroed; no
+    /// evaluation has happened yet).
+    pub fn new(instance: &Instance) -> Self {
+        EvalWorkspace {
+            edge_flows: vec![0.0; instance.num_edges()],
+            edge_latencies: vec![0.0; instance.num_edges()],
+            path_latencies: vec![0.0; instance.num_paths()],
+            commodity_min: vec![0.0; instance.num_commodities()],
+            commodity_avg: vec![0.0; instance.num_commodities()],
+            potential: 0.0,
+            avg_latency: 0.0,
+        }
+    }
+
+    /// Recomputes every cached quantity for `flow` in one fused pass:
+    /// a CSR scatter (edge flows), one sweep over edges (latencies and
+    /// potential) and a CSR gather (path latencies, mins, averages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` or the workspace does not match `instance`.
+    pub fn evaluate(&mut self, instance: &Instance, flow: &FlowVec) {
+        let values = flow.values();
+        assert_eq!(values.len(), instance.num_paths());
+        assert_eq!(self.path_latencies.len(), instance.num_paths());
+        assert_eq!(self.edge_flows.len(), instance.num_edges());
+
+        // Scatter: f_e = Σ_{P ∋ e} f_P (same visit order as the naive
+        // FlowVec::edge_flows, so results are bit-identical).
+        self.edge_flows.fill(0.0);
+        for (idx, &fp) in values.iter().enumerate() {
+            if fp == 0.0 {
+                continue;
+            }
+            for e in instance.path_edges(PathId::from_index(idx)) {
+                self.edge_flows[e.index()] += fp;
+            }
+        }
+
+        // Edge sweep: ℓ_e(f_e) and Φ = Σ_e ∫₀^{f_e} ℓ_e.
+        let mut potential = 0.0;
+        for ((le, &fe), lat) in self
+            .edge_latencies
+            .iter_mut()
+            .zip(&self.edge_flows)
+            .zip(instance.latencies())
+        {
+            *le = lat.eval(fe);
+            potential += lat.primitive(fe);
+        }
+        self.potential = potential;
+
+        // Gather: ℓ_P, per-commodity min/avg, overall average latency.
+        let mut avg_latency = 0.0;
+        for (i, c) in instance.commodities().iter().enumerate() {
+            let mut min_i = f64::INFINITY;
+            let mut acc = 0.0;
+            for p in instance.commodity_paths(i) {
+                let lp: f64 = instance
+                    .path_edges(PathId::from_index(p))
+                    .iter()
+                    .map(|e| self.edge_latencies[e.index()])
+                    .sum();
+                self.path_latencies[p] = lp;
+                min_i = min_i.min(lp);
+                acc += values[p] * lp;
+            }
+            self.commodity_min[i] = min_i;
+            self.commodity_avg[i] = acc / c.demand;
+            avg_latency += acc;
+        }
+        self.avg_latency = avg_latency;
+    }
+
+    /// Cached edge flows `f_e` of the last evaluated flow.
+    #[inline]
+    pub fn edge_flows(&self) -> &[f64] {
+        &self.edge_flows
+    }
+
+    /// Cached edge latencies `ℓ_e(f_e)`.
+    #[inline]
+    pub fn edge_latencies(&self) -> &[f64] {
+        &self.edge_latencies
+    }
+
+    /// Cached path latencies `ℓ_P(f)`.
+    #[inline]
+    pub fn path_latencies(&self) -> &[f64] {
+        &self.path_latencies
+    }
+
+    /// Cached per-commodity minimum path latencies `ℓ^i_min`.
+    #[inline]
+    pub fn commodity_min_latencies(&self) -> &[f64] {
+        &self.commodity_min
+    }
+
+    /// Cached per-commodity average latencies `L_i`.
+    #[inline]
+    pub fn commodity_avg_latencies(&self) -> &[f64] {
+        &self.commodity_avg
+    }
+
+    /// Cached potential `Φ(f)`.
+    #[inline]
+    pub fn potential(&self) -> f64 {
+        self.potential
+    }
+
+    /// Cached overall average latency `L = Σ_P f_P ℓ_P`.
+    #[inline]
+    pub fn avg_latency(&self) -> f64 {
+        self.avg_latency
+    }
+
+    /// Maximum regret of any used path, from the cached latencies (see
+    /// [`crate::equilibrium::max_regret`]).
+    pub fn max_regret(&self, instance: &Instance, flow: &FlowVec, tol: f64) -> f64 {
+        max_regret_from(
+            instance,
+            flow.values(),
+            &self.path_latencies,
+            &self.commodity_min,
+            tol,
+        )
+    }
+
+    /// `δ`-unsatisfied volume from the cached latencies (see
+    /// [`crate::equilibrium::unsatisfied_volume`]).
+    pub fn unsatisfied_volume(&self, instance: &Instance, flow: &FlowVec, delta: f64) -> f64 {
+        unsatisfied_volume_from(
+            instance,
+            flow.values(),
+            &self.path_latencies,
+            &self.commodity_min,
+            delta,
+        )
+    }
+
+    /// Weakly `δ`-unsatisfied volume from the cached latencies (see
+    /// [`crate::equilibrium::weakly_unsatisfied_volume`]).
+    pub fn weakly_unsatisfied_volume(
+        &self,
+        instance: &Instance,
+        flow: &FlowVec,
+        delta: f64,
+    ) -> f64 {
+        weakly_unsatisfied_volume_from(
+            instance,
+            flow.values(),
+            &self.path_latencies,
+            &self.commodity_avg,
+            delta,
+        )
+    }
+
+    /// The virtual potential gain `V(f̂, f) = Σ_e ℓ_e(f̂_e) (f_e − f̂_e)`
+    /// of moving from the snapshot `(f̂_e, ℓ_e(f̂_e))` to the *currently
+    /// evaluated* flow (see [`crate::potential::virtual_gain`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot slices do not have one entry per edge.
+    pub fn virtual_gain_from(&self, start_edge_flows: &[f64], start_edge_latencies: &[f64]) -> f64 {
+        crate::potential::virtual_gain_from_edge(
+            start_edge_flows,
+            start_edge_latencies,
+            &self.edge_flows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::equilibrium::{max_regret, unsatisfied_volume, weakly_unsatisfied_volume};
+    use crate::potential::{potential, virtual_gain};
+
+    fn assert_slices_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn fused_matches_naive_on_braess() {
+        let inst = builders::braess();
+        for f in [
+            FlowVec::uniform(&inst),
+            FlowVec::concentrated(&inst),
+            FlowVec::from_values(&inst, vec![0.3, 0.6, 0.1]).unwrap(),
+        ] {
+            let mut ws = EvalWorkspace::new(&inst);
+            ws.evaluate(&inst, &f);
+            assert_slices_eq(ws.edge_flows(), &f.edge_flows(&inst));
+            assert_slices_eq(ws.edge_latencies(), &f.edge_latencies(&inst));
+            assert_slices_eq(ws.path_latencies(), &f.path_latencies(&inst));
+            assert_slices_eq(
+                ws.commodity_min_latencies(),
+                &f.commodity_min_latencies(&inst),
+            );
+            assert_slices_eq(
+                ws.commodity_avg_latencies(),
+                &f.commodity_avg_latencies(&inst),
+            );
+            assert_eq!(ws.potential(), potential(&inst, &f));
+            assert!((ws.avg_latency() - f.avg_latency(&inst)).abs() < 1e-15);
+            assert_eq!(
+                ws.max_regret(&inst, &f, 1e-12),
+                max_regret(&inst, &f, 1e-12)
+            );
+            for d in [0.0, 0.05, 0.5] {
+                assert_eq!(
+                    ws.unsatisfied_volume(&inst, &f, d),
+                    unsatisfied_volume(&inst, &f, d)
+                );
+                assert_eq!(
+                    ws.weakly_unsatisfied_volume(&inst, &f, d),
+                    weakly_unsatisfied_volume(&inst, &f, d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reevaluation_overwrites_stale_state() {
+        let inst = builders::pigou();
+        let mut ws = EvalWorkspace::new(&inst);
+        let a = FlowVec::from_values(&inst, vec![1.0, 0.0]).unwrap();
+        ws.evaluate(&inst, &a);
+        let phi_a = ws.potential();
+        let b = FlowVec::from_values(&inst, vec![0.0, 1.0]).unwrap();
+        ws.evaluate(&inst, &b);
+        assert_ne!(ws.potential(), phi_a);
+        assert_eq!(ws.potential(), potential(&inst, &b));
+        assert_slices_eq(ws.edge_flows(), &b.edge_flows(&inst));
+    }
+
+    #[test]
+    fn virtual_gain_from_matches_naive() {
+        let inst = builders::braess();
+        let start = FlowVec::uniform(&inst);
+        let end = FlowVec::concentrated(&inst);
+        let mut ws = EvalWorkspace::new(&inst);
+        ws.evaluate(&inst, &start);
+        let fe_hat = ws.edge_flows().to_vec();
+        let le_hat = ws.edge_latencies().to_vec();
+        ws.evaluate(&inst, &end);
+        assert_eq!(
+            ws.virtual_gain_from(&fe_hat, &le_hat),
+            virtual_gain(&inst, &start, &end)
+        );
+    }
+
+    #[test]
+    fn multi_commodity_averages_match() {
+        let inst = builders::multi_commodity_grid(3, 3, 11);
+        let f = FlowVec::uniform(&inst);
+        let mut ws = EvalWorkspace::new(&inst);
+        ws.evaluate(&inst, &f);
+        assert_slices_eq(
+            ws.commodity_avg_latencies(),
+            &f.commodity_avg_latencies(&inst),
+        );
+        assert!((ws.avg_latency() - f.avg_latency(&inst)).abs() < 1e-12);
+    }
+}

@@ -159,16 +159,29 @@ impl FlowVec {
     /// Induced edge flows `f_e = Σ_{P ∋ e} f_P`.
     pub fn edge_flows(&self, instance: &Instance) -> Vec<f64> {
         let mut fe = vec![0.0; instance.num_edges()];
-        for (idx, path) in instance.paths().iter().enumerate() {
-            let fp = self.values[idx];
+        self.edge_flows_into(instance, &mut fe);
+        fe
+    }
+
+    /// Writes the induced edge flows into `out` (allocation-free; `out`
+    /// is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != instance.num_edges()` or the flow length
+    /// does not match the instance.
+    pub fn edge_flows_into(&self, instance: &Instance, out: &mut [f64]) {
+        assert_eq!(out.len(), instance.num_edges());
+        assert_eq!(self.values.len(), instance.num_paths());
+        out.fill(0.0);
+        for (idx, &fp) in self.values.iter().enumerate() {
             if fp == 0.0 {
                 continue;
             }
-            for e in path.edges() {
-                fe[e.index()] += fp;
+            for e in instance.path_edges(crate::path::PathId::from_index(idx)) {
+                out[e.index()] += fp;
             }
         }
-        fe
     }
 
     /// Edge latencies `ℓ_e(f_e)` under this flow.
@@ -296,11 +309,27 @@ impl FlowVec {
 /// Exposed separately because the bulletin board stores *stale* edge
 /// latencies and needs the same aggregation.
 pub fn path_latencies_from_edge(instance: &Instance, edge_latencies: &[f64]) -> Vec<f64> {
-    instance
-        .paths()
-        .iter()
-        .map(|p| p.edges().iter().map(|e| edge_latencies[e.index()]).sum())
-        .collect()
+    let mut out = vec![0.0; instance.num_paths()];
+    path_latencies_from_edge_into(instance, edge_latencies, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`path_latencies_from_edge`]: writes the
+/// path latencies into `out` using the instance's CSR incidence.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the instance.
+pub fn path_latencies_from_edge_into(instance: &Instance, edge_latencies: &[f64], out: &mut [f64]) {
+    assert_eq!(edge_latencies.len(), instance.num_edges());
+    assert_eq!(out.len(), instance.num_paths());
+    for (idx, o) in out.iter_mut().enumerate() {
+        *o = instance
+            .path_edges(PathId::from_index(idx))
+            .iter()
+            .map(|e| edge_latencies[e.index()])
+            .sum();
+    }
 }
 
 #[cfg(test)]
@@ -425,6 +454,19 @@ mod tests {
         let mut f = FlowVec::from_values_unchecked(vec![0.0, 0.0]);
         f.renormalise(&inst);
         assert!(f.is_feasible(&inst, 1e-9));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let inst = builders::braess();
+        let f = FlowVec::uniform(&inst);
+        let mut fe = vec![1.0; inst.num_edges()]; // stale contents overwritten
+        f.edge_flows_into(&inst, &mut fe);
+        assert_eq!(fe, f.edge_flows(&inst));
+        let le = f.edge_latencies(&inst);
+        let mut lp = vec![0.0; inst.num_paths()];
+        path_latencies_from_edge_into(&inst, &le, &mut lp);
+        assert_eq!(lp, f.path_latencies(&inst));
     }
 
     #[test]

@@ -47,6 +47,21 @@ pub struct Instance {
     /// Half-open path-index ranges per commodity: commodity `i` owns
     /// `paths[path_ranges[i] .. path_ranges[i + 1]]`.
     path_ranges: Vec<usize>,
+    /// CSR path→edge incidence: path `p` uses
+    /// `path_edge_ids[path_edge_offsets[p] .. path_edge_offsets[p+1]]`,
+    /// in path order. Flat and cache-friendly — the hot loops of
+    /// [`crate::eval::EvalWorkspace`] traverse this instead of the
+    /// pointer-chasing `paths[p].edges()`.
+    path_edge_offsets: Vec<u32>,
+    /// Flat edge ids of the CSR path→edge incidence.
+    path_edge_ids: Vec<EdgeId>,
+    /// Transposed CSR edge→path incidence: edge `e` is used by
+    /// `edge_path_ids[edge_path_offsets[e] .. edge_path_offsets[e+1]]`.
+    edge_path_offsets: Vec<u32>,
+    /// Flat path ids of the CSR edge→path incidence.
+    edge_path_ids: Vec<PathId>,
+    /// Owning commodity per path (O(1) `commodity_of_path`).
+    path_commodity: Vec<u32>,
     max_path_len: usize,
     slope_bound: f64,
     latency_upper_bound: f64,
@@ -128,6 +143,46 @@ impl Instance {
             path_ranges.push(paths.len());
         }
 
+        // Flat CSR incidences, built once so per-phase evaluation never
+        // walks the per-path edge vectors.
+        let mut path_edge_offsets = Vec::with_capacity(paths.len() + 1);
+        path_edge_offsets.push(0u32);
+        let mut path_edge_ids = Vec::with_capacity(paths.iter().map(Path::len).sum());
+        for p in &paths {
+            path_edge_ids.extend_from_slice(p.edges());
+            let off = u32::try_from(path_edge_ids.len()).map_err(|_| {
+                NetError::Inconsistent("path-edge incidence exceeds u32 range".into())
+            })?;
+            path_edge_offsets.push(off);
+        }
+        let num_edges = graph.edge_count();
+        let mut edge_degree = vec![0u32; num_edges];
+        for e in &path_edge_ids {
+            edge_degree[e.index()] += 1;
+        }
+        let mut edge_path_offsets = Vec::with_capacity(num_edges + 1);
+        edge_path_offsets.push(0u32);
+        let mut acc = 0u32;
+        for d in &edge_degree {
+            acc += d;
+            edge_path_offsets.push(acc);
+        }
+        let mut edge_path_ids = vec![PathId(0); path_edge_ids.len()];
+        let mut cursor: Vec<u32> = edge_path_offsets[..num_edges].to_vec();
+        for (idx, p) in paths.iter().enumerate() {
+            for e in p.edges() {
+                let slot = cursor[e.index()];
+                edge_path_ids[slot as usize] = PathId(idx as u32);
+                cursor[e.index()] = slot + 1;
+            }
+        }
+        let mut path_commodity = vec![0u32; paths.len()];
+        for i in 0..commodities.len() {
+            for slot in &mut path_commodity[path_ranges[i]..path_ranges[i + 1]] {
+                *slot = i as u32;
+            }
+        }
+
         let max_path_len = paths.iter().map(Path::len).max().unwrap_or(0);
         let slope_bound = latencies
             .iter()
@@ -149,6 +204,11 @@ impl Instance {
             commodities,
             paths,
             path_ranges,
+            path_edge_offsets,
+            path_edge_ids,
+            edge_path_offsets,
+            edge_path_ids,
+            path_commodity,
             max_path_len,
             slope_bound,
             latency_upper_bound,
@@ -246,20 +306,52 @@ impl Instance {
             .unwrap_or(0)
     }
 
-    /// The commodity owning path `p`.
+    /// The commodity owning path `p` (O(1) table lookup).
     ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
+    #[inline]
     pub fn commodity_of_path(&self, p: PathId) -> usize {
+        self.path_commodity[p.index()] as usize
+    }
+
+    /// The edges of path `p` from the flat CSR incidence, in path
+    /// order.
+    ///
+    /// Equivalent to `self.path(p).edges()` but reads one contiguous
+    /// arena — use this in hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn path_edges(&self, p: PathId) -> &[EdgeId] {
         let idx = p.index();
-        debug_assert!(idx < self.paths.len());
-        // path_ranges is sorted; find i with path_ranges[i] <= idx < path_ranges[i+1].
-        match self.path_ranges.binary_search(&idx) {
-            Ok(i) if i < self.num_commodities() => i,
-            Ok(i) => i - 1,
-            Err(i) => i - 1,
-        }
+        let lo = self.path_edge_offsets[idx] as usize;
+        let hi = self.path_edge_offsets[idx + 1] as usize;
+        &self.path_edge_ids[lo..hi]
+    }
+
+    /// The paths using edge `e`, from the transposed CSR incidence
+    /// (ascending path index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn edge_paths(&self, e: EdgeId) -> &[PathId] {
+        let idx = e.index();
+        let lo = self.edge_path_offsets[idx] as usize;
+        let hi = self.edge_path_offsets[idx + 1] as usize;
+        &self.edge_path_ids[lo..hi]
+    }
+
+    /// Total number of (path, edge) incidences — the `nnz` of the CSR
+    /// maps and the per-evaluation work of the fused pipeline.
+    #[inline]
+    pub fn incidence_count(&self) -> usize {
+        self.path_edge_ids.len()
     }
 
     /// Maximum path length `D = max_P |P|`.
@@ -449,6 +541,39 @@ mod tests {
         // ℓmax = (1 + 2·1) + (0.5 + 4·1) = 7.5
         assert!((inst.latency_upper_bound() - 7.5).abs() < 1e-12);
         let _ = NodeId::from_index(0);
+    }
+
+    #[test]
+    fn csr_incidence_matches_paths() {
+        let inst = crate::builders::braess();
+        let mut nnz = 0;
+        for (idx, p) in inst.paths().iter().enumerate() {
+            let pid = PathId::from_index(idx);
+            assert_eq!(inst.path_edges(pid), p.edges());
+            nnz += p.len();
+        }
+        assert_eq!(inst.incidence_count(), nnz);
+        // Transposed map: e ∈ path_edges(p) ⇔ p ∈ edge_paths(e).
+        for e in 0..inst.num_edges() {
+            let eid = crate::graph::EdgeId::from_index(e);
+            let users = inst.edge_paths(eid);
+            for (idx, p) in inst.paths().iter().enumerate() {
+                let pid = PathId::from_index(idx);
+                assert_eq!(p.contains(eid), users.contains(&pid), "edge {e} path {idx}");
+            }
+            // Ascending path order within each edge row.
+            assert!(users.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn csr_incidence_on_multi_commodity_grid() {
+        let inst = crate::builders::multi_commodity_grid(3, 3, 5);
+        let total: usize = inst.paths().iter().map(Path::len).sum();
+        assert_eq!(inst.incidence_count(), total);
+        for (idx, p) in inst.paths().iter().enumerate() {
+            assert_eq!(inst.path_edges(PathId::from_index(idx)), p.edges());
+        }
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   constants `D`, `β` and `ℓmax`;
 //! * path-[flow vectors](flow::FlowVec) with induced edge flows and
 //!   latencies;
+//! * a fused, allocation-free [evaluation workspace](eval::EvalWorkspace)
+//!   over the instance's flat CSR path↔edge incidence, caching the
+//!   `edge_flows → edge_latencies → path_latencies` chain for the
+//!   simulation hot loop;
+//! * shared [deterministic RNG utilities](rng) (SplitMix64);
 //! * the Beckmann–McGuire–Winsten [potential] machinery with the
 //!   virtual-gain / error-term decomposition of Lemma 3;
 //! * the paper's [equilibrium notions](equilibrium) (Wardrop, `(δ,ε)`,
@@ -41,16 +46,19 @@ pub mod builders;
 pub mod commodity;
 pub mod equilibrium;
 pub mod error;
+pub mod eval;
 pub mod flow;
 pub mod graph;
 pub mod instance;
 pub mod latency;
 pub mod path;
 pub mod potential;
+pub mod rng;
 pub mod shortest_path;
 
 pub use commodity::Commodity;
 pub use error::NetError;
+pub use eval::EvalWorkspace;
 pub use flow::FlowVec;
 pub use graph::{Edge, EdgeId, Graph, NodeId};
 pub use instance::Instance;

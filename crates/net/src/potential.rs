@@ -57,11 +57,33 @@ pub fn potential_from_edge_flows(instance: &Instance, edge_flows: &[f64]) -> f64
 pub fn virtual_gain(instance: &Instance, start: &FlowVec, end: &FlowVec) -> f64 {
     let fe_hat = start.edge_flows(instance);
     let fe = end.edge_flows(instance);
-    instance
+    let le_hat: Vec<f64> = instance
         .latencies()
         .iter()
-        .zip(fe_hat.iter().zip(&fe))
-        .map(|(l, (xh, x))| l.eval(*xh) * (x - xh))
+        .zip(&fe_hat)
+        .map(|(l, x)| l.eval(*x))
+        .collect();
+    virtual_gain_from_edge(&fe_hat, &le_hat, &fe)
+}
+
+/// [`virtual_gain`] from precomputed edge quantities — `f̂_e`, the
+/// posted latencies `ℓ_e(f̂_e)`, and the end-of-phase edge flows `f_e`;
+/// allocation-free.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn virtual_gain_from_edge(
+    start_edge_flows: &[f64],
+    start_edge_latencies: &[f64],
+    end_edge_flows: &[f64],
+) -> f64 {
+    assert_eq!(start_edge_flows.len(), end_edge_flows.len());
+    assert_eq!(start_edge_flows.len(), start_edge_latencies.len());
+    start_edge_latencies
+        .iter()
+        .zip(start_edge_flows.iter().zip(end_edge_flows))
+        .map(|(lh, (xh, x))| lh * (x - xh))
         .sum()
 }
 

@@ -1,0 +1,98 @@
+//! Deterministic random-number utilities shared across the workspace.
+//!
+//! Every source of pseudo-randomness in the simulator is seeded and
+//! reproducible: instance builders draw latencies from a seeded
+//! [`StdRng`](rand::rngs::StdRng), and the engine's phase-length jitter
+//! uses raw SplitMix64. Both bottom out in the single [`splitmix64`]
+//! implementation (re-exported from the `rand` stand-in crate), so the
+//! same seed always produces the same stream everywhere.
+
+pub use rand::splitmix64;
+
+/// A SplitMix64 output for `seed`, mapped to `[0, 1)` with 53 uniform
+/// bits.
+///
+/// Stateless convenience for callers that index a virtual random
+/// sequence directly (e.g. jitter for phase `i` uses
+/// `splitmix_unit(seed + i)`), rather than advancing a stream.
+#[inline]
+pub fn splitmix_unit(seed: u64) -> f64 {
+    let mut state = seed;
+    (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A minimal SplitMix64 stream, for callers that want successive draws
+/// without pulling in a full RNG.
+///
+/// # Examples
+///
+/// ```
+/// use wardrop_net::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(9);
+/// let mut b = SplitMix64::new(9);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.next_unit();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream seeded with `seed`.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// The next uniform sample in `[0, 1)`.
+    #[inline]
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_samples_are_in_range_and_deterministic() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let u = splitmix_unit(seed);
+            assert!((0.0..1.0).contains(&u), "seed {seed} gave {u}");
+            assert_eq!(u, splitmix_unit(seed));
+        }
+    }
+
+    #[test]
+    fn unit_samples_vary_across_seeds() {
+        let base = splitmix_unit(100);
+        assert!((101..120).any(|s| (splitmix_unit(s) - base).abs() > 1e-6));
+    }
+
+    #[test]
+    fn stream_matches_stateless_indexing() {
+        // A stream from seed s produces the same first output as the
+        // stateless helper (both advance the state once from s).
+        let mut stream = SplitMix64::new(31);
+        assert_eq!(stream.next_unit(), splitmix_unit(31));
+    }
+
+    #[test]
+    fn stream_and_raw_function_agree() {
+        let mut stream = SplitMix64::new(5);
+        let mut state = 5u64;
+        for _ in 0..10 {
+            assert_eq!(stream.next_u64(), splitmix64(&mut state));
+        }
+    }
+}

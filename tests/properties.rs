@@ -198,6 +198,79 @@ proptest! {
         }
     }
 
+    /// The fused evaluation workspace reproduces every naive metric
+    /// bit-for-bit (or within re-association error) on random
+    /// instances and flows.
+    #[test]
+    fn fused_evaluation_matches_naive(
+        (inst, f) in arb_layered_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+        delta in 0.0f64..0.5,
+    ) {
+        use wardrop::net::equilibrium::{max_regret, unsatisfied_volume, weakly_unsatisfied_volume};
+        use wardrop::net::eval::EvalWorkspace;
+        let mut ws = EvalWorkspace::new(&inst);
+        ws.evaluate(&inst, &f);
+        prop_assert_eq!(ws.edge_flows().to_vec(), f.edge_flows(&inst));
+        prop_assert_eq!(ws.edge_latencies().to_vec(), f.edge_latencies(&inst));
+        prop_assert_eq!(ws.path_latencies().to_vec(), f.path_latencies(&inst));
+        prop_assert_eq!(
+            ws.commodity_min_latencies().to_vec(),
+            f.commodity_min_latencies(&inst)
+        );
+        prop_assert_eq!(
+            ws.commodity_avg_latencies().to_vec(),
+            f.commodity_avg_latencies(&inst)
+        );
+        prop_assert_eq!(ws.potential(), potential(&inst, &f));
+        prop_assert!((ws.avg_latency() - f.avg_latency(&inst)).abs() < 1e-12);
+        prop_assert_eq!(
+            ws.max_regret(&inst, &f, 1e-12),
+            max_regret(&inst, &f, 1e-12)
+        );
+        prop_assert_eq!(
+            ws.unsatisfied_volume(&inst, &f, delta),
+            unsatisfied_volume(&inst, &f, delta)
+        );
+        prop_assert_eq!(
+            ws.weakly_unsatisfied_volume(&inst, &f, delta),
+            weakly_unsatisfied_volume(&inst, &f, delta)
+        );
+    }
+
+    /// The zero-allocation phase loop records exactly the metrics a
+    /// naive per-flow recomputation yields, across a whole run.
+    #[test]
+    fn engine_records_match_naive_recomputation(
+        (inst, f0) in arb_parallel_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+        t in 0.05f64..1.0,
+    ) {
+        use wardrop::net::equilibrium::{max_regret, unsatisfied_volume};
+        let policy = uniform_linear(&inst);
+        let config = SimulationConfig::new(t, 12).with_flows().with_deltas(vec![0.05]);
+        let traj = run(&inst, &policy, &f0, &config);
+        prop_assert_eq!(traj.flows.len(), traj.phases.len());
+        for (flow, rec) in traj.flows.iter().zip(&traj.phases) {
+            prop_assert!((potential(&inst, flow) - rec.potential_start).abs() < 1e-12);
+            prop_assert!((flow.avg_latency(&inst) - rec.avg_latency_start).abs() < 1e-12);
+            prop_assert!(
+                (max_regret(&inst, flow, 1e-12) - rec.max_regret_start).abs() < 1e-12
+            );
+            prop_assert!(
+                (unsatisfied_volume(&inst, flow, 0.05) - rec.unsatisfied[0]).abs() < 1e-12
+            );
+        }
+        // Consecutive records chain: Φ end of phase i = Φ start of i+1.
+        for w in traj.phases.windows(2) {
+            prop_assert_eq!(w[0].potential_end, w[1].potential_start);
+        }
+    }
+
     /// Dijkstra and the enumerated-path argmin agree on every random
     /// instance and flow.
     #[test]
