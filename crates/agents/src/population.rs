@@ -90,6 +90,49 @@ impl Population {
         self.counts[to] += 1;
     }
 
+    /// Sets commodity `i`'s agent count to `new_total` — demand churn.
+    ///
+    /// The commodity's agents are re-apportioned to the new total
+    /// proportionally to the current per-path counts (largest-remainder
+    /// rounding), so arrivals join paths in proportion to their current
+    /// occupancy and departures leave the same way; an emptied
+    /// commodity refills uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_total == 0` (every commodity keeps at least one
+    /// agent, mirroring [`Population::apportion`]).
+    pub fn set_commodity_total(&mut self, instance: &Instance, i: usize, new_total: u64) {
+        assert!(new_total > 0, "every commodity keeps at least one agent");
+        if self.commodity_totals[i] == new_total {
+            return;
+        }
+        let range = instance.commodity_paths(i);
+        let weights: Vec<f64> = self.counts[range.clone()]
+            .iter()
+            .map(|c| *c as f64)
+            .collect();
+        let alloc = largest_remainder(&weights, new_total, false);
+        for (offset, a) in alloc.iter().enumerate() {
+            self.counts[range.start + offset] = *a;
+        }
+        self.commodity_totals[i] = new_total;
+    }
+
+    /// Re-apportions the per-commodity totals to the (changed) demands
+    /// of `instance`, keeping the overall agent count — the
+    /// finite-population counterpart of a scenario demand event.
+    /// Surging commodities receive arrivals, shrinking ones lose
+    /// agents, both proportionally to current path occupancy.
+    pub fn reapportion(&mut self, instance: &Instance) {
+        let n = self.num_agents();
+        let demands: Vec<f64> = instance.commodities().iter().map(|c| c.demand).collect();
+        let new_totals = largest_remainder(&demands, n, true);
+        for (i, total) in new_totals.iter().enumerate() {
+            self.set_commodity_total(instance, i, *total);
+        }
+    }
+
     /// The empirical flow: commodity `i`'s counts scaled to demand
     /// `r_i`.
     pub fn to_flow(&self, instance: &Instance) -> FlowVec {
@@ -234,6 +277,43 @@ mod tests {
         let pop = Population::apportion(&inst, 57, &f);
         let g = pop.to_flow(&inst);
         assert!(g.is_feasible(&inst, 1e-9));
+    }
+
+    #[test]
+    fn set_commodity_total_preserves_shares() {
+        let inst = builders::braess();
+        let f = FlowVec::from_values(&inst, vec![0.5, 0.3, 0.2]).unwrap();
+        let mut pop = Population::apportion(&inst, 100, &f);
+        pop.set_commodity_total(&inst, 0, 200);
+        assert_eq!(pop.num_agents(), 200);
+        assert_eq!(pop.counts().iter().sum::<u64>(), 200);
+        // Shares preserved up to rounding.
+        assert!((pop.count(0) as f64 / 200.0 - 0.5).abs() < 0.01);
+        pop.set_commodity_total(&inst, 0, 50);
+        assert_eq!(pop.num_agents(), 50);
+        assert!((pop.count(1) as f64 / 50.0 - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn reapportion_follows_demand_churn() {
+        let mut inst = builders::multi_commodity_grid(3, 3, 5);
+        let f = FlowVec::uniform(&inst);
+        let mut pop = Population::apportion(&inst, 1000, &f);
+        inst.set_demand(0, 0.8).unwrap();
+        pop.reapportion(&inst);
+        assert_eq!(pop.num_agents(), 1000);
+        assert_eq!(pop.commodity_total(0), 800);
+        assert_eq!(pop.commodity_total(1), 200);
+        // The empirical flow is feasible for the mutated demands.
+        assert!(pop.to_flow(&inst).is_feasible(&inst, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn set_commodity_total_rejects_zero() {
+        let inst = builders::pigou();
+        let mut pop = Population::apportion(&inst, 10, &FlowVec::uniform(&inst));
+        pop.set_commodity_total(&inst, 0, 0);
     }
 
     #[test]

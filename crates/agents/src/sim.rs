@@ -25,6 +25,7 @@ use wardrop_net::equilibrium::{max_regret, unsatisfied_volume, weakly_unsatisfie
 use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 use wardrop_net::potential::{potential, virtual_gain};
+use wardrop_net::scenario::Scenario;
 
 use crate::events::{EventKind, EventQueue, Time};
 use crate::population::Population;
@@ -136,6 +137,34 @@ pub fn run_agents(
     f0: &FlowVec,
     config: &AgentSimConfig,
 ) -> Trajectory {
+    run_agents_scenario(instance, policy, f0, config, &Scenario::default())
+        .expect("static agent runs cannot fail event application")
+}
+
+/// Runs the finite-population simulation through a non-stationary
+/// [`Scenario`]: events fire at board updates, mutating a private copy
+/// of the instance, and demand events additionally *churn the
+/// population* — agents arrive on surging commodities and depart from
+/// shrinking ones ([`Population::reapportion`]), proportionally to
+/// current path occupancy. [`PhaseRecord::epoch`] marks the segments,
+/// exactly as in the fluid engine, so all tracking analysis applies to
+/// finite populations unchanged.
+///
+/// # Errors
+///
+/// Propagates the first failing event application.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero agents, non-positive
+/// period) or `f0` is infeasible for the *initial* instance.
+pub fn run_agents_scenario(
+    instance: &Instance,
+    policy: &AgentPolicy,
+    f0: &FlowVec,
+    config: &AgentSimConfig,
+    scenario: &Scenario,
+) -> Result<Trajectory, wardrop_net::NetError> {
     assert!(config.num_agents > 0, "need at least one agent");
     assert!(
         config.update_period.is_finite() && config.update_period > 0.0,
@@ -147,10 +176,15 @@ pub fn run_agents(
     );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut instance = instance.clone();
+    let instance = &mut instance;
     let mut pop = Population::apportion(instance, config.num_agents, f0);
     let n = pop.num_agents();
     let t_period = config.update_period;
     let horizon = t_period * config.num_phases as f64;
+    let events = scenario.events();
+    let mut next_event = 0usize;
+    let mut epoch = 0usize;
 
     let mut queue = EventQueue::new();
     queue.schedule(Time::new(0.0), EventKind::BoardUpdate);
@@ -181,6 +215,19 @@ pub fn run_agents(
                 if phase_index >= config.num_phases {
                     break;
                 }
+                // Fire scenario events due at this phase: mutate the
+                // instance and churn the population to the new demands.
+                let mut churned = false;
+                while next_event < events.len() && events[next_event].at_phase <= phase_index {
+                    for action in &events[next_event].actions {
+                        action.apply(instance)?;
+                    }
+                    pop.reapportion(instance);
+                    epoch += 1;
+                    next_event += 1;
+                    churned = true;
+                }
+                let flow = if churned { pop.to_flow(instance) } else { flow };
                 // Open the next phase.
                 if config.record_flows {
                     flows.push(flow.clone());
@@ -197,6 +244,7 @@ pub fn run_agents(
                     .collect();
                 open_phase = Some(OpenPhase {
                     index: phase_index,
+                    epoch,
                     potential_start: potential(instance, &flow),
                     avg_latency_start: flow.avg_latency(instance),
                     max_regret_start: max_regret(instance, &flow, 1e-12),
@@ -236,20 +284,22 @@ pub fn run_agents(
         phases.push(open.close(instance, &flow, t_period));
     }
 
-    Trajectory {
+    Ok(Trajectory {
         update_period: t_period,
         deltas: config.deltas.clone(),
         phases,
         flows,
+        flow_stride: 1,
         final_flow: pop.to_flow(instance),
         dynamics: policy.name(),
-    }
+    })
 }
 
 /// Phase-start measurements held until the phase's closing board
 /// update supplies the end flow.
 struct OpenPhase {
     index: usize,
+    epoch: usize,
     start_flow: FlowVec,
     potential_start: f64,
     avg_latency_start: f64,
@@ -262,6 +312,7 @@ impl OpenPhase {
     fn close(self, instance: &Instance, end_flow: &FlowVec, t_period: f64) -> PhaseRecord {
         PhaseRecord {
             index: self.index,
+            epoch: self.epoch,
             start_time: self.index as f64 * t_period,
             potential_start: self.potential_start,
             potential_end: potential(instance, end_flow),
@@ -443,6 +494,58 @@ mod tests {
         let config = AgentSimConfig::new(200, 0.5, 30, 13);
         let traj = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &config);
         assert!(traj.final_flow.is_feasible(&inst, 1e-9));
+    }
+
+    #[test]
+    fn scenario_churns_population_at_events() {
+        let inst = builders::multi_commodity_grid(3, 3, 5);
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(1000, 0.25, 30, 7).with_flows();
+        let scenario = Scenario::new("surge")
+            .with_demand_schedule(0, &wardrop_net::DemandSchedule::step(0.5, 10, 0.8));
+        let traj = run_agents_scenario(
+            &inst,
+            &AgentPolicy::uniform_linear(&inst),
+            &f0,
+            &config,
+            &scenario,
+        )
+        .unwrap();
+        assert_eq!(traj.len(), 30);
+        assert_eq!(traj.num_epochs(), 2);
+        assert_eq!(traj.phases[9].epoch, 0);
+        assert_eq!(traj.phases[10].epoch, 1);
+        // After the surge the recorded empirical flows route 0.8 of the
+        // mass through commodity 0.
+        let post = &traj.flows[15];
+        let c0: f64 = post.values()[inst.commodity_paths(0)].iter().sum();
+        assert!((c0 - 0.8).abs() < 1e-9, "commodity 0 routes {c0}");
+        // Static wrapper still behaves.
+        let static_traj = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &config);
+        assert_eq!(static_traj.num_epochs(), 1);
+    }
+
+    #[test]
+    fn scenario_event_errors_propagate() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(100, 0.25, 10, 7);
+        let bad = Scenario::new("bad").with_event(wardrop_net::Event::at(
+            2,
+            "impossible",
+            wardrop_net::EventAction::SetDemand {
+                commodity: 0,
+                demand: 0.5,
+            },
+        ));
+        let res = run_agents_scenario(
+            &inst,
+            &AgentPolicy::uniform_linear(&inst),
+            &f0,
+            &config,
+            &bad,
+        );
+        assert!(res.is_err());
     }
 
     #[test]

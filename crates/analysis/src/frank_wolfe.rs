@@ -280,7 +280,7 @@ mod tests {
 
     #[test]
     fn equilibrium_on_random_parallel_links() {
-        let inst = builders::random_parallel_links(6, 1.0, 0.2, 2.0, 11);
+        let inst = builders::standard_random_links(6, 11);
         let eq = minimise(&inst, Objective::Potential, &FrankWolfeConfig::default());
         assert!(eq.gap <= 1e-6);
         assert!(is_wardrop_equilibrium(&inst, &eq.flow, 1e-3));

@@ -12,6 +12,9 @@
 //!   §3.2 counterexample);
 //! * [`metrics`] — bad-phase counts (the Theorem 6/7 quantities) and
 //!   potential-gap summaries;
+//! * [`tracking`] — per-epoch recovery times, potential gaps and
+//!   tracking regret for non-stationary scenario runs, against
+//!   per-epoch Frank–Wolfe ground truth;
 //! * [`stats`] — means, fits and the log–log scaling slopes used to
 //!   verify the theorems' shapes.
 //!
@@ -35,6 +38,7 @@ pub mod poa;
 pub mod rates;
 pub mod regret;
 pub mod stats;
+pub mod tracking;
 
 pub use frank_wolfe::{minimise, FrankWolfeConfig, FrankWolfeResult, Objective};
 pub use metrics::{bad_phase_count, summarise, ConvergenceSummary, EquilibriumKind};
@@ -42,3 +46,4 @@ pub use oscillation::{amplitude, detect_orbit, OrbitKind};
 pub use poa::{price_of_anarchy, PoaReport};
 pub use rates::{potential_decay_rate, DecayFit};
 pub use regret::{population_regret, RegretReport};
+pub use tracking::{tracking_report, EpochReport, TrackingReport};

@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn poa_at_least_one() {
         for seed in 0..5 {
-            let inst = builders::random_parallel_links(4, 1.0, 0.2, 2.0, seed);
+            let inst = builders::standard_random_links(4, seed);
             let r = price_of_anarchy(&inst);
             assert!(r.price_of_anarchy >= 1.0 - 1e-6, "seed {seed}: {r:?}");
         }

@@ -1,0 +1,251 @@
+//! Tracking a moving equilibrium: per-epoch recovery and regret.
+//!
+//! Static analysis asks "does the dynamics reach equilibrium?"; under a
+//! non-stationary [`Scenario`] the
+//! question becomes "how fast does it *re-enter* equilibrium after each
+//! shock, and how much does it lose while chasing it?". This module
+//! answers both against certified per-epoch ground truth:
+//!
+//! * **recovery time** — for each epoch (the segment between scenario
+//!   events), the number of phases until the run first starts a phase
+//!   at a `(δ, ε)`-equilibrium again (Definition 3: the volume of
+//!   flow on paths more than `δ` above their commodity's minimum is at
+//!   most `ε`) — the exact notion Theorems 6/7 bound;
+//! * **potential gap** — `Φ(f) − Φ*_k`, where `Φ*_k` is the
+//!   Frank–Wolfe-certified optimal potential of epoch `k`'s mutated
+//!   instance;
+//! * **tracking regret** — the time-weighted accumulated potential gap
+//!   `Σ_phases (Φ(f(t̂)) − Φ*_k) · T`, the natural "area under the
+//!   suboptimality curve" of a policy chasing a moving target.
+//!
+//! Corollary 5 predicts: with an α-smooth policy and every epoch run at
+//! `T ≤ T*_k = 1/(4 D α β_k)`, the potential decreases between shocks,
+//! so every epoch long enough recovers — experiment E10 and the
+//! `wardrop-lab` scenarios exercise exactly this claim.
+
+use serde::{Deserialize, Serialize};
+use wardrop_core::theory::safe_update_period;
+use wardrop_core::trajectory::Trajectory;
+use wardrop_net::instance::Instance;
+use wardrop_net::scenario::Scenario;
+use wardrop_net::NetError;
+
+use crate::frank_wolfe::{minimise, FrankWolfeConfig, Objective};
+
+/// Per-epoch tracking summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch index (number of events applied before it).
+    pub epoch: usize,
+    /// First phase of the epoch (inclusive).
+    pub start_phase: usize,
+    /// One past the last phase of the epoch.
+    pub end_phase: usize,
+    /// Frank–Wolfe-certified optimal potential `Φ*` of the epoch's
+    /// instance.
+    pub optimum_potential: f64,
+    /// The safe update period `T* = 1/(4 D α β)` of the epoch's
+    /// instance (for the supplied `alpha`).
+    pub safe_period: f64,
+    /// Phases from the epoch start until the first phase starting at a
+    /// `(δ, ε)`-equilibrium (`unsatisfied[0] ≤ ε`); `None` if the
+    /// epoch never recovers.
+    pub recovery_phases: Option<usize>,
+    /// Max regret at the start of the epoch's first phase (the shock
+    /// displacement).
+    pub initial_regret: f64,
+    /// Max regret at the start of the epoch's last phase.
+    pub final_regret: f64,
+    /// Potential gap `Φ − Φ*` at the epoch's first phase start.
+    pub initial_gap: f64,
+    /// Potential gap at the epoch's last phase start.
+    pub final_gap: f64,
+    /// Time-weighted accumulated potential gap
+    /// `Σ (Φ(t̂) − Φ*) · T` over the epoch's phases (clamped at 0:
+    /// certified optima can exceed a transient Φ only by solver
+    /// tolerance).
+    pub tracking_regret: f64,
+}
+
+/// Tracking summary of a whole scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackingReport {
+    /// The `δ` of the recovery notion (the trajectory's first
+    /// configured δ column).
+    pub delta: f64,
+    /// The `ε` used for recovery detection.
+    pub eps: f64,
+    /// One report per epoch that contains at least one phase.
+    pub epochs: Vec<EpochReport>,
+    /// Sum of the per-epoch tracking regrets.
+    pub total_tracking_regret: f64,
+    /// True iff every epoch recovered.
+    pub all_recovered: bool,
+    /// The smallest per-epoch safe period — running the whole scenario
+    /// at `T ≤ min_k T*_k` keeps Corollary 5 in force across every
+    /// shock.
+    pub min_safe_period: f64,
+}
+
+/// Computes the per-epoch tracking report for a [`Trajectory`] produced
+/// by `run_scenario` (or `run_agents_scenario`) on `base` under
+/// `scenario`.
+///
+/// The scenario is replayed on a clone of `base` to recover each
+/// epoch's instance; each epoch's ground-truth `Φ*` comes from a
+/// certified Frank–Wolfe minimisation, and its `T*` uses the supplied
+/// smoothness constant `alpha`.
+///
+/// # Errors
+///
+/// Propagates event-application failures from the replay.
+///
+/// # Panics
+///
+/// Panics if the trajectory carries no `δ` column (recovery is defined
+/// on the `(δ, ε)` notion) or references an epoch the scenario cannot
+/// produce (i.e. it was not generated from `scenario`).
+pub fn tracking_report(
+    base: &Instance,
+    scenario: &Scenario,
+    traj: &Trajectory,
+    alpha: f64,
+    eps: f64,
+) -> Result<TrackingReport, NetError> {
+    assert!(
+        !traj.deltas.is_empty(),
+        "tracking needs at least one δ column (SimulationConfig::with_deltas)"
+    );
+    let epoch_instances = scenario.epoch_instances(base)?;
+    let fw = FrankWolfeConfig::default();
+    let mut epochs = Vec::new();
+    let mut min_safe_period = f64::INFINITY;
+    for inst in &epoch_instances {
+        min_safe_period = min_safe_period.min(safe_update_period(inst, alpha));
+    }
+
+    for (epoch, range) in traj.epoch_ranges() {
+        assert!(
+            epoch < epoch_instances.len(),
+            "trajectory epoch {epoch} beyond the scenario's {} events",
+            epoch_instances.len() - 1
+        );
+        let inst = &epoch_instances[epoch];
+        let optimum = minimise(inst, Objective::Potential, &fw);
+        let records = &traj.phases[range.clone()];
+        let recovery_phases = records.iter().position(|p| p.unsatisfied[0] <= eps);
+        let tracking_regret: f64 = records
+            .iter()
+            .map(|p| (p.potential_start - optimum.value).max(0.0) * traj.update_period)
+            .sum();
+        let first = &records[0];
+        let last = &records[records.len() - 1];
+        epochs.push(EpochReport {
+            epoch,
+            start_phase: range.start,
+            end_phase: range.end,
+            optimum_potential: optimum.value,
+            safe_period: safe_update_period(inst, alpha),
+            recovery_phases,
+            initial_regret: first.max_regret_start,
+            final_regret: last.max_regret_start,
+            initial_gap: first.potential_start - optimum.value,
+            final_gap: last.potential_start - optimum.value,
+            tracking_regret,
+        });
+    }
+
+    let total_tracking_regret = epochs.iter().map(|e| e.tracking_regret).sum();
+    let all_recovered = epochs.iter().all(|e| e.recovery_phases.is_some());
+    Ok(TrackingReport {
+        delta: traj.deltas[0],
+        eps,
+        epochs,
+        total_tracking_regret,
+        all_recovered,
+        min_safe_period,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_core::engine::{run_scenario, SimulationConfig};
+    use wardrop_core::policy::uniform_linear;
+    use wardrop_core::ReroutingPolicy;
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+    use wardrop_net::scenario::DemandSchedule;
+
+    fn pulse_run() -> (Instance, Scenario, Trajectory, f64) {
+        let inst = builders::multi_commodity_grid(3, 3, 5);
+        let policy = uniform_linear(&inst);
+        let alpha = policy.smoothness().unwrap();
+        let scenario = Scenario::new("pulse")
+            .with_demand_schedule(0, &DemandSchedule::pulse(0.5, 0.8, 2000, 2000));
+        // Safe period of the (demand-only) scenario equals the base's.
+        let t = wardrop_core::theory::safe_update_period(&inst, alpha);
+        let config = SimulationConfig::new(t, 6000);
+        let traj =
+            run_scenario(&inst, &policy, &FlowVec::uniform(&inst), &config, &scenario).unwrap();
+        (inst, scenario, traj, alpha)
+    }
+
+    #[test]
+    fn every_epoch_recovers_within_safe_period() {
+        let (inst, scenario, traj, alpha) = pulse_run();
+        let report = tracking_report(&inst, &scenario, &traj, alpha, 0.05).unwrap();
+        assert_eq!(report.epochs.len(), 3);
+        assert!(report.all_recovered, "epochs: {:#?}", report.epochs);
+        assert_eq!(report.delta, 0.05);
+        for e in &report.epochs {
+            assert!(e.tracking_regret >= 0.0);
+            // Recovered and stayed near the epoch optimum.
+            assert!(e.final_gap <= 1e-3, "final gap {}", e.final_gap);
+            assert!(e.final_gap <= e.initial_gap.max(0.0) + 1e-9);
+            assert!(e.safe_period >= report.min_safe_period);
+        }
+        assert!(report.total_tracking_regret >= 0.0);
+        // Demand-only events keep β and D fixed.
+        assert!(
+            (report.min_safe_period - wardrop_core::theory::safe_update_period(&inst, alpha)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn epoch_optima_differ_across_shocks() {
+        let (inst, scenario, traj, alpha) = tracking_inputs();
+        let report = tracking_report(&inst, &scenario, &traj, alpha, 0.05).unwrap();
+        // The surged epoch has a different ground-truth optimum.
+        let phi0 = report.epochs[0].optimum_potential;
+        let phi1 = report.epochs[1].optimum_potential;
+        assert!((phi0 - phi1).abs() > 1e-6, "{phi0} vs {phi1}");
+        // Epoch boundaries line up with the scenario events.
+        assert_eq!(report.epochs[1].start_phase, 2000);
+        assert_eq!(report.epochs[2].start_phase, 4000);
+    }
+
+    fn tracking_inputs() -> (Instance, Scenario, Trajectory, f64) {
+        pulse_run()
+    }
+
+    #[test]
+    fn static_runs_produce_single_epoch_reports() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let alpha = policy.smoothness().unwrap();
+        let traj = wardrop_core::engine::run(
+            &inst,
+            &policy,
+            &FlowVec::uniform(&inst),
+            &SimulationConfig::new(0.25, 200),
+        );
+        let scenario = Scenario::new("static");
+        let report = tracking_report(&inst, &scenario, &traj, alpha, 0.05).unwrap();
+        assert_eq!(report.epochs.len(), 1);
+        assert!(report.all_recovered);
+        // Pigou Φ* = ½.
+        assert!((report.epochs[0].optimum_potential - 0.5).abs() < 1e-5);
+    }
+}

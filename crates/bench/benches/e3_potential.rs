@@ -11,7 +11,7 @@ use wardrop_net::potential::{error_terms, lemma3_residual, potential, virtual_ga
 fn bench_potential(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_potential");
     for m in [8usize, 64, 256] {
-        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, 7);
+        let inst = builders::standard_random_links(m, 7);
         let a = FlowVec::uniform(&inst);
         let b = FlowVec::concentrated(&inst);
         group.bench_function(format!("potential_m{m}"), |bch| {

@@ -13,7 +13,7 @@ use wardrop_net::flow::FlowVec;
 fn bench_thm7(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_proportional");
     for m in [8usize, 32, 128] {
-        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, 11);
+        let inst = builders::standard_random_links(m, 11);
         let alpha = 1.0 / inst.latency_upper_bound();
         let t = safe_update_period(&inst, alpha).min(1.0);
         let policy = replicator(&inst);

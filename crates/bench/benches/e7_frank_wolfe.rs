@@ -12,10 +12,7 @@ fn bench_frank_wolfe(c: &mut Criterion) {
     let config = FrankWolfeConfig::default();
     for (name, inst) in [
         ("braess", builders::braess()),
-        (
-            "parallel32",
-            builders::random_parallel_links(32, 1.0, 0.2, 2.0, 5),
-        ),
+        ("parallel32", builders::standard_random_links(32, 5)),
         ("grid4x4", builders::grid_network(4, 4, 5)),
     ] {
         group.bench_function(format!("{name}_potential"), |b| {

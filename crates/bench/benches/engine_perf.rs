@@ -69,7 +69,7 @@ fn bench_fused_evaluation(c: &mut Criterion) {
 fn bench_integrators(c: &mut Criterion) {
     let mut group = c.benchmark_group("integrators");
     for m in [16usize, 128] {
-        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, 3);
+        let inst = builders::standard_random_links(m, 3);
         let f = FlowVec::concentrated(&inst);
         let board = BulletinBoard::post(&inst, &f, 0.0);
         let policy = uniform_linear(&inst);
@@ -94,7 +94,7 @@ fn bench_integrators(c: &mut Criterion) {
 fn bench_phase_rates(c: &mut Criterion) {
     let mut group = c.benchmark_group("phase_rates");
     for m in [16usize, 128, 512] {
-        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, 3);
+        let inst = builders::standard_random_links(m, 3);
         let f = FlowVec::uniform(&inst);
         let board = BulletinBoard::post(&inst, &f, 0.0);
         let policy = uniform_linear(&inst);

@@ -153,6 +153,7 @@ pub fn run_naive<P: ReroutingPolicy + ?Sized>(
         let vgain = virtual_gain(instance, &phase_start_flow, &flow);
         phases.push(PhaseRecord {
             index,
+            epoch: 0,
             start_time,
             potential_start,
             potential_end,
@@ -170,6 +171,7 @@ pub fn run_naive<P: ReroutingPolicy + ?Sized>(
         deltas: config.deltas.clone(),
         phases,
         flows,
+        flow_stride: 1,
         final_flow: flow,
         dynamics: policy.name(),
     }

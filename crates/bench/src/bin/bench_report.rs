@@ -19,7 +19,9 @@
 use std::time::Instant;
 
 use serde::Serialize;
-use wardrop_bench::{baseline, large_engine_workloads, small_engine_workloads, EngineWorkload};
+use wardrop_bench::{
+    baseline, large_engine_workloads, small_engine_workloads, time_apply_event, EngineWorkload,
+};
 use wardrop_core::engine;
 
 #[derive(Debug, Serialize)]
@@ -36,10 +38,23 @@ struct WorkloadReport {
 }
 
 #[derive(Debug, Serialize)]
+struct ReconfigReport {
+    name: String,
+    paths: usize,
+    edges: usize,
+    events: usize,
+    ns_per_apply_event: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     schema: String,
     mode: String,
     workloads: Vec<WorkloadReport>,
+    /// Scenario-reconfiguration cost: one `apply_event` (latency
+    /// mutation + incremental invariant refresh + in-place
+    /// re-evaluation) per entry.
+    reconfig: Vec<ReconfigReport>,
 }
 
 /// Best-of-`repeats` wall-clock nanoseconds for `f`.
@@ -107,19 +122,39 @@ fn main() {
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
 
     let mut workloads = Vec::new();
+    let mut reconfig = Vec::new();
+    let mut measure_reconfig = |w: &EngineWorkload, events: usize| {
+        let ns = time_apply_event(w, events);
+        println!(
+            "{:<28} |P|={:<6} apply_event {:>12.0} ns",
+            w.name,
+            w.instance.num_paths(),
+            ns
+        );
+        reconfig.push(ReconfigReport {
+            name: w.name.to_string(),
+            paths: w.instance.num_paths(),
+            edges: w.instance.num_edges(),
+            events,
+            ns_per_apply_event: ns,
+        });
+    };
     for w in small_engine_workloads() {
         workloads.push(measure(&w, 5));
+        measure_reconfig(&w, 64);
     }
     if !smoke {
         for w in large_engine_workloads() {
             workloads.push(measure(&w, 2));
+            measure_reconfig(&w, 16);
         }
     }
 
     let report = BenchReport {
-        schema: "wardrop-bench/engine/v1".to_string(),
+        schema: "wardrop-bench/engine/v2".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         workloads,
+        reconfig,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     std::fs::write(&out_path, json + "\n").expect("write report");

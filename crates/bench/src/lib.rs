@@ -5,99 +5,16 @@
 //! matching `DESIGN.md` and the `wardrop-experiments` binaries) plus
 //! engine-performance benches. Run with `cargo bench`.
 //!
-//! Shared workload constructors live here so the benches measure the
-//! same configurations the experiment binaries report on.
+//! Shared workload constructors live in [`workloads`] so the benches,
+//! `bench_report` and the experiment binaries measure the same
+//! configurations; the frozen pre-fused reference lives in
+//! [`baseline`].
 
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod workloads;
 
-use wardrop_core::engine::SimulationConfig;
-use wardrop_net::builders;
-use wardrop_net::flow::FlowVec;
-use wardrop_net::instance::Instance;
-
-/// The standard benchmark workload: instance, initial flow and a
-/// simulation configuration of `phases` phases at period `t`.
-pub fn workload(
-    instance: Instance,
-    t: f64,
-    phases: usize,
-) -> (Instance, FlowVec, SimulationConfig) {
-    let f0 = FlowVec::uniform(&instance);
-    let config = SimulationConfig::new(t, phases);
-    (instance, f0, config)
-}
-
-/// A named engine workload for `engine_perf` and `bench_report`: the
-/// same instance/config pair is driven through both the fused engine
-/// and the [`baseline`] reference so speedups are apples-to-apples.
-pub struct EngineWorkload {
-    /// Stable identifier recorded in `BENCH_engine.json`.
-    pub name: &'static str,
-    /// The instance under load.
-    pub instance: Instance,
-    /// Uniform initial flow.
-    pub f0: FlowVec,
-    /// Simulation configuration (uniformization integrator, no flow
-    /// recording, single δ column — the engine's default shape).
-    pub config: SimulationConfig,
-}
-
-fn engine_workload(
-    name: &'static str,
-    instance: Instance,
-    t: f64,
-    phases: usize,
-) -> EngineWorkload {
-    let (instance, f0, config) = workload(instance, t, phases);
-    EngineWorkload {
-        name,
-        instance,
-        f0,
-        config,
-    }
-}
-
-/// Small engine workloads: quick enough for CI smoke runs.
-pub fn small_engine_workloads() -> Vec<EngineWorkload> {
-    vec![
-        engine_workload("grid_5x5", builders::grid_network(5, 5, 7), 0.5, 40),
-        engine_workload(
-            "multi_commodity_grid_4x4",
-            builders::multi_commodity_grid(4, 4, 7),
-            0.5,
-            40,
-        ),
-        engine_workload("layered_3x4", builders::layered_network(3, 4, 7), 0.5, 40),
-    ]
-}
-
-/// Large engine workloads, including the `grid_network(8, 8, seed)`
-/// acceptance workload (3432 paths) — production-scale phase loops
-/// where rate construction and integration dominate.
-pub fn large_engine_workloads() -> Vec<EngineWorkload> {
-    vec![
-        engine_workload("grid_8x8", builders::grid_network(8, 8, 7), 1.0, 3),
-        engine_workload(
-            "multi_commodity_grid_6x6",
-            builders::multi_commodity_grid(6, 6, 7),
-            1.0,
-            12,
-        ),
-        engine_workload("layered_4x6", builders::layered_network(4, 6, 7), 1.0, 6),
-    ]
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use wardrop_net::builders;
-
-    #[test]
-    fn workload_is_well_formed() {
-        let (inst, f0, config) = workload(builders::braess(), 0.1, 10);
-        assert!(f0.is_feasible(&inst, 1e-9));
-        assert_eq!(config.num_phases, 10);
-    }
-}
+pub use workloads::{
+    large_engine_workloads, small_engine_workloads, time_apply_event, workload, EngineWorkload,
+};

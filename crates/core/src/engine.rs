@@ -22,14 +22,22 @@
 //! phase boundary — the phase-end evaluation doubles as the next
 //! phase's start, boards are posted by copying cached arrays, and in
 //! steady state a phase performs zero heap allocations.
+//!
+//! The engine also speaks the scenario language of
+//! [`wardrop_net::scenario`]: [`run_scenario`] applies demand and
+//! latency [events](wardrop_net::scenario::Event) between phases
+//! ([`Simulation::apply_event`]), opening a new *epoch* per event while
+//! preserving the zero-allocation property within each epoch.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+use wardrop_net::error::NetError;
 use wardrop_net::eval::EvalWorkspace;
 use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 use wardrop_net::rng::splitmix_unit;
+use wardrop_net::scenario::{EventAction, Scenario};
 
 use crate::board::BulletinBoard;
 use crate::integrator::{Integrator, IntegratorScratch};
@@ -177,8 +185,14 @@ pub struct SimulationConfig {
     /// Within-phase integrator (ignored by closed-form dynamics).
     pub integrator: Integrator,
     /// Record full phase-start flow vectors (memory: one `|P|` vector
-    /// per phase).
+    /// per recorded phase — see `record_stride`).
     pub record_flows: bool,
+    /// Record only every `record_stride`-th phase-start flow (0 and 1
+    /// both mean "every phase"), bounding `Trajectory::flows` at
+    /// `O(num_phases / stride)` on long runs. Ignored unless
+    /// `record_flows` is set.
+    #[serde(default)]
+    pub record_stride: usize,
     /// `δ` thresholds for the per-phase unsatisfied-volume columns.
     pub deltas: Vec<f64>,
     /// Stop early once the phase-start max regret drops below this
@@ -198,6 +212,7 @@ impl SimulationConfig {
             num_phases,
             integrator: Integrator::default(),
             record_flows: false,
+            record_stride: 1,
             deltas: vec![0.05],
             stop_when_regret_below: None,
             schedule: PhaseSchedule::Fixed,
@@ -222,6 +237,26 @@ impl SimulationConfig {
     pub fn with_flows(mut self) -> Self {
         self.record_flows = true;
         self
+    }
+
+    /// Records only every `stride`-th phase-start flow (builder style),
+    /// keeping `with_flows` runs over millions of phases at
+    /// `O(num_phases / stride)` memory. Implies flow recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn with_record_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "record stride must be positive");
+        self.record_flows = true;
+        self.record_stride = stride;
+        self
+    }
+
+    /// The effective flow-recording stride (`record_stride`, with the
+    /// serde-default 0 normalised to 1).
+    pub fn effective_stride(&self) -> usize {
+        self.record_stride.max(1)
     }
 
     /// Sets the `δ` thresholds (builder style).
@@ -260,35 +295,51 @@ impl SimulationConfig {
 /// start). In steady state a step performs **zero heap allocations**
 /// when no `δ` columns are configured.
 ///
+/// The simulation *owns* a copy of the instance and the configuration,
+/// which enables two things beyond the static phase loop:
+///
+/// * **scenario epochs** — [`Simulation::apply_event`] mutates the
+///   owned instance (demand surges, link degradations) between phases,
+///   rescales the per-commodity flows and refreshes the evaluation in
+///   place; the zero-allocation property keeps holding between events
+///   because mutation never changes buffer shapes;
+/// * **reuse across runs** — [`Simulation::reset`] and
+///   [`Simulation::rebind`] start a fresh run inside the already
+///   allocated [`EngineWorkspace`], which parameter sweeps (E4/E5) use
+///   to avoid rebuilding the `|P|²`-sized rate blocks per run.
+///
 /// [`run`] drives a `Simulation` to completion; use this type directly
 /// for streaming consumption of phases without materialising a
 /// [`Trajectory`].
 #[derive(Debug)]
 pub struct Simulation<'a, D: Dynamics + ?Sized> {
-    instance: &'a Instance,
+    instance: Instance,
     dynamics: &'a D,
-    config: &'a SimulationConfig,
+    config: SimulationConfig,
     flow: FlowVec,
     board: BulletinBoard,
     workspace: EngineWorkspace,
     index: usize,
+    epoch: usize,
     start_time: f64,
     stopped: bool,
 }
 
 impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
     /// Prepares a simulation from `f0`, allocating every buffer the
-    /// phase loop needs and evaluating the initial flow.
+    /// phase loop needs and evaluating the initial flow. The instance
+    /// and configuration are cloned into the simulation so scenario
+    /// events can mutate them without aliasing the caller's copies.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (non-positive update
     /// period) or `f0` is infeasible for `instance`.
     pub fn new(
-        instance: &'a Instance,
+        instance: &Instance,
         dynamics: &'a D,
         f0: &FlowVec,
-        config: &'a SimulationConfig,
+        config: &SimulationConfig,
     ) -> Self {
         config.validate();
         assert!(
@@ -299,13 +350,14 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         let mut workspace = EngineWorkspace::new(instance);
         workspace.eval.evaluate(instance, &flow);
         Simulation {
-            instance,
-            dynamics,
-            config,
-            flow,
             board: BulletinBoard::for_instance(instance),
+            instance: instance.clone(),
+            dynamics,
+            config: config.clone(),
+            flow,
             workspace,
             index: 0,
+            epoch: 0,
             start_time: 0.0,
             stopped: false,
         }
@@ -316,6 +368,24 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
     #[inline]
     pub fn flow(&self) -> &FlowVec {
         &self.flow
+    }
+
+    /// The simulation's (possibly event-mutated) instance.
+    #[inline]
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The active configuration.
+    #[inline]
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The current scenario epoch: the number of events applied so far.
+    #[inline]
+    pub fn epoch(&self) -> usize {
+        self.epoch
     }
 
     /// The fused evaluation of the current flow.
@@ -342,6 +412,97 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         self.flow
     }
 
+    /// Applies a scenario event between phases: mutates the owned
+    /// instance through its controlled setters, rescales each
+    /// commodity's flow block to its (possibly renormalised) new
+    /// demand, refreshes the evaluation in place, and opens a new
+    /// epoch.
+    ///
+    /// Event application may allocate (this is the one sanctioned
+    /// point); the phases *between* events stay allocation-free because
+    /// instance mutation never changes the shapes of the pre-allocated
+    /// buffers (path sets and CSR incidences are immutable). Verified
+    /// by `crates/core/tests/zero_alloc.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing action. Actions are applied in
+    /// order, so on error the instance may hold a prefix of the event;
+    /// each individual action is atomic.
+    pub fn apply_event(&mut self, actions: &[EventAction]) -> Result<(), NetError> {
+        let old_demands: Vec<f64> = self
+            .instance
+            .commodities()
+            .iter()
+            .map(|c| c.demand)
+            .collect();
+        for action in actions {
+            action.apply(&mut self.instance)?;
+        }
+        // Demand events renormalise every commodity; rescale each
+        // commodity's flow block so it remains feasible (the within-
+        // block split — the interesting state — is preserved).
+        for (i, &old) in old_demands.iter().enumerate() {
+            let new = self.instance.commodities()[i].demand;
+            if new != old {
+                let scale = new / old;
+                let range = self.instance.commodity_paths(i);
+                for v in &mut self.flow.values_mut()[range] {
+                    *v *= scale;
+                }
+            }
+        }
+        self.workspace.eval.evaluate(&self.instance, &self.flow);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Starts a fresh run from `f0` under `config`, reusing every
+    /// buffer of the existing [`EngineWorkspace`] (and the owned,
+    /// possibly event-mutated instance). Parameter sweeps use this to
+    /// amortise the `|P|²` rate-block allocations across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `f0` is infeasible for the
+    /// *current* instance.
+    pub fn reset(&mut self, f0: &FlowVec, config: &SimulationConfig) {
+        config.validate();
+        assert!(
+            f0.is_feasible(&self.instance, 1e-6),
+            "initial flow must be feasible"
+        );
+        self.config = config.clone();
+        self.flow.values_mut().copy_from_slice(f0.values());
+        self.workspace.eval.evaluate(&self.instance, &self.flow);
+        self.index = 0;
+        self.epoch = 0;
+        self.start_time = 0.0;
+        self.stopped = false;
+    }
+
+    /// Rebinds the simulation to a different instance of the **same
+    /// shape** (equal path, edge and commodity counts — e.g. another
+    /// seed of the same builder family) and starts a fresh run,
+    /// reusing the workspace buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ, `config` is invalid, or `f0` is
+    /// infeasible for `instance`.
+    pub fn rebind(&mut self, instance: &Instance, f0: &FlowVec, config: &SimulationConfig) {
+        assert!(
+            instance.num_paths() == self.instance.num_paths()
+                && instance.num_edges() == self.instance.num_edges()
+                && instance.num_commodities() == self.instance.num_commodities()
+                && (0..instance.num_commodities())
+                    .all(|i| instance.commodity_paths(i) == self.instance.commodity_paths(i)),
+            "rebind requires an instance of identical shape"
+        );
+        self.instance.clone_from(instance);
+        self.reset(f0, config);
+    }
+
     /// Executes one phase and returns its record, or `None` when the
     /// phase budget is exhausted or the early-stop regret threshold is
     /// met at the phase start (in which case the phase does not run).
@@ -358,7 +519,7 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         let max_regret_start = self
             .workspace
             .eval
-            .max_regret(self.instance, &self.flow, 1e-12);
+            .max_regret(&self.instance, &self.flow, 1e-12);
         if let Some(threshold) = self.config.stop_when_regret_below {
             if max_regret_start < threshold {
                 self.stopped = true;
@@ -372,7 +533,7 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
             .map(|d| {
                 self.workspace
                     .eval
-                    .unsatisfied_volume(self.instance, &self.flow, *d)
+                    .unsatisfied_volume(&self.instance, &self.flow, *d)
             })
             .collect();
         let weakly_unsatisfied: Vec<f64> = self
@@ -382,7 +543,7 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
             .map(|d| {
                 self.workspace
                     .eval
-                    .weakly_unsatisfied_volume(self.instance, &self.flow, *d)
+                    .weakly_unsatisfied_volume(&self.instance, &self.flow, *d)
             })
             .collect();
 
@@ -402,18 +563,18 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
             .schedule
             .phase_length(self.config.update_period, self.index);
         self.dynamics.advance_phase(
-            self.instance,
+            &self.instance,
             &self.board,
             &mut self.flow,
             tau,
             &self.config.integrator,
             &mut self.workspace,
         );
-        self.flow.renormalise(self.instance);
+        self.flow.renormalise(&self.instance);
 
         // One evaluation per phase boundary: the phase end doubles as
         // the next phase's start.
-        self.workspace.eval.evaluate(self.instance, &self.flow);
+        self.workspace.eval.evaluate(&self.instance, &self.flow);
         let potential_end = self.workspace.eval.potential();
         let virtual_gain = self.workspace.eval.virtual_gain_from(
             &self.workspace.start_edge_flows,
@@ -422,6 +583,7 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
 
         let record = PhaseRecord {
             index: self.index,
+            epoch: self.epoch,
             start_time: self.start_time,
             potential_start,
             potential_end,
@@ -443,7 +605,8 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
 /// every phase so floating-point drift never violates feasibility.
 /// When the early-stop threshold triggers, no bookkeeping is done for
 /// the phase that never ran — `trajectory.flows` (when recording) has
-/// exactly one entry per executed phase.
+/// exactly one entry per *recorded* phase (every
+/// `config.record_stride`-th executed phase).
 ///
 /// # Panics
 ///
@@ -455,11 +618,63 @@ pub fn run<D: Dynamics + ?Sized>(
     f0: &FlowVec,
     config: &SimulationConfig,
 ) -> Trajectory {
-    let mut sim = Simulation::new(instance, dynamics, f0, config);
+    let sim = Simulation::new(instance, dynamics, f0, config);
+    drive(sim, &[])
+}
+
+/// Runs `dynamics` from `f0` through a non-stationary [`Scenario`]:
+/// before each phase, every event scheduled at that phase index is
+/// applied ([`Simulation::apply_event`]) — demands surge, links degrade
+/// — and the run continues against the mutated instance in a new
+/// epoch. [`PhaseRecord::epoch`] marks the segments.
+///
+/// Events scheduled at or beyond `config.num_phases` (or beyond an
+/// early stop) never fire. Scenario runs normally leave
+/// `stop_when_regret_below` unset so the run survives quiet stretches
+/// between shocks.
+///
+/// # Errors
+///
+/// Propagates the first failing event application.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `f0` is infeasible.
+pub fn run_scenario<D: Dynamics + ?Sized>(
+    instance: &Instance,
+    dynamics: &D,
+    f0: &FlowVec,
+    config: &SimulationConfig,
+    scenario: &Scenario,
+) -> Result<Trajectory, NetError> {
+    let sim = Simulation::new(instance, dynamics, f0, config);
+    try_drive(sim, scenario.events())
+}
+
+/// Drives a simulation to completion against a (possibly empty) sorted
+/// event list, materialising the [`Trajectory`].
+fn drive<D: Dynamics + ?Sized>(
+    sim: Simulation<'_, D>,
+    events: &[wardrop_net::scenario::Event],
+) -> Trajectory {
+    try_drive(sim, events).expect("static runs cannot fail event application")
+}
+
+fn try_drive<D: Dynamics + ?Sized>(
+    mut sim: Simulation<'_, D>,
+    events: &[wardrop_net::scenario::Event],
+) -> Result<Trajectory, NetError> {
+    let config = sim.config().clone();
+    let stride = config.effective_stride();
     let mut phases = Vec::with_capacity(config.num_phases.min(1 << 20));
     let mut flows = Vec::new();
+    let mut next_event = 0usize;
     loop {
-        let snapshot = if config.record_flows {
+        while next_event < events.len() && events[next_event].at_phase <= sim.phases_run() {
+            sim.apply_event(&events[next_event].actions)?;
+            next_event += 1;
+        }
+        let snapshot = if config.record_flows && sim.phases_run().is_multiple_of(stride) {
             Some(sim.flow().clone())
         } else {
             None
@@ -475,14 +690,16 @@ pub fn run<D: Dynamics + ?Sized>(
         }
     }
 
-    Trajectory {
+    let dynamics = sim.dynamics.dynamics_name();
+    Ok(Trajectory {
         update_period: config.update_period,
         deltas: config.deltas.clone(),
         phases,
         flows,
+        flow_stride: stride,
         final_flow: sim.into_flow(),
-        dynamics: dynamics.dynamics_name(),
-    }
+        dynamics,
+    })
 }
 
 #[cfg(test)]
@@ -675,6 +892,168 @@ mod tests {
         let traj = run(&inst, &policy, &FlowVec::concentrated(&inst), &config);
         assert_eq!(traj.monotonicity_violations(1e-10), 0);
         assert_eq!(traj.lemma4_violations(1e-10), 0);
+    }
+
+    #[test]
+    fn record_stride_bounds_flow_memory() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let dense = run(
+            &inst,
+            &policy,
+            &f0,
+            &SimulationConfig::new(0.25, 100).with_flows(),
+        );
+        let strided_config = SimulationConfig::new(0.25, 100).with_record_stride(10);
+        let strided = run(&inst, &policy, &f0, &strided_config);
+        assert_eq!(strided.flows.len(), 10);
+        assert_eq!(strided.flow_stride, 10);
+        // Strided flows are exactly the dense phase starts.
+        for (i, f) in strided.flows.iter().enumerate() {
+            assert_eq!(f, &dense.flows[strided.flow_phase(i)]);
+        }
+        // Phase records — and the metrics built on them — are complete.
+        assert_eq!(strided.phases.len(), 100);
+        assert_eq!(
+            strided.bad_phase_count(0, 0.01),
+            dense.bad_phase_count(0, 0.01)
+        );
+        assert_eq!(strided.potential_series(), dense.potential_series());
+    }
+
+    #[test]
+    fn apply_event_rescales_flows_and_opens_epoch() {
+        let inst = builders::multi_commodity_grid(3, 3, 5);
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.1, 50);
+        let mut sim = Simulation::new(&inst, &policy, &f0, &config);
+        for _ in 0..5 {
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.epoch(), 0);
+        sim.apply_event(&[wardrop_net::EventAction::SetDemand {
+            commodity: 0,
+            demand: 0.8,
+        }])
+        .unwrap();
+        assert_eq!(sim.epoch(), 1);
+        // The rescaled flow is feasible for the mutated demands...
+        assert!(sim.flow().is_feasible(sim.instance(), 1e-9));
+        assert!((sim.instance().commodities()[0].demand - 0.8).abs() < 1e-12);
+        // ...and the refreshed evaluation matches a from-scratch one.
+        assert_eq!(
+            sim.eval().path_latencies(),
+            sim.flow().path_latencies(sim.instance()).as_slice()
+        );
+        let record = sim.step().unwrap();
+        assert_eq!(record.epoch, 1);
+    }
+
+    #[test]
+    fn run_scenario_segments_epochs_at_events() {
+        let inst = builders::multi_commodity_grid(3, 3, 5);
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.1, 60);
+        let scenario = wardrop_net::Scenario::new("pulse")
+            .with_demand_schedule(0, &wardrop_net::DemandSchedule::pulse(0.5, 0.8, 20, 20));
+        let traj = run_scenario(&inst, &policy, &f0, &config, &scenario).unwrap();
+        assert_eq!(traj.len(), 60);
+        assert_eq!(traj.num_epochs(), 3);
+        assert_eq!(
+            traj.epoch_ranges(),
+            vec![(0, 0..20), (1, 20..40), (2, 40..60)]
+        );
+        assert!(traj.final_flow.is_feasible(&inst, 1e-6));
+        // Events at or beyond the horizon never fire.
+        let late = wardrop_net::Scenario::new("late").with_event(wardrop_net::Event::at(
+            90,
+            "never",
+            wardrop_net::EventAction::SetDemand {
+                commodity: 0,
+                demand: 0.7,
+            },
+        ));
+        let traj = run_scenario(&inst, &policy, &f0, &config, &late).unwrap();
+        assert_eq!(traj.num_epochs(), 1);
+    }
+
+    #[test]
+    fn run_scenario_propagates_event_errors() {
+        let inst = builders::pigou();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(0.25, 10);
+        let bad = wardrop_net::Scenario::new("bad").with_event(wardrop_net::Event::at(
+            2,
+            "impossible",
+            wardrop_net::EventAction::SetDemand {
+                commodity: 0,
+                demand: 0.5, // single commodity: pinned to 1
+            },
+        ));
+        assert!(run_scenario(&inst, &policy, &f0, &config, &bad).is_err());
+    }
+
+    #[test]
+    fn reset_replays_identically_and_reuses_buffers() {
+        let inst = builders::braess();
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::concentrated(&inst);
+        let config_a = SimulationConfig::new(0.2, 30);
+        let config_b = SimulationConfig::new(0.05, 40);
+        let fresh_a = run(&inst, &policy, &f0, &config_a);
+        let fresh_b = run(&inst, &policy, &f0, &config_b);
+
+        let mut sim = Simulation::new(&inst, &policy, &f0, &config_a);
+        let mut records = Vec::new();
+        while let Some(r) = sim.step() {
+            records.push(r);
+        }
+        assert_eq!(records, fresh_a.phases);
+        // Re-run with a different period inside the same workspace.
+        sim.reset(&f0, &config_b);
+        assert_eq!(sim.phases_run(), 0);
+        assert!(!sim.is_finished());
+        let mut records = Vec::new();
+        while let Some(r) = sim.step() {
+            records.push(r);
+        }
+        assert_eq!(records, fresh_b.phases);
+        assert_eq!(sim.flow(), &fresh_b.final_flow);
+    }
+
+    #[test]
+    fn rebind_switches_to_same_shape_instance() {
+        let a = builders::standard_random_links(6, 11);
+        let b = builders::standard_random_links(6, 22);
+        let policy = uniform_linear(&a);
+        let f0 = FlowVec::uniform(&a);
+        let config = SimulationConfig::new(0.1, 25);
+        let fresh_b = run(&b, &policy, &f0, &config);
+
+        let mut sim = Simulation::new(&a, &policy, &f0, &config);
+        while sim.step().is_some() {}
+        sim.rebind(&b, &f0, &config);
+        let mut records = Vec::new();
+        while let Some(r) = sim.step() {
+            records.push(r);
+        }
+        assert_eq!(records, fresh_b.phases);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shape")]
+    fn rebind_rejects_shape_mismatch() {
+        let a = builders::standard_random_links(6, 11);
+        let b = builders::standard_random_links(7, 11);
+        let policy = uniform_linear(&a);
+        let f0 = FlowVec::uniform(&a);
+        let config = SimulationConfig::new(0.1, 5);
+        let mut sim = Simulation::new(&a, &policy, &f0, &config);
+        sim.rebind(&b, &FlowVec::uniform(&b), &config);
     }
 
     #[test]

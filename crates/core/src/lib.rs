@@ -17,7 +17,9 @@
 //! * a phase-wise [simulation engine](engine) for the fluid-limit ODE
 //!   (Eq. (3)) with Euler, RK4 and exact
 //!   [uniformization](integrator::Integrator::Uniformization)
-//!   integrators;
+//!   integrators, plus scenario epochs
+//!   ([`engine::run_scenario`], [`Simulation::apply_event`]) for
+//!   non-stationary demands and latencies;
 //! * the [best-response dynamics](best_response) (Eq. (4)) with its
 //!   closed-form phase solution;
 //! * per-phase [trajectories](trajectory) recording the quantities the
@@ -59,7 +61,7 @@ pub mod trajectory;
 
 pub use best_response::BestResponse;
 pub use board::BulletinBoard;
-pub use engine::{run, Dynamics, EngineWorkspace, Simulation, SimulationConfig};
+pub use engine::{run, run_scenario, Dynamics, EngineWorkspace, Simulation, SimulationConfig};
 pub use integrator::{Integrator, IntegratorScratch};
 pub use migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};
 pub use policy::{PhaseRates, ReroutingPolicy, SmoothPolicy};

@@ -15,6 +15,10 @@ use wardrop_net::flow::FlowVec;
 pub struct PhaseRecord {
     /// Phase index (0-based).
     pub index: usize,
+    /// Scenario epoch the phase belongs to: the number of scenario
+    /// events applied before the phase started (0 for static runs).
+    #[serde(default)]
+    pub epoch: usize,
     /// Phase start time `t̂`.
     pub start_time: f64,
     /// Potential `Φ(f(t̂))` at the phase start.
@@ -53,7 +57,13 @@ pub struct Trajectory {
     /// One record per executed phase.
     pub phases: Vec<PhaseRecord>,
     /// Phase-start flows (only when flow recording was enabled).
+    /// Strided: `flows[i]` is the start of phase `i · flow_stride`.
     pub flows: Vec<FlowVec>,
+    /// Stride of the recorded `flows` (1 = every phase). Long runs set
+    /// `SimulationConfig::with_record_stride` to bound memory at
+    /// `O(num_phases / stride)`.
+    #[serde(default)]
+    pub flow_stride: usize,
     /// The final flow after the last phase.
     pub final_flow: FlowVec,
     /// Name of the dynamics that produced the run.
@@ -141,6 +151,32 @@ impl Trajectory {
             .map(|p| p.delta_phi() - 0.5 * p.virtual_gain)
             .fold(f64::NEG_INFINITY, f64::max)
     }
+
+    /// The phase index whose start `flows[i]` records, accounting for
+    /// the record stride.
+    pub fn flow_phase(&self, i: usize) -> usize {
+        i * self.flow_stride.max(1)
+    }
+
+    /// Number of scenario epochs spanned by the run (1 for static
+    /// runs; empty trajectories report 0).
+    pub fn num_epochs(&self) -> usize {
+        self.phases.last().map_or(0, |p| p.epoch + 1)
+    }
+
+    /// The contiguous phase-index ranges of each epoch, as
+    /// `(epoch, range)` pairs in epoch order. Epochs whose events fired
+    /// back-to-back (no phase in between) are skipped.
+    pub fn epoch_ranges(&self) -> Vec<(usize, std::ops::Range<usize>)> {
+        let mut out: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for (i, p) in self.phases.iter().enumerate() {
+            match out.last_mut() {
+                Some((epoch, range)) if *epoch == p.epoch => range.end = i + 1,
+                _ => out.push((p.epoch, i..i + 1)),
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +186,7 @@ mod tests {
     fn record(index: usize, phi0: f64, phi1: f64, v: f64) -> PhaseRecord {
         PhaseRecord {
             index,
+            epoch: 0,
             start_time: index as f64,
             potential_start: phi0,
             potential_end: phi1,
@@ -167,6 +204,7 @@ mod tests {
             deltas: vec![0.1],
             phases,
             flows: vec![],
+            flow_stride: 1,
             final_flow: FlowVec::from_values_unchecked(vec![1.0]),
             dynamics: "test".into(),
         }
@@ -215,5 +253,30 @@ mod tests {
         assert_eq!(t.len(), 0);
         assert!(t.potential_series().is_empty());
         assert_eq!(t.lemma4_worst_slack(), f64::NEG_INFINITY);
+        assert_eq!(t.num_epochs(), 0);
+        assert!(t.epoch_ranges().is_empty());
+    }
+
+    #[test]
+    fn epoch_ranges_group_consecutive_records() {
+        let mut phases: Vec<PhaseRecord> = (0..6).map(|i| record(i, 1.0, 1.0, 0.0)).collect();
+        for p in &mut phases[2..5] {
+            p.epoch = 1;
+        }
+        phases[5].epoch = 3; // epoch 2 had no phases (back-to-back events)
+        let t = traj(phases);
+        assert_eq!(t.num_epochs(), 4);
+        assert_eq!(t.epoch_ranges(), vec![(0, 0..2), (1, 2..5), (3, 5..6)]);
+    }
+
+    #[test]
+    fn flow_phase_accounts_for_stride() {
+        let mut t = traj(vec![record(0, 1.0, 1.0, 0.0)]);
+        assert_eq!(t.flow_phase(3), 3);
+        t.flow_stride = 10;
+        assert_eq!(t.flow_phase(3), 30);
+        // Stride 0 (legacy deserialised trajectories) behaves as 1.
+        t.flow_stride = 0;
+        assert_eq!(t.flow_phase(3), 3);
     }
 }

@@ -73,6 +73,56 @@ fn assert_steady_state_alloc_free<D: wardrop_core::Dynamics + ?Sized>(
     );
 }
 
+/// Scenario events are the one sanctioned allocation point; the
+/// phases *between* events must stay allocation-free because
+/// instance mutation never changes buffer shapes.
+///
+/// Not its own `#[test]`: the allocation counter is process-global and
+/// the libtest harness allocates from other threads while tests run
+/// concurrently, so the single test below drives both parts
+/// sequentially.
+fn epoch_steady_state_is_allocation_free() {
+    use wardrop_net::scenario::EventAction;
+    use wardrop_net::EdgeId;
+
+    let inst = builders::multi_commodity_grid(3, 3, 5);
+    let policy = uniform_linear(&inst);
+    let f0 = FlowVec::uniform(&inst);
+    let config = SimulationConfig::new(0.1, 100_000).with_deltas(vec![]);
+    let mut sim = Simulation::new(&inst, &policy, &f0, &config);
+    for _ in 0..3 {
+        sim.step().unwrap();
+    }
+    for round in 0..4u32 {
+        let surge = round % 2 == 0;
+        sim.apply_event(&[
+            EventAction::SetDemand {
+                commodity: 0,
+                demand: if surge { 0.7 } else { 0.5 },
+            },
+            EventAction::ScaleLatency {
+                edge: EdgeId::from_index(0),
+                factor: if surge { 1.5 } else { 1.0 / 1.5 },
+            },
+        ])
+        .unwrap();
+        // One warm-up phase after the shock, then a measured stretch.
+        assert!(sim.step().is_some());
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..100 {
+            assert!(sim.step().is_some(), "ran out of phases");
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "epoch {}: {} allocations in 100 steady-state phases between events",
+            sim.epoch(),
+            after - before
+        );
+    }
+}
+
 #[test]
 fn steady_state_phase_loop_is_allocation_free() {
     // Multi-edge paths, single commodity: exercises the CSR scatter and
@@ -115,4 +165,7 @@ fn steady_state_phase_loop_is_allocation_free() {
         100,
         "best-response/oscillator",
     );
+
+    // Non-stationary epochs: zero allocations between scenario events.
+    epoch_steady_state_is_allocation_free();
 }

@@ -40,7 +40,7 @@ fn main() {
         ("two-class(8)".into(), builders::two_class_links(8, 0.75)),
         (
             "parallel(6, random)".into(),
-            builders::random_parallel_links(6, 1.0, 0.2, 2.0, 5),
+            builders::standard_random_links(6, 5),
         ),
         ("layered(2×3)".into(), builders::layered_network(2, 3, 5)),
         ("grid(3×3)".into(), builders::grid_network(3, 3, 5)),

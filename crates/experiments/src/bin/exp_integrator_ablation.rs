@@ -56,7 +56,7 @@ fn main() {
         "Integrator ablation: Euler vs RK4 vs uniformization on one phase",
     );
 
-    let inst = builders::random_parallel_links(16, 1.0, 0.2, 2.0, 31);
+    let inst = builders::standard_random_links(16, 31);
     let f0 = FlowVec::concentrated(&inst);
     let board = BulletinBoard::post(&inst, &f0, 0.0);
     let policy = uniform_linear(&inst);

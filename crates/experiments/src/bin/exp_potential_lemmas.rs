@@ -69,7 +69,7 @@ fn main() {
         ("oscillator(β=2)".into(), builders::two_link_oscillator(2.0)),
         (
             "parallel(8, random)".into(),
-            builders::random_parallel_links(8, 1.0, 0.2, 2.0, 3),
+            builders::standard_random_links(8, 3),
         ),
         ("layered(2×3)".into(), builders::layered_network(2, 3, 3)),
         ("grid(3×3)".into(), builders::grid_network(3, 3, 3)),

@@ -20,8 +20,10 @@
 
 use serde::Serialize;
 use wardrop_analysis::stats::loglog_slope;
-use wardrop_core::engine::{run, SimulationConfig};
-use wardrop_core::policy::uniform_linear;
+use wardrop_core::engine::{Simulation, SimulationConfig};
+use wardrop_core::migration::Linear;
+use wardrop_core::policy::{uniform_linear, SmoothPolicy};
+use wardrop_core::sampling::Uniform;
 use wardrop_core::theory::{safe_update_period, theorem6_bound};
 use wardrop_experiments::{banner, fmt_g, write_json, Table};
 use wardrop_net::builders;
@@ -41,39 +43,79 @@ struct Row {
     theorem6_bound: f64,
 }
 
-/// Runs uniform+linear on `inst` and counts phases not starting at a
-/// (δ,ε)-equilibrium. Panics if the run did not settle (the tail must
-/// be good, otherwise the count would be truncated).
-fn bad_phases(inst: &Instance, t: f64, delta: f64, eps: f64, phases: usize) -> usize {
-    let policy = uniform_linear(inst);
-    let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
-    let traj = run(inst, &policy, &FlowVec::uniform(inst), &config);
-    let bad = traj.bad_phase_count(0, eps);
-    let tail_bad = traj
-        .phases
-        .iter()
-        .rev()
-        .take(phases / 10)
-        .filter(|p| p.unsatisfied[0] > eps)
-        .count();
+/// Streams an in-flight simulation to completion, counting phases not
+/// starting at a (δ,ε)-equilibrium. Panics if the run did not settle
+/// (the tail must be good, otherwise the count would be truncated).
+fn drive_bad_phases(
+    sim: &mut Simulation<'_, SmoothPolicy<Uniform, Linear>>,
+    eps: f64,
+    phases: usize,
+) -> usize {
+    let tail_start = phases - phases / 10;
+    let mut bad = 0usize;
+    let mut tail_bad = 0usize;
+    while let Some(r) = sim.step() {
+        if r.unsatisfied[0] > eps {
+            bad += 1;
+            if r.index >= tail_start {
+                tail_bad += 1;
+            }
+        }
+    }
     assert_eq!(tail_bad, 0, "run did not settle; raise the phase budget");
     bad
 }
 
-fn mean_bad(m: usize, t_scale: f64, delta: f64, eps: f64, phases: usize) -> (f64, f64, f64) {
-    let mut counts = Vec::new();
-    let mut bound = 0.0;
-    let mut t_used = 0.0;
-    for seed in SEEDS {
-        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, seed);
-        let alpha = 1.0 / inst.latency_upper_bound();
-        let t = (safe_update_period(&inst, alpha) * t_scale).min(1.0);
-        counts.push(bad_phases(&inst, t, delta, eps, phases) as f64);
-        bound = theorem6_bound(&inst, t, delta, eps);
-        t_used = t;
+/// One pre-allocated simulation per seed of the standard random-link
+/// family, reused across sweep rows via [`Simulation::reset`] — the
+/// `m × m` rate blocks and evaluation buffers are allocated once for
+/// the whole sweep.
+struct SeedSims<'a> {
+    insts: &'a [Instance],
+    sims: Vec<Simulation<'a, SmoothPolicy<Uniform, Linear>>>,
+}
+
+impl<'a> SeedSims<'a> {
+    fn new(insts: &'a [Instance], policies: &'a [SmoothPolicy<Uniform, Linear>]) -> Self {
+        let sims = insts
+            .iter()
+            .zip(policies)
+            .map(|(inst, policy)| {
+                Simulation::new(
+                    inst,
+                    policy,
+                    &FlowVec::uniform(inst),
+                    &SimulationConfig::new(1.0, 0),
+                )
+            })
+            .collect();
+        SeedSims { insts, sims }
     }
-    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-    (mean, bound, t_used)
+
+    /// Mean bad-phase count over the seeds for one sweep row.
+    fn mean_bad(&mut self, t_scale: f64, delta: f64, eps: f64, phases: usize) -> (f64, f64, f64) {
+        let mut counts = Vec::new();
+        let mut bound = 0.0;
+        let mut t_used = 0.0;
+        for (inst, sim) in self.insts.iter().zip(&mut self.sims) {
+            let alpha = 1.0 / inst.latency_upper_bound();
+            let t = (safe_update_period(inst, alpha) * t_scale).min(1.0);
+            let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
+            sim.reset(&FlowVec::uniform(inst), &config);
+            counts.push(drive_bad_phases(sim, eps, phases) as f64);
+            bound = theorem6_bound(inst, t, delta, eps);
+            t_used = t;
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        (mean, bound, t_used)
+    }
+}
+
+fn seed_instances(m: usize) -> Vec<Instance> {
+    SEEDS
+        .iter()
+        .map(|s| builders::standard_random_links(m, *s))
+        .collect()
 }
 
 fn main() {
@@ -88,7 +130,10 @@ fn main() {
     let mut t1 = Table::new(vec!["m", "T", "measured B", "Thm-6 bound", "B/bound"]);
     let (mut ms, mut bs) = (Vec::new(), Vec::new());
     for m in [2usize, 4, 8, 16, 32, 64] {
-        let (b, bound, t) = mean_bad(m, 1.0, 0.2, 0.05, 6000);
+        let insts = seed_instances(m);
+        let policies: Vec<_> = insts.iter().map(uniform_linear).collect();
+        let mut sims = SeedSims::new(&insts, &policies);
+        let (b, bound, t) = sims.mean_bad(1.0, 0.2, 0.05, 6000);
         t1.row(vec![
             m.to_string(),
             fmt_g(t),
@@ -114,12 +159,18 @@ fn main() {
     let m_slope = loglog_slope(&ms, &bs);
     println!("log–log slope of B vs m: {m_slope:.3}  (bound predicts ≤ 1; uniform sampling must grow with m)");
 
+    // The T, δ and ε sweeps all run on the same m = 8 instances: one
+    // set of pre-allocated simulations serves every row via `reset`.
+    let insts8 = seed_instances(8);
+    let policies8: Vec<_> = insts8.iter().map(uniform_linear).collect();
+    let mut sims8 = SeedSims::new(&insts8, &policies8);
+
     // --- T sweep ----------------------------------------------------
     println!("\nsweep T (m = 8, δ = 0.2, ε = 0.05):");
     let mut t2 = Table::new(vec!["T/T*", "T", "measured B", "Thm-6 bound"]);
     let (mut ts, mut bts) = (Vec::new(), Vec::new());
     for t_scale in [1.0, 0.5, 0.25, 0.125] {
-        let (b, bound, t) = mean_bad(8, t_scale, 0.2, 0.05, (6000.0 / t_scale) as usize);
+        let (b, bound, t) = sims8.mean_bad(t_scale, 0.2, 0.05, (6000.0 / t_scale) as usize);
         t2.row(vec![format!("{t_scale}"), fmt_g(t), fmt_g(b), fmt_g(bound)]);
         rows.push(Row {
             sweep: "T",
@@ -143,7 +194,7 @@ fn main() {
     let mut prev = 0.0_f64;
     let mut delta_ok = true;
     for delta in [0.4, 0.3, 0.2, 0.15, 0.1] {
-        let (b, bound, t) = mean_bad(8, 1.0, delta, 0.05, 12_000);
+        let (b, bound, t) = sims8.mean_bad(1.0, delta, 0.05, 12_000);
         t3.row(vec![format!("{delta}"), fmt_g(b), fmt_g(bound)]);
         rows.push(Row {
             sweep: "delta",
@@ -166,7 +217,7 @@ fn main() {
     let mut prev = 0.0_f64;
     let mut eps_ok = true;
     for eps in [0.2, 0.1, 0.05, 0.025] {
-        let (b, bound, t) = mean_bad(8, 1.0, 0.2, eps, 12_000);
+        let (b, bound, t) = sims8.mean_bad(1.0, 0.2, eps, 12_000);
         t4.row(vec![format!("{eps}"), fmt_g(b), fmt_g(bound)]);
         rows.push(Row {
             sweep: "eps",

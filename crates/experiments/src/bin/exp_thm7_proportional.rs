@@ -13,26 +13,18 @@
 
 use serde::Serialize;
 use wardrop_analysis::stats::loglog_slope;
-use wardrop_core::engine::{run, SimulationConfig};
-use wardrop_core::policy::{replicator, uniform_linear};
+use wardrop_core::engine::{Simulation, SimulationConfig};
+use wardrop_core::migration::Linear;
+use wardrop_core::policy::{replicator, uniform_linear, SmoothPolicy};
+use wardrop_core::sampling::{Proportional, Uniform};
 use wardrop_core::theory::{safe_update_period, theorem7_bound};
+use wardrop_core::Dynamics;
 use wardrop_experiments::{banner, fmt_g, write_json, Table};
 use wardrop_net::builders;
 use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 
 const SEEDS: [u64; 3] = [11, 22, 33];
-
-/// One cheap link `ℓ(x) = x` plus `m − 1` expensive links
-/// `ℓ(x) = gap + x`.
-fn funnel_links(m: usize, gap: f64) -> Instance {
-    let mut latencies = vec![wardrop_net::Latency::Affine { a: 0.0, b: 1.0 }];
-    latencies.extend(std::iter::repeat_n(
-        wardrop_net::Latency::Affine { a: gap, b: 1.0 },
-        m - 1,
-    ));
-    builders::parallel_links(latencies)
-}
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -46,63 +38,138 @@ struct Row {
     theorem7_bound: f64,
 }
 
-fn weak_bad_replicator(inst: &Instance, t: f64, delta: f64, eps: f64, phases: usize) -> usize {
-    let policy = replicator(inst);
-    let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
-    let traj = run(inst, &policy, &FlowVec::uniform(inst), &config);
-    let bad = traj.weak_bad_phase_count(0, eps);
-    let tail_bad = traj
-        .phases
-        .iter()
-        .rev()
-        .take(phases / 10)
-        .filter(|p| p.weakly_unsatisfied[0] > eps)
-        .count();
+/// Streams a simulation to completion, counting phases not starting at
+/// a weak (δ,ε)-equilibrium; asserts the tail settled.
+fn drive_weak_bad<D: Dynamics + ?Sized>(
+    sim: &mut Simulation<'_, D>,
+    eps: f64,
+    phases: usize,
+) -> usize {
+    let tail_start = phases - phases / 10;
+    let mut bad = 0usize;
+    let mut tail_bad = 0usize;
+    while let Some(r) = sim.step() {
+        if r.weakly_unsatisfied[0] > eps {
+            bad += 1;
+            if r.index >= tail_start {
+                tail_bad += 1;
+            }
+        }
+    }
     assert_eq!(tail_bad, 0, "replicator run did not settle");
     bad
 }
 
-fn strict_bad_uniform(inst: &Instance, t: f64, delta: f64, eps: f64, phases: usize) -> usize {
-    let policy = uniform_linear(inst);
-    let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
-    let traj = run(inst, &policy, &FlowVec::uniform(inst), &config);
-    traj.bad_phase_count(0, eps)
+/// Streams a simulation to completion, counting strict (δ,ε) bad
+/// phases (no tail requirement — uniform is the slow baseline here).
+fn drive_strict_bad<D: Dynamics + ?Sized>(sim: &mut Simulation<'_, D>, eps: f64) -> usize {
+    let mut bad = 0usize;
+    while let Some(r) = sim.step() {
+        if r.unsatisfied[0] > eps {
+            bad += 1;
+        }
+    }
+    bad
+}
+
+fn seed_instances(m: usize) -> Vec<Instance> {
+    SEEDS
+        .iter()
+        .map(|s| builders::standard_random_links(m, *s))
+        .collect()
+}
+
+fn row_period(inst: &Instance, t_scale: f64) -> f64 {
+    let alpha = 1.0 / inst.latency_upper_bound();
+    (safe_update_period(inst, alpha) * t_scale).min(1.0)
 }
 
 fn measure_on(inst: &Instance, t_scale: f64, delta: f64, eps: f64, phases: usize) -> Row {
-    let alpha = 1.0 / inst.latency_upper_bound();
-    let t = (safe_update_period(inst, alpha) * t_scale).min(1.0);
+    let t = row_period(inst, t_scale);
+    let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
+    let rep = replicator(inst);
+    let uni = uniform_linear(inst);
+    let f0 = FlowVec::uniform(inst);
     Row {
         sweep: "",
         m: inst.num_paths(),
         t_period: t,
         delta,
         eps,
-        replicator_weak_bad: weak_bad_replicator(inst, t, delta, eps, phases) as f64,
-        uniform_strict_bad: strict_bad_uniform(inst, t, delta, eps, phases) as f64,
+        replicator_weak_bad: drive_weak_bad(
+            &mut Simulation::new(inst, &rep, &f0, &config),
+            eps,
+            phases,
+        ) as f64,
+        uniform_strict_bad: drive_strict_bad(&mut Simulation::new(inst, &uni, &f0, &config), eps)
+            as f64,
         theorem7_bound: theorem7_bound(inst, t, delta, eps),
     }
 }
 
-fn measure(m: usize, t_scale: f64, delta: f64, eps: f64, phases: usize) -> Row {
-    let mut acc: Option<Row> = None;
-    for seed in SEEDS {
-        let inst = builders::random_parallel_links(m, 1.0, 0.2, 2.0, seed);
-        let r = measure_on(&inst, t_scale, delta, eps, phases);
-        match &mut acc {
-            None => acc = Some(r),
-            Some(a) => {
-                a.replicator_weak_bad += r.replicator_weak_bad;
-                a.uniform_strict_bad += r.uniform_strict_bad;
-                a.t_period = r.t_period;
-                a.theorem7_bound = r.theorem7_bound;
-            }
+/// Pre-allocated per-seed simulations (one replicator, one uniform per
+/// seed), reused across every T/δ sweep row via [`Simulation::reset`].
+struct SeedSims<'a> {
+    insts: &'a [Instance],
+    rep: Vec<Simulation<'a, SmoothPolicy<Proportional, Linear>>>,
+    uni: Vec<Simulation<'a, SmoothPolicy<Uniform, Linear>>>,
+}
+
+impl<'a> SeedSims<'a> {
+    fn new(
+        insts: &'a [Instance],
+        rep_policies: &'a [SmoothPolicy<Proportional, Linear>],
+        uni_policies: &'a [SmoothPolicy<Uniform, Linear>],
+    ) -> Self {
+        let stub = SimulationConfig::new(1.0, 0);
+        SeedSims {
+            insts,
+            rep: insts
+                .iter()
+                .zip(rep_policies)
+                .map(|(i, p)| Simulation::new(i, p, &FlowVec::uniform(i), &stub))
+                .collect(),
+            uni: insts
+                .iter()
+                .zip(uni_policies)
+                .map(|(i, p)| Simulation::new(i, p, &FlowVec::uniform(i), &stub))
+                .collect(),
         }
     }
-    let mut r = acc.expect("at least one seed");
-    r.replicator_weak_bad /= SEEDS.len() as f64;
-    r.uniform_strict_bad /= SEEDS.len() as f64;
-    r
+
+    fn measure(&mut self, t_scale: f64, delta: f64, eps: f64, phases: usize) -> Row {
+        let mut acc: Option<Row> = None;
+        for (i, inst) in self.insts.iter().enumerate() {
+            let t = row_period(inst, t_scale);
+            let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
+            let f0 = FlowVec::uniform(inst);
+            self.rep[i].reset(&f0, &config);
+            self.uni[i].reset(&f0, &config);
+            let r = Row {
+                sweep: "",
+                m: inst.num_paths(),
+                t_period: t,
+                delta,
+                eps,
+                replicator_weak_bad: drive_weak_bad(&mut self.rep[i], eps, phases) as f64,
+                uniform_strict_bad: drive_strict_bad(&mut self.uni[i], eps) as f64,
+                theorem7_bound: theorem7_bound(inst, t, delta, eps),
+            };
+            match &mut acc {
+                None => acc = Some(r),
+                Some(a) => {
+                    a.replicator_weak_bad += r.replicator_weak_bad;
+                    a.uniform_strict_bad += r.uniform_strict_bad;
+                    a.t_period = r.t_period;
+                    a.theorem7_bound = r.theorem7_bound;
+                }
+            }
+        }
+        let mut r = acc.expect("at least one seed");
+        r.replicator_weak_bad /= SEEDS.len() as f64;
+        r.uniform_strict_bad /= SEEDS.len() as f64;
+        r
+    }
 }
 
 fn main() {
@@ -127,7 +194,7 @@ fn main() {
     ]);
     let (mut ms, mut rep_b, mut uni_b) = (Vec::new(), Vec::new(), Vec::new());
     for m in [4usize, 8, 16, 32, 64] {
-        let inst = funnel_links(m, 0.75);
+        let inst = builders::funnel_links(m, 0.75);
         let mut r = measure_on(&inst, 1.0, 0.2, 0.05, 800 * m);
         r.sweep = "m";
         t1.row(vec![
@@ -158,7 +225,11 @@ fn main() {
     println!("\nsweep m, random links (bound compliance):");
     let mut t1b = Table::new(vec!["m", "replicator weak-B", "Thm-7 bound"]);
     for m in [2usize, 4, 8, 16, 32] {
-        let mut r = measure(m, 1.0, 0.2, 0.05, 6000);
+        let insts = seed_instances(m);
+        let rep_p: Vec<_> = insts.iter().map(replicator).collect();
+        let uni_p: Vec<_> = insts.iter().map(uniform_linear).collect();
+        let mut sims = SeedSims::new(&insts, &rep_p, &uni_p);
+        let mut r = sims.measure(1.0, 0.2, 0.05, 6000);
         r.sweep = "m-random";
         t1b.row(vec![
             m.to_string(),
@@ -169,11 +240,18 @@ fn main() {
     }
     t1b.print();
 
+    // The T and δ sweeps share one set of pre-allocated m = 8
+    // simulations, reused row to row via `Simulation::reset`.
+    let insts8 = seed_instances(8);
+    let rep8: Vec<_> = insts8.iter().map(replicator).collect();
+    let uni8: Vec<_> = insts8.iter().map(uniform_linear).collect();
+    let mut sims8 = SeedSims::new(&insts8, &rep8, &uni8);
+
     println!("\nsweep T (m = 8, δ = 0.2, ε = 0.05):");
     let mut t2 = Table::new(vec!["T/T*", "T", "replicator weak-B", "Thm-7 bound"]);
     let (mut ts, mut bts) = (Vec::new(), Vec::new());
     for t_scale in [1.0, 0.5, 0.25, 0.125] {
-        let mut r = measure(8, t_scale, 0.2, 0.05, (6000.0 / t_scale) as usize);
+        let mut r = sims8.measure(t_scale, 0.2, 0.05, (6000.0 / t_scale) as usize);
         r.sweep = "T";
         t2.row(vec![
             format!("{t_scale}"),
@@ -194,7 +272,7 @@ fn main() {
     let mut prev = 0.0_f64;
     let mut delta_ok = true;
     for delta in [0.4, 0.3, 0.2, 0.15, 0.1] {
-        let mut r = measure(8, 1.0, delta, 0.05, 12_000);
+        let mut r = sims8.measure(1.0, delta, 0.05, 12_000);
         r.sweep = "delta";
         t3.row(vec![
             format!("{delta}"),

@@ -15,6 +15,14 @@
 //! | E7 | `exp_equilibria_poa` | Wardrop background: Φ-minimisation, PoA |
 //! | E8 | `exp_beyond_smoothness` | reference \[10\]: elasticity-based relative-slack dynamics |
 //! | E9 | `exp_integrator_ablation` | integrator accuracy/work ablation (design choice) |
+//! | E10 | `exp_scenario_recovery` | post-shock recovery iff `T ≤ T*` on non-stationary scenarios |
+//!
+//! Beyond the per-claim binaries, **`wardrop-lab`** is the
+//! registry-driven scenario runner: `wardrop-lab [--smoke] [--list]
+//! [NAME…]` executes the named non-stationary scenarios of
+//! [`scenarios`] (`rush-hour`, `link-failure`, `flash-crowd`,
+//! `rolling-degradation`) end-to-end and emits per-epoch recovery and
+//! tracking-regret tables.
 //!
 //! Each binary prints aligned tables to stdout and, when the
 //! `WARDROP_RESULTS_DIR` environment variable is set, writes the same
@@ -22,6 +30,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod scenarios;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;

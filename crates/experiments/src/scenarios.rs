@@ -1,0 +1,373 @@
+//! The named non-stationary scenario registry behind `wardrop-lab`
+//! and experiment E10.
+//!
+//! Each [`NamedScenario`] bundles an instance, a phase-indexed
+//! [`Scenario`] of shocks, and a run configuration whose update period
+//! is chosen at the *worst-case* safe period across epochs
+//! (`T = min_k T*_k` with `T*_k = 1/(4 D α β_k)` for the epoch's
+//! mutated instance) — so Corollary 5 guarantees recovery after every
+//! shock. [`NamedScenario::run`] drives the fluid engine through the
+//! scenario and produces the per-epoch [`TrackingReport`].
+
+use serde::Serialize;
+use wardrop_analysis::tracking::{tracking_report, TrackingReport};
+use wardrop_core::engine::{run_scenario, SimulationConfig};
+use wardrop_core::policy::uniform_linear;
+use wardrop_core::theory::safe_update_period;
+use wardrop_core::trajectory::Trajectory;
+use wardrop_core::ReroutingPolicy;
+use wardrop_net::builders;
+use wardrop_net::instance::Instance;
+use wardrop_net::scenario::{Event, EventAction, Scenario};
+use wardrop_net::{EdgeId, FlowVec};
+
+/// A ready-to-run non-stationary workload.
+#[derive(Debug)]
+pub struct NamedScenario {
+    /// Registry key (`wardrop-lab <name>`).
+    pub name: &'static str,
+    /// One-line description for `--list` output.
+    pub description: &'static str,
+    /// The base instance the scenario mutates.
+    pub instance: Instance,
+    /// The shock sequence.
+    pub scenario: Scenario,
+    /// Update period of the run, `≤ min_k T*_k`.
+    pub update_period: f64,
+    /// Total phase budget (covers every epoch).
+    pub num_phases: usize,
+    /// The `δ` of the recovery notion: paths more than `δ` above their
+    /// commodity minimum count as unsatisfied. Coarser than the
+    /// default metric column because near-threshold paths drain on a
+    /// `ℓmax/(σ δ)` timescale — recovery within an epoch needs a `δ`
+    /// the policy can actually clear.
+    pub delta: f64,
+    /// The `ε` of the recovery notion (volume tolerance).
+    pub eps: f64,
+}
+
+/// Per-epoch row of the JSON artefact `wardrop-lab` / E10 emit.
+#[derive(Debug, Serialize)]
+pub struct EpochRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Epoch index.
+    pub epoch: usize,
+    /// First phase of the epoch.
+    pub start_phase: usize,
+    /// One past the epoch's last phase.
+    pub end_phase: usize,
+    /// Update period the run used.
+    pub update_period: f64,
+    /// The epoch instance's safe period `T*`.
+    pub safe_period: f64,
+    /// Certified per-epoch optimal potential.
+    pub optimum_potential: f64,
+    /// Phases until the epoch re-entered a `(δ,ε)`-equilibrium.
+    pub recovery_phases: Option<usize>,
+    /// Potential gap at the shock.
+    pub initial_gap: f64,
+    /// Potential gap at the epoch's end.
+    pub final_gap: f64,
+    /// Time-weighted accumulated potential gap of the epoch.
+    pub tracking_regret: f64,
+}
+
+impl NamedScenario {
+    /// Runs the scenario under uniform sampling + linear migration at
+    /// the registered update period and computes the tracking report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event fails to apply (registry scenarios are valid
+    /// by construction).
+    pub fn run(&self) -> (Trajectory, TrackingReport) {
+        let policy = uniform_linear(&self.instance);
+        let alpha = policy.smoothness().expect("linear migration is smooth");
+        let config = SimulationConfig::new(self.update_period, self.num_phases)
+            .with_deltas(vec![self.delta]);
+        let traj = run_scenario(
+            &self.instance,
+            &policy,
+            &FlowVec::uniform(&self.instance),
+            &config,
+            &self.scenario,
+        )
+        .expect("registry scenarios apply cleanly");
+        let report = tracking_report(&self.instance, &self.scenario, &traj, alpha, self.eps)
+            .expect("replay of a clean scenario cannot fail");
+        (traj, report)
+    }
+
+    /// Flattens a tracking report into JSON-ready rows.
+    pub fn rows(&self, report: &TrackingReport) -> Vec<EpochRow> {
+        report
+            .epochs
+            .iter()
+            .map(|e| EpochRow {
+                scenario: self.name.to_string(),
+                epoch: e.epoch,
+                start_phase: e.start_phase,
+                end_phase: e.end_phase,
+                update_period: self.update_period,
+                safe_period: e.safe_period,
+                optimum_potential: e.optimum_potential,
+                recovery_phases: e.recovery_phases,
+                initial_gap: e.initial_gap,
+                final_gap: e.final_gap,
+                tracking_regret: e.tracking_regret,
+            })
+            .collect()
+    }
+}
+
+/// The worst-case (smallest) safe period across the scenario's epochs
+/// for the uniform+linear policy on `instance`.
+fn min_safe_period(instance: &Instance, scenario: &Scenario) -> f64 {
+    let alpha = uniform_linear(instance)
+        .smoothness()
+        .expect("linear migration is smooth");
+    scenario
+        .epoch_instances(instance)
+        .expect("registry scenarios apply cleanly")
+        .iter()
+        .map(|inst| safe_update_period(inst, alpha))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Assembles a registry entry from a *timing-free* scenario template.
+///
+/// Epochs are sized in **time units**, not phases: the update period is
+/// the worst-case safe period across epochs (`T = min_k T*_k`), and
+/// each epoch then gets `⌈epoch_time / T⌉` phases. This keeps the
+/// wall-clock budget per epoch comparable across scenarios — a severe
+/// shock shrinks `T` and automatically receives proportionally more
+/// (shorter) phases, matching the `1/T` scaling of the Theorem 6
+/// bad-phase bound.
+///
+/// `make(l)` builds the scenario with epoch length `l` phases; the
+/// event *set* (and hence `min T*`) must not depend on `l`.
+fn assemble(
+    name: &'static str,
+    description: &'static str,
+    instance: Instance,
+    num_epochs: usize,
+    smoke: bool,
+    make: impl Fn(usize) -> Scenario,
+) -> NamedScenario {
+    let update_period = min_safe_period(&instance, &make(1));
+    let epoch_time = if smoke { 120.0 } else { 400.0 };
+    let l = (epoch_time / update_period).ceil() as usize;
+    NamedScenario {
+        name,
+        description,
+        scenario: make(l),
+        instance,
+        update_period,
+        num_phases: num_epochs * l,
+        delta: 0.25,
+        eps: 0.1,
+    }
+}
+
+/// Morning peak on a shared grid: commodity 0's demand surges from
+/// 0.5 to 0.75 while an arterial edge slows 2.5×, then both relax.
+pub fn rush_hour(smoke: bool) -> NamedScenario {
+    let instance = builders::multi_commodity_grid(3, 3, 5);
+    let edge = EdgeId::from_index(0);
+    assemble(
+        "rush-hour",
+        "demand surge + arterial slowdown on a shared grid, then relaxation",
+        instance,
+        3,
+        smoke,
+        |l| {
+            Scenario::new("rush-hour")
+                .with_event(Event {
+                    at_phase: l,
+                    label: "rush-hour onset".into(),
+                    actions: vec![
+                        EventAction::SetDemand {
+                            commodity: 0,
+                            demand: 0.75,
+                        },
+                        EventAction::ScaleLatency { edge, factor: 2.5 },
+                    ],
+                })
+                .with_event(Event {
+                    at_phase: 2 * l,
+                    label: "rush-hour relaxes".into(),
+                    actions: vec![
+                        EventAction::SetDemand {
+                            commodity: 0,
+                            demand: 0.5,
+                        },
+                        EventAction::ScaleLatency {
+                            edge,
+                            factor: 1.0 / 2.5,
+                        },
+                    ],
+                })
+        },
+    )
+}
+
+/// A link's latency jumps 8× (failure), then is repaired.
+pub fn link_failure(smoke: bool) -> NamedScenario {
+    let instance = builders::grid_network(3, 3, 17);
+    let edge = EdgeId::from_index(0);
+    assemble(
+        "link-failure",
+        "8× latency spike on a grid edge, then repair",
+        instance,
+        3,
+        smoke,
+        |l| {
+            Scenario::new("link-failure")
+                .with_event(Event::at(
+                    l,
+                    "link fails",
+                    EventAction::ScaleLatency { edge, factor: 8.0 },
+                ))
+                .with_event(Event::at(
+                    2 * l,
+                    "link repaired",
+                    EventAction::ScaleLatency {
+                        edge,
+                        factor: 1.0 / 8.0,
+                    },
+                ))
+        },
+    )
+}
+
+/// A one-sided demand shock: commodity 0 jumps from 0.5 to 0.9 of the
+/// total and stays there.
+pub fn flash_crowd(smoke: bool) -> NamedScenario {
+    let instance = builders::multi_commodity_grid(4, 4, 2024);
+    assemble(
+        "flash-crowd",
+        "permanent 0.5 → 0.9 demand shift between grid commodities",
+        instance,
+        2,
+        smoke,
+        |l| {
+            Scenario::new("flash-crowd").with_event(Event::at(
+                l,
+                "flash crowd arrives",
+                EventAction::SetDemand {
+                    commodity: 0,
+                    demand: 0.9,
+                },
+            ))
+        },
+    )
+}
+
+/// Staggered degradations: two parallel links slow 4× in turn, each
+/// repaired one epoch later.
+pub fn rolling_degradation(smoke: bool) -> NamedScenario {
+    let instance = builders::standard_random_links(8, 7);
+    let e0 = EdgeId::from_index(0);
+    let e1 = EdgeId::from_index(1);
+    assemble(
+        "rolling-degradation",
+        "staggered 4× degradations and repairs across parallel links",
+        instance,
+        5,
+        smoke,
+        |l| {
+            Scenario::new("rolling-degradation")
+                .with_event(Event::at(
+                    l,
+                    "link 0 degrades",
+                    EventAction::ScaleLatency {
+                        edge: e0,
+                        factor: 4.0,
+                    },
+                ))
+                .with_event(Event::at(
+                    2 * l,
+                    "link 1 degrades",
+                    EventAction::ScaleLatency {
+                        edge: e1,
+                        factor: 4.0,
+                    },
+                ))
+                .with_event(Event::at(
+                    3 * l,
+                    "link 0 repaired",
+                    EventAction::ScaleLatency {
+                        edge: e0,
+                        factor: 0.25,
+                    },
+                ))
+                .with_event(Event::at(
+                    4 * l,
+                    "link 1 repaired",
+                    EventAction::ScaleLatency {
+                        edge: e1,
+                        factor: 0.25,
+                    },
+                ))
+        },
+    )
+}
+
+/// Every registered scenario (the `--smoke` flag shortens epochs).
+pub fn all(smoke: bool) -> Vec<NamedScenario> {
+    vec![
+        rush_hour(smoke),
+        link_failure(smoke),
+        flash_crowd(smoke),
+        rolling_degradation(smoke),
+    ]
+}
+
+/// Looks up a scenario by registry name.
+pub fn by_name(name: &str, smoke: bool) -> Option<NamedScenario> {
+    all(smoke).into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names: Vec<_> = all(true).iter().map(|s| s.name).collect();
+        assert!(names.len() >= 3, "need at least three named scenarios");
+        for n in &names {
+            assert!(by_name(n, true).is_some());
+        }
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        assert!(by_name("no-such-scenario", true).is_none());
+    }
+
+    #[test]
+    fn registered_periods_respect_every_epoch_safe_period() {
+        for s in all(true) {
+            let worst = min_safe_period(&s.instance, &s.scenario);
+            assert!(
+                s.update_period <= worst + 1e-12,
+                "{}: T = {} exceeds min T* = {worst}",
+                s.name,
+                s.update_period
+            );
+            // The phase budget covers every event.
+            assert!(s.scenario.last_event_phase().unwrap() < s.num_phases);
+        }
+    }
+
+    #[test]
+    fn smoke_rush_hour_recovers_after_every_shock() {
+        let s = rush_hour(true);
+        let (traj, report) = s.run();
+        assert_eq!(traj.len(), s.num_phases);
+        assert!(report.all_recovered, "epochs: {:#?}", report.epochs);
+        assert_eq!(s.rows(&report).len(), report.epochs.len());
+    }
+}

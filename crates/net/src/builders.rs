@@ -114,6 +114,37 @@ pub fn two_class_links(m: usize, gap: f64) -> Instance {
     parallel_links(latencies)
 }
 
+/// The workspace's standard random parallel-link family:
+/// `random_parallel_links(m, 1.0, 0.2, 2.0, seed)`.
+///
+/// The benches, experiment binaries and property tests all sweep this
+/// one configuration so their measurements are comparable; keep the
+/// parameters in one place instead of repeating the magic numbers.
+pub fn standard_random_links(m: usize, seed: u64) -> Instance {
+    random_parallel_links(m, 1.0, 0.2, 2.0, seed)
+}
+
+/// The "funnel" family of the Theorem 6/7 comparison: one cheap link
+/// `ℓ(x) = x` plus `m − 1` expensive links `ℓ(x) = gap + x`.
+///
+/// All demand must funnel into the single good path, so uniform
+/// sampling (inflow throttled by `σ = 1/m`) pays Theorem 6's `m`-factor
+/// while proportional sampling stays `m`-independent (Theorem 7).
+///
+/// # Panics
+///
+/// Panics unless `m ≥ 2` and `gap > 0` finite.
+pub fn funnel_links(m: usize, gap: f64) -> Instance {
+    assert!(m >= 2, "need at least one expensive link");
+    assert!(gap.is_finite() && gap > 0.0, "gap must be positive");
+    let mut latencies = vec![Latency::Affine { a: 0.0, b: 1.0 }];
+    latencies.extend(std::iter::repeat_n(
+        Latency::Affine { a: gap, b: 1.0 },
+        m - 1,
+    ));
+    parallel_links(latencies)
+}
+
 /// Random parallel-link instance with affine latencies
 /// `ℓ_j(x) = a_j + b_j x`, `a_j ∈ [0, a_max]`, `b_j ∈ [b_min, b_max]`.
 ///
@@ -353,6 +384,22 @@ mod tests {
     #[should_panic(expected = "even number")]
     fn two_class_links_rejects_odd_m() {
         let _ = two_class_links(3, 0.5);
+    }
+
+    #[test]
+    fn standard_random_links_matches_parameters() {
+        let a = standard_random_links(5, 42);
+        let b = random_parallel_links(5, 1.0, 0.2, 2.0, 42);
+        assert_eq!(a.latencies(), b.latencies());
+    }
+
+    #[test]
+    fn funnel_links_shape() {
+        let inst = funnel_links(8, 0.75);
+        assert_eq!(inst.num_paths(), 8);
+        assert_eq!(inst.latencies()[0], Latency::Affine { a: 0.0, b: 1.0 });
+        assert_eq!(inst.latencies()[7], Latency::Affine { a: 0.75, b: 1.0 });
+        assert!((inst.latency_upper_bound() - 1.75).abs() < 1e-12);
     }
 
     #[test]

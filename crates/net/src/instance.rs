@@ -62,6 +62,10 @@ pub struct Instance {
     edge_path_ids: Vec<PathId>,
     /// Owning commodity per path (O(1) `commodity_of_path`).
     path_commodity: Vec<u32>,
+    /// Per-path at-capacity latency `Σ_{e ∈ P} ℓ_e(1)` — the cached
+    /// summands of `ℓmax`, kept so [`Instance::set_latency`] can refresh
+    /// the bound in `O(deg(e) + |P|)` instead of re-walking the CSR.
+    path_cap_latencies: Vec<f64>,
     max_path_len: usize,
     slope_bound: f64,
     latency_upper_bound: f64,
@@ -188,7 +192,7 @@ impl Instance {
             .iter()
             .map(Latency::slope_bound)
             .fold(0.0, f64::max);
-        let latency_upper_bound = paths
+        let path_cap_latencies: Vec<f64> = paths
             .iter()
             .map(|p| {
                 p.edges()
@@ -196,7 +200,8 @@ impl Instance {
                     .map(|e| latencies[e.index()].at_capacity())
                     .sum()
             })
-            .fold(0.0_f64, f64::max);
+            .collect();
+        let latency_upper_bound = path_cap_latencies.iter().copied().fold(0.0_f64, f64::max);
 
         Ok(Instance {
             graph,
@@ -209,6 +214,7 @@ impl Instance {
             edge_path_offsets,
             edge_path_ids,
             path_commodity,
+            path_cap_latencies,
             max_path_len,
             slope_bound,
             latency_upper_bound,
@@ -370,6 +376,143 @@ impl Instance {
     #[inline]
     pub fn latency_upper_bound(&self) -> f64 {
         self.latency_upper_bound
+    }
+
+    /// Replaces the latency function of edge `e`, incrementally
+    /// refreshing the cached invariants.
+    ///
+    /// The graph, paths and CSR incidences are untouched (latency
+    /// changes never alter the path sets), so the update costs
+    /// `O(|E| + deg(e) + |P|)`: the slope bound is re-folded over the
+    /// edges, and `ℓmax` is refreshed through the cached per-path
+    /// at-capacity sums, touching only the paths using `e`. No heap
+    /// allocation is performed, which keeps scenario reconfiguration
+    /// compatible with the engine's zero-allocation steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidLatency`] if `latency` violates the
+    /// standing assumptions, or [`NetError::Inconsistent`] if `e` is not
+    /// an edge of the graph. The instance is unchanged on error.
+    pub fn set_latency(&mut self, e: EdgeId, latency: Latency) -> Result<(), NetError> {
+        if e.index() >= self.graph.edge_count() {
+            return Err(NetError::Inconsistent(format!(
+                "edge {} out of range for {} edges",
+                e.index(),
+                self.graph.edge_count()
+            )));
+        }
+        latency.validate()?;
+        let old_cap = self.latencies[e.index()].at_capacity();
+        let delta_cap = latency.at_capacity() - old_cap;
+        self.latencies[e.index()] = latency;
+
+        // β = max_e sup ℓ'_e: one fold over the edges (the replaced edge
+        // may have carried the old maximum).
+        self.slope_bound = self
+            .latencies
+            .iter()
+            .map(Latency::slope_bound)
+            .fold(0.0, f64::max);
+
+        // ℓmax: shift the cached at-capacity sum of every path using e,
+        // then re-fold the per-path maxima.
+        if delta_cap != 0.0 {
+            let lo = self.edge_path_offsets[e.index()] as usize;
+            let hi = self.edge_path_offsets[e.index() + 1] as usize;
+            for p in &self.edge_path_ids[lo..hi] {
+                self.path_cap_latencies[p.index()] += delta_cap;
+            }
+        }
+        self.latency_upper_bound = self
+            .path_cap_latencies
+            .iter()
+            .copied()
+            .fold(0.0_f64, f64::max);
+        Ok(())
+    }
+
+    /// Scales the latency function of edge `e` by `factor` (see
+    /// [`Latency::scaled`]) — the scenario-event form of link
+    /// degradation (`factor > 1`) and repair (`factor < 1`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Instance::set_latency`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scale_latency(&mut self, e: EdgeId, factor: f64) -> Result<(), NetError> {
+        if e.index() >= self.graph.edge_count() {
+            return Err(NetError::Inconsistent(format!(
+                "edge {} out of range for {} edges",
+                e.index(),
+                self.graph.edge_count()
+            )));
+        }
+        let scaled = self.latencies[e.index()].scaled(factor);
+        self.set_latency(e, scaled)
+    }
+
+    /// Sets the demand of commodity `i` to `demand`, rescaling the
+    /// remaining commodities proportionally so the paper's
+    /// normalisation `Σ_j r_j = 1` keeps holding.
+    ///
+    /// This is the scenario-event form of demand surges: a flash crowd
+    /// on commodity `i` raises its *share* of the unit total while the
+    /// background traffic shrinks correspondingly. With a single
+    /// commodity the only admissible demand is `1.0` (the normalisation
+    /// leaves nothing to trade against).
+    ///
+    /// Path sets, CSR incidences and latency invariants are untouched;
+    /// existing flows become infeasible and must be rescaled by the
+    /// caller (the engine's `apply_event` does this per commodity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidCommodity`] if `i` is out of range,
+    /// `demand` is not in `(0, 1)` (or `≠ 1` for single-commodity
+    /// instances). The instance is unchanged on error.
+    pub fn set_demand(&mut self, i: usize, demand: f64) -> Result<(), NetError> {
+        let k = self.commodities.len();
+        if i >= k {
+            return Err(NetError::InvalidCommodity(format!(
+                "commodity {i} out of range for {k} commodities"
+            )));
+        }
+        if !demand.is_finite() || demand <= 0.0 {
+            return Err(NetError::InvalidCommodity(format!(
+                "demand must be positive and finite, got {demand}"
+            )));
+        }
+        if k == 1 {
+            if (demand - 1.0).abs() > DEMAND_TOLERANCE {
+                return Err(NetError::InvalidCommodity(
+                    "single-commodity demand is pinned to 1 by the paper's normalisation".into(),
+                ));
+            }
+            self.commodities[0].demand = 1.0;
+            return Ok(());
+        }
+        if demand >= 1.0 {
+            return Err(NetError::InvalidCommodity(format!(
+                "demand {demand} leaves no mass for the other {} commodities",
+                k - 1
+            )));
+        }
+        let old = self.commodities[i].demand;
+        let others = 1.0 - old;
+        debug_assert!(others > 0.0, "validated demands keep every r_j > 0");
+        let scale = (1.0 - demand) / others;
+        for (j, c) in self.commodities.iter_mut().enumerate() {
+            if j == i {
+                c.demand = demand;
+            } else {
+                c.demand *= scale;
+            }
+        }
+        Ok(())
     }
 
     /// Grid estimate of the instance's elasticity bound
@@ -573,6 +716,119 @@ mod tests {
         assert_eq!(inst.incidence_count(), total);
         for (idx, p) in inst.paths().iter().enumerate() {
             assert_eq!(inst.path_edges(PathId::from_index(idx)), p.edges());
+        }
+    }
+
+    /// Reference reconstruction: an instance freshly built from the
+    /// mutated graph/latencies/commodities.
+    fn rebuild(inst: &Instance) -> Instance {
+        Instance::new(
+            inst.graph().clone(),
+            inst.latencies().to_vec(),
+            inst.commodities().to_vec(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn set_latency_refreshes_bounds_incrementally() {
+        let mut inst = crate::builders::braess();
+        // Edge 1 (s→b, constant 1) becomes steep: slope and ℓmax move.
+        inst.set_latency(EdgeId::from_index(1), Latency::Affine { a: 1.0, b: 9.0 })
+            .unwrap();
+        let fresh = rebuild(&inst);
+        assert_eq!(inst.slope_bound(), fresh.slope_bound());
+        assert_eq!(inst.latency_upper_bound(), fresh.latency_upper_bound());
+        assert_eq!(inst.slope_bound(), 9.0);
+        // Replacing the maximum-slope edge with a flat one shrinks β.
+        inst.set_latency(EdgeId::from_index(1), Latency::Constant(1.0))
+            .unwrap();
+        let fresh = rebuild(&inst);
+        assert_eq!(inst.slope_bound(), fresh.slope_bound());
+        assert_eq!(inst.latency_upper_bound(), fresh.latency_upper_bound());
+        assert_eq!(inst.slope_bound(), 1.0);
+    }
+
+    #[test]
+    fn scale_latency_round_trips_bounds() {
+        let mut inst = crate::builders::grid_network(3, 3, 7);
+        let before_beta = inst.slope_bound();
+        let before_lmax = inst.latency_upper_bound();
+        let e = EdgeId::from_index(2);
+        inst.scale_latency(e, 25.0).unwrap();
+        assert!(inst.slope_bound() >= before_beta);
+        let fresh = rebuild(&inst);
+        assert!((inst.latency_upper_bound() - fresh.latency_upper_bound()).abs() < 1e-12);
+        inst.scale_latency(e, 1.0 / 25.0).unwrap();
+        assert!((inst.slope_bound() - before_beta).abs() < 1e-9 * before_beta.max(1.0));
+        assert!((inst.latency_upper_bound() - before_lmax).abs() < 1e-9 * before_lmax.max(1.0));
+    }
+
+    #[test]
+    fn set_latency_rejects_invalid_inputs() {
+        let mut inst = crate::builders::pigou();
+        let err = inst
+            .set_latency(EdgeId::from_index(0), Latency::Constant(-1.0))
+            .unwrap_err();
+        assert!(matches!(err, NetError::InvalidLatency(_)));
+        let err = inst
+            .set_latency(EdgeId::from_index(9), Latency::identity())
+            .unwrap_err();
+        assert!(matches!(err, NetError::Inconsistent(_)));
+        // Untouched on error.
+        assert_eq!(inst.latency(EdgeId::from_index(0)), &Latency::identity());
+    }
+
+    #[test]
+    fn set_demand_renormalises_other_commodities() {
+        let mut inst = crate::builders::multi_commodity_grid(3, 3, 5);
+        inst.set_demand(0, 0.75).unwrap();
+        let demands: Vec<f64> = inst.commodities().iter().map(|c| c.demand).collect();
+        assert!((demands[0] - 0.75).abs() < 1e-12);
+        assert!((demands.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((demands[1] - 0.25).abs() < 1e-12);
+        // Back to the even split.
+        inst.set_demand(0, 0.5).unwrap();
+        assert!((inst.commodities()[1].demand - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_demand_rejects_degenerate_targets() {
+        let mut inst = crate::builders::multi_commodity_grid(3, 3, 5);
+        assert!(inst.set_demand(0, 0.0).is_err());
+        assert!(inst.set_demand(0, 1.0).is_err());
+        assert!(inst.set_demand(0, f64::NAN).is_err());
+        assert!(inst.set_demand(7, 0.5).is_err());
+        // Untouched on error.
+        assert!((inst.commodities()[0].demand - 0.5).abs() < 1e-12);
+
+        let mut single = crate::builders::pigou();
+        assert!(single.set_demand(0, 0.5).is_err());
+        assert!(single.set_demand(0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn mutated_instance_matches_fresh_construction() {
+        let mut inst = crate::builders::multi_commodity_grid(3, 3, 11);
+        inst.set_demand(1, 0.3).unwrap();
+        inst.scale_latency(EdgeId::from_index(0), 4.0).unwrap();
+        inst.set_latency(EdgeId::from_index(3), Latency::Constant(2.5))
+            .unwrap();
+        let fresh = rebuild(&inst);
+        assert_eq!(inst.slope_bound(), fresh.slope_bound());
+        // The incremental ℓmax update re-associates float additions;
+        // agreement is up to round-off.
+        assert!(
+            (inst.latency_upper_bound() - fresh.latency_upper_bound()).abs()
+                < 1e-12 * fresh.latency_upper_bound().max(1.0)
+        );
+        assert_eq!(inst.latencies(), fresh.latencies());
+        for (a, b) in inst.commodities().iter().zip(fresh.commodities()) {
+            assert_eq!(a.demand, b.demand);
+        }
+        // CSR incidence untouched by mutation.
+        for p in inst.path_ids() {
+            assert_eq!(inst.path_edges(p), fresh.path_edges(p));
         }
     }
 

@@ -77,6 +77,18 @@ pub enum Latency {
         /// Service capacity `c > 1`.
         capacity: f64,
     },
+    /// A uniformly scaled latency `ℓ(x) = factor · inner(x)`.
+    ///
+    /// Produced by [`Latency::scaled`] for families that have no
+    /// closed-form scaled member (M/M/1). Scenario events use scaling to
+    /// model link degradation and repair; scaling preserves every
+    /// standing assumption and multiplies the slope bound by `factor`.
+    Scaled {
+        /// Non-negative scale factor.
+        factor: f64,
+        /// The unscaled latency function.
+        inner: Box<Latency>,
+    },
 }
 
 impl Latency {
@@ -98,6 +110,50 @@ impl Latency {
         Latency::PiecewiseLinear(vec![(0.0, 0.0), (0.5, 0.0), (1.0, beta / 2.0)])
     }
 
+    /// The latency `x ↦ factor · ℓ(x)`, staying inside the closed-form
+    /// family whenever one exists.
+    ///
+    /// Constant, affine, polynomial, BPR and piecewise-linear latencies
+    /// scale coefficient-wise; M/M/1 (and already-scaled functions)
+    /// wrap into / flatten the [`Latency::Scaled`] variant. Scenario
+    /// events use this to degrade and repair links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite (a scaled latency
+    /// must stay non-negative and non-decreasing).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        match self {
+            Latency::Constant(a) => Latency::Constant(a * factor),
+            Latency::Affine { a, b } => Latency::Affine {
+                a: a * factor,
+                b: b * factor,
+            },
+            Latency::Polynomial(c) => Latency::Polynomial(c.iter().map(|ci| ci * factor).collect()),
+            Latency::Bpr { t0, coef, pow } => Latency::Bpr {
+                t0: t0 * factor,
+                coef: *coef,
+                pow: *pow,
+            },
+            Latency::PiecewiseLinear(pts) => {
+                Latency::PiecewiseLinear(pts.iter().map(|(x, y)| (*x, y * factor)).collect())
+            }
+            Latency::Mm1 { .. } => Latency::Scaled {
+                factor,
+                inner: Box::new(self.clone()),
+            },
+            Latency::Scaled { factor: f0, inner } => Latency::Scaled {
+                factor: f0 * factor,
+                inner: inner.clone(),
+            },
+        }
+    }
+
     /// Evaluates `ℓ(x)`.
     ///
     /// `x` is clamped to `[0, 1]`; latency functions are only specified
@@ -111,6 +167,7 @@ impl Latency {
             Latency::Bpr { t0, coef, pow } => t0 * (1.0 + coef * x.powi(*pow as i32)),
             Latency::PiecewiseLinear(pts) => piecewise_eval(pts, x),
             Latency::Mm1 { capacity } => 1.0 / (capacity - x),
+            Latency::Scaled { factor, inner } => factor * inner.eval(x),
         }
     }
 
@@ -137,6 +194,7 @@ impl Latency {
             Latency::PiecewiseLinear(pts) => piecewise_primitive(pts, x),
             // ∫₀^x du/(c−u) = ln(c) − ln(c−x).
             Latency::Mm1 { capacity } => capacity.ln() - (capacity - x).ln(),
+            Latency::Scaled { factor, inner } => factor * inner.primitive(x),
         }
     }
 
@@ -171,6 +229,7 @@ impl Latency {
                 let d = capacity - x;
                 1.0 / (d * d)
             }
+            Latency::Scaled { factor, inner } => factor * inner.derivative(x),
         }
     }
 
@@ -199,6 +258,7 @@ impl Latency {
                 let d = capacity - 1.0;
                 1.0 / (d * d)
             }
+            Latency::Scaled { factor, inner } => factor * inner.slope_bound(),
         }
     }
 
@@ -243,6 +303,12 @@ impl Latency {
                 if !finite(*capacity) || *capacity <= 1.0 {
                     return bad("M/M/1 latency requires capacity > 1 so ℓ(1) is finite");
                 }
+            }
+            Latency::Scaled { factor, inner } => {
+                if !finite(*factor) || *factor < 0.0 {
+                    return bad("scaled latency requires a finite factor ≥ 0");
+                }
+                inner.validate()?;
             }
             Latency::PiecewiseLinear(pts) => {
                 if pts.len() < 2 {
@@ -338,6 +404,7 @@ impl fmt::Display for Latency {
             Latency::Bpr { t0, coef, pow } => write!(f, "{t0}(1 + {coef}x^{pow})"),
             Latency::PiecewiseLinear(pts) => write!(f, "pwl{pts:?}"),
             Latency::Mm1 { capacity } => write!(f, "1/({capacity} - x)"),
+            Latency::Scaled { factor, inner } => write!(f, "{factor}·({inner})"),
         }
     }
 }
@@ -597,6 +664,98 @@ mod tests {
     #[test]
     fn elasticity_zero_for_constant() {
         assert_eq!(Latency::Constant(3.0).elasticity_bound_estimate(32), 0.0);
+    }
+
+    #[test]
+    fn scaled_stays_in_family_for_closed_forms() {
+        assert_eq!(Latency::Constant(2.0).scaled(3.0), Latency::Constant(6.0));
+        assert_eq!(
+            Latency::Affine { a: 1.0, b: 2.0 }.scaled(0.5),
+            Latency::Affine { a: 0.5, b: 1.0 }
+        );
+        assert_eq!(
+            Latency::Polynomial(vec![1.0, 2.0]).scaled(2.0),
+            Latency::Polynomial(vec![2.0, 4.0])
+        );
+        assert_eq!(
+            Latency::Bpr {
+                t0: 1.0,
+                coef: 0.15,
+                pow: 4
+            }
+            .scaled(2.0),
+            Latency::Bpr {
+                t0: 2.0,
+                coef: 0.15,
+                pow: 4
+            }
+        );
+        assert_eq!(
+            Latency::oscillator(2.0).scaled(2.0),
+            Latency::oscillator(4.0)
+        );
+    }
+
+    #[test]
+    fn scaled_matches_pointwise_product_for_all_families() {
+        let fns = vec![
+            Latency::Constant(2.0),
+            Latency::Affine { a: 0.5, b: 3.0 },
+            Latency::Polynomial(vec![0.1, 0.0, 2.0]),
+            Latency::Bpr {
+                t0: 2.0,
+                coef: 0.5,
+                pow: 3,
+            },
+            Latency::oscillator(2.0),
+            Latency::Mm1 { capacity: 1.5 },
+        ];
+        for l in fns {
+            let k = 2.5;
+            let s = l.scaled(k);
+            s.validate().unwrap();
+            for &x in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+                assert_close(s.eval(x), k * l.eval(x), 1e-12);
+                assert_close(s.primitive(x), k * l.primitive(x), 1e-12);
+                assert_close(s.derivative(x), k * l.derivative(x), 1e-12);
+            }
+            assert_close(s.slope_bound(), k * l.slope_bound(), 1e-12);
+            assert!(!format!("{s}").is_empty());
+        }
+    }
+
+    #[test]
+    fn scaling_a_scaled_latency_flattens() {
+        let l = Latency::Mm1 { capacity: 2.0 }.scaled(2.0).scaled(3.0);
+        match &l {
+            Latency::Scaled { factor, inner } => {
+                assert_close(*factor, 6.0, 1e-12);
+                assert_eq!(**inner, Latency::Mm1 { capacity: 2.0 });
+            }
+            other => panic!("expected flattened Scaled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scaled_validate_rejects_bad_factor_and_inner() {
+        assert!(Latency::Scaled {
+            factor: f64::NAN,
+            inner: Box::new(Latency::identity()),
+        }
+        .validate()
+        .is_err());
+        assert!(Latency::Scaled {
+            factor: 1.0,
+            inner: Box::new(Latency::Constant(-1.0)),
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_negative_factor() {
+        let _ = Latency::identity().scaled(-1.0);
     }
 
     #[test]

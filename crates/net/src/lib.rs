@@ -25,7 +25,10 @@
 //! * the paper's [equilibrium notions](equilibrium) (Wardrop, `(δ,ε)`,
 //!   weak `(δ,ε)`);
 //! * canonical and random [instance builders](builders) (Pigou, Braess,
-//!   the §3.2 oscillator, parallel links, grids, layered networks).
+//!   the §3.2 oscillator, parallel links, grids, layered networks);
+//! * non-stationary [scenarios](scenario): phase-indexed demand and
+//!   latency [events](scenario::Event) applied through controlled
+//!   instance mutation (`set_demand`, `set_latency`, `scale_latency`).
 //!
 //! # Examples
 //!
@@ -54,6 +57,7 @@ pub mod latency;
 pub mod path;
 pub mod potential;
 pub mod rng;
+pub mod scenario;
 pub mod shortest_path;
 
 pub use commodity::Commodity;
@@ -64,4 +68,5 @@ pub use graph::{Edge, EdgeId, Graph, NodeId};
 pub use instance::Instance;
 pub use latency::Latency;
 pub use path::{Path, PathId};
+pub use scenario::{DemandSchedule, Event, EventAction, LatencyModulation, Scenario};
 pub use shortest_path::{dijkstra, ShortestPaths};

@@ -52,16 +52,19 @@ pub use wardrop_net as net;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use wardrop_agents::sim::{run_agents, AgentPolicy, AgentSimConfig};
+    pub use wardrop_agents::sim::{run_agents, run_agents_scenario, AgentPolicy, AgentSimConfig};
     pub use wardrop_analysis::frank_wolfe::{minimise, FrankWolfeConfig, Objective};
     pub use wardrop_analysis::metrics::{bad_phase_count, summarise, EquilibriumKind};
     pub use wardrop_analysis::oscillation::{amplitude, detect_orbit, OrbitKind};
     pub use wardrop_analysis::poa::price_of_anarchy;
     pub use wardrop_analysis::rates::potential_decay_rate;
     pub use wardrop_analysis::regret::population_regret;
+    pub use wardrop_analysis::tracking::{tracking_report, TrackingReport};
     pub use wardrop_core::best_response::BestResponse;
     pub use wardrop_core::board::BulletinBoard;
-    pub use wardrop_core::engine::{run, Dynamics, PhaseSchedule, SimulationConfig};
+    pub use wardrop_core::engine::{
+        run, run_scenario, Dynamics, PhaseSchedule, Simulation, SimulationConfig,
+    };
     pub use wardrop_core::integrator::Integrator;
     pub use wardrop_core::migration::{
         BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear,
@@ -77,5 +80,8 @@ pub mod prelude {
     pub use wardrop_net::equilibrium::{is_approx_equilibrium, is_wardrop_equilibrium, max_regret};
     pub use wardrop_net::flow::FlowVec;
     pub use wardrop_net::potential::{potential, virtual_gain};
-    pub use wardrop_net::{Commodity, Graph, Instance, Latency, NetError, PathId};
+    pub use wardrop_net::scenario::{
+        DemandSchedule, Event, EventAction, LatencyModulation, Scenario,
+    };
+    pub use wardrop_net::{Commodity, EdgeId, Graph, Instance, Latency, NetError, PathId};
 }

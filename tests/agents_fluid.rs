@@ -44,7 +44,7 @@ fn empirical_flows_approach_fluid_limit() {
 /// process tracks the fluid guarantee).
 #[test]
 fn agent_bad_phases_respect_theorem6_shape() {
-    let inst = builders::random_parallel_links(4, 1.0, 0.2, 2.0, 9);
+    let inst = builders::standard_random_links(4, 9);
     let alpha = 1.0 / inst.latency_upper_bound();
     let t = safe_update_period(&inst, alpha).min(1.0);
     let (delta, eps) = (0.3, 0.1);

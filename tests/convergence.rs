@@ -11,7 +11,7 @@ fn smooth_policies_reach_ground_truth_potential() {
         builders::pigou(),
         builders::braess(),
         builders::two_link_oscillator(2.0),
-        builders::random_parallel_links(5, 1.0, 0.2, 2.0, 8),
+        builders::standard_random_links(5, 8),
         builders::grid_network(3, 3, 8),
     ];
     for inst in &instances {
@@ -57,7 +57,7 @@ fn lemma4_holds_on_multi_commodity_grid() {
 /// Theorem 6/7 bounds dominate measured bad-phase counts end to end.
 #[test]
 fn theorem_bounds_dominate_measured_counts() {
-    let inst = builders::random_parallel_links(6, 1.0, 0.2, 2.0, 21);
+    let inst = builders::standard_random_links(6, 21);
     let alpha = 1.0 / inst.latency_upper_bound();
     let t = safe_update_period(&inst, alpha).min(1.0);
     let (delta, eps) = (0.2, 0.05);

@@ -338,6 +338,90 @@ proptest! {
         prop_assert!(is_wardrop_equilibrium(&inst, &eq.flow, 1e-2));
     }
 
+    /// Scenario mutations are semantically transparent: after a random
+    /// sequence of `scale_latency` / `set_latency` / `set_demand`
+    /// events, the mutated instance evaluates exactly like a fresh
+    /// `Instance::new` built from the mutated graph, latencies and
+    /// commodities — same cached invariants (up to the incremental
+    /// update's float re-association), same fused evaluation, and the
+    /// same engine trajectory phase by phase.
+    #[test]
+    fn post_event_instance_matches_fresh_construction(
+        inst in arb_layered_instance(),
+        scales in proptest::collection::vec((0usize..64, 0.25f64..4.0), 1..5),
+        new_a in 0.0f64..2.0,
+        t in 0.01f64..0.3,
+    ) {
+        let mut mutated = inst.clone();
+        for (e, k) in &scales {
+            let edge = EdgeId::from_index(e % mutated.num_edges());
+            mutated.scale_latency(edge, *k).expect("valid scale");
+        }
+        mutated
+            .set_latency(
+                EdgeId::from_index(0),
+                Latency::Affine { a: new_a, b: 1.0 },
+            )
+            .expect("valid latency");
+        let fresh = Instance::new(
+            mutated.graph().clone(),
+            mutated.latencies().to_vec(),
+            mutated.commodities().to_vec(),
+        )
+        .expect("mutated data stays valid");
+
+        // Cached invariants agree.
+        prop_assert_eq!(mutated.slope_bound(), fresh.slope_bound());
+        prop_assert!(
+            (mutated.latency_upper_bound() - fresh.latency_upper_bound()).abs()
+                <= 1e-12 * fresh.latency_upper_bound().max(1.0)
+        );
+
+        // The fused evaluation is bit-identical.
+        let f = FlowVec::uniform(&mutated);
+        let mut ws_mut = wardrop::net::eval::EvalWorkspace::new(&mutated);
+        let mut ws_fresh = wardrop::net::eval::EvalWorkspace::new(&fresh);
+        ws_mut.evaluate(&mutated, &f);
+        ws_fresh.evaluate(&fresh, &f);
+        prop_assert_eq!(ws_mut.path_latencies(), ws_fresh.path_latencies());
+        prop_assert_eq!(ws_mut.potential(), ws_fresh.potential());
+
+        // And so is a short engine run.
+        let policy = uniform_linear(&mutated);
+        let config = SimulationConfig::new(t, 10);
+        let a = run(&mutated, &policy, &f, &config);
+        let b = run(&fresh, &policy, &f, &config);
+        prop_assert_eq!(a.phases, b.phases);
+        prop_assert_eq!(a.final_flow, b.final_flow);
+    }
+
+    /// Demand events preserve the unit normalisation and rescale
+    /// engine flows into feasibility for the mutated instance.
+    #[test]
+    fn post_demand_event_matches_fresh_construction(
+        seed in 0u64..500,
+        demand in 0.05f64..0.95,
+    ) {
+        let inst = builders::multi_commodity_grid(2, 3, seed);
+        let mut mutated = inst.clone();
+        mutated.set_demand(0, demand).expect("valid demand");
+        let total: f64 = mutated.commodities().iter().map(|c| c.demand).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let fresh = Instance::new(
+            mutated.graph().clone(),
+            mutated.latencies().to_vec(),
+            mutated.commodities().to_vec(),
+        )
+        .expect("renormalised demands stay valid");
+        let f = FlowVec::uniform(&mutated);
+        prop_assert!(f.is_feasible(&fresh, 1e-9));
+        let policy = uniform_linear(&mutated);
+        let config = SimulationConfig::new(0.1, 5);
+        let a = run(&mutated, &policy, &f, &config);
+        let b = run(&fresh, &policy, &f, &config);
+        prop_assert_eq!(a.phases, b.phases);
+    }
+
     /// Agent populations round-trip through flows within 1/N.
     #[test]
     fn population_round_trip(

@@ -37,6 +37,7 @@ fn all_latency_variants_round_trip() {
         },
         Latency::oscillator(2.0),
         Latency::Mm1 { capacity: 1.7 },
+        Latency::Mm1 { capacity: 1.7 }.scaled(2.5),
     ];
     for l in &variants {
         let back: Latency = round_trip(l);
@@ -97,6 +98,65 @@ fn configs_round_trip() {
     let agents = AgentSimConfig::new(1000, 0.5, 50, 7).with_flows();
     let back: AgentSimConfig = round_trip(&agents);
     assert_eq!(back, agents);
+}
+
+#[test]
+fn scenarios_round_trip() {
+    let scenario = Scenario::new("round-trip")
+        .with_demand_schedule(0, &DemandSchedule::pulse(0.5, 0.8, 10, 10))
+        .with_event(Event::at(
+            5,
+            "degrade",
+            EventAction::ScaleLatency {
+                edge: EdgeId::from_index(1),
+                factor: 3.0,
+            },
+        ))
+        .with_event(Event::at(
+            7,
+            "replace",
+            EventAction::SetLatency {
+                edge: EdgeId::from_index(0),
+                latency: Latency::Mm1 { capacity: 2.0 }.scaled(1.5),
+            },
+        ));
+    let back: Scenario = round_trip(&scenario);
+    assert_eq!(back, scenario);
+    // Replaying the deserialised scenario mutates instances identically.
+    let inst = builders::multi_commodity_grid(3, 3, 5);
+    let a = scenario.epoch_instances(&inst).unwrap();
+    let b = back.epoch_instances(&inst).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.latencies(), y.latencies());
+        assert_eq!(x.commodities(), y.commodities());
+    }
+    // Schedules and modulations are data too.
+    let back: DemandSchedule = round_trip(&DemandSchedule::step(0.5, 3, 0.7));
+    assert_eq!(back.demand_at(4), 0.7);
+    let back: LatencyModulation = round_trip(&LatencyModulation::pulse(4.0, 2, 3));
+    assert_eq!(back.factor_at(2), 4.0);
+}
+
+#[test]
+fn scenario_trajectory_round_trips_with_epochs() {
+    let inst = builders::multi_commodity_grid(3, 3, 5);
+    let scenario =
+        Scenario::new("pulse").with_demand_schedule(0, &DemandSchedule::pulse(0.5, 0.8, 5, 5));
+    let config = SimulationConfig::new(0.1, 15).with_record_stride(5);
+    let traj = run_scenario(
+        &inst,
+        &uniform_linear(&inst),
+        &FlowVec::uniform(&inst),
+        &config,
+        &scenario,
+    )
+    .unwrap();
+    let back: Trajectory = round_trip(&traj);
+    assert_eq!(back, traj);
+    assert_eq!(back.num_epochs(), 3);
+    assert_eq!(back.flow_stride, 5);
+    assert_eq!(back.epoch_ranges(), traj.epoch_ranges());
 }
 
 #[test]
