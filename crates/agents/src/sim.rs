@@ -141,6 +141,55 @@ pub fn run_agents(
         .expect("static agent runs cannot fail event application")
 }
 
+/// Per-phase sampling cache: the board is frozen within a phase, so
+/// every activation of a commodity draws from the *same* sampling
+/// distribution. Instead of refilling a weight buffer per activation
+/// (O(n) each), the cumulative weights are built once per board post
+/// and each activation samples by binary search — O(log n), the
+/// agent-side analogue of the engine's matrix-free phase rates.
+#[derive(Debug, Default)]
+struct SamplingCache {
+    /// Flat per-path cumulative weights, partial-summed within each
+    /// commodity's range.
+    cum: Vec<f64>,
+    /// Per-commodity total weight (0 ⇒ degenerate, fall back to
+    /// uniform).
+    totals: Vec<f64>,
+}
+
+impl SamplingCache {
+    /// Rebuilds the cumulative weights from the freshly posted board.
+    fn rebuild(&mut self, instance: &Instance, board: &BulletinBoard, sampling: &dyn SamplingRule) {
+        self.cum.resize(instance.num_paths(), 0.0);
+        self.totals.resize(instance.num_commodities(), 0.0);
+        for i in 0..instance.num_commodities() {
+            let range = instance.commodity_paths(i);
+            let slice = &mut self.cum[range];
+            sampling.fill_weights(instance, board, i, slice);
+            let mut acc = 0.0;
+            for w in slice.iter_mut() {
+                acc += *w;
+                *w = acc;
+            }
+            self.totals[i] = acc;
+        }
+    }
+
+    /// Draws a local path index for `commodity` (uniform fallback when
+    /// the distribution is degenerate, e.g. proportional sampling with
+    /// all board flow extinct).
+    fn sample(&self, instance: &Instance, commodity: usize, rng: &mut StdRng) -> usize {
+        let range = instance.commodity_paths(commodity);
+        let total = self.totals[commodity];
+        if total <= 0.0 {
+            return rng.random_range(0..range.len());
+        }
+        let u = rng.random_range(0.0..total);
+        let slice = &self.cum[range];
+        slice.partition_point(|&c| c <= u).min(slice.len() - 1)
+    }
+}
+
 /// Runs the finite-population simulation through a non-stationary
 /// [`Scenario`]: events fire at board updates, mutating a private copy
 /// of the instance, and demand events additionally *churn the
@@ -196,7 +245,7 @@ pub fn run_agents_scenario(
     let mut phases: Vec<PhaseRecord> = Vec::with_capacity(config.num_phases);
     let mut flows = Vec::new();
     let mut board: Option<BulletinBoard> = None;
-    let mut weights_buf: Vec<f64> = Vec::new();
+    let mut sampling_cache = SamplingCache::default();
     let mut open_phase: Option<OpenPhase> = None;
     let mut phase_index = 0usize;
 
@@ -252,7 +301,11 @@ pub fn run_agents_scenario(
                     unsatisfied,
                     weakly_unsatisfied,
                 });
-                board = Some(BulletinBoard::post(instance, &flow, now));
+                let posted = BulletinBoard::post(instance, &flow, now);
+                if let AgentPolicy::Smooth { sampling, .. } = policy {
+                    sampling_cache.rebuild(instance, &posted, sampling.as_ref());
+                }
+                board = Some(posted);
                 phase_index += 1;
                 queue.schedule(
                     Time::new(phase_index as f64 * t_period),
@@ -261,14 +314,7 @@ pub fn run_agents_scenario(
             }
             EventKind::AgentActivation => {
                 let board = board.as_ref().expect("board posted at t = 0");
-                activate_one(
-                    instance,
-                    policy,
-                    board,
-                    &mut pop,
-                    &mut rng,
-                    &mut weights_buf,
-                );
+                activate_one(instance, policy, board, &sampling_cache, &mut pop, &mut rng);
                 let next = now + rand_exp(&mut rng, n as f64);
                 if next <= horizon + 1e-12 {
                     queue.schedule(Time::new(next), EventKind::AgentActivation);
@@ -330,9 +376,9 @@ fn activate_one(
     instance: &Instance,
     policy: &AgentPolicy,
     board: &BulletinBoard,
+    sampling_cache: &SamplingCache,
     pop: &mut Population,
     rng: &mut StdRng,
-    weights_buf: &mut Vec<f64>,
 ) {
     // Pick the activated agent: commodity ∝ agent count, then path ∝
     // count within the commodity (exchangeability).
@@ -355,14 +401,8 @@ fn activate_one(
     }
 
     match policy {
-        AgentPolicy::Smooth {
-            sampling,
-            migration,
-        } => {
-            let n = range.len();
-            weights_buf.resize(n, 0.0);
-            sampling.fill_weights(instance, board, commodity, weights_buf);
-            let to = range.start + sample_categorical(rng, weights_buf);
+        AgentPolicy::Smooth { migration, .. } => {
+            let to = range.start + sampling_cache.sample(instance, commodity, rng);
             if to == from {
                 return;
             }
@@ -386,24 +426,6 @@ fn activate_one(
 fn rand_exp(rng: &mut StdRng, rate: f64) -> f64 {
     let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
     -u.ln() / rate
-}
-
-/// Draws an index from (possibly unnormalised) non-negative weights.
-fn sample_categorical(rng: &mut StdRng, weights: &[f64]) -> usize {
-    let total: f64 = weights.iter().sum();
-    if total <= 0.0 {
-        // Degenerate (e.g. proportional sampling with all board flow on
-        // one extinct commodity path): fall back to uniform.
-        return rng.random_range(0..weights.len());
-    }
-    let mut u = rng.random_range(0.0..total);
-    for (i, w) in weights.iter().enumerate() {
-        if u < *w {
-            return i;
-        }
-        u -= w;
-    }
-    weights.len() - 1
 }
 
 #[cfg(test)]
@@ -558,15 +580,44 @@ mod tests {
     }
 
     #[test]
-    fn categorical_sampling_respects_weights() {
+    fn cached_sampling_respects_board_weights() {
+        // Proportional sampling: the cumulative cache must reproduce
+        // the board flow distribution, skipping the zero-flow path.
+        let inst = builders::parallel_links(vec![
+            wardrop_net::Latency::Constant(1.0),
+            wardrop_net::Latency::Constant(1.0),
+            wardrop_net::Latency::Constant(1.0),
+        ]);
+        let f = FlowVec::from_values(&inst, vec![0.2, 0.0, 0.8]).unwrap();
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let mut cache = SamplingCache::default();
+        cache.rebuild(&inst, &board, &wardrop_core::sampling::Proportional);
         let mut rng = StdRng::seed_from_u64(99);
         let mut hits = [0u32; 3];
         for _ in 0..30_000 {
-            hits[sample_categorical(&mut rng, &[0.2, 0.0, 0.8])] += 1;
+            hits[cache.sample(&inst, 0, &mut rng)] += 1;
         }
         assert_eq!(hits[1], 0);
         let frac = hits[2] as f64 / 30_000.0;
         assert!((frac - 0.8).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn degenerate_sampling_cache_falls_back_to_uniform() {
+        // All board flow extinct for proportional sampling after the
+        // cache sees a zero-weight commodity: totals ≤ 0 ⇒ uniform.
+        let inst = builders::pigou();
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let mut cache = SamplingCache::default();
+        cache.rebuild(&inst, &board, &wardrop_core::sampling::Uniform);
+        cache.totals[0] = 0.0; // force the degenerate branch
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits = [0u32; 2];
+        for _ in 0..10_000 {
+            hits[cache.sample(&inst, 0, &mut rng)] += 1;
+        }
+        assert!(hits[0] > 4_000 && hits[1] > 4_000, "{hits:?}");
     }
 
     #[test]

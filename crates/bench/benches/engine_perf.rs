@@ -9,7 +9,9 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wardrop_bench::{baseline, large_engine_workloads, small_engine_workloads};
+use wardrop_bench::{
+    baseline, frontier_engine_workloads, large_engine_workloads, small_engine_workloads,
+};
 use wardrop_core::board::BulletinBoard;
 use wardrop_core::engine;
 use wardrop_core::integrator::Integrator;
@@ -33,6 +35,14 @@ fn bench_engine_run(c: &mut Criterion) {
         });
         group.bench_function(format!("baseline_{}", w.name), |b| {
             b.iter(|| baseline::run_naive(black_box(&w.instance), &policy, &w.f0, &w.config));
+        });
+    }
+    // Frontier workloads (P ≥ 40 000): matrix-free only — the dense
+    // baseline cannot even allocate its rate matrix at this scale.
+    for w in frontier_engine_workloads() {
+        let policy = uniform_linear(&w.instance);
+        group.bench_function(format!("fused_{}", w.name), |b| {
+            b.iter(|| engine::run(black_box(&w.instance), &policy, &w.f0, &w.config));
         });
     }
     group.finish();
@@ -92,14 +102,32 @@ fn bench_integrators(c: &mut Criterion) {
 }
 
 fn bench_phase_rates(c: &mut Criterion) {
+    // Dense Θ(P²) vs matrix-free O(P log P): refill a pre-shaped rate
+    // structure (the engine's steady-state operation) and apply the
+    // generator once, in both representations.
     let mut group = c.benchmark_group("phase_rates");
-    for m in [16usize, 128, 512] {
+    for m in [16usize, 128, 512, 2048] {
         let inst = builders::standard_random_links(m, 3);
         let f = FlowVec::uniform(&inst);
         let board = BulletinBoard::post(&inst, &f, 0.0);
         let policy = uniform_linear(&inst);
-        group.bench_function(format!("build_m{m}"), |b| {
-            b.iter(|| policy.phase_rates(black_box(&inst), black_box(&board)));
+        let mut free = wardrop_core::PhaseRates::for_instance(&inst);
+        let mut dense = wardrop_core::PhaseRates::dense_for_instance(&inst);
+        group.bench_function(format!("matrixfree_build_m{m}"), |b| {
+            b.iter(|| policy.phase_rates_into(black_box(&inst), black_box(&board), &mut free));
+        });
+        group.bench_function(format!("dense_build_m{m}"), |b| {
+            b.iter(|| policy.phase_rates_into(black_box(&inst), black_box(&board), &mut dense));
+        });
+        policy.phase_rates_into(&inst, &board, &mut free);
+        policy.phase_rates_into(&inst, &board, &mut dense);
+        assert!(free.is_matrix_free() && !dense.is_matrix_free());
+        let mut out = vec![0.0; inst.num_paths()];
+        group.bench_function(format!("matrixfree_apply_m{m}"), |b| {
+            b.iter(|| free.apply(black_box(f.values()), black_box(&mut out)));
+        });
+        group.bench_function(format!("dense_apply_m{m}"), |b| {
+            b.iter(|| dense.apply(black_box(f.values()), black_box(&mut out)));
         });
     }
     group.finish();

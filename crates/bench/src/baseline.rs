@@ -9,7 +9,9 @@
 //!   `edge_flows → edge_latencies → path_latencies` chain and
 //!   allocates fresh vectors;
 //! * the migration-rate blocks are allocated from scratch each phase
-//!   ([`ReroutingPolicy::phase_rates`]);
+//!   as **dense** `n × n` matrices
+//!   ([`ReroutingPolicy::phase_rates_dense`] — the explicit oracle
+//!   form, now that the engine's own rates are matrix-free);
 //! * the generator is applied column-per-output (strided reads of the
 //!   rate matrix) with freshly allocated integration buffers.
 //!
@@ -145,7 +147,7 @@ pub fn run_naive<P: ReroutingPolicy + ?Sized>(
         }
 
         let phase_start_flow = flow.clone();
-        let rates = policy.phase_rates(instance, &board);
+        let rates = policy.phase_rates_dense(instance, &board);
         uniformization_naive(&rates, flow.values_mut(), tau, tol);
         flow.renormalise(instance);
 

@@ -1,11 +1,24 @@
 //! Machine-readable engine-performance report.
 //!
 //! Runs the engine workloads of `wardrop-bench` through both the fused
-//! phase loop (`wardrop_core::engine::run`) and the frozen pre-fused
+//! phase loop (`wardrop_core::engine::run`) and the frozen dense
 //! reference (`wardrop_bench::baseline::run_naive`), and writes
 //! `BENCH_engine.json` with ns/phase for each — so the performance
 //! trajectory of the hot path is tracked in-repo from PR to PR and CI
 //! can surface regressions.
+//!
+//! Schema v3 additions (matrix-free phase rates):
+//!
+//! * every comparison workload records whether the fused run used the
+//!   matrix-free rate representation (`matrix_free`);
+//! * a `frontier` section times workloads whose path counts put the
+//!   dense representation out of reach (P ≥ 40 000: `grid_10x10` has
+//!   48 620 paths ≈ 19 GB of rate matrix) — fused-only, 40 phases;
+//! * a `policy_zoo` section asserts, for every stock sampling ×
+//!   migration combination, that the engine takes the matrix-free
+//!   path;
+//! * the `grid_8x8` acceptance workload (and its `speedup` field) is
+//!   reported in **both** smoke and full mode.
 //!
 //! Usage:
 //!
@@ -13,16 +26,22 @@
 //! bench_report [--smoke] [--out PATH]
 //! ```
 //!
-//! `--smoke` restricts to the small workloads (seconds, CI-friendly);
-//! the default also runs the large `grid_8x8` acceptance workload.
+//! `--smoke` restricts the dense-baseline comparisons to the small
+//! workloads plus `grid_8x8` (CI-friendly); the default also runs the
+//! remaining large workloads. Both modes run the frontier workloads.
 
 use std::time::Instant;
 
 use serde::Serialize;
 use wardrop_bench::{
-    baseline, large_engine_workloads, small_engine_workloads, time_apply_event, EngineWorkload,
+    baseline, frontier_engine_workloads, large_engine_workloads, small_engine_workloads,
+    time_apply_event, EngineWorkload,
 };
+use wardrop_core::board::BulletinBoard;
 use wardrop_core::engine;
+use wardrop_core::policy::{stock_policy_zoo, ReroutingPolicy};
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
 
 #[derive(Debug, Serialize)]
 struct WorkloadReport {
@@ -35,6 +54,26 @@ struct WorkloadReport {
     ns_per_phase_fused: f64,
     ns_per_phase_baseline: f64,
     speedup: f64,
+    /// Whether the fused engine used the matrix-free rate
+    /// representation for this workload's policy.
+    matrix_free: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct FrontierReport {
+    name: String,
+    paths: usize,
+    edges: usize,
+    incidences: usize,
+    phases: usize,
+    ns_per_phase_fused: f64,
+    matrix_free: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct PolicyZooReport {
+    policy: String,
+    matrix_free: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -51,6 +90,12 @@ struct BenchReport {
     schema: String,
     mode: String,
     workloads: Vec<WorkloadReport>,
+    /// Matrix-free-only workloads: P far beyond the dense baseline's
+    /// reach, timed fused-only.
+    frontier: Vec<FrontierReport>,
+    /// One entry per stock sampling × migration combination, recording
+    /// that the matrix-free path is active.
+    policy_zoo: Vec<PolicyZooReport>,
     /// Scenario-reconfiguration cost: one `apply_event` (latency
     /// mutation + incremental invariant refresh + in-place
     /// re-evaluation) per entry.
@@ -66,6 +111,13 @@ fn time_best_of<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
         best = best.min(start.elapsed().as_nanos() as f64);
     }
     best
+}
+
+/// Whether the fused engine's rate structure is matrix-free for this
+/// workload's (uniform + linear) policy.
+fn workload_matrix_free(w: &EngineWorkload) -> bool {
+    let board = BulletinBoard::post(&w.instance, &w.f0, 0.0);
+    uniform(w).phase_rates(&w.instance, &board).is_matrix_free()
 }
 
 fn measure(w: &EngineWorkload, repeats: usize) -> WorkloadReport {
@@ -93,6 +145,7 @@ fn measure(w: &EngineWorkload, repeats: usize) -> WorkloadReport {
         ns_per_phase_fused: fused_ns / phases as f64,
         ns_per_phase_baseline: baseline_ns / phases as f64,
         speedup: baseline_ns / fused_ns,
+        matrix_free: workload_matrix_free(w),
     };
     println!(
         "{:<28} |P|={:<6} fused {:>12.0} ns/phase   baseline {:>12.0} ns/phase   speedup {:.2}x",
@@ -103,6 +156,50 @@ fn measure(w: &EngineWorkload, repeats: usize) -> WorkloadReport {
         report.speedup
     );
     report
+}
+
+fn measure_frontier(w: &EngineWorkload) -> FrontierReport {
+    let phases = w.config.num_phases;
+    let warm = engine::run(&w.instance, &uniform(w), &w.f0, &w.config);
+    assert_eq!(warm.len(), phases, "frontier workload must run all phases");
+    let fused_ns = time_best_of(2, || {
+        let traj = engine::run(&w.instance, &uniform(w), &w.f0, &w.config);
+        assert_eq!(traj.len(), phases);
+    });
+    let report = FrontierReport {
+        name: w.name.to_string(),
+        paths: w.instance.num_paths(),
+        edges: w.instance.num_edges(),
+        incidences: w.instance.incidence_count(),
+        phases,
+        ns_per_phase_fused: fused_ns / phases as f64,
+        matrix_free: workload_matrix_free(w),
+    };
+    println!(
+        "{:<28} |P|={:<6} fused {:>12.0} ns/phase   (matrix-free only: dense would need ~{:.1} GB)",
+        report.name,
+        report.paths,
+        report.ns_per_phase_fused,
+        (report.paths as f64).powi(2) * 8.0 / 1e9
+    );
+    report
+}
+
+/// Every stock sampling × migration combination
+/// ([`stock_policy_zoo`] — the same shared definition the agreement
+/// tests cover), checked for matrix-free rate construction on a small
+/// probe instance.
+fn policy_zoo() -> Vec<PolicyZooReport> {
+    let inst = builders::braess();
+    let f = FlowVec::uniform(&inst);
+    let board = BulletinBoard::post(&inst, &f, 0.0);
+    stock_policy_zoo(inst.latency_upper_bound())
+        .iter()
+        .map(|p| PolicyZooReport {
+            policy: p.name(),
+            matrix_free: p.phase_rates(&inst, &board).is_matrix_free(),
+        })
+        .collect()
 }
 
 fn uniform(
@@ -143,17 +240,36 @@ fn main() {
         workloads.push(measure(&w, 5));
         measure_reconfig(&w, 64);
     }
-    if !smoke {
-        for w in large_engine_workloads() {
-            workloads.push(measure(&w, 2));
-            measure_reconfig(&w, 16);
+    for w in large_engine_workloads() {
+        // The grid_8x8 acceptance workload (and its speedup field) is
+        // reported even in smoke mode; its dense baseline costs a few
+        // seconds, dominated entirely by the Θ(P²) reference itself.
+        if smoke && w.name != "grid_8x8" {
+            continue;
         }
+        workloads.push(measure(&w, if smoke { 1 } else { 2 }));
+        measure_reconfig(&w, 16);
+    }
+    let frontier: Vec<FrontierReport> = frontier_engine_workloads()
+        .iter()
+        .map(measure_frontier)
+        .collect();
+
+    let zoo = policy_zoo();
+    for entry in &zoo {
+        assert!(
+            entry.matrix_free,
+            "stock policy {} fell back to dense rates",
+            entry.policy
+        );
     }
 
     let report = BenchReport {
-        schema: "wardrop-bench/engine/v2".to_string(),
+        schema: "wardrop-bench/engine/v3".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         workloads,
+        frontier,
+        policy_zoo: zoo,
         reconfig,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");

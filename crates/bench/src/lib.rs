@@ -16,5 +16,6 @@ pub mod baseline;
 pub mod workloads;
 
 pub use workloads::{
-    large_engine_workloads, small_engine_workloads, time_apply_event, workload, EngineWorkload,
+    frontier_engine_workloads, large_engine_workloads, small_engine_workloads, time_apply_event,
+    workload, EngineWorkload,
 };

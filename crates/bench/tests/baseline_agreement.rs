@@ -6,7 +6,7 @@
 
 use wardrop_bench::{baseline, small_engine_workloads};
 use wardrop_core::engine;
-use wardrop_core::policy::{replicator, uniform_linear};
+use wardrop_core::policy::{replicator, stock_policy_zoo, uniform_linear};
 
 const TOL: f64 = 1e-12;
 
@@ -54,6 +54,44 @@ fn fused_run_matches_baseline_on_small_workloads() {
             fused.final_flow.linf_distance(&naive.final_flow) < TOL,
             "{}: final flows diverge",
             w.name
+        );
+    }
+}
+
+/// The matrix-free fused engine and the dense-matrix baseline must
+/// produce the same trajectory for **every** stock sampling ×
+/// migration combination — the acceptance contract of the separable
+/// kernels (≤ 1e-9 end to end; in practice far tighter).
+#[test]
+fn matrix_free_fused_matches_dense_baseline_for_whole_policy_zoo() {
+    let w = &small_engine_workloads()[0];
+    let lmax = w.instance.latency_upper_bound().max(f64::MIN_POSITIVE);
+    let policies = stock_policy_zoo(lmax);
+    assert_eq!(policies.len(), 12);
+    for policy in &policies {
+        let fused = engine::run(&w.instance, policy.as_ref(), &w.f0, &w.config);
+        let naive = baseline::run_naive(&w.instance, policy.as_ref(), &w.f0, &w.config);
+        assert_eq!(fused.len(), naive.len(), "{}", policy.name());
+        for (a, b) in fused.phases.iter().zip(&naive.phases) {
+            assert!(
+                (a.potential_end - b.potential_end).abs() < 1e-9,
+                "{}: phase {} Φ {} vs {}",
+                policy.name(),
+                a.index,
+                a.potential_end,
+                b.potential_end
+            );
+            assert!(
+                (a.max_regret_start - b.max_regret_start).abs() < 1e-9,
+                "{}",
+                policy.name()
+            );
+        }
+        assert!(
+            fused.final_flow.linf_distance(&naive.final_flow) < 1e-9,
+            "{}: final flows diverge by {}",
+            policy.name(),
+            fused.final_flow.linf_distance(&naive.final_flow)
         );
     }
 }

@@ -17,11 +17,13 @@
 //! volumes) into a [`Trajectory`].
 //!
 //! The loop is built on a fused evaluation pipeline: a [`Simulation`]
-//! owns an [`EngineWorkspace`] (evaluation buffers, reusable rate
-//! blocks, integrator scratch) and evaluates the flow exactly once per
-//! phase boundary — the phase-end evaluation doubles as the next
+//! owns an [`EngineWorkspace`] (evaluation buffers, a reusable rate
+//! structure, integrator scratch) and evaluates the flow exactly once
+//! per phase boundary — the phase-end evaluation doubles as the next
 //! phase's start, boards are posted by copying cached arrays, and in
-//! steady state a phase performs zero heap allocations.
+//! steady state a phase performs zero heap allocations. For the stock
+//! policy zoo the rates are [matrix-free](crate::kernel): O(P log P)
+//! per phase and O(P) memory, never a dense rate matrix.
 //!
 //! The engine also speaks the scenario language of
 //! [`wardrop_net::scenario`]: [`run_scenario`] applies demand and
@@ -56,7 +58,10 @@ pub struct EngineWorkspace {
     /// Fused evaluation of the *current* flow (kept up to date at every
     /// phase boundary, so phase-start metrics are free).
     pub eval: EvalWorkspace,
-    /// Reusable migration-rate blocks for smooth policies.
+    /// Reusable migration-rate structure for smooth policies. Shaped
+    /// O(P): separable policies refill the matrix-free factors every
+    /// phase; dense Θ(P²) blocks are allocated lazily only if a
+    /// non-separable custom policy fills them.
     pub rates: PhaseRates,
     /// Reusable integrator buffers.
     pub scratch: IntegratorScratch,
@@ -306,7 +311,9 @@ impl SimulationConfig {
 /// * **reuse across runs** — [`Simulation::reset`] and
 ///   [`Simulation::rebind`] start a fresh run inside the already
 ///   allocated [`EngineWorkspace`], which parameter sweeps (E4/E5) use
-///   to avoid rebuilding the `|P|²`-sized rate blocks per run.
+///   to avoid rebuilding the O(P) rate/evaluation buffers per run
+///   (plus the lazily allocated dense blocks, for non-separable
+///   custom policies).
 ///
 /// [`run`] drives a `Simulation` to completion; use this type directly
 /// for streaming consumption of phases without materialising a
@@ -460,7 +467,9 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
     /// Starts a fresh run from `f0` under `config`, reusing every
     /// buffer of the existing [`EngineWorkspace`] (and the owned,
     /// possibly event-mutated instance). Parameter sweeps use this to
-    /// amortise the `|P|²` rate-block allocations across runs.
+    /// amortise the workspace allocations across runs — O(P) rate and
+    /// evaluation buffers, plus any lazily allocated dense blocks when
+    /// the policy is a non-separable custom rule.
     ///
     /// # Panics
     ///

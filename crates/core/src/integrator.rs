@@ -203,6 +203,8 @@ fn uniformization(
     tol: f64,
     scratch: &mut IntegratorScratch,
 ) {
+    // Λ is tracked during the rate fill (for matrix-free blocks it
+    // falls out of the sorted-extreme sweep), so this is O(commodities).
     let lambda = rates.max_exit_rate();
     if lambda <= 0.0 {
         return; // A = 0: nothing moves.

@@ -1,0 +1,382 @@
+//! Separable closed forms of the stock migration rules — the engine's
+//! matrix-free fast path.
+//!
+//! Theorems 6 and 7 of the paper are exactly about convergence time
+//! being polynomial in the *network* parameters rather than the number
+//! of paths `P`, which can be exponential. A dense per-phase rate
+//! matrix (`Θ(P²)` time and memory per commodity) squanders that: the
+//! matrix entries of every stock policy factor as
+//!
+//! ```text
+//! c_PQ = σ_Q(f̂) · µ(ℓ̂_P, ℓ̂_Q)
+//! ```
+//!
+//! where the sampling weight `σ_Q` depends only on the *target* path
+//! (all sampling rules are origin-independent, see
+//! [`SamplingRule`](crate::sampling::SamplingRule)) and the migration
+//! probability `µ` depends only on the two board latencies. After
+//! sorting a commodity's paths by board latency once per phase, both
+//! the exit rates `Σ_Q c_PQ` and the generator product `(A f)_Q` reduce
+//! to running prefix/suffix sums of `{f_P, f_P ℓ_P, f_P/ℓ_P, σ_Q,
+//! σ_Q ℓ_Q}` — **O(P log P) time and O(P) memory per phase, no rate
+//! matrix at all**.
+//!
+//! [`SeparableKernel`] enumerates the closed forms; migration rules
+//! advertise theirs via [`MigrationRule::kernel`](crate::migration::MigrationRule::kernel)
+//! and [`PhaseRates`](crate::policy::PhaseRates) stores the factors
+//! (weights, latencies, sorted permutation) instead of the matrix.
+//! Policies without a kernel fall back to lazily allocated dense
+//! blocks, so custom non-separable rules keep working unchanged.
+//!
+//! # A worked example: the linear kernel
+//!
+//! The paper's linear migration policy `µ = max{0, ℓ_P − ℓ_Q}/ℓmax` is
+//! the kernel `ClampedLinear { alpha: 1/ℓmax }`. For a target path `Q`
+//! the inflow sum splits over the paths sorted by latency:
+//!
+//! ```text
+//! Σ_P f_P µ(ℓ_P, ℓ_Q)  =  α · [ Σ_{ℓ_Q < ℓ_P < ℓ_Q + 1/α} f_P ℓ_P  −  ℓ_Q Σ_{…} f_P ]
+//!                          +  Σ_{ℓ_P ≥ ℓ_Q + 1/α} f_P
+//! ```
+//!
+//! — two suffix sums per split point, and the split points advance
+//! monotonically as `ℓ_Q` grows, so one sweep over the sorted order
+//! evaluates every target in O(P) total. The matrix-free result is the
+//! dense one, entry for entry:
+//!
+//! ```
+//! use wardrop_core::kernel::SeparableKernel;
+//! use wardrop_core::migration::{Linear, MigrationRule};
+//! use wardrop_core::policy::{uniform_linear, ReroutingPolicy};
+//! use wardrop_core::board::BulletinBoard;
+//! use wardrop_net::{builders, flow::FlowVec};
+//!
+//! // The linear rule advertises its closed form…
+//! let lin = Linear::new(2.0);
+//! assert_eq!(lin.kernel(), Some(SeparableKernel::ClampedLinear { alpha: 0.5 }));
+//! // …whose pointwise evaluation matches the rule exactly.
+//! assert_eq!(lin.kernel().unwrap().probability(1.7, 0.4), lin.probability(1.7, 0.4));
+//!
+//! // The matrix-free phase rates agree with the dense reference.
+//! let inst = builders::braess();
+//! let f = FlowVec::uniform(&inst);
+//! let board = BulletinBoard::post(&inst, &f, 0.0);
+//! let policy = uniform_linear(&inst);
+//! let fast = policy.phase_rates(&inst, &board);        // matrix-free
+//! let dense = policy.phase_rates_dense(&inst, &board); // Θ(P²) oracle
+//! assert!(fast.is_matrix_free() && !dense.is_matrix_free());
+//! let (mut a, mut b) = (vec![0.0; 3], vec![0.0; 3]);
+//! fast.apply(f.values(), &mut a);
+//! dense.apply(f.values(), &mut b);
+//! for (x, y) in a.iter().zip(&b) {
+//!     assert!((x - y).abs() < 1e-12);
+//! }
+//! ```
+
+/// A migration rule in separable closed form.
+///
+/// All variants are zero for `ℓ_Q ≥ ℓ_P` (agents only make selfish
+/// moves), matching the [`MigrationRule`](crate::migration::MigrationRule)
+/// convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeparableKernel {
+    /// `µ = min{1, α (ℓ_P − ℓ_Q)}` — [`Linear`](crate::migration::Linear)
+    /// (with `α = 1/ℓmax`) and
+    /// [`ScaledLinear`](crate::migration::ScaledLinear).
+    ClampedLinear {
+        /// Smoothness parameter `α > 0`.
+        alpha: f64,
+    },
+    /// `µ = 1[ℓ_Q < ℓ_P]` —
+    /// [`BetterResponse`](crate::migration::BetterResponse).
+    Indicator,
+    /// `µ = (ℓ_P − ℓ_Q)/ℓ_P` —
+    /// [`RelativeSlack`](crate::migration::RelativeSlack).
+    RelativeSlack,
+}
+
+impl SeparableKernel {
+    /// Pointwise evaluation of the kernel — identical to the
+    /// originating rule's
+    /// [`probability`](crate::migration::MigrationRule::probability).
+    ///
+    /// Used by [`CommodityRates::rate`](crate::policy::CommodityRates::rate)
+    /// to answer entry queries on matrix-free blocks, and by tests to
+    /// cross-check the prefix-sum evaluation.
+    #[inline]
+    pub fn probability(&self, l_from: f64, l_to: f64) -> f64 {
+        match *self {
+            SeparableKernel::ClampedLinear { alpha } => (alpha * (l_from - l_to)).clamp(0.0, 1.0),
+            SeparableKernel::Indicator => {
+                if l_from > l_to {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SeparableKernel::RelativeSlack => {
+                if l_from > l_to && l_from > 0.0 {
+                    (l_from - l_to) / l_from
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Contribution of one path to the reciprocal-latency sum `Σ f_P/ℓ_P`
+/// (zero-latency paths never enter a strict suffix, but they must not
+/// poison the running total with infinities).
+#[inline]
+fn recip_or_zero(l: f64) -> f64 {
+    if l > 0.0 {
+        1.0 / l
+    } else {
+        0.0
+    }
+}
+
+/// Fills the per-path exit rates `exit_p = Σ_{Q} σ_Q µ(ℓ_P, ℓ_Q)` of
+/// one commodity block in O(n) after sorting, returning the maximum —
+/// the block's contribution to the uniformization constant Λ, read off
+/// the sorted extremes instead of a dense row sweep.
+///
+/// `order` is the permutation sorting the block's paths by board
+/// latency ascending; `weights`/`latencies` are indexed by local path.
+pub(crate) fn fill_exit_rates(
+    kernel: SeparableKernel,
+    order: &[u32],
+    weights: &[f64],
+    latencies: &[f64],
+    exit: &mut [f64],
+) -> f64 {
+    let n = order.len();
+    // Prefix sums over the sorted order, maintained by two monotone
+    // pointers: `k_lt` covers {Q : ℓ_Q < ℓ_P}, `k_cl` (clamped-linear
+    // only) covers {Q : ℓ_Q ≤ ℓ_P − 1/α}, where µ saturates at 1.
+    let mut k_lt = 0usize;
+    let mut w_lt = 0.0; // Σ σ_Q over the `<` prefix
+    let mut wl_lt = 0.0; // Σ σ_Q ℓ_Q over the `<` prefix
+    let mut k_cl = 0usize;
+    let mut w_cl = 0.0;
+    let mut wl_cl = 0.0;
+    let mut max_exit = 0.0_f64;
+    for kp in 0..n {
+        let p = order[kp] as usize;
+        let lp = latencies[p];
+        while k_lt < n {
+            let q = order[k_lt] as usize;
+            if latencies[q] >= lp {
+                break;
+            }
+            w_lt += weights[q];
+            wl_lt += weights[q] * latencies[q];
+            k_lt += 1;
+        }
+        let e = match kernel {
+            SeparableKernel::Indicator => w_lt,
+            SeparableKernel::ClampedLinear { alpha } => {
+                let saturation = lp - 1.0 / alpha;
+                while k_cl < n {
+                    let q = order[k_cl] as usize;
+                    if latencies[q] > saturation {
+                        break;
+                    }
+                    w_cl += weights[q];
+                    wl_cl += weights[q] * latencies[q];
+                    k_cl += 1;
+                }
+                w_cl + alpha * (lp * (w_lt - w_cl) - (wl_lt - wl_cl))
+            }
+            SeparableKernel::RelativeSlack => {
+                if lp > 0.0 {
+                    w_lt - wl_lt / lp
+                } else {
+                    0.0
+                }
+            }
+        };
+        // Guard the prefix-sum re-association: rates are probabilities
+        // times weights, so the exact value is non-negative.
+        let e = e.max(0.0);
+        exit[p] = e;
+        max_exit = max_exit.max(e);
+    }
+    max_exit
+}
+
+/// Applies one matrix-free block of the generator:
+/// `out_Q = σ_Q Σ_P f_P µ(ℓ_P, ℓ_Q) − f_Q exit_Q`, in O(n) per call.
+///
+/// Suffix sums over the sorted order are maintained by subtraction from
+/// the block totals as two monotone pointers advance (`k_gt` over
+/// {P : ℓ_P > ℓ_Q}; `k_cl` over the clamped region of the linear
+/// kernel), so the evaluation needs no scratch beyond a handful of
+/// accumulators — `apply` stays `&self` and allocation-free.
+pub(crate) fn apply_block(
+    kernel: SeparableKernel,
+    order: &[u32],
+    weights: &[f64],
+    latencies: &[f64],
+    exit: &[f64],
+    f: &[f64],
+    out: &mut [f64],
+) {
+    let n = order.len();
+    // Block totals; the third accumulator is kernel-specific: f·ℓ for
+    // the linear kernels, f/ℓ for relative slack.
+    let mut suf_f = 0.0;
+    let mut suf_fx = 0.0;
+    for &p in order {
+        let p = p as usize;
+        suf_f += f[p];
+        suf_fx += match kernel {
+            SeparableKernel::RelativeSlack => f[p] * recip_or_zero(latencies[p]),
+            _ => f[p] * latencies[p],
+        };
+    }
+    let mut k_gt = 0usize;
+    let mut k_cl = 0usize;
+    let mut suf_f_cl = suf_f;
+    let mut suf_fl_cl = suf_fx;
+    for kq in 0..n {
+        let q = order[kq] as usize;
+        let lq = latencies[q];
+        while k_gt < n {
+            let p = order[k_gt] as usize;
+            if latencies[p] > lq {
+                break;
+            }
+            suf_f -= f[p];
+            suf_fx -= match kernel {
+                SeparableKernel::RelativeSlack => f[p] * recip_or_zero(latencies[p]),
+                _ => f[p] * latencies[p],
+            };
+            k_gt += 1;
+        }
+        let inflow = match kernel {
+            SeparableKernel::Indicator => suf_f,
+            SeparableKernel::ClampedLinear { alpha } => {
+                let saturation = lq + 1.0 / alpha;
+                while k_cl < n {
+                    let p = order[k_cl] as usize;
+                    if latencies[p] >= saturation {
+                        break;
+                    }
+                    suf_f_cl -= f[p];
+                    suf_fl_cl -= f[p] * latencies[p];
+                    k_cl += 1;
+                }
+                alpha * ((suf_fx - suf_fl_cl) - lq * (suf_f - suf_f_cl)) + suf_f_cl
+            }
+            SeparableKernel::RelativeSlack => suf_f - lq * suf_fx,
+        };
+        out[q] = weights[q] * inflow.max(0.0) - f[q] * exit[q];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_exit(kernel: SeparableKernel, weights: &[f64], latencies: &[f64], p: usize) -> f64 {
+        (0..weights.len())
+            .filter(|&q| q != p)
+            .map(|q| weights[q] * kernel.probability(latencies[p], latencies[q]))
+            .sum()
+    }
+
+    fn sorted_order(latencies: &[f64]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..latencies.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| latencies[a as usize].total_cmp(&latencies[b as usize]));
+        order
+    }
+
+    fn kernels() -> Vec<SeparableKernel> {
+        vec![
+            SeparableKernel::ClampedLinear { alpha: 0.7 },
+            SeparableKernel::ClampedLinear { alpha: 25.0 }, // clamp binds
+            SeparableKernel::Indicator,
+            SeparableKernel::RelativeSlack,
+        ]
+    }
+
+    #[test]
+    fn exit_rates_match_dense_sums_with_ties_and_zeros() {
+        // Duplicated latencies and a zero-latency path.
+        let latencies = [0.6, 0.0, 1.4, 0.6, 2.5, 1.4, 0.0];
+        let weights = [0.2, 0.1, 0.05, 0.25, 0.15, 0.05, 0.2];
+        let order = sorted_order(&latencies);
+        for kernel in kernels() {
+            let mut exit = [0.0; 7];
+            let max = fill_exit_rates(kernel, &order, &weights, &latencies, &mut exit);
+            let mut want_max = 0.0_f64;
+            for (p, &got) in exit.iter().enumerate() {
+                let want = dense_exit(kernel, &weights, &latencies, p);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "{kernel:?} exit[{p}]: {got} vs {want}"
+                );
+                want_max = want_max.max(want);
+            }
+            assert!((max - want_max).abs() < 1e-12, "{kernel:?} max");
+        }
+    }
+
+    #[test]
+    fn apply_matches_dense_generator_product() {
+        let latencies = [0.6, 0.0, 1.4, 0.6, 2.5, 1.4, 0.0];
+        let weights = [0.2, 0.1, 0.05, 0.25, 0.15, 0.05, 0.2];
+        // Zero-flow paths included.
+        let f = [0.3, 0.0, 0.2, 0.0, 0.25, 0.15, 0.1];
+        let order = sorted_order(&latencies);
+        for kernel in kernels() {
+            let mut exit = [0.0; 7];
+            fill_exit_rates(kernel, &order, &weights, &latencies, &mut exit);
+            let mut out = [0.0; 7];
+            apply_block(kernel, &order, &weights, &latencies, &exit, &f, &mut out);
+            for q in 0..7 {
+                let inflow: f64 = (0..7)
+                    .filter(|&p| p != q)
+                    .map(|p| f[p] * weights[q] * kernel.probability(latencies[p], latencies[q]))
+                    .sum();
+                let want = inflow - f[q] * exit[q];
+                assert!(
+                    (out[q] - want).abs() < 1e-12,
+                    "{kernel:?} out[{q}]: {} vs {}",
+                    out[q],
+                    want
+                );
+            }
+            // Mass conservation: the generator's columns sum to zero.
+            let total: f64 = out.iter().sum();
+            assert!(total.abs() < 1e-12, "{kernel:?} drift {total}");
+        }
+    }
+
+    #[test]
+    fn kernel_probability_matches_piecewise_definition() {
+        let k = SeparableKernel::ClampedLinear { alpha: 2.0 };
+        assert_eq!(k.probability(1.0, 1.0), 0.0);
+        assert_eq!(k.probability(0.5, 1.0), 0.0);
+        assert!((k.probability(1.0, 0.8) - 0.4).abs() < 1e-15);
+        assert_eq!(k.probability(3.0, 0.5), 1.0); // saturated
+        assert_eq!(SeparableKernel::Indicator.probability(1.0, 0.999), 1.0);
+        assert_eq!(SeparableKernel::RelativeSlack.probability(0.0, 0.0), 0.0);
+        assert!((SeparableKernel::RelativeSlack.probability(2.0, 0.5) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_path_block_is_inert() {
+        for kernel in kernels() {
+            let mut exit = [0.0];
+            let max = fill_exit_rates(kernel, &[0], &[1.0], &[0.7], &mut exit);
+            assert_eq!(exit[0], 0.0);
+            assert_eq!(max, 0.0);
+            let mut out = [123.0];
+            apply_block(kernel, &[0], &[1.0], &[0.7], &exit, &[0.4], &mut out);
+            assert_eq!(out[0], 0.0);
+        }
+    }
+}

@@ -13,7 +13,9 @@
 //!   [migration rules](migration) (better response, linear, α-scaled)
 //!   with α-smoothness analysis (Definition 2);
 //! * composed [rerouting policies](policy) exposing the per-phase
-//!   migration-rate generator;
+//!   migration-rate generator, evaluated matrix-free in O(P log P)
+//!   through the [separable kernels](kernel) of the stock rules (dense
+//!   Θ(P²) blocks exist only as a lazy fallback for custom rules);
 //! * a phase-wise [simulation engine](engine) for the fluid-limit ODE
 //!   (Eq. (3)) with Euler, RK4 and exact
 //!   [uniformization](integrator::Integrator::Uniformization)
@@ -53,6 +55,7 @@ pub mod best_response;
 pub mod board;
 pub mod engine;
 pub mod integrator;
+pub mod kernel;
 pub mod migration;
 pub mod policy;
 pub mod sampling;
@@ -63,7 +66,8 @@ pub use best_response::BestResponse;
 pub use board::BulletinBoard;
 pub use engine::{run, run_scenario, Dynamics, EngineWorkspace, Simulation, SimulationConfig};
 pub use integrator::{Integrator, IntegratorScratch};
+pub use kernel::SeparableKernel;
 pub use migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};
-pub use policy::{PhaseRates, ReroutingPolicy, SmoothPolicy};
+pub use policy::{stock_policy_zoo, PhaseRates, ReroutingPolicy, SmoothPolicy};
 pub use sampling::{Logit, Proportional, SamplingRule, Uniform};
 pub use trajectory::{PhaseRecord, Trajectory};

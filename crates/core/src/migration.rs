@@ -16,6 +16,8 @@
 
 use std::fmt;
 
+use crate::kernel::SeparableKernel;
+
 /// A migration rule `µ : R≥0 × R≥0 → [0, 1]`.
 ///
 /// Conventions from the paper: `µ(ℓ_P, ℓ_Q) = 0` whenever
@@ -29,6 +31,16 @@ pub trait MigrationRule: fmt::Debug {
     /// The smallest `α` for which this rule is α-smooth, or `None` if
     /// the rule is not α-smooth for any α (e.g. better response).
     fn smoothness(&self) -> Option<f64>;
+
+    /// The rule's [separable closed form](crate::kernel), if it has
+    /// one — the opt-in to the engine's matrix-free O(P log P) phase
+    /// rates. The kernel **must** evaluate pointwise-identically to
+    /// [`MigrationRule::probability`]; every stock rule advertises one.
+    /// Defaults to `None`, which keeps custom rules on the dense Θ(P²)
+    /// path.
+    fn kernel(&self) -> Option<SeparableKernel> {
+        None
+    }
 
     /// Human-readable rule name for reports.
     fn name(&self) -> String;
@@ -50,6 +62,10 @@ impl MigrationRule for BetterResponse {
 
     fn smoothness(&self) -> Option<f64> {
         None
+    }
+
+    fn kernel(&self) -> Option<SeparableKernel> {
+        Some(SeparableKernel::Indicator)
     }
 
     fn name(&self) -> String {
@@ -84,11 +100,22 @@ impl Linear {
 
 impl MigrationRule for Linear {
     fn probability(&self, l_from: f64, l_to: f64) -> f64 {
-        ((l_from - l_to) / self.lmax).clamp(0.0, 1.0)
+        // Multiply by the reciprocal rather than divide: bit-identical
+        // to the `ClampedLinear { alpha: 1/ℓmax }` kernel evaluation,
+        // so the kernel's "pointwise-identical" contract holds exactly
+        // (division and reciprocal-multiplication differ by 1 ulp on
+        // some inputs).
+        ((l_from - l_to) * (1.0 / self.lmax)).clamp(0.0, 1.0)
     }
 
     fn smoothness(&self) -> Option<f64> {
         Some(1.0 / self.lmax)
+    }
+
+    fn kernel(&self) -> Option<SeparableKernel> {
+        Some(SeparableKernel::ClampedLinear {
+            alpha: 1.0 / self.lmax,
+        })
     }
 
     fn name(&self) -> String {
@@ -130,6 +157,10 @@ impl MigrationRule for ScaledLinear {
         Some(self.alpha)
     }
 
+    fn kernel(&self) -> Option<SeparableKernel> {
+        Some(SeparableKernel::ClampedLinear { alpha: self.alpha })
+    }
+
     fn name(&self) -> String {
         format!("scaled-linear(α={})", self.alpha)
     }
@@ -160,6 +191,10 @@ impl MigrationRule for RelativeSlack {
 
     fn smoothness(&self) -> Option<f64> {
         None
+    }
+
+    fn kernel(&self) -> Option<SeparableKernel> {
+        Some(SeparableKernel::RelativeSlack)
     }
 
     fn name(&self) -> String {
@@ -282,6 +317,30 @@ mod tests {
         for (lp, lq) in [(1.0, 0.0), (5.0, 0.1), (0.2, 0.15)] {
             let p = r.probability(lp, lq);
             assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn kernels_evaluate_pointwise_identically_to_their_rules() {
+        let rules: Vec<Box<dyn MigrationRule>> = vec![
+            Box::new(BetterResponse),
+            Box::new(Linear::new(1.7)),
+            Box::new(ScaledLinear::new(4.0)),
+            Box::new(RelativeSlack),
+        ];
+        let grid: Vec<f64> = (0..=20).map(|i| i as f64 * 0.35).collect();
+        for r in &rules {
+            let k = r.kernel().expect("every stock rule has a kernel");
+            for &lp in &grid {
+                for &lq in &grid {
+                    assert_eq!(
+                        r.probability(lp, lq),
+                        k.probability(lp, lq),
+                        "{} at ({lp}, {lq})",
+                        r.name()
+                    );
+                }
+            }
         }
     }
 

@@ -46,6 +46,20 @@ pub trait SamplingRule: fmt::Debug {
     /// Proportional sampling violates it on paths with zero board flow.
     fn strictly_positive(&self) -> bool;
 
+    /// Opt-in to the matrix-free phase rates (see [`crate::kernel`]):
+    /// the weights written by [`SamplingRule::fill_weights`] are used
+    /// as the target-side factor `σ_Q` of the separable generator
+    /// `c_PQ = σ_Q µ(ℓ̂_P, ℓ̂_Q)`.
+    ///
+    /// The trait contract already makes every rule origin-independent
+    /// (`fill_weights` never sees the agent's current path), so the
+    /// default is `true` and all stock rules keep it. Override to
+    /// `false` only as an escape hatch for experimental rules that
+    /// deliberately bend the contract and need the dense Θ(P²) path.
+    fn target_separable(&self) -> bool {
+        true
+    }
+
     /// Convenience wrapper allocating the weight vector.
     fn weights(&self, instance: &Instance, board: &BulletinBoard, commodity: usize) -> Vec<f64> {
         let n = instance.commodity_path_count(commodity);

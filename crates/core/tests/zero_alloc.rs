@@ -13,7 +13,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use wardrop_core::engine::{Simulation, SimulationConfig};
-use wardrop_core::policy::{replicator, uniform_linear};
+use wardrop_core::migration::{Linear, MigrationRule, RelativeSlack};
+use wardrop_core::policy::{replicator, uniform_linear, SmoothPolicy};
+use wardrop_core::sampling::Proportional;
 use wardrop_core::BestResponse;
 use wardrop_net::builders;
 use wardrop_net::flow::FlowVec;
@@ -75,7 +77,10 @@ fn assert_steady_state_alloc_free<D: wardrop_core::Dynamics + ?Sized>(
 
 /// Scenario events are the one sanctioned allocation point; the
 /// phases *between* events must stay allocation-free because
-/// instance mutation never changes buffer shapes.
+/// instance mutation never changes buffer shapes. The policy here is
+/// separable, so this also pins the sort + prefix-sum path across
+/// `apply_event` epochs: latency mutations reorder the sorted
+/// permutation, but re-sorting happens inside the retained buffers.
 ///
 /// Not its own `#[test]`: the allocation counter is process-global and
 /// the libtest harness allocates from other threads while tests run
@@ -123,10 +128,32 @@ fn epoch_steady_state_is_allocation_free() {
     }
 }
 
+/// A migration rule that hides its kernel: forces the engine onto the
+/// lazy-dense fallback so its steady state is pinned allocation-free
+/// too (the `n × n` blocks are allocated exactly once, at the first
+/// fill inside the warm-up).
+#[derive(Debug, Clone, Copy)]
+struct OpaqueLinear(Linear);
+
+impl MigrationRule for OpaqueLinear {
+    fn probability(&self, l_from: f64, l_to: f64) -> f64 {
+        self.0.probability(l_from, l_to)
+    }
+    fn smoothness(&self) -> Option<f64> {
+        self.0.smoothness()
+    }
+    // No `kernel()` override: default None ⇒ dense path.
+    fn name(&self) -> String {
+        "opaque-linear".to_string()
+    }
+}
+
 #[test]
 fn steady_state_phase_loop_is_allocation_free() {
-    // Multi-edge paths, single commodity: exercises the CSR scatter and
-    // gather, rate filling and uniformization.
+    // Multi-edge paths, single commodity: exercises the CSR scatter
+    // and gather, the matrix-free rate fill (sort + prefix sums — the
+    // sort is `sort_unstable`, which allocates nothing) and
+    // uniformization through the two-pointer apply.
     let grid = builders::grid_network(4, 4, 7);
     let policy = uniform_linear(&grid);
     let f0 = FlowVec::uniform(&grid);
@@ -150,6 +177,28 @@ fn steady_state_phase_loop_is_allocation_free() {
         3,
         100,
         "replicator/multi-grid",
+    );
+
+    // The relative-slack kernel (reciprocal-latency prefix sums).
+    let policy = SmoothPolicy::new(Proportional, RelativeSlack);
+    let config = SimulationConfig::new(0.1, 200).with_deltas(vec![]);
+    assert_steady_state_alloc_free(
+        Simulation::new(&multi, &policy, &f0, &config),
+        3,
+        100,
+        "relative-slack/multi-grid",
+    );
+
+    // A non-separable custom rule: the lazy-dense fallback allocates
+    // its blocks once during warm-up, then runs allocation-free.
+    let lmax = multi.latency_upper_bound().max(f64::MIN_POSITIVE);
+    let policy = SmoothPolicy::new(Proportional, OpaqueLinear(Linear::new(lmax)));
+    let config = SimulationConfig::new(0.1, 200).with_deltas(vec![]);
+    assert_steady_state_alloc_free(
+        Simulation::new(&multi, &policy, &f0, &config),
+        3,
+        100,
+        "dense-fallback/multi-grid",
     );
 
     // Closed-form best response with a jittered schedule.

@@ -202,16 +202,16 @@ pub fn layered_network(layers: usize, width: usize, seed: u64) -> Instance {
         .expect("layered networks are valid by construction")
 }
 
-/// A directed `rows × cols` grid with rightward and downward edges,
-/// one commodity from the top-left to the bottom-right corner, and
-/// random affine latencies.
-///
-/// Deterministic for a fixed `seed`. Path count is
-/// `C(rows + cols − 2, rows − 1)`; keep dimensions modest.
-pub fn grid_network(rows: usize, cols: usize, seed: u64) -> Instance {
-    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
-    assert!(rows + cols > 2, "grid must contain at least one edge");
-    let mut rng = StdRng::seed_from_u64(seed);
+/// The shared grid substrate: a directed `rows × cols` DAG with
+/// rightward and downward edges and random affine latencies, drawn in
+/// row-major cell order (right edge before down edge) so every grid
+/// builder is deterministic and mutually consistent for a fixed seed.
+#[allow(clippy::type_complexity)]
+fn grid_graph(
+    rows: usize,
+    cols: usize,
+    rng: &mut StdRng,
+) -> (Graph, Vec<Vec<crate::graph::NodeId>>, Vec<Latency>) {
     let mut g = Graph::new();
     let nodes: Vec<Vec<_>> = (0..rows)
         .map(|_| (0..cols).map(|_| g.add_node()).collect())
@@ -235,6 +235,20 @@ pub fn grid_network(rows: usize, cols: usize, seed: u64) -> Instance {
             }
         }
     }
+    (g, nodes, latencies)
+}
+
+/// A directed `rows × cols` grid with rightward and downward edges,
+/// one commodity from the top-left to the bottom-right corner, and
+/// random affine latencies.
+///
+/// Deterministic for a fixed `seed`. Path count is
+/// `C(rows + cols − 2, rows − 1)`; keep dimensions modest.
+pub fn grid_network(rows: usize, cols: usize, seed: u64) -> Instance {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    assert!(rows + cols > 2, "grid must contain at least one edge");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, nodes, latencies) = grid_graph(rows, cols, &mut rng);
     let commodities = vec![Commodity::new(nodes[0][0], nodes[rows - 1][cols - 1], 1.0)];
     Instance::new(g, latencies, commodities).expect("grid networks are valid by construction")
 }
@@ -246,35 +260,37 @@ pub fn grid_network(rows: usize, cols: usize, seed: u64) -> Instance {
 pub fn multi_commodity_grid(rows: usize, cols: usize, seed: u64) -> Instance {
     assert!(rows >= 2 && cols >= 2, "need at least a 2×2 grid");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut g = Graph::new();
-    let nodes: Vec<Vec<_>> = (0..rows)
-        .map(|_| (0..cols).map(|_| g.add_node()).collect())
-        .collect();
-    let mut latencies = Vec::new();
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                g.add_edge(nodes[r][c], nodes[r][c + 1]);
-                latencies.push(Latency::Affine {
-                    a: rng.random_range(0.0..=1.0),
-                    b: rng.random_range(0.1..=1.0),
-                });
-            }
-            if r + 1 < rows {
-                g.add_edge(nodes[r][c], nodes[r + 1][c]);
-                latencies.push(Latency::Affine {
-                    a: rng.random_range(0.0..=1.0),
-                    b: rng.random_range(0.1..=1.0),
-                });
-            }
-        }
-    }
+    let (g, nodes, latencies) = grid_graph(rows, cols, &mut rng);
     let commodities = vec![
         Commodity::new(nodes[0][0], nodes[rows - 1][cols - 1], 0.5),
         Commodity::new(nodes[0][0], nodes[rows - 1][0], 0.5),
     ];
     Instance::new(g, latencies, commodities)
         .expect("multi-commodity grids are valid by construction")
+}
+
+/// A `k`-commodity grid: the DAG of [`grid_network`] shared by `k`
+/// commodities with demand `1/k` each, all sourced at `(0, 0)` with
+/// sinks staggered along the bottom row — commodity `i` terminates at
+/// `(rows−1, cols−1−i)`. Every commodity competes with all the others
+/// for the upper-left edges, so the instances genuinely interact, and
+/// the per-commodity path counts span two orders of magnitude — the
+/// shape the matrix-free phase rates are benchmarked on.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k < cols` and the grid is at least `2 × 2`.
+pub fn many_commodity_grid(rows: usize, cols: usize, k: usize, seed: u64) -> Instance {
+    assert!(rows >= 2 && cols >= 2, "need at least a 2×2 grid");
+    assert!(k >= 1 && k < cols, "need 1 ≤ k < cols commodities");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, nodes, latencies) = grid_graph(rows, cols, &mut rng);
+    let demand = 1.0 / k as f64;
+    let commodities = (0..k)
+        .map(|i| Commodity::new(nodes[0][0], nodes[rows - 1][cols - 1 - i], demand))
+        .collect();
+    Instance::new(g, latencies, commodities)
+        .expect("many-commodity grids are valid by construction")
 }
 
 /// A random two-terminal series-parallel network of recursion depth
@@ -435,6 +451,27 @@ mod tests {
         assert_eq!(inst.num_commodities(), 2);
         assert!(inst.commodity_path_count(0) >= 1);
         assert!(inst.commodity_path_count(1) >= 1);
+    }
+
+    #[test]
+    fn many_commodity_grid_is_valid() {
+        let inst = many_commodity_grid(4, 5, 3, 7);
+        assert_eq!(inst.num_commodities(), 3);
+        // Sinks are staggered: path counts strictly decrease.
+        let counts: Vec<usize> = (0..3).map(|i| inst.commodity_path_count(i)).collect();
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        for c in inst.commodities() {
+            assert!((c.demand - 1.0 / 3.0).abs() < 1e-12);
+        }
+        // Deterministic per seed.
+        let again = many_commodity_grid(4, 5, 3, 7);
+        assert_eq!(inst.latencies(), again.latencies());
+    }
+
+    #[test]
+    #[should_panic(expected = "commodities")]
+    fn many_commodity_grid_rejects_too_many_commodities() {
+        let _ = many_commodity_grid(3, 3, 3, 1);
     }
 
     #[test]

@@ -66,12 +66,13 @@ pub mod prelude {
         run, run_scenario, Dynamics, PhaseSchedule, Simulation, SimulationConfig,
     };
     pub use wardrop_core::integrator::Integrator;
+    pub use wardrop_core::kernel::SeparableKernel;
     pub use wardrop_core::migration::{
         BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear,
     };
     pub use wardrop_core::policy::{
-        fast_relative_slack, replicator, smoothed_best_response, uniform_linear, ReroutingPolicy,
-        SmoothPolicy,
+        fast_relative_slack, replicator, smoothed_best_response, stock_policy_zoo, uniform_linear,
+        PhaseRates, ReroutingPolicy, SmoothPolicy,
     };
     pub use wardrop_core::sampling::{Logit, Proportional, SamplingRule, Uniform};
     pub use wardrop_core::theory::{self, safe_update_period};

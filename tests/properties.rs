@@ -422,6 +422,76 @@ proptest! {
         prop_assert_eq!(a.phases, b.phases);
     }
 
+    /// The matrix-free phase rates equal the frozen dense reference
+    /// for every stock sampling × migration combination — entry by
+    /// entry, exit rate by exit rate, and through a generator
+    /// application — on random instances with latency ties
+    /// (`two_class_links` repeats each class's constant) and zero-flow
+    /// paths (the flow is concentrated on one path per commodity).
+    #[test]
+    fn matrix_free_rates_match_dense_reference(
+        (inst, f) in (0usize..3, 2usize..6, 0u64..1000, 0.01f64..2.0)
+            .prop_map(|(kind, half, seed, gap)| match kind {
+                0 => builders::random_parallel_links(2 * half, 1.0, 0.1, 2.0, seed),
+                1 => builders::layered_network(1 + half % 2, 2 + half % 3, seed),
+                _ => builders::two_class_links(2 * half, gap),
+            })
+            .prop_flat_map(|inst| {
+                let f = arb_flow(&inst);
+                (Just(inst), f)
+            }),
+        concentrate in 0u32..2,
+        tau in 0.01f64..2.0,
+    ) {
+        let concentrate = concentrate == 1;
+        use wardrop::core::board::BulletinBoard;
+        let f = if concentrate { FlowVec::concentrated(&inst) } else { f };
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let policies =
+            wardrop::core::policy::stock_policy_zoo(inst.latency_upper_bound().max(1e-6));
+        prop_assert_eq!(policies.len(), 12);
+        for policy in &policies {
+            let free = policy.phase_rates(&inst, &board);
+            let dense = policy.phase_rates_dense(&inst, &board);
+            prop_assert!(free.is_matrix_free(), "{}", policy.name());
+            prop_assert_eq!(free.dense_elements(), 0);
+            prop_assert!(!dense.is_matrix_free(), "{}", policy.name());
+            prop_assert!(
+                (free.max_exit_rate() - dense.max_exit_rate()).abs() < 1e-12,
+                "{}: Λ {} vs {}", policy.name(), free.max_exit_rate(), dense.max_exit_rate()
+            );
+            for (a, b) in free.blocks().iter().zip(dense.blocks()) {
+                for p in 0..a.len() {
+                    prop_assert!(
+                        (a.exit_rate(p) - b.exit_rate(p)).abs() < 1e-12,
+                        "{}: exit[{}] {} vs {}", policy.name(), p, a.exit_rate(p), b.exit_rate(p)
+                    );
+                    for q in 0..a.len() {
+                        prop_assert!(
+                            (a.rate(p, q) - b.rate(p, q)).abs() < 1e-12,
+                            "{}: c[{}][{}] {} vs {}", policy.name(), p, q, a.rate(p, q), b.rate(p, q)
+                        );
+                    }
+                }
+            }
+            let mut out_free = vec![0.0; inst.num_paths()];
+            let mut out_dense = vec![0.0; inst.num_paths()];
+            free.apply(f.values(), &mut out_free);
+            dense.apply(f.values(), &mut out_dense);
+            for (x, y) in out_free.iter().zip(&out_dense) {
+                prop_assert!((x - y).abs() < 1e-12, "{}: Af {} vs {}", policy.name(), x, y);
+            }
+            // An integrated phase agrees too (the engine-facing contract).
+            let mut a = f.values().to_vec();
+            Integrator::Uniformization { tol: 1e-13 }.advance(&free, &mut a, tau);
+            let mut b = f.values().to_vec();
+            Integrator::Uniformization { tol: 1e-13 }.advance(&dense, &mut b, tau);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-9, "{}: phase {} vs {}", policy.name(), x, y);
+            }
+        }
+    }
+
     /// Agent populations round-trip through flows within 1/N.
     #[test]
     fn population_round_trip(
