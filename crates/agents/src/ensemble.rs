@@ -6,10 +6,11 @@
 
 use serde::{Deserialize, Serialize};
 use wardrop_core::trajectory::Trajectory;
+use wardrop_core::WorkerPool;
 use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 
-use crate::sim::{run_agents, AgentPolicy, AgentSimConfig};
+use crate::sim::{AgentPolicy, AgentSimConfig};
 
 /// Mean/std/min/max of a per-run scalar across an ensemble.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,14 +66,46 @@ impl Ensemble {
         config: &AgentSimConfig,
         seeds: &[u64],
     ) -> Self {
-        let runs = seeds
-            .iter()
-            .map(|&seed| {
-                let mut c = config.clone();
-                c.seed = seed;
-                run_agents(instance, policy, f0, &c)
-            })
-            .collect();
+        Self::run_with(instance, policy, f0, config, seeds, None)
+    }
+
+    /// As [`Ensemble::run`], fanning the per-seed runs across a
+    /// [`WorkerPool`] (serially when `None` or single-lane).
+    ///
+    /// Each run is deterministic in its seed and runs are independent,
+    /// so the ensemble is **identical for every lane count** — the
+    /// runs land in seed order regardless of which lane executed them.
+    /// Inner runs are forced serial so lane counts never multiply.
+    pub fn run_with(
+        instance: &Instance,
+        policy: &AgentPolicy,
+        f0: &FlowVec,
+        config: &AgentSimConfig,
+        seeds: &[u64],
+        pool: Option<&WorkerPool>,
+    ) -> Self {
+        let one = |seed: u64| {
+            let mut c = config.clone();
+            c.seed = seed;
+            // Inner runs are forced serial via the explicit-pool entry
+            // point (a plain `Serial` config could still be overridden
+            // by `WARDROP_THREADS`, multiplying lane counts).
+            crate::sim::run_agents_scenario_pooled(
+                instance,
+                policy,
+                f0,
+                &c,
+                &wardrop_net::scenario::Scenario::default(),
+                None,
+            )
+            .expect("static agent runs cannot fail event application")
+        };
+        let runs = match pool {
+            Some(pool) if pool.lanes() > 1 && seeds.len() > 1 => {
+                pool.map_collect(seeds.len(), || (), |(), i| one(seeds[i]))
+            }
+            _ => seeds.iter().map(|&s| one(s)).collect(),
+        };
         Ensemble {
             seeds: seeds.to_vec(),
             runs,
@@ -142,6 +175,25 @@ mod tests {
         assert!(!ens.is_empty());
         // Different seeds give different final flows (generically).
         assert_ne!(ens.runs[0].final_flow, ens.runs[1].final_flow);
+    }
+
+    #[test]
+    fn pooled_ensemble_matches_serial_run_for_run() {
+        let inst = builders::braess();
+        let f0 = FlowVec::uniform(&inst);
+        let config = AgentSimConfig::new(300, 0.4, 30, 0).with_flows();
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let seeds = [9u64, 8, 7, 6, 5];
+        let serial = Ensemble::run(&inst, &policy, &f0, &config, &seeds);
+        for lanes in [2usize, 4] {
+            let pool = WorkerPool::new(lanes);
+            let pooled = Ensemble::run_with(&inst, &policy, &f0, &config, &seeds, Some(&pool));
+            assert_eq!(pooled.seeds, serial.seeds);
+            for (a, b) in pooled.runs.iter().zip(&serial.runs) {
+                assert_eq!(a.phases, b.phases, "lanes = {lanes}");
+                assert_eq!(a.final_flow, b.final_flow, "lanes = {lanes}");
+            }
+        }
     }
 
     #[test]

@@ -18,13 +18,13 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use wardrop_core::board::BulletinBoard;
+use wardrop_core::engine::Parallelism;
 use wardrop_core::migration::MigrationRule;
 use wardrop_core::sampling::SamplingRule;
 use wardrop_core::trajectory::{PhaseRecord, Trajectory};
-use wardrop_net::equilibrium::{max_regret, unsatisfied_volume, weakly_unsatisfied_volume};
+use wardrop_net::eval::EvalWorkspace;
 use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
-use wardrop_net::potential::{potential, virtual_gain};
 use wardrop_net::scenario::Scenario;
 
 use crate::events::{EventKind, EventQueue, Time};
@@ -94,6 +94,13 @@ pub struct AgentSimConfig {
     pub record_flows: bool,
     /// `δ` thresholds for unsatisfied-volume columns.
     pub deltas: Vec<f64>,
+    /// Execution mode of the per-phase metric evaluation (the
+    /// agent-activation event loop itself is inherently sequential —
+    /// one RNG stream). Serial by default; the `WARDROP_THREADS`
+    /// environment variable overrides it, exactly as for the fluid
+    /// engine.
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl AgentSimConfig {
@@ -106,7 +113,15 @@ impl AgentSimConfig {
             seed,
             record_flows: false,
             deltas: vec![0.05],
+            parallelism: Parallelism::Serial,
         }
+    }
+
+    /// Sets the execution mode of the per-phase metric evaluation
+    /// (builder style).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Enables flow recording (builder style).
@@ -214,6 +229,23 @@ pub fn run_agents_scenario(
     config: &AgentSimConfig,
     scenario: &Scenario,
 ) -> Result<Trajectory, wardrop_net::NetError> {
+    let pool = config.parallelism.build_pool();
+    run_agents_scenario_pooled(instance, policy, f0, config, scenario, pool.as_deref())
+}
+
+/// As [`run_agents_scenario`], with an explicit worker pool instead of
+/// resolving `config.parallelism` (and the `WARDROP_THREADS`
+/// override). [`crate::ensemble::Ensemble::run_with`] passes `None` so
+/// its inner runs stay genuinely serial — lane counts never multiply
+/// even under the environment override.
+pub fn run_agents_scenario_pooled(
+    instance: &Instance,
+    policy: &AgentPolicy,
+    f0: &FlowVec,
+    config: &AgentSimConfig,
+    scenario: &Scenario,
+    pool: Option<&wardrop_core::WorkerPool>,
+) -> Result<Trajectory, wardrop_net::NetError> {
     assert!(config.num_agents > 0, "need at least one agent");
     assert!(
         config.update_period.is_finite() && config.update_period > 0.0,
@@ -244,7 +276,12 @@ pub fn run_agents_scenario(
 
     let mut phases: Vec<PhaseRecord> = Vec::with_capacity(config.num_phases);
     let mut flows = Vec::new();
-    let mut board: Option<BulletinBoard> = None;
+    // Per-phase metrics run through one fused evaluation workspace
+    // (optionally pooled) instead of the naive per-metric chain; the
+    // board is posted from the same evaluation.
+    let mut eval = EvalWorkspace::new(instance);
+    let mut board = BulletinBoard::for_instance(instance);
+    let mut board_posted = false;
     let mut sampling_cache = SamplingCache::default();
     let mut open_phase: Option<OpenPhase> = None;
     let mut phase_index = 0usize;
@@ -257,9 +294,14 @@ pub fn run_agents_scenario(
         match ev.kind {
             EventKind::BoardUpdate => {
                 let flow = pop.to_flow(instance);
-                // Close the previous phase.
+                // Close the previous phase: only Φ and the virtual
+                // gain are needed, so the edge-only evaluation skips
+                // the path gather and the min/avg pass.
+                let mut edges_current = false;
                 if let Some(open) = open_phase.take() {
-                    phases.push(open.close(instance, &flow, t_period));
+                    eval.evaluate_edges_with(instance, &flow, pool);
+                    edges_current = true;
+                    phases.push(open.close_from(&eval, t_period));
                 }
                 if phase_index >= config.num_phases {
                     break;
@@ -277,35 +319,43 @@ pub fn run_agents_scenario(
                     churned = true;
                 }
                 let flow = if churned { pop.to_flow(instance) } else { flow };
-                // Open the next phase.
+                // Open the next phase from one full evaluation —
+                // completing the close's edge pass when the flow is
+                // unchanged, re-evaluating from scratch after churn.
+                if churned || !edges_current {
+                    eval.evaluate_with(instance, &flow, pool);
+                } else {
+                    eval.finish_paths_with(instance, &flow, pool);
+                }
                 if config.record_flows {
                     flows.push(flow.clone());
                 }
                 let unsatisfied = config
                     .deltas
                     .iter()
-                    .map(|d| unsatisfied_volume(instance, &flow, *d))
+                    .map(|d| eval.unsatisfied_volume(instance, &flow, *d))
                     .collect();
                 let weakly_unsatisfied = config
                     .deltas
                     .iter()
-                    .map(|d| weakly_unsatisfied_volume(instance, &flow, *d))
+                    .map(|d| eval.weakly_unsatisfied_volume(instance, &flow, *d))
                     .collect();
                 open_phase = Some(OpenPhase {
                     index: phase_index,
                     epoch,
-                    potential_start: potential(instance, &flow),
-                    avg_latency_start: flow.avg_latency(instance),
-                    max_regret_start: max_regret(instance, &flow, 1e-12),
-                    start_flow: flow.clone(),
+                    potential_start: eval.potential(),
+                    avg_latency_start: eval.avg_latency(),
+                    max_regret_start: eval.max_regret(instance, &flow, 1e-12),
+                    start_edge_flows: eval.edge_flows().to_vec(),
+                    start_edge_latencies: eval.edge_latencies().to_vec(),
                     unsatisfied,
                     weakly_unsatisfied,
                 });
-                let posted = BulletinBoard::post(instance, &flow, now);
+                board.post_from_eval(&eval, &flow, now);
+                board_posted = true;
                 if let AgentPolicy::Smooth { sampling, .. } = policy {
-                    sampling_cache.rebuild(instance, &posted, sampling.as_ref());
+                    sampling_cache.rebuild(instance, &board, sampling.as_ref());
                 }
-                board = Some(posted);
                 phase_index += 1;
                 queue.schedule(
                     Time::new(phase_index as f64 * t_period),
@@ -313,8 +363,15 @@ pub fn run_agents_scenario(
                 );
             }
             EventKind::AgentActivation => {
-                let board = board.as_ref().expect("board posted at t = 0");
-                activate_one(instance, policy, board, &sampling_cache, &mut pop, &mut rng);
+                assert!(board_posted, "board posted at t = 0");
+                activate_one(
+                    instance,
+                    policy,
+                    &board,
+                    &sampling_cache,
+                    &mut pop,
+                    &mut rng,
+                );
                 let next = now + rand_exp(&mut rng, n as f64);
                 if next <= horizon + 1e-12 {
                     queue.schedule(Time::new(next), EventKind::AgentActivation);
@@ -327,7 +384,8 @@ pub fn run_agents_scenario(
     // Close a dangling phase (horizon reached between board updates).
     if let Some(open) = open_phase.take() {
         let flow = pop.to_flow(instance);
-        phases.push(open.close(instance, &flow, t_period));
+        eval.evaluate_edges_with(instance, &flow, pool);
+        phases.push(open.close_from(&eval, t_period));
     }
 
     Ok(Trajectory {
@@ -342,11 +400,14 @@ pub fn run_agents_scenario(
 }
 
 /// Phase-start measurements held until the phase's closing board
-/// update supplies the end flow.
+/// update supplies the end flow. The start flow itself is not
+/// retained — the virtual gain only needs the edge snapshot
+/// `(f̂_e, ℓ_e(f̂_e))`.
 struct OpenPhase {
     index: usize,
     epoch: usize,
-    start_flow: FlowVec,
+    start_edge_flows: Vec<f64>,
+    start_edge_latencies: Vec<f64>,
     potential_start: f64,
     avg_latency_start: f64,
     max_regret_start: f64,
@@ -355,14 +416,17 @@ struct OpenPhase {
 }
 
 impl OpenPhase {
-    fn close(self, instance: &Instance, end_flow: &FlowVec, t_period: f64) -> PhaseRecord {
+    /// Closes the phase from a workspace holding (at least) the
+    /// edge-level evaluation of the end flow.
+    fn close_from(self, eval: &EvalWorkspace, t_period: f64) -> PhaseRecord {
         PhaseRecord {
             index: self.index,
             epoch: self.epoch,
             start_time: self.index as f64 * t_period,
             potential_start: self.potential_start,
-            potential_end: potential(instance, end_flow),
-            virtual_gain: virtual_gain(instance, &self.start_flow, end_flow),
+            potential_end: eval.potential(),
+            virtual_gain: eval
+                .virtual_gain_from(&self.start_edge_flows, &self.start_edge_latencies),
             avg_latency_start: self.avg_latency_start,
             max_regret_start: self.max_regret_start,
             unsatisfied: self.unsatisfied,

@@ -13,9 +13,11 @@ use wardrop_bench::{
     baseline, frontier_engine_workloads, large_engine_workloads, small_engine_workloads,
 };
 use wardrop_core::board::BulletinBoard;
-use wardrop_core::engine;
+use wardrop_core::engine::{self, Parallelism};
+use wardrop_core::ensemble::{run_many, RunSpec};
 use wardrop_core::integrator::Integrator;
 use wardrop_core::policy::{uniform_linear, ReroutingPolicy};
+use wardrop_core::WorkerPool;
 use wardrop_net::builders;
 use wardrop_net::eval::EvalWorkspace;
 use wardrop_net::flow::FlowVec;
@@ -43,6 +45,55 @@ fn bench_engine_run(c: &mut Criterion) {
         let policy = uniform_linear(&w.instance);
         group.bench_function(format!("fused_{}", w.name), |b| {
             b.iter(|| engine::run(black_box(&w.instance), &policy, &w.f0, &w.config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_engine(c: &mut Criterion) {
+    // The deterministic multi-threaded engine: the same fused runs at
+    // 1/2/4 lanes (bit-identical trajectories — see tests/parallel.rs),
+    // plus ensemble sweep throughput across lanes. Pools are built
+    // outside the timed closure via a long-lived Simulation.
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(5);
+    for w in large_engine_workloads()
+        .into_iter()
+        .filter(|w| w.name == "grid_8x8")
+        .chain(frontier_engine_workloads())
+    {
+        let policy = uniform_linear(&w.instance);
+        for threads in [1usize, 2, 4] {
+            let config = w
+                .config
+                .clone()
+                .with_parallelism(Parallelism::Threads(threads));
+            let mut sim = engine::Simulation::new(&w.instance, &policy, &w.f0, &config);
+            group.bench_function(format!("fused_{}_t{}", w.name, threads), |b| {
+                b.iter(|| {
+                    sim.reset(&w.f0, &config);
+                    while sim.step().is_some() {}
+                    black_box(sim.flow().values()[0])
+                });
+            });
+        }
+    }
+    // Ensemble sweep: 8 independent small runs per iteration.
+    let insts: Vec<wardrop_net::Instance> = (0..8)
+        .map(|s| builders::grid_network(5, 5, 200 + s))
+        .collect();
+    let policy = uniform_linear(&insts[0]);
+    let config = engine::SimulationConfig::new(0.5, 40);
+    for lanes in [1usize, 2, 4] {
+        let pool = WorkerPool::new(lanes);
+        group.bench_function(format!("ensemble_grid5x5_l{lanes}"), |b| {
+            b.iter(|| {
+                let specs: Vec<RunSpec<'_, _>> = insts
+                    .iter()
+                    .map(|i| RunSpec::new(i, &policy, FlowVec::uniform(i), config.clone()))
+                    .collect();
+                black_box(run_many(Some(&pool), &specs).len())
+            });
         });
     }
     group.finish();
@@ -150,6 +201,7 @@ fn bench_path_enumeration(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_engine_run,
+    bench_parallel_engine,
     bench_fused_evaluation,
     bench_integrators,
     bench_phase_rates,

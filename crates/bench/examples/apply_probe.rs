@@ -1,0 +1,37 @@
+//! Interleaved serial-vs-pooled apply timing (drift-cancelling).
+use std::time::Instant;
+use wardrop_core::board::BulletinBoard;
+use wardrop_core::policy::{uniform_linear, ApplyScratch, ReroutingPolicy};
+use wardrop_core::WorkerPool;
+use wardrop_net::{builders, flow::FlowVec};
+
+fn main() {
+    let inst = builders::grid_network(10, 10, 7);
+    let f = FlowVec::uniform(&inst);
+    let board = BulletinBoard::post(&inst, &f, 0.0);
+    let policy = uniform_linear(&inst);
+    let rates = policy.phase_rates(&inst, &board);
+    let pool = WorkerPool::new(2);
+    let mut scratch = ApplyScratch::new();
+    let mut out = vec![0.0; inst.num_paths()];
+    // warm
+    for _ in 0..5 {
+        rates.apply(f.values(), &mut out);
+        rates.apply_with(f.values(), &mut out, Some(&pool), &mut scratch);
+    }
+    let (mut s_ns, mut p_ns) = (0u128, 0u128);
+    for _ in 0..200 {
+        let t = Instant::now();
+        rates.apply(f.values(), &mut out);
+        s_ns += t.elapsed().as_nanos();
+        let t = Instant::now();
+        rates.apply_with(f.values(), &mut out, Some(&pool), &mut scratch);
+        p_ns += t.elapsed().as_nanos();
+    }
+    println!(
+        "serial {:.1} us/apply   pooled(2) {:.1} us/apply   ratio {:.2}",
+        s_ns as f64 / 200.0 / 1e3,
+        p_ns as f64 / 200.0 / 1e3,
+        s_ns as f64 / p_ns as f64
+    );
+}

@@ -1,0 +1,26 @@
+use wardrop_bench::{frontier_engine_workloads, time_best_of};
+use wardrop_core::engine::{self, Parallelism};
+fn main() {
+    for w in frontier_engine_workloads() {
+        let policy = wardrop_core::policy::uniform_linear(&w.instance);
+        for threads in [1usize, 2] {
+            let config = w
+                .config
+                .clone()
+                .with_parallelism(Parallelism::Threads(threads));
+            let mut sim = engine::Simulation::new(&w.instance, &policy, &w.f0, &config);
+            let _ = sim.drive();
+            let ns = time_best_of(2, || {
+                sim.reset(&w.f0, &config);
+                let t = sim.drive();
+                assert_eq!(t.len(), w.config.num_phases);
+            });
+            println!(
+                "{} t{}: {:.2} ms/phase",
+                w.name,
+                threads,
+                ns / w.config.num_phases as f64 / 1e6
+            );
+        }
+    }
+}

@@ -7,18 +7,27 @@
 //! trajectory of the hot path is tracked in-repo from PR to PR and CI
 //! can surface regressions.
 //!
-//! Schema v3 additions (matrix-free phase rates):
+//! Schema v4 additions (deterministic multi-threaded engine):
 //!
-//! * every comparison workload records whether the fused run used the
-//!   matrix-free rate representation (`matrix_free`);
-//! * a `frontier` section times workloads whose path counts put the
-//!   dense representation out of reach (P ≥ 40 000: `grid_10x10` has
-//!   48 620 paths ≈ 19 GB of rate matrix) — fused-only, 40 phases;
-//! * a `policy_zoo` section asserts, for every stock sampling ×
-//!   migration combination, that the engine takes the matrix-free
-//!   path;
-//! * the `grid_8x8` acceptance workload (and its `speedup` field) is
-//!   reported in **both** smoke and full mode.
+//! * a `thread_scaling` section: ns/phase of the fused engine at
+//!   1/2/4/8 workers on the large and frontier workloads (smoke mode:
+//!   1/2 workers on `grid_8x8` + `many_commodity_grid_8x8x6`), each
+//!   parallel run checked **bit-identical** to the serial one
+//!   (`bit_identical` per row — CI asserts it);
+//! * a `grid_12x12` frontier row (705 432 paths, ~7× the default path
+//!   cap) in full mode — a workload only the parallel matrix-free
+//!   engine reaches in bench time;
+//! * an `ensemble` section: sweep throughput of the ensemble runner
+//!   (independent runs fanned across the pool with per-lane reusable
+//!   workspaces) at 1/2/4 lanes;
+//! * the best-of-N timing helper is the shared
+//!   `wardrop_bench::time_best_of` (one definition for every group).
+//!
+//! Schema v3 (matrix-free phase rates): every comparison workload
+//! records `matrix_free`; a `frontier` section times P ≥ 40 000
+//! workloads fused-only; a `policy_zoo` section asserts the stock
+//! combinations stay matrix-free; `grid_8x8` (and its `speedup`) is
+//! reported in both modes.
 //!
 //! Usage:
 //!
@@ -27,19 +36,20 @@
 //! ```
 //!
 //! `--smoke` restricts the dense-baseline comparisons to the small
-//! workloads plus `grid_8x8` (CI-friendly); the default also runs the
-//! remaining large workloads. Both modes run the frontier workloads.
-
-use std::time::Instant;
+//! workloads plus `grid_8x8` and trims the thread sweep (CI-friendly);
+//! the default also runs the remaining large workloads, the full
+//! 1/2/4/8 sweep and the `grid_12x12` frontier row.
 
 use serde::Serialize;
 use wardrop_bench::{
-    baseline, frontier_engine_workloads, large_engine_workloads, small_engine_workloads,
-    time_apply_event, EngineWorkload,
+    baseline, frontier_engine_workloads, grid_12x12_frontier_workload, large_engine_workloads,
+    small_engine_workloads, time_apply_event, time_best_of, EngineWorkload,
 };
 use wardrop_core::board::BulletinBoard;
-use wardrop_core::engine;
+use wardrop_core::engine::{self, Parallelism};
+use wardrop_core::ensemble::{run_many, RunSpec};
 use wardrop_core::policy::{stock_policy_zoo, ReroutingPolicy};
+use wardrop_core::WorkerPool;
 use wardrop_net::builders;
 use wardrop_net::flow::FlowVec;
 
@@ -86,6 +96,36 @@ struct ReconfigReport {
 }
 
 #[derive(Debug, Serialize)]
+struct ThreadScalingReport {
+    name: String,
+    paths: usize,
+    phases: usize,
+    /// Requested worker count (1 = the serial loop, no pool).
+    threads: usize,
+    /// Lanes the run actually used: `Parallelism` clamps at the
+    /// available CPU count, so on a 2-CPU box the 4- and 8-thread rows
+    /// resolve to 2 lanes (results are lane-count independent; only
+    /// the timing label differs).
+    lanes: usize,
+    ns_per_phase: f64,
+    /// Speedup of this lane count over the 1-lane row of the same
+    /// workload in this report.
+    speedup_vs_serial: f64,
+    /// Whether this run's trajectory (phase records, final flow) is
+    /// bit-identical to the serial run — the determinism contract.
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct EnsembleScalingReport {
+    name: String,
+    runs: usize,
+    lanes: usize,
+    ns_per_run: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     schema: String,
     mode: String,
@@ -100,17 +140,105 @@ struct BenchReport {
     /// mutation + incremental invariant refresh + in-place
     /// re-evaluation) per entry.
     reconfig: Vec<ReconfigReport>,
+    /// Thread scaling of the fused engine (ns/phase per lane count,
+    /// every parallel row verified bit-identical to serial).
+    thread_scaling: Vec<ThreadScalingReport>,
+    /// Ensemble-runner sweep throughput (ns/run per lane count).
+    ensemble: Vec<EnsembleScalingReport>,
 }
 
-/// Best-of-`repeats` wall-clock nanoseconds for `f`.
-fn time_best_of<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..repeats {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_nanos() as f64);
+/// Thread sweep on one workload: time the fused engine at each lane
+/// count and verify the parallel trajectories are bit-identical to the
+/// serial one.
+fn measure_thread_scaling(
+    w: &EngineWorkload,
+    thread_counts: &[usize],
+    repeats: usize,
+) -> Vec<ThreadScalingReport> {
+    let phases = w.config.num_phases;
+    let policy = uniform(w);
+    let serial = engine::run(&w.instance, &policy, &w.f0, &w.config);
+    assert_eq!(serial.len(), phases, "workload must run all phases");
+    let mut rows = Vec::new();
+    let mut serial_ns = f64::NAN;
+    for &threads in thread_counts {
+        let config = w
+            .config
+            .clone()
+            .with_parallelism(Parallelism::Threads(threads));
+        // Pool construction sits outside the timed region (it is
+        // per-simulation, amortised over whole runs in practice), so
+        // time through a reused Simulation.
+        let mut sim = engine::Simulation::new(&w.instance, &policy, &w.f0, &config);
+        let check = sim.drive(); // warm-up + determinism check
+        let bit_identical = check.phases == serial.phases && check.final_flow == serial.final_flow;
+        let ns = time_best_of(repeats, || {
+            sim.reset(&w.f0, &config);
+            let traj = sim.drive();
+            assert_eq!(traj.len(), phases);
+        });
+        let ns_per_phase = ns / phases as f64;
+        if threads == 1 {
+            serial_ns = ns_per_phase;
+        }
+        let row = ThreadScalingReport {
+            name: w.name.to_string(),
+            paths: w.instance.num_paths(),
+            phases,
+            threads,
+            lanes: Parallelism::Threads(threads)
+                .build_pool()
+                .map_or(1, |p| p.lanes()),
+            ns_per_phase,
+            speedup_vs_serial: serial_ns / ns_per_phase,
+            bit_identical,
+        };
+        println!(
+            "{:<28} |P|={:<6} threads {:<2} (lanes {}) {:>12.0} ns/phase   {:>5.2}x vs serial   bit-identical: {}",
+            row.name, row.paths, row.threads, row.lanes, row.ns_per_phase, row.speedup_vs_serial, row.bit_identical
+        );
+        rows.push(row);
     }
-    best
+    rows
+}
+
+/// Ensemble-runner throughput: `runs` independent grid simulations
+/// fanned across 1/2/4 lanes through per-lane reusable workspaces.
+fn measure_ensemble_scaling() -> Vec<EnsembleScalingReport> {
+    let insts: Vec<wardrop_net::Instance> = (0..16)
+        .map(|s| builders::grid_network(5, 5, 100 + s))
+        .collect();
+    let policy = wardrop_core::policy::uniform_linear(&insts[0]);
+    let config = engine::SimulationConfig::new(0.5, 40);
+    let mut rows = Vec::new();
+    let mut serial_ns = f64::NAN;
+    for lanes in [1usize, 2, 4] {
+        let pool = WorkerPool::new(lanes);
+        let ns = time_best_of(3, || {
+            let specs: Vec<RunSpec<'_, _>> = insts
+                .iter()
+                .map(|i| RunSpec::new(i, &policy, FlowVec::uniform(i), config.clone()))
+                .collect();
+            let trajs = run_many(Some(&pool), &specs);
+            assert_eq!(trajs.len(), insts.len());
+        }) / insts.len() as f64;
+        if lanes == 1 {
+            serial_ns = ns;
+        }
+        let row = EnsembleScalingReport {
+            name: "grid_5x5_sweep".to_string(),
+            runs: insts.len(),
+            lanes,
+            ns_per_run: ns,
+            speedup_vs_serial: serial_ns / ns,
+        };
+        println!(
+            "{:<28} runs={:<3} lanes {:<2} {:>12.0} ns/run   {:>5.2}x vs serial",
+            row.name, row.runs, row.lanes, row.ns_per_run, row.speedup_vs_serial
+        );
+        rows.push(row);
+    }
+    rows
 }
 
 /// Whether the fused engine's rate structure is matrix-free for this
@@ -255,6 +383,43 @@ fn main() {
         .map(measure_frontier)
         .collect();
 
+    // Thread scaling: smoke trims the sweep to 1/2 workers on the two
+    // medium workloads; full sweeps 1/2/4/8 and adds the grid_12x12
+    // frontier row (705 432 paths — enumeration alone takes a while,
+    // so it is built only when needed).
+    let mut thread_scaling = Vec::new();
+    let scaling_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut scaling_workloads: Vec<EngineWorkload> = Vec::new();
+    for w in large_engine_workloads() {
+        if w.name == "grid_8x8" {
+            scaling_workloads.push(w);
+        }
+    }
+    for w in frontier_engine_workloads() {
+        if !smoke || w.name == "many_commodity_grid_8x8x6" {
+            scaling_workloads.push(w);
+        }
+    }
+    if !smoke {
+        scaling_workloads.push(grid_12x12_frontier_workload());
+    }
+    for w in &scaling_workloads {
+        thread_scaling.extend(measure_thread_scaling(
+            w,
+            scaling_counts,
+            if smoke { 1 } else { 2 },
+        ));
+    }
+    for row in &thread_scaling {
+        assert!(
+            row.bit_identical,
+            "{} at {} threads diverged from the serial trajectory",
+            row.name, row.threads
+        );
+    }
+
+    let ensemble = measure_ensemble_scaling();
+
     let zoo = policy_zoo();
     for entry in &zoo {
         assert!(
@@ -265,12 +430,14 @@ fn main() {
     }
 
     let report = BenchReport {
-        schema: "wardrop-bench/engine/v3".to_string(),
+        schema: "wardrop-bench/engine/v4".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         workloads,
         frontier,
         policy_zoo: zoo,
         reconfig,
+        thread_scaling,
+        ensemble,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     std::fs::write(&out_path, json + "\n").expect("write report");

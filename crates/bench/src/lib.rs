@@ -16,6 +16,6 @@ pub mod baseline;
 pub mod workloads;
 
 pub use workloads::{
-    frontier_engine_workloads, large_engine_workloads, small_engine_workloads, time_apply_event,
-    workload, EngineWorkload,
+    frontier_engine_workloads, grid_12x12_frontier_workload, large_engine_workloads,
+    small_engine_workloads, time_apply_event, time_best_of, workload, EngineWorkload,
 };

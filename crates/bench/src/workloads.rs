@@ -14,6 +14,19 @@ use wardrop_net::instance::Instance;
 use wardrop_net::scenario::EventAction;
 use wardrop_net::EdgeId;
 
+/// Best-of-`repeats` wall-clock nanoseconds for `f` — the one timing
+/// helper every `bench_report` group and workload timer shares, so a
+/// single scheduler hiccup cannot masquerade as a regression anywhere.
+pub fn time_best_of<F: FnMut()>(repeats: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
 /// The standard benchmark workload: instance, initial flow and a
 /// simulation configuration of `phases` phases at period `t`.
 pub fn workload(
@@ -106,6 +119,20 @@ pub fn frontier_engine_workloads() -> Vec<EngineWorkload> {
     ]
 }
 
+/// The 12×12 frontier workload: `C(22, 11) = 705 432` paths — ~7× the
+/// `DEFAULT_PATH_CAP` and ~15.5 M CSR incidences, a scale only the
+/// parallel matrix-free engine reaches in bench time. Built lazily
+/// (enumeration alone takes seconds) and only run in `bench_report`'s
+/// full mode; few phases keep the wall-clock bounded.
+pub fn grid_12x12_frontier_workload() -> EngineWorkload {
+    engine_workload(
+        "grid_12x12",
+        builders::grid_network_with_cap(12, 12, 7, 1_000_000),
+        1.0,
+        4,
+    )
+}
+
 /// Measures scenario-reconfiguration cost on a workload: the mean
 /// nanoseconds of one [`Simulation::apply_event`] (instance mutation +
 /// incremental invariant refresh + in-place re-evaluation), averaged
@@ -116,17 +143,13 @@ pub fn time_apply_event(w: &EngineWorkload, events: usize) -> f64 {
     let policy = uniform_linear(&w.instance);
     let mut sim = Simulation::new(&w.instance, &policy, &w.f0, &w.config);
     let edge = EdgeId::from_index(0);
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
-        let start = std::time::Instant::now();
+    time_best_of(3, || {
         for k in 0..events {
             let factor = if k % 2 == 0 { 1.25 } else { 0.8 };
             sim.apply_event(&[EventAction::ScaleLatency { edge, factor }])
                 .expect("scale events apply cleanly");
         }
-        best = best.min(start.elapsed().as_nanos() as f64 / events as f64);
-    }
-    best
+    }) / events as f64
 }
 
 #[cfg(test)]

@@ -30,8 +30,18 @@
 //! latency [events](wardrop_net::scenario::Event) between phases
 //! ([`Simulation::apply_event`]), opening a new *epoch* per event while
 //! preserving the zero-allocation property within each epoch.
+//!
+//! Finally, the loop can run **multi-threaded without changing a
+//! single bit of any trajectory**: [`Parallelism`] attaches a
+//! persistent [`WorkerPool`] whose lanes fan out the fused evaluation,
+//! the per-commodity rate fills and the within-phase generator
+//! applies, with every cross-chunk float reduction kept on the
+//! dispatching thread (see the [pool docs](wardrop_pool) for the
+//! determinism argument). Independent runs fan out one level higher
+//! through [`crate::ensemble`].
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use wardrop_net::error::NetError;
@@ -40,11 +50,75 @@ use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 use wardrop_net::rng::splitmix_unit;
 use wardrop_net::scenario::{EventAction, Scenario};
+use wardrop_pool::WorkerPool;
 
 use crate::board::BulletinBoard;
 use crate::integrator::{Integrator, IntegratorScratch};
 use crate::policy::{PhaseRates, ReroutingPolicy};
 use crate::trajectory::{PhaseRecord, Trajectory};
+
+/// Environment variable overriding the configured [`Parallelism`]:
+/// when set to a positive integer `n`, every simulation resolves to
+/// `n` lanes regardless of its configuration (`1` forces serial).
+pub const THREADS_ENV: &str = "WARDROP_THREADS";
+
+/// Execution mode of a simulation's phase loop.
+///
+/// The parallel mode fans the fused evaluation, the per-commodity
+/// phase-rate fills and the within-phase generator applications across
+/// a persistent [`WorkerPool`] whose workers park between phases. Every
+/// parallel stage is element-wise with all cross-chunk float reductions
+/// kept on the dispatching thread, so `Threads(n)` produces
+/// **bit-identical trajectories** to `Serial` for every policy —
+/// pinned by the `parallel_matches_serial_bitwise` proptest and CI's
+/// bench-smoke assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Parallelism {
+    /// Single-threaded (the default): the original fused loop, no pool.
+    #[default]
+    Serial,
+    /// Exactly `n` lanes: the calling thread plus `n − 1` pool workers.
+    Threads(usize),
+    /// One lane per available CPU ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl Parallelism {
+    /// The lane count this mode resolves to, after applying the
+    /// [`THREADS_ENV`] override (always ≥ 1).
+    pub fn resolved_threads(self) -> usize {
+        if let Ok(value) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Builds the worker pool this mode calls for: `None` when it
+    /// resolves to a single lane (the serial loop needs no pool).
+    ///
+    /// The lane count is clamped at the available CPU count:
+    /// oversubscribed lanes cannot help (the pool's spin-then-park
+    /// dispatch degrades badly when lanes outnumber cores) and cannot
+    /// change results (trajectories are lane-count independent), so
+    /// `Threads(8)` on a 2-core box runs 2 lanes.
+    pub fn build_pool(self) -> Option<Arc<WorkerPool>> {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let lanes = self.resolved_threads().min(cores);
+        (lanes > 1).then(|| Arc::new(WorkerPool::new(lanes)))
+    }
+}
 
 /// All reusable state of the phase loop: the fused evaluation buffers,
 /// the per-phase rate structure, integration scratch, and the
@@ -69,18 +143,34 @@ pub struct EngineWorkspace {
     start_edge_flows: Vec<f64>,
     /// Edge latencies `ℓ_e(f̂_e)` snapshotted at the phase start.
     start_edge_latencies: Vec<f64>,
+    /// The worker pool of the parallel mode (`None`: serial loop).
+    /// Shared so cloned workspaces reuse the same parked workers.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl EngineWorkspace {
-    /// Allocates all buffers for `instance`.
+    /// Allocates all buffers for `instance` (serial mode — no pool).
     pub fn new(instance: &Instance) -> Self {
+        Self::with_pool(instance, None)
+    }
+
+    /// Allocates all buffers for `instance`, attaching a worker pool
+    /// for the parallel phase loop.
+    pub fn with_pool(instance: &Instance, pool: Option<Arc<WorkerPool>>) -> Self {
         EngineWorkspace {
             eval: EvalWorkspace::new(instance),
             rates: PhaseRates::for_instance(instance),
             scratch: IntegratorScratch::for_len(instance.num_paths()),
             start_edge_flows: vec![0.0; instance.num_edges()],
             start_edge_latencies: vec![0.0; instance.num_edges()],
+            pool,
         }
+    }
+
+    /// The attached worker pool, if the workspace runs in parallel
+    /// mode.
+    pub fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_deref()
     }
 }
 
@@ -90,7 +180,11 @@ impl EngineWorkspace {
 /// Implemented for every [`ReroutingPolicy`] (via its rate matrix and
 /// the configured integrator) and by
 /// [`BestResponse`](crate::best_response::BestResponse) (closed form).
-pub trait Dynamics: fmt::Debug {
+///
+/// `Send + Sync` so ensemble sweeps can drive independent simulations
+/// against a shared dynamics from several lanes (every in-tree
+/// implementor is a plain value type).
+pub trait Dynamics: fmt::Debug + Send + Sync {
     /// Advances `flow` by `tau` time units against the frozen `board`,
     /// using (only) the reusable buffers in `workspace` for scratch —
     /// implementations must not rely on `workspace.eval`, which the
@@ -119,13 +213,15 @@ impl<P: ReroutingPolicy + ?Sized> Dynamics for P {
         integrator: &Integrator,
         workspace: &mut EngineWorkspace,
     ) {
-        self.phase_rates_into(instance, board, &mut workspace.rates);
-        integrator.advance_with(
-            &workspace.rates,
-            flow.values_mut(),
-            tau,
-            &mut workspace.scratch,
-        );
+        let EngineWorkspace {
+            rates,
+            scratch,
+            pool,
+            ..
+        } = workspace;
+        let pool = pool.as_deref();
+        self.phase_rates_into_with(instance, board, rates, pool);
+        integrator.advance_pooled(rates, flow.values_mut(), tau, scratch, pool);
     }
 
     fn dynamics_name(&self) -> String {
@@ -206,6 +302,11 @@ pub struct SimulationConfig {
     /// Phase-length schedule (regular by default).
     #[serde(default)]
     pub schedule: PhaseSchedule,
+    /// Execution mode of the phase loop (serial by default; the
+    /// [`THREADS_ENV`] environment variable overrides it). Parallel
+    /// runs are bit-identical to serial ones — see [`Parallelism`].
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl SimulationConfig {
@@ -221,7 +322,14 @@ impl SimulationConfig {
             deltas: vec![0.05],
             stop_when_regret_below: None,
             schedule: PhaseSchedule::Fixed,
+            parallelism: Parallelism::Serial,
         }
+    }
+
+    /// Sets the execution mode of the phase loop (builder style).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Sets a jittered phase schedule (builder style).
@@ -348,14 +456,31 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         f0: &FlowVec,
         config: &SimulationConfig,
     ) -> Self {
+        let pool = config.parallelism.build_pool();
+        Self::with_worker_pool(instance, dynamics, f0, config, pool)
+    }
+
+    /// As [`Simulation::new`], but with an explicit worker pool instead
+    /// of resolving `config.parallelism` (and the [`THREADS_ENV`]
+    /// override). Pass `None` to force the serial loop — the ensemble
+    /// runner does this for its inner simulations so lane counts never
+    /// multiply — or share one [`Arc`]ed pool across simulations.
+    pub fn with_worker_pool(
+        instance: &Instance,
+        dynamics: &'a D,
+        f0: &FlowVec,
+        config: &SimulationConfig,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Self {
         config.validate();
         assert!(
             f0.is_feasible(instance, 1e-6),
             "initial flow must be feasible"
         );
         let flow = f0.clone();
-        let mut workspace = EngineWorkspace::new(instance);
-        workspace.eval.evaluate(instance, &flow);
+        let mut workspace = EngineWorkspace::with_pool(instance, pool);
+        let EngineWorkspace { eval, pool, .. } = &mut workspace;
+        eval.evaluate_with(instance, &flow, pool.as_deref());
         Simulation {
             board: BulletinBoard::for_instance(instance),
             instance: instance.clone(),
@@ -399,6 +524,13 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
     #[inline]
     pub fn eval(&self) -> &EvalWorkspace {
         &self.workspace.eval
+    }
+
+    /// Whether the workspace carries a worker pool — the parallel
+    /// phase loop is active (subject to the per-stage size gates).
+    #[inline]
+    pub fn uses_worker_pool(&self) -> bool {
+        self.workspace.pool.is_some()
     }
 
     /// Number of phases executed so far.
@@ -459,7 +591,8 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
                 }
             }
         }
-        self.workspace.eval.evaluate(&self.instance, &self.flow);
+        let EngineWorkspace { eval, pool, .. } = &mut self.workspace;
+        eval.evaluate_with(&self.instance, &self.flow, pool.as_deref());
         self.epoch += 1;
         Ok(())
     }
@@ -470,6 +603,10 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
     /// amortise the workspace allocations across runs — O(P) rate and
     /// evaluation buffers, plus any lazily allocated dense blocks when
     /// the policy is a non-separable custom rule.
+    ///
+    /// The worker pool (if any) keeps its identity across resets —
+    /// `config.parallelism` is not re-resolved; build a new
+    /// [`Simulation`] to change lane counts.
     ///
     /// # Panics
     ///
@@ -483,11 +620,41 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         );
         self.config = config.clone();
         self.flow.values_mut().copy_from_slice(f0.values());
-        self.workspace.eval.evaluate(&self.instance, &self.flow);
+        let EngineWorkspace { eval, pool, .. } = &mut self.workspace;
+        eval.evaluate_with(&self.instance, &self.flow, pool.as_deref());
         self.index = 0;
         self.epoch = 0;
         self.start_time = 0.0;
         self.stopped = false;
+    }
+
+    /// Whether `instance` has the exact shape this simulation's buffers
+    /// were allocated for — the precondition of
+    /// [`Simulation::rebind`]. Ensemble sweeps use this to decide
+    /// between rebinding a per-lane simulation and rebuilding it.
+    pub fn shape_matches(&self, instance: &Instance) -> bool {
+        instance.num_paths() == self.instance.num_paths()
+            && instance.num_edges() == self.instance.num_edges()
+            && instance.num_commodities() == self.instance.num_commodities()
+            && (0..instance.num_commodities())
+                .all(|i| instance.commodity_paths(i) == self.instance.commodity_paths(i))
+    }
+
+    /// Swaps the dynamics reference driving this simulation. The
+    /// workspace is dynamics-agnostic (rate shapes depend on the
+    /// instance only), so this composes with [`Simulation::reset`] /
+    /// [`Simulation::rebind`] for sweeps that vary the policy per run.
+    pub fn set_dynamics(&mut self, dynamics: &'a D) {
+        self.dynamics = dynamics;
+    }
+
+    /// Runs the simulation to completion from its current state,
+    /// materialising the [`Trajectory`] of the remaining phases. The
+    /// simulation (and its workspace, including any worker pool) stays
+    /// usable afterwards — [`Simulation::reset`] / [`Simulation::rebind`]
+    /// start the next run in the same buffers.
+    pub fn drive(&mut self) -> Trajectory {
+        try_drive(self, &[]).expect("static runs cannot fail event application")
     }
 
     /// Rebinds the simulation to a different instance of the **same
@@ -501,11 +668,7 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
     /// infeasible for `instance`.
     pub fn rebind(&mut self, instance: &Instance, f0: &FlowVec, config: &SimulationConfig) {
         assert!(
-            instance.num_paths() == self.instance.num_paths()
-                && instance.num_edges() == self.instance.num_edges()
-                && instance.num_commodities() == self.instance.num_commodities()
-                && (0..instance.num_commodities())
-                    .all(|i| instance.commodity_paths(i) == self.instance.commodity_paths(i)),
+            self.shape_matches(instance),
             "rebind requires an instance of identical shape"
         );
         self.instance.clone_from(instance);
@@ -583,7 +746,8 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
 
         // One evaluation per phase boundary: the phase end doubles as
         // the next phase's start.
-        self.workspace.eval.evaluate(&self.instance, &self.flow);
+        let EngineWorkspace { eval, pool, .. } = &mut self.workspace;
+        eval.evaluate_with(&self.instance, &self.flow, pool.as_deref());
         let potential_end = self.workspace.eval.potential();
         let virtual_gain = self.workspace.eval.virtual_gain_from(
             &self.workspace.start_edge_flows,
@@ -627,8 +791,8 @@ pub fn run<D: Dynamics + ?Sized>(
     f0: &FlowVec,
     config: &SimulationConfig,
 ) -> Trajectory {
-    let sim = Simulation::new(instance, dynamics, f0, config);
-    drive(sim, &[])
+    let mut sim = Simulation::new(instance, dynamics, f0, config);
+    sim.drive()
 }
 
 /// Runs `dynamics` from `f0` through a non-stationary [`Scenario`]:
@@ -656,21 +820,16 @@ pub fn run_scenario<D: Dynamics + ?Sized>(
     config: &SimulationConfig,
     scenario: &Scenario,
 ) -> Result<Trajectory, NetError> {
-    let sim = Simulation::new(instance, dynamics, f0, config);
-    try_drive(sim, scenario.events())
+    let mut sim = Simulation::new(instance, dynamics, f0, config);
+    try_drive(&mut sim, scenario.events())
 }
 
 /// Drives a simulation to completion against a (possibly empty) sorted
-/// event list, materialising the [`Trajectory`].
-fn drive<D: Dynamics + ?Sized>(
-    sim: Simulation<'_, D>,
-    events: &[wardrop_net::scenario::Event],
-) -> Trajectory {
-    try_drive(sim, events).expect("static runs cannot fail event application")
-}
-
+/// event list, materialising the [`Trajectory`]. Leaves the simulation
+/// — and its pre-allocated workspace — reusable via
+/// [`Simulation::reset`] / [`Simulation::rebind`].
 fn try_drive<D: Dynamics + ?Sized>(
-    mut sim: Simulation<'_, D>,
+    sim: &mut Simulation<'_, D>,
     events: &[wardrop_net::scenario::Event],
 ) -> Result<Trajectory, NetError> {
     let config = sim.config().clone();
@@ -699,15 +858,14 @@ fn try_drive<D: Dynamics + ?Sized>(
         }
     }
 
-    let dynamics = sim.dynamics.dynamics_name();
     Ok(Trajectory {
         update_period: config.update_period,
         deltas: config.deltas.clone(),
         phases,
         flows,
         flow_stride: stride,
-        final_flow: sim.into_flow(),
-        dynamics,
+        final_flow: sim.flow().clone(),
+        dynamics: sim.dynamics.dynamics_name(),
     })
 }
 
@@ -810,6 +968,61 @@ mod tests {
         assert_eq!(sim.phases_run(), 25);
         assert_eq!(records, traj.phases);
         assert_eq!(sim.flow(), &traj.final_flow);
+    }
+
+    #[test]
+    fn threads_mode_is_bit_identical_to_serial() {
+        // Large enough that the parallel gates (eval, rate fill,
+        // apply) genuinely engage — grid_8x8 crosses all thresholds.
+        let inst = builders::grid_network(8, 8, 7);
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let serial_config = SimulationConfig::new(1.0, 4).with_flows();
+        let serial = run(&inst, &policy, &f0, &serial_config);
+        for n in [2usize, 4] {
+            let config = serial_config
+                .clone()
+                .with_parallelism(Parallelism::Threads(n));
+            let par = run(&inst, &policy, &f0, &config);
+            assert_eq!(par.phases, serial.phases, "records diverged at {n} threads");
+            assert_eq!(par.flows, serial.flows, "flows diverged at {n} threads");
+            assert_eq!(par.final_flow, serial.final_flow, "{n} threads");
+        }
+    }
+
+    #[test]
+    fn parallelism_resolves_threads_and_env_override() {
+        // The resolution asserts below only hold when the environment
+        // override is absent (a developer shell may export it).
+        if std::env::var(THREADS_ENV).is_err() {
+            assert_eq!(Parallelism::Serial.resolved_threads(), 1);
+            assert_eq!(Parallelism::Threads(3).resolved_threads(), 3);
+            assert_eq!(Parallelism::Threads(0).resolved_threads(), 1);
+            assert!(Parallelism::Auto.resolved_threads() >= 1);
+            assert!(Parallelism::Serial.build_pool().is_none());
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            match Parallelism::Threads(2).build_pool() {
+                // Clamped at the CPU count: a pool exists iff ≥ 2
+                // lanes resolve, and never more than requested.
+                Some(pool) => assert_eq!(pool.lanes(), 2.min(cores)),
+                None => assert_eq!(cores, 1),
+            }
+        }
+        // Serde round-trip of the new config field.
+        let config = SimulationConfig::new(0.5, 3).with_parallelism(Parallelism::Threads(4));
+        let json = serde_json::to_string(&config).expect("serialise");
+        let back: SimulationConfig = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back.parallelism, Parallelism::Threads(4));
+        // Configs serialised before the field existed still load.
+        let legacy: SimulationConfig = serde_json::from_str(
+            &json
+                .replace("\"parallelism\":{\"Threads\":4},", "")
+                .replace(",\"parallelism\":{\"Threads\":4}", ""),
+        )
+        .expect("legacy config");
+        assert_eq!(legacy.parallelism, Parallelism::Serial);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The ensemble sweep runner: independent [`Simulation`] runs fanned
+//! across a [`WorkerPool`], with one reusable engine workspace per
+//! lane.
+//!
+//! Parameter sweeps (E4/E5), scenario batteries (`wardrop-lab`) and
+//! thread-scaling benches all share the same shape: hundreds to
+//! thousands of *independent* simulations over a small set of instance
+//! shapes. This module packages that pattern:
+//!
+//! * each lane lazily builds one [`Simulation`] and **reuses** it run
+//!   to run through [`Simulation::rebind`] whenever the next spec has
+//!   the same shape — the O(P) evaluation/rate buffers (and any lazy
+//!   dense blocks) are allocated once per lane, not once per run;
+//! * inner simulations are forced serial
+//!   ([`Simulation::with_worker_pool`] with `None`), so ensemble
+//!   parallelism and within-run parallelism never multiply;
+//! * results land in spec order regardless of which lane ran which
+//!   spec, and every run is deterministic in isolation, so the
+//!   ensemble output is **independent of the lane count** — including
+//!   `pool = None`.
+
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+use wardrop_pool::WorkerPool;
+
+use crate::engine::{Dynamics, Simulation, SimulationConfig};
+use crate::trajectory::Trajectory;
+
+/// One independent run of an ensemble sweep.
+#[derive(Debug)]
+pub struct RunSpec<'a, D: ?Sized> {
+    /// The instance to simulate.
+    pub instance: &'a Instance,
+    /// The dynamics driving this run (may differ per spec — a lane's
+    /// simulation swaps dynamics via [`Simulation::set_dynamics`]).
+    pub dynamics: &'a D,
+    /// Initial flow.
+    pub f0: FlowVec,
+    /// Run configuration. Its `parallelism` field is ignored — inner
+    /// runs are always serial; parallelism lives at the ensemble level.
+    pub config: SimulationConfig,
+}
+
+impl<'a, D: Dynamics + ?Sized> RunSpec<'a, D> {
+    /// Bundles one run.
+    pub fn new(
+        instance: &'a Instance,
+        dynamics: &'a D,
+        f0: FlowVec,
+        config: SimulationConfig,
+    ) -> Self {
+        RunSpec {
+            instance,
+            dynamics,
+            f0,
+            config,
+        }
+    }
+}
+
+/// Runs every spec and folds each with `per_run`, fanning the runs
+/// across `pool` (serially when `None` or single-lane). `per_run`
+/// receives the spec index and an in-flight simulation positioned at
+/// phase 0; it typically streams [`Simulation::step`] and returns a
+/// count, a trajectory, or any `Send` summary.
+///
+/// Results are returned in spec order. Lane-local simulations are
+/// reused across specs of identical shape (see the module docs), which
+/// is bit-transparent: a rebound workspace replays a run exactly.
+pub fn map_runs<'a, D, R, F>(
+    pool: Option<&WorkerPool>,
+    specs: &[RunSpec<'a, D>],
+    per_run: F,
+) -> Vec<R>
+where
+    D: Dynamics + ?Sized,
+    R: Send,
+    F: Fn(usize, &mut Simulation<'_, D>) -> R + Sync,
+{
+    let exec = |lane_sim: &mut Option<Simulation<'a, D>>, i: usize| -> R {
+        let spec = &specs[i];
+        let reusable = lane_sim
+            .as_ref()
+            .is_some_and(|sim| sim.shape_matches(spec.instance));
+        if reusable {
+            let sim = lane_sim.as_mut().expect("checked above");
+            sim.set_dynamics(spec.dynamics);
+            sim.rebind(spec.instance, &spec.f0, &spec.config);
+        } else {
+            *lane_sim = Some(Simulation::with_worker_pool(
+                spec.instance,
+                spec.dynamics,
+                &spec.f0,
+                &spec.config,
+                None,
+            ));
+        }
+        per_run(i, lane_sim.as_mut().expect("simulation just ensured"))
+    };
+
+    match pool {
+        Some(pool) if pool.lanes() > 1 && specs.len() > 1 => {
+            pool.map_collect(specs.len(), || None, |lane_sim, i| exec(lane_sim, i))
+        }
+        _ => {
+            let mut lane_sim: Option<Simulation<'a, D>> = None;
+            (0..specs.len()).map(|i| exec(&mut lane_sim, i)).collect()
+        }
+    }
+}
+
+/// Runs every spec to completion, returning one [`Trajectory`] per
+/// spec (in spec order). The materialising convenience over
+/// [`map_runs`]; prefer a streaming `per_run` fold when only a scalar
+/// per run is needed — trajectories of long runs are large.
+pub fn run_many<'a, D>(pool: Option<&WorkerPool>, specs: &[RunSpec<'a, D>]) -> Vec<Trajectory>
+where
+    D: Dynamics + ?Sized,
+{
+    map_runs(pool, specs, |_, sim| sim.drive())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, SimulationConfig};
+    use crate::policy::{replicator, uniform_linear};
+    use wardrop_net::builders;
+
+    fn specs_for<'a, D: Dynamics + ?Sized>(
+        insts: &'a [Instance],
+        dynamics: &'a D,
+        config: &SimulationConfig,
+    ) -> Vec<RunSpec<'a, D>> {
+        insts
+            .iter()
+            .map(|inst| RunSpec::new(inst, dynamics, FlowVec::uniform(inst), config.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn ensemble_matches_individual_runs_bitwise_for_any_lane_count() {
+        let insts: Vec<Instance> = [3u64, 7, 11, 13, 17]
+            .iter()
+            .map(|s| builders::standard_random_links(6, *s))
+            .collect();
+        let policy = uniform_linear(&insts[0]);
+        let config = SimulationConfig::new(0.2, 40).with_flows();
+        let reference: Vec<Trajectory> = insts
+            .iter()
+            .map(|i| run(i, &policy, &FlowVec::uniform(i), &config))
+            .collect();
+        for lanes in [1usize, 2, 4] {
+            let pool = WorkerPool::new(lanes);
+            let specs = specs_for(&insts, &policy, &config);
+            let got = run_many(Some(&pool), &specs);
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.phases, r.phases, "lanes = {lanes}");
+                assert_eq!(g.final_flow, r.final_flow, "lanes = {lanes}");
+                assert_eq!(g.flows, r.flows, "lanes = {lanes}");
+            }
+        }
+        // And with no pool at all.
+        let specs = specs_for(&insts, &policy, &config);
+        let got = run_many(None, &specs);
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.phases, r.phases);
+        }
+    }
+
+    #[test]
+    fn map_runs_streams_and_orders_results() {
+        let insts: Vec<Instance> = (0..7)
+            .map(|s| builders::standard_random_links(4, 100 + s))
+            .collect();
+        let policy = uniform_linear(&insts[0]);
+        let config = SimulationConfig::new(0.25, 15);
+        let specs = specs_for(&insts, &policy, &config);
+        let pool = WorkerPool::new(3);
+        let counts = map_runs(Some(&pool), &specs, |i, sim| {
+            let mut steps = 0usize;
+            while sim.step().is_some() {
+                steps += 1;
+            }
+            (i, steps)
+        });
+        for (i, (idx, steps)) in counts.iter().enumerate() {
+            assert_eq!(*idx, i, "results must land in spec order");
+            assert_eq!(*steps, 15);
+        }
+    }
+
+    #[test]
+    fn mixed_dynamics_and_shapes_rebuild_lane_simulations() {
+        let small = builders::standard_random_links(4, 1);
+        let big = builders::standard_random_links(9, 2);
+        let uni_small = uniform_linear(&small);
+        let uni_big = uniform_linear(&big);
+        let rep_small = replicator(&small);
+        let config = SimulationConfig::new(0.2, 10);
+        // Same shape, different dynamics → set_dynamics + rebind; new
+        // shape → rebuild. All against dyn so the specs mix policies.
+        let specs: Vec<RunSpec<'_, dyn Dynamics>> = vec![
+            RunSpec::new(&small, &uni_small, FlowVec::uniform(&small), config.clone()),
+            RunSpec::new(&small, &rep_small, FlowVec::uniform(&small), config.clone()),
+            RunSpec::new(&big, &uni_big, FlowVec::uniform(&big), config.clone()),
+        ];
+        let got = run_many(None, &specs);
+        assert_eq!(
+            got[0].phases,
+            run(&small, &uni_small, &FlowVec::uniform(&small), &config).phases
+        );
+        assert_eq!(
+            got[1].phases,
+            run(&small, &rep_small, &FlowVec::uniform(&small), &config).phases
+        );
+        assert_eq!(
+            got[2].phases,
+            run(&big, &uni_big, &FlowVec::uniform(&big), &config).phases
+        );
+    }
+}

@@ -18,7 +18,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::policy::PhaseRates;
+use crate::policy::{ApplyScratch, PhaseRates};
+use wardrop_pool::WorkerPool;
 
 /// Integration scheme for one phase of length `τ`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,6 +49,11 @@ impl Default for Integrator {
     }
 }
 
+/// Path count below which the pooled fused-axpy pass of
+/// uniformization stays serial (memory-bound work; only large vectors
+/// amortise a dispatch).
+const PARALLEL_AXPY_MIN: usize = 8192;
+
 /// Reusable integration buffers, so stepping a phase allocates nothing.
 ///
 /// Buffers grow on first use and are retained across phases; a scratch
@@ -59,6 +65,12 @@ pub struct IntegratorScratch {
     k3: Vec<f64>,
     k4: Vec<f64>,
     tmp: Vec<f64>,
+    /// Staging for the pooled generator apply (sorted-position values
+    /// and chunk bounds); unused in serial mode.
+    apply: ApplyScratch,
+    /// Equal-chunk bounds for the pooled axpy passes; unused in serial
+    /// mode.
+    axpy_bounds: Vec<usize>,
 }
 
 impl IntegratorScratch {
@@ -113,6 +125,27 @@ impl Integrator {
         tau: f64,
         scratch: &mut IntegratorScratch,
     ) {
+        self.advance_pooled(rates, f, tau, scratch, None);
+    }
+
+    /// [`Integrator::advance_with`], optionally fanning every generator
+    /// application across a [`WorkerPool`] via
+    /// [`PhaseRates::apply_with`] — bit-identical to the serial
+    /// integration for every lane count (the scalar recurrences —
+    /// Poisson weights, step bookkeeping, the axpy updates — stay on
+    /// the dispatching thread in their serial order).
+    ///
+    /// # Panics
+    ///
+    /// As [`Integrator::advance`].
+    pub fn advance_pooled(
+        &self,
+        rates: &PhaseRates,
+        f: &mut [f64],
+        tau: f64,
+        scratch: &mut IntegratorScratch,
+        pool: Option<&WorkerPool>,
+    ) {
         assert!(tau.is_finite() && tau >= 0.0, "phase length must be ≥ 0");
         if tau == 0.0 {
             return;
@@ -121,15 +154,15 @@ impl Integrator {
         match *self {
             Integrator::Euler { dt } => {
                 assert!(dt > 0.0, "Euler step must be positive");
-                euler(rates, f, tau, dt, scratch);
+                euler(rates, f, tau, dt, scratch, pool);
             }
             Integrator::Rk4 { dt } => {
                 assert!(dt > 0.0, "RK4 step must be positive");
-                rk4(rates, f, tau, dt, scratch);
+                rk4(rates, f, tau, dt, scratch, pool);
             }
             Integrator::Uniformization { tol } => {
                 assert!(tol > 0.0, "uniformization tolerance must be positive");
-                uniformization(rates, f, tau, tol, scratch);
+                uniformization(rates, f, tau, tol, scratch, pool);
             }
         }
     }
@@ -144,13 +177,22 @@ impl Integrator {
     }
 }
 
-fn euler(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64, scratch: &mut IntegratorScratch) {
+fn euler(
+    rates: &PhaseRates,
+    f: &mut [f64],
+    tau: f64,
+    dt: f64,
+    scratch: &mut IntegratorScratch,
+    pool: Option<&WorkerPool>,
+) {
     let n = f.len();
-    let deriv = &mut scratch.k1;
+    let IntegratorScratch {
+        k1: deriv, apply, ..
+    } = scratch;
     let mut remaining = tau;
     while remaining > 1e-15 {
         let h = dt.min(remaining);
-        rates.apply(f, deriv);
+        rates.apply_with(f, deriv, pool, apply);
         for i in 0..n {
             f[i] += h * deriv[i];
         }
@@ -158,7 +200,14 @@ fn euler(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64, scratch: &mut Int
     }
 }
 
-fn rk4(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64, scratch: &mut IntegratorScratch) {
+fn rk4(
+    rates: &PhaseRates,
+    f: &mut [f64],
+    tau: f64,
+    dt: f64,
+    scratch: &mut IntegratorScratch,
+    pool: Option<&WorkerPool>,
+) {
     let n = f.len();
     let IntegratorScratch {
         k1,
@@ -166,23 +215,25 @@ fn rk4(rates: &PhaseRates, f: &mut [f64], tau: f64, dt: f64, scratch: &mut Integ
         k3,
         k4,
         tmp,
+        apply,
+        ..
     } = scratch;
     let mut remaining = tau;
     while remaining > 1e-15 {
         let h = dt.min(remaining);
-        rates.apply(f, k1);
+        rates.apply_with(f, k1, pool, apply);
         for i in 0..n {
             tmp[i] = f[i] + 0.5 * h * k1[i];
         }
-        rates.apply(tmp, k2);
+        rates.apply_with(tmp, k2, pool, apply);
         for i in 0..n {
             tmp[i] = f[i] + 0.5 * h * k2[i];
         }
-        rates.apply(tmp, k3);
+        rates.apply_with(tmp, k3, pool, apply);
         for i in 0..n {
             tmp[i] = f[i] + h * k3[i];
         }
-        rates.apply(tmp, k4);
+        rates.apply_with(tmp, k4, pool, apply);
         for i in 0..n {
             f[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
@@ -202,6 +253,7 @@ fn uniformization(
     tau: f64,
     tol: f64,
     scratch: &mut IntegratorScratch,
+    pool: Option<&WorkerPool>,
 ) {
     // Λ is tracked during the rate fill (for matrix-free blocks it
     // falls out of the sorted-extreme sweep), so this is O(commodities).
@@ -215,6 +267,8 @@ fn uniformization(
         k1: v,
         k2: av,
         k3: out,
+        apply,
+        axpy_bounds,
         ..
     } = scratch;
     v.copy_from_slice(f);
@@ -223,17 +277,49 @@ fn uniformization(
     for (o, vi) in out.iter_mut().zip(v.iter()) {
         *o = weight * vi;
     }
+    // Pooled mode fuses the two per-iteration vector updates into one
+    // equal-chunk dispatch. Element-wise (out[i] reads the freshly
+    // updated v[i] in both orders), so bit-identical to the two serial
+    // loops.
+    let axpy_pool = match pool {
+        Some(p) if p.lanes() > 1 && f.len() >= PARALLEL_AXPY_MIN => {
+            axpy_bounds.clear();
+            let step = f.len().div_ceil(p.lanes());
+            axpy_bounds.push(0);
+            let mut done = 0;
+            while done < f.len() {
+                done = (done + step).min(f.len());
+                axpy_bounds.push(done);
+            }
+            Some(p)
+        }
+        _ => None,
+    };
     // Cap iterations defensively: mean Λτ, tail needs ~Λτ + 40√Λτ terms.
     let max_k = (lt + 40.0 * lt.sqrt() + 64.0).ceil() as usize;
     for k in 1..=max_k {
         // v ← M v = v + (A v)/Λ.
-        rates.apply(v, av);
-        for (vi, a) in v.iter_mut().zip(av.iter()) {
-            *vi += a / lambda;
-        }
+        rates.apply_with(v, av, pool, apply);
         weight *= lt / k as f64;
-        for (o, vi) in out.iter_mut().zip(v.iter()) {
-            *o += weight * vi;
+        match axpy_pool {
+            Some(p) => {
+                let av = &*av;
+                p.for_parts2(v, out, axpy_bounds, |pi, vp, op| {
+                    let base = axpy_bounds[pi];
+                    for (j, (vi, o)) in vp.iter_mut().zip(op.iter_mut()).enumerate() {
+                        *vi += av[base + j] / lambda;
+                        *o += weight * *vi;
+                    }
+                });
+            }
+            None => {
+                for (vi, a) in v.iter_mut().zip(av.iter()) {
+                    *vi += a / lambda;
+                }
+                for (o, vi) in out.iter_mut().zip(v.iter()) {
+                    *o += weight * vi;
+                }
+            }
         }
         cumulative += weight;
         if 1.0 - cumulative < tol && k as f64 > lt {

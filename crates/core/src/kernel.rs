@@ -276,6 +276,135 @@ pub(crate) fn apply_block(
     }
 }
 
+/// The chunked form of [`apply_block`]: computes the generator outputs
+/// of the sorted-position targets `kq ∈ [from, to)` only, writing
+/// `out_part[kq - from]` for target `q = order[kq]` (note: indexed by
+/// *sorted position*, not by local path — the caller scatters through
+/// `order` afterwards).
+///
+/// **Bit-identical to the corresponding iterations of the serial
+/// sweep.** The running suffix accumulators of [`apply_block`] at
+/// position `from` are reconstructed by replaying exactly the serial
+/// subtraction sequence: starting from the shared block totals
+/// (computed once per apply by [`block_totals`], in the serial
+/// accumulation order), the two monotone pointers are advanced to
+/// where the serial loop would have left them after target `from − 1`
+/// (their positions depend only on that target's latency, because the
+/// thresholds are monotone in `ℓ_Q`). The replay costs O(from)
+/// subtractions — a couple of flops per element versus the ~10 of the
+/// full per-target work, which is why the caller sizes earlier chunks
+/// larger (they pay less catch-up).
+/// The serial opening pass of [`apply_block`]: the block totals
+/// `(Σ f_P, Σ f_P·x_P)` accumulated in sorted order (`x = ℓ` for the
+/// linear kernels, `1/ℓ` for relative slack). Computed once per apply
+/// and shared by every chunk, so the chunked accumulators start from
+/// exactly the serial sweep's values.
+pub(crate) fn block_totals(
+    kernel: SeparableKernel,
+    order: &[u32],
+    latencies: &[f64],
+    f: &[f64],
+) -> [f64; 2] {
+    let mut suf_f = 0.0;
+    let mut suf_fx = 0.0;
+    for &p in order {
+        let p = p as usize;
+        suf_f += f[p];
+        suf_fx += match kernel {
+            SeparableKernel::RelativeSlack => f[p] * recip_or_zero(latencies[p]),
+            _ => f[p] * latencies[p],
+        };
+    }
+    [suf_f, suf_fx]
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_block_part(
+    kernel: SeparableKernel,
+    order: &[u32],
+    weights: &[f64],
+    latencies: &[f64],
+    exit: &[f64],
+    f: &[f64],
+    totals: [f64; 2],
+    from: usize,
+    to: usize,
+    out_part: &mut [f64],
+) {
+    let n = order.len();
+    debug_assert!(from <= to && to <= n);
+    debug_assert_eq!(out_part.len(), to - from);
+    let [mut suf_f, mut suf_fx] = totals;
+    let mut k_gt = 0usize;
+    let mut k_cl = 0usize;
+    let mut suf_f_cl = suf_f;
+    let mut suf_fl_cl = suf_fx;
+    // Catch-up: replay the serial pointer advancement up to the state
+    // after target `from − 1`.
+    if from > 0 {
+        let prev_lq = latencies[order[from - 1] as usize];
+        while k_gt < n {
+            let p = order[k_gt] as usize;
+            if latencies[p] > prev_lq {
+                break;
+            }
+            suf_f -= f[p];
+            suf_fx -= match kernel {
+                SeparableKernel::RelativeSlack => f[p] * recip_or_zero(latencies[p]),
+                _ => f[p] * latencies[p],
+            };
+            k_gt += 1;
+        }
+        if let SeparableKernel::ClampedLinear { alpha } = kernel {
+            let saturation = prev_lq + 1.0 / alpha;
+            while k_cl < n {
+                let p = order[k_cl] as usize;
+                if latencies[p] >= saturation {
+                    break;
+                }
+                suf_f_cl -= f[p];
+                suf_fl_cl -= f[p] * latencies[p];
+                k_cl += 1;
+            }
+        }
+    }
+    // The serial per-target body, restricted to [from, to).
+    for kq in from..to {
+        let q = order[kq] as usize;
+        let lq = latencies[q];
+        while k_gt < n {
+            let p = order[k_gt] as usize;
+            if latencies[p] > lq {
+                break;
+            }
+            suf_f -= f[p];
+            suf_fx -= match kernel {
+                SeparableKernel::RelativeSlack => f[p] * recip_or_zero(latencies[p]),
+                _ => f[p] * latencies[p],
+            };
+            k_gt += 1;
+        }
+        let inflow = match kernel {
+            SeparableKernel::Indicator => suf_f,
+            SeparableKernel::ClampedLinear { alpha } => {
+                let saturation = lq + 1.0 / alpha;
+                while k_cl < n {
+                    let p = order[k_cl] as usize;
+                    if latencies[p] >= saturation {
+                        break;
+                    }
+                    suf_f_cl -= f[p];
+                    suf_fl_cl -= f[p] * latencies[p];
+                    k_cl += 1;
+                }
+                alpha * ((suf_fx - suf_fl_cl) - lq * (suf_f - suf_f_cl)) + suf_f_cl
+            }
+            SeparableKernel::RelativeSlack => suf_f - lq * suf_fx,
+        };
+        out_part[kq - from] = weights[q] * inflow.max(0.0) - f[q] * exit[q];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +494,52 @@ mod tests {
         assert_eq!(SeparableKernel::Indicator.probability(1.0, 0.999), 1.0);
         assert_eq!(SeparableKernel::RelativeSlack.probability(0.0, 0.0), 0.0);
         assert!((SeparableKernel::RelativeSlack.probability(2.0, 0.5) - 0.75).abs() < 1e-15);
+    }
+
+    /// Every chunking of `apply_block_part` reproduces the serial
+    /// sweep bit for bit — ties, zeros and saturated regions included.
+    #[test]
+    fn chunked_apply_is_bit_identical_for_every_split() {
+        let latencies = [0.6, 0.0, 1.4, 0.6, 2.5, 1.4, 0.0, 0.9, 2.5];
+        let weights = [0.2, 0.1, 0.05, 0.2, 0.1, 0.05, 0.1, 0.1, 0.1];
+        let f = [0.3, 0.0, 0.2, 0.0, 0.15, 0.15, 0.1, 0.05, 0.05];
+        let n = latencies.len();
+        let order = sorted_order(&latencies);
+        for kernel in kernels() {
+            let mut exit = [0.0; 9];
+            fill_exit_rates(kernel, &order, &weights, &latencies, &mut exit);
+            let mut serial = [0.0; 9];
+            apply_block(kernel, &order, &weights, &latencies, &exit, &f, &mut serial);
+            // All 1-, 2- and 3-way contiguous splits.
+            for a in 0..=n {
+                for b in a..=n {
+                    let totals = block_totals(kernel, &order, &latencies, &f);
+                    let mut chunked = vec![0.0; n];
+                    let do_part = |lo: usize, hi: usize, out: &mut Vec<f64>| {
+                        let mut part = vec![0.0; hi - lo];
+                        apply_block_part(
+                            kernel, &order, &weights, &latencies, &exit, &f, totals, lo, hi,
+                            &mut part,
+                        );
+                        for (j, v) in part.into_iter().enumerate() {
+                            out[order[lo + j] as usize] = v;
+                        }
+                    };
+                    do_part(0, a, &mut chunked);
+                    do_part(a, b, &mut chunked);
+                    do_part(b, n, &mut chunked);
+                    for q in 0..n {
+                        assert_eq!(
+                            chunked[q].to_bits(),
+                            serial[q].to_bits(),
+                            "{kernel:?} split ({a},{b}) target {q}: {} vs {}",
+                            chunked[q],
+                            serial[q]
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   [uniformization](integrator::Integrator::Uniformization)
 //!   integrators, plus scenario epochs
 //!   ([`engine::run_scenario`], [`Simulation::apply_event`]) for
-//!   non-stationary demands and latencies;
+//!   non-stationary demands and latencies, plus a deterministic
+//!   multi-threaded mode ([`engine::Parallelism`] — bit-identical to
+//!   serial at every lane count) and an [ensemble sweep
+//!   runner](ensemble) fanning independent runs across per-lane
+//!   reusable workspaces;
 //! * the [best-response dynamics](best_response) (Eq. (4)) with its
 //!   closed-form phase solution;
 //! * per-phase [trajectories](trajectory) recording the quantities the
@@ -54,6 +58,7 @@
 pub mod best_response;
 pub mod board;
 pub mod engine;
+pub mod ensemble;
 pub mod integrator;
 pub mod kernel;
 pub mod migration;
@@ -64,10 +69,14 @@ pub mod trajectory;
 
 pub use best_response::BestResponse;
 pub use board::BulletinBoard;
-pub use engine::{run, run_scenario, Dynamics, EngineWorkspace, Simulation, SimulationConfig};
+pub use engine::{
+    run, run_scenario, Dynamics, EngineWorkspace, Parallelism, Simulation, SimulationConfig,
+};
+pub use ensemble::{map_runs, run_many, RunSpec};
 pub use integrator::{Integrator, IntegratorScratch};
 pub use kernel::SeparableKernel;
 pub use migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};
 pub use policy::{stock_policy_zoo, PhaseRates, ReroutingPolicy, SmoothPolicy};
 pub use sampling::{Logit, Proportional, SamplingRule, Uniform};
 pub use trajectory::{PhaseRecord, Trajectory};
+pub use wardrop_pool::WorkerPool;

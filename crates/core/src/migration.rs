@@ -23,7 +23,7 @@ use crate::kernel::SeparableKernel;
 /// Conventions from the paper: `µ(ℓ_P, ℓ_Q) = 0` whenever
 /// `ℓ_Q ≥ ℓ_P` (agents only make selfish moves), and `µ` is
 /// non-decreasing in the latency difference.
-pub trait MigrationRule: fmt::Debug {
+pub trait MigrationRule: fmt::Debug + Send + Sync {
     /// Probability of migrating from a path with board latency `l_from`
     /// to one with board latency `l_to`.
     fn probability(&self, l_from: f64, l_to: f64) -> f64;

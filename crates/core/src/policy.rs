@@ -32,6 +32,53 @@ use crate::kernel::{self, SeparableKernel};
 use crate::migration::MigrationRule;
 use crate::sampling::SamplingRule;
 use wardrop_net::instance::Instance;
+use wardrop_pool::WorkerPool;
+
+/// Path count below which the pooled fill/apply variants stay serial:
+/// a dispatch costs a couple of microseconds (spin-handoff) plus the
+/// permutation scatter, which only the larger workloads amortise.
+const PARALLEL_RATES_MIN_PATHS: usize = 2048;
+
+/// Minimum block size worth splitting *within* a block: smaller blocks
+/// run as one part each (block-level parallelism only). The chunked
+/// sweep pays a staging buffer, a permutation scatter and a catch-up
+/// replay; measured on the bench box those only amortise at frontier
+/// scale (hundreds of thousands of sorted targets), so the threshold
+/// is deliberately high — `grid_12x12` (705 432 paths) splits,
+/// `grid_10x10` (48 620) does not.
+const WITHIN_BLOCK_SPLIT_MIN: usize = 1 << 16;
+
+/// Catch-up replay cost per element relative to the full per-target
+/// work of the chunked matrix-free apply (see [`crate::kernel`]).
+/// Later chunks replay the serial accumulator past every earlier
+/// element, so earlier chunks are sized larger by this ratio — the
+/// boundaries stay a pure function of `(n, parts)`.
+const CATCHUP_COST_RATIO: f64 = 0.35;
+
+/// Pushes the `parts` weighted chunk boundaries of `0..n` (excluding
+/// 0, including `n`) onto `bounds`, offset by `base`. Chunk `i`'s
+/// completion time is modelled as `size_i + r · start_i`; equalising
+/// gives the geometric recurrence below.
+fn push_weighted_bounds(base: usize, n: usize, parts: usize, bounds: &mut Vec<usize>) {
+    if parts <= 1 || n <= 1 {
+        bounds.push(base + n);
+        return;
+    }
+    let r = CATCHUP_COST_RATIO;
+    let t = n as f64 * r / (1.0 - (1.0 - r).powi(parts as i32));
+    let mut b = 0.0f64;
+    let mut prev = 0usize;
+    for i in 0..parts {
+        b = t + (1.0 - r) * b;
+        let mut cut = b.round() as usize;
+        if i + 1 == parts {
+            cut = n;
+        }
+        let cut = cut.clamp(prev, n);
+        bounds.push(base + cut);
+        prev = cut;
+    }
+}
 
 /// Storage mode of one commodity block.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -278,6 +325,211 @@ impl PhaseRates {
             .iter()
             .all(|b| !matches!(b.mode, RateMode::Dense))
     }
+
+    /// [`PhaseRates::apply`], optionally fanned across a [`WorkerPool`]
+    /// — **bit-identical** to the serial apply for every lane count.
+    ///
+    /// Parallelism is two-level and preserves every float-operation
+    /// sequence of the serial sweep:
+    ///
+    /// * matrix-free blocks are chunked over their *sorted target
+    ///   positions*; each chunk replays the serial suffix-accumulator
+    ///   state at its boundary (see
+    ///   [`crate::kernel`]'s chunked apply), writes into a
+    ///   sorted-position scratch, and a serial pass scatters through
+    ///   the permutation;
+    /// * dense blocks are chunked over *columns*; each column's
+    ///   accumulation runs in the serial row order.
+    ///
+    /// With `pool = None` (or on instances below the dispatch
+    /// threshold) this is exactly [`PhaseRates::apply`]. `scratch`
+    /// holds the sorted-position buffer and the chunk bounds; it grows
+    /// once and is reused allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the instance's path count.
+    pub fn apply_with(
+        &self,
+        f: &[f64],
+        out: &mut [f64],
+        pool: Option<&WorkerPool>,
+        scratch: &mut ApplyScratch,
+    ) {
+        let pool = match pool {
+            Some(p) if p.lanes() > 1 && self.num_paths >= PARALLEL_RATES_MIN_PATHS => p,
+            _ => return self.apply(f, out),
+        };
+        assert_eq!(f.len(), self.num_paths);
+        assert_eq!(out.len(), self.num_paths);
+
+        // When no block is large enough to split, skip the staging
+        // buffer entirely: fan the serial per-block sweeps across the
+        // lanes, each writing its own contiguous slice of `out`
+        // directly (a single small block degenerates to the plain
+        // serial apply).
+        if self.blocks.iter().all(|b| b.n < WITHIN_BLOCK_SPLIT_MIN) {
+            if self.blocks.len() < 2 {
+                return self.apply(f, out);
+            }
+            scratch.bounds.clear();
+            scratch.bounds.push(0);
+            for b in &self.blocks {
+                scratch.bounds.push(b.start + b.n);
+            }
+            let blocks = &self.blocks;
+            pool.for_parts(out, &scratch.bounds, |bi, os| {
+                let b = &blocks[bi];
+                let fs = &f[b.start..b.start + b.n];
+                match b.mode {
+                    RateMode::Zero => os.fill(0.0),
+                    RateMode::Separable(k) => {
+                        kernel::apply_block(k, &b.order, &b.weights, &b.latencies, &b.exit, fs, os);
+                    }
+                    RateMode::Dense => dense_apply_columns(b, fs, 0, b.n, os),
+                }
+            });
+            return;
+        }
+
+        // Partition every block into chunks of sorted positions (or
+        // dense columns): one part per small block, `lanes` weighted
+        // parts for blocks large enough to split. Bounds are a pure
+        // function of the block shapes and the lane count; the buffers
+        // grow once. The O(n) block-totals pass runs exactly once per
+        // block (here, serially — in the serial accumulation order)
+        // and is shared by its chunks.
+        scratch.vals.resize(self.num_paths, 0.0);
+        scratch.bounds.clear();
+        scratch.part_block.clear();
+        scratch.totals.clear();
+        scratch.bounds.push(0);
+        for (bi, b) in self.blocks.iter().enumerate() {
+            let totals = match b.mode {
+                RateMode::Separable(k) => {
+                    let fs = &f[b.start..b.start + b.n];
+                    kernel::block_totals(k, &b.order, &b.latencies, fs)
+                }
+                _ => [0.0; 2],
+            };
+            let parts = if b.n >= WITHIN_BLOCK_SPLIT_MIN {
+                pool.lanes()
+            } else {
+                1
+            };
+            let before = scratch.bounds.len();
+            match b.mode {
+                // Dense column chunks pay no catch-up: split evenly.
+                RateMode::Dense if parts > 1 => {
+                    let step = b.n.div_ceil(parts);
+                    let mut done = 0;
+                    while done < b.n {
+                        let end = (done + step).min(b.n);
+                        scratch.bounds.push(b.start + end);
+                        done = end;
+                    }
+                }
+                _ => push_weighted_bounds(b.start, b.n, parts, &mut scratch.bounds),
+            }
+            for _ in before..scratch.bounds.len() {
+                scratch.part_block.push(bi as u32);
+                scratch.totals.push(totals);
+            }
+        }
+
+        let ApplyScratch {
+            vals,
+            bounds,
+            part_block,
+            totals,
+        } = scratch;
+        let blocks = &self.blocks;
+        pool.for_parts(vals, bounds, |pi, part| {
+            let b = &blocks[part_block[pi] as usize];
+            let lo = bounds[pi] - b.start;
+            let hi = bounds[pi + 1] - b.start;
+            let fs = &f[b.start..b.start + b.n];
+            match b.mode {
+                RateMode::Zero => part.fill(0.0),
+                RateMode::Separable(k) => kernel::apply_block_part(
+                    k,
+                    &b.order,
+                    &b.weights,
+                    &b.latencies,
+                    &b.exit,
+                    fs,
+                    totals[pi],
+                    lo,
+                    hi,
+                    part,
+                ),
+                RateMode::Dense => dense_apply_columns(b, fs, lo, hi, part),
+            }
+        });
+
+        // Serial scatter: sorted positions back to local path indices
+        // (identity for dense/zero blocks).
+        for b in &self.blocks {
+            let vals = &scratch.vals[b.start..b.start + b.n];
+            let os = &mut out[b.start..b.start + b.n];
+            match b.mode {
+                RateMode::Separable(_) => {
+                    for (kq, &v) in vals.iter().enumerate() {
+                        os[b.order[kq] as usize] = v;
+                    }
+                }
+                _ => os.copy_from_slice(vals),
+            }
+        }
+    }
+}
+
+/// One dense block's generator product restricted to the column chunk
+/// `[lo, hi)`: outflow first, then the rows accumulate in serial order
+/// per column — the per-column float sequence of the serial row-major
+/// stream, so any column chunking is bit-identical to it.
+fn dense_apply_columns(b: &CommodityRates, fs: &[f64], lo: usize, hi: usize, part: &mut [f64]) {
+    for (o, q) in part.iter_mut().zip(lo..hi) {
+        *o = -fs[q] * b.exit[q];
+    }
+    for (p, &fp) in fs.iter().enumerate() {
+        if fp == 0.0 {
+            continue;
+        }
+        let row = &b.c[p * b.n + lo..p * b.n + hi];
+        for (o, &c) in part.iter_mut().zip(row) {
+            *o += fp * c;
+        }
+    }
+}
+
+/// Reusable buffers for [`PhaseRates::apply_with`]: the sorted-position
+/// output staging area and the chunk partition. Grows once to the path
+/// count, then every apply is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ApplyScratch {
+    vals: Vec<f64>,
+    bounds: Vec<usize>,
+    part_block: Vec<u32>,
+    totals: Vec<[f64; 2]>,
+}
+
+impl ApplyScratch {
+    /// An empty scratch (buffers grow on first pooled apply).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for `n` paths split across up to `lanes`
+    /// lanes, so even the first pooled apply allocates nothing.
+    pub fn for_len(n: usize, lanes: usize) -> Self {
+        ApplyScratch {
+            vals: vec![0.0; n],
+            bounds: Vec::with_capacity(lanes * 8 + 2),
+            part_block: Vec::with_capacity(lanes * 8 + 1),
+            totals: Vec::with_capacity(lanes * 8 + 1),
+        }
+    }
 }
 
 /// A rerouting policy: produces the per-phase rate structure from the
@@ -286,7 +538,12 @@ impl PhaseRates {
 /// The provided implementation is [`SmoothPolicy`]; best response does
 /// not fit this trait (its "rates" are unbounded) and lives in
 /// [`crate::best_response`].
-pub trait ReroutingPolicy: std::fmt::Debug {
+///
+/// Policies are `Send + Sync` (like the sampling and migration rules
+/// they compose): the engine's worker lanes fill commodity blocks —
+/// and ensemble sweeps run whole simulations — concurrently against a
+/// shared `&self`.
+pub trait ReroutingPolicy: std::fmt::Debug + Send + Sync {
     /// Computes the generator `c_PQ = σ_PQ(f̂) µ(ℓ̂_P, ℓ̂_Q)` into a
     /// pre-shaped rate structure (see [`PhaseRates::for_instance`]),
     /// allocating nothing in steady state. Separable policies fill the
@@ -297,6 +554,23 @@ pub trait ReroutingPolicy: std::fmt::Debug {
     ///
     /// May panic if `rates` was not shaped for `instance`.
     fn phase_rates_into(&self, instance: &Instance, board: &BulletinBoard, rates: &mut PhaseRates);
+
+    /// [`ReroutingPolicy::phase_rates_into`], optionally fanned across
+    /// a [`WorkerPool`]. The default ignores the pool and fills
+    /// serially, so custom policies keep working unchanged;
+    /// [`SmoothPolicy`] overrides it to dispatch per-commodity
+    /// sort + prefix-sum fills across the lanes (commodity blocks
+    /// never interact), **bit-identically** to the serial fill.
+    fn phase_rates_into_with(
+        &self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        rates: &mut PhaseRates,
+        pool: Option<&WorkerPool>,
+    ) {
+        let _ = pool;
+        self.phase_rates_into(instance, board, rates);
+    }
 
     /// Computes the rates into a freshly allocated [`PhaseRates`].
     ///
@@ -455,6 +729,42 @@ impl<S: SamplingRule, M: MigrationRule> ReroutingPolicy for SmoothPolicy<S, M> {
                 None => self.fill_dense(instance, board, i, b, scratch),
             }
         }
+    }
+
+    fn phase_rates_into_with(
+        &self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        rates: &mut PhaseRates,
+        pool: Option<&WorkerPool>,
+    ) {
+        // Blocks are filled independently (sort + prefix sums touch one
+        // commodity's slices only), so a per-block fan-out is
+        // bit-identical to the serial loop. The dense fallback shares
+        // one weight scratch and stays serial.
+        let parallel = match pool {
+            Some(p) => {
+                p.lanes() > 1
+                    && rates.blocks.len() > 1
+                    && rates.num_paths >= PARALLEL_RATES_MIN_PATHS
+                    && !rates.dense_only
+                    && self.separable_kernel().is_some()
+            }
+            None => false,
+        };
+        if !parallel {
+            return self.phase_rates_into(instance, board, rates);
+        }
+        assert_eq!(
+            rates.num_paths,
+            instance.num_paths(),
+            "rate structure shaped for a different instance"
+        );
+        let kernel = self.separable_kernel().expect("checked above");
+        let pool = pool.expect("checked above");
+        pool.for_each_mut(&mut rates.blocks, |i, b| {
+            self.fill_separable(kernel, instance, board, i, b);
+        });
     }
 
     fn smoothness(&self) -> Option<f64> {
@@ -769,6 +1079,102 @@ mod tests {
         assert_eq!(rates.dense_elements(), 0);
         custom.phase_rates_into(&inst, &board, &mut rates);
         assert_eq!(rates.dense_elements(), expected);
+    }
+
+    /// The pooled apply and rate fill are bit-identical to the serial
+    /// ones on workloads large enough to actually cross the dispatch
+    /// gates — single-block (within-block chunking), many-block
+    /// (block-level fan-out) and the dense fallback (column chunking).
+    #[test]
+    fn pooled_apply_and_fill_are_bit_identical() {
+        use wardrop_pool::WorkerPool;
+        let cases: Vec<(&str, wardrop_net::Instance)> = vec![
+            ("grid_8x8", builders::grid_network(8, 8, 7)),
+            (
+                "many_commodity_8x8x6",
+                builders::many_commodity_grid(8, 8, 6, 7),
+            ),
+        ];
+        for (name, inst) in &cases {
+            assert!(inst.num_paths() >= PARALLEL_RATES_MIN_PATHS, "{name}");
+            let policy = uniform_linear(inst);
+            for f in [FlowVec::uniform(inst), FlowVec::concentrated(inst)] {
+                let board = BulletinBoard::post(inst, &f, 0.0);
+                // Serial fill vs pooled fill.
+                let mut serial = PhaseRates::for_instance(inst);
+                policy.phase_rates_into(inst, &board, &mut serial);
+                for lanes in [2usize, 3] {
+                    let pool = WorkerPool::new(lanes);
+                    let mut pooled = PhaseRates::for_instance(inst);
+                    policy.phase_rates_into_with(inst, &board, &mut pooled, Some(&pool));
+                    for (a, b) in serial.blocks().iter().zip(pooled.blocks()) {
+                        assert_eq!(a, b, "{name}: fill diverged at {lanes} lanes");
+                    }
+                    // Serial apply vs pooled apply.
+                    let mut out_serial = vec![0.0; inst.num_paths()];
+                    serial.apply(f.values(), &mut out_serial);
+                    let mut out_pooled = vec![0.0; inst.num_paths()];
+                    let mut scratch = ApplyScratch::new();
+                    pooled.apply_with(f.values(), &mut out_pooled, Some(&pool), &mut scratch);
+                    for (i, (x, y)) in out_serial.iter().zip(&out_pooled).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{name}: apply[{i}] {x} vs {y} at {lanes} lanes"
+                        );
+                    }
+                    // A second apply through the now-warm scratch is
+                    // identical too (bounds/vals reuse).
+                    let mut again = vec![0.0; inst.num_paths()];
+                    pooled.apply_with(f.values(), &mut again, Some(&pool), &mut scratch);
+                    assert_eq!(again, out_pooled, "{name}");
+                }
+            }
+        }
+
+        // A single block large enough to cross the within-block split
+        // threshold: the chunked sweep (staging, catch-up replay,
+        // permutation scatter) must be bit-identical too.
+        let inst = builders::standard_random_links(WITHIN_BLOCK_SPLIT_MIN + 123, 9);
+        assert!(inst.num_paths() >= WITHIN_BLOCK_SPLIT_MIN);
+        let policy = uniform_linear(&inst);
+        for f in [FlowVec::uniform(&inst), FlowVec::concentrated(&inst)] {
+            let board = BulletinBoard::post(&inst, &f, 0.0);
+            let rates = policy.phase_rates(&inst, &board);
+            let mut out_serial = vec![0.0; inst.num_paths()];
+            rates.apply(f.values(), &mut out_serial);
+            for lanes in [2usize, 3] {
+                let pool = WorkerPool::new(lanes);
+                let mut out_pooled = vec![0.0; inst.num_paths()];
+                let mut scratch = ApplyScratch::new();
+                rates.apply_with(f.values(), &mut out_pooled, Some(&pool), &mut scratch);
+                for (i, (x, y)) in out_serial.iter().zip(&out_pooled).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "chunked apply[{i}] {x} vs {y} at {lanes} lanes"
+                    );
+                }
+            }
+        }
+
+        // Dense fallback: column-chunked apply matches the row-major
+        // serial stream.
+        let inst = builders::standard_random_links(2500, 5);
+        assert!(inst.num_paths() >= PARALLEL_RATES_MIN_PATHS);
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let policy = uniform_linear(&inst);
+        let dense = policy.phase_rates_dense(&inst, &board);
+        let mut out_serial = vec![0.0; inst.num_paths()];
+        dense.apply(f.values(), &mut out_serial);
+        let pool = WorkerPool::new(2);
+        let mut out_pooled = vec![0.0; inst.num_paths()];
+        let mut scratch = ApplyScratch::new();
+        dense.apply_with(f.values(), &mut out_pooled, Some(&pool), &mut scratch);
+        for (x, y) in out_serial.iter().zip(&out_pooled) {
+            assert_eq!(x.to_bits(), y.to_bits(), "dense: {x} vs {y}");
+        }
     }
 
     /// Every stock sampling × migration combination takes the

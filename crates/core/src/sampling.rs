@@ -24,7 +24,7 @@ use wardrop_net::instance::Instance;
 /// `instance.commodity_paths(commodity)` — with a probability
 /// distribution (non-negative, summing to 1 whenever the commodity has
 /// at least one path).
-pub trait SamplingRule: fmt::Debug {
+pub trait SamplingRule: fmt::Debug + Send + Sync {
     /// Writes the sampling distribution of `commodity` into `weights`.
     ///
     /// `weights.len()` equals the commodity's path count; entries are

@@ -12,7 +12,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use wardrop_core::engine::{Simulation, SimulationConfig};
+use wardrop_core::engine::{Parallelism, Simulation, SimulationConfig};
 use wardrop_core::migration::{Linear, MigrationRule, RelativeSlack};
 use wardrop_core::policy::{replicator, uniform_linear, SmoothPolicy};
 use wardrop_core::sampling::Proportional;
@@ -217,4 +217,43 @@ fn steady_state_phase_loop_is_allocation_free() {
 
     // Non-stationary epochs: zero allocations between scenario events.
     epoch_steady_state_is_allocation_free();
+
+    // The parallel phase loop: worker threads are spawned (and all
+    // scratch — per-lane chunk tables, the sorted-position staging
+    // buffer — grown) during construction and warm-up; after that the
+    // pooled steady state allocates nothing per phase either. The
+    // workload must cross the dispatch gates (grid_8x8: 3432 paths,
+    // 48048 incidences) or the pool would sit unused.
+    parallel_steady_state_is_allocation_free();
+}
+
+/// Counts allocations across `measured` pooled phases, including any
+/// performed by the worker lanes themselves (the counting allocator is
+/// process-global, and the workers genuinely run during measurement).
+fn parallel_steady_state_is_allocation_free() {
+    let grid = builders::grid_network(8, 8, 7);
+    let policy = uniform_linear(&grid);
+    let f0 = FlowVec::uniform(&grid);
+    let config = SimulationConfig::new(1.0, 50)
+        .with_deltas(vec![])
+        .with_parallelism(Parallelism::Threads(2));
+    let mut sim = Simulation::new(&grid, &policy, &f0, &config);
+    assert!(
+        sim.uses_worker_pool(),
+        "Threads(2) must attach a worker pool"
+    );
+    for _ in 0..3 {
+        assert!(sim.step().is_some(), "parallel warm-up ran out of phases");
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..15 {
+        assert!(sim.step().is_some(), "parallel run out of phases");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "parallel steady state: {} allocations in 15 phases",
+        after - before
+    );
 }

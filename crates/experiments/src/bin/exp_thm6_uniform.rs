@@ -20,11 +20,13 @@
 
 use serde::Serialize;
 use wardrop_analysis::stats::loglog_slope;
-use wardrop_core::engine::{Simulation, SimulationConfig};
+use wardrop_core::engine::{Parallelism, Simulation, SimulationConfig};
+use wardrop_core::ensemble::{map_runs, RunSpec};
 use wardrop_core::migration::Linear;
 use wardrop_core::policy::{uniform_linear, SmoothPolicy};
 use wardrop_core::sampling::Uniform;
 use wardrop_core::theory::{safe_update_period, theorem6_bound};
+use wardrop_core::WorkerPool;
 use wardrop_experiments::{banner, fmt_g, write_json, Table};
 use wardrop_net::builders;
 use wardrop_net::flow::FlowVec;
@@ -66,48 +68,50 @@ fn drive_bad_phases(
     bad
 }
 
-/// One pre-allocated simulation per seed of the standard random-link
-/// family, reused across sweep rows via [`Simulation::reset`] — the
-/// matrix-free rate factors and evaluation buffers are allocated once
-/// for the whole sweep.
+/// The per-seed simulations of one sweep group, fanned across the
+/// process-wide worker pool by the [ensemble runner](map_runs):
+/// every lane keeps one reusable engine workspace (matrix-free rate
+/// factors, evaluation buffers) rebound seed to seed and row to row.
 struct SeedSims<'a> {
     insts: &'a [Instance],
-    sims: Vec<Simulation<'a, SmoothPolicy<Uniform, Linear>>>,
+    policies: &'a [SmoothPolicy<Uniform, Linear>],
+    pool: Option<&'a WorkerPool>,
 }
 
 impl<'a> SeedSims<'a> {
-    fn new(insts: &'a [Instance], policies: &'a [SmoothPolicy<Uniform, Linear>]) -> Self {
-        let sims = insts
-            .iter()
-            .zip(policies)
-            .map(|(inst, policy)| {
-                Simulation::new(
-                    inst,
-                    policy,
-                    &FlowVec::uniform(inst),
-                    &SimulationConfig::new(1.0, 0),
-                )
-            })
-            .collect();
-        SeedSims { insts, sims }
+    fn new(
+        insts: &'a [Instance],
+        policies: &'a [SmoothPolicy<Uniform, Linear>],
+        pool: Option<&'a WorkerPool>,
+    ) -> Self {
+        SeedSims {
+            insts,
+            policies,
+            pool,
+        }
     }
 
-    /// Mean bad-phase count over the seeds for one sweep row.
+    /// Mean bad-phase count over the seeds for one sweep row (one
+    /// independent run per seed, fanned across the pool lanes).
     fn mean_bad(&mut self, t_scale: f64, delta: f64, eps: f64, phases: usize) -> (f64, f64, f64) {
-        let mut counts = Vec::new();
-        let mut bound = 0.0;
-        let mut t_used = 0.0;
-        for (inst, sim) in self.insts.iter().zip(&mut self.sims) {
-            let alpha = 1.0 / inst.latency_upper_bound();
-            let t = (safe_update_period(inst, alpha) * t_scale).min(1.0);
-            let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
-            sim.reset(&FlowVec::uniform(inst), &config);
-            counts.push(drive_bad_phases(sim, eps, phases) as f64);
-            bound = theorem6_bound(inst, t, delta, eps);
-            t_used = t;
-        }
+        let specs: Vec<RunSpec<'a, SmoothPolicy<Uniform, Linear>>> = self
+            .insts
+            .iter()
+            .zip(self.policies)
+            .map(|(inst, policy)| {
+                let alpha = 1.0 / inst.latency_upper_bound();
+                let t = (safe_update_period(inst, alpha) * t_scale).min(1.0);
+                let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
+                RunSpec::new(inst, policy, FlowVec::uniform(inst), config)
+            })
+            .collect();
+        let counts = map_runs(self.pool, &specs, |_, sim| {
+            drive_bad_phases(sim, eps, phases) as f64
+        });
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-        (mean, bound, t_used)
+        let last = self.insts.last().expect("at least one seed");
+        let t_used = specs.last().expect("spec per seed").config.update_period;
+        (mean, theorem6_bound(last, t_used, delta, eps), t_used)
     }
 }
 
@@ -123,6 +127,11 @@ fn main() {
         "E4",
         "Theorem 6: uniform sampling, bad phases ≤ O(m/(εT)·(ℓmax/δ)²)",
     );
+    // One process-wide pool for the whole sweep (WARDROP_THREADS
+    // overrides; single-lane resolution means no pool at all). Runs
+    // are bit-identical for every lane count.
+    let pool = Parallelism::Auto.build_pool();
+    let pool = pool.as_deref();
     let mut rows: Vec<Row> = Vec::new();
 
     // --- m sweep ---------------------------------------------------
@@ -136,7 +145,7 @@ fn main() {
     for m in [2usize, 4, 8, 16, 32, 64, 128] {
         let insts = seed_instances(m);
         let policies: Vec<_> = insts.iter().map(uniform_linear).collect();
-        let mut sims = SeedSims::new(&insts, &policies);
+        let mut sims = SeedSims::new(&insts, &policies, pool);
         // Larger m needs a longer horizon to settle (B grows ~m).
         let phases = if m > 64 { 12_000 } else { 6_000 };
         let (b, bound, t) = sims.mean_bad(1.0, 0.2, 0.05, phases);
@@ -165,11 +174,11 @@ fn main() {
     let m_slope = loglog_slope(&ms, &bs);
     println!("log–log slope of B vs m: {m_slope:.3}  (bound predicts ≤ 1; uniform sampling must grow with m)");
 
-    // The T, δ and ε sweeps all run on the same m = 8 instances: one
-    // set of pre-allocated simulations serves every row via `reset`.
+    // The T, δ and ε sweeps all run on the same m = 8 instances: each
+    // pool lane's reusable simulation serves every row via `rebind`.
     let insts8 = seed_instances(8);
     let policies8: Vec<_> = insts8.iter().map(uniform_linear).collect();
-    let mut sims8 = SeedSims::new(&insts8, &policies8);
+    let mut sims8 = SeedSims::new(&insts8, &policies8, pool);
 
     // --- T sweep ----------------------------------------------------
     println!("\nsweep T (m = 8, δ = 0.2, ε = 0.05):");

@@ -13,12 +13,13 @@
 
 use serde::Serialize;
 use wardrop_analysis::stats::loglog_slope;
-use wardrop_core::engine::{Simulation, SimulationConfig};
+use wardrop_core::engine::{Parallelism, Simulation, SimulationConfig};
+use wardrop_core::ensemble::{map_runs, RunSpec};
 use wardrop_core::migration::Linear;
 use wardrop_core::policy::{replicator, uniform_linear, SmoothPolicy};
 use wardrop_core::sampling::{Proportional, Uniform};
 use wardrop_core::theory::{safe_update_period, theorem7_bound};
-use wardrop_core::Dynamics;
+use wardrop_core::{Dynamics, WorkerPool};
 use wardrop_experiments::{banner, fmt_g, write_json, Table};
 use wardrop_net::builders;
 use wardrop_net::flow::FlowVec;
@@ -107,12 +108,15 @@ fn measure_on(inst: &Instance, t_scale: f64, delta: f64, eps: f64, phases: usize
     }
 }
 
-/// Pre-allocated per-seed simulations (one replicator, one uniform per
-/// seed), reused across every T/δ sweep row via [`Simulation::reset`].
+/// The per-seed runs of one sweep group (one replicator and one
+/// uniform run per seed), fanned across the process-wide worker pool
+/// by the [ensemble runner](map_runs) with per-lane reusable engine
+/// workspaces.
 struct SeedSims<'a> {
     insts: &'a [Instance],
-    rep: Vec<Simulation<'a, SmoothPolicy<Proportional, Linear>>>,
-    uni: Vec<Simulation<'a, SmoothPolicy<Uniform, Linear>>>,
+    rep_policies: &'a [SmoothPolicy<Proportional, Linear>],
+    uni_policies: &'a [SmoothPolicy<Uniform, Linear>],
+    pool: Option<&'a WorkerPool>,
 }
 
 impl<'a> SeedSims<'a> {
@@ -120,60 +124,68 @@ impl<'a> SeedSims<'a> {
         insts: &'a [Instance],
         rep_policies: &'a [SmoothPolicy<Proportional, Linear>],
         uni_policies: &'a [SmoothPolicy<Uniform, Linear>],
+        pool: Option<&'a WorkerPool>,
     ) -> Self {
-        let stub = SimulationConfig::new(1.0, 0);
         SeedSims {
             insts,
-            rep: insts
-                .iter()
-                .zip(rep_policies)
-                .map(|(i, p)| Simulation::new(i, p, &FlowVec::uniform(i), &stub))
-                .collect(),
-            uni: insts
-                .iter()
-                .zip(uni_policies)
-                .map(|(i, p)| Simulation::new(i, p, &FlowVec::uniform(i), &stub))
-                .collect(),
+            rep_policies,
+            uni_policies,
+            pool,
         }
     }
 
+    fn specs<S, M>(
+        &self,
+        policies: &'a [SmoothPolicy<S, M>],
+        t_scale: f64,
+        delta: f64,
+        phases: usize,
+    ) -> Vec<RunSpec<'a, SmoothPolicy<S, M>>>
+    where
+        S: wardrop_core::sampling::SamplingRule + Clone,
+        M: wardrop_core::migration::MigrationRule + Clone,
+    {
+        self.insts
+            .iter()
+            .zip(policies)
+            .map(|(inst, policy)| {
+                let t = row_period(inst, t_scale);
+                let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
+                RunSpec::new(inst, policy, FlowVec::uniform(inst), config)
+            })
+            .collect()
+    }
+
     fn measure(&mut self, t_scale: f64, delta: f64, eps: f64, phases: usize) -> Row {
-        let mut acc: Option<Row> = None;
-        for (i, inst) in self.insts.iter().enumerate() {
-            let t = row_period(inst, t_scale);
-            let config = SimulationConfig::new(t, phases).with_deltas(vec![delta]);
-            let f0 = FlowVec::uniform(inst);
-            self.rep[i].reset(&f0, &config);
-            self.uni[i].reset(&f0, &config);
-            let r = Row {
-                sweep: "",
-                m: inst.num_paths(),
-                t_period: t,
-                delta,
-                eps,
-                replicator_weak_bad: drive_weak_bad(&mut self.rep[i], eps, phases) as f64,
-                uniform_strict_bad: drive_strict_bad(&mut self.uni[i], eps) as f64,
-                theorem7_bound: theorem7_bound(inst, t, delta, eps),
-            };
-            match &mut acc {
-                None => acc = Some(r),
-                Some(a) => {
-                    a.replicator_weak_bad += r.replicator_weak_bad;
-                    a.uniform_strict_bad += r.uniform_strict_bad;
-                    a.t_period = r.t_period;
-                    a.theorem7_bound = r.theorem7_bound;
-                }
-            }
+        let rep_specs = self.specs(self.rep_policies, t_scale, delta, phases);
+        let rep_counts = map_runs(self.pool, &rep_specs, |_, sim| {
+            drive_weak_bad(sim, eps, phases) as f64
+        });
+        let uni_specs = self.specs(self.uni_policies, t_scale, delta, phases);
+        let uni_counts = map_runs(self.pool, &uni_specs, |_, sim| {
+            drive_strict_bad(sim, eps) as f64
+        });
+        let last = self.insts.last().expect("at least one seed");
+        let t = row_period(last, t_scale);
+        Row {
+            sweep: "",
+            m: last.num_paths(),
+            t_period: t,
+            delta,
+            eps,
+            replicator_weak_bad: rep_counts.iter().sum::<f64>() / SEEDS.len() as f64,
+            uniform_strict_bad: uni_counts.iter().sum::<f64>() / SEEDS.len() as f64,
+            theorem7_bound: theorem7_bound(last, t, delta, eps),
         }
-        let mut r = acc.expect("at least one seed");
-        r.replicator_weak_bad /= SEEDS.len() as f64;
-        r.uniform_strict_bad /= SEEDS.len() as f64;
-        r
     }
 }
 
 fn main() {
     banner("E5", "Theorem 7: proportional sampling is |P|-independent");
+    // One process-wide pool for the whole sweep (WARDROP_THREADS
+    // overrides); runs are bit-identical for every lane count.
+    let pool = Parallelism::Auto.build_pool();
+    let pool = pool.as_deref();
     let mut rows: Vec<Row> = Vec::new();
 
     // m sweep on the funnel family (1 cheap link ℓ = x, m−1 expensive
@@ -228,7 +240,7 @@ fn main() {
         let insts = seed_instances(m);
         let rep_p: Vec<_> = insts.iter().map(replicator).collect();
         let uni_p: Vec<_> = insts.iter().map(uniform_linear).collect();
-        let mut sims = SeedSims::new(&insts, &rep_p, &uni_p);
+        let mut sims = SeedSims::new(&insts, &rep_p, &uni_p, pool);
         let mut r = sims.measure(1.0, 0.2, 0.05, 6000);
         r.sweep = "m-random";
         t1b.row(vec![
@@ -240,12 +252,12 @@ fn main() {
     }
     t1b.print();
 
-    // The T and δ sweeps share one set of pre-allocated m = 8
-    // simulations, reused row to row via `Simulation::reset`.
+    // The T and δ sweeps share the m = 8 instances; each pool lane's
+    // reusable simulation serves every row via `rebind`.
     let insts8 = seed_instances(8);
     let rep8: Vec<_> = insts8.iter().map(replicator).collect();
     let uni8: Vec<_> = insts8.iter().map(uniform_linear).collect();
-    let mut sims8 = SeedSims::new(&insts8, &rep8, &uni8);
+    let mut sims8 = SeedSims::new(&insts8, &rep8, &uni8, pool);
 
     println!("\nsweep T (m = 8, δ = 0.2, ε = 0.05):");
     let mut t2 = Table::new(vec!["T/T*", "T", "replicator weak-B", "Thm-7 bound"]);

@@ -20,6 +20,9 @@
 //! `lab_<name>.json` plus a combined `lab_summary.json`.
 
 use serde::Serialize;
+use wardrop_analysis::tracking::TrackingReport;
+use wardrop_core::engine::Parallelism;
+use wardrop_core::trajectory::Trajectory;
 use wardrop_experiments::scenarios::{self, EpochRow};
 use wardrop_experiments::{banner, fmt_g, write_json, Table};
 
@@ -34,7 +37,14 @@ struct ScenarioSummary {
     total_tracking_regret: f64,
 }
 
-fn run_one(s: &scenarios::NamedScenario) -> (ScenarioSummary, Vec<EpochRow>) {
+/// Prints and summarises one precomputed scenario run (the runs
+/// themselves are fanned across the worker pool in `main`; reporting
+/// stays serial so tables never interleave).
+fn report_one(
+    s: &scenarios::NamedScenario,
+    traj: &Trajectory,
+    report: &TrackingReport,
+) -> (ScenarioSummary, Vec<EpochRow>) {
     println!(
         "\n── {} — {} ({} phases, T = {})",
         s.name,
@@ -51,8 +61,7 @@ fn run_one(s: &scenarios::NamedScenario) -> (ScenarioSummary, Vec<EpochRow>) {
             what.join(", ")
         );
     }
-    let (traj, report) = s.run();
-    let rows = s.rows(&report);
+    let rows = s.rows(report);
     let mut table = Table::new(vec![
         "epoch",
         "phases",
@@ -142,9 +151,21 @@ fn main() {
             .collect()
     };
 
+    // Fan the independent scenario runs across the worker pool (the
+    // ensemble pattern: each is a whole engine run); report serially
+    // in registry order so the tables never interleave. Results are
+    // identical for every lane count.
+    let pool = Parallelism::Auto.build_pool();
+    let computed: Vec<(Trajectory, TrackingReport)> = match pool.as_deref() {
+        Some(p) if p.lanes() > 1 && selected.len() > 1 => {
+            p.map_collect(selected.len(), || (), |(), i| selected[i].run())
+        }
+        _ => selected.iter().map(|s| s.run()).collect(),
+    };
+
     let mut summaries = Vec::new();
-    for s in &selected {
-        let (summary, _) = run_one(s);
+    for (s, (traj, report)) in selected.iter().zip(computed) {
+        let (summary, _) = report_one(s, &traj, &report);
         summaries.push(summary);
     }
     write_json("lab_summary", &summaries);

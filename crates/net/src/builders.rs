@@ -245,12 +245,23 @@ fn grid_graph(
 /// Deterministic for a fixed `seed`. Path count is
 /// `C(rows + cols − 2, rows − 1)`; keep dimensions modest.
 pub fn grid_network(rows: usize, cols: usize, seed: u64) -> Instance {
+    grid_network_with_cap(rows, cols, seed, crate::instance::DEFAULT_PATH_CAP)
+}
+
+/// [`grid_network`] with an explicit path-enumeration cap, for frontier
+/// workloads whose path counts exceed [`DEFAULT_PATH_CAP`] — e.g. the
+/// 12×12 grid's `C(22, 11) = 705 432` paths, runnable only through the
+/// matrix-free parallel engine.
+///
+/// [`DEFAULT_PATH_CAP`]: crate::instance::DEFAULT_PATH_CAP
+pub fn grid_network_with_cap(rows: usize, cols: usize, seed: u64, path_cap: usize) -> Instance {
     assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
     assert!(rows + cols > 2, "grid must contain at least one edge");
     let mut rng = StdRng::seed_from_u64(seed);
     let (g, nodes, latencies) = grid_graph(rows, cols, &mut rng);
     let commodities = vec![Commodity::new(nodes[0][0], nodes[rows - 1][cols - 1], 1.0)];
-    Instance::new(g, latencies, commodities).expect("grid networks are valid by construction")
+    Instance::with_path_cap(g, latencies, commodities, path_cap)
+        .expect("grid networks are valid by construction")
 }
 
 /// A multi-commodity grid: the DAG of [`grid_network`] shared by two

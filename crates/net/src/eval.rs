@@ -21,6 +21,12 @@ use crate::equilibrium::{
 use crate::flow::FlowVec;
 use crate::instance::Instance;
 use crate::path::PathId;
+use wardrop_pool::WorkerPool;
+
+/// Incidence count below which [`EvalWorkspace::evaluate_with`] ignores
+/// the pool: dispatch overhead (a couple of condvar round-trips) beats
+/// the win on small instances.
+const PARALLEL_EVAL_MIN_INCIDENCES: usize = 1 << 14;
 
 /// Reusable buffers holding every derived quantity of one flow.
 ///
@@ -46,6 +52,9 @@ pub struct EvalWorkspace {
     path_latencies: Vec<f64>,
     commodity_min: Vec<f64>,
     commodity_avg: Vec<f64>,
+    /// Per-commodity `(min, Σ f_P ℓ_P)` scratch for the parallel
+    /// gather; the serial combine turns it into min/avg/overall.
+    commodity_scratch: Vec<[f64; 2]>,
     potential: f64,
     avg_latency: f64,
 }
@@ -60,6 +69,7 @@ impl EvalWorkspace {
             path_latencies: vec![0.0; instance.num_paths()],
             commodity_min: vec![0.0; instance.num_commodities()],
             commodity_avg: vec![0.0; instance.num_commodities()],
+            commodity_scratch: vec![[0.0; 2]; instance.num_commodities()],
             potential: 0.0,
             avg_latency: 0.0,
         }
@@ -69,10 +79,33 @@ impl EvalWorkspace {
     /// a CSR scatter (edge flows), one sweep over edges (latencies and
     /// potential) and a CSR gather (path latencies, mins, averages).
     ///
+    /// Equivalent to [`EvalWorkspace::evaluate_edges`] followed by
+    /// [`EvalWorkspace::finish_paths`].
+    ///
     /// # Panics
     ///
     /// Panics if `flow` or the workspace does not match `instance`.
     pub fn evaluate(&mut self, instance: &Instance, flow: &FlowVec) {
+        self.evaluate_edges(instance, flow);
+        self.finish_paths(instance, flow);
+    }
+
+    /// Recomputes the *edge-level* quantities only: edge flows, edge
+    /// latencies and the potential. Path latencies, per-commodity
+    /// minima/averages and the overall average latency are left stale.
+    ///
+    /// This is the fast path for metric-only callers that need `Φ`,
+    /// the edge arrays or a [virtual gain](EvalWorkspace::virtual_gain_from)
+    /// but none of the per-path quantities — it skips the CSR gather
+    /// and the per-commodity min/avg pass entirely (half the fused
+    /// work on `grid_10x10`-sized instances). Call
+    /// [`EvalWorkspace::finish_paths`] with the same flow to complete
+    /// the evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` or the workspace does not match `instance`.
+    pub fn evaluate_edges(&mut self, instance: &Instance, flow: &FlowVec) {
         let values = flow.values();
         assert_eq!(values.len(), instance.num_paths());
         assert_eq!(self.path_latencies.len(), instance.num_paths());
@@ -89,8 +122,13 @@ impl EvalWorkspace {
                 self.edge_flows[e.index()] += fp;
             }
         }
+        self.edge_sweep(instance);
+    }
 
-        // Edge sweep: ℓ_e(f_e) and Φ = Σ_e ∫₀^{f_e} ℓ_e.
+    /// Edge sweep: ℓ_e(f_e) and Φ = Σ_e ∫₀^{f_e} ℓ_e. Cheap (O(|E|))
+    /// and kept on one thread in every mode, so the potential's
+    /// left-to-right float association never depends on lane count.
+    fn edge_sweep(&mut self, instance: &Instance) {
         let mut potential = 0.0;
         for ((le, &fe), lat) in self
             .edge_latencies
@@ -102,7 +140,19 @@ impl EvalWorkspace {
             potential += lat.primitive(fe);
         }
         self.potential = potential;
+    }
 
+    /// Completes an [`EvalWorkspace::evaluate_edges`] into a full
+    /// evaluation: the CSR gather (path latencies) and the
+    /// per-commodity min/avg pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` does not match `instance`. The caller must have
+    /// evaluated the edge quantities at the *same* flow.
+    pub fn finish_paths(&mut self, instance: &Instance, flow: &FlowVec) {
+        let values = flow.values();
+        assert_eq!(values.len(), instance.num_paths());
         // Gather: ℓ_P, per-commodity min/avg, overall average latency.
         let mut avg_latency = 0.0;
         for (i, c) in instance.commodities().iter().enumerate() {
@@ -118,6 +168,143 @@ impl EvalWorkspace {
                 min_i = min_i.min(lp);
                 acc += values[p] * lp;
             }
+            self.commodity_min[i] = min_i;
+            self.commodity_avg[i] = acc / c.demand;
+            avg_latency += acc;
+        }
+        self.avg_latency = avg_latency;
+    }
+
+    /// [`EvalWorkspace::evaluate`], optionally fanned across a
+    /// [`WorkerPool`] — **bit-identical** to the serial evaluation for
+    /// every lane count.
+    ///
+    /// The parallel decomposition preserves every float-operation
+    /// sequence of the serial pass:
+    ///
+    /// * **edge flows** switch from the path-order scatter to a
+    ///   per-edge gather over the transposed CSR. For a fixed edge the
+    ///   contributions still arrive in ascending path order (the
+    ///   transposed rows are sorted), and the skipped `f_P = 0` terms
+    ///   of the scatter are bitwise no-ops on a non-negative
+    ///   accumulator, so every `f_e` is bit-identical;
+    /// * **path latencies** are per-path independent sums;
+    /// * the **per-commodity min/avg** pass runs per commodity (the
+    ///   serial order within each block), and the cross-commodity
+    ///   folds — potential and overall average latency — stay on the
+    ///   dispatching thread in commodity order.
+    ///
+    /// With `pool = None`, or on instances too small to amortise a
+    /// dispatch, this is exactly the serial [`EvalWorkspace::evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` or the workspace does not match `instance`.
+    pub fn evaluate_with(
+        &mut self,
+        instance: &Instance,
+        flow: &FlowVec,
+        pool: Option<&WorkerPool>,
+    ) {
+        self.evaluate_edges_with(instance, flow, pool);
+        self.finish_paths_with(instance, flow, pool);
+    }
+
+    /// [`EvalWorkspace::evaluate_edges`], optionally pooled (see
+    /// [`EvalWorkspace::evaluate_with`] for the determinism argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` or the workspace does not match `instance`.
+    pub fn evaluate_edges_with(
+        &mut self,
+        instance: &Instance,
+        flow: &FlowVec,
+        pool: Option<&WorkerPool>,
+    ) {
+        let pool = match pool {
+            Some(p)
+                if p.lanes() > 1 && instance.incidence_count() >= PARALLEL_EVAL_MIN_INCIDENCES =>
+            {
+                p
+            }
+            _ => return self.evaluate_edges(instance, flow),
+        };
+        let values = flow.values();
+        assert_eq!(values.len(), instance.num_paths());
+        assert_eq!(self.edge_flows.len(), instance.num_edges());
+
+        // Per-edge gather (ascending path order within each edge row —
+        // see the determinism note above).
+        pool.fill_with(&mut self.edge_flows, |e| {
+            let mut fe = 0.0;
+            for p in instance.edge_paths(crate::graph::EdgeId::from_index(e)) {
+                fe += values[p.index()];
+            }
+            fe
+        });
+
+        self.edge_sweep(instance);
+    }
+
+    /// [`EvalWorkspace::finish_paths`], optionally pooled (see
+    /// [`EvalWorkspace::evaluate_with`] for the determinism argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` does not match `instance`.
+    pub fn finish_paths_with(
+        &mut self,
+        instance: &Instance,
+        flow: &FlowVec,
+        pool: Option<&WorkerPool>,
+    ) {
+        let pool = match pool {
+            Some(p)
+                if p.lanes() > 1 && instance.incidence_count() >= PARALLEL_EVAL_MIN_INCIDENCES =>
+            {
+                p
+            }
+            _ => return self.finish_paths(instance, flow),
+        };
+        let values = flow.values();
+        assert_eq!(values.len(), instance.num_paths());
+        assert_eq!(self.path_latencies.len(), instance.num_paths());
+
+        // Per-path latency gather.
+        let EvalWorkspace {
+            path_latencies,
+            edge_latencies,
+            ..
+        } = self;
+        pool.fill_with(path_latencies, |p| {
+            instance
+                .path_edges(PathId::from_index(p))
+                .iter()
+                .map(|e| edge_latencies[e.index()])
+                .sum()
+        });
+
+        // Per-commodity (min, Σ f_P ℓ_P) in block-serial order; the
+        // cross-commodity combine stays serial.
+        let EvalWorkspace {
+            path_latencies,
+            commodity_scratch,
+            ..
+        } = self;
+        pool.fill_with(commodity_scratch, |i| {
+            let mut min_i = f64::INFINITY;
+            let mut acc = 0.0;
+            for p in instance.commodity_paths(i) {
+                let lp = path_latencies[p];
+                min_i = min_i.min(lp);
+                acc += values[p] * lp;
+            }
+            [min_i, acc]
+        });
+        let mut avg_latency = 0.0;
+        for (i, c) in instance.commodities().iter().enumerate() {
+            let [min_i, acc] = self.commodity_scratch[i];
             self.commodity_min[i] = min_i;
             self.commodity_avg[i] = acc / c.demand;
             avg_latency += acc;
@@ -306,6 +493,76 @@ mod tests {
             ws.virtual_gain_from(&fe_hat, &le_hat),
             virtual_gain(&inst, &start, &end)
         );
+    }
+
+    #[test]
+    fn evaluate_edges_then_finish_matches_full_evaluation() {
+        let inst = builders::multi_commodity_grid(3, 3, 11);
+        let f = FlowVec::uniform(&inst);
+        let mut full = EvalWorkspace::new(&inst);
+        full.evaluate(&inst, &f);
+        let mut split = EvalWorkspace::new(&inst);
+        split.evaluate_edges(&inst, &f);
+        // The edge-level quantities are already final…
+        assert_slices_eq(split.edge_flows(), full.edge_flows());
+        assert_slices_eq(split.edge_latencies(), full.edge_latencies());
+        assert_eq!(split.potential(), full.potential());
+        // …and the completed gather matches the fused pass exactly.
+        split.finish_paths(&inst, &f);
+        assert_slices_eq(split.path_latencies(), full.path_latencies());
+        assert_slices_eq(
+            split.commodity_min_latencies(),
+            full.commodity_min_latencies(),
+        );
+        assert_slices_eq(
+            split.commodity_avg_latencies(),
+            full.commodity_avg_latencies(),
+        );
+        assert_eq!(split.avg_latency(), full.avg_latency());
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_serial() {
+        // Large enough to clear the parallel gate (grid_8x8 has 48048
+        // incidences).
+        let inst = builders::grid_network(8, 8, 3);
+        assert!(inst.incidence_count() >= super::PARALLEL_EVAL_MIN_INCIDENCES);
+        let flows = [FlowVec::uniform(&inst), FlowVec::concentrated(&inst)];
+        for lanes in [2usize, 3, 8] {
+            let pool = wardrop_pool::WorkerPool::new(lanes);
+            for f in &flows {
+                let mut serial = EvalWorkspace::new(&inst);
+                serial.evaluate(&inst, f);
+                let mut par = EvalWorkspace::new(&inst);
+                par.evaluate_with(&inst, f, Some(&pool));
+                assert_slices_eq(par.edge_flows(), serial.edge_flows());
+                assert_slices_eq(par.edge_latencies(), serial.edge_latencies());
+                assert_slices_eq(par.path_latencies(), serial.path_latencies());
+                assert_slices_eq(
+                    par.commodity_min_latencies(),
+                    serial.commodity_min_latencies(),
+                );
+                assert_slices_eq(
+                    par.commodity_avg_latencies(),
+                    serial.commodity_avg_latencies(),
+                );
+                assert_eq!(par.potential().to_bits(), serial.potential().to_bits());
+                assert_eq!(par.avg_latency().to_bits(), serial.avg_latency().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn small_instances_bypass_the_pool() {
+        let inst = builders::braess();
+        let f = FlowVec::uniform(&inst);
+        let pool = wardrop_pool::WorkerPool::new(2);
+        let mut a = EvalWorkspace::new(&inst);
+        a.evaluate_with(&inst, &f, Some(&pool));
+        let mut b = EvalWorkspace::new(&inst);
+        b.evaluate(&inst, &f);
+        assert_slices_eq(a.path_latencies(), b.path_latencies());
+        assert_eq!(a.potential(), b.potential());
     }
 
     #[test]

@@ -1,0 +1,21 @@
+use std::time::Instant;
+use wardrop_pool::WorkerPool;
+fn main() {
+    for lanes in [2usize, 4] {
+        let pool = WorkerPool::new(lanes);
+        let mut out = vec![0.0f64; 64];
+        // warm
+        for _ in 0..100 {
+            pool.fill_with(&mut out, |i| i as f64);
+        }
+        let n = 20_000;
+        let t = Instant::now();
+        for _ in 0..n {
+            pool.fill_with(&mut out, |i| i as f64);
+        }
+        println!(
+            "lanes {lanes}: {:.2} us/dispatch",
+            t.elapsed().as_micros() as f64 / n as f64
+        );
+    }
+}

@@ -1,0 +1,774 @@
+//! # wardrop-pool
+//!
+//! A hand-rolled, dependency-free worker pool for the simulation
+//! engine. The container this project builds in has no crates.io
+//! access, so there is no rayon; this crate provides the few parallel
+//! primitives the engine actually needs, built directly on
+//! [`std::thread`], [`std::sync::Mutex`] and [`std::sync::Condvar`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Every primitive is *element-wise*: lane `w`
+//!    computes output elements that depend only on shared read-only
+//!    inputs, never on which lane computed them or on any cross-lane
+//!    reduction order. Work is claimed in chunks whose boundaries are
+//!    a pure function of `(len, lanes)`, and no primitive performs a
+//!    floating-point reduction across chunks — callers keep those
+//!    reductions on the dispatching thread. Consequently the results
+//!    are **bit-identical** for every lane count, including one.
+//! 2. **Zero steady-state allocation.** Workers are spawned once and
+//!    park on a condvar between dispatches; a dispatch publishes one
+//!    fixed-size job descriptor under a mutex and claims chunks through
+//!    a stack-allocated atomic. Nothing is boxed, sent through an
+//!    allocating channel, or resized.
+//! 3. **Small, audited unsafety.** The crate contains the workspace's
+//!    only `unsafe` code: one lifetime erasure (the dispatching call
+//!    blocks until every worker is done, so the erased borrow can never
+//!    dangle) and disjoint index/range writes (each index is claimed by
+//!    exactly one lane). Everything above this crate is safe code.
+//!
+//! The dispatching thread always participates as lane 0, so
+//! `WorkerPool::new(n)` spawns `n − 1` OS threads and `n = 1` degrades
+//! to a plain serial loop with no synchronisation at all.
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A fixed-size, type-erased job descriptor: a borrow of the dispatch
+/// closure with its lifetime erased. Written before the epoch bump and
+/// cleared only after every lane finished, so the borrow is live
+/// whenever a worker dereferences it.
+#[derive(Copy, Clone)]
+struct Task {
+    f: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: the pointee is `Sync` (it is a `&dyn Fn(usize) + Sync`), and
+// the dispatch protocol guarantees it outlives every use: `broadcast`
+// does not return (or unwind) until `remaining == 0`.
+unsafe impl Send for Task {}
+
+/// The published job. Written by the dispatcher strictly before the
+/// `SeqCst` epoch bump and read by workers strictly after observing the
+/// new epoch; the previous job's readers are all done (its `remaining`
+/// reached 0 before the next `broadcast` may begin), so writer and
+/// readers never overlap.
+struct TaskSlot(UnsafeCell<Option<Task>>);
+
+// SAFETY: access is ordered by the epoch/remaining protocol above.
+unsafe impl Sync for TaskSlot {}
+
+/// Dispatch latency is the whole game for fine-grained phase work
+/// (a condvar wake alone costs tens of microseconds on a busy box), so
+/// the pool publishes jobs through atomics and both sides spin briefly
+/// before parking: a handful of pure spins, then yielding spins (so an
+/// oversubscribed pool degrades gracefully), then the condvar.
+const SPIN_ROUNDS: u32 = 1 << 12;
+const YIELD_ROUNDS: u32 = 64;
+
+struct Shared {
+    /// Bumped once per dispatch (after writing `task`); workers detect
+    /// fresh work by comparing against the last epoch they ran.
+    epoch: AtomicU64,
+    /// Spawned workers still running the current job.
+    remaining: AtomicUsize,
+    /// Set when a worker's closure panicked.
+    panicked: AtomicBool,
+    /// Set by `Drop`; workers exit their loop.
+    shutdown: AtomicBool,
+    /// Workers currently parked on `start` (the dispatcher only takes
+    /// the lock to notify when this is nonzero).
+    parked: AtomicUsize,
+    /// The dispatcher is parked on `done` (workers only take the lock
+    /// to notify when set).
+    dispatcher_parked: AtomicBool,
+    task: TaskSlot,
+    /// Serialises whole dispatches: the pool is `Sync` (it is shared
+    /// via `Arc` across simulations), so two threads may call
+    /// `broadcast` concurrently — the second blocks here until the
+    /// first completes, which is what keeps the single-writer task
+    /// protocol sound. Distinct from `lock`, which is only the parking
+    /// fallback.
+    dispatch: Mutex<()>,
+    /// Parking fallback; never held on the fast path.
+    lock: Mutex<()>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// A persistent pool of parked worker threads with deterministic,
+/// allocation-free parallel primitives.
+///
+/// # Determinism, worked example
+///
+/// The primitives are element-wise, so the number of lanes can never
+/// change a single bit of the output. Summing each path's edge
+/// latencies — the shape of the engine's fused evaluation — produces
+/// the same bits serially, on this pool, and on a differently sized
+/// pool:
+///
+/// ```
+/// use wardrop_pool::WorkerPool;
+///
+/// // Toy CSR: path p uses edges [p, p+1, p+2] of a 66-edge network.
+/// let edge_latency: Vec<f64> = (0..66).map(|e| 0.1 + (e as f64) * 0.013).collect();
+/// let path_edges = |p: usize| [p, p + 1, p + 2];
+/// let fill = |p: usize| path_edges(p).iter().map(|&e| edge_latency[e]).sum::<f64>();
+///
+/// // Serial reference: a plain left-to-right loop.
+/// let serial: Vec<f64> = (0..64).map(fill).collect();
+///
+/// // The same computation on 2 and on 5 lanes.
+/// let mut two = vec![0.0; 64];
+/// WorkerPool::new(2).fill_with(&mut two, fill);
+/// let mut five = vec![0.0; 64];
+/// WorkerPool::new(5).fill_with(&mut five, fill);
+///
+/// // Bit-identical, not merely close: each element is produced by the
+/// // same sequence of float operations regardless of which lane ran it.
+/// assert!(serial.iter().zip(&two).all(|(a, b)| a.to_bits() == b.to_bits()));
+/// assert!(serial.iter().zip(&five).all(|(a, b)| a.to_bits() == b.to_bits()));
+/// ```
+///
+/// What the pool does *not* give you is a parallel reduction: folding
+/// chunk results into one float would re-associate additions and break
+/// the guarantee. The engine keeps every such fold (potential, average
+/// latency, Poisson weights) on the dispatching thread.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    lanes: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("lanes", &self.lanes)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `lanes` total lanes: the dispatching thread
+    /// (lane 0) plus `lanes − 1` spawned workers that park between
+    /// dispatches. `lanes` is clamped to at least 1; a 1-lane pool
+    /// spawns nothing and runs every primitive as a serial loop.
+    pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            parked: AtomicUsize::new(0),
+            dispatcher_parked: AtomicBool::new(false),
+            task: TaskSlot(UnsafeCell::new(None)),
+            dispatch: Mutex::new(()),
+            lock: Mutex::new(()),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..lanes)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wardrop-worker-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            lanes,
+        }
+    }
+
+    /// Total lanes, including the dispatching thread.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs `f(lane)` once on every lane (the caller participates as
+    /// lane 0) and returns when all lanes have finished. This is the
+    /// primitive the safe helpers are built on; `f` coordinates work
+    /// splitting itself (typically through an [`AtomicUsize`] chunk
+    /// counter on the caller's stack).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any lane after all lanes have finished
+    /// (so no lane can still be using borrowed data while the stack
+    /// unwinds).
+    pub fn broadcast<F: Fn(usize) + Sync>(&self, f: F) {
+        self.broadcast_dyn(&f);
+    }
+
+    fn broadcast_dyn(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            f(0);
+            return;
+        }
+        let shared = &*self.shared;
+        // One dispatch at a time: concurrent `broadcast` calls from
+        // threads sharing this pool queue up here instead of racing on
+        // the task slot and the `remaining` counter. Held across the
+        // whole dispatch (publish → run → completion wait). A worker
+        // lane must never dispatch on its own pool — that would
+        // deadlock by design (nested dispatch is a bug). Poisoning is
+        // ignored: the mutex guards no data, and a propagated panic
+        // (which unwinds through this guard) must not brick the pool.
+        let _dispatch = shared
+            .dispatch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // SAFETY (lifetime erasure): the raw pointer is dereferenced
+        // only by workers between the publish below and the
+        // `remaining == 0` wait; this function does not return or
+        // unwind before that wait completes, so the borrow outlives
+        // every dereference.
+        let task = Task {
+            f: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(f as *const _)
+            },
+        };
+        // Publish: slot first, then counters, then the epoch bump that
+        // makes it visible. No lane is running (the previous dispatch
+        // completed), so the slot write cannot race a reader.
+        debug_assert_eq!(shared.remaining.load(Ordering::SeqCst), 0);
+        unsafe { *shared.task.0.get() = Some(task) };
+        shared.panicked.store(false, Ordering::SeqCst);
+        shared.remaining.store(self.handles.len(), Ordering::SeqCst);
+        shared.epoch.fetch_add(1, Ordering::SeqCst);
+        // Wake parked workers only — spinning ones see the epoch bump.
+        if shared.parked.load(Ordering::SeqCst) > 0 {
+            let _guard = shared.lock.lock().expect("pool mutex");
+            shared.start.notify_all();
+        }
+
+        // Lane 0 — catch a local panic so we still wait for the other
+        // lanes before unwinding past the borrowed closure.
+        let local = catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        // Completion: spin briefly (workers usually finish within the
+        // dispatcher's own share), then park on the condvar.
+        let mut spins = 0u32;
+        while shared.remaining.load(Ordering::SeqCst) > 0 {
+            if spins < SPIN_ROUNDS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if spins < SPIN_ROUNDS + YIELD_ROUNDS {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                let mut guard = shared.lock.lock().expect("pool mutex");
+                shared.dispatcher_parked.store(true, Ordering::SeqCst);
+                while shared.remaining.load(Ordering::SeqCst) > 0 {
+                    guard = shared.done.wait(guard).expect("pool condvar");
+                }
+                shared.dispatcher_parked.store(false, Ordering::SeqCst);
+                break;
+            }
+        }
+        unsafe { *shared.task.0.get() = None };
+        let worker_panicked = shared.panicked.load(Ordering::SeqCst);
+        if let Err(payload) = local {
+            resume_unwind(payload);
+        }
+        assert!(
+            !worker_panicked,
+            "a worker lane panicked during a parallel task"
+        );
+    }
+
+    /// Overwrites `out[i] = f(i)` for every index, splitting the index
+    /// space into chunks claimed atomically by the lanes.
+    ///
+    /// Deterministic: each element is computed independently, so the
+    /// result is bit-identical to the serial loop `for i { out[i] =
+    /// f(i) }` for any lane count (see the type-level docs).
+    pub fn fill_with<T, F>(&self, out: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let len = out.len();
+        if len == 0 {
+            return;
+        }
+        if self.handles.is_empty() {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(i);
+            }
+            return;
+        }
+        let chunk = chunk_len(len, self.lanes);
+        let next = AtomicUsize::new(0);
+        let base = SendPtr(out.as_mut_ptr());
+        self.broadcast(|_lane| {
+            let base = &base;
+            loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                for i in start..end {
+                    // SAFETY: `fetch_add` hands each chunk — hence each
+                    // index — to exactly one lane, and `out` outlives
+                    // the dispatch, so this is a unique in-bounds write.
+                    unsafe { *base.0.add(i) = f(i) };
+                }
+            }
+        });
+    }
+
+    /// Runs `f(i, &mut items[i])` for every item, each item visited by
+    /// exactly one lane. Intended for coarse, independent units of work
+    /// (the engine's per-commodity rate blocks).
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let len = items.len();
+        if len == 0 {
+            return;
+        }
+        if self.handles.is_empty() {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let base = SendPtr(items.as_mut_ptr());
+        self.broadcast(|_lane| {
+            let base = &base;
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // SAFETY: each index is claimed once; items are
+                // non-overlapping and outlive the dispatch.
+                f(i, unsafe { &mut *base.0.add(i) });
+            }
+        });
+    }
+
+    /// Overwrites `out[i] = f(state, i)` where every lane owns one
+    /// `state = init()` for the duration of the call — the shape of an
+    /// ensemble sweep, where `state` is a reusable per-lane simulation
+    /// workspace and each index is one independent run.
+    ///
+    /// Unlike [`WorkerPool::fill_with`], indices are claimed **one at a
+    /// time**: the units are assumed coarse (milliseconds to seconds),
+    /// so claim overhead is irrelevant and balance is everything.
+    ///
+    /// Deterministic as long as `f`'s result does not depend on the
+    /// lane state beyond reuse of buffers — the caller's contract,
+    /// which the engine's `rebind`-based workspaces satisfy (a reused
+    /// workspace replays a run bit-identically; see
+    /// `Simulation::reset`).
+    pub fn map_init<T, S, I, F>(&self, init: I, out: &mut [T], f: F)
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let len = out.len();
+        if len == 0 {
+            return;
+        }
+        if self.handles.is_empty() {
+            let mut state = init();
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(&mut state, i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let base = SendPtr(out.as_mut_ptr());
+        self.broadcast(|_lane| {
+            let base = &base;
+            let mut state = init();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // SAFETY: each index is claimed by exactly one lane and
+                // `out` outlives the dispatch.
+                unsafe { *base.0.add(i) = f(&mut state, i) };
+            }
+        });
+    }
+
+    /// Collects `f(state, i)` for `i in 0..len` into a `Vec`, fanning
+    /// the (coarse) units across lanes with one `init()` state per
+    /// lane — [`WorkerPool::map_init`] without the caller-managed
+    /// `Option` staging. Results land in index order regardless of
+    /// which lane produced them.
+    pub fn map_collect<R, S, I, F>(&self, len: usize, init: I, f: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+        self.map_init(init, &mut out, |state, i| Some(f(state, i)));
+        out.into_iter()
+            .map(|r| r.expect("every index is claimed by exactly one lane"))
+            .collect()
+    }
+
+    /// Splits `data` at `bounds` into the parts
+    /// `data[bounds[i]..bounds[i + 1]]` and runs `f(i, part)` on each,
+    /// every part visited by exactly one lane.
+    ///
+    /// `bounds` must be ascending, start at 0 and end at `data.len()`
+    /// — the contiguous-partition shape of the engine's per-commodity
+    /// (and per-chunk) output ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not an ascending partition of
+    /// `0..data.len()`.
+    pub fn for_parts<T, F>(&self, data: &mut [T], bounds: &[usize], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let parts = check_bounds(bounds, data.len());
+        if parts == 0 {
+            return;
+        }
+        if self.handles.is_empty() {
+            for (i, w) in bounds.windows(2).enumerate() {
+                f(i, &mut data[w[0]..w[1]]);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let base = SendPtr(data.as_mut_ptr());
+        self.broadcast(|_lane| {
+            let base = &base;
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= parts {
+                    break;
+                }
+                let (lo, hi) = (bounds[i], bounds[i + 1]);
+                // SAFETY: `check_bounds` proved the ranges are in
+                // bounds, ascending and pairwise disjoint; each part
+                // index is claimed by exactly one lane.
+                let part = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+                f(i, part);
+            }
+        });
+    }
+}
+
+impl WorkerPool {
+    /// [`WorkerPool::for_parts`] over two equally long arrays sharing
+    /// one partition: `f(i, a_part, b_part)` — the shape of a fused
+    /// axpy pass updating two vectors in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays' lengths differ or `bounds` is not an
+    /// ascending partition of `0..a.len()`.
+    pub fn for_parts2<T, U, F>(&self, a: &mut [T], b: &mut [U], bounds: &[usize], f: F)
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut [T], &mut [U]) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "for_parts2 arrays must match");
+        let parts = check_bounds(bounds, a.len());
+        if parts == 0 {
+            return;
+        }
+        if self.handles.is_empty() {
+            for (i, w) in bounds.windows(2).enumerate() {
+                let (lo, hi) = (w[0], w[1]);
+                f(i, &mut a[lo..hi], &mut b[lo..hi]);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let base_a = SendPtr(a.as_mut_ptr());
+        let base_b = SendPtr(b.as_mut_ptr());
+        self.broadcast(|_lane| {
+            let (base_a, base_b) = (&base_a, &base_b);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= parts {
+                    break;
+                }
+                let (lo, hi) = (bounds[i], bounds[i + 1]);
+                // SAFETY: as in `for_parts` — validated disjoint
+                // in-bounds ranges, each part claimed once, both
+                // arrays outlive the dispatch.
+                let pa = unsafe { std::slice::from_raw_parts_mut(base_a.0.add(lo), hi - lo) };
+                let pb = unsafe { std::slice::from_raw_parts_mut(base_b.0.add(lo), hi - lo) };
+                f(i, pa, pb);
+            }
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.lock.lock().expect("pool mutex");
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for a fresh epoch: spin, then yield, then park. The
+        // park re-checks the epoch *after* registering in `parked`
+        // (both `SeqCst`), so the dispatcher either sees us parked and
+        // notifies, or we see its epoch bump and never sleep — no lost
+        // wakeup in either interleaving.
+        let mut spins = 0u32;
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if shared.epoch.load(Ordering::SeqCst) != seen {
+                seen = shared.epoch.load(Ordering::SeqCst);
+                break;
+            }
+            if spins < SPIN_ROUNDS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if spins < SPIN_ROUNDS + YIELD_ROUNDS {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                let mut guard = shared.lock.lock().expect("pool mutex");
+                shared.parked.fetch_add(1, Ordering::SeqCst);
+                while shared.epoch.load(Ordering::SeqCst) == seen
+                    && !shared.shutdown.load(Ordering::SeqCst)
+                {
+                    guard = shared.start.wait(guard).expect("pool condvar");
+                }
+                shared.parked.fetch_sub(1, Ordering::SeqCst);
+                spins = 0;
+            }
+        }
+        // SAFETY: the dispatcher wrote the slot before the epoch bump
+        // we just observed and keeps the erased borrow alive until
+        // `remaining` drops to 0, which happens strictly after this
+        // call returns.
+        let task = unsafe { (*shared.task.0.get()).expect("task published with epoch") };
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.f)(lane) })).is_ok();
+        if !ok {
+            shared.panicked.store(true, Ordering::SeqCst);
+        }
+        if shared.remaining.fetch_sub(1, Ordering::SeqCst) == 1
+            && shared.dispatcher_parked.load(Ordering::SeqCst)
+        {
+            let _guard = shared.lock.lock().expect("pool mutex");
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Chunk length for element-wise primitives: a pure function of
+/// `(len, lanes)` — about four claims per lane for load balance, never
+/// fewer than 32 elements so the atomic claim and cache-line sharing
+/// stay amortised.
+fn chunk_len(len: usize, lanes: usize) -> usize {
+    len.div_ceil(lanes * 4).max(32)
+}
+
+/// Validates a partition and returns the number of parts.
+fn check_bounds(bounds: &[usize], len: usize) -> usize {
+    assert!(
+        bounds.len() >= 2 || (bounds.len() == 1 && len == 0) || (bounds.is_empty() && len == 0),
+        "bounds must describe at least one part"
+    );
+    if bounds.len() < 2 {
+        return 0;
+    }
+    assert_eq!(bounds[0], 0, "bounds must start at 0");
+    assert_eq!(
+        *bounds.last().expect("non-empty"),
+        len,
+        "bounds must end at data.len()"
+    );
+    assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1]),
+        "bounds must be ascending"
+    );
+    bounds.len() - 1
+}
+
+/// A raw pointer that may cross lane boundaries. Safety is argued at
+/// every dereference site (disjoint claimed indices or ranges).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_with_matches_serial_bitwise() {
+        let f = |i: usize| (i as f64).sqrt() * 0.1 + 1.0 / (i as f64 + 1.0);
+        let serial: Vec<f64> = (0..10_000).map(f).collect();
+        for lanes in [1usize, 2, 3, 8] {
+            let pool = WorkerPool::new(lanes);
+            let mut out = vec![0.0; 10_000];
+            pool.fill_with(&mut out, f);
+            assert!(
+                serial
+                    .iter()
+                    .zip(&out)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "lanes = {lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_with_handles_tiny_and_empty() {
+        let pool = WorkerPool::new(4);
+        let mut empty: Vec<f64> = vec![];
+        pool.fill_with(&mut empty, |_| 1.0);
+        let mut one = vec![0.0];
+        pool.fill_with(&mut one, |i| i as f64 + 2.0);
+        assert_eq!(one, vec![2.0]);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let pool = WorkerPool::new(3);
+        let mut items = vec![0u64; 257];
+        pool.for_each_mut(&mut items, |i, v| *v += i as u64 + 1);
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn for_parts_partitions_exactly() {
+        let pool = WorkerPool::new(4);
+        let mut data = vec![0.0f64; 100];
+        let bounds = [0usize, 10, 10, 55, 100];
+        pool.for_parts(&mut data, &bounds, |i, part| {
+            for v in part.iter_mut() {
+                *v = i as f64;
+            }
+        });
+        assert!(data[..10].iter().all(|v| *v == 0.0));
+        assert!(data[10..55].iter().all(|v| *v == 2.0));
+        assert!(data[55..].iter().all(|v| *v == 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must end")]
+    fn for_parts_rejects_short_bounds() {
+        let pool = WorkerPool::new(2);
+        let mut data = vec![0.0f64; 10];
+        pool.for_parts(&mut data, &[0, 5], |_, _| {});
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        let pool = WorkerPool::new(2);
+        let mut out = vec![0.0f64; 4096];
+        for round in 0..100 {
+            let r = round as f64;
+            pool.fill_with(&mut out, |i| i as f64 * r);
+            assert_eq!(out[4095], 4095.0 * r);
+        }
+    }
+
+    #[test]
+    fn concurrent_dispatch_on_a_shared_pool_is_serialised() {
+        // Two threads hammer one pool; the dispatch mutex must keep
+        // every broadcast's task/counter protocol private to it.
+        let pool = std::sync::Arc::new(WorkerPool::new(3));
+        let a = std::sync::Arc::clone(&pool);
+        let handle = std::thread::spawn(move || {
+            let mut out = vec![0.0f64; 2048];
+            for round in 0..200 {
+                let r = round as f64;
+                a.fill_with(&mut out, |i| i as f64 + r);
+                assert_eq!(out[2047], 2047.0 + r);
+            }
+        });
+        let mut out = vec![0u64; 2048];
+        for round in 0..200u64 {
+            pool.fill_with(&mut out, |i| i as u64 * round);
+            assert_eq!(out[3], 3 * round);
+        }
+        handle.join().expect("concurrent dispatcher");
+    }
+
+    #[test]
+    fn map_collect_orders_results_and_runs_every_index() {
+        let pool = WorkerPool::new(3);
+        let got = pool.map_collect(
+            37,
+            || 0usize,
+            |state, i| {
+                *state += 1;
+                (i, *state)
+            },
+        );
+        assert_eq!(got.len(), 37);
+        for (i, (idx, per_lane_count)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert!(*per_lane_count >= 1);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(|lane| {
+                if lane == pool.lanes() - 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool still works after a propagated panic.
+        let mut out = vec![0.0f64; 64];
+        pool.fill_with(&mut out, |i| i as f64);
+        assert_eq!(out[63], 63.0);
+    }
+
+    #[test]
+    fn one_lane_pool_spawns_nothing_and_works() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.lanes(), 1);
+        let mut out = vec![0.0f64; 10];
+        pool.fill_with(&mut out, |i| i as f64);
+        assert_eq!(out[9], 9.0);
+    }
+}

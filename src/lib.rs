@@ -12,8 +12,11 @@
 //! Wardrop equilibria whenever the update period satisfies
 //! `T ≤ 1/(4 D α β)`.
 //!
-//! This facade re-exports the four sub-crates:
+//! This facade re-exports the five sub-crates:
 //!
+//! * [`pool`] — the hand-rolled worker pool behind the deterministic
+//!   multi-threaded engine (bit-identical to serial at any lane
+//!   count);
 //! * [`net`] — the Wardrop model substrate (graphs, latencies, paths,
 //!   flows, potential, equilibria, instance builders);
 //! * [`core`] — the paper's contribution (bulletin board, smooth
@@ -49,6 +52,7 @@ pub use wardrop_agents as agents;
 pub use wardrop_analysis as analysis;
 pub use wardrop_core as core;
 pub use wardrop_net as net;
+pub use wardrop_pool as pool;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -63,8 +67,9 @@ pub mod prelude {
     pub use wardrop_core::best_response::BestResponse;
     pub use wardrop_core::board::BulletinBoard;
     pub use wardrop_core::engine::{
-        run, run_scenario, Dynamics, PhaseSchedule, Simulation, SimulationConfig,
+        run, run_scenario, Dynamics, Parallelism, PhaseSchedule, Simulation, SimulationConfig,
     };
+    pub use wardrop_core::ensemble::{map_runs, run_many, RunSpec};
     pub use wardrop_core::integrator::Integrator;
     pub use wardrop_core::kernel::SeparableKernel;
     pub use wardrop_core::migration::{
@@ -77,6 +82,7 @@ pub mod prelude {
     pub use wardrop_core::sampling::{Logit, Proportional, SamplingRule, Uniform};
     pub use wardrop_core::theory::{self, safe_update_period};
     pub use wardrop_core::trajectory::Trajectory;
+    pub use wardrop_core::WorkerPool;
     pub use wardrop_net::builders;
     pub use wardrop_net::equilibrium::{is_approx_equilibrium, is_wardrop_equilibrium, max_regret};
     pub use wardrop_net::flow::FlowVec;
