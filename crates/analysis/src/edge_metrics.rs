@@ -1,0 +1,258 @@
+//! Equilibrium gap metrics computed on **edge flows only**.
+//!
+//! The enumerated metrics ([`regret`](crate::regret),
+//! [`tracking`](crate::tracking), the Frank–Wolfe duality gap) all scan
+//! the explicit path arena — `O(P)` work on instances whose `P` may be
+//! astronomically larger than the network itself (grid_14x14 carries
+//! 10,400,600 implicit paths over 364 edges). This module recovers the
+//! same certificates from the aggregate edge flows of a path-free
+//! [`EdgeInstance`] by replacing every "minimum over enumerated paths"
+//! with a Dijkstra probe over the current edge latencies, `O(E log V)`
+//! per commodity:
+//!
+//! * the Beckmann–McGuire–Winsten potential, exactly;
+//! * the Frank–Wolfe **duality gap**
+//!   `Σ_e ℓ_e(f_e) f_e − Σ_i r_i · dist_i(ℓ(f))` — the linear oracle
+//!   per commodity is exactly a shortest path, so the classic
+//!   `gap = ∇Φ(f)·(f − s)` needs no paths at all;
+//! * the certified **lower bound** `Φ* ≥ Φ(f) − gap(f)` (convexity of
+//!   `Φ`), the edge-level twin of the per-epoch ground truth the
+//!   tracking metrics compare against;
+//! * the instantaneous **population regret**
+//!   `L̄(f) − Σ_i r_i · dist_i(ℓ(f))` — average sustained latency minus
+//!   the best-reply latency, the quantity Theorem 6/7 drive to zero.
+//!
+//! On an enumerated instance both formulations agree to round-off; the
+//! unit tests pin this against [`frank_wolfe`](crate::frank_wolfe) and
+//! the path-scanning regret.
+
+use serde::{Deserialize, Serialize};
+use wardrop_net::edge_flow::EdgeInstance;
+use wardrop_net::shortest_path::DijkstraWorkspace;
+
+/// Point-in-time equilibrium certificates for one edge-flow vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeGapReport {
+    /// The potential `Φ(f)` at the measured edge flows.
+    pub potential: f64,
+    /// Frank–Wolfe duality gap `∇Φ(f)·(f − s)` via shortest-path
+    /// oracles; non-negative, zero exactly at Wardrop equilibria.
+    pub duality_gap: f64,
+    /// Certified lower bound on the optimal potential:
+    /// `Φ* ≥ potential − duality_gap`.
+    pub lower_bound: f64,
+    /// Demand-weighted best-reply latency `Σ_i r_i · dist_i(ℓ(f))`.
+    pub best_reply_latency: f64,
+}
+
+/// The potential `Φ(f) = Σ_e ∫₀^{f_e} ℓ_e(u) du` from edge flows.
+///
+/// # Panics
+///
+/// Panics if `edge_flows` does not have one entry per edge.
+pub fn edge_potential(edge: &EdgeInstance, edge_flows: &[f64]) -> f64 {
+    assert_eq!(edge_flows.len(), edge.num_edges(), "one flow per edge");
+    edge.latencies()
+        .iter()
+        .zip(edge_flows)
+        .map(|(l, x)| l.primitive(*x))
+        .sum()
+}
+
+/// Per-commodity shortest-path distances under the latencies induced by
+/// `edge_flows` — the linear-minimisation oracle of Frank–Wolfe, and
+/// the best-reply latencies of the regret metrics.
+///
+/// # Panics
+///
+/// Panics if `edge_flows` does not have one entry per edge.
+pub fn best_reply_distances(edge: &EdgeInstance, edge_flows: &[f64]) -> Vec<f64> {
+    assert_eq!(edge_flows.len(), edge.num_edges(), "one flow per edge");
+    let latencies: Vec<f64> = edge
+        .latencies()
+        .iter()
+        .zip(edge_flows)
+        .map(|(l, x)| l.eval(*x))
+        .collect();
+    let mut oracle = DijkstraWorkspace::new();
+    edge.commodities()
+        .iter()
+        .map(|c| {
+            oracle.run(edge.graph(), c.source, &latencies);
+            let d = oracle.distance(c.sink);
+            debug_assert!(d.is_finite(), "EdgeInstance validated reachability");
+            d
+        })
+        .collect()
+}
+
+/// Computes all edge-level equilibrium certificates at `edge_flows`.
+///
+/// # Examples
+///
+/// The duality gap certifies suboptimality without enumerating a single
+/// path:
+///
+/// ```
+/// use wardrop_analysis::edge_metrics::edge_gap_report;
+/// use wardrop_net::builders;
+///
+/// let edge = builders::grid_edge_network(4, 4, 7);
+/// // A deliberately lopsided flow: everything on one path's edges is
+/// // impossible to express here, so probe the all-zero flow instead —
+/// // infeasible as a routing, but the certificates are still defined.
+/// let report = edge_gap_report(&edge, &vec![0.0; edge.num_edges()]);
+/// assert!(report.duality_gap >= 0.0);
+/// assert!(report.lower_bound <= report.potential);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `edge_flows` does not have one entry per edge.
+pub fn edge_gap_report(edge: &EdgeInstance, edge_flows: &[f64]) -> EdgeGapReport {
+    let potential = edge_potential(edge, edge_flows);
+    let distances = best_reply_distances(edge, edge_flows);
+    let total_latency: f64 = edge
+        .latencies()
+        .iter()
+        .zip(edge_flows)
+        .map(|(l, x)| l.eval(*x) * x)
+        .sum();
+    let best_reply_latency: f64 = edge
+        .commodities()
+        .iter()
+        .zip(&distances)
+        .map(|(c, d)| c.demand * d)
+        .sum();
+    let duality_gap = (total_latency - best_reply_latency).max(0.0);
+    EdgeGapReport {
+        potential,
+        duality_gap,
+        lower_bound: potential - duality_gap,
+        best_reply_latency,
+    }
+}
+
+/// Instantaneous population regret at edge level: the average sustained
+/// latency minus the demand-weighted best-reply latency. Non-negative
+/// for feasible flows; zero exactly at Wardrop equilibria.
+///
+/// `avg_latency` is the demand-weighted average latency actually
+/// sustained (e.g. [`PhaseRecord::avg_latency_start`]); total demand is
+/// normalised to 1, so `Σ_i r_i · dist_i` is directly comparable.
+///
+/// [`PhaseRecord::avg_latency_start`]: wardrop_core::trajectory::PhaseRecord::avg_latency_start
+///
+/// # Panics
+///
+/// Panics if `edge_flows` does not have one entry per edge.
+pub fn edge_regret(edge: &EdgeInstance, edge_flows: &[f64], avg_latency: f64) -> f64 {
+    let distances = best_reply_distances(edge, edge_flows);
+    let best: f64 = edge
+        .commodities()
+        .iter()
+        .zip(&distances)
+        .map(|(c, d)| c.demand * d)
+        .sum();
+    avg_latency - best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frank_wolfe::{minimise, optimal_potential, FrankWolfeConfig, Objective};
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+    use wardrop_net::potential::potential;
+
+    /// Helper: the enumerated instance, its edge twin, and a flow's
+    /// edge-flow vector.
+    fn setup(inst: &wardrop_net::instance::Instance, flow: &FlowVec) -> (EdgeInstance, Vec<f64>) {
+        let edge = EdgeInstance::from_instance(inst).unwrap();
+        (edge, flow.edge_flows(inst))
+    }
+
+    #[test]
+    fn potential_matches_enumerated_formulation() {
+        let inst = builders::multi_commodity_grid(3, 3, 9);
+        let flow = FlowVec::uniform(&inst);
+        let (edge, fe) = setup(&inst, &flow);
+        let enumerated = potential(&inst, &flow);
+        assert!((edge_potential(&edge, &fe) - enumerated).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn best_replies_match_path_minima() {
+        let inst = builders::grid_network(4, 4, 23);
+        let flow = FlowVec::uniform(&inst);
+        let (edge, fe) = setup(&inst, &flow);
+        let distances = best_reply_distances(&edge, &fe);
+        let lp = flow.path_latencies(&inst);
+        for (i, d) in distances.iter().enumerate() {
+            let brute = inst
+                .commodity_paths(i)
+                .map(|p| lp[p])
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (d - brute).abs() <= 1e-9,
+                "commodity {i}: oracle {d}, brute-force {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn duality_gap_matches_frank_wolfe_gap() {
+        let inst = builders::multi_commodity_grid(3, 3, 5);
+        let flow = FlowVec::uniform(&inst);
+        let (edge, fe) = setup(&inst, &flow);
+        // The enumerated FW gap at `flow`: ∇Φ(f)·(f − s) with s the
+        // best-path vertex per commodity.
+        let grad = Objective::Potential.gradient(&inst, &flow);
+        let mut expected = 0.0;
+        for (i, c) in inst.commodities().iter().enumerate() {
+            let best = inst
+                .commodity_paths(i)
+                .map(|p| grad[p])
+                .fold(f64::INFINITY, f64::min);
+            for p in inst.commodity_paths(i) {
+                expected += grad[p] * flow.values()[p];
+            }
+            expected -= best * c.demand;
+        }
+        let report = edge_gap_report(&edge, &fe);
+        assert!(
+            (report.duality_gap - expected).abs() <= 1e-9,
+            "edge gap {}, enumerated gap {expected}",
+            report.duality_gap
+        );
+    }
+
+    #[test]
+    fn lower_bound_is_tight_at_equilibrium() {
+        let inst = builders::grid_network(3, 3, 5);
+        let eq = minimise(&inst, Objective::Potential, &FrankWolfeConfig::default());
+        let (edge, fe) = setup(&inst, &eq.flow);
+        let report = edge_gap_report(&edge, &fe);
+        let phi_star = optimal_potential(&inst);
+        // Lower bound is valid…
+        assert!(report.lower_bound <= phi_star + 1e-9);
+        // …and tight at (approximate) equilibrium.
+        assert!(phi_star - report.lower_bound <= 1e-4);
+        assert!(report.duality_gap <= 1e-4);
+    }
+
+    #[test]
+    fn regret_vanishes_at_equilibrium_and_not_before() {
+        let inst = builders::braess();
+        let (edge, fe_uniform) = setup(&inst, &FlowVec::uniform(&inst));
+        let uniform = FlowVec::uniform(&inst);
+        let avg_uniform = uniform.avg_latency(&inst);
+        assert!(edge_regret(&edge, &fe_uniform, avg_uniform) > 1e-3);
+
+        let eq = minimise(&inst, Objective::Potential, &FrankWolfeConfig::default());
+        let fe_eq = eq.flow.edge_flows(&inst);
+        let avg_eq = eq.flow.avg_latency(&inst);
+        let r = edge_regret(&edge, &fe_eq, avg_eq);
+        assert!(r.abs() <= 1e-3, "equilibrium regret {r}");
+    }
+}

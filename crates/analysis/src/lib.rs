@@ -4,6 +4,9 @@
 //! *Adaptive routing with stale information* (Fischer & Vöcking,
 //! PODC 2005 / TCS 2009).
 //!
+//! * [`edge_metrics`] — the same certificates from edge flows alone
+//!   (`O(E log V)` shortest-path oracles instead of `O(P)` path scans)
+//!   for the implicit-path backend;
 //! * [`frank_wolfe`] — certified minimisation of the
 //!   Beckmann–McGuire–Winsten potential (ground-truth Wardrop
 //!   equilibria, `Φ*`) and of the social cost (system optima);
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edge_metrics;
 pub mod frank_wolfe;
 pub mod metrics;
 pub mod oscillation;
@@ -40,6 +44,7 @@ pub mod regret;
 pub mod stats;
 pub mod tracking;
 
+pub use edge_metrics::{best_reply_distances, edge_gap_report, edge_regret, EdgeGapReport};
 pub use frank_wolfe::{minimise, FrankWolfeConfig, FrankWolfeResult, Objective};
 pub use metrics::{bad_phase_count, summarise, ConvergenceSummary, EquilibriumKind};
 pub use oscillation::{amplitude, detect_orbit, OrbitKind};

@@ -7,6 +7,18 @@
 //! trajectory of the hot path is tracked in-repo from PR to PR and CI
 //! can surface regressions.
 //!
+//! Schema v5 additions (implicit-path backend):
+//!
+//! * an `implicit_path` section: ns/phase of the edge-flow
+//!   column-generation engine
+//!   ([`wardrop_core::edge_engine::run_edge`]) on network-sized
+//!   workloads, run in both smoke and full mode. Includes the
+//!   `grid_14x14` frontier row — 10 400 600 implicit paths over 364
+//!   edges, marked `enumerated_feasible: false` because the enumerated
+//!   engine cannot even allocate its path arena — with the active
+//!   column count and oracle discoveries recorded per row (CI asserts
+//!   the row exists and ran all 40 phases).
+//!
 //! Schema v4 additions (deterministic multi-threaded engine):
 //!
 //! * a `thread_scaling` section: ns/phase of the fused engine at
@@ -42,10 +54,12 @@
 
 use serde::Serialize;
 use wardrop_bench::{
-    baseline, frontier_engine_workloads, grid_12x12_frontier_workload, large_engine_workloads,
-    small_engine_workloads, time_apply_event, time_best_of, EngineWorkload,
+    baseline, frontier_engine_workloads, grid_12x12_frontier_workload, implicit_path_workloads,
+    large_engine_workloads, small_engine_workloads, time_apply_event, time_best_of,
+    EdgeEngineWorkload, EngineWorkload,
 };
 use wardrop_core::board::BulletinBoard;
+use wardrop_core::edge_engine::{EdgeSimulation, PathSeeding};
 use wardrop_core::engine::{self, Parallelism};
 use wardrop_core::ensemble::{run_many, RunSpec};
 use wardrop_core::policy::{stock_policy_zoo, ReroutingPolicy};
@@ -117,6 +131,24 @@ struct ThreadScalingReport {
 }
 
 #[derive(Debug, Serialize)]
+struct ImplicitPathReport {
+    name: String,
+    edges: usize,
+    /// Implicit source–sink path count of the workload (exact below
+    /// 2^53; the whole point is that it never becomes an allocation).
+    implicit_paths: f64,
+    /// Columns active at the end of the run (seeds + discoveries).
+    active_paths_final: usize,
+    /// Columns admitted by the per-phase best-reply probe.
+    discoveries: usize,
+    phases: usize,
+    ns_per_phase: f64,
+    /// Whether the enumerated engine could build this instance at all.
+    /// `false` marks the frontier rows the implicit backend exists for.
+    enumerated_feasible: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct EnsembleScalingReport {
     name: String,
     runs: usize,
@@ -140,6 +172,9 @@ struct BenchReport {
     /// mutation + incremental invariant refresh + in-place
     /// re-evaluation) per entry.
     reconfig: Vec<ReconfigReport>,
+    /// Implicit-path (edge-flow) backend rows, including grids the
+    /// enumerated engine cannot allocate.
+    implicit_path: Vec<ImplicitPathReport>,
     /// Thread scaling of the fused engine (ns/phase per lane count,
     /// every parallel row verified bit-identical to serial).
     thread_scaling: Vec<ThreadScalingReport>,
@@ -200,6 +235,56 @@ fn measure_thread_scaling(
         rows.push(row);
     }
     rows
+}
+
+/// One implicit-path row: drive the edge-flow backend once to collect
+/// the basis statistics (and verify all phases ran), then time repeated
+/// runs with the same oracle seeding.
+fn measure_implicit_path(w: &EdgeEngineWorkload, repeats: usize) -> ImplicitPathReport {
+    let policy = wardrop_core::policy::SmoothPolicy::new(
+        wardrop_core::Uniform,
+        wardrop_core::Linear::new(w.edge.latency_upper_bound().max(f64::MIN_POSITIVE)),
+    );
+    let seeding = PathSeeding::default();
+    let phases = w.config.num_phases;
+
+    let mut sim = EdgeSimulation::new(&w.edge, &policy, &w.config, &seeding)
+        .expect("implicit workloads seed cleanly");
+    let mut ran = 0usize;
+    while sim.step().is_some() {
+        ran += 1;
+    }
+    assert_eq!(
+        ran, phases,
+        "{}: implicit run must finish all phases",
+        w.name
+    );
+
+    let ns = time_best_of(repeats, || {
+        let traj = wardrop_core::edge_engine::run_edge(&w.edge, &policy, &w.config, &seeding)
+            .expect("implicit workloads run cleanly");
+        assert_eq!(traj.len(), phases);
+    });
+    let report = ImplicitPathReport {
+        name: w.name.to_string(),
+        edges: w.edge.num_edges(),
+        implicit_paths: w.edge.total_implicit_path_count(),
+        active_paths_final: sim.active_path_count(),
+        discoveries: sim.discoveries(),
+        phases,
+        ns_per_phase: ns / phases as f64,
+        enumerated_feasible: w.enumerated_feasible,
+    };
+    println!(
+        "{:<28} |E|={:<4} implicit |P|={:<12.0} active {:<4} implicit {:>12.0} ns/phase   enumerated feasible: {}",
+        report.name,
+        report.edges,
+        report.implicit_paths,
+        report.active_paths_final,
+        report.ns_per_phase,
+        report.enumerated_feasible
+    );
+    report
 }
 
 /// Ensemble-runner throughput: `runs` independent grid simulations
@@ -418,6 +503,19 @@ fn main() {
         );
     }
 
+    // The implicit-path backend's cost is network-sized, so even the
+    // grid_14x14 frontier row runs in both modes.
+    let implicit_path: Vec<ImplicitPathReport> = implicit_path_workloads()
+        .iter()
+        .map(|w| measure_implicit_path(w, if smoke { 1 } else { 3 }))
+        .collect();
+    assert!(
+        implicit_path
+            .iter()
+            .any(|r| r.name == "grid_14x14" && !r.enumerated_feasible && r.phases >= 40),
+        "the grid_14x14 frontier row is the acceptance criterion"
+    );
+
     let ensemble = measure_ensemble_scaling();
 
     let zoo = policy_zoo();
@@ -430,12 +528,13 @@ fn main() {
     }
 
     let report = BenchReport {
-        schema: "wardrop-bench/engine/v4".to_string(),
+        schema: "wardrop-bench/engine/v5".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         workloads,
         frontier,
         policy_zoo: zoo,
         reconfig,
+        implicit_path,
         thread_scaling,
         ensemble,
     };

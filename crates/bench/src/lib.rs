@@ -16,6 +16,7 @@ pub mod baseline;
 pub mod workloads;
 
 pub use workloads::{
-    frontier_engine_workloads, grid_12x12_frontier_workload, large_engine_workloads,
-    small_engine_workloads, time_apply_event, time_best_of, workload, EngineWorkload,
+    frontier_engine_workloads, grid_12x12_frontier_workload, implicit_path_workloads,
+    large_engine_workloads, small_engine_workloads, time_apply_event, time_best_of, workload,
+    EdgeEngineWorkload, EngineWorkload,
 };

@@ -9,6 +9,7 @@
 use wardrop_core::engine::{Simulation, SimulationConfig};
 use wardrop_core::policy::uniform_linear;
 use wardrop_net::builders;
+use wardrop_net::edge_flow::EdgeInstance;
 use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 use wardrop_net::scenario::EventAction;
@@ -133,6 +134,50 @@ pub fn grid_12x12_frontier_workload() -> EngineWorkload {
     )
 }
 
+/// A named workload for the implicit-path (edge-flow) backend: the
+/// instance is path-free, so the only size that matters up front is
+/// the network itself.
+pub struct EdgeEngineWorkload {
+    /// Stable identifier recorded in `BENCH_engine.json`.
+    pub name: &'static str,
+    /// The path-free instance under load.
+    pub edge: EdgeInstance,
+    /// Simulation configuration (same defaults as the enumerated
+    /// workloads).
+    pub config: SimulationConfig,
+    /// Whether the enumerated engine could even build this instance
+    /// (`false` once the implicit path count dwarfs the path cap — the
+    /// frontier the implicit backend exists for).
+    pub enumerated_feasible: bool,
+}
+
+/// Implicit-path workloads for `bench_report`'s `implicit_path`
+/// section, run in **both** smoke and full mode (the backend's cost is
+/// network-sized, not path-sized, so even the frontier rows are
+/// CI-cheap):
+///
+/// * `grid_10x10` — 48 620 implicit paths; also an enumerated frontier
+///   workload, anchoring the two backends on a common instance;
+/// * `grid_14x14` — `C(26, 13) = 10 400 600` implicit paths over 364
+///   edges, ~100× the default path cap: the enumerated engine cannot
+///   allocate it, the implicit backend treats it as routine.
+pub fn implicit_path_workloads() -> Vec<EdgeEngineWorkload> {
+    vec![
+        EdgeEngineWorkload {
+            name: "grid_10x10",
+            edge: builders::grid_edge_network(10, 10, 7),
+            config: SimulationConfig::new(1.0, 40),
+            enumerated_feasible: true,
+        },
+        EdgeEngineWorkload {
+            name: "grid_14x14",
+            edge: builders::grid_edge_network(14, 14, 7),
+            config: SimulationConfig::new(1.0, 40),
+            enumerated_feasible: false,
+        },
+    ]
+}
+
 /// Measures scenario-reconfiguration cost on a workload: the mean
 /// nanoseconds of one [`Simulation::apply_event`] (instance mutation +
 /// incremental invariant refresh + in-place re-evaluation), averaged
@@ -168,6 +213,23 @@ mod tests {
         let w = &small_engine_workloads()[0];
         let ns = time_apply_event(w, 8);
         assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn implicit_workloads_cross_the_enumeration_frontier() {
+        let ws = implicit_path_workloads();
+        let frontier = ws
+            .iter()
+            .find(|w| w.name == "grid_14x14")
+            .expect("the acceptance frontier row must exist");
+        assert!(!frontier.enumerated_feasible);
+        // C(26, 13) = 10 400 600 — two orders of magnitude past the
+        // default enumeration cap.
+        assert_eq!(frontier.edge.total_implicit_path_count(), 10_400_600.0);
+        assert_eq!(frontier.config.num_phases, 40);
+        for w in &ws {
+            assert!(w.config.num_phases >= 40, "{}", w.name);
+        }
     }
 
     #[test]

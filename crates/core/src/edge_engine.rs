@@ -1,0 +1,822 @@
+//! The implicit-path (edge-flow) simulation backend.
+//!
+//! Every other component of this workspace works on an
+//! [`Instance`] whose path arena was enumerated up front. That is
+//! faithful to the paper's path formulation but caps the reachable
+//! topologies: grid_12x12 already needs 705,432 paths and ~15.5 M CSR
+//! incidences, and grid_14x14 (10,400,600 paths) cannot even be
+//! allocated. The paper's polynomial bounds (Theorems 6/7) hold
+//! precisely because the rerouting dynamics never *need* explicit path
+//! sets — agents only ever compare their own path against sampled
+//! alternatives under the posted edge latencies.
+//!
+//! This module exploits that via **column generation** over a path-free
+//! [`EdgeInstance`]: an [`EdgeSimulation`] keeps a small per-commodity
+//! *active* path set, builds a **restricted** enumerated instance over
+//! exactly those columns
+//! ([`Instance::with_explicit_paths`]), and runs the
+//! unchanged phase machinery — fused evaluation, matrix-free
+//! [`PhaseRates`](crate::policy::PhaseRates), integrators,
+//! [`BulletinBoard`] — over the restriction. Between phases a
+//! shortest-path oracle ([`DijkstraWorkspace`], `O(E log V)` per probe)
+//! checks the posted edge latencies for a best reply outside the active
+//! set and admits it as a fresh zero-flow column; a seeded
+//! [`PathSampler`] provides uniform random paths for the
+//! initial column pool. Per-commodity state therefore lives on **edge
+//! flows**: the board posts edge latencies, the oracle reads only
+//! edges, and the active path set is merely the basis currently
+//! carrying flow.
+//!
+//! Two properties make this backend testable against the enumerated
+//! engine:
+//!
+//! * **Exact equivalence on small instances** — seeding the active set
+//!   with the full enumerated path set (in enumeration order) makes
+//!   the restricted instance *bit-identical* to the enumerated one, so
+//!   both engines produce bit-identical trajectories
+//!   (`tests/backend_equivalence.rs`).
+//! * **Zero-allocation steady state** — when no new column is
+//!   discovered, a phase performs no heap allocation: the Dijkstra
+//!   workspace, path buffer and hash lookups all reuse pre-sized
+//!   buffers (`crates/core/tests/zero_alloc.rs`). Discovery steps and
+//!   scenario events are the sanctioned allocation points, exactly
+//!   like `apply_event` on the enumerated engine.
+//!
+//! # Worked example: a grid beyond the enumerated frontier
+//!
+//! ```
+//! use wardrop_core::edge_engine::{run_edge, PathSeeding};
+//! use wardrop_core::engine::SimulationConfig;
+//! use wardrop_core::migration::Linear;
+//! use wardrop_core::policy::SmoothPolicy;
+//! use wardrop_core::sampling::Uniform;
+//! use wardrop_net::builders;
+//!
+//! // A 6x6 grid: 252 implicit paths, but the engine only ever carries
+//! // the columns the oracles discover.
+//! let edge = builders::grid_edge_network(6, 6, 7);
+//! let policy = SmoothPolicy::new(Uniform, Linear::new(edge.latency_upper_bound()));
+//! let config = SimulationConfig::new(0.5, 40);
+//! let seeding = PathSeeding::default(); // shortest path + 8 random columns
+//! let traj = run_edge(&edge, &policy, &config, &seeding).unwrap();
+//! assert_eq!(traj.len(), 40);
+//! // The potential never increases for a smooth policy within the
+//! // safe period — same Lemma 4 behaviour as the enumerated engine.
+//! assert!(traj.phases.last().unwrap().potential_end
+//!     <= traj.phases[0].potential_start + 1e-9);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use wardrop_net::edge_flow::EdgeInstance;
+use wardrop_net::error::NetError;
+use wardrop_net::flow::FlowVec;
+use wardrop_net::graph::EdgeId;
+use wardrop_net::instance::Instance;
+use wardrop_net::path::Path;
+use wardrop_net::rng::SplitMix64;
+use wardrop_net::scenario::{Event, EventAction, Scenario};
+use wardrop_net::shortest_path::{DijkstraWorkspace, PathSampler};
+use wardrop_pool::WorkerPool;
+
+use crate::board::BulletinBoard;
+use crate::engine::{Dynamics, EngineWorkspace, SimulationConfig};
+use crate::trajectory::{PhaseRecord, Trajectory};
+
+/// How the initial active path set of an [`EdgeSimulation`] is built.
+#[derive(Debug, Clone)]
+pub enum PathSeeding {
+    /// Oracle seeding: per commodity, the shortest path under free-flow
+    /// latencies `ℓ_e(0)` plus up to `random_paths` distinct uniform
+    /// random paths drawn by a seeded [`PathSampler`]. The default
+    /// (`random_paths: 8, seed: 0`).
+    Oracle {
+        /// Number of uniform random columns sampled per commodity
+        /// (duplicates are dropped, so fewer may be admitted).
+        random_paths: usize,
+        /// Seed of the deterministic sampling stream.
+        seed: u64,
+    },
+    /// Explicit seeding: `paths[i]` becomes commodity `i`'s initial
+    /// active set, in order. Seeding with the full enumerated path set
+    /// makes the backend bit-identical to the enumerated engine — the
+    /// lever of the differential test suite.
+    Explicit(Vec<Vec<Path>>),
+}
+
+impl Default for PathSeeding {
+    fn default() -> Self {
+        PathSeeding::Oracle {
+            random_paths: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// FNV-1a over the edge indices of a path — the cheap, allocation-free
+/// fingerprint the active-set membership index buckets on. Collisions
+/// are resolved by exact edge-sequence comparison.
+fn path_fingerprint(edges: &[EdgeId]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for e in edges {
+        let mut bytes = e.index() as u32;
+        for _ in 0..4 {
+            hash ^= u64::from(bytes & 0xff);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            bytes >>= 8;
+        }
+    }
+    hash
+}
+
+/// An in-flight implicit-path simulation.
+///
+/// Mirrors [`Simulation`](crate::engine::Simulation) — same phase
+/// pipeline, same [`PhaseRecord`]s, same scenario-event semantics —
+/// but owns an [`EdgeInstance`] plus a dynamically *restricted*
+/// enumerated instance over the active path set, rebuilt whenever the
+/// per-phase best-reply probe discovers a new column. See the
+/// [module docs](self) for the design.
+#[derive(Debug)]
+pub struct EdgeSimulation<'a, D: Dynamics + ?Sized> {
+    edge: EdgeInstance,
+    restricted: Instance,
+    dynamics: &'a D,
+    config: SimulationConfig,
+    flow: FlowVec,
+    board: BulletinBoard,
+    workspace: EngineWorkspace,
+    /// Owned copy of the pool so restricted-instance rebuilds can
+    /// re-attach the same parked workers.
+    pool: Option<Arc<WorkerPool>>,
+    /// Active path set per commodity (the restricted instance's arena).
+    active: Vec<Vec<Path>>,
+    /// Membership index: fingerprint → (commodity, local index)
+    /// candidates, verified by exact edge comparison.
+    seen: HashMap<u64, Vec<(u32, u32)>>,
+    oracle: DijkstraWorkspace,
+    path_buf: Vec<EdgeId>,
+    discoveries: usize,
+    index: usize,
+    epoch: usize,
+    start_time: f64,
+    stopped: bool,
+}
+
+impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
+    /// Prepares an implicit-path simulation: seeds the active path set,
+    /// builds the restricted instance and starts from the uniform flow
+    /// over the active columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates restricted-instance construction failures — in
+    /// particular explicit seed paths with wrong endpoints or an empty
+    /// per-commodity list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (non-positive update
+    /// period), like [`Simulation::new`](crate::engine::Simulation::new).
+    pub fn new(
+        edge: &EdgeInstance,
+        dynamics: &'a D,
+        config: &SimulationConfig,
+        seeding: &PathSeeding,
+    ) -> Result<Self, NetError> {
+        config.validate();
+        let graph = edge.graph();
+        let mut active: Vec<Vec<Path>> = vec![Vec::new(); edge.num_commodities()];
+        let mut seen: HashMap<u64, Vec<(u32, u32)>> = HashMap::new();
+        let register = |seen: &mut HashMap<u64, Vec<(u32, u32)>>,
+                        active: &mut Vec<Vec<Path>>,
+                        commodity: usize,
+                        path: Path|
+         -> bool {
+            let hash = path_fingerprint(path.edges());
+            let bucket = seen.entry(hash).or_default();
+            let duplicate = bucket.iter().any(|&(c, l)| {
+                c as usize == commodity && active[commodity][l as usize].edges() == path.edges()
+            });
+            if duplicate {
+                return false;
+            }
+            bucket.push((commodity as u32, active[commodity].len() as u32));
+            active[commodity].push(path);
+            true
+        };
+        match seeding {
+            PathSeeding::Explicit(lists) => {
+                if lists.len() != edge.num_commodities() {
+                    return Err(NetError::Inconsistent(format!(
+                        "{} seed path lists for {} commodities",
+                        lists.len(),
+                        edge.num_commodities()
+                    )));
+                }
+                for (i, list) in lists.iter().enumerate() {
+                    for p in list {
+                        register(&mut seen, &mut active, i, p.clone());
+                    }
+                }
+            }
+            PathSeeding::Oracle { random_paths, seed } => {
+                let free_flow: Vec<f64> = edge.latencies().iter().map(|l| l.eval(0.0)).collect();
+                let mut oracle = DijkstraWorkspace::new();
+                let mut rng = SplitMix64::new(*seed);
+                let mut buf = Vec::with_capacity(graph.node_count());
+                for (i, c) in edge.commodities().iter().enumerate() {
+                    oracle.run(graph, c.source, &free_flow);
+                    let reachable = oracle.path_into(graph, c.sink, &mut buf);
+                    debug_assert!(reachable, "EdgeInstance validated reachability");
+                    let shortest = Path::new(graph, buf.clone()).expect("oracle paths are simple");
+                    register(&mut seen, &mut active, i, shortest);
+                    if *random_paths > 0 {
+                        let sampler = PathSampler::new(graph, c.source, c.sink)
+                            .expect("EdgeInstance validated acyclicity");
+                        for _ in 0..*random_paths {
+                            sampler.sample_into(graph, &mut rng, &mut buf);
+                            let p =
+                                Path::new(graph, buf.clone()).expect("sampled paths are simple");
+                            register(&mut seen, &mut active, i, p);
+                        }
+                    }
+                }
+            }
+        }
+
+        let restricted = Instance::with_explicit_paths(
+            graph.clone(),
+            edge.latencies().to_vec(),
+            edge.commodities().to_vec(),
+            &active,
+        )?;
+        let pool = config.parallelism.build_pool();
+        let flow = FlowVec::uniform(&restricted);
+        let mut workspace = EngineWorkspace::with_pool(&restricted, pool.clone());
+        workspace
+            .eval
+            .evaluate_with(&restricted, &flow, pool.as_deref());
+        // Warm the oracle buffers on the real weights so the per-phase
+        // probe never allocates in steady state.
+        let mut oracle = DijkstraWorkspace::new();
+        let mut path_buf = Vec::with_capacity(graph.node_count());
+        oracle.run(
+            graph,
+            edge.commodities()[0].source,
+            workspace.eval.edge_latencies(),
+        );
+        let _ = oracle.path_into(graph, edge.commodities()[0].sink, &mut path_buf);
+
+        Ok(EdgeSimulation {
+            board: BulletinBoard::for_instance(&restricted),
+            edge: edge.clone(),
+            restricted,
+            dynamics,
+            config: config.clone(),
+            flow,
+            workspace,
+            pool,
+            active,
+            seen,
+            oracle,
+            path_buf,
+            discoveries: 0,
+            index: 0,
+            epoch: 0,
+            start_time: 0.0,
+            stopped: false,
+        })
+    }
+
+    /// The current flow over the **active** path set.
+    #[inline]
+    pub fn flow(&self) -> &FlowVec {
+        &self.flow
+    }
+
+    /// The path-free instance driving the run (possibly event-mutated).
+    #[inline]
+    pub fn edge_instance(&self) -> &EdgeInstance {
+        &self.edge
+    }
+
+    /// The restricted enumerated instance over the active path set.
+    #[inline]
+    pub fn restricted(&self) -> &Instance {
+        &self.restricted
+    }
+
+    /// The active configuration.
+    #[inline]
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The current scenario epoch.
+    #[inline]
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// The fused evaluation of the current flow (edge flows, edge
+    /// latencies, potential — all on the restricted instance).
+    #[inline]
+    pub fn eval(&self) -> &wardrop_net::eval::EvalWorkspace {
+        &self.workspace.eval
+    }
+
+    /// Number of phases executed so far.
+    #[inline]
+    pub fn phases_run(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of currently active columns across commodities.
+    #[inline]
+    pub fn active_path_count(&self) -> usize {
+        self.restricted.num_paths()
+    }
+
+    /// Number of columns admitted by the per-phase best-reply probe
+    /// (excluding the seeds).
+    #[inline]
+    pub fn discoveries(&self) -> usize {
+        self.discoveries
+    }
+
+    /// Whether the workspace carries a worker pool.
+    #[inline]
+    pub fn uses_worker_pool(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// True once the simulation has finished.
+    #[inline]
+    pub fn is_finished(&self) -> bool {
+        self.stopped || self.index >= self.config.num_phases
+    }
+
+    /// Consumes the simulation, returning the final active-set flow.
+    pub fn into_flow(self) -> FlowVec {
+        self.flow
+    }
+
+    /// Probes the current edge latencies for an out-of-basis best
+    /// reply per commodity; admits every new shortest path as a
+    /// zero-flow column and rebuilds the restricted instance around
+    /// the grown basis. Allocation-free when nothing is discovered.
+    fn discover(&mut self) {
+        let mut added = false;
+        for i in 0..self.edge.num_commodities() {
+            let c = self.edge.commodities()[i];
+            self.oracle.run(
+                self.edge.graph(),
+                c.source,
+                self.workspace.eval.edge_latencies(),
+            );
+            let reachable = self
+                .oracle
+                .path_into(self.edge.graph(), c.sink, &mut self.path_buf);
+            debug_assert!(reachable, "EdgeInstance validated reachability");
+            let hash = path_fingerprint(&self.path_buf);
+            let known = self.seen.get(&hash).is_some_and(|bucket| {
+                bucket.iter().any(|&(cm, l)| {
+                    cm as usize == i
+                        && self.active[i][l as usize].edges() == self.path_buf.as_slice()
+                })
+            });
+            if known {
+                continue;
+            }
+            let path = Path::new(self.edge.graph(), self.path_buf.clone())
+                .expect("oracle paths are simple");
+            self.seen
+                .entry(hash)
+                .or_default()
+                .push((i as u32, self.active[i].len() as u32));
+            self.active[i].push(path);
+            self.discoveries += 1;
+            added = true;
+        }
+        if added {
+            self.rebuild();
+        }
+    }
+
+    /// Rebuilds the restricted instance, flow and workspace after the
+    /// active set grew. Existing columns keep their flow values (new
+    /// columns start at zero), so feasibility — and the induced edge
+    /// flows — are preserved exactly.
+    fn rebuild(&mut self) {
+        let restricted = Instance::with_explicit_paths(
+            self.edge.graph().clone(),
+            self.edge.latencies().to_vec(),
+            self.edge.commodities().to_vec(),
+            &self.active,
+        )
+        .expect("active path sets stay valid for their commodities");
+        let mut values = Vec::with_capacity(restricted.num_paths());
+        for i in 0..self.restricted.num_commodities() {
+            let range = self.restricted.commodity_paths(i);
+            let old_len = range.len();
+            values.extend_from_slice(&self.flow.values()[range]);
+            values.resize(values.len() + self.active[i].len() - old_len, 0.0);
+        }
+        self.flow = FlowVec::from_values_unchecked(values);
+        self.workspace = EngineWorkspace::with_pool(&restricted, self.pool.clone());
+        self.board = BulletinBoard::for_instance(&restricted);
+        self.restricted = restricted;
+        self.workspace
+            .eval
+            .evaluate_with(&self.restricted, &self.flow, self.pool.as_deref());
+    }
+
+    /// Applies a scenario event between phases — identical semantics to
+    /// [`Simulation::apply_event`](crate::engine::Simulation::apply_event),
+    /// applied to *both* the restricted instance and the path-free edge
+    /// instance so the oracles keep probing the mutated latencies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing action (the two instances validate
+    /// identically, so they never diverge).
+    pub fn apply_event(&mut self, actions: &[EventAction]) -> Result<(), NetError> {
+        let old_demands: Vec<f64> = self
+            .restricted
+            .commodities()
+            .iter()
+            .map(|c| c.demand)
+            .collect();
+        for action in actions {
+            action.apply(&mut self.restricted)?;
+            self.edge.apply_action(action)?;
+        }
+        for (i, &old) in old_demands.iter().enumerate() {
+            let new = self.restricted.commodities()[i].demand;
+            if new != old {
+                let scale = new / old;
+                let range = self.restricted.commodity_paths(i);
+                for v in &mut self.flow.values_mut()[range] {
+                    *v *= scale;
+                }
+            }
+        }
+        self.workspace
+            .eval
+            .evaluate_with(&self.restricted, &self.flow, self.pool.as_deref());
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Executes one phase and returns its record, or `None` when the
+    /// phase budget is exhausted or the early-stop threshold fires.
+    ///
+    /// The pipeline mirrors
+    /// [`Simulation::step`](crate::engine::Simulation::step) exactly —
+    /// post, relax, renormalise, evaluate once — preceded by the
+    /// best-reply probe that may grow the basis.
+    pub fn step(&mut self) -> Option<PhaseRecord> {
+        if self.is_finished() {
+            self.stopped = true;
+            return None;
+        }
+        self.discover();
+
+        let potential_start = self.workspace.eval.potential();
+        let avg_latency_start = self.workspace.eval.avg_latency();
+        let max_regret_start = self
+            .workspace
+            .eval
+            .max_regret(&self.restricted, &self.flow, 1e-12);
+        if let Some(threshold) = self.config.stop_when_regret_below {
+            if max_regret_start < threshold {
+                self.stopped = true;
+                return None;
+            }
+        }
+        let unsatisfied: Vec<f64> = self
+            .config
+            .deltas
+            .iter()
+            .map(|d| {
+                self.workspace
+                    .eval
+                    .unsatisfied_volume(&self.restricted, &self.flow, *d)
+            })
+            .collect();
+        let weakly_unsatisfied: Vec<f64> = self
+            .config
+            .deltas
+            .iter()
+            .map(|d| {
+                self.workspace
+                    .eval
+                    .weakly_unsatisfied_volume(&self.restricted, &self.flow, *d)
+            })
+            .collect();
+
+        self.board
+            .post_from_eval(&self.workspace.eval, &self.flow, self.start_time);
+        let start_potential_edges = self.workspace.eval.edge_flows();
+        debug_assert_eq!(start_potential_edges.len(), self.edge.num_edges());
+
+        let tau = self
+            .config
+            .schedule
+            .phase_length(self.config.update_period, self.index);
+        self.dynamics.advance_phase(
+            &self.restricted,
+            &self.board,
+            &mut self.flow,
+            tau,
+            &self.config.integrator,
+            &mut self.workspace,
+        );
+        self.flow.renormalise(&self.restricted);
+
+        self.workspace
+            .eval
+            .evaluate_with(&self.restricted, &self.flow, self.pool.as_deref());
+        let potential_end = self.workspace.eval.potential();
+        // The board still holds the phase-start edge snapshot, so the
+        // virtual gain reads it directly — no separate copies needed.
+        let virtual_gain = self
+            .workspace
+            .eval
+            .virtual_gain_from(self.board.edge_flows(), self.board.edge_latencies());
+
+        let record = PhaseRecord {
+            index: self.index,
+            epoch: self.epoch,
+            start_time: self.start_time,
+            potential_start,
+            potential_end,
+            virtual_gain,
+            avg_latency_start,
+            max_regret_start,
+            unsatisfied,
+            weakly_unsatisfied,
+        };
+        self.start_time += tau;
+        self.index += 1;
+        Some(record)
+    }
+}
+
+/// Runs `dynamics` on the implicit-path backend. The edge-flow
+/// counterpart of [`run`](crate::engine::run); the initial flow is
+/// uniform over the seeded active columns.
+///
+/// # Errors
+///
+/// Propagates seed validation failures (see [`EdgeSimulation::new`]).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_edge<D: Dynamics + ?Sized>(
+    edge: &EdgeInstance,
+    dynamics: &D,
+    config: &SimulationConfig,
+    seeding: &PathSeeding,
+) -> Result<Trajectory, NetError> {
+    let mut sim = EdgeSimulation::new(edge, dynamics, config, seeding)?;
+    drive_edge(&mut sim, &[])
+}
+
+/// Runs `dynamics` on the implicit-path backend through a
+/// non-stationary [`Scenario`] — the edge-flow counterpart of
+/// [`run_scenario`](crate::engine::run_scenario), with identical event
+/// semantics.
+///
+/// # Errors
+///
+/// Propagates seed validation failures and the first failing event.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_edge_scenario<D: Dynamics + ?Sized>(
+    edge: &EdgeInstance,
+    dynamics: &D,
+    config: &SimulationConfig,
+    seeding: &PathSeeding,
+    scenario: &Scenario,
+) -> Result<Trajectory, NetError> {
+    let mut sim = EdgeSimulation::new(edge, dynamics, config, seeding)?;
+    drive_edge(&mut sim, scenario.events())
+}
+
+/// Drives an edge simulation to completion against a sorted event
+/// list — the implicit-path twin of the enumerated engine's driver,
+/// producing the same [`Trajectory`] shape (recorded flows live on the
+/// active path set of their phase).
+fn drive_edge<D: Dynamics + ?Sized>(
+    sim: &mut EdgeSimulation<'_, D>,
+    events: &[Event],
+) -> Result<Trajectory, NetError> {
+    let config = sim.config().clone();
+    let stride = config.effective_stride();
+    let mut phases = Vec::with_capacity(config.num_phases.min(1 << 20));
+    let mut flows = Vec::new();
+    let mut next_event = 0usize;
+    loop {
+        while next_event < events.len() && events[next_event].at_phase <= sim.phases_run() {
+            sim.apply_event(&events[next_event].actions)?;
+            next_event += 1;
+        }
+        let snapshot = if config.record_flows && sim.phases_run().is_multiple_of(stride) {
+            Some(sim.flow().clone())
+        } else {
+            None
+        };
+        match sim.step() {
+            Some(record) => {
+                if let Some(start_flow) = snapshot {
+                    flows.push(start_flow);
+                }
+                phases.push(record);
+            }
+            None => break,
+        }
+    }
+
+    Ok(Trajectory {
+        update_period: config.update_period,
+        deltas: config.deltas.clone(),
+        phases,
+        flows,
+        flow_stride: stride,
+        final_flow: sim.flow().clone(),
+        dynamics: sim.dynamics.dynamics_name(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, SimulationConfig};
+    use crate::policy::uniform_linear;
+    use wardrop_net::builders;
+
+    /// The full enumerated path set of an instance, split per
+    /// commodity — the explicit seeding that makes the backends
+    /// bit-identical.
+    fn full_seed(inst: &Instance) -> PathSeeding {
+        PathSeeding::Explicit(
+            (0..inst.num_commodities())
+                .map(|i| inst.paths()[inst.commodity_paths(i)].to_vec())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn full_seed_matches_enumerated_engine_bitwise() {
+        let inst = builders::grid_network(4, 4, 23);
+        let edge = EdgeInstance::from_instance(&inst).unwrap();
+        let policy = uniform_linear(&inst);
+        let config = SimulationConfig::new(0.4, 12).with_flows();
+        let reference = run(&inst, &policy, &FlowVec::uniform(&inst), &config);
+        let traj = run_edge(&edge, &policy, &config, &full_seed(&inst)).unwrap();
+        assert_eq!(traj.phases, reference.phases);
+        assert_eq!(traj.flows, reference.flows);
+        assert_eq!(traj.final_flow, reference.final_flow);
+    }
+
+    #[test]
+    fn oracle_seeding_grows_the_basis_and_converges() {
+        let edge = builders::grid_edge_network(5, 5, 11);
+        let policy = uniform_linear_for_edge(&edge);
+        let config = SimulationConfig::new(0.4, 120);
+        let seeding = PathSeeding::Oracle {
+            random_paths: 4,
+            seed: 3,
+        };
+        let mut sim = EdgeSimulation::new(&edge, &policy, &config, &seeding).unwrap();
+        let initial = sim.active_path_count();
+        // C(8, 4) = 70 implicit paths; the seeds are a strict subset.
+        assert!(initial <= 1 + 4);
+        let mut records = Vec::new();
+        while let Some(r) = sim.step() {
+            records.push(r);
+        }
+        assert_eq!(records.len(), 120);
+        assert!(sim.active_path_count() >= initial);
+        assert_eq!(
+            sim.active_path_count(),
+            initial + sim.discoveries(),
+            "every admitted column is counted once"
+        );
+        // Smooth policy within a conservative period: the potential is
+        // monotone across basis growth too.
+        for w in records.windows(2) {
+            assert!(w[1].potential_start <= w[0].potential_start + 1e-9);
+        }
+        assert!(sim.flow().is_feasible(sim.restricted(), 1e-9));
+    }
+
+    #[test]
+    fn discovery_admits_the_best_reply_column() {
+        // Seed with only one deliberately poor random column; the first
+        // probe must admit the true shortest path.
+        let edge = builders::grid_edge_network(4, 4, 5);
+        let policy = uniform_linear_for_edge(&edge);
+        let config = SimulationConfig::new(0.3, 5);
+        let seeding = PathSeeding::Oracle {
+            random_paths: 1,
+            seed: 99,
+        };
+        let mut sim = EdgeSimulation::new(&edge, &policy, &config, &seeding).unwrap();
+        let before = sim.active_path_count();
+        sim.step().unwrap();
+        // Either the free-flow shortest path is still the loaded best
+        // reply (no growth) or one column was admitted.
+        assert!(sim.active_path_count() <= before + 1);
+    }
+
+    #[test]
+    fn explicit_seed_shape_is_validated() {
+        let edge = builders::grid_edge_network(3, 3, 7);
+        let policy = uniform_linear_for_edge(&edge);
+        let config = SimulationConfig::new(0.5, 2);
+        let err = EdgeSimulation::new(&edge, &policy, &config, &PathSeeding::Explicit(vec![]))
+            .unwrap_err();
+        assert!(matches!(err, NetError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn duplicate_seeds_are_dropped() {
+        let inst = builders::braess();
+        let edge = EdgeInstance::from_instance(&inst).unwrap();
+        let policy = uniform_linear(&inst);
+        let config = SimulationConfig::new(0.2, 3);
+        let doubled = PathSeeding::Explicit(vec![[inst.paths(), inst.paths()].concat()]);
+        let sim = EdgeSimulation::new(&edge, &policy, &config, &doubled).unwrap();
+        assert_eq!(sim.active_path_count(), inst.num_paths());
+    }
+
+    fn uniform_linear_for_edge(
+        edge: &EdgeInstance,
+    ) -> crate::policy::SmoothPolicy<crate::sampling::Uniform, crate::migration::Linear> {
+        crate::policy::SmoothPolicy::new(
+            crate::sampling::Uniform,
+            crate::migration::Linear::new(edge.latency_upper_bound().max(f64::MIN_POSITIVE)),
+        )
+    }
+
+    #[test]
+    fn scenario_events_mirror_enumerated_engine() {
+        let inst = builders::multi_commodity_grid(3, 3, 5);
+        let edge = EdgeInstance::from_instance(&inst).unwrap();
+        let policy = uniform_linear(&inst);
+        let config = SimulationConfig::new(0.2, 20).with_flows();
+        let scenario = Scenario::new("shock")
+            .with_event(Event::at(
+                3,
+                "degrade",
+                EventAction::ScaleLatency {
+                    edge: EdgeId::from_index(0),
+                    factor: 2.5,
+                },
+            ))
+            .with_event(Event::at(
+                7,
+                "surge",
+                EventAction::SetDemand {
+                    commodity: 0,
+                    demand: 0.7,
+                },
+            ));
+        let reference = crate::engine::run_scenario(
+            &inst,
+            &policy,
+            &FlowVec::uniform(&inst),
+            &config,
+            &scenario,
+        )
+        .unwrap();
+        let traj =
+            run_edge_scenario(&edge, &policy, &config, &full_seed(&inst), &scenario).unwrap();
+        assert_eq!(traj.phases, reference.phases);
+        assert_eq!(traj.flows, reference.flows);
+        assert_eq!(traj.final_flow, reference.final_flow);
+    }
+
+    #[test]
+    fn grid_14x14_runs_forty_phases() {
+        // The acceptance-criterion frontier: 10,400,600 implicit paths,
+        // impossible to enumerate, cheap on the implicit backend.
+        let edge = builders::grid_edge_network(14, 14, 7);
+        let policy = uniform_linear_for_edge(&edge);
+        let config = SimulationConfig::new(0.25, 40);
+        let seeding = PathSeeding::Oracle {
+            random_paths: 8,
+            seed: 0,
+        };
+        let traj = run_edge(&edge, &policy, &config, &seeding).unwrap();
+        assert_eq!(traj.len(), 40);
+        assert!(traj.phases.last().unwrap().potential_end.is_finite());
+    }
+}

@@ -390,7 +390,7 @@ impl SimulationConfig {
         self
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(
             self.update_period.is_finite() && self.update_period > 0.0,
             "update period must be positive"

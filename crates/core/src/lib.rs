@@ -57,6 +57,7 @@
 
 pub mod best_response;
 pub mod board;
+pub mod edge_engine;
 pub mod engine;
 pub mod ensemble;
 pub mod integrator;
@@ -69,6 +70,7 @@ pub mod trajectory;
 
 pub use best_response::BestResponse;
 pub use board::BulletinBoard;
+pub use edge_engine::{run_edge, run_edge_scenario, EdgeSimulation, PathSeeding};
 pub use engine::{
     run, run_scenario, Dynamics, EngineWorkspace, Parallelism, Simulation, SimulationConfig,
 };

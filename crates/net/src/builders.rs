@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::commodity::Commodity;
+use crate::edge_flow::EdgeInstance;
 use crate::graph::Graph;
 use crate::instance::Instance;
 use crate::latency::Latency;
@@ -264,6 +265,26 @@ pub fn grid_network_with_cap(rows: usize, cols: usize, seed: u64, path_cap: usiz
         .expect("grid networks are valid by construction")
 }
 
+/// The path-free counterpart of [`grid_network`]: the same graph, the
+/// same seed-deterministic latencies and the same corner-to-corner
+/// commodity, packaged as an [`EdgeInstance`] for the implicit-path
+/// backend. No path enumeration is performed, so this constructs
+/// grids far beyond the enumerated frontier — grid_14x14 carries
+/// `C(26, 13) = 10 400 600` implicit paths on 364 edges.
+///
+/// For any fixed `(rows, cols, seed)` the latencies are bit-identical
+/// to `grid_network(rows, cols, seed)` (both builders draw from the
+/// same RNG stream in the same order), so enumerated and implicit
+/// backends can be compared differentially on small grids.
+pub fn grid_edge_network(rows: usize, cols: usize, seed: u64) -> EdgeInstance {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    assert!(rows + cols > 2, "grid must contain at least one edge");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, nodes, latencies) = grid_graph(rows, cols, &mut rng);
+    let commodities = vec![Commodity::new(nodes[0][0], nodes[rows - 1][cols - 1], 1.0)];
+    EdgeInstance::new(g, latencies, commodities).expect("grid networks are valid by construction")
+}
+
 /// A multi-commodity grid: the DAG of [`grid_network`] shared by two
 /// commodities with demand ½ each — `(0,0) → (rows−1, cols−1)` and
 /// `(0,0) → (rows−1, 0)`. The second commodity competes with the first
@@ -454,6 +475,17 @@ mod tests {
         // C(4, 2) = 6 monotone lattice paths.
         assert_eq!(inst.num_paths(), 6);
         assert_eq!(inst.max_path_len(), 4);
+    }
+
+    #[test]
+    fn grid_edge_network_matches_enumerated_grid() {
+        let inst = grid_network(3, 4, 23);
+        let edge = grid_edge_network(3, 4, 23);
+        assert_eq!(edge.graph(), inst.graph());
+        assert_eq!(edge.latencies(), inst.latencies());
+        assert_eq!(edge.commodities()[0].source, inst.commodities()[0].source);
+        assert_eq!(edge.commodities()[0].sink, inst.commodities()[0].sink);
+        assert_eq!(edge.implicit_path_count(0), inst.num_paths() as f64);
     }
 
     #[test]

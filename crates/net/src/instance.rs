@@ -104,30 +104,7 @@ impl Instance {
         commodities: Vec<Commodity>,
         path_cap: usize,
     ) -> Result<Self, NetError> {
-        if latencies.len() != graph.edge_count() {
-            return Err(NetError::Inconsistent(format!(
-                "{} latencies for {} edges",
-                latencies.len(),
-                graph.edge_count()
-            )));
-        }
-        for l in &latencies {
-            l.validate()?;
-        }
-        if commodities.is_empty() {
-            return Err(NetError::Inconsistent(
-                "instance needs at least one commodity".into(),
-            ));
-        }
-        for c in &commodities {
-            c.validate(&graph)?;
-        }
-        let total_demand: f64 = commodities.iter().map(|c| c.demand).sum();
-        if (total_demand - 1.0).abs() > DEMAND_TOLERANCE {
-            return Err(NetError::Inconsistent(format!(
-                "total demand must be 1 (paper normalisation), got {total_demand}"
-            )));
-        }
+        Self::validate_base(&graph, &latencies, &commodities)?;
 
         let mut paths = Vec::new();
         let mut path_ranges = vec![0usize];
@@ -146,7 +123,117 @@ impl Instance {
             paths.append(&mut ps);
             path_ranges.push(paths.len());
         }
+        Self::assemble(graph, latencies, commodities, paths, path_ranges)
+    }
 
+    /// Builds a validated instance over an **explicitly given** path set
+    /// instead of enumerating all simple paths.
+    ///
+    /// `commodity_paths[i]` becomes the path arena of commodity `i`, in
+    /// the given order. This is the column-generation entry point of the
+    /// implicit-path backend (`wardrop_core::edge_engine`): on networks
+    /// whose full path set is astronomically large, the engine keeps a
+    /// small *active* set discovered by shortest-path / random-path
+    /// oracles and rebuilds a restricted instance around it, so every
+    /// downstream component (evaluation, phase rates, integrator, board)
+    /// runs unchanged. Handing over the full enumerated path set in
+    /// enumeration order reproduces [`Instance::new`] exactly.
+    ///
+    /// Duplicate paths within a commodity are not rejected — callers
+    /// performing column generation are expected to deduplicate (a
+    /// duplicated column would double-count its edge flow contribution).
+    ///
+    /// # Errors
+    ///
+    /// The base validations of [`Instance::with_path_cap`] apply, plus:
+    ///
+    /// * [`NetError::Inconsistent`] if `commodity_paths.len()` differs
+    ///   from the commodity count, a path references an edge outside the
+    ///   graph, or a path's endpoints do not match its commodity;
+    /// * [`NetError::NoPath`] if a commodity's path list is empty.
+    pub fn with_explicit_paths(
+        graph: Graph,
+        latencies: Vec<Latency>,
+        commodities: Vec<Commodity>,
+        commodity_paths: &[Vec<Path>],
+    ) -> Result<Self, NetError> {
+        Self::validate_base(&graph, &latencies, &commodities)?;
+        if commodity_paths.len() != commodities.len() {
+            return Err(NetError::Inconsistent(format!(
+                "{} path lists for {} commodities",
+                commodity_paths.len(),
+                commodities.len()
+            )));
+        }
+        let mut paths = Vec::with_capacity(commodity_paths.iter().map(Vec::len).sum());
+        let mut path_ranges = vec![0usize];
+        for (i, (c, ps)) in commodities.iter().zip(commodity_paths).enumerate() {
+            if ps.is_empty() {
+                return Err(NetError::NoPath { commodity: i });
+            }
+            for p in ps {
+                if !p.edges().iter().all(|e| graph.contains_edge(*e)) {
+                    return Err(NetError::Inconsistent(format!(
+                        "commodity {i} has a path using an edge outside the graph"
+                    )));
+                }
+                if p.source(&graph) != c.source || p.sink(&graph) != c.sink {
+                    return Err(NetError::Inconsistent(format!(
+                        "commodity {i} has a path whose endpoints do not match its source/sink"
+                    )));
+                }
+            }
+            paths.extend(ps.iter().cloned());
+            path_ranges.push(paths.len());
+        }
+        Self::assemble(graph, latencies, commodities, paths, path_ranges)
+    }
+
+    /// Shared construction-time validation of the path-free data.
+    fn validate_base(
+        graph: &Graph,
+        latencies: &[Latency],
+        commodities: &[Commodity],
+    ) -> Result<(), NetError> {
+        if latencies.len() != graph.edge_count() {
+            return Err(NetError::Inconsistent(format!(
+                "{} latencies for {} edges",
+                latencies.len(),
+                graph.edge_count()
+            )));
+        }
+        for l in latencies {
+            l.validate()?;
+        }
+        if commodities.is_empty() {
+            return Err(NetError::Inconsistent(
+                "instance needs at least one commodity".into(),
+            ));
+        }
+        for c in commodities {
+            c.validate(graph)?;
+        }
+        let total_demand: f64 = commodities.iter().map(|c| c.demand).sum();
+        if (total_demand - 1.0).abs() > DEMAND_TOLERANCE {
+            return Err(NetError::Inconsistent(format!(
+                "total demand must be 1 (paper normalisation), got {total_demand}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Assembles the CSR incidences and cached constants over an
+    /// already-validated path arena (commodity-contiguous `paths` with
+    /// half-open `path_ranges`). Shared by the enumerating and the
+    /// explicit-path constructors so both produce bit-identical
+    /// instances for the same path set.
+    fn assemble(
+        graph: Graph,
+        latencies: Vec<Latency>,
+        commodities: Vec<Commodity>,
+        paths: Vec<Path>,
+        path_ranges: Vec<usize>,
+    ) -> Result<Self, NetError> {
         // Flat CSR incidences, built once so per-phase evaluation never
         // walks the per-path edge vectors.
         let mut path_edge_offsets = Vec::with_capacity(paths.len() + 1);
@@ -830,6 +917,93 @@ mod tests {
         for p in inst.path_ids() {
             assert_eq!(inst.path_edges(p), fresh.path_edges(p));
         }
+    }
+
+    #[test]
+    fn explicit_paths_reproduce_enumeration() {
+        // Handing the full enumerated path set back to the explicit
+        // constructor must yield a bit-identical instance — the
+        // invariant the differential backend tests rely on.
+        let inst = crate::builders::multi_commodity_grid(3, 3, 9);
+        let per_commodity: Vec<Vec<Path>> = (0..inst.num_commodities())
+            .map(|i| inst.paths()[inst.commodity_paths(i)].to_vec())
+            .collect();
+        let rebuilt = Instance::with_explicit_paths(
+            inst.graph().clone(),
+            inst.latencies().to_vec(),
+            inst.commodities().to_vec(),
+            &per_commodity,
+        )
+        .unwrap();
+        assert_eq!(rebuilt.paths(), inst.paths());
+        assert_eq!(rebuilt.incidence_count(), inst.incidence_count());
+        assert_eq!(rebuilt.max_path_len(), inst.max_path_len());
+        assert_eq!(
+            rebuilt.slope_bound().to_bits(),
+            inst.slope_bound().to_bits()
+        );
+        assert_eq!(
+            rebuilt.latency_upper_bound().to_bits(),
+            inst.latency_upper_bound().to_bits()
+        );
+        for p in inst.path_ids() {
+            assert_eq!(rebuilt.path_edges(p), inst.path_edges(p));
+            assert_eq!(rebuilt.commodity_of_path(p), inst.commodity_of_path(p));
+        }
+        for e in 0..inst.num_edges() {
+            let eid = EdgeId::from_index(e);
+            assert_eq!(rebuilt.edge_paths(eid), inst.edge_paths(eid));
+        }
+    }
+
+    #[test]
+    fn explicit_paths_accept_strict_subsets() {
+        let inst = crate::builders::braess();
+        // Keep only the first two of the three Braess paths; demands
+        // and validation must still hold on the restriction.
+        let subset = vec![inst.paths()[..2].to_vec()];
+        let restricted = Instance::with_explicit_paths(
+            inst.graph().clone(),
+            inst.latencies().to_vec(),
+            inst.commodities().to_vec(),
+            &subset,
+        )
+        .unwrap();
+        assert_eq!(restricted.num_paths(), 2);
+        assert_eq!(restricted.paths(), &inst.paths()[..2]);
+    }
+
+    #[test]
+    fn explicit_paths_validate_shape_and_endpoints() {
+        let inst = crate::builders::braess();
+        let graph = inst.graph().clone();
+        let latencies = inst.latencies().to_vec();
+        let commodities = inst.commodities().to_vec();
+        // Path-list count must match the commodity count.
+        let err = Instance::with_explicit_paths(
+            graph.clone(),
+            latencies.clone(),
+            commodities.clone(),
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Inconsistent(_)));
+        // Empty path list surfaces as NoPath.
+        let err = Instance::with_explicit_paths(
+            graph.clone(),
+            latencies.clone(),
+            commodities.clone(),
+            &[vec![]],
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::NoPath { commodity: 0 });
+        // A path with the wrong endpoints is rejected: Braess paths all
+        // run s→t, so a single-edge s→a path cannot serve commodity 0.
+        let first_edge = inst.paths()[0].edges()[0];
+        let stub = Path::new(&graph, vec![first_edge]).unwrap();
+        let err = Instance::with_explicit_paths(graph, latencies, commodities, &[vec![stub]])
+            .unwrap_err();
+        assert!(matches!(err, NetError::Inconsistent(_)));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod builders;
 pub mod commodity;
+pub mod edge_flow;
 pub mod equilibrium;
 pub mod error;
 pub mod eval;
@@ -61,6 +62,7 @@ pub mod scenario;
 pub mod shortest_path;
 
 pub use commodity::Commodity;
+pub use edge_flow::EdgeInstance;
 pub use error::NetError;
 pub use eval::EvalWorkspace;
 pub use flow::FlowVec;
@@ -69,4 +71,6 @@ pub use instance::Instance;
 pub use latency::Latency;
 pub use path::{Path, PathId};
 pub use scenario::{DemandSchedule, Event, EventAction, LatencyModulation, Scenario};
-pub use shortest_path::{dijkstra, ShortestPaths};
+pub use shortest_path::{
+    dijkstra, topological_order, DijkstraWorkspace, PathSampler, ShortestPaths,
+};

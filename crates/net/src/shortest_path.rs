@@ -1,4 +1,4 @@
-//! Dijkstra shortest paths under non-negative edge weights.
+//! Shortest-path and random-path oracles over the graph.
 //!
 //! The best-reply oracle of the dynamics and the Frank–Wolfe linear
 //! oracle both need minimum-latency source–sink paths. On the explicit
@@ -6,11 +6,26 @@
 //! paths; this module provides the graph-side computation so results
 //! can be cross-checked (and so callers with networks too large to
 //! enumerate still have an oracle).
+//!
+//! Three oracles back the implicit-path engine
+//! (`wardrop_core::edge_engine`):
+//!
+//! * [`dijkstra`] / [`DijkstraWorkspace`] — minimum-weight paths in
+//!   `O(E log V)`; the workspace variant reuses its buffers so the
+//!   per-phase best-reply probe of the edge-flow backend performs zero
+//!   heap allocations in steady state;
+//! * [`topological_order`] — Kahn's algorithm, doubling as the DAG
+//!   check the implicit-path machinery requires;
+//! * [`PathSampler`] — exact uniform sampling over *all* simple
+//!   source–sink paths of a DAG via the path-counting DP, without ever
+//!   materialising the path set.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::error::NetError;
 use crate::graph::{EdgeId, Graph, NodeId};
+use crate::rng::SplitMix64;
 
 /// Result of a single-source Dijkstra run.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,7 +75,7 @@ impl ShortestPaths {
     }
 }
 
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct HeapItem {
     dist: f64,
     node: NodeId,
@@ -131,6 +146,283 @@ pub fn dijkstra(graph: &Graph, source: NodeId, weights: &[f64]) -> ShortestPaths
         }
     }
     ShortestPaths { source, dist, pred }
+}
+
+/// Reusable Dijkstra state for repeated single-source runs.
+///
+/// [`dijkstra`] allocates its distance, predecessor and heap buffers on
+/// every call; the implicit-path engine probes a best reply **every
+/// phase**, so it keeps one workspace per simulation and reruns it
+/// in-place. After the first [`run`](Self::run) on a given graph no
+/// further heap allocations occur: the binary heap is pre-reserved for
+/// the worst-case `E + 1` pushes (each edge relaxes at most once, plus
+/// the source).
+///
+/// ```
+/// use wardrop_net::builders;
+/// use wardrop_net::shortest_path::DijkstraWorkspace;
+///
+/// let inst = builders::grid_network(3, 3, 7);
+/// let weights = vec![1.0; inst.num_edges()];
+/// let c = inst.commodities()[0];
+/// let mut ws = DijkstraWorkspace::new();
+/// ws.run(inst.graph(), c.source, &weights);
+/// let mut path = Vec::new();
+/// assert!(ws.path_into(inst.graph(), c.sink, &mut path));
+/// assert_eq!(path.len(), 4); // 2+2 hops across the 3x3 grid
+/// ```
+#[derive(Debug, Default)]
+pub struct DijkstraWorkspace {
+    source: Option<NodeId>,
+    dist: Vec<f64>,
+    pred: Vec<Option<EdgeId>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl DijkstraWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs Dijkstra from `source`, reusing internal buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != graph.edge_count()`, or any weight
+    /// is negative or not finite — same contract as [`dijkstra`].
+    pub fn run(&mut self, graph: &Graph, source: NodeId, weights: &[f64]) {
+        assert_eq!(
+            weights.len(),
+            graph.edge_count(),
+            "one weight per edge required"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let n = graph.node_count();
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.pred.clear();
+        self.pred.resize(n, None);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        // At most one push per relaxed edge plus the source; reserving
+        // up front keeps every subsequent push allocation-free.
+        self.heap.reserve(graph.edge_count() + 1);
+        self.source = Some(source);
+        self.dist[source.index()] = 0.0;
+        self.heap.push(HeapItem {
+            dist: 0.0,
+            node: source,
+        });
+        while let Some(HeapItem { dist: d, node }) = self.heap.pop() {
+            if self.settled[node.index()] {
+                continue;
+            }
+            self.settled[node.index()] = true;
+            for &e in graph.out_edges(node) {
+                let edge = graph.edge(e);
+                let nd = d + weights[e.index()];
+                if nd < self.dist[edge.to.index()] {
+                    self.dist[edge.to.index()] = nd;
+                    self.pred[edge.to.index()] = Some(e);
+                    self.heap.push(HeapItem {
+                        dist: nd,
+                        node: edge.to,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Distance from the last run's source to `v` (`+∞` if
+    /// unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run has been performed yet.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> f64 {
+        assert!(self.source.is_some(), "run the workspace first");
+        self.dist[v.index()]
+    }
+
+    /// Returns true if `v` was reachable in the last run.
+    #[inline]
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.source.is_some() && self.dist[v.index()].is_finite()
+    }
+
+    /// Writes the shortest path to `sink` into `out` (source-to-sink
+    /// edge order), returning false if `sink` is unreachable.
+    ///
+    /// `out` is cleared first; with enough capacity the reconstruction
+    /// performs no allocation.
+    pub fn path_into(&self, graph: &Graph, sink: NodeId, out: &mut Vec<EdgeId>) -> bool {
+        out.clear();
+        let source = self.source.expect("run the workspace first");
+        if !self.dist[sink.index()].is_finite() {
+            return false;
+        }
+        let mut node = sink;
+        while node != source {
+            let Some(e) = self.pred[node.index()] else {
+                return false;
+            };
+            out.push(e);
+            node = graph.edge(e).from;
+        }
+        out.reverse();
+        true
+    }
+}
+
+/// Returns a topological order of the graph, or `None` if it contains
+/// a directed cycle.
+///
+/// Kahn's algorithm with a LIFO frontier; the order is deterministic
+/// for a given graph. This doubles as the acyclicity check required by
+/// the implicit-path machinery ([`PathSampler`], edge-flow instances).
+pub fn topological_order(graph: &Graph) -> Option<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut indegree = vec![0usize; n];
+    for (_, edge) in graph.edges() {
+        indegree[edge.to.index()] += 1;
+    }
+    let mut frontier: Vec<NodeId> = graph.nodes().filter(|v| indegree[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = frontier.pop() {
+        order.push(v);
+        for &e in graph.out_edges(v) {
+            let head = graph.edge(e).to;
+            indegree[head.index()] -= 1;
+            if indegree[head.index()] == 0 {
+                frontier.push(head);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Exact uniform sampling over all simple source–sink paths of a DAG.
+///
+/// The constructor runs the classic path-counting dynamic program —
+/// `count(v)` = number of `v → sink` paths, computed in reverse
+/// topological order — and sampling walks forward from the source,
+/// choosing each out-edge `e` with probability
+/// `count(head(e)) / count(tail(e))`. Every simple source–sink path is
+/// produced with probability exactly `1 / count(source)`, without ever
+/// materialising the path set (grid_14x14 has 10,400,600 of them).
+///
+/// Counts are held as `f64`: exact for any graph with fewer than 2⁵³
+/// source–sink paths, which covers every grid this crate can
+/// meaningfully simulate.
+///
+/// ```
+/// use wardrop_net::builders;
+/// use wardrop_net::rng::SplitMix64;
+/// use wardrop_net::shortest_path::PathSampler;
+///
+/// let inst = builders::grid_network(3, 3, 7);
+/// let c = inst.commodities()[0];
+/// let sampler = PathSampler::new(inst.graph(), c.source, c.sink).unwrap();
+/// assert_eq!(sampler.path_count(), 6.0); // C(4, 2)
+/// let mut rng = SplitMix64::new(42);
+/// let path = sampler.sample(inst.graph(), &mut rng);
+/// assert_eq!(path.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathSampler {
+    source: NodeId,
+    sink: NodeId,
+    counts: Vec<f64>,
+}
+
+impl PathSampler {
+    /// Builds the path-counting table for `source → sink` sampling.
+    ///
+    /// Fails with [`NetError::Inconsistent`] if the graph has a
+    /// directed cycle (uniform path sampling is only defined on DAGs).
+    pub fn new(graph: &Graph, source: NodeId, sink: NodeId) -> Result<Self, NetError> {
+        let order = topological_order(graph).ok_or_else(|| {
+            NetError::Inconsistent("random-path sampling requires an acyclic graph".into())
+        })?;
+        let mut counts = vec![0.0; graph.node_count()];
+        counts[sink.index()] = 1.0;
+        for v in order.iter().rev() {
+            if *v == sink {
+                continue;
+            }
+            let mut c = 0.0;
+            for &e in graph.out_edges(*v) {
+                c += counts[graph.edge(e).to.index()];
+            }
+            counts[v.index()] = c;
+        }
+        Ok(PathSampler {
+            source,
+            sink,
+            counts,
+        })
+    }
+
+    /// Number of simple source–sink paths (0 if the sink is
+    /// unreachable).
+    #[inline]
+    pub fn path_count(&self) -> f64 {
+        self.counts[self.source.index()]
+    }
+
+    /// Number of simple `v → sink` paths.
+    #[inline]
+    pub fn count_from(&self, v: NodeId) -> f64 {
+        self.counts[v.index()]
+    }
+
+    /// Samples a uniform source–sink path into `out` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`path_count`](Self::path_count) is zero.
+    pub fn sample_into(&self, graph: &Graph, rng: &mut SplitMix64, out: &mut Vec<EdgeId>) {
+        assert!(
+            self.path_count() > 0.0,
+            "no source-sink path to sample from"
+        );
+        out.clear();
+        let mut node = self.source;
+        while node != self.sink {
+            let total = self.counts[node.index()];
+            let mut u = rng.next_unit() * total;
+            let mut chosen = None;
+            for &e in graph.out_edges(node) {
+                let c = self.counts[graph.edge(e).to.index()];
+                if c <= 0.0 {
+                    continue;
+                }
+                // Keep the last admissible edge as a round-off
+                // fallback so the walk can never stall.
+                chosen = Some(e);
+                if u < c {
+                    break;
+                }
+                u -= c;
+            }
+            let e = chosen.expect("positive path count guarantees an admissible edge");
+            out.push(e);
+            node = graph.edge(e).to;
+        }
+    }
+
+    /// Samples a uniform source–sink path as a fresh vector.
+    pub fn sample(&self, graph: &Graph, rng: &mut SplitMix64) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        self.sample_into(graph, rng, &mut out);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +525,98 @@ mod tests {
             .map(|p| lp[p])
             .fold(f64::INFINITY, f64::min);
         assert!((sp.distance(c.sink) - best_enumerated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_matches_one_shot_dijkstra() {
+        let (g, s, t, w) = diamond();
+        let sp = dijkstra(&g, s, &w);
+        let mut ws = DijkstraWorkspace::new();
+        // Run twice with different weights to exercise buffer reuse.
+        ws.run(&g, s, &[9.0; 5]);
+        ws.run(&g, s, &w);
+        for v in g.nodes() {
+            assert_eq!(ws.distance(v).to_bits(), sp.distance(v).to_bits());
+        }
+        let mut path = Vec::new();
+        assert!(ws.path_into(&g, t, &mut path));
+        assert_eq!(path, sp.path_to(&g, t).unwrap());
+    }
+
+    #[test]
+    fn workspace_reports_unreachable() {
+        let mut g = Graph::new();
+        let s = g.add_node();
+        let island = g.add_node();
+        let mut ws = DijkstraWorkspace::new();
+        ws.run(&g, s, &[]);
+        assert!(!ws.is_reachable(island));
+        let mut path = vec![EdgeId::from_index(0)];
+        assert!(!ws.path_into(&g, island, &mut path));
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn topological_order_on_dag() {
+        let (g, _, _, _) = diamond();
+        let order = topological_order(&g).expect("diamond is a DAG");
+        assert_eq!(order.len(), g.node_count());
+        let mut position = vec![0usize; g.node_count()];
+        for (i, v) in order.iter().enumerate() {
+            position[v.index()] = i;
+        }
+        for (_, edge) in g.edges() {
+            assert!(position[edge.from.index()] < position[edge.to.index()]);
+        }
+    }
+
+    #[test]
+    fn topological_order_rejects_cycles() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert!(topological_order(&g).is_none());
+    }
+
+    #[test]
+    fn sampler_counts_grid_paths() {
+        use crate::builders;
+        let inst = builders::grid_network(3, 4, 5);
+        let c = inst.commodities()[0];
+        let sampler = PathSampler::new(inst.graph(), c.source, c.sink).unwrap();
+        // C(2+3, 2) = 10 monotone lattice paths; matches enumeration.
+        assert_eq!(sampler.path_count(), inst.num_paths() as f64);
+    }
+
+    #[test]
+    fn sampler_rejects_cycles() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert!(matches!(
+            PathSampler::new(&g, a, b),
+            Err(NetError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn sampler_paths_are_valid() {
+        use crate::builders;
+        use crate::path::Path;
+        let inst = builders::grid_network(4, 4, 11);
+        let c = inst.commodities()[0];
+        let sampler = PathSampler::new(inst.graph(), c.source, c.sink).unwrap();
+        let mut rng = SplitMix64::new(17);
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            sampler.sample_into(inst.graph(), &mut rng, &mut buf);
+            let p = Path::new(inst.graph(), buf.clone()).expect("sampled path is simple");
+            assert_eq!(p.source(inst.graph()), c.source);
+            assert_eq!(p.sink(inst.graph()), c.sink);
+        }
     }
 }

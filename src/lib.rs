@@ -57,6 +57,9 @@ pub use wardrop_pool as pool;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use wardrop_agents::sim::{run_agents, run_agents_scenario, AgentPolicy, AgentSimConfig};
+    pub use wardrop_analysis::edge_metrics::{
+        best_reply_distances, edge_gap_report, edge_regret, EdgeGapReport,
+    };
     pub use wardrop_analysis::frank_wolfe::{minimise, FrankWolfeConfig, Objective};
     pub use wardrop_analysis::metrics::{bad_phase_count, summarise, EquilibriumKind};
     pub use wardrop_analysis::oscillation::{amplitude, detect_orbit, OrbitKind};
@@ -66,6 +69,7 @@ pub mod prelude {
     pub use wardrop_analysis::tracking::{tracking_report, TrackingReport};
     pub use wardrop_core::best_response::BestResponse;
     pub use wardrop_core::board::BulletinBoard;
+    pub use wardrop_core::edge_engine::{run_edge, run_edge_scenario, EdgeSimulation, PathSeeding};
     pub use wardrop_core::engine::{
         run, run_scenario, Dynamics, Parallelism, PhaseSchedule, Simulation, SimulationConfig,
     };
@@ -90,5 +94,10 @@ pub mod prelude {
     pub use wardrop_net::scenario::{
         DemandSchedule, Event, EventAction, LatencyModulation, Scenario,
     };
-    pub use wardrop_net::{Commodity, EdgeId, Graph, Instance, Latency, NetError, PathId};
+    pub use wardrop_net::shortest_path::{
+        dijkstra, topological_order, DijkstraWorkspace, PathSampler,
+    };
+    pub use wardrop_net::{
+        Commodity, EdgeId, EdgeInstance, Graph, Instance, Latency, NetError, PathId,
+    };
 }

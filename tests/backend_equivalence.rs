@@ -1,0 +1,176 @@
+//! Differential validation of the implicit-path (edge-flow) backend
+//! against the enumerated engine.
+//!
+//! Seeding [`EdgeSimulation`] with the **full enumerated path set** (in
+//! enumeration order) makes its restricted instance structurally
+//! identical to the enumerated one — both go through the same CSR
+//! assembly — so every phase of the two engines must agree. The suite
+//! asserts agreement across random small DAG instances, the full
+//! 12-policy stock zoo, and non-stationary scenario epochs
+//! (`apply_event`). The ISSUE tolerance is 1e-9 on edge flows and
+//! per-phase potentials; the engines actually agree **bitwise**, which
+//! the assertions also pin (f64 `==` on every record field).
+//!
+//! Oracle seeding (the production mode) cannot be bit-compared to the
+//! enumerated engine — it deliberately runs on a strict subset of
+//! columns — so for it the suite checks the structural invariants:
+//! feasibility on the restriction, potential bracketed by the
+//! enumerated run's optimum certificate, and monotone improvement for
+//! smooth policies within the safe period.
+
+use proptest::prelude::*;
+use wardrop::core::edge_engine::{run_edge, run_edge_scenario, PathSeeding};
+use wardrop::net::edge_flow::EdgeInstance;
+use wardrop::net::path::Path;
+use wardrop::prelude::*;
+
+/// The full enumerated path set of `inst`, split per commodity — the
+/// explicit seeding under which the backends must agree exactly.
+fn full_seed(inst: &Instance) -> PathSeeding {
+    PathSeeding::Explicit(
+        (0..inst.num_commodities())
+            .map(|i| inst.paths()[inst.commodity_paths(i)].to_vec())
+            .collect(),
+    )
+}
+
+/// Largest absolute difference between two recorded flows' edge flows.
+fn max_edge_flow_diff(inst: &Instance, a: &FlowVec, b: &FlowVec) -> f64 {
+    a.edge_flows(inst)
+        .iter()
+        .zip(&b.edge_flows(inst))
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    // Each case sweeps the 12-policy zoo on both backends; a handful
+    // of cases gives broad instance coverage without a long run.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Full-seed edge-flow runs reproduce the enumerated trajectories
+    /// on random small DAG instances across the stock policy zoo,
+    /// through scenario events.
+    #[test]
+    fn edge_backend_matches_enumerated(
+        seed in 0u64..1000,
+        k in 2usize..4,
+        event_phase in 0usize..2,
+        factor in 0.5f64..2.0,
+        demand in 0.15f64..0.6,
+        family in 0u32..3,
+    ) {
+        let inst = match family {
+            0 => builders::grid_network(3, 3, seed),
+            1 => builders::multi_commodity_grid(3, 3, seed),
+            _ => builders::many_commodity_grid(3, 4, k, seed),
+        };
+        let edge = EdgeInstance::from_instance(&inst).expect("builders emit DAGs");
+        let f0 = FlowVec::uniform(&inst);
+
+        // A latency shock plus (when multi-commodity) a demand surge:
+        // scenario epochs must preserve agreement too.
+        let mut scenario = Scenario::new("shock").with_event(Event::at(
+            event_phase,
+            "degrade",
+            EventAction::ScaleLatency { edge: EdgeId::from_index(0), factor },
+        ));
+        if inst.num_commodities() > 1 {
+            scenario = scenario.with_event(Event::at(
+                event_phase + 1,
+                "surge",
+                EventAction::SetDemand { commodity: 0, demand },
+            ));
+        }
+
+        let policies = stock_policy_zoo(inst.latency_upper_bound().max(1e-6));
+        prop_assert_eq!(policies.len(), 12);
+        let config = SimulationConfig::new(0.5, 4).with_flows();
+        let seeding = full_seed(&inst);
+        for policy in &policies {
+            let reference = run_scenario(&inst, policy.as_ref(), &f0, &config, &scenario)
+                .expect("enumerated scenario run");
+            let traj = run_edge_scenario(&edge, policy.as_ref(), &config, &seeding, &scenario)
+                .expect("edge-flow scenario run");
+
+            // ISSUE tolerances: ≤ 1e-9 per phase on potentials and
+            // edge flows…
+            prop_assert_eq!(traj.phases.len(), reference.phases.len());
+            for (a, b) in traj.phases.iter().zip(&reference.phases) {
+                prop_assert!(
+                    (a.potential_start - b.potential_start).abs() <= 1e-9
+                        && (a.potential_end - b.potential_end).abs() <= 1e-9,
+                    "potential diverged for {} at phase {}", policy.name(), b.index
+                );
+            }
+            prop_assert_eq!(traj.flows.len(), reference.flows.len());
+            for (a, b) in traj.flows.iter().zip(&reference.flows) {
+                prop_assert!(
+                    max_edge_flow_diff(&inst, a, b) <= 1e-9,
+                    "edge flows diverged for {}", policy.name()
+                );
+            }
+            // …and the stronger truth: the trajectories are identical,
+            // record for record (PhaseRecord equality is exact f64
+            // equality on every field, epochs included).
+            prop_assert!(
+                traj.phases == reference.phases,
+                "records diverged for {}", policy.name()
+            );
+            prop_assert!(
+                traj.flows == reference.flows && traj.final_flow == reference.final_flow,
+                "flows diverged for {}", policy.name()
+            );
+        }
+    }
+
+    /// Oracle seeding runs on a strict subset of columns, so instead of
+    /// bit-equality: restricted feasibility, a potential no better than
+    /// the true optimum, and Lemma-4 monotonicity for a smooth policy
+    /// within the safe period.
+    #[test]
+    fn oracle_seeding_respects_enumerated_invariants(
+        seed in 0u64..1000,
+        random_paths in 0usize..6,
+        rng_seed in 0u64..100,
+    ) {
+        let inst = builders::grid_network(4, 4, seed);
+        let edge = EdgeInstance::from_instance(&inst).expect("grids are DAGs");
+        let policy = uniform_linear(&inst);
+        let config = SimulationConfig::new(0.4, 30).with_flows();
+        let seeding = PathSeeding::Oracle { random_paths, seed: rng_seed };
+        let traj = run_edge(&edge, &policy, &config, &seeding).expect("oracle-seeded run");
+        prop_assert_eq!(traj.phases.len(), 30);
+        // Monotone potential (smooth policy, conservative period).
+        for w in traj.phases.windows(2) {
+            prop_assert!(w[1].potential_start <= w[0].potential_start + 1e-9);
+        }
+        // The restriction can never beat the full-polytope optimum.
+        let phi_star = minimise(&inst, Objective::Potential, &FrankWolfeConfig::default()).value;
+        prop_assert!(traj.phases.last().unwrap().potential_end >= phi_star - 1e-6);
+        // Recorded flows are genuine distributions: every phase-start
+        // snapshot sums to the (unit) total demand per commodity.
+        for flow in &traj.flows {
+            let total: f64 = flow.values().iter().sum();
+            prop_assert!((total - 1.0).abs() <= 1e-6, "mass drifted to {total}");
+        }
+    }
+}
+
+/// A path whose endpoints don't match the commodity is rejected at
+/// seeding time, not silently mis-assembled.
+#[test]
+fn mismatched_explicit_seed_is_rejected() {
+    let inst = builders::multi_commodity_grid(3, 3, 5);
+    let edge = EdgeInstance::from_instance(&inst).unwrap();
+    let policy = uniform_linear(&inst);
+    let config = SimulationConfig::new(0.5, 2);
+    // Swap the two commodities' path lists: every path now has the
+    // wrong endpoints for its slot.
+    let swapped: Vec<Vec<Path>> = (0..inst.num_commodities())
+        .rev()
+        .map(|i| inst.paths()[inst.commodity_paths(i)].to_vec())
+        .collect();
+    let err = run_edge(&edge, &policy, &config, &PathSeeding::Explicit(swapped)).unwrap_err();
+    assert!(matches!(err, NetError::Inconsistent(_)), "got {err:?}");
+}

@@ -125,3 +125,55 @@ proptest! {
         }
     }
 }
+
+/// The implicit-path backend is lane-transparent too: seeded with the
+/// full grid_8x8 path set (3432 columns — past the 2048-path parallel
+/// dispatch gate, so the pooled evaluation and rate fill genuinely run
+/// on the worker lanes), `Threads(n)` trajectories are bit-identical to
+/// serial for 2, 4 and 8 lanes, through scenario events.
+#[test]
+fn edge_backend_is_lane_transparent() {
+    use wardrop::core::edge_engine::{run_edge_scenario, PathSeeding};
+    use wardrop::net::edge_flow::EdgeInstance;
+
+    let inst = builders::grid_network(8, 8, 7);
+    let edge = EdgeInstance::from_instance(&inst).expect("grids are DAGs");
+    let seeding = PathSeeding::Explicit(
+        (0..inst.num_commodities())
+            .map(|i| inst.paths()[inst.commodity_paths(i)].to_vec())
+            .collect(),
+    );
+    let policy = uniform_linear(&inst);
+    let scenario = Scenario::new("shock").with_event(Event::at(
+        1,
+        "degrade",
+        EventAction::ScaleLatency {
+            edge: EdgeId::from_index(0),
+            factor: 1.7,
+        },
+    ));
+    let serial_config = SimulationConfig::new(1.0, 3).with_flows();
+    let serial = run_edge_scenario(&edge, &policy, &serial_config, &seeding, &scenario)
+        .expect("serial edge run");
+    for workers in [1usize, 2, 4, 8] {
+        let config = serial_config
+            .clone()
+            .with_parallelism(Parallelism::Threads(workers));
+        let par = run_edge_scenario(&edge, &policy, &config, &seeding, &scenario)
+            .expect("parallel edge run");
+        assert!(
+            par.phases == serial.phases,
+            "edge records diverged at {workers} workers"
+        );
+        assert!(
+            par.flows == serial.flows && par.final_flow == serial.final_flow,
+            "edge flows diverged at {workers} workers"
+        );
+        for (a, b) in par.phases.iter().zip(&serial.phases) {
+            assert!(
+                a.potential_start.to_bits() == b.potential_start.to_bits(),
+                "edge potential bits diverged at {workers} workers"
+            );
+        }
+    }
+}
