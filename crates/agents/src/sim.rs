@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use wardrop_core::board::BulletinBoard;
 use wardrop_core::engine::Parallelism;
+use wardrop_core::fault::{FaultPlan, FaultState};
 use wardrop_core::migration::MigrationRule;
 use wardrop_core::sampling::SamplingRule;
 use wardrop_core::trajectory::{PhaseRecord, Trajectory};
@@ -101,6 +102,11 @@ pub struct AgentSimConfig {
     /// engine.
     #[serde(default)]
     pub parallelism: Parallelism,
+    /// Optional bulletin-board fault plan, applied at post time exactly
+    /// as in the fluid engines: agents keep sampling the board, it just
+    /// may hold degraded information.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 impl AgentSimConfig {
@@ -114,7 +120,14 @@ impl AgentSimConfig {
             record_flows: false,
             deltas: vec![0.05],
             parallelism: Parallelism::Serial,
+            faults: None,
         }
+    }
+
+    /// Attaches a bulletin-board fault plan (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Sets the execution mode of the per-phase metric evaluation
@@ -281,6 +294,10 @@ pub fn run_agents_scenario_pooled(
     // board is posted from the same evaluation.
     let mut eval = EvalWorkspace::new(instance);
     let mut board = BulletinBoard::for_instance(instance);
+    let mut fault = match &config.faults {
+        Some(plan) => Some(FaultState::new(plan.clone(), instance)?),
+        None => None,
+    };
     let mut board_posted = false;
     let mut sampling_cache = SamplingCache::default();
     let mut open_phase: Option<OpenPhase> = None;
@@ -351,7 +368,10 @@ pub fn run_agents_scenario_pooled(
                     unsatisfied,
                     weakly_unsatisfied,
                 });
-                board.post_from_eval(&eval, &flow, now);
+                match fault.as_mut() {
+                    Some(state) => state.post(&mut board, instance, &eval, &flow, phase_index, now),
+                    None => board.post_from_eval(&eval, &flow, now),
+                }
                 board_posted = true;
                 if let AgentPolicy::Smooth { sampling, .. } = policy {
                     sampling_cache.rebuild(instance, &board, sampling.as_ref());
@@ -517,6 +537,27 @@ mod tests {
         let a = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &c1);
         let b = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &c2);
         assert_ne!(a.final_flow, b.final_flow);
+    }
+
+    #[test]
+    fn trivial_fault_plan_is_identical_and_real_faults_perturb() {
+        let inst = builders::braess();
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let base = AgentSimConfig::new(400, 0.5, 30, 17).with_flows();
+        let plain = run_agents(&inst, &policy, &f0, &base);
+        // A zero-fault plan takes the clean post path every phase.
+        let trivial = base.clone().with_faults(FaultPlan::new(5));
+        let same = run_agents(&inst, &policy, &f0, &trivial);
+        assert_eq!(plain.final_flow, same.final_flow);
+        assert_eq!(plain.phases.len(), same.phases.len());
+        // A board outage starves the agents of fresh information; the
+        // sampled migrations diverge from the unfaulted run.
+        let faulted = base
+            .clone()
+            .with_faults(FaultPlan::new(5).with_outage(2, 20).unwrap());
+        let diff = run_agents(&inst, &policy, &f0, &faulted);
+        assert_ne!(plain.final_flow, diff.final_flow);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`tracking`] — per-epoch recovery times, potential gaps and
 //!   tracking regret for non-stationary scenario runs, against
 //!   per-epoch Frank–Wolfe ground truth;
+//! * [`robustness`] — recovery, worst potential excursion and the
+//!   measured divergence threshold of faulted runs, against the
+//!   theoretical safe period `T*`;
 //! * [`stats`] — means, fits and the log–log scaling slopes used to
 //!   verify the theorems' shapes.
 //!
@@ -41,6 +44,7 @@ pub mod oscillation;
 pub mod poa;
 pub mod rates;
 pub mod regret;
+pub mod robustness;
 pub mod stats;
 pub mod tracking;
 
@@ -51,4 +55,8 @@ pub use oscillation::{amplitude, detect_orbit, OrbitKind};
 pub use poa::{price_of_anarchy, PoaReport};
 pub use rates::{potential_decay_rate, DecayFit};
 pub use regret::{population_regret, RegretReport};
+pub use robustness::{
+    divergence_threshold, divergence_threshold_by, robustness_report, worst_excursion,
+    RobustnessReport, SafetyMargin,
+};
 pub use tracking::{tracking_report, EpochReport, TrackingReport};

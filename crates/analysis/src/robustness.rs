@@ -1,0 +1,312 @@
+//! Robustness analysis of faulted runs: recovery, excursion and the
+//! measured safety margin.
+//!
+//! The fault layer ([`wardrop_core::fault`]) turns the bulletin board
+//! into a lossy channel; this module quantifies what that does to the
+//! dynamics:
+//!
+//! * [`robustness_report`] — did the run *recover* (re-enter and stay
+//!   at a `(δ, ε)`-equilibrium), when, and how far the potential was
+//!   pushed above its running minimum on the way
+//!   ([`worst_excursion`]);
+//! * [`divergence_threshold`] — a bisection over the update period `T`
+//!   locating the *measured* boundary between "potential stays
+//!   monotone" and "Lemma 4 breaks", to compare against the
+//!   theoretical safe period `T* = 1/(4 D α β)` — the paper's bound is
+//!   conservative, and the sweep reports by how much.
+//!
+//! All inputs are plain [`Trajectory`] values, so the same analysis
+//! applies to the enumerated backend, the implicit-path backend and
+//! the finite-population agents simulation.
+
+use serde::{Deserialize, Serialize};
+use wardrop_core::trajectory::Trajectory;
+
+/// How a faulted run weathered its fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// The `δ` of the recovery notion (the trajectory's first
+    /// configured δ column).
+    pub delta: f64,
+    /// The `ε` used for recovery detection.
+    pub eps: f64,
+    /// Whether the run ends *stably* recovered: from
+    /// [`recovery_phase`](Self::recovery_phase) on, every phase starts
+    /// at a `(δ, ε)`-equilibrium.
+    pub recovered: bool,
+    /// First phase index from which every subsequent phase starts at a
+    /// `(δ, ε)`-equilibrium; `None` if the run never settles.
+    pub recovery_phase: Option<usize>,
+    /// Wall-clock time of the recovery phase start.
+    pub recovery_time: Option<f64>,
+    /// Worst potential excursion above the running minimum,
+    /// `max_i (Φ_i − min_{j≤i} Φ_j)` — zero for a monotone run.
+    pub worst_excursion: f64,
+    /// Number of phases whose potential increased beyond `1e-9`.
+    pub monotonicity_violations: usize,
+    /// Potential at the start of the first phase.
+    pub initial_potential: f64,
+    /// Potential at the end of the last phase.
+    pub final_potential: f64,
+}
+
+/// Worst potential excursion above the running minimum:
+/// `max_i (Φ_i − min_{j≤i} Φ_j)` over the potential series (phase
+/// starts plus the final phase end). Zero for a monotone run; under
+/// faults it measures how far the dynamics was pushed back uphill.
+pub fn worst_excursion(traj: &Trajectory) -> f64 {
+    let mut running_min = f64::INFINITY;
+    let mut worst = 0.0_f64;
+    for phi in traj.potential_series() {
+        running_min = running_min.min(phi);
+        worst = worst.max(phi - running_min);
+    }
+    worst
+}
+
+/// Summarises a (typically faulted) run: stable recovery, worst
+/// excursion and monotonicity damage. Recovery is *suffix*-stable —
+/// the first phase from which the run never leaves the `(δ, ε)`-ball
+/// again — which is stricter than
+/// [`Trajectory::first_good_phase`] and the right notion under faults,
+/// where a run can touch equilibrium and be knocked out again.
+///
+/// # Panics
+///
+/// Panics if the trajectory records no δ columns.
+pub fn robustness_report(traj: &Trajectory, eps: f64) -> RobustnessReport {
+    assert!(
+        !traj.deltas.is_empty(),
+        "trajectory must record at least one δ column"
+    );
+    let recovery_phase = traj
+        .phases
+        .iter()
+        .rposition(|p| p.unsatisfied[0] > eps)
+        .map(|last_bad| last_bad + 1)
+        .or(Some(0))
+        .filter(|&i| i < traj.len());
+    let recovered = recovery_phase.is_some();
+    RobustnessReport {
+        delta: traj.deltas[0],
+        eps,
+        recovered,
+        recovery_phase,
+        recovery_time: recovery_phase.map(|i| traj.phases[i].start_time),
+        worst_excursion: worst_excursion(traj),
+        monotonicity_violations: traj.monotonicity_violations(1e-9),
+        initial_potential: traj.phases.first().map_or(0.0, |p| p.potential_start),
+        final_potential: traj.phases.last().map_or(0.0, |p| p.potential_end),
+    }
+}
+
+/// The measured divergence threshold of the update period, against the
+/// theoretical safe period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafetyMargin {
+    /// The theoretical safe period `T*` supplied by the caller.
+    pub theoretical: f64,
+    /// Largest tested period with zero monotonicity violations.
+    pub safe_period: f64,
+    /// Smallest tested period where the potential increased.
+    pub unsafe_period: f64,
+    /// Bisection midpoint of the final bracket — the measured
+    /// threshold.
+    pub measured_threshold: f64,
+    /// `measured_threshold / theoretical` — how conservative the
+    /// Lemma-4 bound is on this instance (≥ 1 when the theory holds).
+    pub margin: f64,
+}
+
+/// Bisects the update period between a safe bracket end `t_lo` and an
+/// unsafe end `t_hi`, classifying each period with `run` (safe ⇔ the
+/// returned trajectory has zero monotonicity violations at `tol`).
+/// Returns the measured threshold and its ratio to the theoretical
+/// `t_star`.
+///
+/// # Panics
+///
+/// Panics if the bracket is inverted, or if `run(t_lo)` is unsafe /
+/// `run(t_hi)` is safe (no threshold inside the bracket).
+pub fn divergence_threshold(
+    run: impl FnMut(f64) -> Trajectory,
+    t_star: f64,
+    t_lo: f64,
+    t_hi: f64,
+    iterations: usize,
+    tol: f64,
+) -> SafetyMargin {
+    divergence_threshold_by(
+        run,
+        |traj| traj.monotonicity_violations(tol) == 0,
+        t_star,
+        t_lo,
+        t_hi,
+        iterations,
+    )
+}
+
+/// As [`divergence_threshold`], but with a caller-supplied safety
+/// classifier — e.g. `traj.lemma4_violations(tol) == 0` to locate
+/// where the Lemma-4 slack inequality `ΔΦ ≤ ½V` itself first breaks
+/// (a tighter notion than plain potential monotonicity).
+///
+/// # Panics
+///
+/// Panics if the bracket is inverted, or if `run(t_lo)` is unsafe /
+/// `run(t_hi)` is safe (no threshold inside the bracket).
+pub fn divergence_threshold_by(
+    mut run: impl FnMut(f64) -> Trajectory,
+    is_safe: impl Fn(&Trajectory) -> bool,
+    t_star: f64,
+    t_lo: f64,
+    t_hi: f64,
+    iterations: usize,
+) -> SafetyMargin {
+    assert!(
+        t_lo.is_finite() && t_hi.is_finite() && t_lo < t_hi,
+        "bracket must satisfy t_lo < t_hi"
+    );
+    assert!(is_safe(&run(t_lo)), "lower bracket end {t_lo} must be safe");
+    assert!(
+        !is_safe(&run(t_hi)),
+        "upper bracket end {t_hi} must be unsafe"
+    );
+    let (mut lo, mut hi) = (t_lo, t_hi);
+    for _ in 0..iterations {
+        let mid = 0.5 * (lo + hi);
+        if is_safe(&run(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let measured = 0.5 * (lo + hi);
+    SafetyMargin {
+        theoretical: t_star,
+        safe_period: lo,
+        unsafe_period: hi,
+        measured_threshold: measured,
+        margin: measured / t_star,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_core::trajectory::PhaseRecord;
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+
+    fn record(index: usize, phi0: f64, phi1: f64, unsat: f64) -> PhaseRecord {
+        PhaseRecord {
+            index,
+            epoch: 0,
+            start_time: index as f64,
+            potential_start: phi0,
+            potential_end: phi1,
+            virtual_gain: 0.0,
+            avg_latency_start: 0.0,
+            max_regret_start: 0.0,
+            unsatisfied: vec![unsat],
+            weakly_unsatisfied: vec![unsat],
+        }
+    }
+
+    fn traj(phases: Vec<PhaseRecord>) -> Trajectory {
+        let inst = builders::pigou();
+        Trajectory {
+            update_period: 1.0,
+            deltas: vec![0.05],
+            phases,
+            flows: Vec::new(),
+            flow_stride: 1,
+            final_flow: FlowVec::uniform(&inst),
+            dynamics: "test".into(),
+        }
+    }
+
+    #[test]
+    fn worst_excursion_measures_uphill_push() {
+        // Monotone: no excursion.
+        let t = traj(vec![record(0, 5.0, 4.0, 1.0), record(1, 4.0, 3.0, 0.0)]);
+        assert_eq!(worst_excursion(&t), 0.0);
+        // Dips to 2, then is pushed back up to 3.5: excursion 1.5.
+        let t = traj(vec![
+            record(0, 5.0, 2.0, 1.0),
+            record(1, 2.0, 3.5, 1.0),
+            record(2, 3.5, 3.0, 0.0),
+        ]);
+        assert!((worst_excursion(&t) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_is_suffix_stable() {
+        // Touches equilibrium at phase 1, knocked out at 2, settles at 3.
+        let t = traj(vec![
+            record(0, 5.0, 4.0, 1.0),
+            record(1, 4.0, 3.0, 0.0),
+            record(2, 3.0, 2.5, 0.7),
+            record(3, 2.5, 2.0, 0.0),
+            record(4, 2.0, 1.9, 0.0),
+        ]);
+        let r = robustness_report(&t, 0.05);
+        assert!(r.recovered);
+        assert_eq!(r.recovery_phase, Some(3));
+        assert_eq!(r.recovery_time, Some(3.0));
+        // Never settles: the last phase is still bad.
+        let t = traj(vec![record(0, 5.0, 4.0, 1.0), record(1, 4.0, 5.0, 0.9)]);
+        let r = robustness_report(&t, 0.05);
+        assert!(!r.recovered);
+        assert_eq!(r.recovery_phase, None);
+        assert_eq!(r.monotonicity_violations, 1);
+    }
+
+    #[test]
+    fn always_good_run_recovers_at_phase_zero() {
+        let t = traj(vec![record(0, 5.0, 4.0, 0.0), record(1, 4.0, 3.0, 0.0)]);
+        let r = robustness_report(&t, 0.05);
+        assert_eq!(r.recovery_phase, Some(0));
+        assert_eq!(r.worst_excursion, 0.0);
+    }
+
+    #[test]
+    fn divergence_threshold_bisects_a_step_function() {
+        // Synthetic oracle: safe iff T < 0.4375 (so the threshold is
+        // known exactly); theoretical T* = 0.25 ⇒ margin 1.75.
+        let oracle = |t: f64| {
+            if t < 0.4375 {
+                traj(vec![record(0, 5.0, 4.0, 0.0)])
+            } else {
+                traj(vec![record(0, 5.0, 6.0, 1.0)])
+            }
+        };
+        let m = divergence_threshold(oracle, 0.25, 0.25, 1.0, 30, 1e-9);
+        assert!((m.measured_threshold - 0.4375).abs() < 1e-6);
+        assert!((m.margin - 1.75).abs() < 1e-5);
+        assert!(m.safe_period < m.unsafe_period);
+    }
+
+    #[test]
+    fn divergence_threshold_on_a_real_run() {
+        // The linear policy on the two-link oscillator (interior
+        // equilibrium, so a long stale phase overshoots): safe at T*,
+        // unsafe far past it — the measured threshold brackets how
+        // conservative Lemma 4 is.
+        use wardrop_core::{engine, policy, theory, ReroutingPolicy};
+        let inst = builders::two_link_oscillator(4.0);
+        let pol = policy::uniform_linear(&inst);
+        let alpha = pol.smoothness().unwrap();
+        let t_star = theory::safe_update_period(&inst, alpha);
+        // Uniform is the (symmetric) equilibrium — start off-centre so
+        // a long stale phase can overshoot it.
+        let f0 = FlowVec::from_values(&inst, vec![0.8, 0.2]).unwrap();
+        let run = |t: f64| {
+            let config = engine::SimulationConfig::new(t, 60);
+            engine::run(&inst, &pol, &f0, &config)
+        };
+        let m = divergence_threshold(run, t_star, t_star, 400.0 * t_star, 24, 1e-9);
+        // Lemma 4 holds at T* and the bound is conservative.
+        assert!(m.margin >= 1.0, "margin {}", m.margin);
+    }
+}

@@ -97,6 +97,29 @@ impl BulletinBoard {
         self.path_flows.copy_from_slice(flow.values());
     }
 
+    /// Sets the posting time without touching the posted arrays — the
+    /// fault layer uses this when a degraded post refreshes only part
+    /// of the board.
+    #[inline]
+    pub(crate) fn set_time(&mut self, time: f64) {
+        self.time = time;
+    }
+
+    /// Mutable access to every posted buffer, in declaration order
+    /// `(edge_flows, edge_latencies, path_latencies, path_flows)`.
+    /// Only the fault layer writes the board piecemeal; everything else
+    /// goes through the whole-board `post_*` methods.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn buffers_mut(&mut self) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        (
+            &mut self.edge_flows,
+            &mut self.edge_latencies,
+            &mut self.path_latencies,
+            &mut self.path_flows,
+        )
+    }
+
     /// The posting time `t̂` (phase start).
     #[inline]
     pub fn time(&self) -> f64 {

@@ -82,6 +82,8 @@ use wardrop_pool::WorkerPool;
 
 use crate::board::BulletinBoard;
 use crate::engine::{Dynamics, EngineWorkspace, SimulationConfig};
+use crate::fault::{FaultState, FaultStats};
+use crate::guard::{GuardLog, SmoothnessGuard};
 use crate::trajectory::{PhaseRecord, Trajectory};
 
 /// How the initial active path set of an [`EdgeSimulation`] is built.
@@ -157,6 +159,8 @@ pub struct EdgeSimulation<'a, D: Dynamics + ?Sized> {
     seen: HashMap<u64, Vec<(u32, u32)>>,
     oracle: DijkstraWorkspace,
     path_buf: Vec<EdgeId>,
+    fault: Option<FaultState>,
+    guard: Option<SmoothnessGuard>,
     discoveries: usize,
     index: usize,
     epoch: usize,
@@ -269,6 +273,11 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
         );
         let _ = oracle.path_into(graph, edge.commodities()[0].sink, &mut path_buf);
 
+        let fault = match config.faults.clone() {
+            Some(plan) => Some(FaultState::new(plan, &restricted)?),
+            None => None,
+        };
+        let guard = config.guard.clone().map(SmoothnessGuard::new);
         Ok(EdgeSimulation {
             board: BulletinBoard::for_instance(&restricted),
             edge: edge.clone(),
@@ -282,6 +291,8 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
             seen,
             oracle,
             path_buf,
+            fault,
+            guard,
             discoveries: 0,
             index: 0,
             epoch: 0,
@@ -350,6 +361,18 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
     #[inline]
     pub fn uses_worker_pool(&self) -> bool {
         self.pool.is_some()
+    }
+
+    /// The AIMD governor's intervention log, when one is attached.
+    #[inline]
+    pub fn guard_log(&self) -> Option<&GuardLog> {
+        self.guard.as_ref().map(SmoothnessGuard::log)
+    }
+
+    /// The fault layer's running counters, when a plan is attached.
+    #[inline]
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(FaultState::stats)
     }
 
     /// True once the simulation has finished.
@@ -428,6 +451,11 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
         self.workspace = EngineWorkspace::with_pool(&restricted, self.pool.clone());
         self.board = BulletinBoard::for_instance(&restricted);
         self.restricted = restricted;
+        if let Some(fault) = &mut self.fault {
+            // The grown basis re-sizes the board; the next post must
+            // bootstrap the blank buffers cleanly.
+            fault.rebind(&self.restricted);
+        }
         self.workspace
             .eval
             .evaluate_with(&self.restricted, &self.flow, self.pool.as_deref());
@@ -466,6 +494,11 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
         self.workspace
             .eval
             .evaluate_with(&self.restricted, &self.flow, self.pool.as_deref());
+        // Events move the potential legitimately; don't let the
+        // governor read the jump as a Lemma-4 violation.
+        if let Some(guard) = &mut self.guard {
+            guard.reset_baseline();
+        }
         self.epoch += 1;
         Ok(())
     }
@@ -517,20 +550,40 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
             })
             .collect();
 
-        self.board
-            .post_from_eval(&self.workspace.eval, &self.flow, self.start_time);
-        let start_potential_edges = self.workspace.eval.edge_flows();
-        debug_assert_eq!(start_potential_edges.len(), self.edge.num_edges());
+        // Snapshot the true phase-start edges for the virtual gain —
+        // the board cannot serve as the snapshot once the fault layer
+        // may degrade (or skip) the post.
+        self.workspace.snapshot_start_edges();
+        match &mut self.fault {
+            Some(state) => state.post(
+                &mut self.board,
+                &self.restricted,
+                &self.workspace.eval,
+                &self.flow,
+                self.index,
+                self.start_time,
+            ),
+            None => self
+                .board
+                .post_from_eval(&self.workspace.eval, &self.flow, self.start_time),
+        }
+        debug_assert_eq!(self.board.edge_flows().len(), self.edge.num_edges());
 
         let tau = self
             .config
             .schedule
             .phase_length(self.config.update_period, self.index);
+        // Governor throttle as time dilation of the board-frozen
+        // dynamics — identical mechanism to the enumerated engine.
+        let tau_dynamics = match &mut self.guard {
+            Some(guard) => tau * guard.observe(self.index, self.start_time, potential_start),
+            None => tau,
+        };
         self.dynamics.advance_phase(
             &self.restricted,
             &self.board,
             &mut self.flow,
-            tau,
+            tau_dynamics,
             &self.config.integrator,
             &mut self.workspace,
         );
@@ -540,12 +593,11 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
             .eval
             .evaluate_with(&self.restricted, &self.flow, self.pool.as_deref());
         let potential_end = self.workspace.eval.potential();
-        // The board still holds the phase-start edge snapshot, so the
-        // virtual gain reads it directly — no separate copies needed.
+        let (start_flows, start_latencies) = self.workspace.start_edges();
         let virtual_gain = self
             .workspace
             .eval
-            .virtual_gain_from(self.board.edge_flows(), self.board.edge_latencies());
+            .virtual_gain_from(start_flows, start_latencies);
 
         let record = PhaseRecord {
             index: self.index,

@@ -53,6 +53,8 @@ use wardrop_net::scenario::{EventAction, Scenario};
 use wardrop_pool::WorkerPool;
 
 use crate::board::BulletinBoard;
+use crate::fault::{FaultPlan, FaultState, FaultStats};
+use crate::guard::{GuardConfig, GuardLog, SmoothnessGuard};
 use crate::integrator::{Integrator, IntegratorScratch};
 use crate::policy::{PhaseRates, ReroutingPolicy};
 use crate::trajectory::{PhaseRecord, Trajectory};
@@ -171,6 +173,22 @@ impl EngineWorkspace {
     /// mode.
     pub fn pool(&self) -> Option<&WorkerPool> {
         self.pool.as_deref()
+    }
+
+    /// Snapshots `f̂_e` and `ℓ_e(f̂_e)` from the current evaluation into
+    /// the phase-start buffers. Taken *before* the board is posted, so
+    /// the virtual gain always measures against the **true** phase
+    /// start even when the fault layer degrades the board.
+    pub(crate) fn snapshot_start_edges(&mut self) {
+        self.start_edge_flows
+            .copy_from_slice(self.eval.edge_flows());
+        self.start_edge_latencies
+            .copy_from_slice(self.eval.edge_latencies());
+    }
+
+    /// The true phase-start edge snapshot `(f̂_e, ℓ_e(f̂_e))`.
+    pub(crate) fn start_edges(&self) -> (&[f64], &[f64]) {
+        (&self.start_edge_flows, &self.start_edge_latencies)
     }
 }
 
@@ -307,6 +325,15 @@ pub struct SimulationConfig {
     /// runs are bit-identical to serial ones — see [`Parallelism`].
     #[serde(default)]
     pub parallelism: Parallelism,
+    /// Bulletin-board fault plan (`None` or a
+    /// [trivial](FaultPlan::is_trivial) plan: the lossless board of the
+    /// paper, bit-identical to the unfaulted loop).
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+    /// AIMD smoothness governor (`None`: fixed α — the dynamics runs
+    /// open-loop even if the potential climbs).
+    #[serde(default)]
+    pub guard: Option<GuardConfig>,
 }
 
 impl SimulationConfig {
@@ -323,7 +350,22 @@ impl SimulationConfig {
             stop_when_regret_below: None,
             schedule: PhaseSchedule::Fixed,
             parallelism: Parallelism::Serial,
+            faults: None,
+            guard: None,
         }
+    }
+
+    /// Attaches a bulletin-board fault plan (builder style). A trivial
+    /// plan leaves the run bit-identical to an unfaulted one.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches the AIMD smoothness governor (builder style).
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = Some(guard);
+        self
     }
 
     /// Sets the execution mode of the phase loop (builder style).
@@ -395,6 +437,9 @@ impl SimulationConfig {
             self.update_period.is_finite() && self.update_period > 0.0,
             "update period must be positive"
         );
+        if let Some(guard) = &self.guard {
+            guard.validate();
+        }
     }
 }
 
@@ -434,6 +479,8 @@ pub struct Simulation<'a, D: Dynamics + ?Sized> {
     flow: FlowVec,
     board: BulletinBoard,
     workspace: EngineWorkspace,
+    fault: Option<FaultState>,
+    guard: Option<SmoothnessGuard>,
     index: usize,
     epoch: usize,
     start_time: f64,
@@ -481,6 +528,10 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         let mut workspace = EngineWorkspace::with_pool(instance, pool);
         let EngineWorkspace { eval, pool, .. } = &mut workspace;
         eval.evaluate_with(instance, &flow, pool.as_deref());
+        let fault = config.faults.clone().map(|plan| {
+            FaultState::new(plan, instance).expect("invalid fault plan for this instance")
+        });
+        let guard = config.guard.clone().map(SmoothnessGuard::new);
         Simulation {
             board: BulletinBoard::for_instance(instance),
             instance: instance.clone(),
@@ -488,6 +539,8 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
             config: config.clone(),
             flow,
             workspace,
+            fault,
+            guard,
             index: 0,
             epoch: 0,
             start_time: 0.0,
@@ -531,6 +584,25 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
     #[inline]
     pub fn uses_worker_pool(&self) -> bool {
         self.workspace.pool.is_some()
+    }
+
+    /// The AIMD governor's intervention log, when one is attached.
+    #[inline]
+    pub fn guard_log(&self) -> Option<&GuardLog> {
+        self.guard.as_ref().map(SmoothnessGuard::log)
+    }
+
+    /// The governor's current α throttle (`1.0` when no guard is
+    /// attached or it has not intervened).
+    #[inline]
+    pub fn guard_scale(&self) -> f64 {
+        self.guard.as_ref().map_or(1.0, SmoothnessGuard::scale)
+    }
+
+    /// The fault layer's running counters, when a plan is attached.
+    #[inline]
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(FaultState::stats)
     }
 
     /// Number of phases executed so far.
@@ -593,6 +665,11 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         }
         let EngineWorkspace { eval, pool, .. } = &mut self.workspace;
         eval.evaluate_with(&self.instance, &self.flow, pool.as_deref());
+        // The event legitimately moves the potential; the governor must
+        // not read the jump as a Lemma-4 violation.
+        if let Some(guard) = &mut self.guard {
+            guard.reset_baseline();
+        }
         self.epoch += 1;
         Ok(())
     }
@@ -622,6 +699,10 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         self.flow.values_mut().copy_from_slice(f0.values());
         let EngineWorkspace { eval, pool, .. } = &mut self.workspace;
         eval.evaluate_with(&self.instance, &self.flow, pool.as_deref());
+        self.fault = config.faults.clone().map(|plan| {
+            FaultState::new(plan, &self.instance).expect("invalid fault plan for this instance")
+        });
+        self.guard = config.guard.clone().map(SmoothnessGuard::new);
         self.index = 0;
         self.epoch = 0;
         self.start_time = 0.0;
@@ -719,26 +800,43 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
             })
             .collect();
 
-        // Snapshot f̂_e and ℓ_e(f̂_e) for the end-of-phase virtual gain,
-        // and post the board by copying the cached arrays.
-        self.workspace
-            .start_edge_flows
-            .copy_from_slice(self.workspace.eval.edge_flows());
-        self.workspace
-            .start_edge_latencies
-            .copy_from_slice(self.workspace.eval.edge_latencies());
-        self.board
-            .post_from_eval(&self.workspace.eval, &self.flow, self.start_time);
+        // Snapshot f̂_e and ℓ_e(f̂_e) for the end-of-phase virtual gain
+        // — from the *true* evaluation, before any board fault — and
+        // post the board by copying the cached arrays (through the
+        // fault layer when a plan is attached).
+        self.workspace.snapshot_start_edges();
+        match &mut self.fault {
+            Some(state) => state.post(
+                &mut self.board,
+                &self.instance,
+                &self.workspace.eval,
+                &self.flow,
+                self.index,
+                self.start_time,
+            ),
+            None => self
+                .board
+                .post_from_eval(&self.workspace.eval, &self.flow, self.start_time),
+        }
 
         let tau = self
             .config
             .schedule
             .phase_length(self.config.update_period, self.index);
+        // The governor throttles the effective α by time dilation:
+        // advancing the board-frozen linear dynamics for `s·τ` is
+        // exactly the trajectory of `s`-scaled migration rates over τ
+        // (see the guard module docs). Wall-clock time still advances
+        // by the full τ below.
+        let tau_dynamics = match &mut self.guard {
+            Some(guard) => tau * guard.observe(self.index, self.start_time, potential_start),
+            None => tau,
+        };
         self.dynamics.advance_phase(
             &self.instance,
             &self.board,
             &mut self.flow,
-            tau,
+            tau_dynamics,
             &self.config.integrator,
             &mut self.workspace,
         );
@@ -822,6 +920,32 @@ pub fn run_scenario<D: Dynamics + ?Sized>(
 ) -> Result<Trajectory, NetError> {
     let mut sim = Simulation::new(instance, dynamics, f0, config);
     try_drive(&mut sim, scenario.events())
+}
+
+/// Like [`run_scenario`], but also returns the run's audit trail: the
+/// [`FaultStats`] of an attached fault plan and the [`GuardLog`] of an
+/// attached smoothness governor (each `None` when not configured).
+///
+/// # Errors
+///
+/// Propagates the first failing event application.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `f0` is infeasible.
+#[allow(clippy::type_complexity)]
+pub fn run_scenario_audited<D: Dynamics + ?Sized>(
+    instance: &Instance,
+    dynamics: &D,
+    f0: &FlowVec,
+    config: &SimulationConfig,
+    scenario: &Scenario,
+) -> Result<(Trajectory, Option<FaultStats>, Option<GuardLog>), NetError> {
+    let mut sim = Simulation::new(instance, dynamics, f0, config);
+    let traj = try_drive(&mut sim, scenario.events())?;
+    let stats = sim.fault_stats().copied();
+    let log = sim.guard_log().cloned();
+    Ok((traj, stats, log))
 }
 
 /// Drives a simulation to completion against a (possibly empty) sorted

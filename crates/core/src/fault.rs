@@ -1,0 +1,760 @@
+//! Fault injection for the bulletin board — the information channel as
+//! a lossy, degrading medium.
+//!
+//! The paper's model assumes a perfectly periodic, lossless, uniform
+//! board refresh. Real metric pipelines drop updates, deliver partial
+//! snapshots, add measurement noise and suffer outages. A [`FaultPlan`]
+//! composes these failure modes into a deterministic, seeded schedule
+//! that is applied **at post time only**: policies, rate kernels, the
+//! integrator and the worker pool never see the fault layer — they keep
+//! reading a [`BulletinBoard`], it just may hold degraded information.
+//!
+//! Supported board faults:
+//!
+//! | fault | knob | effect at a post |
+//! |-------|------|-----------------|
+//! | dropped post | [`FaultPlan::with_drop_probability`] | the whole refresh is skipped; the board stays stale |
+//! | board outage | [`FaultPlan::with_outage`] | every post inside the phase window is skipped |
+//! | partial update | [`FaultPlan::with_partial_updates`] | only a pseudo-random subset of edges refreshes |
+//! | posting noise | [`FaultPlan::with_noise`] | refreshed edge latencies get bounded multiplicative noise |
+//! | per-commodity staleness | [`FaultPlan::with_staleness`] | commodity `k`'s path rows refresh only every `T_k` posts |
+//!
+//! All pseudo-randomness is SplitMix64 keyed on `(seed, phase, lane)`,
+//! so a plan is reproducible across runs, backends and lane counts. A
+//! **zero-fault plan is inert**: every post takes the same
+//! [`BulletinBoard::post_from_eval`] path as an unfaulted simulation,
+//! so trajectories are bit-identical and the steady-state phase loop
+//! stays allocation-free (pinned by `crates/core/tests/zero_alloc.rs`
+//! and the `zero_fault_plan_is_bit_identical` proptest).
+//!
+//! # Examples
+//!
+//! ```
+//! use wardrop_core::fault::FaultPlan;
+//!
+//! let plan = FaultPlan::new(7)
+//!     .with_drop_probability(0.2)?
+//!     .with_noise(0.05)?
+//!     .with_partial_updates(0.5)?
+//!     .with_staleness(0, 4)?
+//!     .with_outage(30, 40)?;
+//! assert!(!plan.is_trivial());
+//! # Ok::<(), wardrop_net::NetError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+use wardrop_net::error::NetError;
+use wardrop_net::eval::EvalWorkspace;
+use wardrop_net::flow::{path_latencies_from_edge_into, FlowVec};
+use wardrop_net::instance::Instance;
+use wardrop_net::rng::splitmix_unit;
+
+use crate::board::BulletinBoard;
+
+/// A half-open phase window `[start, end)` during which the board never
+/// refreshes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseWindow {
+    /// First phase of the outage (inclusive).
+    pub start: usize,
+    /// First phase after the outage (exclusive).
+    pub end: usize,
+}
+
+impl PhaseWindow {
+    /// Whether `phase` falls inside the window.
+    #[inline]
+    pub fn contains(&self, phase: usize) -> bool {
+        (self.start..self.end).contains(&phase)
+    }
+}
+
+/// Per-commodity staleness: commodity `commodity`'s path latencies and
+/// path flows refresh only every `period` posts (`T_k` in phase units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommodityStaleness {
+    /// The commodity whose board rows go stale.
+    pub commodity: usize,
+    /// Refresh period in posts (`1` = every post, i.e. no staleness).
+    pub period: usize,
+}
+
+fn default_refresh_fraction() -> f64 {
+    1.0
+}
+
+/// A seeded, deterministic composition of bulletin-board faults.
+///
+/// Build with the fallible `with_*` methods (each rejects NaN,
+/// negative and non-finite knobs with [`NetError::InvalidFault`]), or
+/// deserialize from JSON and gate through [`FaultPlan::validate`]. See
+/// the [module docs](self) for the fault taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_probability: f64,
+    refresh_fraction: f64,
+    noise_amplitude: f64,
+    staleness: Vec<CommodityStaleness>,
+    outages: Vec<PhaseWindow>,
+}
+
+// Manual serde impls so that knobs missing from a sparse plan (older
+// artefacts, hand-written `--faults` JSON) take the *plan* defaults —
+// in particular `refresh_fraction` defaults to 1.0, not f64's 0.0.
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("seed".to_string(), self.seed.to_value()),
+            (
+                "drop_probability".to_string(),
+                self.drop_probability.to_value(),
+            ),
+            (
+                "refresh_fraction".to_string(),
+                self.refresh_fraction.to_value(),
+            ),
+            (
+                "noise_amplitude".to_string(),
+                self.noise_amplitude.to_value(),
+            ),
+            ("staleness".to_string(), self.staleness.to_value()),
+            ("outages".to_string(), self.outages.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a map for FaultPlan"))?;
+        let mut plan = FaultPlan::default();
+        for (key, value) in entries {
+            match key.as_str() {
+                "seed" => plan.seed = Deserialize::from_value(value)?,
+                "drop_probability" => plan.drop_probability = Deserialize::from_value(value)?,
+                "refresh_fraction" => plan.refresh_fraction = Deserialize::from_value(value)?,
+                "noise_amplitude" => plan.noise_amplitude = Deserialize::from_value(value)?,
+                "staleness" => plan.staleness = Deserialize::from_value(value)?,
+                "outages" => plan.outages = Deserialize::from_value(value)?,
+                _ => {}
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_probability: 0.0,
+            refresh_fraction: default_refresh_fraction(),
+            noise_amplitude: 0.0,
+            staleness: Vec::new(),
+            outages: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A zero-fault plan with the given RNG seed. Until faults are
+    /// added it is [trivial](FaultPlan::is_trivial) — attaching it to a
+    /// simulation changes nothing.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Each scheduled post is independently dropped with probability
+    /// `p` (the board stays stale for the whole phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidFault`] unless `0 ≤ p ≤ 1` and `p`
+    /// is finite (NaN is rejected).
+    pub fn with_drop_probability(mut self, p: f64) -> Result<Self, NetError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(NetError::InvalidFault(format!(
+                "drop probability must be finite and in [0, 1], got {p}"
+            )));
+        }
+        self.drop_probability = p;
+        Ok(self)
+    }
+
+    /// Each post refreshes every edge independently with probability
+    /// `fraction`; unrefreshed edges keep their previously posted flow
+    /// and latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidFault`] unless `0 < fraction ≤ 1`
+    /// and `fraction` is finite (NaN is rejected).
+    pub fn with_partial_updates(mut self, fraction: f64) -> Result<Self, NetError> {
+        if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+            return Err(NetError::InvalidFault(format!(
+                "refresh fraction must be finite and in (0, 1], got {fraction}"
+            )));
+        }
+        self.refresh_fraction = fraction;
+        Ok(self)
+    }
+
+    /// Refreshed edge latencies are posted as
+    /// `ℓ_e · (1 + amplitude · u)` with `u ∈ [−1, 1)` drawn per
+    /// `(phase, edge)` — bounded multiplicative noise that keeps the
+    /// posted values positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidFault`] unless `0 ≤ amplitude < 1`
+    /// and `amplitude` is finite (NaN, negative and non-finite noise
+    /// factors are rejected).
+    pub fn with_noise(mut self, amplitude: f64) -> Result<Self, NetError> {
+        if !amplitude.is_finite() || !(0.0..1.0).contains(&amplitude) {
+            return Err(NetError::InvalidFault(format!(
+                "noise amplitude must be finite and in [0, 1), got {amplitude}"
+            )));
+        }
+        self.noise_amplitude = amplitude;
+        Ok(self)
+    }
+
+    /// Commodity `commodity`'s path latencies and path flows refresh
+    /// only every `period` posts (`T_k` staleness). Repeated calls for
+    /// the same commodity overwrite the period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidFault`] if `period == 0`.
+    pub fn with_staleness(mut self, commodity: usize, period: usize) -> Result<Self, NetError> {
+        if period == 0 {
+            return Err(NetError::InvalidFault(
+                "staleness period must be at least 1 post".into(),
+            ));
+        }
+        if let Some(s) = self.staleness.iter_mut().find(|s| s.commodity == commodity) {
+            s.period = period;
+        } else {
+            self.staleness
+                .push(CommodityStaleness { commodity, period });
+        }
+        Ok(self)
+    }
+
+    /// Adds a full board outage over the half-open phase window
+    /// `[start, end)`: every post inside it is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidFault`] if the window is empty
+    /// (`start ≥ end`).
+    pub fn with_outage(mut self, start: usize, end: usize) -> Result<Self, NetError> {
+        if start >= end {
+            return Err(NetError::InvalidFault(format!(
+                "outage window [{start}, {end}) is empty"
+            )));
+        }
+        self.outages.push(PhaseWindow { start, end });
+        Ok(self)
+    }
+
+    /// The seed of the deterministic fault stream.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-post drop probability.
+    #[inline]
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// The per-edge refresh probability of a post.
+    #[inline]
+    pub fn refresh_fraction(&self) -> f64 {
+        self.refresh_fraction
+    }
+
+    /// The multiplicative noise amplitude on posted edge latencies.
+    #[inline]
+    pub fn noise_amplitude(&self) -> f64 {
+        self.noise_amplitude
+    }
+
+    /// The per-commodity staleness entries.
+    #[inline]
+    pub fn staleness(&self) -> &[CommodityStaleness] {
+        &self.staleness
+    }
+
+    /// The outage windows.
+    #[inline]
+    pub fn outages(&self) -> &[PhaseWindow] {
+        &self.outages
+    }
+
+    /// Whether the plan can never perturb a post — attaching a trivial
+    /// plan is bit-identical to running without one.
+    pub fn is_trivial(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.refresh_fraction >= 1.0
+            && self.noise_amplitude == 0.0
+            && self.staleness.iter().all(|s| s.period <= 1)
+            && self.outages.is_empty()
+    }
+
+    /// Re-checks every knob — the gate for plans that bypassed the
+    /// builder (e.g. deserialized from an artefact or a `--faults`
+    /// flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidFault`] describing the first bad
+    /// knob.
+    pub fn validate(&self) -> Result<(), NetError> {
+        FaultPlan::new(self.seed)
+            .with_drop_probability(self.drop_probability)?
+            .with_partial_updates(self.refresh_fraction)?
+            .with_noise(self.noise_amplitude)?;
+        for s in &self.staleness {
+            if s.period == 0 {
+                return Err(NetError::InvalidFault(format!(
+                    "staleness period for commodity {} must be at least 1 post",
+                    s.commodity
+                )));
+            }
+        }
+        for w in &self.outages {
+            if w.start >= w.end {
+                return Err(NetError::InvalidFault(format!(
+                    "outage window [{}, {}) is empty",
+                    w.start, w.end
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Running counters of what the fault layer actually did — the cheap,
+/// allocation-free audit trail of a faulted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Scheduled posts seen (one per phase).
+    pub posts: usize,
+    /// Posts skipped entirely (drop fault or outage window).
+    pub dropped: usize,
+    /// Posts that went through the degraded path (partial / noisy /
+    /// stale) instead of a clean whole-board refresh.
+    pub degraded: usize,
+    /// Edges left stale by partial updates, summed over posts.
+    pub edges_skipped: usize,
+    /// Commodity rows left stale by `T_k` staleness, summed over posts.
+    pub stale_commodity_rows: usize,
+}
+
+/// Distinct SplitMix64 sub-streams of a plan's seed, so the drop,
+/// partial-update and noise decisions at a phase are independent.
+const STREAM_DROP: u64 = 0x9e37_79b9_7f4a_7c15;
+const STREAM_PARTIAL: u64 = 0xbf58_476d_1ce4_e5b9;
+const STREAM_NOISE: u64 = 0x94d0_49bb_1331_11eb;
+
+/// One uniform draw in `[0, 1)` keyed on `(seed, stream, phase, lane)`.
+#[inline]
+fn fault_unit(seed: u64, stream: u64, phase: usize, lane: usize) -> f64 {
+    splitmix_unit(
+        seed ^ stream
+            ^ (phase as u64).wrapping_mul(0xd604_5623_35f0_0b2d)
+            ^ (lane as u64).wrapping_mul(0xa24b_aed4_963e_e407),
+    )
+}
+
+/// The attachable runtime of a [`FaultPlan`]: pre-sized scratch
+/// buffers, per-commodity refresh bookkeeping and the running
+/// [`FaultStats`]. One state per simulation; posts are replayed
+/// identically for the same plan and phase indices.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    /// Per-commodity refresh period (`staleness` flattened; 1 = fresh).
+    periods: Vec<usize>,
+    /// Post index of each commodity's last refresh.
+    last_refresh: Vec<usize>,
+    /// Scratch for path latencies recomputed from the degraded board.
+    path_scratch: Vec<f64>,
+    /// Whether the board holds at least one real post (the bootstrap
+    /// post is always clean — faults need something to degrade).
+    posted: bool,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// Validates `plan` against `instance` and pre-sizes every buffer
+    /// the per-post fault path needs, so posting is allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidFault`] if the plan is malformed or
+    /// names a commodity the instance does not have.
+    pub fn new(plan: FaultPlan, instance: &Instance) -> Result<Self, NetError> {
+        plan.validate()?;
+        let k = instance.num_commodities();
+        let mut periods = vec![1usize; k];
+        for s in &plan.staleness {
+            if s.commodity >= k {
+                return Err(NetError::InvalidFault(format!(
+                    "staleness names commodity {} but the instance has {k}",
+                    s.commodity
+                )));
+            }
+            periods[s.commodity] = s.period;
+        }
+        Ok(FaultState {
+            plan,
+            periods,
+            last_refresh: vec![0; k],
+            path_scratch: vec![0.0; instance.num_paths()],
+            posted: false,
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// The plan driving this state.
+    #[inline]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The running fault counters.
+    #[inline]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Re-sizes the scratch buffers after the owning simulation changed
+    /// shape (the edge backend grows its active path set), and forces
+    /// the next post to be a clean bootstrap — the rebuilt board starts
+    /// out blank, so there is nothing meaningful to leave stale.
+    pub fn rebind(&mut self, instance: &Instance) {
+        self.path_scratch.resize(instance.num_paths(), 0.0);
+        self.posted = false;
+    }
+
+    /// Resets the refresh bookkeeping and counters for a fresh run of
+    /// the same plan (buffer shapes are kept).
+    pub fn reset(&mut self) {
+        self.posted = false;
+        self.last_refresh.fill(0);
+        self.stats = FaultStats::default();
+    }
+
+    /// Posts the board for phase `phase`, applying every fault the plan
+    /// schedules there. The degenerate cases — the bootstrap post, and
+    /// any phase where no fault fires — take the exact
+    /// [`BulletinBoard::post_from_eval`] path of an unfaulted
+    /// simulation, byte for byte.
+    ///
+    /// `eval` must hold the evaluation of `flow` (the engine invariant
+    /// shared with [`BulletinBoard::post_from_eval`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if board, eval or state were sized for a different
+    /// instance.
+    pub fn post(
+        &mut self,
+        board: &mut BulletinBoard,
+        instance: &Instance,
+        eval: &EvalWorkspace,
+        flow: &FlowVec,
+        phase: usize,
+        time: f64,
+    ) {
+        self.stats.posts += 1;
+        // Bootstrap: the very first post (and the first after a
+        // rebind) is always clean — a dropped post would leave the
+        // all-zero placeholder board in force.
+        if !self.posted {
+            board.post_from_eval(eval, flow, time);
+            self.posted = true;
+            self.last_refresh.fill(phase);
+            return;
+        }
+
+        let plan = &self.plan;
+        let dropped = plan.outages.iter().any(|w| w.contains(phase))
+            || (plan.drop_probability > 0.0
+                && fault_unit(plan.seed, STREAM_DROP, phase, 0) < plan.drop_probability);
+        if dropped {
+            self.stats.dropped += 1;
+            return;
+        }
+
+        let partial = plan.refresh_fraction < 1.0;
+        let noisy = plan.noise_amplitude > 0.0;
+        let all_due = (0..self.periods.len())
+            .all(|i| self.periods[i] <= 1 || phase >= self.last_refresh[i] + self.periods[i]);
+        if !partial && !noisy && all_due {
+            // Nothing fires this phase: the clean whole-board path.
+            board.post_from_eval(eval, flow, time);
+            self.last_refresh.fill(phase);
+            return;
+        }
+
+        self.stats.degraded += 1;
+        let seed = plan.seed;
+        let refresh_fraction = plan.refresh_fraction;
+        let noise_amplitude = plan.noise_amplitude;
+        board.set_time(time);
+        let (edge_flows, edge_latencies, path_latencies, path_flows) = board.buffers_mut();
+        for e in 0..edge_latencies.len() {
+            if partial && fault_unit(seed, STREAM_PARTIAL, phase, e) >= refresh_fraction {
+                self.stats.edges_skipped += 1;
+                continue;
+            }
+            let mut le = eval.edge_latencies()[e];
+            if noisy {
+                let u = fault_unit(seed, STREAM_NOISE, phase, e) * 2.0 - 1.0;
+                le *= 1.0 + noise_amplitude * u;
+            }
+            edge_latencies[e] = le;
+            edge_flows[e] = eval.edge_flows()[e];
+        }
+        // Path latencies follow from the (partially refreshed, noisy)
+        // edge rows; stale commodities then keep their old rows.
+        path_latencies_from_edge_into(instance, edge_latencies, &mut self.path_scratch);
+        for i in 0..self.periods.len() {
+            let due = self.periods[i] <= 1 || phase >= self.last_refresh[i] + self.periods[i];
+            let range = instance.commodity_paths(i);
+            if due {
+                self.last_refresh[i] = phase;
+                path_latencies[range.clone()].copy_from_slice(&self.path_scratch[range.clone()]);
+                path_flows[range.clone()].copy_from_slice(&flow.values()[range]);
+            } else {
+                self.stats.stale_commodity_rows += range.len();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wardrop_net::builders;
+
+    fn eval_of(instance: &Instance, flow: &FlowVec) -> EvalWorkspace {
+        let mut eval = EvalWorkspace::new(instance);
+        eval.evaluate(instance, flow);
+        eval
+    }
+
+    #[test]
+    fn builder_rejects_bad_knobs_with_typed_errors() {
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
+            assert!(matches!(
+                FaultPlan::new(0).with_drop_probability(bad),
+                Err(NetError::InvalidFault(_))
+            ));
+            assert!(matches!(
+                FaultPlan::new(0).with_noise(bad),
+                Err(NetError::InvalidFault(_))
+            ));
+        }
+        for bad in [f64::NAN, -0.1, 0.0, 1.5, f64::NEG_INFINITY] {
+            assert!(matches!(
+                FaultPlan::new(0).with_partial_updates(bad),
+                Err(NetError::InvalidFault(_))
+            ));
+        }
+        assert!(matches!(
+            FaultPlan::new(0).with_staleness(0, 0),
+            Err(NetError::InvalidFault(_))
+        ));
+        assert!(matches!(
+            FaultPlan::new(0).with_outage(5, 5),
+            Err(NetError::InvalidFault(_))
+        ));
+        // Noise amplitude 1 would allow a zero posted latency.
+        assert!(FaultPlan::new(0).with_noise(1.0).is_err());
+        assert!(FaultPlan::new(0).with_noise(0.999).is_ok());
+    }
+
+    #[test]
+    fn trivial_plan_posts_exactly_like_post_from_eval() {
+        let inst = builders::braess();
+        let flow = FlowVec::uniform(&inst);
+        let eval = eval_of(&inst, &flow);
+        let mut plain = BulletinBoard::for_instance(&inst);
+        plain.post_from_eval(&eval, &flow, 1.0);
+        let mut faulted = BulletinBoard::for_instance(&inst);
+        let mut state = FaultState::new(FaultPlan::new(3), &inst).unwrap();
+        assert!(state.plan().is_trivial());
+        state.post(&mut faulted, &inst, &eval, &flow, 0, 1.0);
+        assert_eq!(plain, faulted);
+        assert_eq!(state.stats().degraded, 0);
+        assert_eq!(state.stats().dropped, 0);
+    }
+
+    #[test]
+    fn dropped_posts_keep_the_board_stale() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::from_values(&inst, vec![0.5, 0.5]).unwrap();
+        let f1 = FlowVec::from_values(&inst, vec![0.9, 0.1]).unwrap();
+        let plan = FaultPlan::new(0).with_outage(1, 3).unwrap();
+        let mut state = FaultState::new(plan, &inst).unwrap();
+        let mut board = BulletinBoard::for_instance(&inst);
+        state.post(&mut board, &inst, &eval_of(&inst, &f0), &f0, 0, 0.0);
+        let posted = board.clone();
+        // Phases 1 and 2 fall in the outage: the board must not move.
+        state.post(&mut board, &inst, &eval_of(&inst, &f1), &f1, 1, 1.0);
+        state.post(&mut board, &inst, &eval_of(&inst, &f1), &f1, 2, 2.0);
+        assert_eq!(board, posted);
+        assert_eq!(state.stats().dropped, 2);
+        // Phase 3 is past the outage: the refresh goes through.
+        state.post(&mut board, &inst, &eval_of(&inst, &f1), &f1, 3, 3.0);
+        assert_eq!(board.path_flows(), f1.values());
+    }
+
+    #[test]
+    fn bootstrap_post_ignores_faults() {
+        let inst = builders::pigou();
+        let f = FlowVec::uniform(&inst);
+        // An outage covering phase 0 cannot suppress the first post.
+        let plan = FaultPlan::new(0).with_outage(0, 10).unwrap();
+        let mut state = FaultState::new(plan, &inst).unwrap();
+        let mut board = BulletinBoard::for_instance(&inst);
+        state.post(&mut board, &inst, &eval_of(&inst, &f), &f, 0, 0.0);
+        assert_eq!(board.path_flows(), f.values());
+        assert_eq!(state.stats().dropped, 0);
+    }
+
+    #[test]
+    fn noise_is_bounded_and_deterministic() {
+        let inst = builders::braess();
+        let f = FlowVec::uniform(&inst);
+        let eval = eval_of(&inst, &f);
+        let amp = 0.2;
+        let plan = FaultPlan::new(11).with_noise(amp).unwrap();
+        let run = |plan: &FaultPlan| {
+            let mut state = FaultState::new(plan.clone(), &inst).unwrap();
+            let mut board = BulletinBoard::for_instance(&inst);
+            state.post(&mut board, &inst, &eval, &f, 0, 0.0);
+            state.post(&mut board, &inst, &eval, &f, 1, 1.0);
+            board
+        };
+        let a = run(&plan);
+        let b = run(&plan);
+        assert_eq!(a, b, "same seed, same noise");
+        for (noisy, &truth) in a.edge_latencies().iter().zip(eval.edge_latencies()) {
+            assert!(
+                (noisy - truth).abs() <= amp * truth + 1e-12,
+                "noise out of bounds: {noisy} vs {truth}"
+            );
+        }
+        // A different seed perturbs differently.
+        let c = run(&FaultPlan::new(12).with_noise(amp).unwrap());
+        assert_ne!(a.edge_latencies(), c.edge_latencies());
+    }
+
+    #[test]
+    fn partial_updates_leave_unrefreshed_edges_stale() {
+        let inst = builders::grid_network(4, 4, 5);
+        let f0 = FlowVec::uniform(&inst);
+        let f1 = FlowVec::concentrated(&inst);
+        let plan = FaultPlan::new(21).with_partial_updates(0.3).unwrap();
+        let mut state = FaultState::new(plan, &inst).unwrap();
+        let mut board = BulletinBoard::for_instance(&inst);
+        state.post(&mut board, &inst, &eval_of(&inst, &f0), &f0, 0, 0.0);
+        let before = board.clone();
+        let eval1 = eval_of(&inst, &f1);
+        state.post(&mut board, &inst, &eval1, &f1, 1, 1.0);
+        let stale = board
+            .edge_latencies()
+            .iter()
+            .zip(before.edge_latencies())
+            .filter(|(now, old)| now == old)
+            .count();
+        assert!(state.stats().edges_skipped > 0);
+        assert!(
+            stale >= state.stats().edges_skipped,
+            "{stale} stale edges for {} skips",
+            state.stats().edges_skipped
+        );
+        // Refreshed edges carry the new truth.
+        let refreshed = board
+            .edge_latencies()
+            .iter()
+            .zip(eval1.edge_latencies())
+            .filter(|(now, truth)| now == truth)
+            .count();
+        assert!(refreshed > 0);
+    }
+
+    #[test]
+    fn staleness_holds_commodity_rows_for_the_period() {
+        let inst = builders::multi_commodity_grid(2, 2, 9);
+        let f0 = FlowVec::uniform(&inst);
+        let f1 = FlowVec::concentrated(&inst);
+        let plan = FaultPlan::new(0).with_staleness(0, 3).unwrap();
+        let mut state = FaultState::new(plan, &inst).unwrap();
+        let mut board = BulletinBoard::for_instance(&inst);
+        state.post(&mut board, &inst, &eval_of(&inst, &f0), &f0, 0, 0.0);
+        let r0 = inst.commodity_paths(0);
+        let r1 = inst.commodity_paths(1);
+        let held = board.path_flows()[r0.clone()].to_vec();
+        let eval1 = eval_of(&inst, &f1);
+        // Posts 1 and 2: commodity 0 is held, commodity 1 refreshes.
+        for phase in [1usize, 2] {
+            state.post(&mut board, &inst, &eval1, &f1, phase, phase as f64);
+            assert_eq!(&board.path_flows()[r0.clone()], held.as_slice());
+            assert_eq!(&board.path_flows()[r1.clone()], &f1.values()[r1.clone()]);
+        }
+        // Post 3 = last_refresh + period: commodity 0 finally refreshes.
+        state.post(&mut board, &inst, &eval1, &f1, 3, 3.0);
+        assert_eq!(&board.path_flows()[r0.clone()], &f1.values()[r0.clone()]);
+        assert!(state.stats().stale_commodity_rows > 0);
+    }
+
+    #[test]
+    fn state_rejects_out_of_range_commodity() {
+        let inst = builders::pigou();
+        let plan = FaultPlan::new(0).with_staleness(5, 2).unwrap();
+        assert!(matches!(
+            FaultState::new(plan, &inst),
+            Err(NetError::InvalidFault(_))
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_plan() {
+        let plan = FaultPlan::new(9)
+            .with_drop_probability(0.1)
+            .unwrap()
+            .with_noise(0.05)
+            .unwrap()
+            .with_partial_updates(0.75)
+            .unwrap()
+            .with_staleness(1, 4)
+            .unwrap()
+            .with_outage(10, 20)
+            .unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        back.validate().unwrap();
+        // Partial plans (older artefacts) default the missing knobs.
+        let sparse: FaultPlan = serde_json::from_str(r#"{"seed": 3}"#).unwrap();
+        assert!(sparse.is_trivial());
+        assert_eq!(sparse.refresh_fraction(), 1.0);
+        // A hand-written NaN knob is caught by validate().
+        let bad: FaultPlan =
+            serde_json::from_str(r#"{"seed": 3, "noise_amplitude": -0.5}"#).unwrap();
+        assert!(matches!(bad.validate(), Err(NetError::InvalidFault(_))));
+    }
+}

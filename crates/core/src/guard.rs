@@ -1,0 +1,407 @@
+//! The AIMD smoothness governor — a self-stabilising guard on the
+//! engine's effective α.
+//!
+//! Lemma 4 guarantees that the potential never increases across a
+//! bulletin-board phase as long as the update period stays below
+//! `T* = 1/(4 D α β)`. When the board degrades — posts drop, latencies
+//! arrive noisy, rows go stale (see [`crate::fault`]) — the effective
+//! staleness grows past what `T*` was computed for and the guarantee
+//! can break: the potential climbs and the run oscillates or diverges.
+//!
+//! The [`SmoothnessGuard`] watches the potential at each board refresh
+//! and runs a classic AIMD control loop on an **α throttle**
+//! `s ∈ (0, 1]`:
+//!
+//! * **violation** (`Φ` increased beyond a float tolerance — a Lemma-4
+//!   breach): multiplicative decrease, `s ← max(s·backoff, floor)`;
+//! * **quiet window** (`quiet_phases` consecutive clean refreshes):
+//!   additive increase, `s ← min(s + restore_step, 1)`.
+//!
+//! Because every smooth policy's within-phase dynamics is the linear
+//! ODE `ḟ = R f` with `R` frozen for the phase — and α-smoothness is
+//! linear in the migration rates — scaling the rates by `s` is exactly
+//! the same trajectory as integrating for `s·τ` time units. The engine
+//! therefore applies the throttle as a *time dilation* of the
+//! within-phase dynamics: policies, kernels and the integrator stay
+//! untouched, yet the effective α (and hence the effective `α·T`
+//! product that Lemma 4 bounds) shrinks by `s`.
+//!
+//! Every intervention is recorded in a [`GuardLog`], so a recovery is
+//! auditable phase by phase.
+
+use serde::{Deserialize, Serialize};
+
+fn default_tolerance() -> f64 {
+    1e-9
+}
+fn default_backoff() -> f64 {
+    0.5
+}
+fn default_restore_step() -> f64 {
+    0.1
+}
+fn default_quiet_phases() -> usize {
+    8
+}
+fn default_floor() -> f64 {
+    1.0 / 64.0
+}
+
+/// Tuning of the AIMD loop. The defaults halve the throttle on every
+/// violation, and pay back `0.1` per eight quiet refreshes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// Float tolerance on the per-refresh potential increase; smaller
+    /// increases are treated as numerical noise, not violations.
+    pub tolerance: f64,
+    /// Multiplicative decrease factor in `(0, 1)`.
+    pub backoff: f64,
+    /// Additive restore step per quiet window, `> 0`.
+    pub restore_step: f64,
+    /// Consecutive clean refreshes required before a restore, `≥ 1`.
+    pub quiet_phases: usize,
+    /// Lower bound on the throttle in `(0, 1]` — the guard never
+    /// freezes the dynamics entirely.
+    pub floor: f64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            tolerance: default_tolerance(),
+            backoff: default_backoff(),
+            restore_step: default_restore_step(),
+            quiet_phases: default_quiet_phases(),
+            floor: default_floor(),
+        }
+    }
+}
+
+// Manual serde impls so that knobs missing from a sparse config take
+// the documented AIMD defaults, not the field types' zeros (which
+// `validate` would reject).
+impl Serialize for GuardConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("tolerance".to_string(), self.tolerance.to_value()),
+            ("backoff".to_string(), self.backoff.to_value()),
+            ("restore_step".to_string(), self.restore_step.to_value()),
+            ("quiet_phases".to_string(), self.quiet_phases.to_value()),
+            ("floor".to_string(), self.floor.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for GuardConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a map for GuardConfig"))?;
+        let mut config = GuardConfig::default();
+        for (key, value) in entries {
+            match key.as_str() {
+                "tolerance" => config.tolerance = Deserialize::from_value(value)?,
+                "backoff" => config.backoff = Deserialize::from_value(value)?,
+                "restore_step" => config.restore_step = Deserialize::from_value(value)?,
+                "quiet_phases" => config.quiet_phases = Deserialize::from_value(value)?,
+                "floor" => config.floor = Deserialize::from_value(value)?,
+                _ => {}
+            }
+        }
+        Ok(config)
+    }
+}
+
+impl GuardConfig {
+    /// # Panics
+    ///
+    /// Panics if any knob is out of range (the guard is engine
+    /// configuration, validated like
+    /// [`SimulationConfig`](crate::engine::SimulationConfig)).
+    pub fn validate(&self) {
+        assert!(
+            self.tolerance.is_finite() && self.tolerance >= 0.0,
+            "guard tolerance must be finite and non-negative"
+        );
+        assert!(
+            self.backoff.is_finite() && self.backoff > 0.0 && self.backoff < 1.0,
+            "guard backoff must be in (0, 1)"
+        );
+        assert!(
+            self.restore_step.is_finite() && self.restore_step > 0.0,
+            "guard restore step must be positive"
+        );
+        assert!(self.quiet_phases >= 1, "guard quiet window must be ≥ 1");
+        assert!(
+            self.floor.is_finite() && self.floor > 0.0 && self.floor <= 1.0,
+            "guard floor must be in (0, 1]"
+        );
+    }
+}
+
+/// What an intervention did to the throttle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardAction {
+    /// Multiplicative decrease after a Lemma-4 violation.
+    Backoff,
+    /// Additive restore after a quiet window.
+    Restore,
+}
+
+/// One recorded intervention of the governor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardEvent {
+    /// Phase index of the refresh that triggered the intervention.
+    pub phase: usize,
+    /// Wall-clock time of the refresh.
+    pub time: f64,
+    /// Backoff or restore.
+    pub action: GuardAction,
+    /// Throttle before the intervention.
+    pub scale_before: f64,
+    /// Throttle after the intervention.
+    pub scale_after: f64,
+    /// The observed potential change `ΔΦ` across the refresh (positive
+    /// for violations).
+    pub potential_delta: f64,
+}
+
+/// The auditable record of every intervention of a run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GuardLog {
+    events: Vec<GuardEvent>,
+    violations: usize,
+    restores: usize,
+    min_scale: Option<f64>,
+}
+
+impl GuardLog {
+    /// Every intervention, in phase order.
+    #[inline]
+    pub fn events(&self) -> &[GuardEvent] {
+        &self.events
+    }
+
+    /// Number of Lemma-4 violations seen (each triggers a backoff).
+    #[inline]
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Number of restores granted after quiet windows.
+    #[inline]
+    pub fn restores(&self) -> usize {
+        self.restores
+    }
+
+    /// The deepest throttle the run reached (`None`: never intervened).
+    #[inline]
+    pub fn min_scale(&self) -> Option<f64> {
+        self.min_scale
+    }
+}
+
+/// The in-flight AIMD governor: attach one per simulation. See the
+/// [module docs](self) for the control loop.
+#[derive(Debug, Clone)]
+pub struct SmoothnessGuard {
+    config: GuardConfig,
+    scale: f64,
+    quiet: usize,
+    last_potential: Option<f64>,
+    log: GuardLog,
+}
+
+impl SmoothnessGuard {
+    /// A governor at full throttle (`s = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is out of range ([`GuardConfig::validate`]).
+    pub fn new(config: GuardConfig) -> Self {
+        config.validate();
+        SmoothnessGuard {
+            config,
+            scale: 1.0,
+            quiet: 0,
+            last_potential: None,
+            log: GuardLog::default(),
+        }
+    }
+
+    /// The current α throttle `s ∈ [floor, 1]`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The intervention log so far.
+    #[inline]
+    pub fn log(&self) -> &GuardLog {
+        &self.log
+    }
+
+    /// Forgets the potential baseline. Called after scenario events:
+    /// a demand surge or link degradation raises the potential
+    /// legitimately, which must not count as a Lemma-4 violation.
+    pub fn reset_baseline(&mut self) {
+        self.last_potential = None;
+    }
+
+    /// Observes the potential at a board refresh and returns the
+    /// throttle to apply to the upcoming phase.
+    pub fn observe(&mut self, phase: usize, time: f64, potential: f64) -> f64 {
+        if let Some(prev) = self.last_potential {
+            let delta = potential - prev;
+            if delta > self.config.tolerance {
+                // Lemma-4 violation: multiplicative decrease.
+                let before = self.scale;
+                self.scale = (self.scale * self.config.backoff).max(self.config.floor);
+                self.quiet = 0;
+                self.log.violations += 1;
+                self.log.min_scale = Some(self.log.min_scale.unwrap_or(before).min(self.scale));
+                self.log.events.push(GuardEvent {
+                    phase,
+                    time,
+                    action: GuardAction::Backoff,
+                    scale_before: before,
+                    scale_after: self.scale,
+                    potential_delta: delta,
+                });
+            } else {
+                self.quiet += 1;
+                if self.quiet >= self.config.quiet_phases && self.scale < 1.0 {
+                    // Quiet window over: additive (cautious) restore.
+                    let before = self.scale;
+                    self.scale = (self.scale + self.config.restore_step).min(1.0);
+                    self.quiet = 0;
+                    self.log.restores += 1;
+                    self.log.events.push(GuardEvent {
+                        phase,
+                        time,
+                        action: GuardAction::Restore,
+                        scale_before: before,
+                        scale_after: self.scale,
+                        potential_delta: delta,
+                    });
+                }
+            }
+        }
+        self.last_potential = Some(potential);
+        self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_at_full_throttle_while_potential_decreases() {
+        let mut g = SmoothnessGuard::new(GuardConfig::default());
+        for (i, phi) in [5.0, 4.0, 3.5, 3.2, 3.1].iter().enumerate() {
+            assert_eq!(g.observe(i, i as f64, *phi), 1.0);
+        }
+        assert!(g.log().events().is_empty());
+        assert_eq!(g.log().min_scale(), None);
+    }
+
+    #[test]
+    fn violation_backs_off_multiplicatively_down_to_the_floor() {
+        let mut g = SmoothnessGuard::new(GuardConfig::default());
+        g.observe(0, 0.0, 1.0);
+        assert_eq!(g.observe(1, 1.0, 2.0), 0.5);
+        assert_eq!(g.observe(2, 2.0, 3.0), 0.25);
+        for i in 3..40 {
+            g.observe(i, i as f64, 2.0 + i as f64);
+        }
+        assert_eq!(g.scale(), GuardConfig::default().floor);
+        assert_eq!(g.log().violations(), 39);
+        assert_eq!(g.log().min_scale(), Some(GuardConfig::default().floor));
+    }
+
+    #[test]
+    fn quiet_window_restores_additively_and_caps_at_one() {
+        let config = GuardConfig {
+            quiet_phases: 2,
+            restore_step: 0.3,
+            ..GuardConfig::default()
+        };
+        let mut g = SmoothnessGuard::new(config);
+        g.observe(0, 0.0, 1.0);
+        g.observe(1, 1.0, 2.0); // violation: 1.0 -> 0.5
+        assert_eq!(g.scale(), 0.5);
+        // Two quiet refreshes earn one restore step.
+        g.observe(2, 2.0, 1.9);
+        assert_eq!(g.observe(3, 3.0, 1.8), 0.8);
+        g.observe(4, 4.0, 1.7);
+        assert_eq!(g.observe(5, 5.0, 1.6), 1.0);
+        // Fully restored: further quiet windows are no-ops.
+        g.observe(6, 6.0, 1.5);
+        assert_eq!(g.observe(7, 7.0, 1.4), 1.0);
+        assert_eq!(g.log().restores(), 2);
+        let kinds: Vec<GuardAction> = g.log().events().iter().map(|e| e.action).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                GuardAction::Backoff,
+                GuardAction::Restore,
+                GuardAction::Restore
+            ]
+        );
+    }
+
+    #[test]
+    fn tolerance_ignores_numerical_noise() {
+        let config = GuardConfig {
+            tolerance: 1e-6,
+            ..GuardConfig::default()
+        };
+        let mut g = SmoothnessGuard::new(config);
+        g.observe(0, 0.0, 1.0);
+        assert_eq!(g.observe(1, 1.0, 1.0 + 1e-9), 1.0);
+        assert_eq!(g.log().violations(), 0);
+    }
+
+    #[test]
+    fn reset_baseline_skips_the_cross_epoch_comparison() {
+        let mut g = SmoothnessGuard::new(GuardConfig::default());
+        g.observe(0, 0.0, 1.0);
+        g.reset_baseline();
+        // The potential jumped (scenario event), but no violation fires.
+        assert_eq!(g.observe(1, 1.0, 10.0), 1.0);
+        assert_eq!(g.log().violations(), 0);
+        // The new baseline is live again.
+        assert_eq!(g.observe(2, 2.0, 11.0), 0.5);
+    }
+
+    #[test]
+    fn serde_round_trips_config_and_log() {
+        let config = GuardConfig {
+            backoff: 0.25,
+            ..GuardConfig::default()
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: GuardConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+        // Sparse configs default the missing knobs.
+        let sparse: GuardConfig = serde_json::from_str(r#"{"quiet_phases": 3}"#).unwrap();
+        assert_eq!(sparse.quiet_phases, 3);
+        assert_eq!(sparse.backoff, 0.5);
+        let mut g = SmoothnessGuard::new(GuardConfig::default());
+        g.observe(0, 0.0, 1.0);
+        g.observe(1, 1.0, 2.0);
+        let json = serde_json::to_string(g.log()).unwrap();
+        let log: GuardLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(&log, g.log());
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff")]
+    fn bad_backoff_rejected() {
+        SmoothnessGuard::new(GuardConfig {
+            backoff: 1.5,
+            ..GuardConfig::default()
+        });
+    }
+}

@@ -32,7 +32,12 @@
 //!   convergence analysis bounds;
 //! * the paper's [closed forms and bounds](theory): the safe update
 //!   period `T* = 1/(4DαΒ)`, the §3.2 oscillation construction, and
-//!   the Theorem 6/7 convergence-time shapes.
+//!   the Theorem 6/7 convergence-time shapes;
+//! * a seeded [fault-injection layer](fault) that treats the board as
+//!   a lossy, degrading channel (dropped posts, partial updates,
+//!   noise, per-commodity staleness, outages), and an [AIMD
+//!   smoothness governor](guard) that detects Lemma-4 violations under
+//!   faults, throttles the effective α and cautiously restores it.
 //!
 //! # Examples
 //!
@@ -60,6 +65,8 @@ pub mod board;
 pub mod edge_engine;
 pub mod engine;
 pub mod ensemble;
+pub mod fault;
+pub mod guard;
 pub mod integrator;
 pub mod kernel;
 pub mod migration;
@@ -72,9 +79,12 @@ pub use best_response::BestResponse;
 pub use board::BulletinBoard;
 pub use edge_engine::{run_edge, run_edge_scenario, EdgeSimulation, PathSeeding};
 pub use engine::{
-    run, run_scenario, Dynamics, EngineWorkspace, Parallelism, Simulation, SimulationConfig,
+    run, run_scenario, run_scenario_audited, Dynamics, EngineWorkspace, Parallelism, Simulation,
+    SimulationConfig,
 };
 pub use ensemble::{map_runs, run_many, RunSpec};
+pub use fault::{FaultPlan, FaultState, FaultStats};
+pub use guard::{GuardConfig, GuardLog, SmoothnessGuard};
 pub use integrator::{Integrator, IntegratorScratch};
 pub use kernel::SeparableKernel;
 pub use migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};

@@ -235,6 +235,11 @@ fn steady_state_phase_loop_is_allocation_free() {
     // Non-stationary epochs: zero allocations between scenario events.
     epoch_steady_state_is_allocation_free();
 
+    // The fault layer: with drop, partial-update, noise and staleness
+    // faults all firing, the degraded post path must still run inside
+    // the pre-allocated fault scratch.
+    faulted_steady_state_is_allocation_free();
+
     // The implicit-path backend: discovery steps are the sanctioned
     // allocation points; discovery-free phases allocate nothing.
     edge_backend_steady_state_is_allocation_free();
@@ -246,6 +251,48 @@ fn steady_state_phase_loop_is_allocation_free() {
     // workload must cross the dispatch gates (grid_8x8: 3432 paths,
     // 48048 incidences) or the pool would sit unused.
     parallel_steady_state_is_allocation_free();
+}
+
+/// The fault layer degrades posts inside pre-allocated buffers
+/// (`FaultState` owns its RNG scratch, staleness counters and the
+/// path-latency recompute buffer): with every fault kind firing, the
+/// steady-state phase loop still allocates nothing.
+fn faulted_steady_state_is_allocation_free() {
+    use wardrop_core::fault::FaultPlan;
+
+    let grid = builders::grid_network(4, 4, 7);
+    let policy = uniform_linear(&grid);
+    let f0 = FlowVec::uniform(&grid);
+    let plan = FaultPlan::new(9)
+        .with_drop_probability(0.3)
+        .unwrap()
+        .with_partial_updates(0.6)
+        .unwrap()
+        .with_noise(0.05)
+        .unwrap()
+        .with_staleness(0, 3)
+        .unwrap();
+    let config = SimulationConfig::new(0.2, 400)
+        .with_deltas(vec![])
+        .with_faults(plan);
+    let mut sim = Simulation::new(&grid, &policy, &f0, &config);
+    for _ in 0..3 {
+        assert!(sim.step().is_some(), "fault warm-up ran out of phases");
+    }
+    let allocations = min_allocations_over_attempts(|| {
+        for _ in 0..100 {
+            assert!(sim.step().is_some(), "faulted run out of phases");
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "fault layer: {allocations} allocations in 100 steady-state phases"
+    );
+    let stats = sim.fault_stats().expect("fault layer attached");
+    assert!(
+        stats.dropped + stats.degraded > 0,
+        "the plan must actually fire during the measured window"
+    );
 }
 
 /// The edge-flow backend's steady state: once the oracle stops

@@ -1,0 +1,288 @@
+//! Adversarial fault-plan search: simulated annealing over the fault
+//! knobs, scored by how badly a plan hurts the dynamics.
+//!
+//! The fault layer ([`wardrop_core::fault`]) spans a small continuous
+//! search space — drop probability, per-edge refresh fraction, noise
+//! amplitude, one outage window — and the damage a plan does (recovery
+//! time, worst potential excursion) is a cheap black-box function of
+//! it: one engine run. [`anneal_fault_plan`] runs a seeded Metropolis
+//! walk over that space, *maximising* a caller-supplied score, and
+//! returns the worst plan found plus the accepted-move trace.
+//!
+//! The searcher is deterministic per seed (SplitMix64 end to end) and
+//! never proposes an invalid plan: every move is clamped into the
+//! configured knob caps, so the [`FaultPlan`] builders cannot fail.
+
+use serde::Serialize;
+use wardrop_core::fault::FaultPlan;
+use wardrop_net::rng::SplitMix64;
+
+/// Search-space caps and annealing schedule.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AdversaryConfig {
+    /// Metropolis iterations (score evaluations beyond the seed plan).
+    pub iterations: usize,
+    /// RNG seed of the walk (also seeds the proposed plans).
+    pub seed: u64,
+    /// Initial temperature of the acceptance rule.
+    pub initial_temperature: f64,
+    /// Per-iteration multiplicative cooling factor in `(0, 1]`.
+    pub cooling: f64,
+    /// Cap on the proposed drop probability, `≤ 1`.
+    pub max_drop: f64,
+    /// Cap on the proposed noise amplitude, `< 1`.
+    pub max_noise: f64,
+    /// Floor on the proposed per-edge refresh fraction, `> 0`.
+    pub min_refresh: f64,
+    /// Phase horizon: outage windows are placed inside `[1, horizon)`.
+    pub horizon: usize,
+    /// Cap on the length of the proposed outage window.
+    pub max_outage_len: usize,
+}
+
+impl AdversaryConfig {
+    /// A small default search: 60 iterations, gentle cooling, caps
+    /// that keep plans survivable (`drop ≤ 0.5`, `noise ≤ 0.2`,
+    /// `refresh ≥ 0.3`).
+    pub fn new(horizon: usize, seed: u64) -> Self {
+        AdversaryConfig {
+            iterations: 60,
+            seed,
+            initial_temperature: 1.0,
+            cooling: 0.95,
+            max_drop: 0.5,
+            max_noise: 0.2,
+            min_refresh: 0.3,
+            horizon,
+            max_outage_len: horizon / 4,
+        }
+    }
+}
+
+/// The mutable knobs of the walk (a plan, unpacked).
+#[derive(Debug, Clone, Copy)]
+struct Knobs {
+    drop: f64,
+    noise: f64,
+    refresh: f64,
+    outage_start: usize,
+    outage_len: usize,
+}
+
+impl Knobs {
+    fn benign() -> Self {
+        Knobs {
+            drop: 0.0,
+            noise: 0.0,
+            refresh: 1.0,
+            outage_start: 1,
+            outage_len: 0,
+        }
+    }
+
+    /// Builds the (always valid, by clamping) plan of this knob vector.
+    fn plan(&self, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed)
+            .with_drop_probability(self.drop)
+            .expect("clamped drop probability")
+            .with_noise(self.noise)
+            .expect("clamped noise amplitude")
+            .with_partial_updates(self.refresh)
+            .expect("clamped refresh fraction");
+        if self.outage_len > 0 {
+            plan = plan
+                .with_outage(self.outage_start, self.outage_start + self.outage_len)
+                .expect("non-empty outage window");
+        }
+        plan
+    }
+}
+
+/// One accepted or rejected step of the walk (for artefacts and
+/// convergence plots).
+#[derive(Debug, Clone, Serialize)]
+pub struct AnnealStep {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Score of the proposed plan.
+    pub score: f64,
+    /// Whether the proposal was accepted.
+    pub accepted: bool,
+    /// Best score seen so far (after this step).
+    pub best_score: f64,
+}
+
+/// Outcome of the annealing search.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnnealResult {
+    /// The worst (highest-scoring) plan found.
+    pub best_plan: FaultPlan,
+    /// Its score.
+    pub best_score: f64,
+    /// Score of the benign all-zero starting plan.
+    pub baseline_score: f64,
+    /// Total score evaluations (iterations + baseline).
+    pub evaluations: usize,
+    /// Accepted moves.
+    pub accepted: usize,
+    /// Per-iteration trace.
+    pub trace: Vec<AnnealStep>,
+}
+
+/// Clamp helper for proposed continuous knobs.
+fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// Runs the Metropolis walk, **maximising** `score` (e.g. phases to
+/// recovery, worst potential excursion). `score` is called once per
+/// iteration plus once for the benign baseline plan; it may be
+/// expensive (a full engine run) — budget `config.iterations`
+/// accordingly.
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (zero horizon, caps outside the
+/// builders' ranges).
+pub fn anneal_fault_plan(
+    config: &AdversaryConfig,
+    mut score: impl FnMut(&FaultPlan) -> f64,
+) -> AnnealResult {
+    assert!(config.horizon >= 2, "need a phase horizon of at least 2");
+    assert!(
+        config.cooling > 0.0 && config.cooling <= 1.0,
+        "cooling must be in (0, 1]"
+    );
+    let mut rng = SplitMix64::new(config.seed);
+    let mut current = Knobs::benign();
+    let mut current_score = score(&current.plan(config.seed));
+    let baseline_score = current_score;
+    let mut best = current;
+    let mut best_score = current_score;
+    let mut temperature = config.initial_temperature;
+    let mut accepted = 0usize;
+    let mut trace = Vec::with_capacity(config.iterations);
+
+    for iteration in 0..config.iterations {
+        // Propose: perturb one knob, clamped into the caps.
+        let mut proposal = current;
+        match rng.next_u64() % 5 {
+            0 => {
+                proposal.drop = clamp(
+                    proposal.drop + (rng.next_unit() - 0.5) * 0.2,
+                    0.0,
+                    config.max_drop,
+                );
+            }
+            1 => {
+                proposal.noise = clamp(
+                    proposal.noise + (rng.next_unit() - 0.5) * 0.1,
+                    0.0,
+                    config.max_noise,
+                );
+            }
+            2 => {
+                proposal.refresh = clamp(
+                    proposal.refresh + (rng.next_unit() - 0.5) * 0.3,
+                    config.min_refresh,
+                    1.0,
+                );
+            }
+            3 => {
+                let span = config.horizon.saturating_sub(1).max(1);
+                proposal.outage_start = 1 + (rng.next_u64() as usize) % span;
+                proposal.outage_len = proposal
+                    .outage_len
+                    .min(config.horizon.saturating_sub(proposal.outage_start));
+            }
+            _ => {
+                let cap = config
+                    .max_outage_len
+                    .min(config.horizon.saturating_sub(proposal.outage_start));
+                proposal.outage_len = if cap == 0 {
+                    0
+                } else {
+                    (rng.next_u64() as usize) % (cap + 1)
+                };
+            }
+        }
+        let proposal_score = score(&proposal.plan(config.seed));
+        // Metropolis on the maximisation objective.
+        let accept = proposal_score >= current_score
+            || rng.next_unit() < ((proposal_score - current_score) / temperature.max(1e-12)).exp();
+        if accept {
+            current = proposal;
+            current_score = proposal_score;
+            accepted += 1;
+            if current_score > best_score {
+                best = current;
+                best_score = current_score;
+            }
+        }
+        trace.push(AnnealStep {
+            iteration,
+            score: proposal_score,
+            accepted: accept,
+            best_score,
+        });
+        temperature *= config.cooling;
+    }
+
+    AnnealResult {
+        best_plan: best.plan(config.seed),
+        best_score,
+        baseline_score,
+        evaluations: config.iterations + 1,
+        accepted,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_is_deterministic_per_seed_and_never_proposes_invalid_plans() {
+        let config = AdversaryConfig::new(100, 3);
+        // Score every plan by how much it faults (a smooth stand-in for
+        // an engine run): the walk must push every knob towards its cap.
+        let score = |p: &FaultPlan| {
+            p.drop_probability()
+                + p.noise_amplitude()
+                + (1.0 - p.refresh_fraction())
+                + p.outages()
+                    .iter()
+                    .map(|w| (w.end - w.start) as f64 / 100.0)
+                    .sum::<f64>()
+        };
+        let a = anneal_fault_plan(&config, score);
+        let b = anneal_fault_plan(&config, score);
+        assert_eq!(a.best_plan, b.best_plan);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.trace.len(), config.iterations);
+        a.best_plan.validate().unwrap();
+        assert!(a.best_score > a.baseline_score, "the walk found damage");
+        // Caps respected.
+        assert!(a.best_plan.drop_probability() <= config.max_drop);
+        assert!(a.best_plan.noise_amplitude() <= config.max_noise);
+        assert!(a.best_plan.refresh_fraction() >= config.min_refresh);
+        for w in a.best_plan.outages() {
+            assert!(w.start >= 1 && w.end <= config.horizon + config.max_outage_len);
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let score = |p: &FaultPlan| p.drop_probability();
+        let a = anneal_fault_plan(&AdversaryConfig::new(50, 1), score);
+        let b = anneal_fault_plan(&AdversaryConfig::new(50, 2), score);
+        assert_ne!(a.trace.len(), 0);
+        // The walks differ somewhere (scores or acceptance pattern).
+        assert!(
+            a.best_plan != b.best_plan
+                || a.trace.iter().map(|s| s.accepted).collect::<Vec<_>>()
+                    != b.trace.iter().map(|s| s.accepted).collect::<Vec<_>>()
+        );
+    }
+}

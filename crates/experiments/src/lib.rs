@@ -16,13 +16,18 @@
 //! | E8 | `exp_beyond_smoothness` | reference \[10\]: elasticity-based relative-slack dynamics |
 //! | E9 | `exp_integrator_ablation` | integrator accuracy/work ablation (design choice) |
 //! | E10 | `exp_scenario_recovery` | post-shock recovery iff `T ≤ T*` on non-stationary scenarios |
+//! | E11 | `exp_fault_governor` | fixed α fails under board faults, the AIMD governor recovers; measured divergence threshold vs `T*` |
 //!
 //! Beyond the per-claim binaries, **`wardrop-lab`** is the
 //! registry-driven scenario runner: `wardrop-lab [--smoke] [--list]
-//! [NAME…]` executes the named non-stationary scenarios of
-//! [`scenarios`] (`rush-hour`, `link-failure`, `flash-crowd`,
-//! `rolling-degradation`) end-to-end and emits per-epoch recovery and
-//! tracking-regret tables.
+//! [--faults PLAN] [NAME…]` executes the named non-stationary
+//! scenarios of [`scenarios`] (`rush-hour`, `link-failure`,
+//! `flash-crowd`, `rolling-degradation`, plus the governed fault
+//! scenarios `flaky-rush-hour` and `board-outage`) end-to-end and
+//! emits per-epoch recovery and tracking-regret tables; `--faults`
+//! overlays a fault plan (inline JSON or a file path) on every
+//! selected scenario, and [`adversary`] anneals over fault plans for
+//! the worst one.
 //!
 //! Each binary prints aligned tables to stdout and, when the
 //! `WARDROP_RESULTS_DIR` environment variable is set, writes the same
@@ -31,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod scenarios;
 
 use std::fmt::Write as _;

@@ -11,7 +11,9 @@
 
 use serde::Serialize;
 use wardrop_analysis::tracking::{tracking_report, TrackingReport};
-use wardrop_core::engine::{run_scenario, SimulationConfig};
+use wardrop_core::engine::{run_scenario_audited, SimulationConfig};
+use wardrop_core::fault::{FaultPlan, FaultStats};
+use wardrop_core::guard::{GuardConfig, GuardLog};
 use wardrop_core::policy::uniform_linear;
 use wardrop_core::theory::safe_update_period;
 use wardrop_core::trajectory::Trajectory;
@@ -44,6 +46,19 @@ pub struct NamedScenario {
     pub delta: f64,
     /// The `ε` of the recovery notion (volume tolerance).
     pub eps: f64,
+    /// Optional bulletin-board fault plan applied at post time.
+    pub faults: Option<FaultPlan>,
+    /// Optional AIMD smoothness governor riding along with the run.
+    pub guard: Option<GuardConfig>,
+}
+
+/// The audit trail of a (possibly faulted) scenario run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunAudit {
+    /// Counters of what the fault layer did (`None`: no plan).
+    pub fault_stats: Option<FaultStats>,
+    /// The governor's intervention log (`None`: no governor).
+    pub guard_log: Option<GuardLog>,
 }
 
 /// Per-epoch row of the JSON artefact `wardrop-lab` / E10 emit.
@@ -82,11 +97,29 @@ impl NamedScenario {
     /// Panics if an event fails to apply (registry scenarios are valid
     /// by construction).
     pub fn run(&self) -> (Trajectory, TrackingReport) {
+        let (traj, report, _) = self.run_audited();
+        (traj, report)
+    }
+
+    /// Like [`NamedScenario::run`], but also returns the fault/guard
+    /// audit trail of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event fails to apply (registry scenarios are valid
+    /// by construction).
+    pub fn run_audited(&self) -> (Trajectory, TrackingReport, RunAudit) {
         let policy = uniform_linear(&self.instance);
         let alpha = policy.smoothness().expect("linear migration is smooth");
-        let config = SimulationConfig::new(self.update_period, self.num_phases)
+        let mut config = SimulationConfig::new(self.update_period, self.num_phases)
             .with_deltas(vec![self.delta]);
-        let traj = run_scenario(
+        if let Some(plan) = &self.faults {
+            config = config.with_faults(plan.clone());
+        }
+        if let Some(guard) = &self.guard {
+            config = config.with_guard(guard.clone());
+        }
+        let (traj, fault_stats, guard_log) = run_scenario_audited(
             &self.instance,
             &policy,
             &FlowVec::uniform(&self.instance),
@@ -96,7 +129,14 @@ impl NamedScenario {
         .expect("registry scenarios apply cleanly");
         let report = tracking_report(&self.instance, &self.scenario, &traj, alpha, self.eps)
             .expect("replay of a clean scenario cannot fail");
-        (traj, report)
+        (
+            traj,
+            report,
+            RunAudit {
+                fault_stats,
+                guard_log,
+            },
+        )
     }
 
     /// Flattens a tracking report into JSON-ready rows.
@@ -167,6 +207,8 @@ fn assemble(
         num_phases: num_epochs * l,
         delta: 0.25,
         eps: 0.1,
+        faults: None,
+        guard: None,
     }
 }
 
@@ -314,6 +356,46 @@ pub fn rolling_degradation(smoke: bool) -> NamedScenario {
     )
 }
 
+/// The rush-hour workload on a flaky board: posts drop 15% of the
+/// time, survive only 85% per edge and carry 3% multiplicative noise.
+/// The AIMD governor rides along, so every epoch still recovers.
+pub fn flaky_rush_hour(smoke: bool) -> NamedScenario {
+    let mut s = rush_hour(smoke);
+    s.name = "flaky-rush-hour";
+    s.description =
+        "rush-hour under a flaky board (drops, partial updates, noise) with the AIMD governor";
+    s.faults = Some(
+        FaultPlan::new(42)
+            .with_drop_probability(0.15)
+            .expect("valid drop probability")
+            .with_partial_updates(0.85)
+            .expect("valid refresh fraction")
+            .with_noise(0.03)
+            .expect("valid noise amplitude"),
+    );
+    s.guard = Some(GuardConfig::default());
+    s
+}
+
+/// The link-failure workload with the board going dark for the first
+/// quarter of each post-shock epoch: the population keeps routing on
+/// pre-shock information until the outage lifts.
+pub fn board_outage(smoke: bool) -> NamedScenario {
+    let mut s = link_failure(smoke);
+    let l = s.num_phases / 3; // link_failure has three equal epochs
+    s.name = "board-outage";
+    s.description = "link failure with the board dark for the first quarter of each shock epoch";
+    s.faults = Some(
+        FaultPlan::new(7)
+            .with_outage(l + 1, l + 1 + l / 4)
+            .expect("valid outage window")
+            .with_outage(2 * l + 1, 2 * l + 1 + l / 4)
+            .expect("valid outage window"),
+    );
+    s.guard = Some(GuardConfig::default());
+    s
+}
+
 /// Every registered scenario (the `--smoke` flag shortens epochs).
 pub fn all(smoke: bool) -> Vec<NamedScenario> {
     vec![
@@ -321,6 +403,8 @@ pub fn all(smoke: bool) -> Vec<NamedScenario> {
         link_failure(smoke),
         flash_crowd(smoke),
         rolling_degradation(smoke),
+        flaky_rush_hour(smoke),
+        board_outage(smoke),
     ]
 }
 
@@ -359,6 +443,26 @@ mod tests {
             );
             // The phase budget covers every event.
             assert!(s.scenario.last_event_phase().unwrap() < s.num_phases);
+        }
+    }
+
+    #[test]
+    fn smoke_fault_scenarios_recover_with_the_governor() {
+        for s in [flaky_rush_hour(true), board_outage(true)] {
+            let (traj, report, audit) = s.run_audited();
+            assert_eq!(traj.len(), s.num_phases);
+            assert!(
+                report.all_recovered,
+                "{}: epochs {:#?}",
+                s.name, report.epochs
+            );
+            let stats = audit.fault_stats.expect("fault plan attached");
+            assert!(
+                stats.dropped + stats.degraded > 0,
+                "{}: the fault plan never fired ({stats:?})",
+                s.name
+            );
+            assert!(audit.guard_log.is_some(), "{}: governor attached", s.name);
         }
     }
 

@@ -294,17 +294,21 @@ impl EdgeInstance {
     ///
     /// # Errors
     ///
-    /// See [`EdgeInstance::set_latency`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `factor` is negative or non-finite.
+    /// Returns [`NetError::InvalidLatency`] if `factor` is NaN,
+    /// negative or non-finite; otherwise see
+    /// [`EdgeInstance::set_latency`]. The instance is unchanged on
+    /// error.
     pub fn scale_latency(&mut self, e: EdgeId, factor: f64) -> Result<(), NetError> {
         if e.index() >= self.graph.edge_count() {
             return Err(NetError::Inconsistent(format!(
                 "edge {} out of range for {} edges",
                 e.index(),
                 self.graph.edge_count()
+            )));
+        }
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(NetError::InvalidLatency(format!(
+                "scale factor must be finite and non-negative, got {factor}"
             )));
         }
         let scaled = self.latencies[e.index()].scaled(factor);

@@ -30,6 +30,9 @@ pub enum NetError {
     Inconsistent(String),
     /// A flow vector is infeasible for the instance.
     InfeasibleFlow(String),
+    /// A fault-injection plan is malformed (NaN/negative probabilities,
+    /// non-finite noise amplitudes, inverted outage windows, …).
+    InvalidFault(String),
 }
 
 impl fmt::Display for NetError {
@@ -46,6 +49,7 @@ impl fmt::Display for NetError {
             ),
             NetError::Inconsistent(msg) => write!(f, "inconsistent instance: {msg}"),
             NetError::InfeasibleFlow(msg) => write!(f, "infeasible flow: {msg}"),
+            NetError::InvalidFault(msg) => write!(f, "invalid fault plan: {msg}"),
         }
     }
 }
@@ -71,6 +75,7 @@ mod tests {
             ),
             (NetError::Inconsistent("x".into()), "inconsistent"),
             (NetError::InfeasibleFlow("x".into()), "infeasible"),
+            (NetError::InvalidFault("x".into()), "fault"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -525,17 +525,21 @@ impl Instance {
     ///
     /// # Errors
     ///
-    /// See [`Instance::set_latency`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `factor` is negative or non-finite.
+    /// Returns [`NetError::InvalidLatency`] if `factor` is NaN,
+    /// negative or non-finite (a scaled latency must stay non-negative
+    /// and non-decreasing); otherwise see [`Instance::set_latency`].
+    /// The instance is unchanged on error.
     pub fn scale_latency(&mut self, e: EdgeId, factor: f64) -> Result<(), NetError> {
         if e.index() >= self.graph.edge_count() {
             return Err(NetError::Inconsistent(format!(
                 "edge {} out of range for {} edges",
                 e.index(),
                 self.graph.edge_count()
+            )));
+        }
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(NetError::InvalidLatency(format!(
+                "scale factor must be finite and non-negative, got {factor}"
             )));
         }
         let scaled = self.latencies[e.index()].scaled(factor);
@@ -849,6 +853,33 @@ mod tests {
         inst.scale_latency(e, 1.0 / 25.0).unwrap();
         assert!((inst.slope_bound() - before_beta).abs() < 1e-9 * before_beta.max(1.0));
         assert!((inst.latency_upper_bound() - before_lmax).abs() < 1e-9 * before_lmax.max(1.0));
+    }
+
+    #[test]
+    fn scale_latency_rejects_nan_negative_and_infinite_factors() {
+        let mut inst = crate::builders::pigou();
+        let before = inst.latency(EdgeId::from_index(0)).clone();
+        for bad in [f64::NAN, -0.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = inst.scale_latency(EdgeId::from_index(0), bad).unwrap_err();
+            assert!(matches!(err, NetError::InvalidLatency(_)), "factor {bad}");
+            // The instance is untouched on error — the poisoned factor
+            // never reaches the latency table or the cached bounds.
+            assert_eq!(inst.latency(EdgeId::from_index(0)), &before);
+        }
+        let err = inst.scale_latency(EdgeId::from_index(9), 2.0).unwrap_err();
+        assert!(matches!(err, NetError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn set_demand_rejects_nan_and_nonfinite() {
+        let mut inst = crate::builders::multi_commodity_grid(2, 2, 3);
+        let before: Vec<f64> = inst.commodities().iter().map(|c| c.demand).collect();
+        for bad in [f64::NAN, -0.2, 0.0, f64::INFINITY] {
+            let err = inst.set_demand(0, bad).unwrap_err();
+            assert!(matches!(err, NetError::InvalidCommodity(_)), "demand {bad}");
+            let after: Vec<f64> = inst.commodities().iter().map(|c| c.demand).collect();
+            assert_eq!(before, after);
+        }
     }
 
     #[test]

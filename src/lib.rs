@@ -66,6 +66,10 @@ pub mod prelude {
     pub use wardrop_analysis::poa::price_of_anarchy;
     pub use wardrop_analysis::rates::potential_decay_rate;
     pub use wardrop_analysis::regret::population_regret;
+    pub use wardrop_analysis::robustness::{
+        divergence_threshold, divergence_threshold_by, robustness_report, worst_excursion,
+        RobustnessReport, SafetyMargin,
+    };
     pub use wardrop_analysis::tracking::{tracking_report, TrackingReport};
     pub use wardrop_core::best_response::BestResponse;
     pub use wardrop_core::board::BulletinBoard;
@@ -74,6 +78,8 @@ pub mod prelude {
         run, run_scenario, Dynamics, Parallelism, PhaseSchedule, Simulation, SimulationConfig,
     };
     pub use wardrop_core::ensemble::{map_runs, run_many, RunSpec};
+    pub use wardrop_core::fault::{FaultPlan, FaultStats};
+    pub use wardrop_core::guard::{GuardConfig, GuardLog, SmoothnessGuard};
     pub use wardrop_core::integrator::Integrator;
     pub use wardrop_core::kernel::SeparableKernel;
     pub use wardrop_core::migration::{

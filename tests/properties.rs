@@ -492,6 +492,72 @@ proptest! {
         }
     }
 
+    /// A fault plan with no fault configured is bit-for-bit
+    /// transparent: attaching it changes nothing — same phase records,
+    /// recorded flows and final flow — on both the enumerated and the
+    /// implicit-path backend, at 1, 2 and 4 worker lanes. This pins
+    /// the clean-post fast path: fault-free phases must take the exact
+    /// `post_from_eval` route the un-faulted engine takes.
+    #[test]
+    fn zero_fault_plan_is_bit_identical(
+        (inst, f0) in arb_layered_instance().prop_flat_map(|inst| {
+            let f = arb_flow(&inst);
+            (Just(inst), f)
+        }),
+        t in 0.05f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let plan = FaultPlan::new(seed);
+        prop_assert!(plan.is_trivial());
+        let policy = uniform_linear(&inst);
+        let base = SimulationConfig::new(t, 12).with_flows().with_deltas(vec![0.05]);
+        for lanes in [1usize, 2, 4] {
+            let config = base.clone().with_parallelism(Parallelism::Threads(lanes));
+            let plain = run(&inst, &policy, &f0, &config);
+            let faulted = run(&inst, &policy, &f0, &config.clone().with_faults(plan.clone()));
+            prop_assert!(plain.phases == faulted.phases, "records diverged at {} lanes", lanes);
+            prop_assert!(plain.flows == faulted.flows, "flows diverged at {} lanes", lanes);
+            prop_assert!(
+                plain.final_flow == faulted.final_flow,
+                "final flow diverged at {} lanes", lanes
+            );
+            for (a, b) in plain.phases.iter().zip(&faulted.phases) {
+                prop_assert!(
+                    a.potential_start.to_bits() == b.potential_start.to_bits()
+                        && a.potential_end.to_bits() == b.potential_end.to_bits(),
+                    "potential bits diverged at {} lanes", lanes
+                );
+            }
+        }
+        // The implicit-path backend, fully seeded so nothing is left to
+        // discover.
+        let edge = EdgeInstance::from_instance(&inst).expect("layered networks are DAGs");
+        let seeding = PathSeeding::Explicit(
+            (0..inst.num_commodities())
+                .map(|i| inst.paths()[inst.commodity_paths(i)].to_vec())
+                .collect(),
+        );
+        for lanes in [1usize, 2, 4] {
+            let config = base.clone().with_parallelism(Parallelism::Threads(lanes));
+            let plain = run_edge(&edge, &policy, &config, &seeding).expect("edge run");
+            let faulted = run_edge(
+                &edge,
+                &policy,
+                &config.clone().with_faults(plan.clone()),
+                &seeding,
+            )
+            .expect("faulted edge run");
+            prop_assert!(
+                plain.phases == faulted.phases,
+                "edge records diverged at {} lanes", lanes
+            );
+            prop_assert!(
+                plain.flows == faulted.flows && plain.final_flow == faulted.final_flow,
+                "edge flows diverged at {} lanes", lanes
+            );
+        }
+    }
+
     /// Agent populations round-trip through flows within 1/N.
     #[test]
     fn population_round_trip(
