@@ -198,6 +198,66 @@ fn bench_path_enumeration(c: &mut Criterion) {
     group.finish();
 }
 
+/// The incremental-evaluation kernels: the O(P) change scan, the
+/// sparse `evaluate_delta` call against a handful of moved paths, and
+/// the steady-state engine step with delta evaluation on vs off.
+fn bench_delta_kernels(c: &mut Criterion) {
+    use wardrop_core::policy::PhaseRates;
+    use wardrop_net::{ChangeSet, DeltaEval};
+
+    let mut group = c.benchmark_group("delta_kernels");
+    group.sample_size(10);
+    let inst = builders::grid_network(8, 8, 7);
+    let f0 = FlowVec::uniform(&inst);
+
+    // The O(P) change scan over a near-converged pair: 8 pairs of
+    // paths trade 1e-6 of mass (total demand preserved, 16 changed).
+    let rates = PhaseRates::for_instance(&inst);
+    let before = f0.values().to_vec();
+    let mut after = before.clone();
+    for i in 0..8 {
+        after[100 + 2 * i] += 1e-6;
+        after[101 + 2 * i] -= 1e-6;
+    }
+    let mut changes = ChangeSet::for_instance(&inst);
+    group.bench_function("changed_paths_scan_grid_8x8", |b| {
+        b.iter(|| {
+            rates.changed_paths_into(black_box(&before), black_box(&after), 1e-15, &mut changes)
+        });
+    });
+
+    // Sparse evaluate_delta with those 8 paths listed vs the full
+    // fused evaluation of the same flow.
+    let moved = FlowVec::from_values(&inst, after.clone()).expect("feasible-enough for eval");
+    let mut ws = EvalWorkspace::new(&inst);
+    let mut scratch = DeltaEval::new(&inst).with_resync_interval(usize::MAX);
+    ws.evaluate_delta(&inst, &f0, &changes, &mut scratch); // prime
+    rates.changed_paths_into(&before, &after, 1e-15, &mut changes);
+    group.bench_function("sparse_delta_eval_grid_8x8", |b| {
+        b.iter(|| ws.evaluate_delta(black_box(&inst), black_box(&moved), &changes, &mut scratch));
+    });
+    group.bench_function("full_eval_grid_8x8", |b| {
+        b.iter(|| ws.evaluate(black_box(&inst), black_box(&moved)));
+    });
+
+    // Steady-state engine step, delta on vs off (same dynamics).
+    let policy = uniform_linear(&inst);
+    for (label, delta_on) in [("delta_step_grid_8x8", true), ("full_step_grid_8x8", false)] {
+        let mut config = engine::SimulationConfig::new(1.0, 1_000_000).with_deltas(vec![]);
+        if delta_on {
+            config = config.with_delta_eval();
+        }
+        let mut sim = engine::Simulation::new(&inst, &policy, &f0, &config);
+        for _ in 0..50 {
+            sim.step().expect("warm-up phase");
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| sim.step().expect("steady-state phase"));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_run,
@@ -207,4 +267,5 @@ criterion_group!(
     bench_phase_rates,
     bench_path_enumeration
 );
-criterion_main!(benches);
+criterion_group!(delta_kernels, bench_delta_kernels);
+criterion_main!(benches, delta_kernels);

@@ -7,6 +7,25 @@
 //! trajectory of the hot path is tracked in-repo from PR to PR and CI
 //! can surface regressions.
 //!
+//! Schema v7 additions (incremental delta evaluation):
+//!
+//! * a `delta_eval` section: per-phase evaluation cost (the engine's
+//!   own `eval_nanos` meter — change scan + evaluation, excluding rate
+//!   construction and integration) of a warm-started late-convergence
+//!   run with incremental delta evaluation on vs the full fused
+//!   re-evaluation, on `grid_10x10`. The flagship row drives the
+//!   relative-slack dynamics to its machine-quiet regime (an untimed
+//!   `setup_phases` run seeds both timed runs with the converged flow;
+//!   each timed run then discards its own first quarter and measures
+//!   the last 75%) and is
+//!   asserted ≥ 5× with `bit_identical_at_resync: true` and a
+//!   trajectory divergence ≤ 1e-9; a second `uniform_linear` row
+//!   records the honest mid-convergence cost (a slowdown — scan and
+//!   propagation are pure overhead while most edges still move every
+//!   phase). CI asserts the flagship row only.
+//! * the binary refuses to emit a section its schema registry does not
+//!   recognise (`SectionSchemaError`, checked before serialisation).
+//!
 //! Schema v6 additions (fault layer):
 //!
 //! * a `fault_overhead` section: ns/phase of the fused engine on
@@ -184,6 +203,43 @@ struct EnsembleScalingReport {
 }
 
 #[derive(Debug, Serialize)]
+struct DeltaEvalReport {
+    workload: String,
+    dynamics: String,
+    paths: usize,
+    edges: usize,
+    /// Untimed setup phases: a separate run of the same dynamics whose
+    /// final flow seeds both timed runs, placing them in the
+    /// late-convergence regime.
+    setup_phases: usize,
+    phases: usize,
+    /// Warm-start phases excluded from the measured window (first
+    /// quarter of the run).
+    warm_phases: usize,
+    /// Phases in the measured window (the last 75%).
+    measured_phases: usize,
+    /// ns/phase of the evaluation step (change scan + evaluation) with
+    /// full re-evaluation, measured window only.
+    ns_per_phase_eval_full: f64,
+    /// Same meter with incremental delta evaluation on.
+    ns_per_phase_eval_delta: f64,
+    eval_speedup: f64,
+    /// Re-syncs (drift-budget or interval forced) in the measured
+    /// window of the delta run.
+    resyncs: u64,
+    sparse_phases: u64,
+    committed_paths_per_phase: f64,
+    touched_edges_per_phase: f64,
+    /// max |Φ_delta − Φ_full| over every phase of the whole run.
+    max_potential_divergence: f64,
+    /// Whether the cached evaluation state was bitwise equal to a
+    /// from-scratch evaluation of the run's own flow at every re-sync.
+    bit_identical_at_resync: bool,
+    /// Whether the ≥ 5× acceptance gate applies to this row.
+    asserted: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     schema: String,
     mode: String,
@@ -210,6 +266,102 @@ struct BenchReport {
     /// zero-fault-plan runs on both backends (CI asserts < 1%
     /// ns/phase and bit-identity).
     fault_overhead: Vec<FaultOverheadReport>,
+    /// Incremental delta evaluation vs full re-evaluation in the
+    /// late-convergence regime (CI asserts the flagship `grid_10x10`
+    /// row: ≥ 5× and bit-identical at every re-sync).
+    delta_eval: Vec<DeltaEvalReport>,
+}
+
+impl BenchReport {
+    /// The sections this report instance will serialise, each tagged
+    /// with the schema version that introduced it. Fed through
+    /// [`validate_sections`] before any bytes are written.
+    fn sections(&self) -> Vec<(&'static str, u32)> {
+        vec![
+            ("workloads", 1),
+            ("frontier", 3),
+            ("policy_zoo", 3),
+            ("reconfig", 2),
+            ("implicit_path", 5),
+            ("thread_scaling", 4),
+            ("ensemble", 4),
+            ("fault_overhead", 6),
+            ("delta_eval", 7),
+        ]
+    }
+}
+
+/// The schema version this binary emits.
+const SCHEMA_VERSION: u32 = 7;
+
+/// Every section this binary knows how to emit, with the schema
+/// version each was introduced in. The emit guard refuses sections
+/// outside this registry — a section rename or a version bump without
+/// a matching registry (and downstream-consumer) update fails loudly
+/// here instead of silently shipping JSON nobody can parse.
+const KNOWN_SECTIONS: &[(&str, u32)] = &[
+    ("workloads", 1),
+    ("frontier", 3),
+    ("policy_zoo", 3),
+    ("reconfig", 2),
+    ("implicit_path", 5),
+    ("thread_scaling", 4),
+    ("ensemble", 4),
+    ("fault_overhead", 6),
+    ("delta_eval", 7),
+];
+
+/// A section the report serialiser refuses to emit.
+#[derive(Debug, PartialEq, Eq)]
+enum SectionSchemaError {
+    /// The section name is not in [`KNOWN_SECTIONS`] at all.
+    UnknownSection(String),
+    /// The section claims a schema version this binary does not
+    /// recognise (newer than [`SCHEMA_VERSION`], or disagreeing with
+    /// the registry's record of when the section was introduced).
+    UnrecognisedVersion {
+        section: String,
+        version: u32,
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for SectionSchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SectionSchemaError::UnknownSection(name) => {
+                write!(f, "refusing to emit unknown report section `{name}`")
+            }
+            SectionSchemaError::UnrecognisedVersion {
+                section,
+                version,
+                expected,
+            } => write!(
+                f,
+                "refusing to emit section `{section}` at schema version v{version} \
+                 (this binary knows it as v{expected}, schema ceiling v{SCHEMA_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SectionSchemaError {}
+
+/// Checks every `(section, version)` pair against the registry.
+fn validate_sections(sections: &[(&str, u32)]) -> Result<(), SectionSchemaError> {
+    for &(name, version) in sections {
+        let Some(&(_, expected)) = KNOWN_SECTIONS.iter().find(|(n, _)| *n == name) else {
+            return Err(SectionSchemaError::UnknownSection(name.to_string()));
+        };
+        if version != expected || version > SCHEMA_VERSION {
+            return Err(SectionSchemaError::UnrecognisedVersion {
+                section: name.to_string(),
+                version,
+                expected,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Thread sweep on one workload: time the fused engine at each lane
@@ -572,6 +724,128 @@ fn uniform(
     wardrop_core::policy::uniform_linear(&w.instance)
 }
 
+/// Times the evaluation step of a warm-started run twice — full
+/// re-evaluation vs incremental delta evaluation — through the
+/// engine's own `eval_nanos` meter, which wraps exactly the per-phase
+/// change scan + evaluation block (rate construction and integration
+/// are identical in both runs and excluded).
+///
+/// The delta run is stepped manually so that every re-sync phase can
+/// be checked bitwise against a from-scratch [`wardrop_net::eval::EvalWorkspace`]
+/// evaluation of the run's own current flow (the "exact at re-sync"
+/// half of the delta contract); the check runs between phases, outside
+/// the metered block.
+///
+/// `setup_phases` is the untimed warm start: a separate run of the
+/// same dynamics drives the flow into the late-convergence regime and
+/// its final flow seeds both timed runs — this is what "late in a
+/// run" means operationally. The timed runs then discard their own
+/// first quarter (priming, first re-syncs) and measure the last 75%.
+#[allow(clippy::too_many_arguments)]
+fn measure_delta_eval(
+    workload: &str,
+    instance: &wardrop_net::Instance,
+    dynamics: &dyn engine::Dynamics,
+    dynamics_name: &str,
+    t: f64,
+    setup_phases: usize,
+    phases: usize,
+    asserted: bool,
+) -> DeltaEvalReport {
+    use wardrop_net::eval::EvalWorkspace;
+
+    let f0 = if setup_phases > 0 {
+        let setup_cfg = engine::SimulationConfig::new(t, setup_phases);
+        let mut setup =
+            engine::Simulation::new(instance, dynamics, &FlowVec::uniform(instance), &setup_cfg);
+        while setup.step().is_some() {}
+        setup.flow().clone()
+    } else {
+        FlowVec::uniform(instance)
+    };
+    let warm = phases / 4;
+    let measured = phases - warm;
+
+    let full_cfg = engine::SimulationConfig::new(t, phases);
+    let mut full = engine::Simulation::new(instance, dynamics, &f0, &full_cfg);
+    let mut full_potentials = Vec::with_capacity(phases);
+    for _ in 0..warm {
+        full_potentials.push(full.step().expect("warm-up phase").potential_end);
+    }
+    let full_warm_ns = full.eval_nanos();
+    while let Some(rec) = full.step() {
+        full_potentials.push(rec.potential_end);
+    }
+    let full_ns = full.eval_nanos() - full_warm_ns;
+
+    let delta_cfg = full_cfg.clone().with_delta_eval();
+    let mut delta = engine::Simulation::new(instance, dynamics, &f0, &delta_cfg);
+    let mut reference = EvalWorkspace::new(instance);
+    let mut bit_identical_at_resync = true;
+    let mut max_divergence = 0.0f64;
+    let mut delta_warm_ns = 0;
+    let mut warm_stats = wardrop_net::DeltaStats::default();
+    let mut k = 0usize;
+    while let Some(rec) = delta.step() {
+        max_divergence = max_divergence.max((rec.potential_end - full_potentials[k]).abs());
+        if delta.last_eval_resynced() == Some(true) {
+            reference.evaluate(instance, delta.flow());
+            bit_identical_at_resync &= delta.eval().potential().to_bits()
+                == reference.potential().to_bits()
+                && delta.eval().edge_flows() == reference.edge_flows()
+                && delta.eval().edge_latencies() == reference.edge_latencies()
+                && delta.eval().path_latencies() == reference.path_latencies();
+        }
+        k += 1;
+        if k == warm {
+            delta_warm_ns = delta.eval_nanos();
+            warm_stats = delta.delta_stats().expect("delta mode attached");
+        }
+    }
+    assert_eq!(k, phases, "{workload}: delta run must complete all phases");
+    let delta_ns = delta.eval_nanos() - delta_warm_ns;
+    let stats = delta.delta_stats().expect("delta mode attached");
+    let resyncs = stats.resyncs - warm_stats.resyncs;
+    let sparse_phases = stats.sparse_phases - warm_stats.sparse_phases;
+    let committed = stats.committed_paths - warm_stats.committed_paths;
+    let touched = stats.touched_edges - warm_stats.touched_edges;
+
+    let ns_per_phase_eval_full = full_ns as f64 / measured as f64;
+    let ns_per_phase_eval_delta = delta_ns as f64 / measured as f64;
+    let row = DeltaEvalReport {
+        workload: workload.to_string(),
+        dynamics: dynamics_name.to_string(),
+        paths: instance.num_paths(),
+        edges: instance.num_edges(),
+        setup_phases,
+        phases,
+        warm_phases: warm,
+        measured_phases: measured,
+        ns_per_phase_eval_full,
+        ns_per_phase_eval_delta,
+        eval_speedup: ns_per_phase_eval_full / ns_per_phase_eval_delta,
+        resyncs,
+        sparse_phases,
+        committed_paths_per_phase: committed as f64 / measured as f64,
+        touched_edges_per_phase: touched as f64 / measured as f64,
+        max_potential_divergence: max_divergence,
+        bit_identical_at_resync,
+        asserted,
+    };
+    println!(
+        "{:<28} delta eval ({}) {:>10.0} ns/phase vs {:>10.0} full — {:.1}x, \
+         {} resyncs, max div {:.2e}",
+        workload,
+        dynamics_name,
+        row.ns_per_phase_eval_delta,
+        row.ns_per_phase_eval_full,
+        row.eval_speedup,
+        row.resyncs,
+        row.max_potential_divergence,
+    );
+    row
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -717,8 +991,62 @@ fn main() {
         );
     }
 
+    // Incremental delta evaluation in the late-convergence regime.
+    // The flagship row drives the relative-slack dynamics (the fast
+    // follow-up-work policy — geometric contraction) at a long phase
+    // length until the change scan lists essentially nothing, then
+    // measures the last 75% of the run; CI asserts its ≥ 5× gate. The
+    // second row is the honest mid-convergence picture under the
+    // paper's Theorem-6 policy, where most edges still move every
+    // phase and the delta path can do little — reported, not asserted.
+    let mut delta_eval = Vec::new();
+    let flagship = builders::grid_network(10, 10, 7);
+    delta_eval.push(measure_delta_eval(
+        "grid_10x10",
+        &flagship,
+        &wardrop_core::policy::fast_relative_slack(),
+        "proportional/relative-slack",
+        4.0,
+        3000,
+        if smoke { 600 } else { 1200 },
+        true,
+    ));
+    delta_eval.push(measure_delta_eval(
+        "grid_10x10_linear",
+        &flagship,
+        &wardrop_core::policy::uniform_linear(&flagship),
+        "uniform/linear",
+        1.0,
+        0,
+        if smoke { 240 } else { 480 },
+        false,
+    ));
+    for row in &delta_eval {
+        assert!(
+            row.bit_identical_at_resync,
+            "{} ({}): re-sync state diverged from a from-scratch evaluation",
+            row.workload, row.dynamics
+        );
+        assert!(
+            row.max_potential_divergence <= 1e-9,
+            "{} ({}): delta trajectory diverged by {:.2e} (> 1e-9)",
+            row.workload,
+            row.dynamics,
+            row.max_potential_divergence
+        );
+        if row.asserted {
+            assert!(
+                row.eval_speedup >= 5.0,
+                "{} ({}): late-convergence eval speedup {:.2}x below the 5x gate",
+                row.workload,
+                row.dynamics,
+                row.eval_speedup
+            );
+        }
+    }
+
     let report = BenchReport {
-        schema: "wardrop-bench/engine/v6".to_string(),
+        schema: format!("wardrop-bench/engine/v{SCHEMA_VERSION}"),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         workloads,
         frontier,
@@ -728,8 +1056,50 @@ fn main() {
         thread_scaling,
         ensemble,
         fault_overhead,
+        delta_eval,
     };
+    if let Err(err) = validate_sections(&report.sections()) {
+        panic!("report schema check failed: {err}");
+    }
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     std::fs::write(&out_path, json + "\n").expect("write report");
     println!("wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_sections_pass_the_guard() {
+        let listing: Vec<(&str, u32)> = KNOWN_SECTIONS.to_vec();
+        assert_eq!(validate_sections(&listing), Ok(()));
+    }
+
+    #[test]
+    fn unknown_section_is_refused_with_a_typed_error() {
+        let err = validate_sections(&[("made_up_section", 7)]).unwrap_err();
+        assert_eq!(
+            err,
+            SectionSchemaError::UnknownSection("made_up_section".to_string())
+        );
+        assert!(err.to_string().contains("made_up_section"));
+    }
+
+    #[test]
+    fn unrecognised_version_is_refused_with_a_typed_error() {
+        // A future version of a known section must be refused too —
+        // this binary cannot know how to serialise it.
+        let err = validate_sections(&[("delta_eval", 99)]).unwrap_err();
+        assert_eq!(
+            err,
+            SectionSchemaError::UnrecognisedVersion {
+                section: "delta_eval".to_string(),
+                version: 99,
+                expected: 7,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("delta_eval") && msg.contains("v99"));
+    }
 }

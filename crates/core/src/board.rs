@@ -11,6 +11,29 @@ use wardrop_net::eval::EvalWorkspace;
 use wardrop_net::flow::{path_latencies_from_edge_into, FlowVec};
 use wardrop_net::instance::Instance;
 
+/// Precision of the posted bulletin-board snapshot.
+///
+/// The board is *stale information by construction* — agents already
+/// act on values up to a phase old — so rounding the posted copy to
+/// `f32` (roughly 7 decimal digits) is a second, much smaller
+/// staleness that models a bandwidth-limited board. Only the posted
+/// snapshot is quantised: the true flow, the ODE integration and the
+/// phase-boundary evaluation all stay in `f64`.
+///
+/// `F32` trades bit-exactness of the trajectory for a halved board
+/// footprint; quantised runs are deterministic but *not* comparable
+/// bitwise with `F64` runs. The default `F64` leaves the post path
+/// byte-identical to builds that predate this knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BoardPrecision {
+    /// Full-precision posts (the default; bit-identical legacy path).
+    #[default]
+    F64,
+    /// Posts are rounded through `f32` (board buffers stay `f64`-typed
+    /// so every reader is unchanged).
+    F32,
+}
+
 /// A snapshot of all routing-relevant information at a phase start.
 ///
 /// # Examples
@@ -118,6 +141,25 @@ impl BulletinBoard {
             &mut self.path_latencies,
             &mut self.path_flows,
         )
+    }
+
+    /// Rounds every posted buffer through the requested precision
+    /// (no-op for [`BoardPrecision::F64`]). Called once per post when
+    /// the engine opts in — the buffers stay `f64`-typed, only their
+    /// values are quantised.
+    pub fn quantize(&mut self, precision: BoardPrecision) {
+        if precision == BoardPrecision::F64 {
+            return;
+        }
+        for v in self
+            .edge_flows
+            .iter_mut()
+            .chain(self.edge_latencies.iter_mut())
+            .chain(self.path_latencies.iter_mut())
+            .chain(self.path_flows.iter_mut())
+        {
+            *v = *v as f32 as f64;
+        }
     }
 
     /// The posting time `t̂` (phase start).
@@ -245,5 +287,28 @@ mod tests {
         let f = FlowVec::from_values(&inst, vec![0.5, 0.5]).unwrap();
         let board = BulletinBoard::post(&inst, &f, 0.0);
         assert_eq!(board.best_reply(&inst, 0), 0);
+    }
+
+    #[test]
+    fn f64_quantize_is_a_no_op_and_f32_rounds() {
+        let inst = builders::braess();
+        let f = FlowVec::from_values(&inst, vec![0.3, 0.6, 0.1]).unwrap();
+        let reference = BulletinBoard::post(&inst, &f, 0.0);
+        let mut board = reference.clone();
+        board.quantize(BoardPrecision::F64);
+        assert_eq!(board, reference);
+        board.quantize(BoardPrecision::F32);
+        for (q, r) in board
+            .path_latencies()
+            .iter()
+            .zip(reference.path_latencies())
+        {
+            assert_eq!(*q, *q as f32 as f64, "quantised value must be f32-exact");
+            assert!((q - r).abs() <= r.abs() * 1e-6);
+        }
+        // Idempotent: a second quantisation changes nothing.
+        let once = board.clone();
+        board.quantize(BoardPrecision::F32);
+        assert_eq!(board, once);
     }
 }

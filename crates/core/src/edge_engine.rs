@@ -259,6 +259,7 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
         let pool = config.parallelism.build_pool();
         let flow = FlowVec::uniform(&restricted);
         let mut workspace = EngineWorkspace::with_pool(&restricted, pool.clone());
+        workspace.configure_delta(&restricted, config);
         workspace
             .eval
             .evaluate_with(&restricted, &flow, pool.as_deref());
@@ -449,6 +450,10 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
         }
         self.flow = FlowVec::from_values_unchecked(values);
         self.workspace = EngineWorkspace::with_pool(&restricted, self.pool.clone());
+        // The fresh delta scratch starts un-primed, so discovery
+        // forces a full re-sync at the next phase boundary — strictly
+        // stronger than marking the admitted columns changed.
+        self.workspace.configure_delta(&restricted, &self.config);
         self.board = BulletinBoard::for_instance(&restricted);
         self.restricted = restricted;
         if let Some(fault) = &mut self.fault {
@@ -494,6 +499,9 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
         self.workspace
             .eval
             .evaluate_with(&self.restricted, &self.flow, self.pool.as_deref());
+        // The event mutated state under the delta shadow — re-sync at
+        // the next phase boundary.
+        self.workspace.invalidate_delta();
         // Events move the potential legitimately; don't let the
         // governor read the jump as a Lemma-4 violation.
         if let Some(guard) = &mut self.guard {
@@ -552,21 +560,37 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
 
         // Snapshot the true phase-start edges for the virtual gain —
         // the board cannot serve as the snapshot once the fault layer
-        // may degrade (or skip) the post.
+        // may degrade (or skip) the post. Delta mode snapshots the
+        // phase-start path flows and watches the fault counters, same
+        // as the enumerated engine.
         self.workspace.snapshot_start_edges();
-        match &mut self.fault {
-            Some(state) => state.post(
-                &mut self.board,
-                &self.restricted,
-                &self.workspace.eval,
-                &self.flow,
-                self.index,
-                self.start_time,
-            ),
-            None => self
-                .board
-                .post_from_eval(&self.workspace.eval, &self.flow, self.start_time),
+        if let Some(delta) = &mut self.workspace.delta {
+            delta.start_flow.copy_from_slice(self.flow.values());
         }
+        let post_clean = match &mut self.fault {
+            Some(state) => {
+                let before = {
+                    let s = state.stats();
+                    (s.dropped, s.degraded)
+                };
+                state.post(
+                    &mut self.board,
+                    &self.restricted,
+                    &self.workspace.eval,
+                    &self.flow,
+                    self.index,
+                    self.start_time,
+                );
+                let s = state.stats();
+                (s.dropped, s.degraded) == before
+            }
+            None => {
+                self.board
+                    .post_from_eval(&self.workspace.eval, &self.flow, self.start_time);
+                true
+            }
+        };
+        self.board.quantize(self.config.board_precision);
         debug_assert_eq!(self.board.edge_flows().len(), self.edge.num_edges());
 
         let tau = self
@@ -589,9 +613,48 @@ impl<'a, D: Dynamics + ?Sized> EdgeSimulation<'a, D> {
         );
         self.flow.renormalise(&self.restricted);
 
-        self.workspace
-            .eval
-            .evaluate_with(&self.restricted, &self.flow, self.pool.as_deref());
+        {
+            let EngineWorkspace {
+                eval, rates, delta, ..
+            } = &mut self.workspace;
+            match delta {
+                Some(d) => {
+                    d.last_phase_delta = rates.changed_paths_into(
+                        &d.start_flow,
+                        self.flow.values(),
+                        crate::engine::PATH_CHANGE_THRESHOLD,
+                        &mut d.changes,
+                    );
+                    if !post_clean {
+                        d.changes.mark_all();
+                    }
+                    if d.sparse {
+                        let outcome = eval.evaluate_delta_with(
+                            &self.restricted,
+                            &self.flow,
+                            &d.changes,
+                            &mut d.scratch,
+                            self.pool.as_deref(),
+                        );
+                        d.last_resync = outcome == wardrop_net::DeltaOutcome::Resync;
+                    } else {
+                        eval.evaluate_with(&self.restricted, &self.flow, self.pool.as_deref());
+                    }
+                }
+                None => eval.evaluate_with(&self.restricted, &self.flow, self.pool.as_deref()),
+            }
+        }
+        if let Some(threshold) = self.config.stop_when_phase_delta_below {
+            let moved = self
+                .workspace
+                .delta
+                .as_ref()
+                .map(|d| d.last_phase_delta)
+                .unwrap_or(f64::INFINITY);
+            if moved < threshold {
+                self.stopped = true;
+            }
+        }
         let potential_end = self.workspace.eval.potential();
         let (start_flows, start_latencies) = self.workspace.start_edges();
         let virtual_gain = self

@@ -42,17 +42,18 @@
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use wardrop_net::error::NetError;
-use wardrop_net::eval::EvalWorkspace;
+use wardrop_net::eval::{ChangeSet, DeltaEval, DeltaOutcome, DeltaStats, EvalWorkspace};
 use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 use wardrop_net::rng::splitmix_unit;
 use wardrop_net::scenario::{EventAction, Scenario};
 use wardrop_pool::WorkerPool;
 
-use crate::board::BulletinBoard;
+use crate::board::{BoardPrecision, BulletinBoard};
 use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::guard::{GuardConfig, GuardLog, SmoothnessGuard};
 use crate::integrator::{Integrator, IntegratorScratch};
@@ -122,6 +123,36 @@ impl Parallelism {
     }
 }
 
+/// Per-phase path-flow movement below which a path is *not* listed in
+/// the change set — its (exact) movement is charged against the delta
+/// evaluator's drift budget instead. At `1e-15` a machine-converged
+/// phase lists essentially nothing while any real migration exceeds it
+/// by orders of magnitude; the tight threshold keeps the per-phase
+/// residual far below the drift budget, so budget re-syncs stay rare
+/// even mid-convergence (at `1e-13` the residual of a large grid
+/// tripped the budget every few phases).
+pub(crate) const PATH_CHANGE_THRESHOLD: f64 = 1e-15;
+
+/// State of the incremental (delta) evaluation mode: the change-set
+/// scratch, the [`DeltaEval`] drift machine, and the phase-start flow
+/// snapshot the change scan diffs against. Boxed in the workspace so
+/// the default full-evaluation loop pays one pointer of overhead.
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaState {
+    pub(crate) changes: ChangeSet,
+    pub(crate) scratch: DeltaEval,
+    /// Phase-start path flows (diff base for the change scan).
+    pub(crate) start_flow: Vec<f64>,
+    /// Whether the sparse evaluation path is active (`delta_eval`), as
+    /// opposed to movement tracking only (`stop_when_phase_delta_below`
+    /// without `delta_eval`).
+    pub(crate) sparse: bool,
+    /// `‖f_end − f_start‖₁` of the last executed phase.
+    pub(crate) last_phase_delta: f64,
+    /// Whether the last phase-end evaluation was a full re-sync.
+    pub(crate) last_resync: bool,
+}
+
 /// All reusable state of the phase loop: the fused evaluation buffers,
 /// the per-phase rate structure, integration scratch, and the
 /// phase-start edge snapshot used for the virtual gain.
@@ -148,6 +179,9 @@ pub struct EngineWorkspace {
     /// The worker pool of the parallel mode (`None`: serial loop).
     /// Shared so cloned workspaces reuse the same parked workers.
     pool: Option<Arc<WorkerPool>>,
+    /// Delta-evaluation state (`None` unless the configuration opts
+    /// into `delta_eval` or `stop_when_phase_delta_below`).
+    pub(crate) delta: Option<Box<DeltaState>>,
 }
 
 impl EngineWorkspace {
@@ -166,6 +200,47 @@ impl EngineWorkspace {
             start_edge_flows: vec![0.0; instance.num_edges()],
             start_edge_latencies: vec![0.0; instance.num_edges()],
             pool,
+            delta: None,
+        }
+    }
+
+    /// (Re)configures the delta-evaluation state for `config`: drops it
+    /// when neither `delta_eval` nor `stop_when_phase_delta_below` is
+    /// set, reuses the existing buffers (cleared and un-primed) when
+    /// the shapes still match, and allocates fresh state otherwise.
+    pub(crate) fn configure_delta(&mut self, instance: &Instance, config: &SimulationConfig) {
+        if !config.delta_eval && config.stop_when_phase_delta_below.is_none() {
+            self.delta = None;
+            return;
+        }
+        match &mut self.delta {
+            Some(d) if d.start_flow.len() == instance.num_paths() => {
+                d.scratch.clear();
+                d.changes.clear();
+                d.changes.mark_all();
+                d.sparse = config.delta_eval;
+                d.last_phase_delta = f64::INFINITY;
+                d.last_resync = false;
+            }
+            _ => {
+                self.delta = Some(Box::new(DeltaState {
+                    changes: ChangeSet::for_instance(instance),
+                    scratch: DeltaEval::new(instance),
+                    start_flow: vec![0.0; instance.num_paths()],
+                    sparse: config.delta_eval,
+                    last_phase_delta: f64::INFINITY,
+                    last_resync: false,
+                }));
+            }
+        }
+    }
+
+    /// Un-primes the delta scratch (if any): the next phase-end
+    /// evaluation re-syncs fully. Called after scenario events mutate
+    /// the instance under the shadow state.
+    pub(crate) fn invalidate_delta(&mut self) {
+        if let Some(d) = &mut self.delta {
+            d.scratch.invalidate();
         }
     }
 
@@ -334,6 +409,22 @@ pub struct SimulationConfig {
     /// open-loop even if the potential climbs).
     #[serde(default)]
     pub guard: Option<GuardConfig>,
+    /// Incremental delta evaluation: phase-boundary evaluations apply
+    /// only the paths whose flow moved, with drift-bounded full
+    /// re-syncs (off by default — the full fused evaluation runs every
+    /// phase, bit-identical to builds that predate this knob).
+    #[serde(default)]
+    pub delta_eval: bool,
+    /// Error-bounded early-out, distinct from the regret stop: finish
+    /// once a phase's total flow movement `‖f_end − f_start‖₁` drops
+    /// below this value (`None`: never). The phase that crosses the
+    /// threshold still completes and is recorded.
+    #[serde(default)]
+    pub stop_when_phase_delta_below: Option<f64>,
+    /// Precision of the posted bulletin-board snapshot (full `f64` by
+    /// default; see [`BoardPrecision::F32`] for the quantised board).
+    #[serde(default)]
+    pub board_precision: BoardPrecision,
 }
 
 impl SimulationConfig {
@@ -352,7 +443,28 @@ impl SimulationConfig {
             parallelism: Parallelism::Serial,
             faults: None,
             guard: None,
+            delta_eval: false,
+            stop_when_phase_delta_below: None,
+            board_precision: BoardPrecision::F64,
         }
+    }
+
+    /// Enables incremental delta evaluation (builder style).
+    pub fn with_delta_eval(mut self) -> Self {
+        self.delta_eval = true;
+        self
+    }
+
+    /// Sets the phase-movement early-out threshold (builder style).
+    pub fn with_stop_phase_delta(mut self, movement: f64) -> Self {
+        self.stop_when_phase_delta_below = Some(movement);
+        self
+    }
+
+    /// Sets the posted-board precision (builder style).
+    pub fn with_board_precision(mut self, precision: BoardPrecision) -> Self {
+        self.board_precision = precision;
+        self
     }
 
     /// Attaches a bulletin-board fault plan (builder style). A trivial
@@ -437,6 +549,12 @@ impl SimulationConfig {
             self.update_period.is_finite() && self.update_period > 0.0,
             "update period must be positive"
         );
+        if let Some(movement) = self.stop_when_phase_delta_below {
+            assert!(
+                movement.is_finite() && movement >= 0.0,
+                "phase-delta stop threshold must be finite and non-negative"
+            );
+        }
         if let Some(guard) = &self.guard {
             guard.validate();
         }
@@ -485,6 +603,10 @@ pub struct Simulation<'a, D: Dynamics + ?Sized> {
     epoch: usize,
     start_time: f64,
     stopped: bool,
+    /// Wall-clock nanoseconds spent in phase-end evaluation (change
+    /// scan + evaluate), accumulated across steps — the bench's
+    /// like-for-like basis for the delta-vs-full comparison.
+    eval_nanos: u64,
 }
 
 impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
@@ -526,6 +648,7 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         );
         let flow = f0.clone();
         let mut workspace = EngineWorkspace::with_pool(instance, pool);
+        workspace.configure_delta(instance, config);
         let EngineWorkspace { eval, pool, .. } = &mut workspace;
         eval.evaluate_with(instance, &flow, pool.as_deref());
         let fault = config.faults.clone().map(|plan| {
@@ -545,6 +668,7 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
             epoch: 0,
             start_time: 0.0,
             stopped: false,
+            eval_nanos: 0,
         }
     }
 
@@ -603,6 +727,48 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
     #[inline]
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.fault.as_ref().map(FaultState::stats)
+    }
+
+    /// Wall-clock nanoseconds spent in phase-end evaluation (including
+    /// the change scan in delta mode), accumulated since construction
+    /// or the last [`Simulation::reset`].
+    #[inline]
+    pub fn eval_nanos(&self) -> u64 {
+        self.eval_nanos
+    }
+
+    /// The delta evaluator's lifetime counters, when `delta_eval` is
+    /// active.
+    #[inline]
+    pub fn delta_stats(&self) -> Option<DeltaStats> {
+        self.workspace
+            .delta
+            .as_ref()
+            .filter(|d| d.sparse)
+            .map(|d| d.scratch.stats())
+    }
+
+    /// Whether the last phase-end evaluation was a full re-sync
+    /// (`None` unless `delta_eval` is active).
+    #[inline]
+    pub fn last_eval_resynced(&self) -> Option<bool> {
+        self.workspace
+            .delta
+            .as_ref()
+            .filter(|d| d.sparse)
+            .map(|d| d.last_resync)
+    }
+
+    /// `‖f_end − f_start‖₁` of the last executed phase — the quantity
+    /// `stop_when_phase_delta_below` tests. `None` unless delta
+    /// tracking is active (either knob) and a phase has run.
+    #[inline]
+    pub fn last_phase_delta(&self) -> Option<f64> {
+        self.workspace
+            .delta
+            .as_ref()
+            .map(|d| d.last_phase_delta)
+            .filter(|m| m.is_finite())
     }
 
     /// Number of phases executed so far.
@@ -665,6 +831,9 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         }
         let EngineWorkspace { eval, pool, .. } = &mut self.workspace;
         eval.evaluate_with(&self.instance, &self.flow, pool.as_deref());
+        // The event mutated latencies/demands under the delta shadow
+        // state — force a full re-sync at the next phase boundary.
+        self.workspace.invalidate_delta();
         // The event legitimately moves the potential; the governor must
         // not read the jump as a Lemma-4 violation.
         if let Some(guard) = &mut self.guard {
@@ -697,6 +866,7 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         );
         self.config = config.clone();
         self.flow.values_mut().copy_from_slice(f0.values());
+        self.workspace.configure_delta(&self.instance, config);
         let EngineWorkspace { eval, pool, .. } = &mut self.workspace;
         eval.evaluate_with(&self.instance, &self.flow, pool.as_deref());
         self.fault = config.faults.clone().map(|plan| {
@@ -707,6 +877,7 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         self.epoch = 0;
         self.start_time = 0.0;
         self.stopped = false;
+        self.eval_nanos = 0;
     }
 
     /// Whether `instance` has the exact shape this simulation's buffers
@@ -803,21 +974,40 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         // Snapshot f̂_e and ℓ_e(f̂_e) for the end-of-phase virtual gain
         // — from the *true* evaluation, before any board fault — and
         // post the board by copying the cached arrays (through the
-        // fault layer when a plan is attached).
+        // fault layer when a plan is attached). Delta mode also
+        // snapshots the phase-start path flows as the change-scan diff
+        // base, and watches the fault counters: a dropped or degraded
+        // post widens the change set (stale boards steer the dynamics
+        // off the predicted sparse support, so the evaluator must not
+        // trust the scan alone).
         self.workspace.snapshot_start_edges();
-        match &mut self.fault {
-            Some(state) => state.post(
-                &mut self.board,
-                &self.instance,
-                &self.workspace.eval,
-                &self.flow,
-                self.index,
-                self.start_time,
-            ),
-            None => self
-                .board
-                .post_from_eval(&self.workspace.eval, &self.flow, self.start_time),
+        if let Some(delta) = &mut self.workspace.delta {
+            delta.start_flow.copy_from_slice(self.flow.values());
         }
+        let post_clean = match &mut self.fault {
+            Some(state) => {
+                let before = {
+                    let s = state.stats();
+                    (s.dropped, s.degraded)
+                };
+                state.post(
+                    &mut self.board,
+                    &self.instance,
+                    &self.workspace.eval,
+                    &self.flow,
+                    self.index,
+                    self.start_time,
+                );
+                let s = state.stats();
+                (s.dropped, s.degraded) == before
+            }
+            None => {
+                self.board
+                    .post_from_eval(&self.workspace.eval, &self.flow, self.start_time);
+                true
+            }
+        };
+        self.board.quantize(self.config.board_precision);
 
         let tau = self
             .config
@@ -843,9 +1033,58 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         self.flow.renormalise(&self.instance);
 
         // One evaluation per phase boundary: the phase end doubles as
-        // the next phase's start.
-        let EngineWorkspace { eval, pool, .. } = &mut self.workspace;
-        eval.evaluate_with(&self.instance, &self.flow, pool.as_deref());
+        // the next phase's start. In delta mode the rate blocks scan
+        // the start→end diff into the change set first, and the sparse
+        // evaluator applies only what moved (re-syncs run through the
+        // pooled full evaluation).
+        let eval_started = Instant::now();
+        {
+            let EngineWorkspace {
+                eval,
+                rates,
+                pool,
+                delta,
+                ..
+            } = &mut self.workspace;
+            match delta {
+                Some(d) => {
+                    d.last_phase_delta = rates.changed_paths_into(
+                        &d.start_flow,
+                        self.flow.values(),
+                        PATH_CHANGE_THRESHOLD,
+                        &mut d.changes,
+                    );
+                    if !post_clean {
+                        d.changes.mark_all();
+                    }
+                    if d.sparse {
+                        let outcome = eval.evaluate_delta_with(
+                            &self.instance,
+                            &self.flow,
+                            &d.changes,
+                            &mut d.scratch,
+                            pool.as_deref(),
+                        );
+                        d.last_resync = outcome == DeltaOutcome::Resync;
+                    } else {
+                        eval.evaluate_with(&self.instance, &self.flow, pool.as_deref());
+                    }
+                }
+                None => eval.evaluate_with(&self.instance, &self.flow, pool.as_deref()),
+            }
+        }
+        self.eval_nanos += eval_started.elapsed().as_nanos() as u64;
+        if let Some(threshold) = self.config.stop_when_phase_delta_below {
+            let moved = self
+                .workspace
+                .delta
+                .as_ref()
+                .map(|d| d.last_phase_delta)
+                .unwrap_or(f64::INFINITY);
+            if moved < threshold {
+                self.stopped = true;
+            }
+        }
         let potential_end = self.workspace.eval.potential();
         let virtual_gain = self.workspace.eval.virtual_gain_from(
             &self.workspace.start_edge_flows,

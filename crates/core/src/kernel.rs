@@ -73,6 +73,8 @@
 //! }
 //! ```
 
+use wardrop_net::ChangeSet;
+
 /// A migration rule in separable closed form.
 ///
 /// All variants are zero for `ℓ_Q ≥ ℓ_P` (agents only make selfish
@@ -305,17 +307,103 @@ pub(crate) fn block_totals(
     latencies: &[f64],
     f: &[f64],
 ) -> [f64; 2] {
+    // Strided 4-wide gather with single sequential accumulators: the
+    // addition order (and hence every rounding step) is exactly the
+    // naive loop's, but the indexed loads pipeline and the kernel
+    // branch is hoisted out of the loop body.
     let mut suf_f = 0.0;
     let mut suf_fx = 0.0;
-    for &p in order {
+    let x = |p: usize| match kernel {
+        SeparableKernel::RelativeSlack => f[p] * recip_or_zero(latencies[p]),
+        _ => f[p] * latencies[p],
+    };
+    let mut quads = order.chunks_exact(4);
+    for q in &mut quads {
+        let (p0, p1, p2, p3) = (q[0] as usize, q[1] as usize, q[2] as usize, q[3] as usize);
+        let (f0, f1, f2, f3) = (f[p0], f[p1], f[p2], f[p3]);
+        let (x0, x1, x2, x3) = (x(p0), x(p1), x(p2), x(p3));
+        suf_f += f0;
+        suf_f += f1;
+        suf_f += f2;
+        suf_f += f3;
+        suf_fx += x0;
+        suf_fx += x1;
+        suf_fx += x2;
+        suf_fx += x3;
+    }
+    for &p in quads.remainder() {
         let p = p as usize;
         suf_f += f[p];
-        suf_fx += match kernel {
-            SeparableKernel::RelativeSlack => f[p] * recip_or_zero(latencies[p]),
-            _ => f[p] * latencies[p],
-        };
+        suf_fx += x(p);
     }
     [suf_f, suf_fx]
+}
+
+/// Scans one commodity block of a `before → after` flow diff: paths
+/// whose movement exceeds `threshold` are [marked](ChangeSet::mark)
+/// (global index `base + local`), everything below it is accounted
+/// exactly into the [residual](ChangeSet::add_residual). Returns the
+/// block's total movement `Σ |Δf_P|`.
+///
+/// This is new delta-path code with no bit-compatibility contract, so
+/// the reduction uses four independent stride accumulators — the form
+/// LLVM turns into packed adds.
+pub(crate) fn changed_paths_in_block(
+    before: &[f64],
+    after: &[f64],
+    base: usize,
+    threshold: f64,
+    out: &mut ChangeSet,
+) -> f64 {
+    debug_assert_eq!(before.len(), after.len());
+    let n = before.len();
+    let mut residual = 0.0;
+    let (mut t0, mut t1, mut t2, mut t3) = (0.0, 0.0, 0.0, 0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let d0 = (after[i] - before[i]).abs();
+        let d1 = (after[i + 1] - before[i + 1]).abs();
+        let d2 = (after[i + 2] - before[i + 2]).abs();
+        let d3 = (after[i + 3] - before[i + 3]).abs();
+        t0 += d0;
+        t1 += d1;
+        t2 += d2;
+        t3 += d3;
+        if d0 > threshold {
+            out.mark(base + i);
+        } else {
+            residual += d0;
+        }
+        if d1 > threshold {
+            out.mark(base + i + 1);
+        } else {
+            residual += d1;
+        }
+        if d2 > threshold {
+            out.mark(base + i + 2);
+        } else {
+            residual += d2;
+        }
+        if d3 > threshold {
+            out.mark(base + i + 3);
+        } else {
+            residual += d3;
+        }
+        i += 4;
+    }
+    let mut total = (t0 + t1) + (t2 + t3);
+    while i < n {
+        let d = (after[i] - before[i]).abs();
+        total += d;
+        if d > threshold {
+            out.mark(base + i);
+        } else {
+            residual += d;
+        }
+        i += 1;
+    }
+    out.add_residual(residual);
+    total
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -76,7 +76,7 @@ pub mod theory;
 pub mod trajectory;
 
 pub use best_response::BestResponse;
-pub use board::BulletinBoard;
+pub use board::{BoardPrecision, BulletinBoard};
 pub use edge_engine::{run_edge, run_edge_scenario, EdgeSimulation, PathSeeding};
 pub use engine::{
     run, run_scenario, run_scenario_audited, Dynamics, EngineWorkspace, Parallelism, Simulation,

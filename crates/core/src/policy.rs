@@ -311,6 +311,49 @@ impl PhaseRates {
         self.num_paths
     }
 
+    /// Scans a `before → after` flow diff into `changes`, block by
+    /// block: every path whose `|Δf_P|` exceeds `threshold` is marked,
+    /// the summed movement of all unmarked paths is added to the
+    /// change set's exact [residual](wardrop_net::ChangeSet::residual)
+    /// bound, and the **total** movement `‖after − before‖₁` is
+    /// returned (the quantity the engine's
+    /// `stop_when_phase_delta_below` early-out tests).
+    ///
+    /// `changes` is cleared first; callers widen it *afterwards* when
+    /// the phase had out-of-band changes (faulted posts, discovery).
+    /// The scan is representation-independent — it only uses the block
+    /// boundaries, so it works for dense, matrix-free and zero blocks
+    /// alike (and therefore for policies that never fill rates at
+    /// all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not span exactly this structure's
+    /// paths.
+    pub fn changed_paths_into(
+        &self,
+        before: &[f64],
+        after: &[f64],
+        threshold: f64,
+        changes: &mut wardrop_net::ChangeSet,
+    ) -> f64 {
+        assert_eq!(before.len(), self.num_paths);
+        assert_eq!(after.len(), self.num_paths);
+        changes.clear();
+        let mut moved = 0.0;
+        for b in &self.blocks {
+            let (start, end) = (b.start, b.start + b.n);
+            moved += crate::kernel::changed_paths_in_block(
+                &before[start..end],
+                &after[start..end],
+                start,
+                threshold,
+                changes,
+            );
+        }
+        moved
+    }
+
     /// Total number of dense matrix elements currently allocated
     /// (`Σ nᵢ²` after a dense fill, 0 while every block is
     /// matrix-free). The regression tests pin the separable path to 0.

@@ -232,6 +232,11 @@ fn steady_state_phase_loop_is_allocation_free() {
         "best-response/oscillator",
     );
 
+    // Incremental delta evaluation: the change scan, sparse commits,
+    // touched-edge sweeps, latency propagation and the periodic full
+    // re-syncs all run inside the pre-allocated delta scratch.
+    delta_steady_state_is_allocation_free();
+
     // Non-stationary epochs: zero allocations between scenario events.
     epoch_steady_state_is_allocation_free();
 
@@ -251,6 +256,40 @@ fn steady_state_phase_loop_is_allocation_free() {
     // workload must cross the dispatch gates (grid_8x8: 3432 paths,
     // 48048 incidences) or the pool would sit unused.
     parallel_steady_state_is_allocation_free();
+}
+
+/// Delta evaluation steady state: the `ChangeSet` (capacity `P`), the
+/// `DeltaEval` shadow state (touched-edge stacks at capacity `E`) and
+/// the phase-start snapshot are all sized at `configure_delta` time,
+/// so sparse phases *and* drift- or interval-forced re-syncs (the full
+/// evaluation reuses the same fused buffers) allocate nothing. The
+/// measured window is long enough (100 phases at the default re-sync
+/// interval of 64) to be guaranteed to contain at least one re-sync.
+fn delta_steady_state_is_allocation_free() {
+    let grid = builders::grid_network(4, 4, 7);
+    let policy = uniform_linear(&grid);
+    let f0 = FlowVec::uniform(&grid);
+    let config = SimulationConfig::new(0.2, 400)
+        .with_deltas(vec![])
+        .with_delta_eval();
+    let mut sim = Simulation::new(&grid, &policy, &f0, &config);
+    for _ in 0..3 {
+        assert!(sim.step().is_some(), "delta warm-up ran out of phases");
+    }
+    let allocations = min_allocations_over_attempts(|| {
+        for _ in 0..100 {
+            assert!(sim.step().is_some(), "delta run out of phases");
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "delta evaluation: {allocations} allocations in 100 steady-state phases"
+    );
+    let stats = sim.delta_stats().expect("delta mode attached");
+    assert!(
+        stats.sparse_phases > 0 && stats.resyncs > 0,
+        "the window must exercise both sparse phases and re-syncs, got {stats:?}"
+    );
 }
 
 /// The fault layer degrades posts inside pre-allocated buffers

@@ -19,6 +19,7 @@ use crate::equilibrium::{
     max_regret_from, unsatisfied_volume_from, weakly_unsatisfied_volume_from,
 };
 use crate::flow::FlowVec;
+use crate::graph::EdgeId;
 use crate::instance::Instance;
 use crate::path::PathId;
 use wardrop_pool::WorkerPool;
@@ -27,6 +28,289 @@ use wardrop_pool::WorkerPool;
 /// the pool: dispatch overhead (a couple of condvar round-trips) beats
 /// the win on small instances.
 const PARALLEL_EVAL_MIN_INCIDENCES: usize = 1 << 14;
+
+/// A per-phase record of which paths are known to have moved, plus an
+/// exact upper bound on the total flow mass of every path it leaves
+/// out.
+///
+/// Producers (the engine's change scan, column discovery, the fault
+/// layer) [`mark`](ChangeSet::mark) the paths whose flow moved beyond
+/// the scan threshold and [`add_residual`](ChangeSet::add_residual) the
+/// summed `|Δf_P|` of the paths below it; consumers
+/// ([`EvalWorkspace::evaluate_delta`]) apply exactly the marked paths
+/// and charge the residual against the drift budget, so sparse
+/// evaluation stays error-bounded no matter how conservative the
+/// producer was. [`mark_all`](ChangeSet::mark_all) widens the set to
+/// "everything may have changed" — the consumer then falls back to a
+/// full re-evaluation.
+#[derive(Debug, Clone)]
+pub struct ChangeSet {
+    paths: Vec<u32>,
+    residual: f64,
+    widen_all: bool,
+}
+
+impl ChangeSet {
+    /// An empty change set with capacity for every path of `instance`
+    /// (marking never reallocates). Starts **widened**: a consumer that
+    /// sees it before the first [`clear`](ChangeSet::clear) must assume
+    /// everything changed.
+    pub fn for_instance(instance: &Instance) -> Self {
+        ChangeSet {
+            paths: Vec::with_capacity(instance.num_paths()),
+            residual: 0.0,
+            widen_all: true,
+        }
+    }
+
+    /// Empties the set for the next phase (allocation-free).
+    pub fn clear(&mut self) {
+        self.paths.clear();
+        self.residual = 0.0;
+        self.widen_all = false;
+    }
+
+    /// Marks path `index` as changed.
+    #[inline]
+    pub fn mark(&mut self, index: usize) {
+        self.paths.push(index as u32);
+    }
+
+    /// Widens the set to "every path may have changed" — used by the
+    /// fault layer after a degraded or dropped post and by scenario
+    /// events, forcing the next delta evaluation to re-sync fully.
+    #[inline]
+    pub fn mark_all(&mut self) {
+        self.widen_all = true;
+    }
+
+    /// Adds unmarked movement mass (`Σ |Δf_P|` of the paths the
+    /// producer chose not to mark) to the residual bound.
+    #[inline]
+    pub fn add_residual(&mut self, mass: f64) {
+        self.residual += mass;
+    }
+
+    /// The marked path indices, in ascending order when produced by the
+    /// engine's block scan.
+    #[inline]
+    pub fn paths(&self) -> &[u32] {
+        &self.paths
+    }
+
+    /// Upper bound on the summed `|Δf_P|` of every unmarked path.
+    #[inline]
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Whether the set was widened to all paths.
+    #[inline]
+    pub fn is_widened(&self) -> bool {
+        self.widen_all
+    }
+
+    /// Number of marked paths.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether no path is marked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Counters describing how a [`DeltaEval`] has been spending its
+/// phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Phases evaluated through the sparse path.
+    pub sparse_phases: u64,
+    /// Full re-synchronisations (including the priming evaluation).
+    pub resyncs: u64,
+    /// Path increments committed across all sparse phases.
+    pub committed_paths: u64,
+    /// Edge updates performed across all sparse phases.
+    pub touched_edges: u64,
+}
+
+/// What [`EvalWorkspace::evaluate_delta`] did for one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// The drift budget (or the re-sync interval, or a widened change
+    /// set) forced a full [`EvalWorkspace::evaluate`]: every cached
+    /// quantity is bit-identical to a from-scratch evaluation.
+    Resync,
+    /// The sparse path ran: only the listed increments were applied.
+    Sparse {
+        /// Paths whose pending increment was committed to the edges.
+        committed: usize,
+        /// Distinct edges whose flow/latency was updated.
+        touched_edges: usize,
+    },
+}
+
+/// Scratch state of the incremental (delta) evaluation path: the
+/// shadow flow the edge arrays currently reflect, per-edge committed
+/// latencies, touched-edge marks, and the drift accumulators of the
+/// re-sync state machine.
+///
+/// The state machine keeps the sparse results within the configured
+/// budgets of a full evaluation:
+///
+/// * `flow_drift` accumulates the [`ChangeSet::residual`] of every
+///   sparse phase — an upper bound (triangle inequality) on the flow
+///   mass the edge arrays are missing;
+/// * `pending_latency` tracks `Σ_e |ℓ_e(f_e) − committed ℓ_e|` — the
+///   exact bound on how stale the cached path latencies are;
+/// * a hard re-sync interval bounds the floating-point drift of the
+///   incremental `+=` updates themselves.
+///
+/// Whenever any bound is exceeded the workspace falls back to the
+/// unchanged full [`EvalWorkspace::evaluate`], which restores exact
+/// (bit-identical) agreement with a from-scratch evaluation and resets
+/// all accumulators.
+#[derive(Debug, Clone)]
+pub struct DeltaEval {
+    /// Flow values the edge arrays currently reflect.
+    applied_flow: Vec<f64>,
+    /// Per-edge latency value currently reflected in `path_latencies`.
+    committed_latencies: Vec<f64>,
+    /// Edges touched by the current sparse call.
+    touched: Vec<u32>,
+    /// `f_e` before the current call's increments (parallel to
+    /// `touched`).
+    touched_old_flow: Vec<f64>,
+    /// Per-edge visit stamp (dedup within one call).
+    edge_mark: Vec<u32>,
+    mark_epoch: u32,
+    /// Per-commodity `Σ Δf_P · ℓ_P` of the current call's commits —
+    /// folds into the cached averages on flow-only phases.
+    acc_delta: Vec<f64>,
+    flow_budget: f64,
+    latency_budget: f64,
+    latency_commit_threshold: f64,
+    resync_interval: usize,
+    flow_drift: f64,
+    pending_latency: f64,
+    phases_since_resync: usize,
+    primed: bool,
+    stats: DeltaStats,
+}
+
+impl DeltaEval {
+    /// Default budget on the accumulated un-applied flow mass before a
+    /// forced re-sync.
+    pub const DEFAULT_FLOW_BUDGET: f64 = 1e-11;
+    /// Default budget on the accumulated un-propagated edge-latency
+    /// drift before a forced re-sync.
+    pub const DEFAULT_LATENCY_BUDGET: f64 = 1e-11;
+    /// Default per-edge latency change below which the (potentially
+    /// huge) edge→path propagation is deferred and the change is
+    /// tracked as pending drift instead.
+    pub const DEFAULT_LATENCY_COMMIT_THRESHOLD: f64 = 1e-13;
+    /// Default hard cap on consecutive sparse phases, bounding the
+    /// floating-point drift of the incremental updates themselves.
+    pub const DEFAULT_RESYNC_INTERVAL: usize = 64;
+
+    /// Scratch sized for `instance`, with the default budgets. The
+    /// state starts un-primed: the first
+    /// [`EvalWorkspace::evaluate_delta`] always re-syncs.
+    pub fn new(instance: &Instance) -> Self {
+        DeltaEval {
+            applied_flow: vec![0.0; instance.num_paths()],
+            committed_latencies: vec![0.0; instance.num_edges()],
+            touched: Vec::with_capacity(instance.num_edges()),
+            touched_old_flow: Vec::with_capacity(instance.num_edges()),
+            edge_mark: vec![0; instance.num_edges()],
+            mark_epoch: 0,
+            acc_delta: vec![0.0; instance.commodities().len()],
+            flow_budget: Self::DEFAULT_FLOW_BUDGET,
+            latency_budget: Self::DEFAULT_LATENCY_BUDGET,
+            latency_commit_threshold: Self::DEFAULT_LATENCY_COMMIT_THRESHOLD,
+            resync_interval: Self::DEFAULT_RESYNC_INTERVAL,
+            flow_drift: 0.0,
+            pending_latency: 0.0,
+            phases_since_resync: 0,
+            primed: false,
+            stats: DeltaStats::default(),
+        }
+    }
+
+    /// Overrides the drift budgets (builder style).
+    pub fn with_budgets(mut self, flow_budget: f64, latency_budget: f64) -> Self {
+        assert!(flow_budget > 0.0 && latency_budget > 0.0);
+        self.flow_budget = flow_budget;
+        self.latency_budget = latency_budget;
+        self
+    }
+
+    /// Overrides the hard re-sync interval (builder style).
+    pub fn with_resync_interval(mut self, interval: usize) -> Self {
+        assert!(interval > 0);
+        self.resync_interval = interval;
+        self
+    }
+
+    /// Un-primes the state and zeroes all counters — the next
+    /// [`EvalWorkspace::evaluate_delta`] re-syncs from scratch. Called
+    /// on simulation reset/rebind so a reused workspace is
+    /// indistinguishable from a fresh one.
+    pub fn clear(&mut self) {
+        self.invalidate();
+        self.stats = DeltaStats::default();
+    }
+
+    /// Un-primes the state (forcing a re-sync on the next delta
+    /// evaluation) while keeping the lifetime counters — used after
+    /// scenario events and column discovery, where the instance or
+    /// shape changed under the shadow state.
+    pub fn invalidate(&mut self) {
+        self.primed = false;
+        self.flow_drift = 0.0;
+        self.pending_latency = 0.0;
+        self.phases_since_resync = 0;
+        self.acc_delta.fill(0.0);
+    }
+
+    /// Whether the shadow state currently reflects a real evaluation.
+    #[inline]
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+
+    /// Accumulated un-applied flow mass since the last re-sync.
+    #[inline]
+    pub fn flow_drift(&self) -> f64 {
+        self.flow_drift
+    }
+
+    /// Accumulated un-propagated edge-latency drift since the last
+    /// re-sync.
+    #[inline]
+    pub fn pending_latency(&self) -> f64 {
+        self.pending_latency
+    }
+
+    /// The lifetime counters.
+    #[inline]
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Stamp for the current call's touched-edge dedup.
+    fn next_epoch(&mut self) -> u32 {
+        if self.mark_epoch == u32::MAX {
+            self.edge_mark.fill(0);
+            self.mark_epoch = 0;
+        }
+        self.mark_epoch += 1;
+        self.mark_epoch
+    }
+}
 
 /// Reusable buffers holding every derived quantity of one flow.
 ///
@@ -112,13 +396,23 @@ impl EvalWorkspace {
         assert_eq!(self.edge_flows.len(), instance.num_edges());
 
         // Scatter: f_e = Σ_{P ∋ e} f_P (same visit order as the naive
-        // FlowVec::edge_flows, so results are bit-identical).
+        // FlowVec::edge_flows, so results are bit-identical). The
+        // 4-wide stride keeps the per-edge update order while giving
+        // the compiler independent address streams to overlap.
         self.edge_flows.fill(0.0);
         for (idx, &fp) in values.iter().enumerate() {
             if fp == 0.0 {
                 continue;
             }
-            for e in instance.path_edges(PathId::from_index(idx)) {
+            let edges = instance.path_edges(PathId::from_index(idx));
+            let mut quads = edges.chunks_exact(4);
+            for q in &mut quads {
+                self.edge_flows[q[0].index()] += fp;
+                self.edge_flows[q[1].index()] += fp;
+                self.edge_flows[q[2].index()] += fp;
+                self.edge_flows[q[3].index()] += fp;
+            }
+            for e in quads.remainder() {
                 self.edge_flows[e.index()] += fp;
             }
         }
@@ -154,16 +448,30 @@ impl EvalWorkspace {
         let values = flow.values();
         assert_eq!(values.len(), instance.num_paths());
         // Gather: ℓ_P, per-commodity min/avg, overall average latency.
+        // The per-path sum keeps a single left-to-right accumulator
+        // (bit-identical to the naive iterator sum) but strides the
+        // loads four at a time so the gather addresses pipeline.
         let mut avg_latency = 0.0;
         for (i, c) in instance.commodities().iter().enumerate() {
             let mut min_i = f64::INFINITY;
             let mut acc = 0.0;
             for p in instance.commodity_paths(i) {
-                let lp: f64 = instance
-                    .path_edges(PathId::from_index(p))
-                    .iter()
-                    .map(|e| self.edge_latencies[e.index()])
-                    .sum();
+                let edges = instance.path_edges(PathId::from_index(p));
+                let mut lp = 0.0;
+                let mut quads = edges.chunks_exact(4);
+                for q in &mut quads {
+                    let l0 = self.edge_latencies[q[0].index()];
+                    let l1 = self.edge_latencies[q[1].index()];
+                    let l2 = self.edge_latencies[q[2].index()];
+                    let l3 = self.edge_latencies[q[3].index()];
+                    lp += l0;
+                    lp += l1;
+                    lp += l2;
+                    lp += l3;
+                }
+                for e in quads.remainder() {
+                    lp += self.edge_latencies[e.index()];
+                }
                 self.path_latencies[p] = lp;
                 min_i = min_i.min(lp);
                 acc += values[p] * lp;
@@ -310,6 +618,204 @@ impl EvalWorkspace {
             avg_latency += acc;
         }
         self.avg_latency = avg_latency;
+    }
+
+    /// Incremental evaluation: applies only the flow increments of the
+    /// paths listed in `changes`, recomputes latencies and the
+    /// potential only on the touched edges, and refreshes the
+    /// aggregate metrics from the cached path latencies — O(|changed|
+    /// · d̄ + E_touched + P) instead of O(incidences).
+    ///
+    /// Shorthand for [`EvalWorkspace::evaluate_delta_with`] without a
+    /// pool.
+    pub fn evaluate_delta(
+        &mut self,
+        instance: &Instance,
+        flow: &FlowVec,
+        changes: &ChangeSet,
+        scratch: &mut DeltaEval,
+    ) -> DeltaOutcome {
+        self.evaluate_delta_with(instance, flow, changes, scratch, None)
+    }
+
+    /// [`EvalWorkspace::evaluate_delta`] whose forced re-syncs run
+    /// through the pooled [`EvalWorkspace::evaluate_with`] (the sparse
+    /// path itself stays serial — its touched sets are far below any
+    /// dispatch threshold).
+    ///
+    /// # Drift-bound state machine
+    ///
+    /// The sparse path runs only while `scratch` is primed and
+    /// `changes` is not widened. It commits every listed path's
+    /// pending increment (`f_P − applied_P`) to the edge flows via the
+    /// CSR, sweeps exactly the touched edges (latency + potential
+    /// increment), and propagates an edge's latency change to its
+    /// paths only when it exceeds the commit threshold — smaller
+    /// changes accrue into `pending_latency`. The
+    /// [`ChangeSet::residual`] accrues into `flow_drift`. When either
+    /// accumulator exceeds its budget, or the re-sync interval
+    /// elapses, the call falls back to the exact full evaluation and
+    /// zeroes the accumulators, so the cached state is bit-identical
+    /// to a from-scratch [`EvalWorkspace::evaluate`] of `flow` at
+    /// every [`DeltaOutcome::Resync`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow`, `scratch` or the workspace does not match
+    /// `instance`.
+    pub fn evaluate_delta_with(
+        &mut self,
+        instance: &Instance,
+        flow: &FlowVec,
+        changes: &ChangeSet,
+        scratch: &mut DeltaEval,
+        pool: Option<&WorkerPool>,
+    ) -> DeltaOutcome {
+        let values = flow.values();
+        assert_eq!(values.len(), instance.num_paths());
+        assert_eq!(scratch.applied_flow.len(), instance.num_paths());
+        assert_eq!(scratch.committed_latencies.len(), instance.num_edges());
+        assert_eq!(self.edge_flows.len(), instance.num_edges());
+
+        if !scratch.primed || changes.is_widened() {
+            return self.delta_resync(instance, flow, scratch, pool);
+        }
+
+        // Sparse scatter: commit each listed path's pending increment,
+        // recording every edge's pre-increment flow on first touch.
+        scratch.touched.clear();
+        scratch.touched_old_flow.clear();
+        let epoch = scratch.next_epoch();
+        let mut committed = 0usize;
+        for &pu in changes.paths() {
+            let p = pu as usize;
+            let pending = values[p] - scratch.applied_flow[p];
+            if pending == 0.0 {
+                continue;
+            }
+            let pid = PathId::from_index(p);
+            for e in instance.path_edges(pid) {
+                let ei = e.index();
+                if scratch.edge_mark[ei] != epoch {
+                    scratch.edge_mark[ei] = epoch;
+                    scratch.touched.push(ei as u32);
+                    scratch.touched_old_flow.push(self.edge_flows[ei]);
+                }
+                self.edge_flows[ei] += pending;
+            }
+            scratch.acc_delta[instance.commodity_of_path(pid)] += pending * self.path_latencies[p];
+            scratch.applied_flow[p] = values[p];
+            committed += 1;
+        }
+        let touched_edges = scratch.touched.len();
+
+        // Touched-edge sweep: new latency, potential increment, and
+        // either a propagation of the latency change to the edge's
+        // paths (transposed CSR row) or a pending-drift charge.
+        let latencies = instance.latencies();
+        let mut propagated = 0usize;
+        for (&eu, &fe_old) in scratch.touched.iter().zip(&scratch.touched_old_flow) {
+            let ei = eu as usize;
+            let fe_new = self.edge_flows[ei];
+            let lat = &latencies[ei];
+            let le_new = lat.eval(fe_new);
+            self.potential += lat.primitive(fe_new) - lat.primitive(fe_old);
+            let le_prev = self.edge_latencies[ei];
+            self.edge_latencies[ei] = le_new;
+            let le_committed = scratch.committed_latencies[ei];
+            let drift_old = (le_prev - le_committed).abs();
+            let mut drift_new = (le_new - le_committed).abs();
+            if drift_new > scratch.latency_commit_threshold {
+                let shift = le_new - le_committed;
+                for p in instance.edge_paths(EdgeId::from_index(ei)) {
+                    self.path_latencies[p.index()] += shift;
+                }
+                scratch.committed_latencies[ei] = le_new;
+                drift_new = 0.0;
+                propagated += 1;
+            }
+            scratch.pending_latency += drift_new - drift_old;
+        }
+
+        // Aggregate refresh, three regimes:
+        //
+        // * nothing committed — edge flows, path latencies, potential
+        //   and hence every aggregate are bitwise untouched; skip
+        //   entirely (the machine-converged regime pays only the
+        //   change scan);
+        // * flow-only commits (no edge crossed the latency commit
+        //   threshold) — path latencies are unchanged, so the
+        //   per-commodity minima (functions of latency alone) are
+        //   exact as cached, and the flow-weighted averages absorb the
+        //   committed `Σ Δf_P · ℓ_P` increments in O(|changed|);
+        // * latency propagation — the shifted path latencies
+        //   invalidate the minima, so redo the O(P) pass from the
+        //   (≤ budget stale) cached path latencies and the true flow.
+        if committed > 0 && propagated == 0 {
+            for (i, c) in instance.commodities().iter().enumerate() {
+                let d = scratch.acc_delta[i];
+                if d != 0.0 {
+                    self.commodity_avg[i] += d / c.demand;
+                    self.avg_latency += d;
+                    scratch.acc_delta[i] = 0.0;
+                }
+            }
+        } else if committed > 0 {
+            let mut avg_latency = 0.0;
+            for (i, c) in instance.commodities().iter().enumerate() {
+                let mut min_i = f64::INFINITY;
+                let mut acc = 0.0;
+                for p in instance.commodity_paths(i) {
+                    let lp = self.path_latencies[p];
+                    min_i = min_i.min(lp);
+                    acc += values[p] * lp;
+                }
+                self.commodity_min[i] = min_i;
+                self.commodity_avg[i] = acc / c.demand;
+                avg_latency += acc;
+                scratch.acc_delta[i] = 0.0;
+            }
+            self.avg_latency = avg_latency;
+        }
+
+        scratch.flow_drift += changes.residual();
+        scratch.phases_since_resync += 1;
+        scratch.stats.sparse_phases += 1;
+        scratch.stats.committed_paths += committed as u64;
+        scratch.stats.touched_edges += touched_edges as u64;
+
+        if scratch.flow_drift > scratch.flow_budget
+            || scratch.pending_latency > scratch.latency_budget
+            || scratch.phases_since_resync >= scratch.resync_interval
+        {
+            return self.delta_resync(instance, flow, scratch, pool);
+        }
+        DeltaOutcome::Sparse {
+            committed,
+            touched_edges,
+        }
+    }
+
+    /// Full re-sync: exact evaluation plus a refresh of the shadow
+    /// state and drift accumulators.
+    fn delta_resync(
+        &mut self,
+        instance: &Instance,
+        flow: &FlowVec,
+        scratch: &mut DeltaEval,
+        pool: Option<&WorkerPool>,
+    ) -> DeltaOutcome {
+        self.evaluate_with(instance, flow, pool);
+        scratch.applied_flow.copy_from_slice(flow.values());
+        scratch
+            .committed_latencies
+            .copy_from_slice(&self.edge_latencies);
+        scratch.flow_drift = 0.0;
+        scratch.pending_latency = 0.0;
+        scratch.phases_since_resync = 0;
+        scratch.primed = true;
+        scratch.stats.resyncs += 1;
+        DeltaOutcome::Resync
     }
 
     /// Cached edge flows `f_e` of the last evaluated flow.
@@ -576,5 +1082,181 @@ mod tests {
             &f.commodity_avg_latencies(&inst),
         );
         assert!((ws.avg_latency() - f.avg_latency(&inst)).abs() < 1e-12);
+    }
+
+    /// Builds a change set for `from → to` the way the engine's block
+    /// scan does: exact diff, threshold split into marks vs residual.
+    fn scan_changes(from: &FlowVec, to: &FlowVec, threshold: f64, out: &mut ChangeSet) {
+        out.clear();
+        let mut residual = 0.0;
+        for (idx, (&a, &b)) in from.values().iter().zip(to.values()).enumerate() {
+            let d = (b - a).abs();
+            if d > threshold {
+                out.mark(idx);
+            } else {
+                residual += d;
+            }
+        }
+        out.add_residual(residual);
+    }
+
+    fn assert_state_eq(a: &EvalWorkspace, b: &EvalWorkspace) {
+        assert_slices_eq(a.edge_flows(), b.edge_flows());
+        assert_slices_eq(a.edge_latencies(), b.edge_latencies());
+        assert_slices_eq(a.path_latencies(), b.path_latencies());
+        assert_slices_eq(a.commodity_min_latencies(), b.commodity_min_latencies());
+        assert_slices_eq(a.commodity_avg_latencies(), b.commodity_avg_latencies());
+        assert_eq!(a.potential().to_bits(), b.potential().to_bits());
+        assert_eq!(a.avg_latency().to_bits(), b.avg_latency().to_bits());
+    }
+
+    #[test]
+    fn first_delta_evaluation_resyncs_and_is_exact() {
+        let inst = builders::multi_commodity_grid(4, 4, 3);
+        let f = FlowVec::uniform(&inst);
+        let mut ws = EvalWorkspace::new(&inst);
+        let mut scratch = DeltaEval::new(&inst);
+        let changes = ChangeSet::for_instance(&inst);
+        assert!(changes.is_widened());
+        let out = ws.evaluate_delta(&inst, &f, &changes, &mut scratch);
+        assert_eq!(out, DeltaOutcome::Resync);
+        assert!(scratch.is_primed());
+        let mut reference = EvalWorkspace::new(&inst);
+        reference.evaluate(&inst, &f);
+        assert_state_eq(&ws, &reference);
+    }
+
+    #[test]
+    fn sparse_step_tracks_reference_within_budget() {
+        let inst = builders::multi_commodity_grid(4, 4, 7);
+        let mut flow = FlowVec::uniform(&inst);
+        let mut ws = EvalWorkspace::new(&inst);
+        let mut scratch = DeltaEval::new(&inst);
+        let mut changes = ChangeSet::for_instance(&inst);
+        ws.evaluate_delta(&inst, &flow, &changes, &mut scratch);
+
+        // Nudge a handful of paths by tiny amounts, keeping per-
+        // commodity mass balanced so the flow stays feasible.
+        for step in 0..40 {
+            let before = flow.clone();
+            let values = flow.values_mut();
+            for i in 0..inst.num_commodities() {
+                let range = inst.commodity_paths(i);
+                if range.len() < 2 {
+                    continue;
+                }
+                let (a, b) = (range.start, range.start + 1);
+                let shift = 1e-11 * ((step + i) % 3) as f64;
+                values[a] += shift;
+                values[b] -= shift;
+            }
+            scan_changes(&before, &flow, 1e-13, &mut changes);
+            let out = ws.evaluate_delta(&inst, &flow, &changes, &mut scratch);
+            let mut reference = EvalWorkspace::new(&inst);
+            reference.evaluate(&inst, &flow);
+            match out {
+                DeltaOutcome::Resync => assert_state_eq(&ws, &reference),
+                DeltaOutcome::Sparse { .. } => {
+                    assert!((ws.potential() - reference.potential()).abs() < 1e-9);
+                    assert!((ws.avg_latency() - reference.avg_latency()).abs() < 1e-9);
+                    for (x, y) in ws.path_latencies().iter().zip(reference.path_latencies()) {
+                        assert!((x - y).abs() < 1e-9);
+                    }
+                    for (x, y) in ws.edge_flows().iter().zip(reference.edge_flows()) {
+                        assert!((x - y).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+        assert!(scratch.stats().sparse_phases > 0);
+    }
+
+    #[test]
+    fn drift_budget_forces_resync() {
+        let inst = builders::multi_commodity_grid(3, 3, 5);
+        let mut flow = FlowVec::uniform(&inst);
+        let mut ws = EvalWorkspace::new(&inst);
+        let mut scratch = DeltaEval::new(&inst).with_budgets(1e-12, 1e-12);
+        let mut changes = ChangeSet::for_instance(&inst);
+        ws.evaluate_delta(&inst, &flow, &changes, &mut scratch);
+
+        // Large unlisted residuals must trip the flow budget quickly.
+        let before = flow.clone();
+        {
+            let values = flow.values_mut();
+            values[0] += 1e-10;
+            values[1] -= 1e-10;
+        }
+        changes.clear();
+        changes.add_residual(before.l1_distance(&flow));
+        let out = ws.evaluate_delta(&inst, &flow, &changes, &mut scratch);
+        assert_eq!(out, DeltaOutcome::Resync);
+        let mut reference = EvalWorkspace::new(&inst);
+        reference.evaluate(&inst, &flow);
+        assert_state_eq(&ws, &reference);
+    }
+
+    #[test]
+    fn resync_interval_caps_sparse_streak() {
+        let inst = builders::braess();
+        let flow = FlowVec::uniform(&inst);
+        let mut ws = EvalWorkspace::new(&inst);
+        let mut scratch = DeltaEval::new(&inst).with_resync_interval(4);
+        let mut changes = ChangeSet::for_instance(&inst);
+        ws.evaluate_delta(&inst, &flow, &changes, &mut scratch);
+        changes.clear();
+        let mut resyncs = 0;
+        for _ in 0..12 {
+            if ws.evaluate_delta(&inst, &flow, &changes, &mut scratch) == DeltaOutcome::Resync {
+                resyncs += 1;
+            }
+        }
+        assert_eq!(resyncs, 3, "every 4th phase must force a re-sync");
+    }
+
+    #[test]
+    fn widened_changeset_forces_exact_resync() {
+        let inst = builders::multi_commodity_grid(3, 3, 2);
+        let mut flow = FlowVec::uniform(&inst);
+        let mut ws = EvalWorkspace::new(&inst);
+        let mut scratch = DeltaEval::new(&inst);
+        let mut changes = ChangeSet::for_instance(&inst);
+        ws.evaluate_delta(&inst, &flow, &changes, &mut scratch);
+        // Move real mass without listing it, then widen: the re-sync
+        // must still land exactly on the new flow.
+        {
+            let values = flow.values_mut();
+            values[0] += 0.05;
+            values[1] -= 0.05;
+        }
+        changes.clear();
+        changes.mark_all();
+        let out = ws.evaluate_delta(&inst, &flow, &changes, &mut scratch);
+        assert_eq!(out, DeltaOutcome::Resync);
+        let mut reference = EvalWorkspace::new(&inst);
+        reference.evaluate(&inst, &flow);
+        assert_state_eq(&ws, &reference);
+    }
+
+    #[test]
+    fn delta_clear_unprimes_and_zeroes_counters() {
+        let inst = builders::braess();
+        let flow = FlowVec::uniform(&inst);
+        let mut ws = EvalWorkspace::new(&inst);
+        let mut scratch = DeltaEval::new(&inst);
+        let mut changes = ChangeSet::for_instance(&inst);
+        ws.evaluate_delta(&inst, &flow, &changes, &mut scratch);
+        changes.clear();
+        ws.evaluate_delta(&inst, &flow, &changes, &mut scratch);
+        assert!(scratch.stats().sparse_phases > 0);
+        scratch.clear();
+        assert!(!scratch.is_primed());
+        assert_eq!(scratch.stats(), DeltaStats::default());
+        assert_eq!(scratch.flow_drift(), 0.0);
+        assert_eq!(scratch.pending_latency(), 0.0);
+        assert_eq!(
+            ws.evaluate_delta(&inst, &flow, &changes, &mut scratch),
+            DeltaOutcome::Resync
+        );
     }
 }

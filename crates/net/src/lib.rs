@@ -64,7 +64,7 @@ pub mod shortest_path;
 pub use commodity::Commodity;
 pub use edge_flow::EdgeInstance;
 pub use error::NetError;
-pub use eval::EvalWorkspace;
+pub use eval::{ChangeSet, DeltaEval, DeltaOutcome, DeltaStats, EvalWorkspace};
 pub use flow::FlowVec;
 pub use graph::{Edge, EdgeId, Graph, NodeId};
 pub use instance::Instance;

@@ -72,7 +72,7 @@ pub mod prelude {
     };
     pub use wardrop_analysis::tracking::{tracking_report, TrackingReport};
     pub use wardrop_core::best_response::BestResponse;
-    pub use wardrop_core::board::BulletinBoard;
+    pub use wardrop_core::board::{BoardPrecision, BulletinBoard};
     pub use wardrop_core::edge_engine::{run_edge, run_edge_scenario, EdgeSimulation, PathSeeding};
     pub use wardrop_core::engine::{
         run, run_scenario, Dynamics, Parallelism, PhaseSchedule, Simulation, SimulationConfig,
@@ -95,6 +95,7 @@ pub mod prelude {
     pub use wardrop_core::WorkerPool;
     pub use wardrop_net::builders;
     pub use wardrop_net::equilibrium::{is_approx_equilibrium, is_wardrop_equilibrium, max_regret};
+    pub use wardrop_net::eval::{ChangeSet, DeltaEval, DeltaOutcome, DeltaStats, EvalWorkspace};
     pub use wardrop_net::flow::FlowVec;
     pub use wardrop_net::potential::{potential, virtual_gain};
     pub use wardrop_net::scenario::{

@@ -1,0 +1,294 @@
+//! Incremental delta evaluation vs the full fused evaluation.
+//!
+//! The delta path is *approximate by design* — unlisted sub-threshold
+//! movements and un-propagated sub-threshold latency changes are
+//! allowed to drift within explicit budgets — so the contract has two
+//! parts:
+//!
+//! 1. **Trajectory agreement**: every recorded phase quantity of a
+//!    `delta_eval` run stays within `1e-9` of the full-evaluation run,
+//!    across the 12-policy zoo, scenario events and fault plans.
+//! 2. **Exactness at re-syncs**: whenever the drift machine forces a
+//!    full re-sync, the cached evaluation state is bit-identical to a
+//!    from-scratch evaluation of the simulation's own current flow.
+
+use proptest::prelude::*;
+use wardrop::net::EvalWorkspace;
+use wardrop::prelude::*;
+
+/// Asserts every shared phase quantity of two trajectories agrees to
+/// `tol`, and that they have the same length.
+fn assert_trajectories_close(
+    a: &Trajectory,
+    b: &Trajectory,
+    tol: f64,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.phases.len(), b.phases.len());
+    for (x, y) in a.phases.iter().zip(&b.phases) {
+        prop_assert!((x.potential_start - y.potential_start).abs() <= tol);
+        prop_assert!((x.potential_end - y.potential_end).abs() <= tol);
+        prop_assert!((x.avg_latency_start - y.avg_latency_start).abs() <= tol);
+        prop_assert!((x.max_regret_start - y.max_regret_start).abs() <= tol);
+        prop_assert!((x.virtual_gain - y.virtual_gain).abs() <= tol);
+    }
+    for (fa, fb) in a.final_flow.values().iter().zip(b.final_flow.values()) {
+        prop_assert!((fa - fb).abs() <= tol);
+    }
+    Ok(())
+}
+
+proptest! {
+    // Each case sweeps the full 12-policy zoo × 2 fault plans; keep
+    // the case count small.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn delta_eval_matches_full_eval(
+        seed in 0u64..1000,
+        event_phase in 1usize..4,
+        factor in 0.5f64..2.0,
+        demand in 0.15f64..0.6,
+        drop_p in 0.05f64..0.4,
+        t in 0.1f64..0.6,
+    ) {
+        let inst = builders::multi_commodity_grid(4, 4, seed);
+        let f0 = FlowVec::uniform(&inst);
+        let scenario = Scenario::new("shock")
+            .with_event(Event::at(
+                event_phase,
+                "degrade",
+                EventAction::ScaleLatency { edge: EdgeId::from_index(0), factor },
+            ))
+            .with_event(Event::at(
+                event_phase + 2,
+                "surge",
+                EventAction::SetDemand { commodity: 0, demand },
+            ));
+        let plans = [
+            None,
+            Some(
+                FaultPlan::new(seed)
+                    .with_drop_probability(drop_p)
+                    .unwrap()
+                    .with_partial_updates(0.5)
+                    .unwrap(),
+            ),
+        ];
+        let policies = stock_policy_zoo(inst.latency_upper_bound().max(1e-6));
+        prop_assert_eq!(policies.len(), 12);
+        for policy in &policies {
+            for plan in &plans {
+                let mut base = SimulationConfig::new(t, 16).with_flows();
+                if let Some(plan) = plan {
+                    base = base.with_faults(plan.clone());
+                }
+                let full = run_scenario(&inst, policy.as_ref(), &f0, &base, &scenario)
+                    .expect("full-eval scenario run");
+                let delta_cfg = base.clone().with_delta_eval();
+                let delta = run_scenario(&inst, policy.as_ref(), &f0, &delta_cfg, &scenario)
+                    .expect("delta-eval scenario run");
+                assert_trajectories_close(&full, &delta, 1e-9)?;
+            }
+        }
+    }
+
+    /// At every forced re-sync the cached evaluation state must be
+    /// bit-identical to a from-scratch evaluation of the simulation's
+    /// own current flow — the "exact at re-sync" half of the contract.
+    #[test]
+    fn resync_state_is_bit_identical_to_fresh_evaluation(
+        seed in 0u64..1000,
+        t in 0.1f64..0.8,
+    ) {
+        let inst = builders::grid_network(5, 5, seed);
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let config = SimulationConfig::new(t, 40).with_delta_eval();
+        let mut sim = Simulation::new(&inst, &policy, &f0, &config);
+        let mut resyncs_seen = 0;
+        while sim.step().is_some() {
+            if sim.last_eval_resynced() == Some(true) {
+                resyncs_seen += 1;
+                let mut reference = EvalWorkspace::new(sim.instance());
+                reference.evaluate(sim.instance(), sim.flow());
+                prop_assert_eq!(
+                    sim.eval().potential().to_bits(),
+                    reference.potential().to_bits()
+                );
+                prop_assert_eq!(sim.eval().edge_flows(), reference.edge_flows());
+                prop_assert_eq!(sim.eval().edge_latencies(), reference.edge_latencies());
+                prop_assert_eq!(sim.eval().path_latencies(), reference.path_latencies());
+            }
+        }
+        // The very first phase-end evaluation is always a re-sync
+        // (the scratch starts un-primed).
+        prop_assert!(resyncs_seen >= 1);
+    }
+
+    /// The movement early-out: a run with `stop_when_phase_delta_below`
+    /// must be a bitwise prefix of the unstopped run, and must actually
+    /// stop once the contraction drives per-phase movement below the
+    /// threshold.
+    #[test]
+    fn phase_delta_stop_is_a_bitwise_prefix(
+        seed in 0u64..1000,
+        t in 0.5f64..1.5,
+    ) {
+        let inst = builders::grid_network(4, 4, seed);
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        // The linear policy contracts slowly on grids (power-law-ish
+        // tail): per-phase movement is ~1e-3 after 200 phases, so the
+        // stop threshold must sit above that to fire mid-run.
+        let base = SimulationConfig::new(t, 200).with_flows();
+        let full = run(&inst, &policy, &f0, &base);
+        let stopped = run(
+            &inst,
+            &policy,
+            &f0,
+            &base.clone().with_stop_phase_delta(5e-3),
+        );
+        prop_assert!(stopped.phases.len() < full.phases.len(), "early-out never fired");
+        for (a, b) in stopped.phases.iter().zip(&full.phases) {
+            prop_assert!(a.potential_start.to_bits() == b.potential_start.to_bits());
+            prop_assert!(a.potential_end.to_bits() == b.potential_end.to_bits());
+        }
+        // The early-out composes with delta evaluation (both knobs on).
+        let both = run(
+            &inst,
+            &policy,
+            &f0,
+            &base.clone().with_delta_eval().with_stop_phase_delta(5e-3),
+        );
+        prop_assert!(both.phases.len() <= full.phases.len());
+        for (a, b) in both.phases.iter().zip(&full.phases) {
+            prop_assert!((a.potential_end - b.potential_end).abs() <= 1e-9);
+        }
+    }
+
+    /// The implicit-path backend honours the same delta contract.
+    #[test]
+    fn edge_backend_delta_matches_full(
+        seed in 0u64..1000,
+        t in 0.1f64..0.6,
+    ) {
+        let inst = builders::grid_network(5, 5, seed);
+        let edge = EdgeInstance::from_instance(&inst).expect("grids are DAGs");
+        let policy = uniform_linear(&inst);
+        let seeding = PathSeeding::Oracle { random_paths: 3, seed };
+        let base = SimulationConfig::new(t, 20).with_flows();
+        let full = run_edge(&edge, &policy, &base, &seeding).expect("full edge run");
+        let delta = run_edge(&edge, &policy, &base.clone().with_delta_eval(), &seeding)
+            .expect("delta edge run");
+        assert_trajectories_close(&full, &delta, 1e-9)?;
+    }
+
+    /// An `F32` board stays a well-posed simulation — finite records,
+    /// feasible final flow — and lands near the `F64` trajectory, while
+    /// `F64` quantisation is exactly the legacy path.
+    #[test]
+    fn f32_board_is_close_and_f64_is_identity(
+        seed in 0u64..1000,
+        t in 0.1f64..0.6,
+    ) {
+        let inst = builders::multi_commodity_grid(4, 4, seed);
+        let policy = uniform_linear(&inst);
+        let f0 = FlowVec::uniform(&inst);
+        let base = SimulationConfig::new(t, 15).with_flows();
+        let reference = run(&inst, &policy, &f0, &base);
+        let f64_explicit = run(
+            &inst,
+            &policy,
+            &f0,
+            &base.clone().with_board_precision(BoardPrecision::F64),
+        );
+        prop_assert!(reference.phases == f64_explicit.phases);
+        prop_assert!(reference.final_flow == f64_explicit.final_flow);
+        let quantised = run(
+            &inst,
+            &policy,
+            &f0,
+            &base.clone().with_board_precision(BoardPrecision::F32),
+        );
+        prop_assert_eq!(quantised.phases.len(), reference.phases.len());
+        prop_assert!(quantised.final_flow.is_feasible(&inst, 1e-6));
+        for (a, b) in quantised.phases.iter().zip(&reference.phases) {
+            prop_assert!(a.potential_end.is_finite());
+            // f32 posts perturb the board by ~1e-7 relative; the
+            // trajectories stay close but not bit-equal.
+            prop_assert!((a.potential_end - b.potential_end).abs() <= 1e-3);
+        }
+    }
+}
+
+/// Satellite: a reused workspace — delta scratch included — must be
+/// indistinguishable from a fresh construction after `apply_event`
+/// followed by `reset`, bitwise.
+#[test]
+fn reused_workspace_after_apply_event_matches_fresh_bitwise() {
+    let inst = builders::multi_commodity_grid(4, 4, 9);
+    let policy = uniform_linear(&inst);
+    let f0 = FlowVec::uniform(&inst);
+    let first_cfg = SimulationConfig::new(0.4, 10).with_delta_eval();
+    let second_cfg = SimulationConfig::new(0.3, 25)
+        .with_flows()
+        .with_delta_eval();
+
+    // Dirty the workspace: run with delta, mutate the instance via an
+    // event mid-run (leaving drift/shadow state behind), run further.
+    let mut reused = Simulation::new(&inst, &policy, &f0, &first_cfg);
+    for _ in 0..5 {
+        reused.step();
+    }
+    reused
+        .apply_event(&[EventAction::ScaleLatency {
+            edge: EdgeId::from_index(0),
+            factor: 1.7,
+        }])
+        .expect("event applies");
+    for _ in 0..5 {
+        reused.step();
+    }
+
+    // Fresh simulation against the *mutated* instance.
+    let mutated = reused.instance().clone();
+    let mut fresh = Simulation::new(&mutated, &policy, &f0, &second_cfg);
+
+    reused.reset(&f0, &second_cfg);
+    let reused_traj = reused.drive();
+    let fresh_traj = fresh.drive();
+
+    assert_eq!(reused_traj.phases, fresh_traj.phases);
+    assert_eq!(reused_traj.flows, fresh_traj.flows);
+    assert_eq!(reused_traj.final_flow, fresh_traj.final_flow);
+    for (a, b) in reused_traj.phases.iter().zip(&fresh_traj.phases) {
+        assert_eq!(a.potential_start.to_bits(), b.potential_start.to_bits());
+        assert_eq!(a.potential_end.to_bits(), b.potential_end.to_bits());
+        assert_eq!(a.virtual_gain.to_bits(), b.virtual_gain.to_bits());
+    }
+    assert_eq!(reused.delta_stats(), fresh.delta_stats());
+}
+
+/// `rebind` clears the delta scratch too: rebinding to another seed of
+/// the same family matches a fresh construction bitwise.
+#[test]
+fn rebind_clears_delta_scratch() {
+    let a = builders::grid_network(4, 4, 1);
+    let b = builders::grid_network(4, 4, 2);
+    let policy = uniform_linear(&a);
+    let f0 = FlowVec::uniform(&a);
+    let cfg = SimulationConfig::new(0.5, 20)
+        .with_flows()
+        .with_delta_eval();
+
+    let mut sim = Simulation::new(&a, &policy, &f0, &cfg);
+    for _ in 0..7 {
+        sim.step();
+    }
+    sim.rebind(&b, &f0, &cfg);
+    let rebound = sim.drive();
+
+    let fresh = run(&b, &policy, &f0, &cfg);
+    assert_eq!(rebound.phases, fresh.phases);
+    assert_eq!(rebound.final_flow, fresh.final_flow);
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Profile-guided-optimisation build recipe for the wardrop workspace.
+#
+# Three stages:
+#   1. instrumented release build (-Cprofile-generate) of the
+#      `bench_report` binary;
+#   2. a profiling run — `bench_report --smoke` exercises the fused
+#      phase loop, the matrix-free rate kernels, the implicit-path
+#      backend and the incremental delta evaluation, i.e. every hot
+#      loop the report times;
+#   3. profile merge (llvm-profdata) + optimised rebuild of the whole
+#      workspace with -Cprofile-use.
+#
+# The merged profile lands in target/pgo-profiles/merged.profdata
+# (override the directory with PGO_PROFILE_DIR). Requires the rustup
+# `llvm-tools` component for llvm-profdata; the script aborts with a
+# hint if it is missing — nothing is downloaded.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFDIR="${PGO_PROFILE_DIR:-target/pgo-profiles}"
+
+SYSROOT="$(rustc --print sysroot)"
+LLVM_PROFDATA="$(find "$SYSROOT" -name llvm-profdata -type f 2>/dev/null | head -n1 || true)"
+if [[ -z "$LLVM_PROFDATA" ]]; then
+    echo "error: llvm-profdata not found under $SYSROOT" >&2
+    echo "hint: install it with 'rustup component add llvm-tools'" >&2
+    exit 1
+fi
+
+rm -rf "$PROFDIR"
+mkdir -p "$PROFDIR"
+
+echo "==> stage 1: instrumented build (-Cprofile-generate)"
+RUSTFLAGS="${RUSTFLAGS:-} -Cprofile-generate=$PROFDIR" \
+    cargo build --release -p wardrop-bench --bin bench_report
+
+echo "==> stage 2: profiling run (bench_report --smoke)"
+./target/release/bench_report --smoke --out "$PROFDIR/BENCH_engine.pgo.json"
+
+echo "==> stage 3: merge profiles + optimised rebuild (-Cprofile-use)"
+"$LLVM_PROFDATA" merge -o "$PROFDIR/merged.profdata" "$PROFDIR"
+RUSTFLAGS="${RUSTFLAGS:-} -Cprofile-use=$PROFDIR/merged.profdata" \
+    cargo build --release
+
+echo "PGO build complete: target/release (profile: $PROFDIR/merged.profdata)"
