@@ -270,6 +270,44 @@ struct BenchReport {
     /// late-convergence regime (CI asserts the flagship `grid_10x10`
     /// row: ≥ 5× and bit-identical at every re-sync).
     delta_eval: Vec<DeltaEvalReport>,
+    /// Service-layer throughput and robustness (the `wardrop-serve`
+    /// daemon): nominal query latency + checkpoint overhead, typed
+    /// shedding under overload, and crash-recovery bounds. The full
+    /// staged detail lives in `BENCH_serve.json` (schema
+    /// `wardrop-serve/v1`); this section carries the headline rows the
+    /// engine report's consumers gate on.
+    serve: Vec<ServeReport>,
+}
+
+/// One headline row of the serve-layer benchmark (see
+/// [`wardrop_serve::bench`] for the staged measurements behind it).
+#[derive(Debug, Serialize)]
+struct ServeReport {
+    scenario: String,
+    /// Sustained engine phase-event throughput under nominal query
+    /// load.
+    events_per_sec: f64,
+    /// Served route-advice queries per second under nominal load.
+    queries_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    /// Queries shed under *nominal* load (must be 0).
+    rejected_nominal: u64,
+    /// Amortised steady-state checkpoint cost as a fraction of the
+    /// phase budget (CI asserts < 1%).
+    checkpoint_overhead_fraction: f64,
+    /// Typed sheds during the overload storm (must be > 0 — the
+    /// ladder fired instead of the daemon falling over).
+    overload_rejected_total: u64,
+    /// The daemon answered a probe query after the storm.
+    overload_survived: bool,
+    /// Phases replayed after the injected crash.
+    crash_replay_phases: u64,
+    /// Replay stayed within two checkpoint intervals.
+    crash_recovery_within_two_intervals: bool,
+    /// Post-crash trajectory exactly equals the uninterrupted
+    /// reference (records and final flow).
+    crash_bit_identical: bool,
 }
 
 impl BenchReport {
@@ -287,12 +325,13 @@ impl BenchReport {
             ("ensemble", 4),
             ("fault_overhead", 6),
             ("delta_eval", 7),
+            ("serve", 8),
         ]
     }
 }
 
 /// The schema version this binary emits.
-const SCHEMA_VERSION: u32 = 7;
+const SCHEMA_VERSION: u32 = 8;
 
 /// Every section this binary knows how to emit, with the schema
 /// version each was introduced in. The emit guard refuses sections
@@ -309,6 +348,7 @@ const KNOWN_SECTIONS: &[(&str, u32)] = &[
     ("ensemble", 4),
     ("fault_overhead", 6),
     ("delta_eval", 7),
+    ("serve", 8),
 ];
 
 /// A section the report serialiser refuses to emit.
@@ -1045,6 +1085,45 @@ fn main() {
         }
     }
 
+    // Serve layer: the three staged daemon measurements (nominal /
+    // overload / crash-recovery), condensed to one headline row. The
+    // stages gate themselves via `acceptance_failures`.
+    let serve_scratch = std::env::temp_dir().join("wardrop-bench-serve");
+    let serve_outcome = wardrop_serve::bench::run_serve_bench(&serve_scratch, smoke)
+        .expect("serve bench stages run cleanly");
+    let serve_failures = wardrop_serve::bench::acceptance_failures(&serve_outcome);
+    assert!(
+        serve_failures.is_empty(),
+        "serve acceptance failed:\n  {}",
+        serve_failures.join("\n  ")
+    );
+    println!(
+        "{:<28} serve {:>8.0} q/s {:>10.0} ev/s  p99 {:>6}µs  ckpt {:.3}%  \
+         shed(overload) {}  crash replay {} phases  bit-identical {}",
+        serve_outcome.nominal.scenario,
+        serve_outcome.nominal.queries_per_sec,
+        serve_outcome.nominal.events_per_sec,
+        serve_outcome.nominal.p99_us,
+        serve_outcome.nominal.checkpoint_overhead_fraction * 100.0,
+        serve_outcome.overload.rejected_total,
+        serve_outcome.crash.replay_phases,
+        serve_outcome.crash.bit_identical,
+    );
+    let serve = vec![ServeReport {
+        scenario: serve_outcome.nominal.scenario.clone(),
+        events_per_sec: serve_outcome.nominal.events_per_sec,
+        queries_per_sec: serve_outcome.nominal.queries_per_sec,
+        p50_us: serve_outcome.nominal.p50_us,
+        p99_us: serve_outcome.nominal.p99_us,
+        rejected_nominal: serve_outcome.nominal.rejected,
+        checkpoint_overhead_fraction: serve_outcome.nominal.checkpoint_overhead_fraction,
+        overload_rejected_total: serve_outcome.overload.rejected_total,
+        overload_survived: serve_outcome.overload.survived,
+        crash_replay_phases: serve_outcome.crash.replay_phases,
+        crash_recovery_within_two_intervals: serve_outcome.crash.recovery_within_two_intervals,
+        crash_bit_identical: serve_outcome.crash.bit_identical,
+    }];
+
     let report = BenchReport {
         schema: format!("wardrop-bench/engine/v{SCHEMA_VERSION}"),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
@@ -1057,6 +1136,7 @@ fn main() {
         ensemble,
         fault_overhead,
         delta_eval,
+        serve,
     };
     if let Err(err) = validate_sections(&report.sections()) {
         panic!("report schema check failed: {err}");

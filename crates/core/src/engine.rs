@@ -58,6 +58,7 @@ use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::guard::{GuardConfig, GuardLog, SmoothnessGuard};
 use crate::integrator::{Integrator, IntegratorScratch};
 use crate::policy::{PhaseRates, ReroutingPolicy};
+use crate::snapshot::{EngineSnapshot, SnapshotError};
 use crate::trajectory::{PhaseRecord, Trajectory};
 
 /// Environment variable overriding the configured [`Parallelism`]:
@@ -545,19 +546,35 @@ impl SimulationConfig {
     }
 
     pub(crate) fn validate(&self) {
-        assert!(
-            self.update_period.is_finite() && self.update_period > 0.0,
-            "update period must be positive"
-        );
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking validation of every knob — shared by the
+    /// construction-time `validate` (which panics, like every other
+    /// configuration error) and the checkpoint-restore path (which
+    /// must treat a decoded configuration as untrusted input).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first out-of-range knob.
+    pub fn check(&self) -> Result<(), String> {
+        if !(self.update_period.is_finite() && self.update_period > 0.0) {
+            return Err("update period must be positive".into());
+        }
         if let Some(movement) = self.stop_when_phase_delta_below {
-            assert!(
-                movement.is_finite() && movement >= 0.0,
-                "phase-delta stop threshold must be finite and non-negative"
-            );
+            if !(movement.is_finite() && movement >= 0.0) {
+                return Err("phase-delta stop threshold must be finite and non-negative".into());
+            }
         }
         if let Some(guard) = &self.guard {
-            guard.validate();
+            guard.check()?;
         }
+        if let Some(plan) = &self.faults {
+            plan.validate().map_err(|e| e.to_string())?;
+        }
+        Ok(())
     }
 }
 
@@ -697,6 +714,15 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
         self.epoch
     }
 
+    /// The posted bulletin board — what agents (and route-advice
+    /// queries) see. Before the first phase this is the unposted
+    /// all-zero board; after a step it holds the post of the last
+    /// phase start (which, under faults, may be older still).
+    #[inline]
+    pub fn board(&self) -> &BulletinBoard {
+        &self.board
+    }
+
     /// The fused evaluation of the current flow.
     #[inline]
     pub fn eval(&self) -> &EvalWorkspace {
@@ -787,6 +813,104 @@ impl<'a, D: Dynamics + ?Sized> Simulation<'a, D> {
     /// Consumes the simulation, returning the current flow.
     pub fn into_flow(self) -> FlowVec {
         self.flow
+    }
+
+    /// Captures the complete dynamic state at the current phase
+    /// boundary. Taken between [`Simulation::step`] calls; a fresh
+    /// engine restored with [`Simulation::from_snapshot`] continues
+    /// the run bit-identically — see [`crate::snapshot`].
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            instance: self.instance.clone(),
+            config: self.config.clone(),
+            flow: self.flow.values().to_vec(),
+            board: self.board.clone(),
+            index: self.index,
+            epoch: self.epoch,
+            start_time: self.start_time,
+            stopped: self.stopped,
+            guard: self.guard.as_ref().map(SmoothnessGuard::snapshot),
+            fault: self.fault.as_ref().map(FaultState::snapshot),
+        }
+    }
+
+    /// Rebuilds a simulation from a checkpoint, resolving the worker
+    /// pool from the checkpointed `config.parallelism` (and the
+    /// [`THREADS_ENV`] override), exactly as [`Simulation::new`] does.
+    ///
+    /// Everything recomputable is recomputed rather than trusted: the
+    /// evaluation workspace is rebuilt from the restored flow, and the
+    /// delta evaluator's scratch starts invalidated, so the first
+    /// phase-end evaluation after a restore is a full re-sync.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Shape`] / [`SnapshotError::Corrupt`] when the
+    /// decoded state violates a structural invariant
+    /// ([`EngineSnapshot::check`]) — a checkpoint is untrusted input
+    /// and never panics the restore path.
+    pub fn from_snapshot(
+        dynamics: &'a D,
+        snapshot: &EngineSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        let pool = snapshot.config.parallelism.build_pool();
+        Self::from_snapshot_with_pool(dynamics, snapshot, pool)
+    }
+
+    /// As [`Simulation::from_snapshot`], but with an explicit worker
+    /// pool (pass `None` to force the serial loop).
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulation::from_snapshot`].
+    pub fn from_snapshot_with_pool(
+        dynamics: &'a D,
+        snapshot: &EngineSnapshot,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Result<Self, SnapshotError> {
+        snapshot.check()?;
+        let instance = snapshot.instance.clone();
+        let flow = FlowVec::from_values(&instance, snapshot.flow.clone())
+            .map_err(|e| SnapshotError::Shape(e.to_string()))?;
+        let mut workspace = EngineWorkspace::with_pool(&instance, pool);
+        workspace.configure_delta(&instance, &snapshot.config);
+        // The checkpoint deliberately omits the delta scratch: force a
+        // full re-sync at the first phase boundary after the restore.
+        workspace.invalidate_delta();
+        let EngineWorkspace { eval, pool, .. } = &mut workspace;
+        eval.evaluate_with(&instance, &flow, pool.as_deref());
+        let fault = match (&snapshot.config.faults, &snapshot.fault) {
+            (Some(plan), Some(captured)) => {
+                let mut state = FaultState::new(plan.clone(), &instance)
+                    .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+                state.restore(captured).map_err(SnapshotError::Shape)?;
+                Some(state)
+            }
+            // check() already rejected mixed presence.
+            _ => None,
+        };
+        let guard = match (&snapshot.config.guard, &snapshot.guard) {
+            (Some(config), Some(captured)) => Some(
+                SmoothnessGuard::from_snapshot(config.clone(), captured)
+                    .map_err(SnapshotError::Shape)?,
+            ),
+            _ => None,
+        };
+        Ok(Simulation {
+            board: snapshot.board.clone(),
+            instance,
+            dynamics,
+            config: snapshot.config.clone(),
+            flow,
+            workspace,
+            fault,
+            guard,
+            index: snapshot.index,
+            epoch: snapshot.epoch,
+            start_time: snapshot.start_time,
+            stopped: snapshot.stopped,
+            eval_nanos: 0,
+        })
     }
 
     /// Applies a scenario event between phases: mutates the owned

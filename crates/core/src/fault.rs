@@ -375,6 +375,22 @@ fn fault_unit(seed: u64, stream: u64, phase: usize, lane: usize) -> f64 {
     )
 }
 
+/// The mutable bookkeeping of a [`FaultState`], as captured in an
+/// engine checkpoint. The plan itself travels in the checkpointed
+/// configuration; only the refresh cursors, the bootstrap flag and
+/// the running counters need saving — the fault *decisions* are a
+/// pure function of `(seed, stream, phase, lane)` and replay
+/// identically after a restore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSnapshot {
+    /// Whether the board holds at least one real post.
+    pub posted: bool,
+    /// Post index of each commodity's last refresh.
+    pub last_refresh: Vec<usize>,
+    /// Running counters at the checkpoint.
+    pub stats: FaultStats,
+}
+
 /// The attachable runtime of a [`FaultPlan`]: pre-sized scratch
 /// buffers, per-commodity refresh bookkeeping and the running
 /// [`FaultStats`]. One state per simulation; posts are replayed
@@ -435,6 +451,37 @@ impl FaultState {
     #[inline]
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Captures the mutable bookkeeping for a checkpoint.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            posted: self.posted,
+            last_refresh: self.last_refresh.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores checkpointed bookkeeping into this state (built from
+    /// the same plan and an instance of the same shape), so subsequent
+    /// posts replay exactly as they would have in the original run.
+    ///
+    /// # Errors
+    ///
+    /// A message when the refresh table does not match this state's
+    /// commodity count.
+    pub fn restore(&mut self, snapshot: &FaultSnapshot) -> Result<(), String> {
+        if snapshot.last_refresh.len() != self.last_refresh.len() {
+            return Err(format!(
+                "fault refresh table has {} rows, state expects {}",
+                snapshot.last_refresh.len(),
+                self.last_refresh.len()
+            ));
+        }
+        self.posted = snapshot.posted;
+        self.last_refresh.copy_from_slice(&snapshot.last_refresh);
+        self.stats = snapshot.stats;
+        Ok(())
     }
 
     /// Re-sizes the scratch buffers after the owning simulation changed

@@ -119,23 +119,34 @@ impl GuardConfig {
     /// configuration, validated like
     /// [`SimulationConfig`](crate::engine::SimulationConfig)).
     pub fn validate(&self) {
-        assert!(
-            self.tolerance.is_finite() && self.tolerance >= 0.0,
-            "guard tolerance must be finite and non-negative"
-        );
-        assert!(
-            self.backoff.is_finite() && self.backoff > 0.0 && self.backoff < 1.0,
-            "guard backoff must be in (0, 1)"
-        );
-        assert!(
-            self.restore_step.is_finite() && self.restore_step > 0.0,
-            "guard restore step must be positive"
-        );
-        assert!(self.quiet_phases >= 1, "guard quiet window must be ≥ 1");
-        assert!(
-            self.floor.is_finite() && self.floor > 0.0 && self.floor <= 1.0,
-            "guard floor must be in (0, 1]"
-        );
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking range check of every knob — the checkpoint-restore
+    /// path treats configuration as untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first out-of-range knob.
+    pub fn check(&self) -> Result<(), String> {
+        if !(self.tolerance.is_finite() && self.tolerance >= 0.0) {
+            return Err("guard tolerance must be finite and non-negative".into());
+        }
+        if !(self.backoff.is_finite() && self.backoff > 0.0 && self.backoff < 1.0) {
+            return Err("guard backoff must be in (0, 1)".into());
+        }
+        if !(self.restore_step.is_finite() && self.restore_step > 0.0) {
+            return Err("guard restore step must be positive".into());
+        }
+        if self.quiet_phases < 1 {
+            return Err("guard quiet window must be ≥ 1".into());
+        }
+        if !(self.floor.is_finite() && self.floor > 0.0 && self.floor <= 1.0) {
+            return Err("guard floor must be in (0, 1]".into());
+        }
+        Ok(())
     }
 }
 
@@ -201,6 +212,41 @@ impl GuardLog {
     }
 }
 
+/// The mutable AIMD state of a [`SmoothnessGuard`], as captured in an
+/// engine checkpoint (the tuning lives in the checkpointed
+/// [`SimulationConfig`](crate::engine::SimulationConfig), not here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardSnapshot {
+    /// The α throttle at the checkpoint.
+    pub scale: f64,
+    /// Clean refreshes accumulated towards the next restore.
+    pub quiet: usize,
+    /// The potential baseline (`None` right after a scenario event).
+    pub last_potential: Option<f64>,
+    /// The intervention log so far.
+    pub log: GuardLog,
+}
+
+impl GuardSnapshot {
+    /// Validates the captured state: the throttle must be a sane
+    /// probability-like scale and the baseline finite.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the violated invariant.
+    pub fn check(&self) -> Result<(), String> {
+        if !(self.scale.is_finite() && self.scale > 0.0 && self.scale <= 1.0) {
+            return Err(format!("guard throttle {} outside (0, 1]", self.scale));
+        }
+        if let Some(p) = self.last_potential {
+            if !p.is_finite() {
+                return Err(format!("non-finite guard potential baseline {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The in-flight AIMD governor: attach one per simulation. See the
 /// [module docs](self) for the control loop.
 #[derive(Debug, Clone)]
@@ -239,6 +285,35 @@ impl SmoothnessGuard {
     #[inline]
     pub fn log(&self) -> &GuardLog {
         &self.log
+    }
+
+    /// Captures the mutable AIMD state for a checkpoint.
+    pub fn snapshot(&self) -> GuardSnapshot {
+        GuardSnapshot {
+            scale: self.scale,
+            quiet: self.quiet,
+            last_potential: self.last_potential,
+            log: self.log.clone(),
+        }
+    }
+
+    /// Rebuilds a governor from checkpointed state, continuing the
+    /// AIMD loop exactly where the snapshot left it.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the violated invariant when `config` or
+    /// `snapshot` is out of range.
+    pub fn from_snapshot(config: GuardConfig, snapshot: &GuardSnapshot) -> Result<Self, String> {
+        config.check()?;
+        snapshot.check()?;
+        Ok(SmoothnessGuard {
+            config,
+            scale: snapshot.scale,
+            quiet: snapshot.quiet,
+            last_potential: snapshot.last_potential,
+            log: snapshot.log.clone(),
+        })
     }
 
     /// Forgets the potential baseline. Called after scenario events:

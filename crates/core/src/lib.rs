@@ -33,6 +33,10 @@
 //! * the paper's [closed forms and bounds](theory): the safe update
 //!   period `T* = 1/(4DαΒ)`, the §3.2 oscillation construction, and
 //!   the Theorem 6/7 convergence-time shapes;
+//! * checkpoint [snapshots](snapshot) of a running simulation —
+//!   the complete dynamic state behind `wardrop-serve`'s
+//!   crash-safety, restored bit-identically with typed errors on
+//!   damaged input;
 //! * a seeded [fault-injection layer](fault) that treats the board as
 //!   a lossy, degrading channel (dropped posts, partial updates,
 //!   noise, per-commodity staleness, outages), and an [AIMD
@@ -72,6 +76,7 @@ pub mod kernel;
 pub mod migration;
 pub mod policy;
 pub mod sampling;
+pub mod snapshot;
 pub mod theory;
 pub mod trajectory;
 
@@ -83,12 +88,13 @@ pub use engine::{
     SimulationConfig,
 };
 pub use ensemble::{map_runs, run_many, RunSpec};
-pub use fault::{FaultPlan, FaultState, FaultStats};
-pub use guard::{GuardConfig, GuardLog, SmoothnessGuard};
+pub use fault::{FaultPlan, FaultSnapshot, FaultState, FaultStats};
+pub use guard::{GuardConfig, GuardLog, GuardSnapshot, SmoothnessGuard};
 pub use integrator::{Integrator, IntegratorScratch};
 pub use kernel::SeparableKernel;
 pub use migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};
 pub use policy::{stock_policy_zoo, PhaseRates, ReroutingPolicy, SmoothPolicy};
 pub use sampling::{Logit, Proportional, SamplingRule, Uniform};
+pub use snapshot::{EngineSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use trajectory::{PhaseRecord, Trajectory};
 pub use wardrop_pool::WorkerPool;

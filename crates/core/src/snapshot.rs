@@ -1,0 +1,344 @@
+//! Checkpoint snapshots of a running [`Simulation`].
+//!
+//! A long-lived routing daemon (`wardrop-serve`) must survive its own
+//! process dying mid-run. [`EngineSnapshot`] captures the *complete*
+//! dynamic state of the phase loop — flow, posted board, phase/epoch
+//! counters, wall-clock time, the AIMD governor's throttle and log,
+//! and the fault layer's refresh bookkeeping — so that
+//! [`Simulation::from_snapshot`] resumes a run **bit-identically** to
+//! one that was never interrupted. Everything recomputable is *not*
+//! stored: the evaluation workspace is rebuilt deterministically from
+//! the flow, and the delta evaluator's scratch is invalidated (the
+//! first phase after a restore performs a full re-sync).
+//!
+//! # On-disk format
+//!
+//! [`EngineSnapshot::to_bytes`] encodes a one-line ASCII header
+//! followed by the JSON payload:
+//!
+//! ```text
+//! WARDROP-SNAPSHOT v1 len=<payload bytes> fnv=<16-hex FNV-1a of payload>
+//! {"instance": ..., "config": ..., "flow": [...], ...}
+//! ```
+//!
+//! The header makes the three failure modes of checkpoint files
+//! distinguishable *before* touching the payload: a version token
+//! mismatch is a [`SnapshotError::SchemaMismatch`], a payload shorter
+//! than `len` is a [`SnapshotError::Truncated`] torn write, and a
+//! checksum or parse failure is [`SnapshotError::Corrupt`] bit rot.
+//! Restores additionally re-validate every structural invariant
+//! ([`SnapshotError::Shape`]) — a checkpoint is untrusted input.
+//!
+//! Floating-point values survive the JSON round trip exactly: the
+//! writer emits the shortest decimal form that parses back to the
+//! same `f64` (and bare `NaN`/`Infinity` tokens), so a decoded
+//! snapshot is bitwise equal to the encoded one.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+
+use crate::board::BulletinBoard;
+#[allow(unused_imports)] // doc links
+use crate::engine::Simulation;
+use crate::engine::SimulationConfig;
+use crate::fault::FaultSnapshot;
+use crate::guard::GuardSnapshot;
+
+/// Version token of the snapshot encoding. Bump on any change to the
+/// header or payload schema; [`EngineSnapshot::from_bytes`] rejects
+/// other versions with [`SnapshotError::SchemaMismatch`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic token opening every snapshot header.
+const MAGIC: &str = "WARDROP-SNAPSHOT";
+
+/// Typed decode/restore failure — bad checkpoint bytes never panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The payload is shorter than the header's declared length — the
+    /// classic torn write of a process dying mid-`write(2)`.
+    Truncated {
+        /// Payload bytes the header promised.
+        expected: usize,
+        /// Payload bytes actually present.
+        got: usize,
+    },
+    /// The bytes are damaged: missing/garbled header, checksum
+    /// mismatch (bit rot), trailing garbage, or unparseable payload.
+    Corrupt(String),
+    /// The snapshot was written by a different encoding version.
+    SchemaMismatch {
+        /// Version token found in the header.
+        found: u32,
+        /// The version this build reads.
+        supported: u32,
+    },
+    /// The payload decoded, but its state is internally inconsistent
+    /// (shape mismatches, infeasible flow, out-of-range config).
+    Shape(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "truncated snapshot: header declares {expected} payload bytes, found {got}"
+                )
+            }
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::SchemaMismatch { found, supported } => {
+                write!(f, "snapshot schema v{found} is not readable by this build (supports v{supported})")
+            }
+            SnapshotError::Shape(msg) => write!(f, "inconsistent snapshot state: {msg}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// FNV-1a over `bytes` — the checkpoint payload checksum. Not
+/// cryptographic; it exists to catch bit flips and torn rewrites, not
+/// adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The complete dynamic state of a [`Simulation`] at a phase boundary.
+///
+/// Taken between steps by [`Simulation::snapshot`]; a fresh engine
+/// built from it with [`Simulation::from_snapshot`] continues the run
+/// bit-identically (records, flows, guard log, fault counters). The
+/// scenario epoch counter doubles as the resume cursor into the event
+/// list: `epoch` events have been applied, so a driver resumes at
+/// `events[epoch..]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// The owned (possibly event-mutated) instance.
+    pub instance: Instance,
+    /// The active configuration, including fault plan and guard tuning.
+    pub config: SimulationConfig,
+    /// Path flow values at the upcoming phase start.
+    pub flow: Vec<f64>,
+    /// The posted bulletin board (under faults this may be older than
+    /// the flow — dropped posts leave it stale, and that staleness is
+    /// part of the state).
+    pub board: BulletinBoard,
+    /// Phases executed so far.
+    pub index: usize,
+    /// Scenario events applied so far.
+    pub epoch: usize,
+    /// Wall-clock start time of the upcoming phase.
+    pub start_time: f64,
+    /// Whether an early stop has latched.
+    pub stopped: bool,
+    /// AIMD governor state (present iff `config.guard` is).
+    pub guard: Option<GuardSnapshot>,
+    /// Fault-layer bookkeeping (present iff `config.faults` is).
+    pub fault: Option<FaultSnapshot>,
+}
+
+impl EngineSnapshot {
+    /// Encodes the snapshot as header + JSON payload (see the
+    /// [module docs](self) for the format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = serde_json::to_string(self).expect("snapshot state is always serialisable");
+        let mut out = format!(
+            "{MAGIC} v{SNAPSHOT_VERSION} len={} fnv={:016x}\n",
+            payload.len(),
+            fnv1a64(payload.as_bytes())
+        );
+        out.push_str(&payload);
+        out.into_bytes()
+    }
+
+    /// Decodes a snapshot, classifying every failure mode as a typed
+    /// [`SnapshotError`] — truncation, corruption and version skew are
+    /// recoverable conditions for a checkpoint store, not panics.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotError`]. Structural consistency of the decoded
+    /// state is *not* checked here — that happens on restore
+    /// ([`EngineSnapshot::check`]), so a store can cheaply probe files
+    /// for decodability.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let newline = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| SnapshotError::Corrupt("missing header line".into()))?;
+        let header = std::str::from_utf8(&bytes[..newline])
+            .map_err(|_| SnapshotError::Corrupt("header is not UTF-8".into()))?;
+        let mut parts = header.split_ascii_whitespace();
+        if parts.next() != Some(MAGIC) {
+            return Err(SnapshotError::Corrupt("bad magic token".into()));
+        }
+        let version = parts
+            .next()
+            .and_then(|t| t.strip_prefix('v'))
+            .and_then(|t| t.parse::<u32>().ok())
+            .ok_or_else(|| SnapshotError::Corrupt("missing version token".into()))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::SchemaMismatch {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let expected = parts
+            .next()
+            .and_then(|t| t.strip_prefix("len="))
+            .and_then(|t| t.parse::<usize>().ok())
+            .ok_or_else(|| SnapshotError::Corrupt("missing length token".into()))?;
+        let checksum = parts
+            .next()
+            .and_then(|t| t.strip_prefix("fnv="))
+            .and_then(|t| u64::from_str_radix(t, 16).ok())
+            .ok_or_else(|| SnapshotError::Corrupt("missing checksum token".into()))?;
+        let payload = &bytes[newline + 1..];
+        if payload.len() < expected {
+            return Err(SnapshotError::Truncated {
+                expected,
+                got: payload.len(),
+            });
+        }
+        if payload.len() > expected {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after declared payload",
+                payload.len() - expected
+            )));
+        }
+        if fnv1a64(payload) != checksum {
+            return Err(SnapshotError::Corrupt("payload checksum mismatch".into()));
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| SnapshotError::Corrupt("payload is not UTF-8".into()))?;
+        serde_json::from_str(text).map_err(|e| SnapshotError::Corrupt(e.to_string()))
+    }
+
+    /// Validates the structural invariants a restore relies on: the
+    /// instance's derived arenas are consistent, the configuration is
+    /// in range, the flow is feasible, board buffers match the
+    /// instance shape, and guard/fault state agrees with the config.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Shape`] naming the first violated invariant.
+    pub fn check(&self) -> Result<(), SnapshotError> {
+        self.instance
+            .check_consistent()
+            .map_err(|e| SnapshotError::Shape(format!("instance: {e}")))?;
+        self.config
+            .check()
+            .map_err(|m| SnapshotError::Shape(format!("config: {m}")))?;
+        FlowVec::from_values(&self.instance, self.flow.clone())
+            .map_err(|e| SnapshotError::Shape(format!("flow: {e}")))?;
+        if self.board.edge_flows().len() != self.instance.num_edges()
+            || self.board.path_latencies().len() != self.instance.num_paths()
+            || self.board.path_flows().len() != self.instance.num_paths()
+        {
+            return Err(SnapshotError::Shape(format!(
+                "board sized for {} edges / {} paths, instance has {} / {}",
+                self.board.edge_flows().len(),
+                self.board.path_latencies().len(),
+                self.instance.num_edges(),
+                self.instance.num_paths()
+            )));
+        }
+        if !self.start_time.is_finite() {
+            return Err(SnapshotError::Shape(format!(
+                "non-finite start time {}",
+                self.start_time
+            )));
+        }
+        if self.index > self.config.num_phases {
+            return Err(SnapshotError::Shape(format!(
+                "phase index {} exceeds the {}-phase budget",
+                self.index, self.config.num_phases
+            )));
+        }
+        match (&self.config.guard, &self.guard) {
+            (Some(_), Some(g)) => g
+                .check()
+                .map_err(|m| SnapshotError::Shape(format!("guard: {m}")))?,
+            (None, None) => {}
+            (cfg, state) => {
+                return Err(SnapshotError::Shape(format!(
+                    "guard config {} but guard state {}",
+                    if cfg.is_some() { "present" } else { "absent" },
+                    if state.is_some() { "present" } else { "absent" },
+                )))
+            }
+        }
+        match (&self.config.faults, &self.fault) {
+            (Some(_), Some(f)) => {
+                if f.last_refresh.len() != self.instance.num_commodities() {
+                    return Err(SnapshotError::Shape(format!(
+                        "fault refresh table has {} rows for {} commodities",
+                        f.last_refresh.len(),
+                        self.instance.num_commodities()
+                    )));
+                }
+            }
+            (None, None) => {}
+            (cfg, state) => {
+                return Err(SnapshotError::Shape(format!(
+                    "fault plan {} but fault state {}",
+                    if cfg.is_some() { "present" } else { "absent" },
+                    if state.is_some() { "present" } else { "absent" },
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn header_failure_modes_are_typed() {
+        assert_eq!(
+            EngineSnapshot::from_bytes(b"no newline at all").unwrap_err(),
+            SnapshotError::Corrupt("missing header line".into())
+        );
+        assert!(matches!(
+            EngineSnapshot::from_bytes(b"NOT-A-SNAPSHOT v1 len=0 fnv=0\n"),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert_eq!(
+            EngineSnapshot::from_bytes(format!("{MAGIC} v999 len=0 fnv=0\n").as_bytes())
+                .unwrap_err(),
+            SnapshotError::SchemaMismatch {
+                found: 999,
+                supported: SNAPSHOT_VERSION
+            }
+        );
+        assert_eq!(
+            EngineSnapshot::from_bytes(format!("{MAGIC} v1 len=100 fnv=0\nshort").as_bytes())
+                .unwrap_err(),
+            SnapshotError::Truncated {
+                expected: 100,
+                got: 5
+            }
+        );
+    }
+}

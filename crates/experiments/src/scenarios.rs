@@ -111,14 +111,7 @@ impl NamedScenario {
     pub fn run_audited(&self) -> (Trajectory, TrackingReport, RunAudit) {
         let policy = uniform_linear(&self.instance);
         let alpha = policy.smoothness().expect("linear migration is smooth");
-        let mut config = SimulationConfig::new(self.update_period, self.num_phases)
-            .with_deltas(vec![self.delta]);
-        if let Some(plan) = &self.faults {
-            config = config.with_faults(plan.clone());
-        }
-        if let Some(guard) = &self.guard {
-            config = config.with_guard(guard.clone());
-        }
+        let config = self.config();
         let (traj, fault_stats, guard_log) = run_scenario_audited(
             &self.instance,
             &policy,
@@ -137,6 +130,23 @@ impl NamedScenario {
                 guard_log,
             },
         )
+    }
+
+    /// The engine configuration this registry entry runs under — the
+    /// registered update period, phase budget and `δ` column, plus the
+    /// fault plan and guard when present. `wardrop-serve` builds its
+    /// daemon runs from this, so a served scenario is phase-for-phase
+    /// the same run the batch experiments execute.
+    pub fn config(&self) -> SimulationConfig {
+        let mut config = SimulationConfig::new(self.update_period, self.num_phases)
+            .with_deltas(vec![self.delta]);
+        if let Some(plan) = &self.faults {
+            config = config.with_faults(plan.clone());
+        }
+        if let Some(guard) = &self.guard {
+            config = config.with_guard(guard.clone());
+        }
+        config
     }
 
     /// Flattens a tracking report into JSON-ready rows.

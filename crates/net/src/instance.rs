@@ -465,6 +465,92 @@ impl Instance {
         self.latency_upper_bound
     }
 
+    /// Re-validates every invariant of an instance that arrived
+    /// through deserialization rather than a constructor — the serde
+    /// derive necessarily fills private fields verbatim, so a decoded
+    /// checkpoint could otherwise smuggle in inconsistent CSR arenas
+    /// or cached constants.
+    ///
+    /// The base data is re-validated exactly as at construction, the
+    /// derived integer structure (path ranges, CSR incidences, the
+    /// path→commodity map, `D`) is rebuilt from the path arena and
+    /// compared **exactly**, and the cached float bounds (`β`, `ℓmax`,
+    /// per-path at-capacity sums) are compared with a relative
+    /// tolerance: [`Instance::set_latency`] / [`Instance::scale_latency`]
+    /// refresh them incrementally, so a mutated instance's cached
+    /// values may legitimately differ from a from-scratch recompute in
+    /// the last bits. The serialized values stay authoritative — this
+    /// check only rejects corruption, it never rewrites state (which
+    /// would break bit-identical restores).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Inconsistent`] (or the base-validation errors of
+    /// [`Instance::with_path_cap`]) naming the first violated
+    /// invariant.
+    pub fn check_consistent(&self) -> Result<(), NetError> {
+        Self::validate_base(&self.graph, &self.latencies, &self.commodities)?;
+        if self.path_ranges.len() != self.commodities.len() + 1
+            || self.path_ranges.first() != Some(&0)
+            || self.path_ranges.last() != Some(&self.paths.len())
+        {
+            return Err(NetError::Inconsistent(
+                "path ranges do not cover the path arena".into(),
+            ));
+        }
+        for (i, c) in self.commodities.iter().enumerate() {
+            let (lo, hi) = (self.path_ranges[i], self.path_ranges[i + 1]);
+            if lo >= hi {
+                return Err(NetError::NoPath { commodity: i });
+            }
+            for p in &self.paths[lo..hi] {
+                if !p.edges().iter().all(|e| self.graph.contains_edge(*e)) {
+                    return Err(NetError::Inconsistent(format!(
+                        "commodity {i} has a path using an edge outside the graph"
+                    )));
+                }
+                if p.source(&self.graph) != c.source || p.sink(&self.graph) != c.sink {
+                    return Err(NetError::Inconsistent(format!(
+                        "commodity {i} has a path whose endpoints do not match its source/sink"
+                    )));
+                }
+            }
+        }
+        let rebuilt = Self::assemble(
+            self.graph.clone(),
+            self.latencies.clone(),
+            self.commodities.clone(),
+            self.paths.clone(),
+            self.path_ranges.clone(),
+        )?;
+        if rebuilt.path_edge_offsets != self.path_edge_offsets
+            || rebuilt.path_edge_ids != self.path_edge_ids
+            || rebuilt.edge_path_offsets != self.edge_path_offsets
+            || rebuilt.edge_path_ids != self.edge_path_ids
+            || rebuilt.path_commodity != self.path_commodity
+            || rebuilt.max_path_len != self.max_path_len
+        {
+            return Err(NetError::Inconsistent(
+                "cached incidence structure disagrees with the path arena".into(),
+            ));
+        }
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        let floats_ok = close(rebuilt.slope_bound, self.slope_bound)
+            && close(rebuilt.latency_upper_bound, self.latency_upper_bound)
+            && rebuilt.path_cap_latencies.len() == self.path_cap_latencies.len()
+            && rebuilt
+                .path_cap_latencies
+                .iter()
+                .zip(&self.path_cap_latencies)
+                .all(|(a, b)| close(*a, *b));
+        if !floats_ok {
+            return Err(NetError::Inconsistent(
+                "cached latency bounds disagree with the latency functions".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Replaces the latency function of edge `e`, incrementally
     /// refreshing the cached invariants.
     ///

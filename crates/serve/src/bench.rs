@@ -1,0 +1,382 @@
+//! The serve benchmark: three staged measurements shared by the
+//! `serve_bench` binary (which writes `BENCH_serve.json`) and
+//! `bench_report`'s `serve` section.
+//!
+//! 1. **Nominal** — a paced daemon under the calm load profile. The
+//!    invariant: *zero* queries shed, and the checkpoint machinery
+//!    costs less than 1% of the phase budget (pace × phases).
+//! 2. **Overload** — a deliberately starved daemon (tiny queue, an
+//!    emulated per-query downstream cost) under the flash-crowd
+//!    profile. The invariant: shedding is *typed* (`Overloaded` /
+//!    `DeadlineExpired`), the process survives, and a probe query
+//!    still answers afterwards.
+//! 3. **Crash-recovery** — one injected crash mid-run. The
+//!    invariants: the daemon recovers within two checkpoint intervals
+//!    of replay, and the completed trajectory is bit-identical to an
+//!    uninterrupted reference run.
+
+use std::path::Path;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use wardrop_core::policy::ReroutingPolicy;
+use wardrop_core::{PhaseRecord, Simulation};
+use wardrop_net::flow::FlowVec;
+
+use crate::checkpoint::CheckpointStore;
+use crate::daemon::{CrashPlan, Daemon, Mode, ServeConfig};
+use crate::load::{drive_load, LoadProfile};
+use crate::query::QueryRequest;
+use crate::{EngineSpec, ServeError};
+
+/// The nominal stage's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NominalStage {
+    /// Scenario served.
+    pub scenario: String,
+    /// Phases the engine completed during the stage.
+    pub phases: u64,
+    /// Wall-clock pace per phase, microseconds.
+    pub phase_pace_us: u64,
+    /// Phases between checkpoints.
+    pub checkpoint_interval: usize,
+    /// Queries offered by the load generator.
+    pub offered: u64,
+    /// Queries answered with advice.
+    pub answered: u64,
+    /// Queries shed (must be 0 at nominal load).
+    pub rejected: u64,
+    /// Answered queries per second.
+    pub queries_per_sec: f64,
+    /// Commodity-advice entries served per second.
+    pub events_per_sec: f64,
+    /// Median answer latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile answer latency, microseconds.
+    pub p99_us: u64,
+    /// Worst answer latency, microseconds.
+    pub max_us: u64,
+    /// Checkpoints written during the stage.
+    pub checkpoints: u64,
+    /// Mean wall-clock cost of one checkpoint write, microseconds.
+    pub checkpoint_mean_us: u64,
+    /// Amortised checkpoint cost over the phase budget: mean save
+    /// cost divided by one checkpoint interval's budget
+    /// (`interval × pace`) — what one phase pays for checkpointing in
+    /// steady state, independent of stage duration. Asserted < 1%.
+    pub checkpoint_overhead_fraction: f64,
+}
+
+/// The overload stage's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverloadStage {
+    /// Scenario served.
+    pub scenario: String,
+    /// Queue capacity the stage starves the daemon down to.
+    pub queue_capacity: usize,
+    /// Emulated per-query downstream cost, microseconds.
+    pub service_floor_us: u64,
+    /// Queries offered by the flash-crowd profile.
+    pub offered: u64,
+    /// Queries still answered.
+    pub answered: u64,
+    /// Typed sheds: queue at capacity.
+    pub rejected_overload: u64,
+    /// Typed sheds: deadline expired in the queue.
+    pub rejected_deadline: u64,
+    /// All typed sheds.
+    pub rejected_total: u64,
+    /// 99th-percentile answer latency, microseconds.
+    pub p99_us: u64,
+    /// Engine crashes during the stage (must be 0 — overload is not
+    /// allowed to become a panic).
+    pub crashes: u64,
+    /// Whether the daemon still answered a probe query after the
+    /// storm.
+    pub survived: bool,
+}
+
+/// The crash-recovery stage's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrashStage {
+    /// Scenario served.
+    pub scenario: String,
+    /// Phase the crash was injected before.
+    pub crash_phase: usize,
+    /// Phases between checkpoints.
+    pub checkpoint_interval: usize,
+    /// Phases the run completed.
+    pub phases_completed: usize,
+    /// Crashes the supervisor caught (expected: exactly 1).
+    pub crashes: u64,
+    /// Checkpoint restores (expected: exactly 1).
+    pub recoveries: u64,
+    /// Phases replayed by the recovery.
+    pub replay_phases: u64,
+    /// Whether `replay_phases ≤ 2 × checkpoint_interval`.
+    pub recovery_within_two_intervals: bool,
+    /// Whether the recovered trajectory (every phase record and the
+    /// final flow) is bit-identical to an uninterrupted reference
+    /// run.
+    pub bit_identical: bool,
+}
+
+/// The complete serve benchmark outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchOutcome {
+    /// Nominal-load stage.
+    pub nominal: NominalStage,
+    /// Overload stage.
+    pub overload: OverloadStage,
+    /// Crash-recovery stage.
+    pub crash: CrashStage,
+}
+
+/// Runs an uninterrupted reference of `spec` (the daemon's own event
+/// cadence: drain events due at the phase start, then step) and
+/// returns every phase record plus the final flow.
+pub fn reference_run(spec: &EngineSpec) -> (Vec<PhaseRecord>, Vec<f64>) {
+    let policy = spec.policy.build(&spec.instance);
+    let dynamics: &dyn ReroutingPolicy = &*policy;
+    let mut sim = Simulation::new(
+        &spec.instance,
+        dynamics,
+        &FlowVec::uniform(&spec.instance),
+        &spec.config,
+    );
+    let events = spec.scenario.events();
+    let mut cursor = 0usize;
+    let mut records = Vec::new();
+    loop {
+        while cursor < events.len() && events[cursor].at_phase <= sim.phases_run() {
+            sim.apply_event(&events[cursor].actions)
+                .expect("reference event application");
+            cursor += 1;
+        }
+        match sim.step() {
+            Some(record) => records.push(record),
+            None => break,
+        }
+    }
+    let flow = sim.flow().values().to_vec();
+    (records, flow)
+}
+
+fn registry_spec(name: &str, phase_cap: usize) -> Result<EngineSpec, ServeError> {
+    let mut spec = EngineSpec::from_registry(name, true)
+        .ok_or_else(|| ServeError::Protocol(format!("unknown scenario `{name}`")))?;
+    spec.config.num_phases = spec.config.num_phases.min(phase_cap);
+    Ok(spec)
+}
+
+fn fresh_dir(scratch: &Path, stage: &str) -> Result<std::path::PathBuf, ServeError> {
+    let dir = scratch.join(format!("serve-bench-{}-{stage}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    Ok(dir)
+}
+
+/// Nominal stage: paced daemon, calm load, zero sheds expected.
+pub fn run_nominal(scratch: &Path, smoke: bool) -> Result<NominalStage, ServeError> {
+    let scenario = "rush-hour";
+    let spec = registry_spec(scenario, if smoke { 400 } else { 1200 })?;
+    let pace = Duration::from_millis(2);
+    let interval = 256;
+    let config = ServeConfig {
+        checkpoint_interval: interval,
+        phase_pace: Some(pace),
+        ..ServeConfig::default()
+    };
+    let commodities = spec.instance.num_commodities();
+    let store = CheckpointStore::open(fresh_dir(scratch, "nominal")?, config.checkpoint_keep)?;
+    let daemon = Daemon::start(spec, config, store, CrashPlan::none())?;
+    daemon.wait_live(Duration::from_secs(10));
+    let mut profile = LoadProfile::nominal(commodities);
+    profile.duration_ms = if smoke { 600 } else { 1500 };
+    let load = drive_load(&daemon, &profile);
+    let report = daemon.finish();
+    let rejected = load.rejected_overload
+        + load.rejected_deadline
+        + load.rejected_stale
+        + load.rejected_unavailable
+        + load.bad_requests;
+    let mean_save_nanos =
+        report.stats.checkpoint_nanos as f64 / (report.stats.checkpoints.max(1)) as f64;
+    let interval_budget_nanos = interval as f64 * pace.as_nanos() as f64;
+    Ok(NominalStage {
+        scenario: scenario.to_string(),
+        phases: report.stats.phases,
+        phase_pace_us: pace.as_micros() as u64,
+        checkpoint_interval: interval,
+        offered: load.offered,
+        answered: load.answered,
+        rejected,
+        queries_per_sec: load.queries_per_sec,
+        events_per_sec: load.events_per_sec,
+        p50_us: load.p50_us,
+        p99_us: load.p99_us,
+        max_us: load.max_us,
+        checkpoints: report.stats.checkpoints,
+        checkpoint_mean_us: (mean_save_nanos / 1_000.0) as u64,
+        checkpoint_overhead_fraction: mean_save_nanos / interval_budget_nanos,
+    })
+}
+
+/// Overload stage: starved daemon, flash-crowd load, typed shedding
+/// expected — and the daemon must outlive the storm.
+pub fn run_overload(scratch: &Path, smoke: bool) -> Result<OverloadStage, ServeError> {
+    let scenario = "rush-hour";
+    let spec = registry_spec(scenario, 100_000)?;
+    // More clients than queue slots: with every client blocked behind
+    // the service floor, admission overflows and the queue-full rung
+    // (`Overloaded`) fires alongside the deadline rung.
+    let queue_capacity = 4;
+    let service_floor = Duration::from_millis(3);
+    let config = ServeConfig {
+        queue_capacity,
+        service_floor: Some(service_floor),
+        phase_pace: Some(Duration::from_millis(1)),
+        ..ServeConfig::default()
+    };
+    let commodities = spec.instance.num_commodities();
+    let store = CheckpointStore::open(fresh_dir(scratch, "overload")?, config.checkpoint_keep)?;
+    let daemon = Daemon::start(spec, config, store, CrashPlan::none())?;
+    daemon.wait_live(Duration::from_secs(10));
+    let mut profile = LoadProfile::flash_crowd(commodities);
+    profile.clients = 4 * queue_capacity;
+    profile.duration_ms = if smoke { 300 } else { 800 };
+    let load = drive_load(&daemon, &profile);
+    // The recovery criterion: a plain probe query still answers.
+    let survived = daemon
+        .query(QueryRequest {
+            commodities: vec![],
+            deadline_us: None,
+        })
+        .is_ok()
+        && daemon.status().mode != Mode::Failed;
+    let report = daemon.finish();
+    Ok(OverloadStage {
+        scenario: scenario.to_string(),
+        queue_capacity,
+        service_floor_us: service_floor.as_micros() as u64,
+        offered: load.offered,
+        answered: load.answered,
+        rejected_overload: load.rejected_overload,
+        rejected_deadline: load.rejected_deadline,
+        rejected_total: load.rejected_overload
+            + load.rejected_deadline
+            + load.rejected_stale
+            + load.rejected_unavailable,
+        p99_us: load.p99_us,
+        crashes: report.stats.crashes,
+        survived,
+    })
+}
+
+/// Crash-recovery stage: one injected crash, recovery within two
+/// checkpoint intervals, trajectory bit-identical to the reference.
+pub fn run_crash(scratch: &Path, smoke: bool) -> Result<CrashStage, ServeError> {
+    // flaky-rush-hour carries a fault plan, so the restore path
+    // re-hydrates fault state too, not just flows.
+    let scenario = "flaky-rush-hour";
+    let spec = registry_spec(scenario, if smoke { 120 } else { 240 })?;
+    let interval = 25;
+    let crash_phase = 60;
+    let config = ServeConfig {
+        checkpoint_interval: interval,
+        phase_pace: Some(Duration::from_millis(1)),
+        backoff_base: Duration::from_millis(2),
+        ..ServeConfig::default()
+    };
+    let (reference_records, reference_flow) = reference_run(&spec);
+    let store = CheckpointStore::open(fresh_dir(scratch, "crash")?, config.checkpoint_keep)?;
+    let daemon = Daemon::start(spec, config, store, CrashPlan::at(&[crash_phase]))?;
+    let final_mode = daemon.wait_engine(Duration::from_secs(60));
+    let report = daemon.finish();
+    let bit_identical = final_mode == Mode::Done
+        && !report.replay_diverged
+        && report.missing_records == 0
+        && report.records == reference_records
+        && report.final_flow.as_deref() == Some(reference_flow.as_slice());
+    Ok(CrashStage {
+        scenario: scenario.to_string(),
+        crash_phase,
+        checkpoint_interval: interval,
+        phases_completed: report.records.len(),
+        crashes: report.stats.crashes,
+        recoveries: report.stats.recoveries,
+        replay_phases: report.stats.last_replay_phases,
+        recovery_within_two_intervals: report.stats.last_replay_phases <= 2 * interval as u64,
+        bit_identical,
+    })
+}
+
+/// Runs all three stages into one outcome. `scratch` hosts the
+/// per-stage checkpoint directories (cleaned before each stage).
+pub fn run_serve_bench(scratch: &Path, smoke: bool) -> Result<ServeBenchOutcome, ServeError> {
+    Ok(ServeBenchOutcome {
+        nominal: run_nominal(scratch, smoke)?,
+        overload: run_overload(scratch, smoke)?,
+        crash: run_crash(scratch, smoke)?,
+    })
+}
+
+/// Asserts the acceptance invariants of an outcome, returning the
+/// failures (empty: all good). Shared by `serve_bench` and the CI
+/// smoke job so the gate cannot drift between them.
+pub fn acceptance_failures(outcome: &ServeBenchOutcome) -> Vec<String> {
+    let mut failures = Vec::new();
+    let nominal = &outcome.nominal;
+    if nominal.rejected != 0 {
+        failures.push(format!(
+            "nominal: {} queries shed below nominal load",
+            nominal.rejected
+        ));
+    }
+    if nominal.answered == 0 {
+        failures.push("nominal: no queries answered".into());
+    }
+    if nominal.p99_us == 0 {
+        failures.push("nominal: p99 missing".into());
+    }
+    if nominal.checkpoint_overhead_fraction >= 0.01 {
+        failures.push(format!(
+            "nominal: checkpoint overhead {:.2}% ≥ 1% of the phase budget",
+            nominal.checkpoint_overhead_fraction * 100.0
+        ));
+    }
+    let overload = &outcome.overload;
+    if overload.rejected_total == 0 {
+        failures.push("overload: the flash crowd was never shed (stage under-loaded)".into());
+    }
+    if overload.rejected_overload == 0 {
+        failures.push("overload: the queue-full rung (Overloaded) never fired".into());
+    }
+    if overload.crashes != 0 {
+        failures.push(format!(
+            "overload: {} engine crashes under load",
+            overload.crashes
+        ));
+    }
+    if !overload.survived {
+        failures.push("overload: daemon did not answer after the storm".into());
+    }
+    let crash = &outcome.crash;
+    if crash.crashes != 1 || crash.recoveries != 1 {
+        failures.push(format!(
+            "crash: expected exactly one crash and one recovery, saw {} / {}",
+            crash.crashes, crash.recoveries
+        ));
+    }
+    if !crash.recovery_within_two_intervals {
+        failures.push(format!(
+            "crash: replayed {} phases (> 2 × {} interval)",
+            crash.replay_phases, crash.checkpoint_interval
+        ));
+    }
+    if !crash.bit_identical {
+        failures.push("crash: recovered trajectory diverged from the reference".into());
+    }
+    failures
+}

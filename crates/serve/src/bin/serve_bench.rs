@@ -1,0 +1,97 @@
+//! Serve-layer benchmark: writes `BENCH_serve.json` (schema
+//! `wardrop-serve/v1`) with the three staged measurements of
+//! [`wardrop_serve::bench`] and enforces their acceptance invariants
+//! in-binary:
+//!
+//! * nominal load: zero sheds, p99 present, checkpoint overhead < 1%
+//!   of the phase budget;
+//! * overload: typed shedding, zero crashes, the daemon answers after
+//!   the storm;
+//! * crash-recovery: exactly one crash and one restore, replay within
+//!   two checkpoint intervals, trajectory bit-identical to an
+//!   uninterrupted reference run.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve_bench [--smoke] [--out PATH] [--scratch DIR]
+//! ```
+
+use serde::Serialize;
+use wardrop_serve::bench::{
+    acceptance_failures, run_serve_bench, CrashStage, NominalStage, OverloadStage,
+};
+
+/// The schema version this binary emits.
+const SCHEMA_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize)]
+struct ServeBenchReport {
+    schema: String,
+    mode: String,
+    nominal: NominalStage,
+    overload: OverloadStage,
+    crash: CrashStage,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let scratch = args
+        .iter()
+        .position(|a| a == "--scratch")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(std::env::temp_dir, std::path::PathBuf::from);
+
+    let outcome = run_serve_bench(&scratch, smoke).expect("serve bench stages run cleanly");
+    println!(
+        "nominal    {:>8.0} queries/s  {:>10.0} events/s  p50 {:>6}µs  p99 {:>6}µs  \
+         sheds {}  checkpoint overhead {:.3}%",
+        outcome.nominal.queries_per_sec,
+        outcome.nominal.events_per_sec,
+        outcome.nominal.p50_us,
+        outcome.nominal.p99_us,
+        outcome.nominal.rejected,
+        outcome.nominal.checkpoint_overhead_fraction * 100.0,
+    );
+    println!(
+        "overload   offered {:<7} answered {:<7} shed {:<7} (queue-full {} / deadline {})  p99 {}µs",
+        outcome.overload.offered,
+        outcome.overload.answered,
+        outcome.overload.rejected_total,
+        outcome.overload.rejected_overload,
+        outcome.overload.rejected_deadline,
+        outcome.overload.p99_us,
+    );
+    println!(
+        "crash      injected before phase {}  replayed {} phases (interval {})  \
+         bit-identical: {}",
+        outcome.crash.crash_phase,
+        outcome.crash.replay_phases,
+        outcome.crash.checkpoint_interval,
+        outcome.crash.bit_identical,
+    );
+
+    let failures = acceptance_failures(&outcome);
+    let report = ServeBenchReport {
+        schema: format!("wardrop-serve/v{SCHEMA_VERSION}"),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        nominal: outcome.nominal,
+        overload: outcome.overload,
+        crash: outcome.crash,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    println!("wrote {out_path}");
+    assert!(
+        failures.is_empty(),
+        "serve bench acceptance failed:\n  {}",
+        failures.join("\n  ")
+    );
+}

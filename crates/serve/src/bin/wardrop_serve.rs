@@ -1,0 +1,169 @@
+//! `wardrop-serve` — the crash-safe routing-advice daemon.
+//!
+//! Serves batched route-advice queries for a registry scenario over a
+//! Unix-domain socket (newline-delimited JSON, see
+//! `wardrop_serve::protocol`), with checkpoint/restore, watchdog
+//! supervision and graceful degradation. Runs until a `"Shutdown"`
+//! request arrives on the socket (writing a final checkpoint) — or,
+//! if the process is killed outright, resumes from the newest
+//! checkpoint on the next start with the same `--checkpoint-dir`.
+//!
+//! Usage:
+//!
+//! ```text
+//! wardrop_serve --socket PATH [--scenario NAME] [--checkpoint-dir DIR]
+//!               [--smoke] [--pace-ms N] [--checkpoint-interval N]
+//!               [--max-staleness N] [--queue-capacity N]
+//!               [--crash-at PHASE]...
+//! ```
+//!
+//! `--crash-at` injects a panic before the named phase (repeatable) —
+//! the supervised recovery path, exercisable from the command line.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use wardrop_serve::daemon::{CrashPlan, Daemon, ServeConfig};
+use wardrop_serve::{serve_unix, CheckpointStore, EngineSpec};
+
+struct Args {
+    socket: PathBuf,
+    scenario: String,
+    checkpoint_dir: PathBuf,
+    smoke: bool,
+    pace_ms: u64,
+    checkpoint_interval: usize,
+    max_staleness: usize,
+    queue_capacity: usize,
+    crash_at: Vec<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: PathBuf::new(),
+        scenario: "rush-hour".to_string(),
+        checkpoint_dir: PathBuf::from("wardrop-serve-checkpoints"),
+        smoke: false,
+        pace_ms: 5,
+        checkpoint_interval: 32,
+        max_staleness: 8,
+        queue_capacity: 256,
+        crash_at: Vec::new(),
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        raw.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", raw[*i - 1]))
+    };
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--socket" => args.socket = PathBuf::from(value(&mut i)?),
+            "--scenario" => args.scenario = value(&mut i)?,
+            "--checkpoint-dir" => args.checkpoint_dir = PathBuf::from(value(&mut i)?),
+            "--smoke" => args.smoke = true,
+            "--pace-ms" => {
+                args.pace_ms = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--pace-ms: {e}"))?;
+            }
+            "--checkpoint-interval" => {
+                args.checkpoint_interval = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-interval: {e}"))?;
+            }
+            "--max-staleness" => {
+                args.max_staleness = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--max-staleness: {e}"))?;
+            }
+            "--queue-capacity" => {
+                args.queue_capacity = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?;
+            }
+            "--crash-at" => {
+                args.crash_at.push(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--crash-at: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if args.socket.as_os_str().is_empty() {
+        return Err("--socket PATH is required".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("wardrop_serve: {message}");
+            std::process::exit(2);
+        }
+    };
+    let spec = match EngineSpec::from_registry(&args.scenario, args.smoke) {
+        Some(spec) => spec,
+        None => {
+            eprintln!("wardrop_serve: unknown scenario `{}`", args.scenario);
+            std::process::exit(2);
+        }
+    };
+    let config = ServeConfig {
+        checkpoint_interval: args.checkpoint_interval,
+        queue_capacity: args.queue_capacity,
+        max_staleness: args.max_staleness,
+        phase_pace: (args.pace_ms > 0).then(|| Duration::from_millis(args.pace_ms)),
+        ..ServeConfig::default()
+    };
+    let store = match CheckpointStore::open(&args.checkpoint_dir, config.checkpoint_keep) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("wardrop_serve: cannot open checkpoint dir: {e}");
+            std::process::exit(1);
+        }
+    };
+    let resumed = store.sequences().map(|s| !s.is_empty()).unwrap_or(false);
+    let daemon = match Daemon::start(spec, config, store, CrashPlan::at(&args.crash_at)) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("wardrop_serve: cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "wardrop-serve: scenario `{}`{} on {}",
+        args.scenario,
+        if resumed {
+            " (resumed from checkpoint)"
+        } else {
+            ""
+        },
+        args.socket.display()
+    );
+    if let Err(e) = serve_unix(&daemon, &args.socket) {
+        eprintln!("wardrop_serve: socket server failed: {e}");
+        daemon.finish();
+        std::process::exit(1);
+    }
+    let report = daemon.finish();
+    println!(
+        "wardrop-serve: stopped in mode {:?} after {} phases ({} queries, {} crashes, {} recoveries)",
+        report.status.mode,
+        report.status.engine_phase,
+        report.stats.queries,
+        report.stats.crashes,
+        report.stats.recoveries,
+    );
+    if let Some(failure) = report.failure {
+        eprintln!("wardrop_serve: terminal failure: {failure}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Atomic, self-pruning checkpoint storage.
+//!
+//! A [`CheckpointStore`] keeps engine snapshots in one directory as
+//! `checkpoint-<phase>.snap` files (the sequence number is the phase
+//! index the snapshot was taken at, so ordering is lexicographic and
+//! resumable by inspection). Writes are **atomic**: the encoded bytes
+//! go to a `*.tmp` sibling, are fsynced, and only then renamed over
+//! the final name (with a best-effort directory fsync) — a crash
+//! mid-write leaves at worst a dangling `*.tmp`, never a damaged
+//! checkpoint under the real name.
+//!
+//! Loading walks the sequence numbers newest-first and returns the
+//! first checkpoint that decodes ([`EngineSnapshot::from_bytes`]) —
+//! a torn or bit-flipped newest file is *skipped*, falling back to
+//! the previous good one, which is why the store keeps the last
+//! [`CheckpointStore::keep`] files instead of only the newest.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use wardrop_core::snapshot::EngineSnapshot;
+
+use crate::ServeError;
+
+const PREFIX: &str = "checkpoint-";
+const SUFFIX: &str = ".snap";
+
+/// A directory of atomically written engine checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory, retaining
+    /// the newest `keep` checkpoints (clamped to at least 2 — the
+    /// whole point of retention is surviving a damaged newest file).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, ServeError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            keep: keep.max(2),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// How many checkpoints the store retains.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    fn path_for(&self, seq: usize) -> PathBuf {
+        self.dir.join(format!("{PREFIX}{seq:010}{SUFFIX}"))
+    }
+
+    /// Sequence numbers of every checkpoint currently present,
+    /// ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the directory cannot be listed.
+    pub fn sequences(&self) -> Result<Vec<usize>, ServeError> {
+        let mut seqs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(stem) = name
+                .strip_prefix(PREFIX)
+                .and_then(|s| s.strip_suffix(SUFFIX))
+            {
+                if let Ok(seq) = stem.parse::<usize>() {
+                    seqs.push(seq);
+                }
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    /// Atomically writes `snapshot` under sequence number `seq`
+    /// (tmp + fsync + rename + best-effort directory fsync), then
+    /// prunes checkpoints beyond the retention window. Returns the
+    /// final path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on any filesystem failure (pruning failures
+    /// included — a store that cannot prune will eventually fill the
+    /// disk, which is not a condition to ignore silently).
+    pub fn save(&self, seq: usize, snapshot: &EngineSnapshot) -> Result<PathBuf, ServeError> {
+        let final_path = self.path_for(seq);
+        let tmp_path = final_path.with_extension("tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&snapshot.to_bytes())?;
+            tmp.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // Persist the rename itself; not all filesystems support
+        // opening a directory for sync, hence best-effort.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        let seqs = self.sequences()?;
+        if seqs.len() > self.keep {
+            for old in &seqs[..seqs.len() - self.keep] {
+                fs::remove_file(self.path_for(*old))?;
+            }
+        }
+        Ok(final_path)
+    }
+
+    /// Loads the newest checkpoint that decodes cleanly, skipping
+    /// (and reporting) damaged ones — the fallback path a torn write
+    /// or bit flip takes. Returns `Ok(None)` for an empty store.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoUsableCheckpoint`] when files exist but none
+    /// decodes; [`ServeError::Io`] if the directory cannot be read.
+    pub fn load_latest(&self) -> Result<Option<(usize, EngineSnapshot)>, ServeError> {
+        let seqs = self.sequences()?;
+        if seqs.is_empty() {
+            return Ok(None);
+        }
+        let mut failures = Vec::new();
+        for &seq in seqs.iter().rev() {
+            match fs::read(self.path_for(seq)) {
+                Ok(bytes) => match EngineSnapshot::from_bytes(&bytes) {
+                    Ok(snapshot) => return Ok(Some((seq, snapshot))),
+                    Err(e) => failures.push(format!("seq {seq}: {e}")),
+                },
+                Err(e) => failures.push(format!("seq {seq}: {e}")),
+            }
+        }
+        Err(ServeError::NoUsableCheckpoint(failures.join("; ")))
+    }
+}

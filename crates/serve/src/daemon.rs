@@ -1,0 +1,973 @@
+//! The supervised routing daemon.
+//!
+//! Three threads cooperate around a shared state block:
+//!
+//! * the **engine thread** owns the [`Simulation`] and is its own
+//!   supervisor: the phase loop runs under `catch_unwind`, and on a
+//!   panic (organic or injected via [`CrashPlan`]) the supervisor
+//!   restores the latest checkpoint, backs off exponentially (capped)
+//!   and replays — publication is monotone, so already-served phases
+//!   are re-executed silently until the crash point is re-reached and
+//!   the daemon goes [`Mode::Live`] again. After more than
+//!   `max_consecutive_crashes` crashes without a single completed
+//!   phase in between, it parks in [`Mode::Failed`] with a typed
+//!   [`ServeError::GiveUp`];
+//! * the **responder thread** drains the bounded query queue and
+//!   walks the degradation ladder of [`crate::query`];
+//! * the **watchdog thread** checks the engine's heartbeat against a
+//!   deadline and flags the daemon as stalled — queries then take the
+//!   stale rung even though the engine thread still *exists* (a hung
+//!   phase is indistinguishable from a dead one to a client).
+//!
+//! Determinism note: replay after a restore is bit-identical to the
+//! original execution (pinned by `crash_resume_is_bit_identical` in
+//! `wardrop-core` and re-checked live — every re-executed phase is
+//! compared against the record it produced before the crash, and any
+//! mismatch latches a `replay_diverged` flag in the report).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use wardrop_core::policy::ReroutingPolicy;
+use wardrop_core::{PhaseRecord, Simulation};
+use wardrop_net::flow::FlowVec;
+use wardrop_net::scenario::EventAction;
+
+use crate::checkpoint::CheckpointStore;
+use crate::query::{CommodityAdvice, Freshness, QueryRequest, QueryResponse, Rejection};
+use crate::{EngineSpec, ServeError};
+
+/// Lock acquisition that survives a poisoned mutex — a crashed engine
+/// thread must never take the query path down with it.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Service tuning. Durations are wall-clock; phase-indexed knobs
+/// count bulletin-board refreshes.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Checkpoint every this many phases (≥ 1).
+    pub checkpoint_interval: usize,
+    /// Checkpoints retained on disk (≥ 2).
+    pub checkpoint_keep: usize,
+    /// Bounded query-queue capacity; admission beyond it sheds
+    /// [`Rejection::Overloaded`].
+    pub queue_capacity: usize,
+    /// Give up (typed, not panicking) after more than this many
+    /// consecutive crashes with no completed phase in between.
+    pub max_consecutive_crashes: usize,
+    /// First post-crash backoff; doubles per consecutive crash.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Staleness budget: answers may lag live by at most this many
+    /// whole refresh intervals before shedding
+    /// [`Rejection::TooStale`].
+    pub max_staleness: usize,
+    /// Wall-clock pacing per phase while live (`None`: free-run).
+    /// Replay after a crash never paces — recovery runs at full
+    /// speed. This is also the staleness unit: one phase of wall
+    /// clock corresponds to one board refresh interval `T`.
+    pub phase_pace: Option<Duration>,
+    /// Watchdog deadline on the engine heartbeat; also the staleness
+    /// unit when free-running.
+    pub heartbeat_deadline: Duration,
+    /// Emulated per-query downstream cost in the responder — a bench
+    /// hook to push offered load past service capacity without
+    /// needing planet-scale client fleets. `None` in production.
+    pub service_floor: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            checkpoint_interval: 32,
+            checkpoint_keep: 3,
+            queue_capacity: 256,
+            max_consecutive_crashes: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(500),
+            max_staleness: 8,
+            phase_pace: None,
+            heartbeat_deadline: Duration::from_millis(500),
+            service_floor: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Range-checks every knob.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first out-of-range knob.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.checkpoint_interval == 0 {
+            return Err("checkpoint interval must be ≥ 1 phase".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be ≥ 1".into());
+        }
+        if self.max_consecutive_crashes == 0 {
+            return Err("crash budget must be ≥ 1".into());
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err("backoff cap must be ≥ backoff base".into());
+        }
+        if self.heartbeat_deadline.is_zero() {
+            return Err("heartbeat deadline must be positive".into());
+        }
+        if self.max_staleness == 0 {
+            return Err("staleness budget must be ≥ 1 refresh".into());
+        }
+        Ok(())
+    }
+}
+
+/// Seeded crash injection: the engine panics immediately before
+/// executing each listed phase, **once per list entry** — the plan is
+/// tracked outside the checkpointed state, exactly like an external
+/// `kill -9`, so a replayed phase does not re-trigger a consumed
+/// entry. Repeating a phase index crashes the daemon again at the
+/// same spot after recovery (the give-up path's test harness).
+#[derive(Debug, Clone, Default)]
+pub struct CrashPlan {
+    /// Phase indices to crash before, consumed front to back.
+    pub at_phases: Vec<usize>,
+}
+
+impl CrashPlan {
+    /// No injected crashes.
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Crash before each listed phase (repeats allowed).
+    pub fn at(phases: &[usize]) -> Self {
+        CrashPlan {
+            at_phases: phases.to_vec(),
+        }
+    }
+}
+
+/// The daemon's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// No phase has completed yet.
+    Starting,
+    /// Serving fresh boards at the configured pace.
+    Live,
+    /// Crashed and replaying from the latest checkpoint.
+    Recovering,
+    /// The run completed; the final board keeps answering.
+    Done,
+    /// The supervisor gave up; queries shed as unavailable.
+    Failed,
+}
+
+impl Mode {
+    fn as_u8(self) -> u8 {
+        match self {
+            Mode::Starting => 0,
+            Mode::Live => 1,
+            Mode::Recovering => 2,
+            Mode::Done => 3,
+            Mode::Failed => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => Mode::Live,
+            2 => Mode::Recovering,
+            3 => Mode::Done,
+            4 => Mode::Failed,
+            _ => Mode::Starting,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    queries: AtomicU64,
+    fresh: AtomicU64,
+    stale: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_stale: AtomicU64,
+    shed_unavailable: AtomicU64,
+    bad_requests: AtomicU64,
+    crashes: AtomicU64,
+    recoveries: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_nanos: AtomicU64,
+    phases: AtomicU64,
+    engine_nanos: AtomicU64,
+    events_applied: AtomicU64,
+    watchdog_trips: AtomicU64,
+    last_replay_phases: AtomicU64,
+}
+
+/// A point-in-time copy of the daemon's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Queries that reached the responder.
+    pub queries: u64,
+    /// Answers served from a fresh board.
+    pub fresh: u64,
+    /// Answers served from a stale board (with a reported bound).
+    pub stale: u64,
+    /// Sheds: queue at capacity.
+    pub shed_overload: u64,
+    /// Sheds: deadline expired while queued.
+    pub shed_deadline: u64,
+    /// Sheds: board beyond the staleness budget.
+    pub shed_stale: u64,
+    /// Sheds: daemon unavailable (failed / not started / shut down).
+    pub shed_unavailable: u64,
+    /// Requests naming unknown commodities.
+    pub bad_requests: u64,
+    /// Engine crashes caught by the supervisor.
+    pub crashes: u64,
+    /// Successful checkpoint restores.
+    pub recoveries: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Wall-clock nanoseconds spent writing checkpoints.
+    pub checkpoint_nanos: u64,
+    /// Phases executed (replays re-count).
+    pub phases: u64,
+    /// Wall-clock nanoseconds inside `Simulation::step`.
+    pub engine_nanos: u64,
+    /// Scenario + injected events applied (replays re-count).
+    pub events_applied: u64,
+    /// Times the watchdog flagged a missed heartbeat.
+    pub watchdog_trips: u64,
+    /// Phases replayed by the most recent recovery.
+    pub last_replay_phases: u64,
+}
+
+/// A point-in-time view of the daemon's lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonStatus {
+    /// Lifecycle state.
+    pub mode: Mode,
+    /// Phases completed by the engine (monotone except across
+    /// restores).
+    pub engine_phase: usize,
+    /// Phase of the most recently published board.
+    pub published_phase: usize,
+    /// Queries currently queued.
+    pub queue_depth: usize,
+    /// Whether the watchdog currently flags a missed heartbeat.
+    pub stalled: bool,
+}
+
+/// The daemon's final accounting, returned by [`Daemon::finish`].
+#[derive(Debug, Clone)]
+pub struct DaemonReport {
+    /// Final status.
+    pub status: DaemonStatus,
+    /// Final counters.
+    pub stats: StatsReport,
+    /// Every phase record produced, in phase order (replayed phases
+    /// appear once — re-execution overwrites in place after the
+    /// equality check).
+    pub records: Vec<PhaseRecord>,
+    /// Phase indices that never produced a record (empty on a
+    /// completed run).
+    pub missing_records: usize,
+    /// Whether any replayed phase differed from its pre-crash record
+    /// — `false` is the live half of the bit-identical-resume
+    /// guarantee.
+    pub replay_diverged: bool,
+    /// Final path flows (present once the run completed).
+    pub final_flow: Option<Vec<f64>>,
+    /// The terminal error when the daemon failed.
+    pub failure: Option<ServeError>,
+}
+
+struct Published {
+    valid: bool,
+    phase: usize,
+    time: f64,
+    at: Option<Instant>,
+    advice: Vec<CommodityAdvice>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    update_period: f64,
+    published: Mutex<Published>,
+    records: Mutex<Vec<Option<PhaseRecord>>>,
+    external: Mutex<VecDeque<Vec<EventAction>>>,
+    crash_plan: Mutex<Vec<usize>>,
+    mode: AtomicU8,
+    stalled: AtomicBool,
+    shutdown: AtomicBool,
+    replay_diverged: AtomicBool,
+    engine_phase: AtomicUsize,
+    replay_target: AtomicUsize,
+    heartbeat_ms: AtomicU64,
+    started: Instant,
+    queue_depth: AtomicUsize,
+    stats: Stats,
+    failure: Mutex<Option<ServeError>>,
+    final_flow: Mutex<Option<Vec<f64>>>,
+}
+
+impl Shared {
+    fn mode(&self) -> Mode {
+        Mode::from_u8(self.mode.load(Ordering::Acquire))
+    }
+
+    fn set_mode(&self, mode: Mode) {
+        self.mode.store(mode.as_u8(), Ordering::Release);
+    }
+
+    fn staleness_unit(&self) -> Duration {
+        self.config
+            .phase_pace
+            .unwrap_or(self.config.heartbeat_deadline)
+    }
+
+    fn beat(&self) {
+        self.heartbeat_ms
+            .store(self.started.elapsed().as_millis() as u64, Ordering::Release);
+        self.stalled.store(false, Ordering::Release);
+    }
+
+    fn stats_report(&self) -> StatsReport {
+        let s = &self.stats;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StatsReport {
+            queries: load(&s.queries),
+            fresh: load(&s.fresh),
+            stale: load(&s.stale),
+            shed_overload: load(&s.shed_overload),
+            shed_deadline: load(&s.shed_deadline),
+            shed_stale: load(&s.shed_stale),
+            shed_unavailable: load(&s.shed_unavailable),
+            bad_requests: load(&s.bad_requests),
+            crashes: load(&s.crashes),
+            recoveries: load(&s.recoveries),
+            checkpoints: load(&s.checkpoints),
+            checkpoint_nanos: load(&s.checkpoint_nanos),
+            phases: load(&s.phases),
+            engine_nanos: load(&s.engine_nanos),
+            events_applied: load(&s.events_applied),
+            watchdog_trips: load(&s.watchdog_trips),
+            last_replay_phases: load(&s.last_replay_phases),
+        }
+    }
+
+    fn status(&self) -> DaemonStatus {
+        DaemonStatus {
+            mode: self.mode(),
+            engine_phase: self.engine_phase.load(Ordering::Acquire),
+            published_phase: lock(&self.published).phase,
+            queue_depth: self.queue_depth.load(Ordering::Acquire),
+            stalled: self.stalled.load(Ordering::Acquire),
+        }
+    }
+}
+
+struct Queued {
+    request: QueryRequest,
+    enqueued: Instant,
+    reply: SyncSender<Result<QueryResponse, Rejection>>,
+}
+
+/// The running daemon: one engine, one responder, one watchdog.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    sender: Mutex<Option<SyncSender<Queued>>>,
+    engine: Mutex<Option<JoinHandle<()>>>,
+    responder: Mutex<Option<JoinHandle<()>>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Daemon {
+    /// Starts the daemon: spawns the supervised engine, the responder
+    /// and the watchdog. If `store` already holds checkpoints (a
+    /// previous *process* died), the run resumes from the newest
+    /// readable one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] for out-of-range configuration.
+    pub fn start(
+        spec: EngineSpec,
+        config: ServeConfig,
+        store: CheckpointStore,
+        crash_plan: CrashPlan,
+    ) -> Result<Daemon, ServeError> {
+        config.validate().map_err(ServeError::Protocol)?;
+        spec.config
+            .check()
+            .map_err(|m| ServeError::Protocol(format!("engine config: {m}")))?;
+        let commodities = spec.instance.num_commodities();
+        let shared = Arc::new(Shared {
+            config: config.clone(),
+            update_period: spec.config.update_period,
+            published: Mutex::new(Published {
+                valid: false,
+                phase: 0,
+                time: 0.0,
+                at: None,
+                advice: (0..commodities)
+                    .map(|c| CommodityAdvice {
+                        commodity: c,
+                        best_path: 0,
+                        latency: f64::NAN,
+                    })
+                    .collect(),
+            }),
+            records: Mutex::new(Vec::new()),
+            external: Mutex::new(VecDeque::new()),
+            crash_plan: Mutex::new(crash_plan.at_phases),
+            mode: AtomicU8::new(Mode::Starting.as_u8()),
+            stalled: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            replay_diverged: AtomicBool::new(false),
+            engine_phase: AtomicUsize::new(0),
+            replay_target: AtomicUsize::new(0),
+            heartbeat_ms: AtomicU64::new(0),
+            started: Instant::now(),
+            queue_depth: AtomicUsize::new(0),
+            stats: Stats::default(),
+            failure: Mutex::new(None),
+            final_flow: Mutex::new(None),
+        });
+        let (sender, receiver) = sync_channel::<Queued>(config.queue_capacity);
+
+        let engine_shared = Arc::clone(&shared);
+        let engine = thread::Builder::new()
+            .name("wardrop-serve-engine".into())
+            .spawn(move || engine_main(&engine_shared, &spec, &store))?;
+        let responder_shared = Arc::clone(&shared);
+        let responder = thread::Builder::new()
+            .name("wardrop-serve-responder".into())
+            .spawn(move || responder_main(&responder_shared, receiver))?;
+        let watchdog_shared = Arc::clone(&shared);
+        let watchdog = thread::Builder::new()
+            .name("wardrop-serve-watchdog".into())
+            .spawn(move || watchdog_main(&watchdog_shared))?;
+
+        Ok(Daemon {
+            shared,
+            sender: Mutex::new(Some(sender)),
+            engine: Mutex::new(Some(engine)),
+            responder: Mutex::new(Some(responder)),
+            watchdog: Mutex::new(Some(watchdog)),
+        })
+    }
+
+    /// Submits a query and blocks for the answer (or typed shed).
+    /// Admission is the queue: a full queue sheds immediately as
+    /// [`Rejection::Overloaded`] without blocking the caller.
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, Rejection> {
+        let sender = lock(&self.sender).clone();
+        let Some(sender) = sender else {
+            self.shared
+                .stats
+                .shed_unavailable
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::Unavailable {
+                reason: "daemon is shut down".into(),
+            });
+        };
+        let (reply, answer) = sync_channel(1);
+        let queued = Queued {
+            request,
+            enqueued: Instant::now(),
+            reply,
+        };
+        match sender.try_send(queued) {
+            Ok(()) => {
+                self.shared.queue_depth.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared
+                    .stats
+                    .shed_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::Overloaded {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared
+                    .stats
+                    .shed_unavailable
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::Unavailable {
+                    reason: "responder terminated".into(),
+                });
+            }
+        }
+        answer.recv().unwrap_or(Err(Rejection::Unavailable {
+            reason: "responder terminated".into(),
+        }))
+    }
+
+    /// Queues a scenario event for application at the next phase
+    /// boundary (only once live — events are not applied during
+    /// replay). The engine checkpoints immediately after applying
+    /// injected events so post-crash replays include them.
+    pub fn inject_event(&self, actions: Vec<EventAction>) {
+        lock(&self.shared.external).push_back(actions);
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StatsReport {
+        self.shared.stats_report()
+    }
+
+    /// Point-in-time lifecycle view.
+    pub fn status(&self) -> DaemonStatus {
+        self.shared.status()
+    }
+
+    /// Asks the engine to stop at the next phase boundary (a final
+    /// checkpoint is written). Queries keep being answered from the
+    /// last board until [`Daemon::finish`].
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the engine reaches [`Mode::Done`] or
+    /// [`Mode::Failed`], or the timeout elapses. Returns the mode
+    /// observed last.
+    pub fn wait_engine(&self, timeout: Duration) -> Mode {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mode = self.shared.mode();
+            if matches!(mode, Mode::Done | Mode::Failed) || Instant::now() >= deadline {
+                return mode;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Blocks until the daemon has published a board and gone live
+    /// (also satisfied by `Done`/`Failed`), or the timeout elapses.
+    pub fn wait_live(&self, timeout: Duration) -> Mode {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mode = self.shared.mode();
+            if !matches!(mode, Mode::Starting) || Instant::now() >= deadline {
+                return mode;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops everything and returns the final accounting: requests
+    /// shutdown, joins the engine, closes the queue, joins responder
+    /// and watchdog.
+    pub fn finish(&self) -> DaemonReport {
+        self.request_shutdown();
+        if let Some(handle) = lock(&self.engine).take() {
+            let _ = handle.join();
+        }
+        // Dropping the last sender disconnects the responder's
+        // receiver once the queue drains.
+        *lock(&self.sender) = None;
+        if let Some(handle) = lock(&self.responder).take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = lock(&self.watchdog).take() {
+            let _ = handle.join();
+        }
+        let slots = lock(&self.shared.records);
+        let missing_records = slots.iter().filter(|r| r.is_none()).count();
+        let records: Vec<PhaseRecord> = slots.iter().filter_map(|r| r.clone()).collect();
+        drop(slots);
+        DaemonReport {
+            status: self.shared.status(),
+            stats: self.shared.stats_report(),
+            records,
+            missing_records,
+            replay_diverged: self.shared.replay_diverged.load(Ordering::Acquire),
+            final_flow: lock(&self.shared.final_flow).clone(),
+            failure: lock(&self.shared.failure).clone(),
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// The supervisor: runs the phase loop under `catch_unwind`,
+/// restoring and replaying on crashes with capped exponential
+/// backoff.
+fn engine_main(shared: &Arc<Shared>, spec: &EngineSpec, store: &CheckpointStore) {
+    let mut consecutive = 0usize;
+    // A store left behind by a previous *process* resumes too.
+    let mut resume = store.load_latest().ok().flatten().map(|(_, s)| s);
+    loop {
+        let phases_before = shared.stats.phases.load(Ordering::Relaxed);
+        let attempt = resume.take();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_engine(shared, spec, store, attempt)
+        }));
+        match outcome {
+            Ok(Ok(())) => {
+                shared.set_mode(Mode::Done);
+                return;
+            }
+            Ok(Err(error)) => {
+                *lock(&shared.failure) = Some(error);
+                shared.set_mode(Mode::Failed);
+                return;
+            }
+            Err(payload) => {
+                let message = panic_message(payload);
+                shared.stats.crashes.fetch_add(1, Ordering::Relaxed);
+                let progressed = shared.stats.phases.load(Ordering::Relaxed) > phases_before;
+                consecutive = if progressed { 1 } else { consecutive + 1 };
+                if consecutive > shared.config.max_consecutive_crashes {
+                    *lock(&shared.failure) = Some(ServeError::GiveUp {
+                        crashes: consecutive,
+                        last: message,
+                    });
+                    shared.set_mode(Mode::Failed);
+                    return;
+                }
+                shared.set_mode(Mode::Recovering);
+                // Everything completed before the crash must be
+                // re-reached before the daemon calls itself live.
+                shared.replay_target.store(
+                    shared.engine_phase.load(Ordering::Acquire),
+                    Ordering::Release,
+                );
+                let backoff = shared
+                    .config
+                    .backoff_base
+                    .saturating_mul(1u32 << (consecutive - 1).min(16))
+                    .min(shared.config.backoff_cap);
+                thread::sleep(backoff);
+                match store.load_latest() {
+                    Ok(found) => {
+                        if let Some((seq, snapshot)) = found {
+                            shared.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+                            shared.stats.last_replay_phases.store(
+                                (shared.replay_target.load(Ordering::Acquire) as u64)
+                                    .saturating_sub(seq as u64),
+                                Ordering::Relaxed,
+                            );
+                            resume = Some(snapshot);
+                        }
+                        // Empty store: restart from scratch (the
+                        // initial state *is* the phase-0 checkpoint).
+                    }
+                    Err(error) => {
+                        *lock(&shared.failure) = Some(error);
+                        shared.set_mode(Mode::Failed);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One engine incarnation: build (or restore) the simulation, then
+/// step phases until completion or shutdown, publishing advice and
+/// writing checkpoints.
+fn run_engine(
+    shared: &Arc<Shared>,
+    spec: &EngineSpec,
+    store: &CheckpointStore,
+    resume: Option<wardrop_core::snapshot::EngineSnapshot>,
+) -> Result<(), ServeError> {
+    // The policy is always built from the pristine instance — batch
+    // runs construct it once at phase 0 and never rebuild it, so a
+    // restore must not derive it from the event-mutated instance.
+    let policy = spec.policy.build(&spec.instance);
+    let dynamics: &dyn ReroutingPolicy = &*policy;
+    let mut sim = match &resume {
+        Some(snapshot) => Simulation::from_snapshot(dynamics, snapshot)?,
+        None => Simulation::new(
+            &spec.instance,
+            dynamics,
+            &FlowVec::uniform(&spec.instance),
+            &spec.config,
+        ),
+    };
+    let events = spec.scenario.events();
+    // Scenario events with `at_phase < index` were applied before the
+    // checkpoint at `index` was taken (the boundary drain applies
+    // everything due before stepping). Injected events also bump the
+    // engine epoch, so the cursor is recovered from the event list,
+    // not from the epoch counter.
+    let mut cursor = events
+        .iter()
+        .take_while(|e| e.at_phase < sim.phases_run())
+        .count();
+    if store.sequences()?.is_empty() {
+        write_checkpoint(shared, store, &sim)?;
+    }
+    maybe_go_live(shared, sim.phases_run());
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            write_checkpoint(shared, store, &sim)?;
+            return Ok(());
+        }
+        while cursor < events.len() && events[cursor].at_phase <= sim.phases_run() {
+            sim.apply_event(&events[cursor].actions)
+                .map_err(|e| ServeError::Event(e.to_string()))?;
+            cursor += 1;
+            shared.stats.events_applied.fetch_add(1, Ordering::Relaxed);
+        }
+        if shared.mode() == Mode::Live {
+            let pending: Vec<Vec<EventAction>> = lock(&shared.external).drain(..).collect();
+            if !pending.is_empty() {
+                for actions in &pending {
+                    sim.apply_event(actions)
+                        .map_err(|e| ServeError::Event(e.to_string()))?;
+                    shared.stats.events_applied.fetch_add(1, Ordering::Relaxed);
+                }
+                // Persist immediately: a replay that skipped an
+                // injected event would diverge from served history.
+                write_checkpoint(shared, store, &sim)?;
+            }
+        }
+        let phase = sim.phases_run();
+        {
+            let mut plan = lock(&shared.crash_plan);
+            if let Some(position) = plan.iter().position(|&p| p == phase) {
+                plan.remove(position);
+                drop(plan);
+                panic!("injected crash before phase {phase}");
+            }
+        }
+        let step_started = Instant::now();
+        let Some(record) = sim.step() else {
+            write_checkpoint(shared, store, &sim)?;
+            *lock(&shared.final_flow) = Some(sim.flow().values().to_vec());
+            return Ok(());
+        };
+        shared
+            .stats
+            .engine_nanos
+            .fetch_add(step_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.stats.phases.fetch_add(1, Ordering::Relaxed);
+        publish(shared, &sim, &record);
+        shared
+            .engine_phase
+            .store(sim.phases_run(), Ordering::Release);
+        shared.beat();
+        maybe_go_live(shared, sim.phases_run());
+        if sim.phases_run() % shared.config.checkpoint_interval == 0 {
+            write_checkpoint(shared, store, &sim)?;
+        }
+        if shared.mode() == Mode::Live {
+            if let Some(pace) = shared.config.phase_pace {
+                thread::sleep(pace);
+            }
+        }
+    }
+}
+
+fn maybe_go_live(shared: &Shared, phases_run: usize) {
+    let mode = shared.mode();
+    if matches!(mode, Mode::Starting | Mode::Recovering)
+        && phases_run >= shared.replay_target.load(Ordering::Acquire)
+    {
+        shared.set_mode(Mode::Live);
+    }
+}
+
+fn write_checkpoint(
+    shared: &Shared,
+    store: &CheckpointStore,
+    sim: &Simulation<'_, dyn ReroutingPolicy>,
+) -> Result<(), ServeError> {
+    let started = Instant::now();
+    store.save(sim.phases_run(), &sim.snapshot())?;
+    shared.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .checkpoint_nanos
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+fn publish(shared: &Shared, sim: &Simulation<'_, dyn ReroutingPolicy>, record: &PhaseRecord) {
+    {
+        let mut records = lock(&shared.records);
+        if records.len() <= record.index {
+            records.resize(record.index + 1, None);
+        }
+        if let Some(existing) = &records[record.index] {
+            if existing != record {
+                shared.replay_diverged.store(true, Ordering::Release);
+            }
+        }
+        records[record.index] = Some(record.clone());
+    }
+    let mut published = lock(&shared.published);
+    if published.valid && record.index < published.phase {
+        // Replaying history: publication is monotone.
+        return;
+    }
+    published.valid = true;
+    published.phase = record.index;
+    published.time = record.start_time;
+    published.at = Some(Instant::now());
+    let board = sim.board();
+    let instance = sim.instance();
+    for (commodity, slot) in published.advice.iter_mut().enumerate() {
+        *slot = CommodityAdvice {
+            commodity,
+            best_path: board.best_reply(instance, commodity),
+            latency: board.min_latency(instance, commodity),
+        };
+    }
+}
+
+fn responder_main(shared: &Arc<Shared>, receiver: Receiver<Queued>) {
+    while let Ok(queued) = receiver.recv() {
+        shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+        if let Some(floor) = shared.config.service_floor {
+            thread::sleep(floor);
+        }
+        let result = answer(shared, &queued);
+        let _ = queued.reply.send(result);
+    }
+}
+
+/// The degradation ladder (see [`crate::query`]).
+fn answer(shared: &Shared, queued: &Queued) -> Result<QueryResponse, Rejection> {
+    let shed = |counter: &AtomicU64, rejection: Rejection| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        Err(rejection)
+    };
+    shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let waited = queued.enqueued.elapsed();
+    let waited_us = waited.as_micros() as u64;
+    if let Some(deadline_us) = queued.request.deadline_us {
+        if waited_us > deadline_us {
+            return shed(
+                &shared.stats.shed_deadline,
+                Rejection::DeadlineExpired { waited_us },
+            );
+        }
+    }
+    let mode = shared.mode();
+    if mode == Mode::Failed {
+        let reason = lock(&shared.failure)
+            .as_ref()
+            .map_or_else(|| "engine failed".to_string(), ToString::to_string);
+        return shed(
+            &shared.stats.shed_unavailable,
+            Rejection::Unavailable { reason },
+        );
+    }
+    let published = lock(&shared.published);
+    if !published.valid {
+        return shed(
+            &shared.stats.shed_unavailable,
+            Rejection::Unavailable {
+                reason: "no board published yet".into(),
+            },
+        );
+    }
+    let missed_refreshes = match mode {
+        // A completed run's final board is the converged answer.
+        Mode::Done => 0,
+        _ => {
+            let unit = shared.staleness_unit();
+            let elapsed = published.at.map(|at| at.elapsed()).unwrap_or_default();
+            let mut behind = (elapsed.as_secs_f64() / unit.as_secs_f64()) as usize;
+            if behind == 0 && shared.stalled.load(Ordering::Acquire) {
+                behind = 1;
+            }
+            behind
+        }
+    };
+    if missed_refreshes > shared.config.max_staleness {
+        return shed(
+            &shared.stats.shed_stale,
+            Rejection::TooStale {
+                missed_refreshes,
+                budget: shared.config.max_staleness,
+            },
+        );
+    }
+    let advice = if queued.request.commodities.is_empty() {
+        published.advice.clone()
+    } else {
+        let mut out = Vec::with_capacity(queued.request.commodities.len());
+        for &commodity in &queued.request.commodities {
+            match published.advice.get(commodity) {
+                Some(slot) => out.push(*slot),
+                None => {
+                    return shed(
+                        &shared.stats.bad_requests,
+                        Rejection::BadRequest {
+                            reason: format!(
+                                "commodity {commodity} out of range ({} commodities)",
+                                published.advice.len()
+                            ),
+                        },
+                    )
+                }
+            }
+        }
+        out
+    };
+    let freshness = if missed_refreshes == 0 {
+        shared.stats.fresh.fetch_add(1, Ordering::Relaxed);
+        Freshness::Fresh
+    } else {
+        shared.stats.stale.fetch_add(1, Ordering::Relaxed);
+        Freshness::Stale { missed_refreshes }
+    };
+    Ok(QueryResponse {
+        advice,
+        freshness,
+        board_phase: published.phase,
+        board_time: published.time,
+        staleness_bound: (missed_refreshes as f64 + 1.0) * shared.update_period,
+        queue_wait_us: waited_us,
+    })
+}
+
+fn watchdog_main(shared: &Arc<Shared>) {
+    let deadline_ms = shared.config.heartbeat_deadline.as_millis() as u64;
+    let period = (shared.config.heartbeat_deadline / 4).max(Duration::from_millis(1));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire)
+            || matches!(shared.mode(), Mode::Done | Mode::Failed)
+        {
+            return;
+        }
+        thread::sleep(period);
+        if shared.mode() != Mode::Live {
+            continue;
+        }
+        let now_ms = shared.started.elapsed().as_millis() as u64;
+        let beat = shared.heartbeat_ms.load(Ordering::Acquire);
+        if now_ms.saturating_sub(beat) > deadline_ms && !shared.stalled.swap(true, Ordering::AcqRel)
+        {
+            shared.stats.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! # wardrop-serve
+//!
+//! Routing advice as a *service*: a crash-safe daemon around the
+//! fluid-limit engine of `wardrop-core`, closing the loop on the
+//! paper's premise — agents querying a periodically refreshed,
+//! possibly stale bulletin board (Fischer & Vöcking, PODC 2005).
+//!
+//! The daemon owns a live [`Simulation`](wardrop_core::Simulation),
+//! drives it phase by phase through a scenario from the experiment
+//! registry, and answers batched route-advice queries from the posted
+//! board. Three robustness layers wrap the phase loop:
+//!
+//! 1. **Checkpoint/restore** ([`checkpoint`]): the engine state is
+//!    serialized through [`wardrop_core::snapshot`] and written
+//!    atomically (tmp + fsync + rename), so a resumed run is
+//!    bit-identical to an uninterrupted one and a crash mid-write can
+//!    never clobber the latest good checkpoint.
+//! 2. **Watchdog supervision** ([`daemon`]): the phase loop runs on a
+//!    supervised thread under `catch_unwind` with a heartbeat
+//!    deadline; on a panic (or a seeded [`CrashPlan`] injection) the
+//!    supervisor restores the latest checkpoint and replays, with
+//!    capped exponential backoff and a typed
+//!    [`ServeError::GiveUp`] after too many consecutive crashes.
+//! 3. **Graceful degradation** ([`query`]): a bounded queue of
+//!    deadline-tagged requests and an explicit ladder — fresh board →
+//!    stale board with a reported staleness bound (multiples of the
+//!    update period `T`, the paper's own unit of staleness) → typed
+//!    load-shed [`Rejection`], never a panic.
+//!
+//! A Unix-domain-socket front end ([`server`], newline-delimited JSON
+//! — see [`protocol`]) and a seeded heavy-tailed load generator
+//! ([`load`]) complete the service: `serve_bench` measures sustained
+//! events/sec and p50/p99 query latency into `BENCH_serve.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use wardrop_core::policy::{fast_relative_slack, replicator, uniform_linear, ReroutingPolicy};
+use wardrop_core::snapshot::SnapshotError;
+use wardrop_core::SimulationConfig;
+use wardrop_net::instance::Instance;
+use wardrop_net::scenario::Scenario;
+
+pub mod bench;
+pub mod checkpoint;
+pub mod daemon;
+pub mod load;
+pub mod protocol;
+pub mod query;
+pub mod server;
+
+pub use checkpoint::CheckpointStore;
+pub use daemon::{CrashPlan, Daemon, DaemonReport, DaemonStatus, Mode, ServeConfig, StatsReport};
+pub use load::{drive_load, LoadProfile, LoadReport};
+pub use query::{CommodityAdvice, Freshness, QueryRequest, QueryResponse, Rejection};
+pub use server::serve_unix;
+
+/// Typed failure of the service layer. String-backed (including I/O)
+/// so errors clone across the supervisor/report boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Filesystem failure in the checkpoint store.
+    Io(String),
+    /// A checkpoint failed to decode or restore.
+    Snapshot(SnapshotError),
+    /// A scenario event failed to apply.
+    Event(String),
+    /// The supervisor gave up after too many consecutive crashes.
+    GiveUp {
+        /// Consecutive crashes observed without forward progress.
+        crashes: usize,
+        /// The last crash's panic payload.
+        last: String,
+    },
+    /// Every checkpoint in the store was unreadable.
+    NoUsableCheckpoint(String),
+    /// A malformed wire request, unknown scenario, or socket failure.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "checkpoint I/O: {msg}"),
+            ServeError::Snapshot(e) => write!(f, "{e}"),
+            ServeError::Event(msg) => write!(f, "event application failed: {msg}"),
+            ServeError::GiveUp { crashes, last } => {
+                write!(
+                    f,
+                    "gave up after {crashes} consecutive crashes (last: {last})"
+                )
+            }
+            ServeError::NoUsableCheckpoint(msg) => {
+                write!(f, "no usable checkpoint: {msg}")
+            }
+            ServeError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+/// The rerouting policy a served run uses. The daemon rebuilds the
+/// policy from the *original* spec instance on every (re)start —
+/// policies are constructed once per run in batch mode too, so a
+/// restore must not rebuild them from the event-mutated instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Uniform sampling + linear migration (the registry default).
+    UniformLinear,
+    /// Proportional sampling + linear migration (replicator dynamics).
+    Replicator,
+    /// Uniform sampling + relative-slack migration.
+    FastRelativeSlack,
+}
+
+impl PolicyKind {
+    /// Builds the policy for `instance`.
+    pub fn build(self, instance: &Instance) -> Box<dyn ReroutingPolicy> {
+        match self {
+            PolicyKind::UniformLinear => Box::new(uniform_linear(instance)),
+            PolicyKind::Replicator => Box::new(replicator(instance)),
+            PolicyKind::FastRelativeSlack => Box::new(fast_relative_slack()),
+        }
+    }
+}
+
+/// Everything the daemon needs to (re)start a run: the pristine
+/// instance, the scenario's event list, the engine configuration and
+/// the policy. Restarts rebuild the policy from `instance` (not from
+/// a checkpoint's mutated instance) so a resumed run drives the exact
+/// dynamics of the original.
+#[derive(Debug, Clone)]
+pub struct EngineSpec {
+    /// Human-readable name (registry scenario name).
+    pub name: String,
+    /// The pristine (epoch-0) instance.
+    pub instance: Instance,
+    /// The scenario whose events the daemon ingests at phase
+    /// boundaries.
+    pub scenario: Scenario,
+    /// Engine configuration (update period, phase budget, faults,
+    /// guard, ...).
+    pub config: SimulationConfig,
+    /// The rerouting policy.
+    pub policy: PolicyKind,
+}
+
+impl EngineSpec {
+    /// Builds a spec from the experiment scenario registry
+    /// ([`wardrop_experiments::scenarios::by_name`]), under the
+    /// registry's own engine configuration — a served scenario is
+    /// phase-for-phase the batch run.
+    pub fn from_registry(name: &str, smoke: bool) -> Option<Self> {
+        let named = wardrop_experiments::scenarios::by_name(name, smoke)?;
+        Some(EngineSpec {
+            name: named.name.to_string(),
+            config: named.config(),
+            instance: named.instance,
+            scenario: named.scenario,
+            policy: PolicyKind::UniformLinear,
+        })
+    }
+}

@@ -1,0 +1,256 @@
+//! Seeded, heavy-tailed load generation.
+//!
+//! [`drive_load`] runs a fleet of client threads against a
+//! [`Daemon`], mimicking a flash crowd: each client alternates calm
+//! stretches (exponential inter-arrival gaps) with bursts whose
+//! lengths are Pareto-distributed — the heavy tail is what actually
+//! exercises the bounded queue, because mean-rate sizing says nothing
+//! about a p99 burst. All randomness is SplitMix64 seeded from
+//! [`LoadProfile::seed`] and the client index, so a profile generates
+//! the same request *sequence* every run (timing, of course, is the
+//! operating system's).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::daemon::Daemon;
+use crate::query::{Freshness, QueryRequest, Rejection};
+
+/// Deterministic SplitMix64 stream.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `(0, 1]` (safe as a log/power argument).
+    fn next_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+}
+
+/// A seeded description of offered load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    /// Root seed; client `i` uses stream `seed ^ hash(i)`.
+    pub seed: u64,
+    /// Wall-clock duration to keep offering load, in milliseconds.
+    pub duration_ms: u64,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Per-client calm-phase request rate (requests/second);
+    /// inter-arrival gaps are exponential at this rate.
+    pub rate_hz: f64,
+    /// Probability that an arrival grows into a burst.
+    pub burst_probability: f64,
+    /// Pareto tail index for burst lengths — smaller is heavier;
+    /// `alpha ≤ 1` has unbounded mean, so bursts are clipped at
+    /// [`LoadProfile::burst_cap`].
+    pub pareto_alpha: f64,
+    /// Hard cap on one burst's length.
+    pub burst_cap: usize,
+    /// Commodities in the served instance (requests sample subsets).
+    pub commodities: usize,
+    /// Largest per-request commodity batch.
+    pub batch_max: usize,
+    /// Deadline attached to every request, if any.
+    pub deadline_us: Option<u64>,
+}
+
+impl LoadProfile {
+    /// A nominal profile the default daemon configuration must serve
+    /// with zero sheds: a few calm clients, mild bursts.
+    pub fn nominal(commodities: usize) -> Self {
+        LoadProfile {
+            seed: 0x57AD_0001,
+            duration_ms: 300,
+            clients: 4,
+            rate_hz: 200.0,
+            burst_probability: 0.05,
+            pareto_alpha: 1.5,
+            burst_cap: 16,
+            commodities,
+            batch_max: commodities.max(1),
+            deadline_us: None,
+        }
+    }
+
+    /// A flash-crowd profile meant to exceed service capacity: many
+    /// clients, hot rate, heavy-tailed bursts, tight deadlines.
+    pub fn flash_crowd(commodities: usize) -> Self {
+        LoadProfile {
+            seed: 0x57AD_0002,
+            duration_ms: 300,
+            clients: 8,
+            rate_hz: 2_000.0,
+            burst_probability: 0.25,
+            pareto_alpha: 1.1,
+            burst_cap: 64,
+            commodities,
+            batch_max: commodities.max(1),
+            deadline_us: Some(5_000),
+        }
+    }
+}
+
+/// What a load run observed, aggregated over all clients.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Requests offered (admitted or not).
+    pub offered: u64,
+    /// Requests answered with advice.
+    pub answered: u64,
+    /// Answers from a fresh board.
+    pub fresh: u64,
+    /// Answers from a stale board.
+    pub stale: u64,
+    /// Sheds: queue at capacity.
+    pub rejected_overload: u64,
+    /// Sheds: deadline expired in the queue.
+    pub rejected_deadline: u64,
+    /// Sheds: board beyond the staleness budget.
+    pub rejected_stale: u64,
+    /// Sheds: daemon unavailable.
+    pub rejected_unavailable: u64,
+    /// Requests the daemon called malformed.
+    pub bad_requests: u64,
+    /// Median answer latency, microseconds (enqueue to answer).
+    pub p50_us: u64,
+    /// 99th-percentile answer latency, microseconds.
+    pub p99_us: u64,
+    /// Worst answer latency, microseconds.
+    pub max_us: u64,
+    /// Answered queries per wall-clock second.
+    pub queries_per_sec: f64,
+    /// Commodity-advice entries served per wall-clock second (the
+    /// "events/sec" a routing service actually bills by).
+    pub events_per_sec: f64,
+    /// Measured wall-clock duration, milliseconds.
+    pub duration_ms: u64,
+}
+
+struct ClientTally {
+    report: LoadReport,
+    latencies_us: Vec<u64>,
+    advice_served: u64,
+}
+
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn client_main(daemon: &Daemon, profile: &LoadProfile, index: usize) -> ClientTally {
+    let mut rng = SplitMix64(profile.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut tally = ClientTally {
+        report: LoadReport::default(),
+        latencies_us: Vec::new(),
+        advice_served: 0,
+    };
+    let deadline = Instant::now() + Duration::from_millis(profile.duration_ms);
+    while Instant::now() < deadline {
+        // One arrival, possibly fattened into a Pareto burst.
+        let burst = if rng.next_f64() < profile.burst_probability {
+            let raw = 1.0 / rng.next_open().powf(1.0 / profile.pareto_alpha);
+            (raw as usize).clamp(1, profile.burst_cap)
+        } else {
+            1
+        };
+        for _ in 0..burst {
+            if Instant::now() >= deadline {
+                break;
+            }
+            let batch = 1 + (rng.next_u64() as usize) % profile.batch_max.max(1);
+            let commodities: Vec<usize> = (0..batch)
+                .map(|_| (rng.next_u64() as usize) % profile.commodities.max(1))
+                .collect();
+            let request = QueryRequest {
+                commodities,
+                deadline_us: profile.deadline_us,
+            };
+            let issued = Instant::now();
+            tally.report.offered += 1;
+            match daemon.query(request) {
+                Ok(response) => {
+                    tally.report.answered += 1;
+                    tally.advice_served += response.advice.len() as u64;
+                    match response.freshness {
+                        Freshness::Fresh => tally.report.fresh += 1,
+                        Freshness::Stale { .. } => tally.report.stale += 1,
+                    }
+                    tally.latencies_us.push(issued.elapsed().as_micros() as u64);
+                }
+                Err(Rejection::Overloaded { .. }) => tally.report.rejected_overload += 1,
+                Err(Rejection::DeadlineExpired { .. }) => tally.report.rejected_deadline += 1,
+                Err(Rejection::TooStale { .. }) => tally.report.rejected_stale += 1,
+                Err(Rejection::Unavailable { .. }) => tally.report.rejected_unavailable += 1,
+                Err(Rejection::BadRequest { .. }) => tally.report.bad_requests += 1,
+            }
+        }
+        let gap = -rng.next_open().ln() / profile.rate_hz.max(1e-9);
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        thread::sleep(Duration::from_secs_f64(gap.max(0.0)).min(remaining));
+    }
+    tally
+}
+
+/// Runs `profile` against `daemon` from a fleet of client threads and
+/// aggregates the outcome. Blocks for roughly
+/// [`LoadProfile::duration_ms`].
+pub fn drive_load(daemon: &Daemon, profile: &LoadProfile) -> LoadReport {
+    let started = Instant::now();
+    let all_latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let advice_total = AtomicU64::new(0);
+    let merged: Mutex<LoadReport> = Mutex::new(LoadReport::default());
+    thread::scope(|scope| {
+        for index in 0..profile.clients {
+            let all_latencies = &all_latencies;
+            let advice_total = &advice_total;
+            let merged = &merged;
+            scope.spawn(move || {
+                let tally = client_main(daemon, profile, index);
+                let mut report = merged.lock().unwrap();
+                report.offered += tally.report.offered;
+                report.answered += tally.report.answered;
+                report.fresh += tally.report.fresh;
+                report.stale += tally.report.stale;
+                report.rejected_overload += tally.report.rejected_overload;
+                report.rejected_deadline += tally.report.rejected_deadline;
+                report.rejected_stale += tally.report.rejected_stale;
+                report.rejected_unavailable += tally.report.rejected_unavailable;
+                report.bad_requests += tally.report.bad_requests;
+                advice_total.fetch_add(tally.advice_served, Ordering::Relaxed);
+                all_latencies.lock().unwrap().extend(tally.latencies_us);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let mut latencies = all_latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    let mut report = merged.into_inner().unwrap();
+    report.p50_us = percentile(&latencies, 50.0);
+    report.p99_us = percentile(&latencies, 99.0);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    report.queries_per_sec = report.answered as f64 / secs;
+    report.events_per_sec = advice_total.load(Ordering::Relaxed) as f64 / secs;
+    report.duration_ms = elapsed.as_millis() as u64;
+    report
+}

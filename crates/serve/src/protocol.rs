@@ -1,0 +1,148 @@
+//! The daemon's wire protocol: newline-delimited JSON over a
+//! Unix-domain socket.
+//!
+//! One request per line, one response per line, in order. The
+//! framing is deliberately primitive — the protocol's robustness
+//! story lives in the *types*: a malformed line comes back as
+//! [`WireResponse::Error`], a load shed as
+//! [`WireResponse::Rejected`] with the full typed [`Rejection`],
+//! never a dropped connection mid-answer.
+
+use serde::{Deserialize, Serialize};
+use wardrop_net::scenario::EventAction;
+
+use crate::daemon::{DaemonStatus, StatsReport};
+use crate::query::{QueryRequest, QueryResponse, Rejection};
+use crate::ServeError;
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireRequest {
+    /// Route-advice query.
+    Route(QueryRequest),
+    /// Inject scenario events at the next live phase boundary.
+    Event {
+        /// Actions applied atomically as one event.
+        actions: Vec<EventAction>,
+    },
+    /// Fetch the daemon's counters.
+    Stats,
+    /// Fetch the daemon's lifecycle status.
+    Status,
+    /// Ask the engine to stop at the next phase boundary (a final
+    /// checkpoint is written); the socket stays up for queries.
+    Shutdown,
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireResponse {
+    /// The advice for a [`WireRequest::Route`].
+    Route(QueryResponse),
+    /// The query was shed — typed, with the ladder rung that shed it.
+    Rejected(Rejection),
+    /// Acknowledgement for event injection / shutdown.
+    Ok,
+    /// Counters for [`WireRequest::Stats`].
+    Stats(StatsReport),
+    /// Status for [`WireRequest::Status`].
+    Status(DaemonStatus),
+    /// The request line could not be understood.
+    Error(String),
+}
+
+/// Encodes a value as one protocol line (JSON + `'\n'`).
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] if serialisation fails.
+pub fn encode<T: Serialize>(value: &T) -> Result<String, ServeError> {
+    let mut line = serde_json::to_string(value).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    line.push('\n');
+    Ok(line)
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for malformed JSON or an unknown request
+/// shape.
+pub fn decode_request(line: &str) -> Result<WireRequest, ServeError> {
+    serde_json::from_str(line.trim()).map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+/// Decodes one response line (the client side of the protocol).
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for malformed JSON or an unknown response
+/// shape.
+pub fn decode_response(line: &str) -> Result<WireResponse, ServeError> {
+    serde_json::from_str(line.trim()).map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Freshness;
+
+    #[test]
+    fn request_round_trip() {
+        let requests = vec![
+            WireRequest::Route(QueryRequest {
+                commodities: vec![0, 2],
+                deadline_us: Some(5_000),
+            }),
+            WireRequest::Event {
+                actions: vec![EventAction::ScaleLatency {
+                    edge: wardrop_net::graph::EdgeId::from_index(1),
+                    factor: 2.5,
+                }],
+            },
+            WireRequest::Stats,
+            WireRequest::Status,
+            WireRequest::Shutdown,
+        ];
+        for request in requests {
+            let line = encode(&request).unwrap();
+            assert!(line.ends_with('\n'));
+            assert_eq!(decode_request(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let responses = vec![
+            WireResponse::Route(QueryResponse {
+                advice: vec![crate::query::CommodityAdvice {
+                    commodity: 0,
+                    best_path: 3,
+                    latency: 1.25,
+                }],
+                freshness: Freshness::Stale {
+                    missed_refreshes: 2,
+                },
+                board_phase: 41,
+                board_time: 10.25,
+                staleness_bound: 0.75,
+                queue_wait_us: 120,
+            }),
+            WireResponse::Rejected(Rejection::Overloaded { capacity: 64 }),
+            WireResponse::Ok,
+            WireResponse::Error("bad line".into()),
+        ];
+        for response in responses {
+            let line = encode(&response).unwrap();
+            assert_eq!(decode_response(&line).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn malformed_line_is_typed_error() {
+        assert!(matches!(
+            decode_request("{not json"),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+}

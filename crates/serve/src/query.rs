@@ -1,0 +1,130 @@
+//! Query types and the degradation ladder.
+//!
+//! A route-advice query is *batched* (one request may name several
+//! commodities) and *deadline-tagged*. The daemon answers from the
+//! most recently published board through an explicit ladder:
+//!
+//! 1. **Fresh** — the board is within one staleness unit of live;
+//!    the answer carries the paper's intrinsic bound (agents always
+//!    act on a board up to `T` old).
+//! 2. **Stale** — the engine is behind (recovering from a crash, or
+//!    stalled past its heartbeat deadline), but within the configured
+//!    staleness budget; the answer reports exactly how stale.
+//! 3. **Shed** — a typed [`Rejection`], never a panic: queue full,
+//!    deadline blown in the queue, board too stale to be principled
+//!    about, or the daemon failed outright.
+
+use serde::{Deserialize, Serialize};
+
+/// A batched, deadline-tagged route-advice request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Commodities to advise (empty means *all* commodities).
+    pub commodities: Vec<usize>,
+    /// Total patience in microseconds from enqueue to answer; waiting
+    /// longer in the queue sheds the query as
+    /// [`Rejection::DeadlineExpired`]. `None`: wait indefinitely.
+    pub deadline_us: Option<u64>,
+}
+
+/// Advice for one commodity, read off the published board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommodityAdvice {
+    /// The commodity.
+    pub commodity: usize,
+    /// Global path index of the board's best reply `β(f̂)`.
+    pub best_path: usize,
+    /// The board's minimum latency for this commodity.
+    pub latency: f64,
+}
+
+/// How stale the answering board was, in staleness units (the phase
+/// pace — one bulletin-board refresh interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Freshness {
+    /// Within one refresh of live — the paper's normal operating
+    /// regime (information is *always* up to `T` old).
+    Fresh,
+    /// Behind live by `missed_refreshes` whole refresh intervals
+    /// (engine recovering or stalled), still within budget.
+    Stale {
+        /// Whole refresh intervals elapsed since the board was
+        /// published, beyond the intrinsic one.
+        missed_refreshes: usize,
+    },
+}
+
+/// A served answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// Per-commodity advice, in request order.
+    pub advice: Vec<CommodityAdvice>,
+    /// Which rung of the ladder answered.
+    pub freshness: Freshness,
+    /// Phase index whose start posted the answering board.
+    pub board_phase: usize,
+    /// Simulation time of the answering board's post.
+    pub board_time: f64,
+    /// Upper bound on the board's age in *simulation time units*:
+    /// `(missed_refreshes + 1) · T`. The `+1` is the paper's intrinsic
+    /// staleness — even a live board is up to one update period old.
+    pub staleness_bound: f64,
+    /// Microseconds the request waited in the queue.
+    pub queue_wait_us: u64,
+}
+
+/// A typed load-shed — the bottom rung of the degradation ladder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rejection {
+    /// The bounded query queue was full at admission.
+    Overloaded {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The request's deadline elapsed while it sat in the queue.
+    DeadlineExpired {
+        /// Microseconds it had waited when shed.
+        waited_us: u64,
+    },
+    /// The published board is older than the configured staleness
+    /// budget — an answer would no longer be principled.
+    TooStale {
+        /// Whole refresh intervals the board is behind.
+        missed_refreshes: usize,
+        /// The configured budget it exceeded.
+        budget: usize,
+    },
+    /// The daemon cannot answer at all (engine gave up, no board
+    /// published yet, or the daemon is shut down).
+    Unavailable {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The request named a commodity the instance does not have.
+    BadRequest {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::Overloaded { capacity } => {
+                write!(f, "load shed: queue at capacity {capacity}")
+            }
+            Rejection::DeadlineExpired { waited_us } => {
+                write!(f, "load shed: deadline expired after {waited_us}µs queued")
+            }
+            Rejection::TooStale {
+                missed_refreshes,
+                budget,
+            } => write!(
+                f,
+                "load shed: board {missed_refreshes} refreshes behind (budget {budget})"
+            ),
+            Rejection::Unavailable { reason } => write!(f, "unavailable: {reason}"),
+            Rejection::BadRequest { reason } => write!(f, "bad request: {reason}"),
+        }
+    }
+}

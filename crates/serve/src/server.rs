@@ -1,0 +1,143 @@
+//! Unix-domain-socket front end.
+//!
+//! [`serve_unix`] binds a socket and serves the newline-delimited
+//! JSON protocol of [`crate::protocol`] until a
+//! [`crate::protocol::WireRequest::Shutdown`] arrives: the engine is
+//! asked to stop (a
+//! final checkpoint is written), the listener closes, and the call
+//! returns. One thread per connection; reads run with a short timeout
+//! so every handler notices shutdown within ~100 ms — the daemon
+//! never needs to be killed to be stopped.
+
+use crate::daemon::Daemon;
+use crate::ServeError;
+
+#[cfg(unix)]
+mod unix_impl {
+    use std::fs;
+    use std::io::{BufRead, BufReader, ErrorKind, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    use crate::daemon::Daemon;
+    use crate::protocol::{decode_request, encode, WireRequest, WireResponse};
+    use crate::ServeError;
+
+    pub fn serve_unix(daemon: &Daemon, socket_path: &Path) -> Result<(), ServeError> {
+        // A stale socket file from a crashed predecessor would make
+        // bind fail; replacing it is part of the crash-safety story.
+        let _ = fs::remove_file(socket_path);
+        let listener = UnixListener::bind(socket_path)?;
+        listener.set_nonblocking(true)?;
+        let stop = AtomicBool::new(false);
+        let outcome = thread::scope(|scope| -> Result<(), ServeError> {
+            loop {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let stop = &stop;
+                        scope.spawn(move || handle_connection(daemon, stream, stop));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => {
+                        stop.store(true, Ordering::Release);
+                        return Err(e.into());
+                    }
+                }
+            }
+        });
+        let _ = fs::remove_file(socket_path);
+        outcome
+    }
+
+    fn handle_connection(daemon: &Daemon, stream: UnixStream, stop: &AtomicBool) {
+        // Blocking reads poll the stop flag at this cadence.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => return,
+                Ok(_) => {
+                    let response = handle_line(daemon, &line, stop);
+                    line.clear();
+                    let encoded = match encode(&response) {
+                        Ok(encoded) => encoded,
+                        Err(_) => continue,
+                    };
+                    if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                }
+                // Timeout: keep any partial line buffered and poll
+                // the stop flag again.
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn handle_line(daemon: &Daemon, line: &str, stop: &AtomicBool) -> WireResponse {
+        if line.trim().is_empty() {
+            return WireResponse::Error("empty request line".into());
+        }
+        match decode_request(line) {
+            Ok(WireRequest::Route(request)) => match daemon.query(request) {
+                Ok(response) => WireResponse::Route(response),
+                Err(rejection) => WireResponse::Rejected(rejection),
+            },
+            Ok(WireRequest::Event { actions }) => {
+                daemon.inject_event(actions);
+                WireResponse::Ok
+            }
+            Ok(WireRequest::Stats) => WireResponse::Stats(daemon.stats()),
+            Ok(WireRequest::Status) => WireResponse::Status(daemon.status()),
+            Ok(WireRequest::Shutdown) => {
+                daemon.request_shutdown();
+                stop.store(true, Ordering::Release);
+                WireResponse::Ok
+            }
+            Err(e) => WireResponse::Error(e.to_string()),
+        }
+    }
+}
+
+/// Serves the wire protocol on a Unix-domain socket until a
+/// `Shutdown` request arrives, then closes the listener and returns.
+/// The socket file is (re)created on entry and removed on exit.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] if the socket cannot be bound or the accept
+/// loop fails.
+#[cfg(unix)]
+pub fn serve_unix(daemon: &Daemon, socket_path: &std::path::Path) -> Result<(), ServeError> {
+    unix_impl::serve_unix(daemon, socket_path)
+}
+
+/// Unix-domain sockets are unavailable on this platform; returns a
+/// typed [`ServeError::Protocol`].
+///
+/// # Errors
+///
+/// Always.
+#[cfg(not(unix))]
+pub fn serve_unix(_daemon: &Daemon, _socket_path: &std::path::Path) -> Result<(), ServeError> {
+    Err(ServeError::Protocol(
+        "unix-domain sockets are not available on this platform".into(),
+    ))
+}

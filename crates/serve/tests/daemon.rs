@@ -1,0 +1,386 @@
+//! Daemon lifecycle: clean runs, crash recovery, give-up, the
+//! degradation ladder, and event injection.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use wardrop_core::engine::SimulationConfig;
+use wardrop_net::builders;
+use wardrop_net::graph::EdgeId;
+use wardrop_net::scenario::{Event, EventAction, Scenario};
+use wardrop_serve::bench::reference_run;
+use wardrop_serve::daemon::{CrashPlan, Daemon, Mode, ServeConfig};
+use wardrop_serve::{
+    CheckpointStore, EngineSpec, Freshness, PolicyKind, QueryRequest, Rejection, ServeError,
+};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("daemon-{name}"));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+/// A small, fast spec with one mid-run shock.
+fn small_spec(phases: usize) -> EngineSpec {
+    let instance = builders::braess();
+    let scenario = Scenario::new("test-shock").with_event(Event::at(
+        phases / 2,
+        "degrade",
+        EventAction::ScaleLatency {
+            edge: EdgeId::from_index(0),
+            factor: 1.5,
+        },
+    ));
+    EngineSpec {
+        name: "test-braess".to_string(),
+        instance,
+        scenario,
+        config: SimulationConfig::new(0.1, phases),
+        policy: PolicyKind::UniformLinear,
+    }
+}
+
+fn store(name: &str, keep: usize) -> CheckpointStore {
+    CheckpointStore::open(scratch(name), keep).unwrap()
+}
+
+#[test]
+fn clean_run_matches_the_reference_exactly() {
+    let spec = small_spec(60);
+    let (reference_records, reference_flow) = reference_run(&spec);
+    let daemon = Daemon::start(
+        spec,
+        ServeConfig::default(),
+        store("clean", 3),
+        CrashPlan::none(),
+    )
+    .unwrap();
+    assert_eq!(daemon.wait_engine(Duration::from_secs(60)), Mode::Done);
+    let report = daemon.finish();
+    assert_eq!(report.stats.crashes, 0);
+    assert_eq!(report.missing_records, 0);
+    assert!(!report.replay_diverged);
+    assert_eq!(report.records, reference_records);
+    assert_eq!(
+        report.final_flow.as_deref(),
+        Some(reference_flow.as_slice())
+    );
+}
+
+#[test]
+fn crash_recovery_is_bit_identical_and_bounded() {
+    let spec = small_spec(80);
+    let (reference_records, reference_flow) = reference_run(&spec);
+    let interval = 10;
+    let config = ServeConfig {
+        checkpoint_interval: interval,
+        backoff_base: Duration::from_millis(1),
+        ..ServeConfig::default()
+    };
+    // Crash after the shock (phase 40), past the phase-40 checkpoint.
+    let daemon = Daemon::start(spec, config, store("crash", 3), CrashPlan::at(&[47])).unwrap();
+    assert_eq!(daemon.wait_engine(Duration::from_secs(60)), Mode::Done);
+    let report = daemon.finish();
+    assert_eq!(report.stats.crashes, 1);
+    assert_eq!(report.stats.recoveries, 1);
+    assert!(
+        report.stats.last_replay_phases <= 2 * interval as u64,
+        "replayed {} phases, budget {}",
+        report.stats.last_replay_phases,
+        2 * interval
+    );
+    assert!(!report.replay_diverged, "replayed phases diverged");
+    assert_eq!(report.missing_records, 0);
+    assert_eq!(report.records, reference_records);
+    assert_eq!(
+        report.final_flow.as_deref(),
+        Some(reference_flow.as_slice())
+    );
+}
+
+#[test]
+fn repeated_crashes_at_the_same_phase_give_up_typed() {
+    let spec = small_spec(40);
+    let config = ServeConfig {
+        max_consecutive_crashes: 3,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        ..ServeConfig::default()
+    };
+    // Crashing before phase 0 four times: the only checkpoint is the
+    // initial one, so no crash makes progress and the budget (3) is
+    // exhausted on the fourth.
+    let daemon = Daemon::start(
+        spec,
+        config,
+        store("give-up", 3),
+        CrashPlan::at(&[0, 0, 0, 0]),
+    )
+    .unwrap();
+    assert_eq!(daemon.wait_engine(Duration::from_secs(60)), Mode::Failed);
+    // Queries after give-up shed typed, they do not panic or hang.
+    let rejection = daemon
+        .query(QueryRequest {
+            commodities: vec![],
+            deadline_us: None,
+        })
+        .unwrap_err();
+    assert!(matches!(rejection, Rejection::Unavailable { .. }));
+    let report = daemon.finish();
+    assert_eq!(report.stats.crashes, 4);
+    match report.failure {
+        Some(ServeError::GiveUp { crashes, ref last }) => {
+            assert_eq!(crashes, 4);
+            assert!(last.contains("injected crash"), "payload: {last}");
+        }
+        ref other => panic!("expected GiveUp, got {other:?}"),
+    }
+}
+
+#[test]
+fn fewer_crashes_than_the_budget_still_complete() {
+    let spec = small_spec(40);
+    let (reference_records, _) = reference_run(&spec);
+    let config = ServeConfig {
+        max_consecutive_crashes: 3,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(
+        spec,
+        config,
+        store("within-budget", 3),
+        CrashPlan::at(&[0, 0]),
+    )
+    .unwrap();
+    assert_eq!(daemon.wait_engine(Duration::from_secs(60)), Mode::Done);
+    let report = daemon.finish();
+    assert_eq!(report.stats.crashes, 2);
+    assert_eq!(report.records, reference_records);
+}
+
+#[test]
+fn completed_run_answers_queries_as_fresh() {
+    let spec = small_spec(30);
+    let commodities = spec.instance.num_commodities();
+    let update_period = spec.config.update_period;
+    let daemon = Daemon::start(
+        spec,
+        ServeConfig::default(),
+        store("done-query", 3),
+        CrashPlan::none(),
+    )
+    .unwrap();
+    assert_eq!(daemon.wait_engine(Duration::from_secs(60)), Mode::Done);
+    let response = daemon
+        .query(QueryRequest {
+            commodities: vec![],
+            deadline_us: None,
+        })
+        .unwrap();
+    // A completed run's board is the converged answer — always fresh,
+    // with the paper's intrinsic one-period staleness bound.
+    assert_eq!(response.freshness, Freshness::Fresh);
+    assert_eq!(response.advice.len(), commodities);
+    assert!((response.staleness_bound - update_period).abs() < 1e-12);
+    for (i, advice) in response.advice.iter().enumerate() {
+        assert_eq!(advice.commodity, i);
+        assert!(advice.latency.is_finite());
+    }
+    daemon.finish();
+}
+
+#[test]
+fn unknown_commodity_is_a_bad_request() {
+    let spec = small_spec(30);
+    let daemon = Daemon::start(
+        spec,
+        ServeConfig::default(),
+        store("bad-request", 3),
+        CrashPlan::none(),
+    )
+    .unwrap();
+    daemon.wait_engine(Duration::from_secs(60));
+    let rejection = daemon
+        .query(QueryRequest {
+            commodities: vec![999],
+            deadline_us: None,
+        })
+        .unwrap_err();
+    assert!(matches!(rejection, Rejection::BadRequest { .. }));
+    daemon.finish();
+}
+
+#[test]
+fn overload_sheds_typed_not_panicking() {
+    let spec = small_spec(30);
+    // Capacity 1 and a 50 ms responder floor: with three queries in
+    // flight, at least one is admitted and at least one overflows.
+    let config = ServeConfig {
+        queue_capacity: 1,
+        service_floor: Some(Duration::from_millis(50)),
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(spec, config, store("overload", 3), CrashPlan::none()).unwrap();
+    daemon.wait_engine(Duration::from_secs(60));
+    let outcomes: Vec<Result<_, _>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let daemon = &daemon;
+                scope.spawn(move || {
+                    daemon.query(QueryRequest {
+                        commodities: vec![],
+                        deadline_us: None,
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let answered = outcomes.iter().filter(|o| o.is_ok()).count();
+    let overloaded = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(Rejection::Overloaded { .. })))
+        .count();
+    assert!(answered >= 1, "someone must be served");
+    assert!(overloaded >= 1, "the queue must overflow typed");
+    let report = daemon.finish();
+    assert_eq!(report.stats.crashes, 0);
+    assert!(report.stats.shed_overload >= 1);
+}
+
+#[test]
+fn expired_deadline_sheds_typed() {
+    let spec = small_spec(30);
+    let config = ServeConfig {
+        // The responder floor guarantees the queue wait exceeds a
+        // zero-microsecond deadline.
+        service_floor: Some(Duration::from_millis(2)),
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(spec, config, store("deadline", 3), CrashPlan::none()).unwrap();
+    daemon.wait_engine(Duration::from_secs(60));
+    let rejection = daemon
+        .query(QueryRequest {
+            commodities: vec![],
+            deadline_us: Some(0),
+        })
+        .unwrap_err();
+    assert!(matches!(rejection, Rejection::DeadlineExpired { .. }));
+    daemon.finish();
+}
+
+#[test]
+fn injected_events_apply_and_force_a_checkpoint() {
+    // Long enough that the run cannot reach Done before the event is
+    // injected, even if this thread is descheduled for seconds on a
+    // loaded machine — external events are only drained while live.
+    let spec = small_spec(100_000);
+    let scenario_events = spec.scenario.events().len() as u64;
+    let config = ServeConfig {
+        // Paced so the run is still live when the event arrives, with
+        // a huge interval so the only mid-run checkpoint is the
+        // event-forced one.
+        phase_pace: Some(Duration::from_millis(1)),
+        checkpoint_interval: 1_000_000,
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(spec, config, store("inject", 3), CrashPlan::none()).unwrap();
+    daemon.wait_live(Duration::from_secs(10));
+    let checkpoints_before = daemon.stats().checkpoints;
+    daemon.inject_event(vec![EventAction::ScaleLatency {
+        edge: EdgeId::from_index(1),
+        factor: 2.0,
+    }]);
+    // Wait for the engine to pick the event up at a phase boundary.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while daemon.stats().events_applied < 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = daemon.stats();
+    daemon.request_shutdown();
+    let report = daemon.finish();
+    assert!(
+        stats.events_applied >= 1,
+        "injected event was never applied (scenario events due: {scenario_events})"
+    );
+    assert!(
+        stats.checkpoints > checkpoints_before,
+        "an injected event must force a checkpoint"
+    );
+    assert_eq!(report.stats.crashes, 0);
+}
+
+#[test]
+fn process_restart_resumes_from_the_store() {
+    let spec = small_spec(60);
+    let (reference_records, reference_flow) = reference_run(&spec);
+    let dir = scratch("process-restart");
+    let config = ServeConfig {
+        checkpoint_interval: 10,
+        phase_pace: Some(Duration::from_millis(2)),
+        ..ServeConfig::default()
+    };
+
+    // First "process": run paced, stop abruptly mid-run (finish()
+    // writes a final checkpoint — emulating a clean stop; the torn
+    // variants are covered in checkpoint.rs).
+    let first = Daemon::start(
+        spec.clone(),
+        config.clone(),
+        CheckpointStore::open(&dir, 3).unwrap(),
+        CrashPlan::none(),
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    first.request_shutdown();
+    let mid_report = first.finish();
+    let resumed_from = mid_report.status.engine_phase;
+    assert!(
+        resumed_from > 0 && resumed_from < 60,
+        "first process should stop mid-run, stopped at {resumed_from}"
+    );
+
+    // Second "process": same store, free-running to completion.
+    let second = Daemon::start(
+        spec,
+        ServeConfig::default(),
+        CheckpointStore::open(&dir, 3).unwrap(),
+        CrashPlan::none(),
+    )
+    .unwrap();
+    assert_eq!(second.wait_engine(Duration::from_secs(60)), Mode::Done);
+    let report = second.finish();
+    // The second process only holds records from its resume point on;
+    // they must match the reference's tail exactly.
+    assert!(!report.records.is_empty());
+    let first_index = reference_records
+        .iter()
+        .position(|r| Some(r) == report.records.first())
+        .expect("resumed records must appear in the reference");
+    assert_eq!(report.records, reference_records[first_index..]);
+    assert_eq!(
+        report.final_flow.as_deref(),
+        Some(reference_flow.as_slice())
+    );
+}
+
+#[test]
+fn invalid_config_is_rejected_typed() {
+    let spec = small_spec(10);
+    let config = ServeConfig {
+        checkpoint_interval: 0,
+        ..ServeConfig::default()
+    };
+    match Daemon::start(spec, config, store("bad-config", 3), CrashPlan::none()) {
+        Err(ServeError::Protocol(message)) => {
+            assert!(message.contains("checkpoint interval"));
+        }
+        Err(other) => panic!("expected Protocol error, got {other:?}"),
+        Ok(_) => panic!("expected Protocol error, got a running daemon"),
+    }
+}

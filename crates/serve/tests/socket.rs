@@ -1,0 +1,172 @@
+//! Wire round-trip over the Unix-domain socket front end.
+#![cfg(unix)]
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use wardrop_core::engine::SimulationConfig;
+use wardrop_net::builders;
+use wardrop_net::graph::EdgeId;
+use wardrop_net::scenario::{EventAction, Scenario};
+use wardrop_serve::daemon::{CrashPlan, Daemon, Mode, ServeConfig};
+use wardrop_serve::protocol::{decode_response, encode, WireRequest, WireResponse};
+use wardrop_serve::{serve_unix, CheckpointStore, EngineSpec, PolicyKind, QueryRequest};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("socket-{name}"));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+struct Client {
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn connect(path: &PathBuf) -> Self {
+        // The server removes a stale socket file and binds shortly
+        // after the spawn; retry until it is accepting.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match UnixStream::connect(path) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
+                    return Client {
+                        reader: BufReader::new(stream),
+                    };
+                }
+                Err(e) if std::time::Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("cannot connect to {}: {e}", path.display()),
+            }
+        }
+    }
+
+    fn round_trip(&mut self, request: &WireRequest) -> WireResponse {
+        let line = encode(request).unwrap();
+        self.reader.get_mut().write_all(line.as_bytes()).unwrap();
+        let mut answer = String::new();
+        self.reader.read_line(&mut answer).unwrap();
+        decode_response(&answer).unwrap()
+    }
+}
+
+#[test]
+fn socket_serves_the_full_protocol() {
+    let instance = builders::braess();
+    let num_commodities = instance.num_commodities();
+    let spec = EngineSpec {
+        name: "socket-test".to_string(),
+        instance,
+        scenario: Scenario::new("socket-test"),
+        config: SimulationConfig::new(0.1, 100_000),
+        policy: PolicyKind::UniformLinear,
+    };
+    let config = ServeConfig {
+        // Paced so the daemon is still live while the client talks.
+        phase_pace: Some(Duration::from_millis(1)),
+        ..ServeConfig::default()
+    };
+    let store = CheckpointStore::open(scratch("protocol"), 3).unwrap();
+    let daemon = Daemon::start(spec, config, store, CrashPlan::none()).unwrap();
+    assert_eq!(daemon.wait_live(Duration::from_secs(30)), Mode::Live);
+
+    let socket_dir = scratch("protocol-socket");
+    fs::create_dir_all(&socket_dir).unwrap();
+    let socket_path = socket_dir.join("wardrop.sock");
+    let server = std::thread::scope(|scope| {
+        let server_daemon = &daemon;
+        let server_path = socket_path.clone();
+        let server = scope.spawn(move || serve_unix(server_daemon, &server_path));
+        let mut client = Client::connect(&socket_path);
+
+        match client.round_trip(&WireRequest::Status) {
+            WireResponse::Status(status) => {
+                assert_eq!(status.mode, Mode::Live);
+                assert!(!status.stalled);
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+
+        match client.round_trip(&WireRequest::Route(QueryRequest {
+            commodities: vec![],
+            deadline_us: None,
+        })) {
+            WireResponse::Route(response) => {
+                assert_eq!(response.advice.len(), num_commodities);
+                assert!(response.staleness_bound > 0.0);
+            }
+            other => panic!("expected Route, got {other:?}"),
+        }
+
+        match client.round_trip(&WireRequest::Event {
+            actions: vec![EventAction::ScaleLatency {
+                edge: EdgeId::from_index(0),
+                factor: 1.25,
+            }],
+        }) {
+            WireResponse::Ok => {}
+            other => panic!("expected Ok, got {other:?}"),
+        }
+
+        // Poll stats until the injected event is applied at a phase
+        // boundary (the engine is paced at 1 ms).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match client.round_trip(&WireRequest::Stats) {
+                WireResponse::Stats(stats) => {
+                    assert!(stats.queries >= 1, "the route query must be counted");
+                    assert_eq!(stats.crashes, 0);
+                    if stats.events_applied >= 1 {
+                        break;
+                    }
+                }
+                other => panic!("expected Stats, got {other:?}"),
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "injected event never applied"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // A malformed line must come back typed, on the same
+        // connection, without dropping it.
+        client
+            .reader
+            .get_mut()
+            .write_all(b"{definitely not json\n")
+            .unwrap();
+        let mut answer = String::new();
+        client.reader.read_line(&mut answer).unwrap();
+        match decode_response(&answer).unwrap() {
+            WireResponse::Error(message) => assert!(!message.is_empty()),
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        match client.round_trip(&WireRequest::Shutdown) {
+            WireResponse::Ok => {}
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        server.join().unwrap()
+    });
+    server.unwrap();
+    // The server removes its socket file on exit.
+    assert!(!socket_path.exists(), "socket file must be cleaned up");
+
+    let report = daemon.finish();
+    assert_eq!(report.stats.crashes, 0);
+    assert!(
+        report.stats.events_applied >= 1,
+        "the injected event must have been applied"
+    );
+}
