@@ -1,0 +1,232 @@
+//! The per-phase sampling cache shared by both agent simulators.
+//!
+//! The board is frozen within a phase, so every activation of a
+//! commodity draws from the *same* sampling distribution. Instead of
+//! refilling a weight buffer per activation (O(n) each), the cumulative
+//! weights are built once per board post and each activation samples by
+//! binary search — O(log n), the agent-side analogue of the engine's
+//! matrix-free phase rates.
+//!
+//! The cache separates *binding* (sizing the buffers for an instance,
+//! the only operation allowed to allocate) from *refilling* (updating
+//! the weights from a freshly posted board, always allocation-free).
+//! Earlier revisions resized on every rebuild, which re-allocated the
+//! `cum`/`totals` buffers whenever the cache was re-bound to a larger
+//! instance mid-run; the split makes the steady state provably
+//! allocation-free (pinned by the pointer-stability regression test
+//! below and by `crates/core/tests/zero_alloc.rs`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use wardrop_core::board::BulletinBoard;
+use wardrop_core::sampling::SamplingRule;
+use wardrop_net::instance::Instance;
+
+/// Cumulative per-commodity sampling weights for a frozen board.
+#[derive(Debug, Default)]
+pub struct SamplingCache {
+    /// Flat per-path cumulative weights, partial-summed within each
+    /// commodity's range.
+    cum: Vec<f64>,
+    /// Per-commodity total weight (0 ⇒ degenerate, fall back to
+    /// uniform).
+    totals: Vec<f64>,
+}
+
+impl SamplingCache {
+    /// Sizes the buffers for `instance`. Growing allocates (grow-only:
+    /// shrinking re-binds keep their capacity); every later
+    /// [`refill`](SamplingCache::refill) is allocation-free.
+    pub fn bind(&mut self, instance: &Instance) {
+        self.cum.resize(instance.num_paths(), 0.0);
+        self.totals.resize(instance.num_commodities(), 0.0);
+    }
+
+    /// Rebuilds the cumulative weights from the freshly posted board.
+    /// Allocation-free; [`bind`](SamplingCache::bind) must have sized
+    /// the buffers for `instance` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is bound to a different instance shape.
+    pub fn refill(
+        &mut self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        sampling: &dyn SamplingRule,
+    ) {
+        assert_eq!(self.cum.len(), instance.num_paths(), "cache not bound");
+        assert_eq!(self.totals.len(), instance.num_commodities());
+        for i in 0..instance.num_commodities() {
+            let range = instance.commodity_paths(i);
+            let slice = &mut self.cum[range];
+            sampling.fill_weights(instance, board, i, slice);
+            let mut acc = 0.0;
+            for w in slice.iter_mut() {
+                acc += *w;
+                *w = acc;
+            }
+            self.totals[i] = acc;
+        }
+    }
+
+    /// Binds and refills in one call — the drop-in replacement for the
+    /// old `rebuild` entry point.
+    pub fn rebuild(
+        &mut self,
+        instance: &Instance,
+        board: &BulletinBoard,
+        sampling: &dyn SamplingRule,
+    ) {
+        self.bind(instance);
+        self.refill(instance, board, sampling);
+    }
+
+    /// Draws a local path index for `commodity` (uniform fallback when
+    /// the distribution is degenerate, e.g. proportional sampling with
+    /// all board flow extinct).
+    pub fn sample(&self, instance: &Instance, commodity: usize, rng: &mut StdRng) -> usize {
+        let range = instance.commodity_paths(commodity);
+        let total = self.totals[commodity];
+        if total <= 0.0 {
+            return rng.random_range(0..range.len());
+        }
+        let u = rng.random_range(0.0..total);
+        let slice = &self.cum[range];
+        slice.partition_point(|&c| c <= u).min(slice.len() - 1)
+    }
+
+    /// The total sampling weight of `commodity` (0 ⇒ degenerate).
+    #[inline]
+    pub fn total(&self, commodity: usize) -> f64 {
+        self.totals[commodity]
+    }
+
+    /// The raw (non-cumulative) weight of local path `offset` within
+    /// `commodity` — recovered from cumulative differences, so no extra
+    /// per-path buffer is carried.
+    #[inline]
+    pub fn weight(&self, instance: &Instance, commodity: usize, offset: usize) -> f64 {
+        let range = instance.commodity_paths(commodity);
+        let slice = &self.cum[range];
+        let prev = if offset == 0 { 0.0 } else { slice[offset - 1] };
+        (slice[offset] - prev).max(0.0)
+    }
+
+    /// Bytes held by the cache buffers (capacity, not length).
+    pub fn state_bytes(&self) -> usize {
+        self.cum.capacity() * std::mem::size_of::<f64>()
+            + self.totals.capacity() * std::mem::size_of::<f64>()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn force_degenerate(&mut self, commodity: usize) {
+        self.totals[commodity] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wardrop_net::builders;
+    use wardrop_net::flow::FlowVec;
+
+    #[test]
+    fn cached_sampling_respects_board_weights() {
+        // Proportional sampling: the cumulative cache must reproduce
+        // the board flow distribution, skipping the zero-flow path.
+        let inst = builders::parallel_links(vec![
+            wardrop_net::Latency::Constant(1.0),
+            wardrop_net::Latency::Constant(1.0),
+            wardrop_net::Latency::Constant(1.0),
+        ]);
+        let f = FlowVec::from_values(&inst, vec![0.2, 0.0, 0.8]).unwrap();
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let mut cache = SamplingCache::default();
+        cache.rebuild(&inst, &board, &wardrop_core::sampling::Proportional);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut hits = [0u32; 3];
+        for _ in 0..30_000 {
+            hits[cache.sample(&inst, 0, &mut rng)] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        let frac = hits[2] as f64 / 30_000.0;
+        assert!((frac - 0.8).abs() < 0.02, "frac {frac}");
+        // Raw weights recovered from the cumulative buffer.
+        assert!((cache.weight(&inst, 0, 0) - 0.2).abs() < 1e-12);
+        assert!((cache.weight(&inst, 0, 1)).abs() < 1e-12);
+        assert!((cache.weight(&inst, 0, 2) - 0.8).abs() < 1e-12);
+        assert!((cache.total(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cache_falls_back_to_uniform() {
+        let inst = builders::pigou();
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let mut cache = SamplingCache::default();
+        cache.rebuild(&inst, &board, &wardrop_core::sampling::Uniform);
+        cache.force_degenerate(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits = [0u32; 2];
+        for _ in 0..10_000 {
+            hits[cache.sample(&inst, 0, &mut rng)] += 1;
+        }
+        assert!(hits[0] > 4_000 && hits[1] > 4_000, "{hits:?}");
+    }
+
+    #[test]
+    fn refill_reuses_buffers_across_posts_and_rebinds() {
+        // Regression test for the refill reallocation: once bound to
+        // the largest instance a run will see, neither later posts nor
+        // re-binds to smaller (or back to equal) instances may move the
+        // buffers.
+        let big = builders::grid_network(4, 4, 7);
+        let small = builders::braess();
+        let mut cache = SamplingCache::default();
+        cache.bind(&big);
+        let ptr_cum = cache.cum.as_ptr();
+        let ptr_totals = cache.totals.as_ptr();
+        let cap_cum = cache.cum.capacity();
+
+        // Many posts against the same binding: pure refills.
+        let f = FlowVec::uniform(&big);
+        let mut board = BulletinBoard::for_instance(&big);
+        for phase in 0..32 {
+            board.post_into(&big, &f, phase as f64);
+            cache.refill(&big, &board, &wardrop_core::sampling::Proportional);
+            assert_eq!(cache.cum.as_ptr(), ptr_cum, "refill moved cum");
+            assert_eq!(cache.totals.as_ptr(), ptr_totals, "refill moved totals");
+        }
+
+        // Rebind big → small → big: capacity (and the allocation) is
+        // retained the whole way.
+        let f_small = FlowVec::uniform(&small);
+        let board_small = BulletinBoard::post(&small, &f_small, 0.0);
+        cache.rebuild(&small, &board_small, &wardrop_core::sampling::Uniform);
+        assert_eq!(cache.cum.as_ptr(), ptr_cum, "shrinking rebind moved cum");
+        assert_eq!(
+            cache.cum.capacity(),
+            cap_cum,
+            "shrinking rebind dropped capacity"
+        );
+        cache.bind(&big);
+        assert_eq!(cache.cum.as_ptr(), ptr_cum, "re-growing rebind moved cum");
+
+        board.post_into(&big, &f, 99.0);
+        cache.refill(&big, &board, &wardrop_core::sampling::Proportional);
+        assert_eq!(cache.cum.as_ptr(), ptr_cum);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn refill_requires_binding() {
+        let inst = builders::pigou();
+        let f = FlowVec::uniform(&inst);
+        let board = BulletinBoard::post(&inst, &f, 0.0);
+        let mut cache = SamplingCache::default();
+        cache.refill(&inst, &board, &wardrop_core::sampling::Uniform);
+    }
+}

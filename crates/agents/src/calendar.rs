@@ -1,0 +1,366 @@
+//! A hierarchical calendar queue for the open-system simulator.
+//!
+//! The classic pending-event set of incremental-time discrete-event
+//! engines (Brown 1988): a bucketed timing wheel covering the near
+//! future, with an overflow ladder (a binary heap) for events beyond
+//! the wheel's span. Scheduling and popping an event that lands on the
+//! wheel is O(1) amortised — a flat array index plus a scan of one
+//! small bucket — against the O(log n) of a pure heap; far-future
+//! events pay one heap push and are migrated onto the wheel lazily as
+//! the cursor approaches them.
+//!
+//! Buckets retain their capacity across revolutions, so the steady
+//! state (schedule/pop cycles within the warmed-up span) is
+//! allocation-free, exactly like the engine's `EvalWorkspace` buffers —
+//! pinned by `crates/core/tests/zero_alloc.rs`.
+//!
+//! Cancellation is lazy: events carry a `gen` stamp where the producer
+//! needs invalidation (Poisson clocks re-drawn after a rate change use
+//! the memorylessness of the exponential), and stale stamps are simply
+//! discarded on pop. The calendar itself never searches for events.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Typed events of the open-system simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenEventKind {
+    /// The bulletin board is refreshed (and the pending inter-post
+    /// interval of batched activations is flushed).
+    BoardPost,
+    /// One agent arrives (commodity picked by superposition at
+    /// processing time).
+    Arrival,
+    /// One agent departs. Carries the generation of the aggregate
+    /// departure clock: the clock is re-drawn whenever the population
+    /// size changes (memorylessness), and stale generations are
+    /// discarded on pop.
+    Departure {
+        /// Generation stamp of the departure clock.
+        gen: u32,
+    },
+    /// M/M/c queue-delay state is refreshed from current occupancy.
+    QueueRefresh,
+    /// End of the simulation horizon.
+    Horizon,
+}
+
+/// A scheduled event: time, tie-breaking sequence number, kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalendarEvent {
+    /// When the event fires (finite, non-negative).
+    pub time: f64,
+    /// Insertion sequence (ties fire in schedule order).
+    pub seq: u64,
+    /// What happens.
+    pub kind: OpenEventKind,
+}
+
+impl Eq for CalendarEvent {}
+
+impl PartialOrd for CalendarEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CalendarEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Times are finite by the schedule() contract.
+        self.time
+            .partial_cmp(&other.time)
+            .expect("calendar times are finite")
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// The bucketed timing wheel with overflow ladder.
+#[derive(Debug)]
+pub struct Calendar {
+    /// Width of one bucket in simulation time.
+    width: f64,
+    /// Ring of near-future buckets (power-of-two length).
+    buckets: Vec<Vec<CalendarEvent>>,
+    /// `buckets.len() - 1`, for masking absolute bucket indices.
+    mask: usize,
+    /// Absolute index of the bucket under the cursor (monotone).
+    cursor: u64,
+    /// Events on the wheel (excludes the overflow ladder).
+    near_len: usize,
+    /// Far-future events, min-heap by (time, seq).
+    overflow: BinaryHeap<Reverse<CalendarEvent>>,
+    /// Next tie-breaking sequence number.
+    next_seq: u64,
+}
+
+impl Calendar {
+    /// Creates a calendar whose wheel covers `num_buckets × width` of
+    /// simulation time ahead of the cursor. `num_buckets` is rounded up
+    /// to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not finite and positive or `num_buckets`
+    /// is zero.
+    pub fn new(width: f64, num_buckets: usize) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "bucket width must be positive"
+        );
+        assert!(num_buckets > 0, "need at least one bucket");
+        let n = num_buckets.next_power_of_two();
+        Calendar {
+            width,
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            mask: n - 1,
+            cursor: 0,
+            near_len: 0,
+            overflow: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserves capacity for at least `per_bucket` events in every
+    /// wheel bucket (and as many in the overflow ladder), so a caller
+    /// that can bound its steady-state event density — e.g. from its
+    /// Poisson clock rates — makes `schedule` allocation-free instead
+    /// of merely amortised-O(1): without a reservation, the per-bucket
+    /// high-water mark keeps setting new records at the (slowly
+    /// shrinking but never zero) rate of Poisson extreme values.
+    pub fn reserve_per_bucket(&mut self, per_bucket: usize) {
+        for bucket in &mut self.buckets {
+            if bucket.capacity() < per_bucket {
+                bucket.reserve_exact(per_bucket - bucket.len());
+            }
+        }
+        if self.overflow.capacity() < per_bucket {
+            self.overflow.reserve(per_bucket - self.overflow.len());
+        }
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.near_len + self.overflow.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `kind` at `time`, returning the event's sequence
+    /// number. Events scheduled at or before the cursor's bucket fire
+    /// from the current bucket (i.e. "as soon as possible", in time
+    /// then insertion order) — the simulator never schedules into the
+    /// past, but floating-point boundaries may land exactly on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite or is negative.
+    pub fn schedule(&mut self, time: f64, kind: OpenEventKind) -> u64 {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "time must be finite and ≥ 0"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ev = CalendarEvent { time, seq, kind };
+        let abs = ((time / self.width) as u64).max(self.cursor);
+        if abs < self.cursor + self.buckets.len() as u64 {
+            self.buckets[(abs as usize) & self.mask].push(ev);
+            self.near_len += 1;
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+        seq
+    }
+
+    /// Pops the earliest pending event (time order, ties by insertion
+    /// sequence).
+    pub fn pop(&mut self) -> Option<CalendarEvent> {
+        if self.is_empty() {
+            return None;
+        }
+        loop {
+            // Migrate overflow events that now fit on the wheel.
+            let horizon = (self.cursor + self.buckets.len() as u64) as f64 * self.width;
+            while let Some(Reverse(ev)) = self.overflow.peek() {
+                if ev.time >= horizon {
+                    break;
+                }
+                let ev = self.overflow.pop().expect("peeked").0;
+                let abs = ((ev.time / self.width) as u64).max(self.cursor);
+                self.buckets[(abs as usize) & self.mask].push(ev);
+                self.near_len += 1;
+            }
+            if self.near_len == 0 {
+                // Wheel empty but overflow pending beyond the span:
+                // fast-forward the cursor to the overflow minimum
+                // instead of spinning through empty revolutions.
+                let min_t = self.overflow.peek().expect("len > 0").0.time;
+                self.cursor = ((min_t / self.width) as u64).max(self.cursor);
+                continue;
+            }
+            // Scan the cursor bucket for events of the current lap
+            // (time before the bucket's end); later laps stay put.
+            let end = (self.cursor + 1) as f64 * self.width;
+            let bucket = &mut self.buckets[(self.cursor as usize) & self.mask];
+            let mut best: Option<usize> = None;
+            for (i, ev) in bucket.iter().enumerate() {
+                if ev.time < end
+                    && best.is_none_or(|b| (ev.time, ev.seq) < (bucket[b].time, bucket[b].seq))
+                {
+                    best = Some(i);
+                }
+            }
+            if let Some(i) = best {
+                self.near_len -= 1;
+                return Some(bucket.swap_remove(i));
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// Bytes held by the calendar's buffers (capacities, not lengths).
+    pub fn state_bytes(&self) -> usize {
+        let per_event = std::mem::size_of::<CalendarEvent>();
+        self.buckets
+            .iter()
+            .map(|b| b.capacity() * per_event)
+            .sum::<usize>()
+            + self.buckets.capacity() * std::mem::size_of::<Vec<CalendarEvent>>()
+            + self.overflow.capacity() * per_event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn drain(cal: &mut Calendar) -> Vec<CalendarEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = cal.pop() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order_across_wheel_and_overflow() {
+        // Random times spanning many revolutions and the overflow
+        // ladder; the calendar must agree with a sorted reference.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut cal = Calendar::new(0.25, 8); // span = 2.0
+        let mut reference = Vec::new();
+        for _ in 0..5_000 {
+            let t: f64 = rng.random_range(0.0..40.0);
+            let seq = cal.schedule(t, OpenEventKind::Arrival);
+            reference.push((t, seq));
+        }
+        reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let popped = drain(&mut cal);
+        assert_eq!(popped.len(), reference.len());
+        for (ev, (t, seq)) in popped.iter().zip(&reference) {
+            assert_eq!((ev.time, ev.seq), (*t, *seq));
+        }
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stay_ordered() {
+        // The DES pattern: pop one, schedule a successor slightly
+        // later. Times must come out monotone.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cal = Calendar::new(0.1, 16);
+        for _ in 0..8 {
+            cal.schedule(rng.random_range(0.0..0.5), OpenEventKind::Arrival);
+        }
+        let mut last = 0.0;
+        for _ in 0..20_000 {
+            let ev = cal.pop().expect("chain never empties");
+            assert!(ev.time >= last, "{} < {last}", ev.time);
+            last = ev.time;
+            cal.schedule(ev.time + rng.random_range(0.0..1.5), OpenEventKind::Arrival);
+        }
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut cal = Calendar::new(1.0, 4);
+        cal.schedule(3.0, OpenEventKind::BoardPost);
+        cal.schedule(3.0, OpenEventKind::Arrival);
+        cal.schedule(3.0, OpenEventKind::Horizon);
+        let popped = drain(&mut cal);
+        assert_eq!(popped[0].kind, OpenEventKind::BoardPost);
+        assert_eq!(popped[1].kind, OpenEventKind::Arrival);
+        assert_eq!(popped[2].kind, OpenEventKind::Horizon);
+    }
+
+    #[test]
+    fn past_times_fire_immediately() {
+        let mut cal = Calendar::new(0.5, 4);
+        // Advance the cursor past t = 2.
+        cal.schedule(2.3, OpenEventKind::BoardPost);
+        assert_eq!(cal.pop().unwrap().time, 2.3);
+        // A boundary-rounding "past" event lands in the cursor bucket.
+        cal.schedule(1.0, OpenEventKind::Arrival);
+        cal.schedule(2.4, OpenEventKind::Horizon);
+        let popped = drain(&mut cal);
+        assert_eq!(popped[0].kind, OpenEventKind::Arrival);
+        assert_eq!(popped[1].kind, OpenEventKind::Horizon);
+    }
+
+    #[test]
+    fn steady_state_reuses_bucket_capacity() {
+        // After a warm-up revolution, the schedule/pop cycle must not
+        // grow any buffer: capacities before and after agree. (The
+        // allocation count itself is pinned process-wide in
+        // crates/core/tests/zero_alloc.rs.)
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cal = Calendar::new(0.2, 8);
+        for _ in 0..4 {
+            cal.schedule(rng.random_range(0.0..1.6), OpenEventKind::Arrival);
+        }
+        for _ in 0..2_000 {
+            let ev = cal.pop().unwrap();
+            cal.schedule(ev.time + rng.random_range(0.0..1.0), OpenEventKind::Arrival);
+        }
+        let bytes = cal.state_bytes();
+        for _ in 0..10_000 {
+            let ev = cal.pop().unwrap();
+            cal.schedule(ev.time + rng.random_range(0.0..1.0), OpenEventKind::Arrival);
+        }
+        assert_eq!(cal.state_bytes(), bytes, "steady state grew a buffer");
+    }
+
+    #[test]
+    fn len_tracks_wheel_and_overflow() {
+        let mut cal = Calendar::new(1.0, 2);
+        assert!(cal.is_empty());
+        cal.schedule(0.5, OpenEventKind::Arrival); // wheel
+        cal.schedule(100.0, OpenEventKind::Horizon); // overflow
+        assert_eq!(cal.len(), 2);
+        cal.pop();
+        assert_eq!(cal.len(), 1);
+        cal.pop();
+        assert!(cal.is_empty());
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut cal = Calendar::new(1.0, 2);
+        cal.schedule(f64::NAN, OpenEventKind::Arrival);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_width() {
+        let _ = Calendar::new(0.0, 4);
+    }
+}

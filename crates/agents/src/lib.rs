@@ -13,6 +13,17 @@
 //! what justifies the fluid model (verified in the integration tests
 //! and experiment E6).
 //!
+//! Two simulators share the crate:
+//!
+//! * [`sim`] — the phase-synchronous reference: one event per agent
+//!   activation, O(N) events per phase. Exact, but 10⁷ agents are out
+//!   of reach.
+//! * [`open_system`] — the event-calendar core: Poisson
+//!   arrivals/departures, batched (τ-leaped) activation draws from
+//!   per-path `u64` counters, and optional M/M/c queueing delays —
+//!   O(paths) state and per-interval work, independent of `N`. A
+//!   closed configuration reproduces [`sim`] within binomial noise.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,11 +44,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod calendar;
 pub mod ensemble;
 pub mod events;
+pub mod open_system;
 pub mod population;
 pub mod sim;
 
+pub use cache::SamplingCache;
+pub use calendar::{Calendar, CalendarEvent, OpenEventKind};
 pub use ensemble::{Ensemble, Summary};
+pub use open_system::{
+    run_open_ensemble, run_open_system, OpenStats, OpenSystem, OpenSystemConfig, OpenSystemRun,
+    QueueingModel,
+};
 pub use population::Population;
 pub use sim::{run_agents, AgentPolicy, AgentSimConfig};

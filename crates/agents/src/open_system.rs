@@ -1,0 +1,1626 @@
+//! The million-agent open-system discrete-event simulator.
+//!
+//! Where [`crate::sim`] replays the paper's process one activation at a
+//! time (one event per agent activation — O(N) events per phase), this
+//! module simulates the *open* system at O(paths) cost per inter-event
+//! interval, independent of the population size:
+//!
+//! * **Event calendar** ([`Calendar`]): board posts, Poisson
+//!   arrivals/departures, queue-state refreshes and the horizon are
+//!   typed events on a continuous clock, popped from a bucketed timing
+//!   wheel in O(1) amortised.
+//! * **Compact state**: the population lives entirely in per-path
+//!   `u64` counters plus a per-commodity Fenwick tree (for O(log P)
+//!   count-proportional departure picks). 10⁷ agents cost exactly as
+//!   many bytes as 10² — see [`OpenSystem::state_bytes`].
+//! * **Batched activations** (τ-leaping): within a phase the board is
+//!   frozen, so each agent on path `P` migrates at the constant rate
+//!   `m_P = Σ_Q σ_Q µ(ℓ̂_P, ℓ̂_Q)` — the same exit rates the fluid
+//!   engine's matrix-free kernel computes in O(P log P) per post
+//!   ([`wardrop_core::kernel::fill_exit_rates`]). Over a leap of length
+//!   `δ` the number of movers is `Binomial(n_P, 1 − e^{−m_P δ})`, drawn
+//!   in one pass; destinations are sampled from the frozen
+//!   [`SamplingCache`] by thinning with an exact O(P) fallback. The
+//!   only approximation is the second revision of an agent that moved
+//!   earlier in the same leap — an O((m δ)²) effect, and *exactly* zero
+//!   for best response (movers land on the board minimum either way).
+//! * **Aggregate clocks** (superposition/thinning): arrivals fire from
+//!   one exponential clock of the total rate λ (commodity chosen ∝
+//!   demand at fire time), departures from one clock of rate `d·N`
+//!   re-drawn — memorylessness — whenever `N` changes, with stale
+//!   generations discarded lazily on pop.
+//! * **M/M/c queueing delays** ([`QueueingModel`]): each edge can carry
+//!   an Erlang-C waiting time driven by its current occupancy, added to
+//!   the *experienced* edge latencies that board posts (and the
+//!   staleness metric) see — so board staleness interacts with real
+//!   waiting times, not just the instantaneous latency functions.
+//!
+//! The per-phase [`PhaseRecord`] metrics are bit-compatible with the
+//! fluid engines and [`crate::sim`], so every analysis tool applies
+//! unchanged. A closed configuration (no churn) reproduces
+//! [`crate::sim::run_agents`] flow trajectories within binomial noise
+//! (pinned by the `equivalence` proptest suite).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use wardrop_core::board::BulletinBoard;
+use wardrop_core::fault::{FaultPlan, FaultState};
+use wardrop_core::kernel::SeparableKernel;
+use wardrop_core::migration::MigrationRule;
+use wardrop_core::trajectory::{PhaseRecord, Trajectory};
+use wardrop_core::WorkerPool;
+use wardrop_net::eval::EvalWorkspace;
+use wardrop_net::flow::{path_latencies_from_edge_into, FlowVec};
+use wardrop_net::instance::Instance;
+use wardrop_net::NetError;
+
+use crate::cache::SamplingCache;
+use crate::calendar::{Calendar, OpenEventKind};
+use crate::population::Population;
+use crate::sim::{rand_exp, AgentPolicy};
+
+/// Utilisation is clamped below 1 so the Erlang-C wait stays finite —
+/// the open system models *heavy* congestion, not a blown-up queue.
+const MAX_UTILISATION: f64 = 0.995;
+
+/// Thinning proposals per mover before falling back to the exact
+/// O(paths) CDF walk.
+const THINNING_TRIES: u32 = 64;
+
+/// Time slack under which a leap is considered already integrated.
+const LEAP_EPS: f64 = 1e-12;
+
+/// Calendar buckets per board period (wheel width = `T / 8`).
+const BUCKETS_PER_PERIOD: f64 = 8.0;
+
+/// Number of wheel buckets (span = `64 / 8 = 8` board periods).
+const NUM_BUCKETS: usize = 64;
+
+/// An M/M/c queueing overlay on every edge.
+///
+/// Each edge is modelled as an M/M/c station whose per-job mean service
+/// time is the evaluated latency `ℓ_e(x_e)` (so the uncongested sojourn
+/// matches the latency function exactly) and whose utilisation is read
+/// off the current occupancy: `ρ_e = clamp(scale · x_e, 0, 0.995)`.
+/// The Erlang-C waiting probability `C(c, cρ)` then gives the mean
+/// wait `W_e = C · ℓ_e / (c (1 − ρ))`, which is *added* to the
+/// experienced edge latency at board posts and queue refreshes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueingModel {
+    /// Number of servers `c ≥ 1` per edge.
+    pub servers: u32,
+    /// Maps edge flow to utilisation: `ρ_e = scale · x_e` (clamped).
+    pub utilisation_scale: f64,
+}
+
+impl QueueingModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero or `utilisation_scale` is not finite
+    /// and non-negative.
+    pub fn new(servers: u32, utilisation_scale: f64) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        assert!(
+            utilisation_scale.is_finite() && utilisation_scale >= 0.0,
+            "utilisation scale must be finite and ≥ 0"
+        );
+        QueueingModel {
+            servers,
+            utilisation_scale,
+        }
+    }
+
+    /// Mean Erlang-C waiting time for an edge with evaluated latency
+    /// `service_latency` carrying flow `flow`.
+    pub fn wait(&self, service_latency: f64, flow: f64) -> f64 {
+        let c = self.servers as f64;
+        let rho = (self.utilisation_scale * flow.max(0.0)).min(MAX_UTILISATION);
+        if rho <= 0.0 || service_latency <= 0.0 {
+            return 0.0;
+        }
+        // Erlang-B by the stable recurrence, then the B → C conversion.
+        let a = c * rho;
+        let mut b = 1.0;
+        for k in 1..=self.servers {
+            b = a * b / (k as f64 + a * b);
+        }
+        let c_wait = b / (1.0 - rho * (1.0 - b));
+        c_wait * service_latency / (c * (1.0 - rho))
+    }
+}
+
+/// Configuration of an open-system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenSystemConfig {
+    /// Initial number of agents `N`.
+    pub num_agents: u64,
+    /// Bulletin-board update period `T`.
+    pub update_period: f64,
+    /// Number of board posts (= phases) to simulate; the horizon is
+    /// `T · num_posts`.
+    pub num_posts: usize,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+    /// Total Poisson arrival rate λ (0 ⇒ no arrivals). The arriving
+    /// commodity is chosen ∝ demand at fire time.
+    #[serde(default)]
+    pub arrival_rate: f64,
+    /// Per-agent departure rate `d` (0 ⇒ no departures); the aggregate
+    /// clock runs at `d·N`.
+    #[serde(default)]
+    pub departure_rate: f64,
+    /// Maximum τ-leap length (0 ⇒ `T / 4`). Smaller leaps reduce the
+    /// O((mδ)²) multi-revision bias of smooth policies.
+    #[serde(default)]
+    pub max_leap: f64,
+    /// Queue-state refreshes per board period (only with `queueing`).
+    #[serde(default = "default_queue_refreshes")]
+    pub queue_refreshes_per_post: usize,
+    /// Optional M/M/c queueing overlay.
+    #[serde(default)]
+    pub queueing: Option<QueueingModel>,
+    /// Optional bulletin-board fault plan, applied at post time.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+    /// Record empirical flows at phase starts.
+    #[serde(default)]
+    pub record_flows: bool,
+    /// `δ` thresholds for unsatisfied-volume columns.
+    #[serde(default = "default_deltas")]
+    pub deltas: Vec<f64>,
+}
+
+fn default_queue_refreshes() -> usize {
+    4
+}
+
+fn default_deltas() -> Vec<f64> {
+    vec![0.05]
+}
+
+impl OpenSystemConfig {
+    /// A closed (no churn, no queueing, no faults) configuration.
+    pub fn new(num_agents: u64, update_period: f64, num_posts: usize, seed: u64) -> Self {
+        OpenSystemConfig {
+            num_agents,
+            update_period,
+            num_posts,
+            seed,
+            arrival_rate: 0.0,
+            departure_rate: 0.0,
+            max_leap: 0.0,
+            queue_refreshes_per_post: default_queue_refreshes(),
+            queueing: None,
+            faults: None,
+            record_flows: false,
+            deltas: default_deltas(),
+        }
+    }
+
+    /// Opens the system: total arrival rate λ and per-agent departure
+    /// rate `d` (builder style).
+    pub fn with_churn(mut self, arrival_rate: f64, departure_rate: f64) -> Self {
+        self.arrival_rate = arrival_rate;
+        self.departure_rate = departure_rate;
+        self
+    }
+
+    /// Attaches the M/M/c queueing overlay (builder style).
+    pub fn with_queueing(mut self, model: QueueingModel) -> Self {
+        self.queueing = Some(model);
+        self
+    }
+
+    /// Attaches a bulletin-board fault plan (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Caps the τ-leap length (builder style).
+    pub fn with_max_leap(mut self, max_leap: f64) -> Self {
+        self.max_leap = max_leap;
+        self
+    }
+
+    /// Enables flow recording (builder style).
+    pub fn with_flows(mut self) -> Self {
+        self.record_flows = true;
+        self
+    }
+
+    /// Sets the `δ` thresholds (builder style).
+    pub fn with_deltas(mut self, deltas: Vec<f64>) -> Self {
+        self.deltas = deltas;
+        self
+    }
+}
+
+/// Event and population counters of one open-system run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpenStats {
+    /// Calendar events processed (stale departure generations excluded).
+    pub events: u64,
+    /// Board posts.
+    pub posts: u64,
+    /// τ-leaps integrated.
+    pub leaps: u64,
+    /// Agents moved by batched activations.
+    pub migrations: u64,
+    /// Poisson arrivals processed.
+    pub arrivals: u64,
+    /// Poisson departures processed.
+    pub departures: u64,
+    /// Destination draws that exhausted thinning and took the exact
+    /// O(paths) fallback walk.
+    pub proposal_fallbacks: u64,
+    /// Population at the horizon.
+    pub final_population: u64,
+    /// Mover-weighted mean |experienced − posted| path latency — the
+    /// board-staleness observable (0 in a fully synchronous world).
+    pub staleness_mean: f64,
+    /// Bytes of O(paths) agent state — independent of the population.
+    pub state_bytes: usize,
+    /// Bytes held by the event calendar (ring + reserved bucket
+    /// capacity) — O(clock rates), independent of both N and paths.
+    pub calendar_bytes: usize,
+}
+
+/// A finished open-system run: the fluid-compatible trajectory plus
+/// the event counters.
+#[derive(Debug, Clone)]
+pub struct OpenSystemRun {
+    /// One [`PhaseRecord`] per board post, same semantics as the fluid
+    /// engine and [`crate::sim::run_agents`].
+    pub trajectory: Trajectory,
+    /// Event and population counters.
+    pub stats: OpenStats,
+}
+
+/// The open-system simulator state. Construct with [`OpenSystem::new`],
+/// drive with [`OpenSystem::step`] (one calendar event per call) or run
+/// to the horizon with [`OpenSystem::finish`].
+#[derive(Debug)]
+pub struct OpenSystem<'a> {
+    instance: &'a Instance,
+    policy: &'a AgentPolicy,
+    config: OpenSystemConfig,
+    rng: StdRng,
+    max_leap: f64,
+    horizon: f64,
+
+    // --- O(paths) population state ---
+    counts: Vec<u64>,
+    commodity_totals: Vec<u64>,
+    population: u64,
+    /// Per-commodity Fenwick trees over the path counts (flat, local
+    /// 1-based indexing within each commodity's range).
+    fenwick: Vec<u64>,
+
+    // --- event core ---
+    calendar: Calendar,
+    last_event_time: f64,
+    departure_gen: u32,
+    done: bool,
+
+    // --- frozen-board policy tables (rebuilt per post) ---
+    cache: SamplingCache,
+    kernel: Option<SeparableKernel>,
+    /// Normalised sampling distribution σ per path.
+    sigma: Vec<f64>,
+    /// Per-activation move probability `m_P = Σ_Q σ_Q µ(ℓ̂_P, ℓ̂_Q)`.
+    move_prob: Vec<f64>,
+    /// Movers drawn in the current leap (pass-1 scratch).
+    move_count: Vec<u64>,
+    /// Latency-sorted local permutation per commodity (kernel path).
+    order: Vec<u32>,
+    /// Dense thinning caps `max_Q µ(ℓ̂_P, ·)` — sized only for smooth
+    /// policies without a separable kernel.
+    mu_cap: Vec<f64>,
+    best_reply: Vec<usize>,
+    commodity_min_lat: Vec<f64>,
+
+    // --- board + evaluation (network-sized, shared with the fluid
+    // engines; excluded from state_bytes) ---
+    board: BulletinBoard,
+    fault: Option<FaultState>,
+    eval: EvalWorkspace,
+    flow: FlowVec,
+    queue_delay: Vec<f64>,
+    true_edge_lat: Vec<f64>,
+    /// Experienced per-path latencies (evaluated + queue delay).
+    true_path_lat: Vec<f64>,
+    board_posted: bool,
+
+    // --- phase bookkeeping ---
+    phase_open: bool,
+    start_edge_flows: Vec<f64>,
+    start_edge_latencies: Vec<f64>,
+    potential_start: f64,
+    avg_latency_start: f64,
+    max_regret_start: f64,
+    unsatisfied_start: Vec<f64>,
+    weakly_unsatisfied_start: Vec<f64>,
+    phases: Vec<PhaseRecord>,
+    flows: Vec<FlowVec>,
+
+    // --- staleness metric ---
+    staleness_accum: f64,
+    staleness_weight: f64,
+
+    stats: OpenStats,
+}
+
+impl<'a> OpenSystem<'a> {
+    /// Builds the simulator from the flow profile `f0` (apportioned to
+    /// `config.num_agents` integer agents) and schedules the initial
+    /// events: the bootstrap board post at `t = 0`, the horizon, and
+    /// the arrival/departure/queue-refresh clocks where configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault-plan validation error, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero agents or
+    /// posts, non-positive period, negative rates) or `f0` is
+    /// infeasible.
+    pub fn new(
+        instance: &'a Instance,
+        policy: &'a AgentPolicy,
+        f0: &FlowVec,
+        config: OpenSystemConfig,
+    ) -> Result<Self, NetError> {
+        assert!(config.num_agents > 0, "need at least one agent");
+        assert!(
+            config.update_period.is_finite() && config.update_period > 0.0,
+            "update period must be positive"
+        );
+        assert!(config.num_posts > 0, "need at least one board post");
+        assert!(
+            config.arrival_rate.is_finite() && config.arrival_rate >= 0.0,
+            "arrival rate must be finite and ≥ 0"
+        );
+        assert!(
+            config.departure_rate.is_finite() && config.departure_rate >= 0.0,
+            "departure rate must be finite and ≥ 0"
+        );
+        assert!(
+            config.max_leap.is_finite() && config.max_leap >= 0.0,
+            "max leap must be finite and ≥ 0"
+        );
+        assert!(
+            f0.is_feasible(instance, 1e-6),
+            "initial flow must be feasible"
+        );
+
+        let np = instance.num_paths();
+        let nc = instance.num_commodities();
+        let ne = instance.num_edges();
+        let t_period = config.update_period;
+        let horizon = t_period * config.num_posts as f64;
+
+        let pop = Population::apportion(instance, config.num_agents, f0);
+        let counts = pop.counts().to_vec();
+        let commodity_totals: Vec<u64> = (0..nc).map(|i| pop.commodity_total(i)).collect();
+        let mut fenwick = vec![0u64; np];
+        for i in 0..nc {
+            let range = instance.commodity_paths(i);
+            fen_build(&mut fenwick[range.clone()], &counts[range]);
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut calendar = Calendar::new(t_period / BUCKETS_PER_PERIOD, NUM_BUCKETS);
+        // Pre-size the wheel from the configured clock rates so
+        // steady-state scheduling never grows a bucket: expected
+        // occupancy per bucket is (total event rate) × (bucket width),
+        // padded by ten standard deviations of Poisson fluctuation.
+        // Clamped so a pathological per-agent departure rate cannot
+        // balloon the constant footprint.
+        let event_rate = config.arrival_rate
+            + config.departure_rate * config.num_agents as f64
+            + (1.0 + config.queue_refreshes_per_post as f64) / t_period;
+        let per_bucket = event_rate * t_period / BUCKETS_PER_PERIOD;
+        let hint = (per_bucket + 10.0 * per_bucket.sqrt() + 32.0).ceil() as usize;
+        calendar.reserve_per_bucket(hint.min(4096));
+        // Scheduled first so the t = 0 tie fires before everything
+        // else, and the horizon before any same-instant churn.
+        calendar.schedule(0.0, OpenEventKind::BoardPost);
+        calendar.schedule(horizon, OpenEventKind::Horizon);
+        if config.arrival_rate > 0.0 {
+            let first = rand_exp(&mut rng, config.arrival_rate);
+            if first <= horizon {
+                calendar.schedule(first, OpenEventKind::Arrival);
+            }
+        }
+        if config.departure_rate > 0.0 {
+            let rate = config.departure_rate * config.num_agents as f64;
+            let first = rand_exp(&mut rng, rate);
+            if first <= horizon {
+                calendar.schedule(first, OpenEventKind::Departure { gen: 0 });
+            }
+        }
+        if config.queueing.is_some() && config.queue_refreshes_per_post > 0 {
+            let interval = t_period / config.queue_refreshes_per_post as f64;
+            if interval <= horizon {
+                calendar.schedule(interval, OpenEventKind::QueueRefresh);
+            }
+        }
+
+        let fault = match &config.faults {
+            Some(plan) => Some(FaultState::new(plan.clone(), instance)?),
+            None => None,
+        };
+        let mut cache = SamplingCache::default();
+        cache.bind(instance);
+        let kernel = match policy {
+            AgentPolicy::Smooth { migration, .. } => migration.kernel(),
+            AgentPolicy::BestResponse => None,
+        };
+        // The dense thinning caps are only carried when a smooth policy
+        // has no separable closed form (kernel caps are recomputed from
+        // the commodity minimum on the fly).
+        let mu_cap = match policy {
+            AgentPolicy::Smooth { .. } if kernel.is_none() => vec![0.0; np],
+            _ => Vec::new(),
+        };
+
+        let max_leap = if config.max_leap > 0.0 {
+            config.max_leap
+        } else {
+            t_period / 4.0
+        };
+        let num_posts = config.num_posts;
+
+        Ok(OpenSystem {
+            instance,
+            policy,
+            config,
+            rng,
+            max_leap,
+            horizon,
+            counts,
+            commodity_totals,
+            population: pop.num_agents(),
+            fenwick,
+            calendar,
+            last_event_time: 0.0,
+            departure_gen: 0,
+            done: false,
+            cache,
+            kernel,
+            sigma: vec![0.0; np],
+            move_prob: vec![0.0; np],
+            move_count: vec![0; np],
+            order: vec![0; np],
+            mu_cap,
+            best_reply: vec![0; nc],
+            commodity_min_lat: vec![0.0; nc],
+            board: BulletinBoard::for_instance(instance),
+            fault,
+            eval: EvalWorkspace::new(instance),
+            flow: FlowVec::from_values_unchecked(vec![0.0; np]),
+            queue_delay: vec![0.0; ne],
+            true_edge_lat: vec![0.0; ne],
+            true_path_lat: vec![0.0; np],
+            board_posted: false,
+            phase_open: false,
+            start_edge_flows: vec![0.0; ne],
+            start_edge_latencies: vec![0.0; ne],
+            potential_start: 0.0,
+            avg_latency_start: 0.0,
+            max_regret_start: 0.0,
+            unsatisfied_start: Vec::new(),
+            weakly_unsatisfied_start: Vec::new(),
+            phases: Vec::with_capacity(num_posts),
+            flows: Vec::new(),
+            staleness_accum: 0.0,
+            staleness_weight: 0.0,
+            stats: OpenStats::default(),
+        })
+    }
+
+    /// Current population size.
+    #[inline]
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Simulation clock (time of the last integrated leap boundary).
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.last_event_time
+    }
+
+    /// Counters so far (finalised fields like `staleness_mean` are
+    /// filled by [`OpenSystem::finish`]).
+    #[inline]
+    pub fn stats(&self) -> &OpenStats {
+        &self.stats
+    }
+
+    /// True once the horizon event has fired.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Bytes of agent-population state: the per-path counters, Fenwick
+    /// trees and frozen policy tables — everything that is
+    /// O(paths + commodities) and *independent of N*. The
+    /// network-sized evaluation workspace, board and flow buffers are
+    /// excluded (they are the same interface buffers the fluid engine
+    /// carries for the identical instance), as is the event calendar,
+    /// whose reserved capacity scales with the configured clock
+    /// *rates* — see [`OpenStats::calendar_bytes`].
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.counts.capacity() * size_of::<u64>()
+            + self.commodity_totals.capacity() * size_of::<u64>()
+            + self.fenwick.capacity() * size_of::<u64>()
+            + self.sigma.capacity() * size_of::<f64>()
+            + self.move_prob.capacity() * size_of::<f64>()
+            + self.move_count.capacity() * size_of::<u64>()
+            + self.order.capacity() * size_of::<u32>()
+            + self.mu_cap.capacity() * size_of::<f64>()
+            + self.best_reply.capacity() * size_of::<usize>()
+            + self.commodity_min_lat.capacity() * size_of::<f64>()
+            + self.true_path_lat.capacity() * size_of::<f64>()
+            + self.cache.state_bytes()
+    }
+
+    /// Processes the next calendar event, returning its kind (`None`
+    /// once the horizon has fired). Pending τ-leaps up to the event
+    /// time are integrated first, so state always reflects the clock.
+    pub fn step(&mut self) -> Option<OpenEventKind> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let ev = self.calendar.pop()?;
+            if let OpenEventKind::Departure { gen } = ev.kind {
+                if gen != self.departure_gen {
+                    // Stale clock generation: the rate changed since
+                    // this draw; a fresh one is already scheduled.
+                    continue;
+                }
+            }
+            self.stats.events += 1;
+            let now = ev.time.min(self.horizon);
+            match ev.kind {
+                OpenEventKind::BoardPost => {
+                    self.advance(now);
+                    self.handle_board_post(now);
+                }
+                OpenEventKind::Arrival => {
+                    self.advance(now);
+                    self.handle_arrival(now);
+                }
+                OpenEventKind::Departure { .. } => {
+                    self.advance(now);
+                    self.handle_departure(now);
+                }
+                OpenEventKind::QueueRefresh => {
+                    self.advance(now);
+                    self.handle_queue_refresh(now);
+                }
+                OpenEventKind::Horizon => {
+                    self.advance(self.horizon);
+                    self.close_phase();
+                    self.stats.final_population = self.population;
+                    self.done = true;
+                }
+            }
+            return Some(ev.kind);
+        }
+    }
+
+    /// Runs to the horizon and packages the trajectory and stats.
+    pub fn finish(mut self) -> OpenSystemRun {
+        while self.step().is_some() {}
+        self.counts_to_flow();
+        let mut stats = self.stats;
+        stats.final_population = self.population;
+        stats.staleness_mean = if self.staleness_weight > 0.0 {
+            self.staleness_accum / self.staleness_weight
+        } else {
+            0.0
+        };
+        stats.state_bytes = self.state_bytes();
+        stats.calendar_bytes = self.calendar.state_bytes();
+        OpenSystemRun {
+            trajectory: Trajectory {
+                update_period: self.config.update_period,
+                deltas: self.config.deltas.clone(),
+                phases: self.phases,
+                flows: self.flows,
+                flow_stride: 1,
+                final_flow: self.flow.clone(),
+                dynamics: format!("open:{}", self.policy.name()),
+            },
+            stats,
+        }
+    }
+
+    // --- τ-leaping ---
+
+    /// Integrates batched activations from the clock up to `t`.
+    fn advance(&mut self, t: f64) {
+        if !self.board_posted || t <= self.last_event_time {
+            self.last_event_time = self.last_event_time.max(t);
+            return;
+        }
+        while t - self.last_event_time > LEAP_EPS {
+            let delta = self.max_leap.min(t - self.last_event_time);
+            if self.population > 0 {
+                self.leap(delta);
+            }
+            self.last_event_time += delta;
+        }
+        self.last_event_time = t;
+    }
+
+    /// One τ-leap of length `delta`: draw per-path mover counts, then
+    /// land them. Sources are frozen first (pass 1 subtracts every
+    /// mover before pass 2 adds any) so a mover can never be re-drawn
+    /// from its destination within the same leap.
+    fn leap(&mut self, delta: f64) {
+        self.stats.leaps += 1;
+        self.refresh_true_latencies();
+        let inst = self.instance;
+        // Pass 1: movers out. `1 − e^{−m δ}` is each agent's chance of
+        // at least one migrating activation during the leap.
+        for i in 0..inst.num_commodities() {
+            let range = inst.commodity_paths(i);
+            for local in 0..range.len() {
+                let p = range.start + local;
+                let n_p = self.counts[p];
+                let m = self.move_prob[p];
+                if n_p == 0 || m <= 0.0 {
+                    self.move_count[p] = 0;
+                    continue;
+                }
+                let prob = -(-m * delta).exp_m1();
+                let movers = binomial(&mut self.rng, n_p, prob);
+                self.move_count[p] = movers;
+                if movers > 0 {
+                    self.counts[p] -= movers;
+                    fen_sub(&mut self.fenwick[range.clone()], local + 1, movers);
+                }
+            }
+        }
+        // Pass 2: movers in.
+        for i in 0..inst.num_commodities() {
+            let range = inst.commodity_paths(i);
+            for local in 0..range.len() {
+                let p = range.start + local;
+                let movers = self.move_count[p];
+                if movers == 0 {
+                    continue;
+                }
+                self.stats.migrations += movers;
+                // Staleness: each mover chose its destination from the
+                // *posted* latency; what it experiences on landing is
+                // the true (current + queue) latency. The gap is the
+                // board-staleness observable.
+                match self.policy {
+                    AgentPolicy::BestResponse => {
+                        let dest = self.best_reply[i];
+                        self.counts[dest] += movers;
+                        fen_add(
+                            &mut self.fenwick[range.clone()],
+                            dest - range.start + 1,
+                            movers,
+                        );
+                        let dev =
+                            (self.true_path_lat[dest] - self.board.path_latencies()[dest]).abs();
+                        self.staleness_accum += movers as f64 * dev;
+                        self.staleness_weight += movers as f64;
+                    }
+                    AgentPolicy::Smooth { migration, .. } => {
+                        for _ in 0..movers {
+                            let dest_local = self.draw_destination(i, local, migration.as_ref());
+                            let dest = range.start + dest_local;
+                            self.counts[dest] += 1;
+                            fen_add(&mut self.fenwick[range.clone()], dest_local + 1, 1);
+                            let dev = (self.true_path_lat[dest]
+                                - self.board.path_latencies()[dest])
+                                .abs();
+                            self.staleness_accum += dev;
+                            self.staleness_weight += 1.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Samples a mover's destination (local index) within `commodity`:
+    /// thinning against the frozen σ-cache, exact CDF walk after
+    /// [`THINNING_TRIES`] rejections.
+    fn draw_destination(
+        &mut self,
+        commodity: usize,
+        from_local: usize,
+        migration: &dyn MigrationRule,
+    ) -> usize {
+        let inst = self.instance;
+        let range = inst.commodity_paths(commodity);
+        let from = range.start + from_local;
+        let l_from = self.board.path_latencies()[from];
+        let kernel = self.kernel;
+        let mu = |l_to: f64| match kernel {
+            Some(k) => k.probability(l_from, l_to),
+            None => migration.probability(l_from, l_to),
+        };
+        let cap = match kernel {
+            Some(k) => k.probability(l_from, self.commodity_min_lat[commodity]),
+            None => self.mu_cap[from],
+        };
+        if cap > 0.0 {
+            for _ in 0..THINNING_TRIES {
+                let q = self.cache.sample(inst, commodity, &mut self.rng);
+                let accept = mu(self.board.path_latencies()[range.start + q]);
+                if accept > 0.0 && self.rng.random_range(0.0..cap) < accept {
+                    return q;
+                }
+            }
+        }
+        // Exact fallback: invert the per-path CDF Σ σ_Q µ(ℓ_P, ℓ_Q).
+        self.stats.proposal_fallbacks += 1;
+        let total = self.move_prob[from].max(f64::MIN_POSITIVE);
+        let u = self.rng.random_range(0.0..total);
+        let mut acc = 0.0;
+        let mut last_positive = from_local;
+        for q in 0..range.len() {
+            let w = self.sigma[range.start + q] * mu(self.board.path_latencies()[range.start + q]);
+            if w > 0.0 {
+                acc += w;
+                last_positive = q;
+                if u < acc {
+                    return q;
+                }
+            }
+        }
+        // Rounding overrun of the prefix sums: land on the last path
+        // with positive mass.
+        last_positive
+    }
+
+    // --- event handlers ---
+
+    fn handle_board_post(&mut self, now: f64) {
+        let closed = self.close_phase();
+        let phase_index = self.phases.len() + usize::from(!closed && !self.phases.is_empty());
+        // With no phase to close this is the bootstrap post; otherwise
+        // close_phase left the edge evaluation of the current flow in
+        // the workspace and only the path pass is missing.
+        self.counts_to_flow();
+        if closed {
+            self.eval.finish_paths(self.instance, &self.flow);
+        } else {
+            self.eval.evaluate(self.instance, &self.flow);
+        }
+        if self.config.record_flows {
+            self.flows.push(self.flow.clone());
+        }
+        self.unsatisfied_start = self
+            .config
+            .deltas
+            .iter()
+            .map(|d| self.eval.unsatisfied_volume(self.instance, &self.flow, *d))
+            .collect();
+        self.weakly_unsatisfied_start = self
+            .config
+            .deltas
+            .iter()
+            .map(|d| {
+                self.eval
+                    .weakly_unsatisfied_volume(self.instance, &self.flow, *d)
+            })
+            .collect();
+        self.potential_start = self.eval.potential();
+        self.avg_latency_start = self.eval.avg_latency();
+        self.max_regret_start = self.eval.max_regret(self.instance, &self.flow, 1e-12);
+        self.start_edge_flows
+            .copy_from_slice(self.eval.edge_flows());
+        self.start_edge_latencies
+            .copy_from_slice(self.eval.edge_latencies());
+        self.phase_open = true;
+
+        // Post the *experienced* latencies: evaluated + queue wait.
+        self.refresh_queue_delays();
+        for e in 0..self.true_edge_lat.len() {
+            self.true_edge_lat[e] = self.eval.edge_latencies()[e] + self.queue_delay[e];
+        }
+        match self.fault.as_mut() {
+            Some(state) => state.post_parts(
+                &mut self.board,
+                self.instance,
+                self.eval.edge_flows(),
+                &self.true_edge_lat,
+                self.flow.values(),
+                phase_index,
+                now,
+            ),
+            None => self.board.post_from_parts(
+                self.instance,
+                self.eval.edge_flows(),
+                &self.true_edge_lat,
+                self.flow.values(),
+                now,
+            ),
+        }
+        self.board_posted = true;
+        self.rebuild_policy_tables();
+        self.stats.posts += 1;
+
+        let next_phase = self.phases.len() + 1;
+        if next_phase < self.config.num_posts {
+            self.calendar.schedule(
+                next_phase as f64 * self.config.update_period,
+                OpenEventKind::BoardPost,
+            );
+        }
+    }
+
+    fn handle_arrival(&mut self, now: f64) {
+        debug_assert!(self.board_posted, "board posts at t = 0");
+        let inst = self.instance;
+        // Commodity ∝ demand (total demand is 1, the paper
+        // normalisation).
+        let u = self.rng.random_range(0.0..1.0);
+        let mut commodity = inst.num_commodities() - 1;
+        let mut acc = 0.0;
+        for (c, com) in inst.commodities().iter().enumerate() {
+            acc += com.demand;
+            if u < acc {
+                commodity = c;
+                break;
+            }
+        }
+        let range = inst.commodity_paths(commodity);
+        let local = match self.policy {
+            AgentPolicy::BestResponse => self.best_reply[commodity] - range.start,
+            AgentPolicy::Smooth { .. } => self.cache.sample(inst, commodity, &mut self.rng),
+        };
+        self.counts[range.start + local] += 1;
+        fen_add(&mut self.fenwick[range], local + 1, 1);
+        self.commodity_totals[commodity] += 1;
+        self.population += 1;
+        self.stats.arrivals += 1;
+        self.reschedule_departure(now);
+        let next = now + rand_exp(&mut self.rng, self.config.arrival_rate);
+        if next <= self.horizon {
+            self.calendar.schedule(next, OpenEventKind::Arrival);
+        }
+    }
+
+    fn handle_departure(&mut self, now: f64) {
+        if self.population == 0 {
+            return;
+        }
+        // Uniform over agents: commodity ∝ count, path via the Fenwick
+        // tree in O(log paths).
+        let mut pick = self.rng.random_range(0..self.population);
+        let mut commodity = 0;
+        while pick >= self.commodity_totals[commodity] {
+            pick -= self.commodity_totals[commodity];
+            commodity += 1;
+        }
+        let range = self.instance.commodity_paths(commodity);
+        let local = fen_sample(&self.fenwick[range.clone()], pick);
+        self.counts[range.start + local] -= 1;
+        fen_sub(&mut self.fenwick[range], local + 1, 1);
+        self.commodity_totals[commodity] -= 1;
+        self.population -= 1;
+        self.stats.departures += 1;
+        self.reschedule_departure(now);
+    }
+
+    fn handle_queue_refresh(&mut self, now: f64) {
+        self.counts_to_flow();
+        self.eval.evaluate_edges(self.instance, &self.flow);
+        self.refresh_queue_delays();
+        let interval =
+            self.config.update_period / self.config.queue_refreshes_per_post.max(1) as f64;
+        let next = now + interval;
+        if next <= self.horizon {
+            self.calendar.schedule(next, OpenEventKind::QueueRefresh);
+        }
+    }
+
+    /// Re-draws the aggregate departure clock at rate `d·N`
+    /// (memorylessness), invalidating any pending draw via the
+    /// generation stamp.
+    fn reschedule_departure(&mut self, now: f64) {
+        self.departure_gen = self.departure_gen.wrapping_add(1);
+        if self.config.departure_rate <= 0.0 || self.population == 0 {
+            return;
+        }
+        let rate = self.config.departure_rate * self.population as f64;
+        let next = now + rand_exp(&mut self.rng, rate);
+        if next <= self.horizon {
+            self.calendar.schedule(
+                next,
+                OpenEventKind::Departure {
+                    gen: self.departure_gen,
+                },
+            );
+        }
+    }
+
+    // --- phase bookkeeping ---
+
+    /// Closes the open phase (if any) from a fresh edge evaluation of
+    /// the current flow, leaving that evaluation in the workspace.
+    fn close_phase(&mut self) -> bool {
+        if !self.phase_open {
+            return false;
+        }
+        self.phase_open = false;
+        self.counts_to_flow();
+        self.eval.evaluate_edges(self.instance, &self.flow);
+        let index = self.phases.len();
+        let record = PhaseRecord {
+            index,
+            epoch: 0,
+            start_time: index as f64 * self.config.update_period,
+            potential_start: self.potential_start,
+            potential_end: self.eval.potential(),
+            virtual_gain: self
+                .eval
+                .virtual_gain_from(&self.start_edge_flows, &self.start_edge_latencies),
+            avg_latency_start: self.avg_latency_start,
+            max_regret_start: self.max_regret_start,
+            unsatisfied: std::mem::take(&mut self.unsatisfied_start),
+            weakly_unsatisfied: std::mem::take(&mut self.weakly_unsatisfied_start),
+        };
+        self.phases.push(record);
+        true
+    }
+
+    // --- frozen-board tables ---
+
+    /// Rebuilds σ, the sorted orders, the per-path move probabilities
+    /// and the best replies from the freshly posted board. O(P log P)
+    /// with a separable kernel, O(P²) dense fallback otherwise.
+    fn rebuild_policy_tables(&mut self) {
+        let inst = self.instance;
+        match self.policy {
+            AgentPolicy::Smooth {
+                sampling,
+                migration,
+            } => {
+                self.cache.refill(inst, &self.board, sampling.as_ref());
+                for i in 0..inst.num_commodities() {
+                    let range = inst.commodity_paths(i);
+                    let n = range.len();
+                    let total = self.cache.total(i);
+                    for local in 0..n {
+                        self.sigma[range.start + local] = if total > 0.0 {
+                            self.cache.weight(inst, i, local) / total
+                        } else {
+                            // Matches SamplingCache::sample's uniform
+                            // fallback for degenerate boards.
+                            1.0 / n as f64
+                        };
+                    }
+                    self.commodity_min_lat[i] = self.board.min_latency(inst, i);
+                    self.best_reply[i] = self.board.best_reply(inst, i);
+                    let lat = &self.board.path_latencies()[range.clone()];
+                    let sigma = &self.sigma[range.clone()];
+                    let move_prob = &mut self.move_prob[range.clone()];
+                    if let Some(kernel) = self.kernel {
+                        let order = &mut self.order[range.clone()];
+                        for (k, o) in order.iter_mut().enumerate() {
+                            *o = k as u32;
+                        }
+                        order
+                            .sort_unstable_by(|&a, &b| lat[a as usize].total_cmp(&lat[b as usize]));
+                        wardrop_core::kernel::fill_exit_rates(kernel, order, sigma, lat, move_prob);
+                    } else {
+                        for p in 0..n {
+                            let mut m = 0.0;
+                            let mut cap = 0.0_f64;
+                            for q in 0..n {
+                                if sigma[q] <= 0.0 {
+                                    continue;
+                                }
+                                let mu = migration.probability(lat[p], lat[q]);
+                                m += sigma[q] * mu;
+                                cap = cap.max(mu);
+                            }
+                            move_prob[p] = m;
+                            self.mu_cap[range.start + p] = cap;
+                        }
+                    }
+                }
+            }
+            AgentPolicy::BestResponse => {
+                for i in 0..inst.num_commodities() {
+                    let range = inst.commodity_paths(i);
+                    self.commodity_min_lat[i] = self.board.min_latency(inst, i);
+                    self.best_reply[i] = self.board.best_reply(inst, i);
+                    for p in range {
+                        self.move_prob[p] = if p == self.best_reply[i] { 0.0 } else { 1.0 };
+                    }
+                }
+            }
+        }
+    }
+
+    // --- evaluation plumbing ---
+
+    /// Writes the scaled empirical flow of the current counts into the
+    /// reusable flow buffer (extinct commodities contribute zero flow).
+    fn counts_to_flow(&mut self) {
+        let inst = self.instance;
+        let values = self.flow.values_mut();
+        for i in 0..inst.num_commodities() {
+            let range = inst.commodity_paths(i);
+            let total = self.commodity_totals[i];
+            if total == 0 {
+                values[range].fill(0.0);
+            } else {
+                let scale = inst.commodities()[i].demand / total as f64;
+                for p in range {
+                    values[p] = self.counts[p] as f64 * scale;
+                }
+            }
+        }
+    }
+
+    /// Experienced per-path latencies of the *current* flow (evaluated
+    /// edge latency + queue delay) — what movers actually encounter,
+    /// against which the posted board is compared for staleness.
+    fn refresh_true_latencies(&mut self) {
+        self.counts_to_flow();
+        self.eval.evaluate_edges(self.instance, &self.flow);
+        for e in 0..self.true_edge_lat.len() {
+            self.true_edge_lat[e] = self.eval.edge_latencies()[e] + self.queue_delay[e];
+        }
+        path_latencies_from_edge_into(self.instance, &self.true_edge_lat, &mut self.true_path_lat);
+    }
+
+    /// Recomputes the M/M/c waits from the edge evaluation currently
+    /// held in the workspace.
+    fn refresh_queue_delays(&mut self) {
+        let Some(model) = self.config.queueing else {
+            return;
+        };
+        for e in 0..self.queue_delay.len() {
+            self.queue_delay[e] =
+                model.wait(self.eval.edge_latencies()[e], self.eval.edge_flows()[e]);
+        }
+    }
+}
+
+/// Runs an open-system simulation to the horizon.
+///
+/// # Errors
+///
+/// Returns the fault-plan validation error, if any.
+pub fn run_open_system(
+    instance: &Instance,
+    policy: &AgentPolicy,
+    f0: &FlowVec,
+    config: OpenSystemConfig,
+) -> Result<OpenSystemRun, NetError> {
+    Ok(OpenSystem::new(instance, policy, f0, config)?.finish())
+}
+
+/// Runs one open-system simulation per seed, fanning across a
+/// [`WorkerPool`] (serially when `None` or single-lane). Each run is
+/// deterministic in its seed and runs are independent, so the ensemble
+/// is **identical for every lane count** — runs land in seed order
+/// regardless of which lane executed them.
+///
+/// # Errors
+///
+/// Returns the fault-plan validation error, if any.
+pub fn run_open_ensemble(
+    instance: &Instance,
+    policy: &AgentPolicy,
+    f0: &FlowVec,
+    config: &OpenSystemConfig,
+    seeds: &[u64],
+    pool: Option<&WorkerPool>,
+) -> Result<Vec<OpenSystemRun>, NetError> {
+    if let Some(plan) = &config.faults {
+        plan.validate()?;
+    }
+    let one = |seed: u64| {
+        let mut c = config.clone();
+        c.seed = seed;
+        OpenSystem::new(instance, policy, f0, c)
+            .expect("fault plan pre-validated")
+            .finish()
+    };
+    let runs = match pool {
+        Some(pool) if pool.lanes() > 1 && seeds.len() > 1 => {
+            pool.map_collect(seeds.len(), || (), |(), i| one(seeds[i]))
+        }
+        _ => seeds.iter().map(|&s| one(s)).collect(),
+    };
+    Ok(runs)
+}
+
+// --- Fenwick trees (flat, per-commodity, local 1-based) ---
+
+/// O(n) in-place Fenwick build from raw counts.
+fn fen_build(tree: &mut [u64], counts: &[u64]) {
+    tree.copy_from_slice(counts);
+    for i in 1..=tree.len() {
+        let j = i + (i & i.wrapping_neg());
+        if j <= tree.len() {
+            tree[j - 1] += tree[i - 1];
+        }
+    }
+}
+
+/// Adds `amount` at 1-based position `i`.
+fn fen_add(tree: &mut [u64], mut i: usize, amount: u64) {
+    while i <= tree.len() {
+        tree[i - 1] += amount;
+        i += i & i.wrapping_neg();
+    }
+}
+
+/// Subtracts `amount` at 1-based position `i`.
+fn fen_sub(tree: &mut [u64], mut i: usize, amount: u64) {
+    while i <= tree.len() {
+        tree[i - 1] -= amount;
+        i += i & i.wrapping_neg();
+    }
+}
+
+/// Returns the 0-based index of the element whose cumulative range
+/// contains `target` (`target < total`), by binary lifting — the
+/// O(log n) count-proportional pick.
+fn fen_sample(tree: &[u64], mut target: u64) -> usize {
+    let n = tree.len();
+    let mut pos = 0usize;
+    let mut step = n.next_power_of_two();
+    while step > 0 {
+        let next = pos + step;
+        if next <= n && tree[next - 1] <= target {
+            target -= tree[next - 1];
+            pos = next;
+        }
+        step >>= 1;
+    }
+    pos
+}
+
+// --- binomial sampling ---
+
+/// Draws `Binomial(n, p)` without external dependencies: a Bernoulli
+/// loop for tiny `n`, CDF inversion while the mean is small, and the
+/// continuity-corrected normal approximation in the bulk regime (both
+/// tails ≥ 30 there, where the approximation error is far below the
+/// τ-leap's own O((mδ)²) bias).
+fn binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - binomial_small_p(rng, n, 1.0 - p);
+    }
+    binomial_small_p(rng, n, p)
+}
+
+/// The `0 < p ≤ 0.5` regimes of [`binomial`].
+fn binomial_small_p(rng: &mut StdRng, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let mean = nf * p;
+    if n <= 64 {
+        let mut k = 0;
+        for _ in 0..n {
+            if rng.random_range(0.0..1.0) < p {
+                k += 1;
+            }
+        }
+        return k;
+    }
+    if mean <= 30.0 {
+        // CDF inversion via the pmf recurrence. The iteration cap
+        // truncates at mean + 12σ (mass < 1e-20) so a rounding underrun
+        // can never walk the whole support.
+        let q = 1.0 - p;
+        let s = p / q;
+        let mut f = (nf * q.ln()).exp();
+        let mut acc = f;
+        let u = rng.random_range(0.0..1.0);
+        let mut k = 0u64;
+        let limit = n.min((mean + 12.0 * mean.sqrt() + 64.0) as u64);
+        while u >= acc && k < limit {
+            k += 1;
+            f *= s * (nf - k as f64 + 1.0) / k as f64;
+            acc += f;
+        }
+        return k;
+    }
+    let sd = (mean * (1.0 - p)).sqrt();
+    let u1 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mean + sd * z + 0.5).floor().clamp(0.0, nf) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_agents, AgentSimConfig};
+    use wardrop_net::builders;
+
+    fn total_counts(run: &OpenSystemRun) -> u64 {
+        run.stats.final_population
+    }
+
+    #[test]
+    fn closed_system_conserves_population() {
+        let inst = builders::braess();
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let config = OpenSystemConfig::new(5_000, 0.5, 20, 3);
+        let run = run_open_system(&inst, &policy, &f0, config).unwrap();
+        assert_eq!(total_counts(&run), 5_000);
+        assert_eq!(run.stats.arrivals, 0);
+        assert_eq!(run.stats.departures, 0);
+        assert_eq!(run.trajectory.len(), 20);
+        assert!(run.trajectory.final_flow.is_feasible(&inst, 1e-9));
+        assert!(run.stats.migrations > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seeds_differ() {
+        let inst = builders::grid_network(3, 3, 5);
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::replicator(&inst);
+        let config = OpenSystemConfig::new(2_000, 0.4, 15, 42).with_churn(40.0, 0.02);
+        let a = run_open_system(&inst, &policy, &f0, config.clone()).unwrap();
+        let b = run_open_system(&inst, &policy, &f0, config.clone()).unwrap();
+        assert_eq!(a.trajectory.final_flow, b.trajectory.final_flow);
+        assert_eq!(a.stats, b.stats);
+        let mut other = config;
+        other.seed = 43;
+        let c = run_open_system(&inst, &policy, &f0, other).unwrap();
+        assert_ne!(a.trajectory.final_flow, c.trajectory.final_flow);
+    }
+
+    #[test]
+    fn churn_moves_population_and_balances_books() {
+        let inst = builders::braess();
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let config = OpenSystemConfig::new(1_000, 0.5, 30, 9).with_churn(100.0, 0.1);
+        let run = run_open_system(&inst, &policy, &f0, config).unwrap();
+        assert!(run.stats.arrivals > 0, "{:?}", run.stats);
+        assert!(run.stats.departures > 0, "{:?}", run.stats);
+        assert_eq!(
+            run.stats.final_population,
+            1_000 + run.stats.arrivals - run.stats.departures
+        );
+    }
+
+    #[test]
+    fn state_bytes_independent_of_population() {
+        let inst = builders::grid_network(4, 4, 7);
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::replicator(&inst);
+        let small =
+            OpenSystem::new(&inst, &policy, &f0, OpenSystemConfig::new(1_000, 0.5, 4, 1)).unwrap();
+        let large = OpenSystem::new(
+            &inst,
+            &policy,
+            &f0,
+            OpenSystemConfig::new(100_000_000, 0.5, 4, 1),
+        )
+        .unwrap();
+        assert_eq!(small.state_bytes(), large.state_bytes());
+        // O(paths): the marginal cost per extra path stays under the
+        // 64 B/path budget (the calendar's bucket ring is a constant).
+        let bigger_inst = builders::grid_network(6, 6, 7);
+        let bigger_policy = AgentPolicy::replicator(&bigger_inst);
+        let bigger_f0 = FlowVec::uniform(&bigger_inst);
+        let bigger = OpenSystem::new(
+            &bigger_inst,
+            &bigger_policy,
+            &bigger_f0,
+            OpenSystemConfig::new(1_000, 0.5, 4, 1),
+        )
+        .unwrap();
+        let extra_paths = bigger_inst.num_paths() - inst.num_paths();
+        let extra_bytes = bigger.state_bytes() - small.state_bytes();
+        assert!(
+            extra_bytes <= 64 * extra_paths,
+            "{extra_bytes} bytes for {extra_paths} extra paths"
+        );
+    }
+
+    #[test]
+    fn open_agents_drift_toward_equilibrium_on_pigou() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let config = OpenSystemConfig::new(20_000, 0.5, 200, 3);
+        let run = run_open_system(&inst, &policy, &f0, config).unwrap();
+        assert!(
+            run.trajectory.final_flow.values()[0] > 0.9,
+            "final flow {:?}",
+            run.trajectory.final_flow.values()
+        );
+        // Potential decreases overall.
+        let phi = run.trajectory.potential_series();
+        assert!(phi[phi.len() - 1] < phi[0]);
+    }
+
+    #[test]
+    fn closed_run_tracks_per_activation_simulator() {
+        // The τ-leaped DES and the per-activation reference follow the
+        // same fluid path; at N = 40 000 the binomial noise per phase
+        // is ~1/√N ≈ 0.005, so the final flows agree loosely. The
+        // systematic equivalence sweep lives in tests/equivalence.rs.
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let n = 40_000;
+        let open = run_open_system(
+            &inst,
+            &policy,
+            &f0,
+            OpenSystemConfig::new(n, 0.5, 40, 7).with_max_leap(0.05),
+        )
+        .unwrap();
+        let sync = run_agents(&inst, &policy, &f0, &AgentSimConfig::new(n, 0.5, 40, 7));
+        let dist = open.trajectory.final_flow.linf_distance(&sync.final_flow);
+        assert!(dist < 0.05, "final flows diverged by {dist}");
+    }
+
+    #[test]
+    fn best_response_open_agents_oscillate() {
+        let inst = builders::two_link_oscillator(4.0);
+        let t = 0.5_f64;
+        let f1 = wardrop_core::theory::oscillation::initial_flow(t);
+        let f0 = FlowVec::from_values(&inst, vec![f1, 1.0 - f1]).unwrap();
+        let config = OpenSystemConfig::new(10_000, t, 60, 11).with_flows();
+        let run = run_open_system(&inst, &AgentPolicy::BestResponse, &f0, config).unwrap();
+        let f_even = run.trajectory.flows[40].values()[0];
+        let f_odd = run.trajectory.flows[41].values()[0];
+        assert!(
+            (f_even - 0.5) * (f_odd - 0.5) < 0.0,
+            "phases 40/41: {f_even} vs {f_odd}"
+        );
+    }
+
+    #[test]
+    fn staleness_grows_with_update_period() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let slow = run_open_system(
+            &inst,
+            &policy,
+            &f0,
+            OpenSystemConfig::new(50_000, 2.0, 20, 5),
+        )
+        .unwrap();
+        let fast = run_open_system(
+            &inst,
+            &policy,
+            &f0,
+            OpenSystemConfig::new(50_000, 0.05, 20, 5),
+        )
+        .unwrap();
+        assert!(slow.stats.staleness_mean > 0.0);
+        assert!(
+            slow.stats.staleness_mean > fast.stats.staleness_mean,
+            "stale board should lag more at T = 2.0: {} vs {}",
+            slow.stats.staleness_mean,
+            fast.stats.staleness_mean
+        );
+    }
+
+    #[test]
+    fn queueing_inflates_posted_latencies_and_changes_dynamics() {
+        let inst = builders::braess();
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let base = OpenSystemConfig::new(5_000, 0.5, 30, 13);
+        let plain = run_open_system(&inst, &policy, &f0, base.clone()).unwrap();
+        let queued = run_open_system(
+            &inst,
+            &policy,
+            &f0,
+            base.with_queueing(QueueingModel::new(4, 1.2)),
+        )
+        .unwrap();
+        // Congestion-dependent waits steer the agents differently.
+        assert_ne!(plain.trajectory.final_flow, queued.trajectory.final_flow);
+        // And the experienced-vs-posted gap is still well defined.
+        assert!(queued.stats.staleness_mean >= 0.0);
+    }
+
+    #[test]
+    fn erlang_c_wait_is_monotone_in_load() {
+        let model = QueueingModel::new(4, 1.0);
+        assert_eq!(model.wait(1.0, 0.0), 0.0);
+        let mut last = 0.0;
+        for load in [0.2, 0.5, 0.8, 0.95, 2.0] {
+            let w = model.wait(1.0, load);
+            assert!(w >= last, "wait must grow with load: {w} < {last}");
+            last = w;
+        }
+        assert!(last.is_finite(), "clamped utilisation keeps waits finite");
+        // More servers at equal utilisation ⇒ less waiting.
+        assert!(
+            QueueingModel::new(8, 1.0).wait(1.0, 0.8) < QueueingModel::new(2, 1.0).wait(1.0, 0.8)
+        );
+    }
+
+    #[test]
+    fn fault_plans_apply_on_open_posts() {
+        let inst = builders::braess();
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let base = OpenSystemConfig::new(4_000, 0.5, 30, 17);
+        let plain = run_open_system(&inst, &policy, &f0, base.clone()).unwrap();
+        // A zero-fault plan takes the clean post path every phase.
+        let trivial = base.clone().with_faults(FaultPlan::new(5));
+        let same = run_open_system(&inst, &policy, &f0, trivial).unwrap();
+        assert_eq!(plain.trajectory.final_flow, same.trajectory.final_flow);
+        // An outage starves the agents of fresh information.
+        let faulted = base.with_faults(FaultPlan::new(5).with_outage(2, 20).unwrap());
+        let diff = run_open_system(&inst, &policy, &f0, faulted).unwrap();
+        assert_ne!(plain.trajectory.final_flow, diff.trajectory.final_flow);
+    }
+
+    #[test]
+    fn ensemble_is_lane_count_transparent() {
+        let inst = builders::grid_network(3, 3, 2);
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::replicator(&inst);
+        let config = OpenSystemConfig::new(2_000, 0.4, 10, 0).with_churn(30.0, 0.03);
+        let seeds = [9u64, 8, 7, 6, 5];
+        let serial = run_open_ensemble(&inst, &policy, &f0, &config, &seeds, None).unwrap();
+        for lanes in [2usize, 4] {
+            let pool = WorkerPool::new(lanes);
+            let pooled =
+                run_open_ensemble(&inst, &policy, &f0, &config, &seeds, Some(&pool)).unwrap();
+            assert_eq!(pooled.len(), serial.len());
+            for (a, b) in pooled.iter().zip(&serial) {
+                assert_eq!(a.trajectory.phases, b.trajectory.phases, "lanes = {lanes}");
+                assert_eq!(
+                    a.trajectory.final_flow, b.trajectory.final_flow,
+                    "lanes = {lanes}"
+                );
+                assert_eq!(a.stats, b.stats, "lanes = {lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_commodity_open_system_stays_consistent() {
+        let inst = builders::multi_commodity_grid(3, 3, 5);
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let config = OpenSystemConfig::new(3_000, 0.4, 20, 7).with_churn(60.0, 0.05);
+        let mut sys = OpenSystem::new(&inst, &policy, &f0, config).unwrap();
+        while sys.step().is_some() {
+            // Invariant: per-commodity Fenwick totals equal the raw
+            // counts at all times.
+            for i in 0..inst.num_commodities() {
+                let range = inst.commodity_paths(i);
+                let raw: u64 = sys.counts[range.clone()].iter().sum();
+                assert_eq!(raw, sys.commodity_totals[i]);
+            }
+            let total: u64 = sys.commodity_totals.iter().sum();
+            assert_eq!(total, sys.population);
+        }
+        assert!(sys.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn zero_agents_rejected() {
+        let inst = builders::pigou();
+        let f0 = FlowVec::uniform(&inst);
+        let policy = AgentPolicy::uniform_linear(&inst);
+        let _ = OpenSystem::new(&inst, &policy, &f0, OpenSystemConfig::new(0, 0.5, 10, 1));
+    }
+
+    // --- Fenwick unit tests ---
+
+    #[test]
+    fn fenwick_sample_matches_count_distribution() {
+        let counts = [5u64, 0, 3, 12, 0, 1, 7];
+        let total: u64 = counts.iter().sum();
+        let mut tree = vec![0u64; counts.len()];
+        fen_build(&mut tree, &counts);
+        // Exhaustive: every target lands on the path owning its slot.
+        let mut expected = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                expected.push(i);
+            }
+        }
+        for target in 0..total {
+            assert_eq!(fen_sample(&tree, target), expected[target as usize]);
+        }
+    }
+
+    #[test]
+    fn fenwick_add_sub_roundtrip() {
+        let mut counts = [2u64, 4, 0, 9, 1];
+        let mut tree = vec![0u64; counts.len()];
+        fen_build(&mut tree, &counts);
+        fen_add(&mut tree, 3, 5);
+        counts[2] += 5;
+        fen_sub(&mut tree, 4, 9);
+        counts[3] -= 9;
+        fen_add(&mut tree, 1, 1);
+        counts[0] += 1;
+        let total: u64 = counts.iter().sum();
+        let mut seen = vec![0u64; counts.len()];
+        for target in 0..total {
+            seen[fen_sample(&tree, target)] += 1;
+        }
+        assert_eq!(seen, counts);
+    }
+
+    // --- binomial sampler unit tests ---
+
+    fn check_moments(n: u64, p: f64, draws: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean_want = n as f64 * p;
+        let var_want = n as f64 * p * (1.0 - p);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..draws {
+            let k = binomial(&mut rng, n, p) as f64;
+            assert!(k <= n as f64);
+            sum += k;
+            sumsq += k * k;
+        }
+        let mean = sum / draws as f64;
+        let var = sumsq / draws as f64 - mean * mean;
+        let mean_tol = 6.0 * (var_want / draws as f64).sqrt().max(1e-3);
+        assert!(
+            (mean - mean_want).abs() < mean_tol,
+            "n={n} p={p}: mean {mean} vs {mean_want}"
+        );
+        assert!(
+            (var - var_want).abs() < 0.2 * var_want + 0.05,
+            "n={n} p={p}: var {var} vs {var_want}"
+        );
+    }
+
+    #[test]
+    fn binomial_moments_across_regimes() {
+        check_moments(40, 0.3, 20_000, 1); // Bernoulli loop
+        check_moments(10_000, 0.001, 20_000, 2); // CDF inversion
+        check_moments(100_000, 0.3, 5_000, 3); // normal approximation
+        check_moments(500, 0.97, 20_000, 4); // flipped tail
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+        for _ in 0..100 {
+            let k = binomial(&mut rng, 5, 0.5);
+            assert!(k <= 5);
+        }
+    }
+}

@@ -136,14 +136,27 @@ impl Population {
     /// The empirical flow: commodity `i`'s counts scaled to demand
     /// `r_i`.
     pub fn to_flow(&self, instance: &Instance) -> FlowVec {
-        let mut values = vec![0.0; self.counts.len()];
+        let mut flow = FlowVec::from_values_unchecked(vec![0.0; self.counts.len()]);
+        self.to_flow_into(instance, &mut flow);
+        flow
+    }
+
+    /// Writes the empirical flow into `out`, reusing its buffer — the
+    /// allocation-free counterpart of [`Population::to_flow`] for
+    /// per-phase conversion inside simulation loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` was sized for a different instance.
+    pub fn to_flow_into(&self, instance: &Instance, out: &mut FlowVec) {
+        assert_eq!(out.len(), self.counts.len(), "flow buffer length mismatch");
+        let values = out.values_mut();
         for (i, c) in instance.commodities().iter().enumerate() {
             let total = self.commodity_totals[i] as f64;
             for p in instance.commodity_paths(i) {
                 values[p] = self.counts[p] as f64 / total * c.demand;
             }
         }
-        FlowVec::from_values_unchecked(values)
     }
 }
 
@@ -268,6 +281,18 @@ mod tests {
         let f = FlowVec::from_values(&inst, vec![1.0, 0.0]).unwrap();
         let mut pop = Population::apportion(&inst, 10, &f);
         pop.migrate(&inst, 1, 0);
+    }
+
+    #[test]
+    fn to_flow_into_matches_to_flow_without_moving_the_buffer() {
+        let inst = builders::multi_commodity_grid(2, 2, 1);
+        let f = FlowVec::uniform(&inst);
+        let pop = Population::apportion(&inst, 57, &f);
+        let mut out = FlowVec::uniform(&inst);
+        let ptr = out.values().as_ptr();
+        pop.to_flow_into(&inst, &mut out);
+        assert_eq!(out, pop.to_flow(&inst));
+        assert_eq!(out.values().as_ptr(), ptr);
     }
 
     #[test]

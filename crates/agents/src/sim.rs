@@ -28,6 +28,7 @@ use wardrop_net::flow::FlowVec;
 use wardrop_net::instance::Instance;
 use wardrop_net::scenario::Scenario;
 
+use crate::cache::SamplingCache;
 use crate::events::{EventKind, EventQueue, Time};
 use crate::population::Population;
 
@@ -169,55 +170,6 @@ pub fn run_agents(
         .expect("static agent runs cannot fail event application")
 }
 
-/// Per-phase sampling cache: the board is frozen within a phase, so
-/// every activation of a commodity draws from the *same* sampling
-/// distribution. Instead of refilling a weight buffer per activation
-/// (O(n) each), the cumulative weights are built once per board post
-/// and each activation samples by binary search — O(log n), the
-/// agent-side analogue of the engine's matrix-free phase rates.
-#[derive(Debug, Default)]
-struct SamplingCache {
-    /// Flat per-path cumulative weights, partial-summed within each
-    /// commodity's range.
-    cum: Vec<f64>,
-    /// Per-commodity total weight (0 ⇒ degenerate, fall back to
-    /// uniform).
-    totals: Vec<f64>,
-}
-
-impl SamplingCache {
-    /// Rebuilds the cumulative weights from the freshly posted board.
-    fn rebuild(&mut self, instance: &Instance, board: &BulletinBoard, sampling: &dyn SamplingRule) {
-        self.cum.resize(instance.num_paths(), 0.0);
-        self.totals.resize(instance.num_commodities(), 0.0);
-        for i in 0..instance.num_commodities() {
-            let range = instance.commodity_paths(i);
-            let slice = &mut self.cum[range];
-            sampling.fill_weights(instance, board, i, slice);
-            let mut acc = 0.0;
-            for w in slice.iter_mut() {
-                acc += *w;
-                *w = acc;
-            }
-            self.totals[i] = acc;
-        }
-    }
-
-    /// Draws a local path index for `commodity` (uniform fallback when
-    /// the distribution is degenerate, e.g. proportional sampling with
-    /// all board flow extinct).
-    fn sample(&self, instance: &Instance, commodity: usize, rng: &mut StdRng) -> usize {
-        let range = instance.commodity_paths(commodity);
-        let total = self.totals[commodity];
-        if total <= 0.0 {
-            return rng.random_range(0..range.len());
-        }
-        let u = rng.random_range(0.0..total);
-        let slice = &self.cum[range];
-        slice.partition_point(|&c| c <= u).min(slice.len() - 1)
-    }
-}
-
 /// Runs the finite-population simulation through a non-stationary
 /// [`Scenario`]: events fire at board updates, mutating a private copy
 /// of the instance, and demand events additionally *churn the
@@ -299,7 +251,11 @@ pub fn run_agents_scenario_pooled(
         None => None,
     };
     let mut board_posted = false;
+    // Bound once for the run: scenario events mutate demands and
+    // latencies but never the path structure, so every later post is a
+    // pure allocation-free refill.
     let mut sampling_cache = SamplingCache::default();
+    sampling_cache.bind(instance);
     let mut open_phase: Option<OpenPhase> = None;
     let mut phase_index = 0usize;
 
@@ -374,7 +330,7 @@ pub fn run_agents_scenario_pooled(
                 }
                 board_posted = true;
                 if let AgentPolicy::Smooth { sampling, .. } = policy {
-                    sampling_cache.rebuild(instance, &board, sampling.as_ref());
+                    sampling_cache.refill(instance, &board, sampling.as_ref());
                 }
                 phase_index += 1;
                 queue.schedule(
@@ -507,7 +463,7 @@ fn activate_one(
 }
 
 /// Draws an Exp(rate) variate by inverse transform.
-fn rand_exp(rng: &mut StdRng, rate: f64) -> f64 {
+pub(crate) fn rand_exp(rng: &mut StdRng, rate: f64) -> f64 {
     let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
     -u.ln() / rate
 }
@@ -682,47 +638,6 @@ mod tests {
         let f0 = FlowVec::uniform(&inst);
         let config = AgentSimConfig::new(0, 0.5, 10, 1);
         let _ = run_agents(&inst, &AgentPolicy::uniform_linear(&inst), &f0, &config);
-    }
-
-    #[test]
-    fn cached_sampling_respects_board_weights() {
-        // Proportional sampling: the cumulative cache must reproduce
-        // the board flow distribution, skipping the zero-flow path.
-        let inst = builders::parallel_links(vec![
-            wardrop_net::Latency::Constant(1.0),
-            wardrop_net::Latency::Constant(1.0),
-            wardrop_net::Latency::Constant(1.0),
-        ]);
-        let f = FlowVec::from_values(&inst, vec![0.2, 0.0, 0.8]).unwrap();
-        let board = BulletinBoard::post(&inst, &f, 0.0);
-        let mut cache = SamplingCache::default();
-        cache.rebuild(&inst, &board, &wardrop_core::sampling::Proportional);
-        let mut rng = StdRng::seed_from_u64(99);
-        let mut hits = [0u32; 3];
-        for _ in 0..30_000 {
-            hits[cache.sample(&inst, 0, &mut rng)] += 1;
-        }
-        assert_eq!(hits[1], 0);
-        let frac = hits[2] as f64 / 30_000.0;
-        assert!((frac - 0.8).abs() < 0.02, "frac {frac}");
-    }
-
-    #[test]
-    fn degenerate_sampling_cache_falls_back_to_uniform() {
-        // All board flow extinct for proportional sampling after the
-        // cache sees a zero-weight commodity: totals ≤ 0 ⇒ uniform.
-        let inst = builders::pigou();
-        let f = FlowVec::uniform(&inst);
-        let board = BulletinBoard::post(&inst, &f, 0.0);
-        let mut cache = SamplingCache::default();
-        cache.rebuild(&inst, &board, &wardrop_core::sampling::Uniform);
-        cache.totals[0] = 0.0; // force the degenerate branch
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut hits = [0u32; 2];
-        for _ in 0..10_000 {
-            hits[cache.sample(&inst, 0, &mut rng)] += 1;
-        }
-        assert!(hits[0] > 4_000 && hits[1] > 4_000, "{hits:?}");
     }
 
     #[test]

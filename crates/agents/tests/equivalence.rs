@@ -1,0 +1,116 @@
+//! Closed-population equivalence: the event-calendar open-system
+//! simulator with churn disabled must reproduce the per-activation
+//! reference simulator's flow trajectories within binomial noise.
+//!
+//! Both simulators realise the same stochastic process — `N` agents
+//! with rate-1 revision clocks against a board posted every `T` — so
+//! for a shared instance, policy and phase schedule their recorded
+//! flows are two independent samples around the same fluid path. Each
+//! coordinate carries sampling noise of order `√(x(1−x)/N)` plus the
+//! τ-leap's `O((mδ)²)` discretisation bias, so the per-phase L∞ gap
+//! between the runs must stay within a small multiple of `1/√N`.
+//!
+//! Property-tested over the full 12-policy smooth zoo (3 sampling ×
+//! 4 migration rules, mirroring `stock_policy_zoo`) on grid and
+//! funnel instances with a shared seed schedule.
+
+use proptest::prelude::*;
+use wardrop_agents::open_system::{run_open_system, OpenSystemConfig};
+use wardrop_agents::sim::{run_agents, AgentPolicy, AgentSimConfig};
+use wardrop_core::migration::{BetterResponse, Linear, MigrationRule, RelativeSlack, ScaledLinear};
+use wardrop_core::sampling::{Logit, Proportional, SamplingRule, Uniform};
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+use wardrop_net::instance::Instance;
+
+const NUM_AGENTS: u64 = 20_000;
+const PHASES: usize = 10;
+const PERIOD: f64 = 0.25;
+
+/// The agent-policy mirror of `stock_policy_zoo`: index / 4 picks the
+/// sampling rule, index % 4 the migration rule.
+fn zoo_policy(index: usize, lmax: f64) -> AgentPolicy {
+    let alpha = 4.0 / lmax;
+    let sampling: Box<dyn SamplingRule> = match index / 4 {
+        0 => Box::new(Uniform),
+        1 => Box::new(Proportional),
+        _ => Box::new(Logit::new(2.0)),
+    };
+    let migration: Box<dyn MigrationRule> = match index % 4 {
+        0 => Box::new(Linear::new(lmax)),
+        1 => Box::new(ScaledLinear::new(alpha)),
+        2 => Box::new(BetterResponse),
+        _ => Box::new(RelativeSlack),
+    };
+    AgentPolicy::Smooth {
+        sampling,
+        migration,
+    }
+}
+
+fn pick_instance(index: usize) -> Instance {
+    match index % 2 {
+        0 => builders::grid_network(3, 3, 7),
+        _ => builders::funnel_links(6, 0.25),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite: closed-population DES matches `run_agents` flow
+    /// trajectories within binomial-noise bounds across the policy
+    /// zoo × grid/funnel with a shared seed schedule.
+    #[test]
+    fn closed_des_matches_reference_within_binomial_noise(
+        (policy_index, instance_index) in (0usize..12, 0usize..2),
+        seed in 1u64..10_000,
+    ) {
+        let instance = pick_instance(instance_index);
+        let lmax = instance.latency_upper_bound();
+        let policy = zoo_policy(policy_index, lmax);
+        let f0 = FlowVec::uniform(&instance);
+
+        let reference = run_agents(
+            &instance,
+            &policy,
+            &f0,
+            &AgentSimConfig::new(NUM_AGENTS, PERIOD, PHASES, seed).with_flows(),
+        );
+        let open_config = OpenSystemConfig::new(NUM_AGENTS, PERIOD, PHASES, seed)
+            .with_max_leap(PERIOD / 8.0)
+            .with_flows();
+        let open = run_open_system(&instance, &policy, &f0, open_config)
+            .expect("closed open-system run");
+
+        prop_assert_eq!(reference.len(), PHASES);
+        prop_assert_eq!(open.trajectory.len(), PHASES);
+        prop_assert_eq!(open.stats.arrivals, 0);
+        prop_assert_eq!(open.stats.departures, 0);
+        prop_assert_eq!(open.stats.final_population, NUM_AGENTS);
+        prop_assert_eq!(reference.flows.len(), open.trajectory.flows.len());
+
+        // Two independent N-agent samples of the same fluid path:
+        // allow a generous multiple of 1/√N for accumulated drift.
+        let tol = 12.0 / (NUM_AGENTS as f64).sqrt();
+        for (phase, (a, b)) in reference
+            .flows
+            .iter()
+            .zip(&open.trajectory.flows)
+            .enumerate()
+        {
+            let gap = a.linf_distance(b);
+            prop_assert!(
+                gap <= tol,
+                "policy {} instance {} seed {}: phase {} L∞ gap {:.4} > tol {:.4}",
+                policy_index,
+                instance_index,
+                seed,
+                phase,
+                gap,
+                tol,
+            );
+        }
+        prop_assert!(open.trajectory.final_flow.is_feasible(&instance, 1e-6));
+    }
+}

@@ -7,6 +7,19 @@
 //! trajectory of the hot path is tracked in-repo from PR to PR and CI
 //! can surface regressions.
 //!
+//! Schema v9 additions (open-system agent simulator):
+//!
+//! * an `agents_scale` section: the event-calendar open-system
+//!   simulator (`wardrop_agents::open_system`) on `grid_8x8` at
+//!   N ∈ {10⁴, 10⁵, 10⁶, 10⁷} agents with churn and M/M/c queueing —
+//!   40 board posts each, recording wall time, events, events/sec,
+//!   migrations and the O(paths) state footprint. CI asserts the 10⁷
+//!   row exists, `state_bytes` is byte-identical across the sweep
+//!   (population independence) and the 10⁷ row's `bytes_per_agent`
+//!   stays within the 64·paths/N budget.
+//!
+//! Schema v8 additions: the `serve` section (daemon headline rows).
+//!
 //! Schema v7 additions (incremental delta evaluation):
 //!
 //! * a `delta_eval` section: per-phase evaluation cost (the engine's
@@ -81,6 +94,8 @@
 //! 1/2/4/8 sweep and the `grid_12x12` frontier row.
 
 use serde::Serialize;
+use wardrop_agents::open_system::{run_open_system, OpenSystemConfig, QueueingModel};
+use wardrop_agents::sim::AgentPolicy;
 use wardrop_bench::{
     baseline, frontier_engine_workloads, grid_12x12_frontier_workload, implicit_path_workloads,
     large_engine_workloads, small_engine_workloads, time_apply_event, time_best_of,
@@ -277,6 +292,36 @@ struct BenchReport {
     /// `wardrop-serve/v1`); this section carries the headline rows the
     /// engine report's consumers gate on.
     serve: Vec<ServeReport>,
+    /// Open-system agent-simulator scaling sweep: N agents on one
+    /// instance at O(paths) state and O(events) work — CI asserts the
+    /// 10⁷ row and the population-independence of `state_bytes`.
+    agents_scale: Vec<AgentsScaleReport>,
+}
+
+/// One population size of the open-system scaling sweep.
+#[derive(Debug, Serialize)]
+struct AgentsScaleReport {
+    workload: String,
+    num_agents: u64,
+    paths: usize,
+    posts: usize,
+    /// Calendar events processed (posts, churn, queue refreshes,
+    /// horizon) — independent of N by construction.
+    events: u64,
+    /// Agents moved by τ-leaped activation batches.
+    migrations: u64,
+    arrivals: u64,
+    departures: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    /// O(paths) agent state: counters, Fenwick trees, policy tables.
+    state_bytes: usize,
+    /// Event-calendar footprint (scales with clock rates, not N).
+    calendar_bytes: usize,
+    /// `state_bytes / num_agents` — the budget is `64·paths/N`.
+    bytes_per_agent: f64,
+    /// Mover-weighted mean |experienced − posted| latency.
+    staleness_mean: f64,
 }
 
 /// One headline row of the serve-layer benchmark (see
@@ -326,12 +371,13 @@ impl BenchReport {
             ("fault_overhead", 6),
             ("delta_eval", 7),
             ("serve", 8),
+            ("agents_scale", 9),
         ]
     }
 }
 
 /// The schema version this binary emits.
-const SCHEMA_VERSION: u32 = 8;
+const SCHEMA_VERSION: u32 = 9;
 
 /// Every section this binary knows how to emit, with the schema
 /// version each was introduced in. The emit guard refuses sections
@@ -349,6 +395,7 @@ const KNOWN_SECTIONS: &[(&str, u32)] = &[
     ("fault_overhead", 6),
     ("delta_eval", 7),
     ("serve", 8),
+    ("agents_scale", 9),
 ];
 
 /// A section the report serialiser refuses to emit.
@@ -886,6 +933,63 @@ fn measure_delta_eval(
     row
 }
 
+/// The open-system scaling sweep: grid_8x8 (3432 paths), 40 board
+/// posts, balanced churn (the per-agent departure rate is λ/N so the
+/// aggregate event rate — and hence the calendar footprint — is the
+/// same at every N) and an M/M/c queueing overlay. The replicator
+/// policy keeps the τ-leap batches on the kernel fast path.
+fn measure_agents_scale(smoke: bool) -> Vec<AgentsScaleReport> {
+    let inst = builders::grid_network(8, 8, 7);
+    let policy = AgentPolicy::replicator(&inst);
+    let f0 = FlowVec::uniform(&inst);
+    let populations: &[u64] = if smoke {
+        // CI still needs the 10⁷ acceptance row; the sweep's interior
+        // points are what smoke mode trims.
+        &[10_000, 10_000_000]
+    } else {
+        &[10_000, 100_000, 1_000_000, 10_000_000]
+    };
+    let mut rows = Vec::new();
+    for &n in populations {
+        let config = OpenSystemConfig::new(n, 0.1, 40, 7)
+            .with_churn(1000.0, 1000.0 / n as f64)
+            .with_queueing(QueueingModel::new(4, 0.5));
+        let start = std::time::Instant::now();
+        let run = run_open_system(&inst, &policy, &f0, config).expect("open-system sweep run");
+        let wall = start.elapsed();
+        let stats = run.stats;
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let events_per_sec = stats.events as f64 / wall.as_secs_f64();
+        println!(
+            "{:<28} N={:<9} {:>7} events {:>10.0} ev/s {:>9} movers  state {:>7} B ({:.4} B/agent)",
+            "agents_open/grid_8x8",
+            n,
+            stats.events,
+            events_per_sec,
+            stats.migrations,
+            stats.state_bytes,
+            stats.state_bytes as f64 / n as f64,
+        );
+        rows.push(AgentsScaleReport {
+            workload: "grid_8x8".to_string(),
+            num_agents: n,
+            paths: inst.num_paths(),
+            posts: 40,
+            events: stats.events,
+            migrations: stats.migrations,
+            arrivals: stats.arrivals,
+            departures: stats.departures,
+            wall_ms,
+            events_per_sec,
+            state_bytes: stats.state_bytes,
+            calendar_bytes: stats.calendar_bytes,
+            bytes_per_agent: stats.state_bytes as f64 / n as f64,
+            staleness_mean: stats.staleness_mean,
+        });
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -1124,6 +1228,32 @@ fn main() {
         crash_bit_identical: serve_outcome.crash.bit_identical,
     }];
 
+    // Open-system agent scaling: the 10⁷-agent acceptance row.
+    let agents_scale = measure_agents_scale(smoke);
+    let ten_million = agents_scale
+        .iter()
+        .find(|r| r.num_agents == 10_000_000)
+        .expect("the 10⁷-agent agents_scale row is the acceptance criterion");
+    for row in &agents_scale {
+        assert!(
+            row.events_per_sec > 0.0,
+            "agents_scale N={}: events/sec not recorded",
+            row.num_agents
+        );
+        assert_eq!(
+            row.state_bytes, ten_million.state_bytes,
+            "agents_scale N={}: state bytes depend on the population",
+            row.num_agents
+        );
+    }
+    assert!(
+        ten_million.bytes_per_agent
+            <= 64.0 * ten_million.paths as f64 / ten_million.num_agents as f64,
+        "agents_scale 10⁷ row: {} state bytes exceed the 64·paths budget ({})",
+        ten_million.state_bytes,
+        64 * ten_million.paths,
+    );
+
     let report = BenchReport {
         schema: format!("wardrop-bench/engine/v{SCHEMA_VERSION}"),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
@@ -1137,6 +1267,7 @@ fn main() {
         fault_overhead,
         delta_eval,
         serve,
+        agents_scale,
     };
     if let Err(err) = validate_sections(&report.sections()) {
         panic!("report schema check failed: {err}");

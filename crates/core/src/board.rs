@@ -120,6 +120,33 @@ impl BulletinBoard {
         self.path_flows.copy_from_slice(flow.values());
     }
 
+    /// Re-posts the board from caller-supplied edge quantities,
+    /// deriving the path latencies from the edge rows (allocation-free).
+    ///
+    /// This is the post hook for simulators whose *experienced* edge
+    /// latencies are not the instance's latency functions alone — the
+    /// open-system agent simulator adds M/M/c queueing delays on top of
+    /// `ℓ_e(x_e)` before posting, so the board cannot be copied from an
+    /// [`EvalWorkspace`] verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the board's buffers.
+    pub fn post_from_parts(
+        &mut self,
+        instance: &Instance,
+        edge_flows: &[f64],
+        edge_latencies: &[f64],
+        path_flows: &[f64],
+        time: f64,
+    ) {
+        self.time = time;
+        self.edge_flows.copy_from_slice(edge_flows);
+        self.edge_latencies.copy_from_slice(edge_latencies);
+        path_latencies_from_edge_into(instance, &self.edge_latencies, &mut self.path_latencies);
+        self.path_flows.copy_from_slice(path_flows);
+    }
+
     /// Sets the posting time without touching the posted arrays — the
     /// fault layer uses this when a degraded post refreshes only part
     /// of the board.

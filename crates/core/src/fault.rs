@@ -588,6 +588,101 @@ impl FaultState {
             }
         }
     }
+
+    /// As [`FaultState::post`], but sourced from raw edge/path slices
+    /// instead of an [`EvalWorkspace`] — the post hook for discrete
+    /// -event board refreshes whose experienced edge latencies include
+    /// quantities the workspace does not model (M/M/c queueing delays
+    /// in the open-system agent simulator). The clean paths go through
+    /// [`BulletinBoard::post_from_parts`]; the degraded paths apply the
+    /// exact same drop/partial/noise/staleness schedule as [`FaultState::post`]
+    /// (the fault RNG streams are keyed by `phase`, not by entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the board or state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_parts(
+        &mut self,
+        board: &mut BulletinBoard,
+        instance: &Instance,
+        true_edge_flows: &[f64],
+        true_edge_latencies: &[f64],
+        true_path_flows: &[f64],
+        phase: usize,
+        time: f64,
+    ) {
+        self.stats.posts += 1;
+        if !self.posted {
+            board.post_from_parts(
+                instance,
+                true_edge_flows,
+                true_edge_latencies,
+                true_path_flows,
+                time,
+            );
+            self.posted = true;
+            self.last_refresh.fill(phase);
+            return;
+        }
+
+        let plan = &self.plan;
+        let dropped = plan.outages.iter().any(|w| w.contains(phase))
+            || (plan.drop_probability > 0.0
+                && fault_unit(plan.seed, STREAM_DROP, phase, 0) < plan.drop_probability);
+        if dropped {
+            self.stats.dropped += 1;
+            return;
+        }
+
+        let partial = plan.refresh_fraction < 1.0;
+        let noisy = plan.noise_amplitude > 0.0;
+        let all_due = (0..self.periods.len())
+            .all(|i| self.periods[i] <= 1 || phase >= self.last_refresh[i] + self.periods[i]);
+        if !partial && !noisy && all_due {
+            board.post_from_parts(
+                instance,
+                true_edge_flows,
+                true_edge_latencies,
+                true_path_flows,
+                time,
+            );
+            self.last_refresh.fill(phase);
+            return;
+        }
+
+        self.stats.degraded += 1;
+        let seed = plan.seed;
+        let refresh_fraction = plan.refresh_fraction;
+        let noise_amplitude = plan.noise_amplitude;
+        board.set_time(time);
+        let (edge_flows, edge_latencies, path_latencies, path_flows) = board.buffers_mut();
+        for e in 0..edge_latencies.len() {
+            if partial && fault_unit(seed, STREAM_PARTIAL, phase, e) >= refresh_fraction {
+                self.stats.edges_skipped += 1;
+                continue;
+            }
+            let mut le = true_edge_latencies[e];
+            if noisy {
+                let u = fault_unit(seed, STREAM_NOISE, phase, e) * 2.0 - 1.0;
+                le *= 1.0 + noise_amplitude * u;
+            }
+            edge_latencies[e] = le;
+            edge_flows[e] = true_edge_flows[e];
+        }
+        path_latencies_from_edge_into(instance, edge_latencies, &mut self.path_scratch);
+        for i in 0..self.periods.len() {
+            let due = self.periods[i] <= 1 || phase >= self.last_refresh[i] + self.periods[i];
+            let range = instance.commodity_paths(i);
+            if due {
+                self.last_refresh[i] = phase;
+                path_latencies[range.clone()].copy_from_slice(&self.path_scratch[range.clone()]);
+                path_flows[range.clone()].copy_from_slice(&true_path_flows[range]);
+            } else {
+                self.stats.stale_commodity_rows += range.len();
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -146,7 +146,13 @@ fn recip_or_zero(l: f64) -> f64 {
 ///
 /// `order` is the permutation sorting the block's paths by board
 /// latency ascending; `weights`/`latencies` are indexed by local path.
-pub(crate) fn fill_exit_rates(
+///
+/// Public because the open-system agent simulator reuses it to turn a
+/// frozen board into per-path *move probabilities*: with `weights` the
+/// normalised sampling distribution σ, `exit_p` is exactly the
+/// probability that one activation on path `P` migrates, which drives
+/// its batched binomial activation draws.
+pub fn fill_exit_rates(
     kernel: SeparableKernel,
     order: &[u32],
     weights: &[f64],

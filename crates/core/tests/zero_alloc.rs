@@ -256,6 +256,79 @@ fn steady_state_phase_loop_is_allocation_free() {
     // workload must cross the dispatch gates (grid_8x8: 3432 paths,
     // 48048 incidences) or the pool would sit unused.
     parallel_steady_state_is_allocation_free();
+
+    // The event-calendar open-system simulator: board posts, τ-leaped
+    // activation batches, queue refreshes and churn clocks all run
+    // inside buffers sized at construction, so steady-state events —
+    // including degraded posts under an active fault plan — allocate
+    // nothing.
+    open_system_steady_state_is_allocation_free();
+}
+
+/// The DES steady state: every event handler — board posts (with the
+/// fault layer degrading them in its pre-allocated scratch), τ-leap
+/// batches, M/M/c queue refreshes, Poisson arrivals and departures —
+/// must allocate nothing once the calendar's bucket capacities and the
+/// policy tables have warmed up. `deltas` is empty so `PhaseRecord`'s
+/// volume vectors stay empty, and `phases` is pre-sized to the post
+/// count at construction.
+fn open_system_steady_state_is_allocation_free() {
+    use wardrop_agents::open_system::{OpenSystem, OpenSystemConfig, QueueingModel};
+    use wardrop_agents::sim::AgentPolicy;
+    use wardrop_core::fault::FaultPlan;
+
+    // Closed population with an active fault plan and queueing: events
+    // are posts and queue refreshes, each triggering leap batches.
+    let grid = builders::grid_network(4, 4, 7);
+    let policy = AgentPolicy::uniform_linear(&grid);
+    let f0 = FlowVec::uniform(&grid);
+    let plan = FaultPlan::new(9)
+        .with_drop_probability(0.3)
+        .unwrap()
+        .with_partial_updates(0.6)
+        .unwrap()
+        .with_noise(0.05)
+        .unwrap()
+        .with_staleness(0, 3)
+        .unwrap();
+    let config = OpenSystemConfig::new(50_000, 0.2, 2_000, 11)
+        .with_deltas(vec![])
+        .with_queueing(QueueingModel::new(4, 0.5))
+        .with_faults(plan);
+    let mut sim = OpenSystem::new(&grid, &policy, &f0, config).unwrap();
+    for _ in 0..200 {
+        assert!(sim.step().is_some(), "DES fault warm-up ran out of events");
+    }
+    let allocations = min_allocations_over_attempts(|| {
+        for _ in 0..500 {
+            assert!(sim.step().is_some(), "DES faulted run out of events");
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "open system (faulted posts): {allocations} allocations in 500 steady-state events"
+    );
+
+    // Open population: arrival and departure clocks dominate the event
+    // mix. The calendar's bucket capacities are retained across
+    // cursor laps, so a long warm-up covers the steady-state backlog of
+    // generation-stamped departure events.
+    let config = OpenSystemConfig::new(20_000, 0.2, 2_000, 13)
+        .with_deltas(vec![])
+        .with_churn(400.0, 0.02);
+    let mut sim = OpenSystem::new(&grid, &policy, &f0, config).unwrap();
+    for _ in 0..3_000 {
+        assert!(sim.step().is_some(), "DES churn warm-up ran out of events");
+    }
+    let allocations = min_allocations_over_attempts(|| {
+        for _ in 0..500 {
+            assert!(sim.step().is_some(), "DES churn run out of events");
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "open system (churn): {allocations} allocations in 500 steady-state events"
+    );
 }
 
 /// Delta evaluation steady state: the `ChangeSet` (capacity `P`), the

@@ -1,0 +1,225 @@
+//! E12 — The fluid limit emerges from the open-system simulator.
+//!
+//! Sweeps the event-calendar DES (`wardrop_agents::open_system`) over
+//! N ∈ {10⁴, 10⁵, 10⁶, 10⁷} agents in a closed configuration and
+//! measures the maximum L∞ deviation of its phase-start flows from the
+//! fluid engine's trajectory. The law of large numbers predicts a
+//! ~1/√N shrink; the acceptance gate is monotone convergence across
+//! the sweep (seed-averaged). The τ-leap length is scaled down with N
+//! so the O((mδ)²) batching bias stays below the sampling noise it
+//! would otherwise floor.
+//!
+//! The second part records an observable that *only exists*
+//! asynchronously: the mover-weighted mean |experienced − posted| path
+//! latency (`staleness_mean`). Agents acting mid-update see a board
+//! that is up to `T` stale, so the staleness must grow with the update
+//! period and vanish as `T → 0` — the synchronous reference simulator
+//! cannot even express this quantity between its lockstep phases.
+//!
+//! Usage:
+//!
+//! ```text
+//! exp_fluid_limit [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` caps the sweep at N = 10⁵ (CI-friendly); the full sweep
+//! writes the committed artefact `E12_fluid_limit.json` (default
+//! `--out` path) in addition to the `WARDROP_RESULTS_DIR` copy.
+
+use serde::Serialize;
+use wardrop_agents::open_system::{run_open_system, OpenSystemConfig};
+use wardrop_agents::sim::AgentPolicy;
+use wardrop_analysis::stats::loglog_slope;
+use wardrop_core::engine::{run, SimulationConfig};
+use wardrop_core::policy::replicator;
+use wardrop_experiments::{banner, fmt_g, write_json, Table};
+use wardrop_net::builders;
+use wardrop_net::flow::FlowVec;
+
+const T_PERIOD: f64 = 0.25;
+const PHASES: usize = 40;
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    num_agents: u64,
+    /// τ-leap cap used at this N (shrinks with N so batching bias
+    /// stays below sampling noise).
+    max_leap: f64,
+    /// Seed-averaged max-over-phases L∞ distance to the fluid flows.
+    mean_max_linf: f64,
+    /// Worst case over seeds.
+    worst_max_linf: f64,
+    /// 1/√N, the LLN prediction for the deviation scale.
+    inv_sqrt_n: f64,
+    events: u64,
+    migrations: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct StalenessRow {
+    update_period: f64,
+    staleness_mean: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Artefact {
+    schema: &'static str,
+    instance: &'static str,
+    update_period: f64,
+    phases: usize,
+    mode: &'static str,
+    loglog_slope: f64,
+    sweep: Vec<SweepRow>,
+    staleness: Vec<StalenessRow>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "E12_fluid_limit.json".to_string());
+
+    banner(
+        "E12",
+        "The open-system DES converges to the fluid limit as N → ∞",
+    );
+
+    let inst = builders::grid_network(3, 3, 7);
+    let f0 = FlowVec::uniform(&inst);
+    let fluid = run(
+        &inst,
+        &replicator(&inst),
+        &f0,
+        &SimulationConfig::new(T_PERIOD, PHASES).with_flows(),
+    );
+    let policy = AgentPolicy::replicator(&inst);
+
+    // (N, leap divisor): δ ∝ ~N^(−½) keeps the O((mδ)²) τ-leap bias
+    // under the O(1/√N) sampling noise at every point of the sweep.
+    let sweep_points: &[(u64, f64)] = if smoke {
+        &[(10_000, 8.0), (100_000, 16.0)]
+    } else {
+        &[
+            (10_000, 8.0),
+            (100_000, 16.0),
+            (1_000_000, 64.0),
+            (10_000_000, 256.0),
+        ]
+    };
+
+    let mut sweep = Vec::new();
+    let mut table = Table::new(vec!["N", "max ‖·‖∞ (mean)", "worst seed", "1/√N"]);
+    let (mut ns, mut means) = (Vec::new(), Vec::new());
+    for &(num_agents, divisor) in sweep_points {
+        let max_leap = T_PERIOD / divisor;
+        let mut mean_acc = 0.0;
+        let mut worst = 0.0_f64;
+        let (mut events, mut migrations) = (0u64, 0u64);
+        for seed in SEEDS {
+            let config = OpenSystemConfig::new(num_agents, T_PERIOD, PHASES, seed)
+                .with_max_leap(max_leap)
+                .with_flows();
+            let open = run_open_system(&inst, &policy, &f0, config).expect("closed sweep run");
+            let max_linf = open
+                .trajectory
+                .flows
+                .iter()
+                .zip(&fluid.flows)
+                .map(|(a, b)| a.linf_distance(b))
+                .fold(0.0_f64, f64::max);
+            mean_acc += max_linf;
+            worst = worst.max(max_linf);
+            events += open.stats.events;
+            migrations += open.stats.migrations;
+        }
+        let row = SweepRow {
+            num_agents,
+            max_leap,
+            mean_max_linf: mean_acc / SEEDS.len() as f64,
+            worst_max_linf: worst,
+            inv_sqrt_n: 1.0 / (num_agents as f64).sqrt(),
+            events,
+            migrations,
+        };
+        table.row(vec![
+            num_agents.to_string(),
+            fmt_g(row.mean_max_linf),
+            fmt_g(row.worst_max_linf),
+            fmt_g(row.inv_sqrt_n),
+        ]);
+        ns.push(num_agents as f64);
+        means.push(row.mean_max_linf);
+        sweep.push(row);
+    }
+    table.print();
+    let slope = loglog_slope(&ns, &means);
+    println!("log–log slope of mean deviation vs N: {slope:.3}  (theory: −½)");
+
+    // The asynchronous-only observable: staleness grows with T. All
+    // runs share N = 10⁵ and the same horizon-per-phase structure.
+    let mut staleness = Vec::new();
+    let mut stale_table = Table::new(vec!["T", "staleness (mover-weighted)"]);
+    for t_period in [0.05, 0.25, 1.0] {
+        let config =
+            OpenSystemConfig::new(100_000, t_period, PHASES, 5).with_max_leap(t_period / 16.0);
+        let open = run_open_system(&inst, &policy, &f0, config).expect("staleness run");
+        stale_table.row(vec![fmt_g(t_period), fmt_g(open.stats.staleness_mean)]);
+        staleness.push(StalenessRow {
+            update_period: t_period,
+            staleness_mean: open.stats.staleness_mean,
+        });
+    }
+    stale_table.print();
+
+    let artefact = Artefact {
+        schema: "wardrop-experiments/e12/v1",
+        instance: "grid_3x3",
+        update_period: T_PERIOD,
+        phases: PHASES,
+        mode: if smoke { "smoke" } else { "full" },
+        loglog_slope: slope,
+        sweep,
+        staleness,
+    };
+    write_json("e12_fluid_limit", &artefact);
+    let json = serde_json::to_string_pretty(&artefact).expect("serialise artefact");
+    std::fs::write(&out_path, json + "\n").expect("write artefact");
+    println!("wrote {out_path}");
+
+    // Acceptance: monotone fluid-limit convergence across the sweep.
+    for pair in artefact.sweep.windows(2) {
+        assert!(
+            pair[1].mean_max_linf < pair[0].mean_max_linf,
+            "deviation must shrink monotonically: N={} gives {} vs N={} gives {}",
+            pair[0].num_agents,
+            pair[0].mean_max_linf,
+            pair[1].num_agents,
+            pair[1].mean_max_linf,
+        );
+    }
+    assert!(
+        (-0.8..=-0.2).contains(&slope),
+        "LLN scaling must be ≈ N^(−½), got {slope}"
+    );
+    // Staleness is an increasing function of the update period, and
+    // strictly positive whenever the board can age at all.
+    for pair in artefact.staleness.windows(2) {
+        assert!(
+            pair[0].staleness_mean > 0.0 && pair[1].staleness_mean > pair[0].staleness_mean,
+            "staleness must grow with T: T={} gives {} vs T={} gives {}",
+            pair[0].update_period,
+            pair[0].staleness_mean,
+            pair[1].update_period,
+            pair[1].staleness_mean,
+        );
+    }
+    println!(
+        "\nE12 PASS: open-system flows → fluid limit at rate ≈ 1/√N (slope {slope:.2}); \
+         board staleness is real and grows with T."
+    );
+}
